@@ -1,0 +1,33 @@
+//! Regenerates the ablation studies (prefetch accuracy, TRR random
+//! budget, offload granularity, refresh mode, predictor accuracy) and
+//! benchmarks their engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xfm_sim::ablation;
+use xfm_types::Nanos;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        xfm_bench::render_ablations(
+            &ablation::prefetch_accuracy_sweep(Nanos::from_ms(60)),
+            &ablation::random_budget_sweep(Nanos::from_ms(60)),
+            &ablation::offload_granularity_sweep(128 * 1024).expect("granularity"),
+            &ablation::refresh_mode_compare(),
+            &ablation::predictor_study(5000, 17),
+        )
+    );
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("prefetch_sweep_10ms", |b| {
+        b.iter(|| ablation::prefetch_accuracy_sweep(black_box(Nanos::from_ms(10))))
+    });
+    group.bench_function("predictor_study", |b| {
+        b.iter(|| ablation::predictor_study(black_box(2000), 17))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

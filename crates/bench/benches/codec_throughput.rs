@@ -1,0 +1,41 @@
+//! Micro-benchmarks for the from-scratch codecs on 4 KiB pages (the SFM
+//! datapath unit) across representative corpora.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xfm_compress::{Codec, Corpus, XDeflate, Xlz};
+
+fn bench(c: &mut Criterion) {
+    let corpora = [Corpus::EnglishText, Corpus::Json, Corpus::ZeroPage, Corpus::RandomBytes];
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(4096));
+    group.sample_size(20);
+    for corpus in corpora {
+        let page = corpus.generate(11, 4096);
+        for (name, codec) in [
+            ("xdeflate", &XDeflate::default() as &dyn Codec),
+            ("xlz", &Xlz::default() as &dyn Codec),
+        ] {
+            group.bench_function(format!("{name}/compress/{}", corpus.name()), |b| {
+                b.iter(|| {
+                    let mut out = Vec::with_capacity(4096);
+                    codec.compress(black_box(&page), &mut out).unwrap();
+                    out
+                })
+            });
+            let mut compressed = Vec::new();
+            codec.compress(&page, &mut compressed).unwrap();
+            group.bench_function(format!("{name}/decompress/{}", corpus.name()), |b| {
+                b.iter(|| {
+                    let mut out = Vec::with_capacity(4096);
+                    codec.decompress(black_box(&compressed), &mut out).unwrap();
+                    out
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Benchmarks the DRAM substrate: address mapping, controller service
+//! rate, and the NMA offload pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xfm_core::nma::{NearMemoryAccelerator, NmaConfig};
+use xfm_dram::{AddressMapping, DramTimings, MemController, MemRequest, SystemGeometry};
+use xfm_types::{Nanos, PageNumber, PhysAddr, RowId};
+
+fn bench(c: &mut Criterion) {
+    let map = AddressMapping::skylake(SystemGeometry::skylake_4ch());
+    c.bench_function("dram/decompose", |b| {
+        b.iter(|| map.decompose(black_box(PhysAddr::new(0x1234_5680))).unwrap())
+    });
+    c.bench_function("dram/page_rows", |b| {
+        b.iter(|| map.page_rows(black_box(PageNumber::new(777))).unwrap())
+    });
+    c.bench_function("dram/controller_1k_reads", |b| {
+        b.iter(|| {
+            let mut ctrl = MemController::new(
+                DramTimings::paper_emulator(),
+                SystemGeometry::skylake_4ch(),
+            );
+            let mut at = Nanos::from_us(1);
+            for i in 0..1000u64 {
+                let done = ctrl
+                    .submit(MemRequest::cacheline_read(PhysAddr::new(i * 64), at))
+                    .unwrap();
+                at = done.finish;
+            }
+            ctrl.stats().accesses()
+        })
+    });
+    let mut group = c.benchmark_group("nma");
+    group.sample_size(10);
+    group.bench_function("offload_pipeline_8_pages", |b| {
+        b.iter(|| {
+            let mut nma = NearMemoryAccelerator::new(NmaConfig::default());
+            let page = vec![0x42u8; 4096];
+            for p in 0..8u64 {
+                nma.submit_compress(
+                    PageNumber::new(p),
+                    page.clone(),
+                    RowId::new(p as u32 * 7),
+                    Nanos::ZERO,
+                    true,
+                )
+                .unwrap();
+            }
+            nma.advance_to(Nanos::from_ms(64)).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

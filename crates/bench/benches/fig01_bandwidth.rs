@@ -1,0 +1,18 @@
+//! Regenerates Figure 1 (SFM bandwidth vs ranks) and benchmarks the
+//! bandwidth-model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", xfm_bench::render_fig1(&xfm_sim::figures::fig1_bandwidth(1.0)));
+    c.bench_function("fig01/bandwidth_model", |b| {
+        b.iter(|| xfm_sim::figures::fig1_bandwidth(black_box(1.0)))
+    });
+    c.bench_function("fig01/max_capacity_solver", |b| {
+        b.iter(|| xfm_sim::figures::xfm_max_sfm_capacity(black_box(0.5), 8, 3, 2.5))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Figure 3 (cost/emission trajectories) and benchmarks the
+//! Section 3 model and its break-even solvers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xfm_cost::{CostParams, FarMemoryKind, FarMemoryModel};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", xfm_bench::render_fig3(&xfm_sim::figures::fig3_cost()));
+    let model = FarMemoryModel::new(CostParams::paper());
+    c.bench_function("fig03/cost_grid", |b| {
+        b.iter(xfm_sim::figures::fig3_cost)
+    });
+    c.bench_function("fig03/breakeven_solver", |b| {
+        b.iter(|| model.cost_breakeven_years(black_box(FarMemoryKind::DfmDram), 1.0))
+    });
+    c.bench_function("fig03/accelerator_threshold", |b| {
+        b.iter(|| model.accelerator_breakeven_promotion_rate())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

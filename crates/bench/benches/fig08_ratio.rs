@@ -1,0 +1,25 @@
+//! Regenerates Figure 8 (multi-channel compression ratios) and
+//! benchmarks the interleaved-compression path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xfm_compress::{interleaved_ratio, Corpus, XDeflate};
+
+fn bench(c: &mut Criterion) {
+    let rows = xfm_sim::figures::fig8_ratios(128 * 1024).expect("fig8");
+    println!("{}", xfm_bench::render_fig8(&rows));
+
+    let codec = XDeflate::default();
+    let data = Corpus::EnglishText.generate(7, 64 * 1024);
+    let mut group = c.benchmark_group("fig08");
+    group.sample_size(10);
+    for n in [1usize, 2, 4] {
+        group.bench_function(format!("interleaved_ratio_{n}dimm"), |b| {
+            b.iter(|| interleaved_ratio(&codec, black_box(&data), 4096, n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Figure 11 (co-run interference) and benchmarks the
+//! fixed-point co-run solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xfm_sim::corun::{evaluate, CorunConfig, SfmMode};
+use xfm_sim::workload::JobMix;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", xfm_bench::render_fig11(&xfm_sim::figures::fig11_interference()));
+    let cfg = CorunConfig::default();
+    let mix = JobMix::memory_sensitive_eight();
+    for mode in SfmMode::compared() {
+        c.bench_function(&format!("fig11/evaluate_{}", mode.label()), |b| {
+            b.iter(|| evaluate(black_box(&mix), mode, &cfg))
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates Figure 12 (CPU fallbacks vs SPM size) and benchmarks the
+//! window-service simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xfm_sim::fallback::{simulate, FallbackConfig};
+use xfm_types::{ByteSize, Nanos};
+
+fn bench(c: &mut Criterion) {
+    let rows = xfm_sim::figures::fig12_fallbacks(Nanos::from_ms(100));
+    println!("{}", xfm_bench::render_fig12(&rows));
+    println!("{}", xfm_bench::render_energy(&rows));
+
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("simulate_50ms_point", |b| {
+        b.iter(|| {
+            simulate(black_box(&FallbackConfig {
+                spm_capacity: ByteSize::from_mib(8),
+                duration: Nanos::from_ms(50),
+                ..FallbackConfig::default()
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

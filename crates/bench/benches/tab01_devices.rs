@@ -1,0 +1,30 @@
+//! Regenerates Table 1 and the Section 5 timing summary; benchmarks the
+//! refresh-calendar queries the scheduler leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xfm_dram::{DeviceGeometry, DramTimings, RefreshScheduler};
+use xfm_types::{Nanos, RowId};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", xfm_bench::render_table1(&xfm_sim::figures::table1_devices()));
+    println!("{}", xfm_bench::render_timing(&xfm_sim::figures::timing_summary()));
+
+    let sched = RefreshScheduler::new(
+        DramTimings::paper_emulator(),
+        DeviceGeometry::ddr4_8gb(),
+    );
+    c.bench_function("tab01/window_at", |b| {
+        b.iter(|| sched.window_at(black_box(Nanos::from_ms(7))))
+    });
+    c.bench_function("tab01/next_window_refreshing", |b| {
+        b.iter(|| sched.next_window_refreshing(black_box(RowId::new(12345)), Nanos::from_ms(3)))
+    });
+    c.bench_function("tab01/refreshed_rows", |b| {
+        let g = DeviceGeometry::ddr5_32gb();
+        b.iter(|| g.refreshed_rows(black_box(4321)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Tables 2-3 (FPGA resources, power) and the CACTI-style
+//! DRAM-modification overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xfm_sim::resource::{DramModOverhead, FpgaResourceModel};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", xfm_bench::render_tables23());
+    c.bench_function("tab02/resource_totals", |b| {
+        let m = FpgaResourceModel::xfm_prototype();
+        b.iter(|| black_box(&m).totals())
+    });
+    c.bench_function("tab02/dram_mod_overhead", |b| {
+        b.iter(|| DramModOverhead::from_geometry(black_box(128), 16, 512))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,286 @@
+//! LSB-first bit-level I/O.
+//!
+//! The xdeflate bitstream packs bits into bytes LSB-first (like DEFLATE):
+//! the first bit written becomes bit 0 of the first byte. Huffman codes
+//! are written MSB-of-the-code-first via [`BitWriter::write_code_msb`],
+//! which lets the canonical decoder consume them one bit at a time.
+
+use xfm_types::{Error, Result};
+
+/// Writes bits LSB-first into a growing byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_compress::bitio::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xff, 8);
+/// let bytes = w.finish();
+///
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3)?, 0b101);
+/// assert_eq!(r.read_bits(8)?, 0xff);
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bit accumulator, filled from bit 0 upward.
+    acc: u64,
+    /// Number of valid bits in `acc`.
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `n` bits of `value` (LSB first). `n` must be ≤ 32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32` or if `value` has bits set above `n`.
+    pub fn write_bits(&mut self, value: u32, n: u32) {
+        assert!(n <= 32, "cannot write more than 32 bits at once");
+        debug_assert!(n == 32 || u64::from(value) < (1u64 << n), "value wider than n bits");
+        self.acc |= u64::from(value) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.bytes.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Writes a Huffman `code` of `len` bits, most-significant code bit
+    /// first, so the canonical bit-at-a-time decoder can read it back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or greater than 32.
+    pub fn write_code_msb(&mut self, code: u32, len: u32) {
+        assert!((1..=32).contains(&len), "code length out of range");
+        for i in (0..len).rev() {
+            self.write_bits((code >> i) & 1, 1);
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        if self.nbits > 0 {
+            self.bytes.push((self.acc & 0xff) as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Appends whole bytes; the writer must be byte-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer is not byte-aligned.
+    pub fn write_bytes(&mut self, data: &[u8]) {
+        assert!(self.nbits == 0, "write_bytes requires byte alignment");
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Number of complete bytes emitted so far (excluding buffered bits).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Flushes any buffered bits (zero-padded) and returns the bytes.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.bytes
+    }
+}
+
+/// Reads bits LSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next byte index to load.
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    fn refill(&mut self, need: u32) -> Result<()> {
+        while self.nbits < need {
+            let byte = *self.bytes.get(self.pos).ok_or_else(|| {
+                Error::Corrupt("bitstream ended mid-symbol".into())
+            })?;
+            self.acc |= u64::from(byte) << self.nbits;
+            self.nbits += 8;
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    /// Reads `n ≤ 32` bits (LSB-first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if the stream is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn read_bits(&mut self, n: u32) -> Result<u32> {
+        assert!(n <= 32, "cannot read more than 32 bits at once");
+        if n == 0 {
+            return Ok(0);
+        }
+        self.refill(n)?;
+        let value = (self.acc & ((1u64 << n) - 1)) as u32;
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(value)
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if the stream is exhausted.
+    pub fn read_bit(&mut self) -> Result<u32> {
+        self.read_bits(1)
+    }
+
+    /// Discards buffered bits up to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        let drop = self.nbits % 8;
+        self.acc >>= drop;
+        self.nbits -= drop;
+    }
+
+    /// Reads `n` whole bytes; the reader must be byte-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if fewer than `n` bytes remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reader is not byte-aligned.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        assert!(self.nbits.is_multiple_of(8), "read_bytes requires byte alignment");
+        // Return buffered whole bytes to the slice position first.
+        let buffered = (self.nbits / 8) as usize;
+        self.pos -= buffered;
+        self.acc = 0;
+        self.nbits = 0;
+        if self.pos + n > self.bytes.len() {
+            return Err(Error::Corrupt("raw byte run truncated".into()));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// `true` when every input bit has been consumed (padding ignored).
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.pos >= self.bytes.len() && self.acc == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xabcd, 16);
+        w.write_bits(0, 3);
+        w.write_bits(0xffff_ffff, 32);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(16).unwrap(), 0xabcd);
+        assert_eq!(r.read_bits(3).unwrap(), 0);
+        assert_eq!(r.read_bits(32).unwrap(), 0xffff_ffff);
+    }
+
+    #[test]
+    fn msb_code_round_trips_bit_by_bit() {
+        let mut w = BitWriter::new();
+        w.write_code_msb(0b1101, 4);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut code = 0u32;
+        for _ in 0..4 {
+            code = (code << 1) | r.read_bit().unwrap();
+        }
+        assert_eq!(code, 0b1101);
+    }
+
+    #[test]
+    fn align_and_raw_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.align_byte();
+        w.write_bytes(b"hello");
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        r.align_byte();
+        assert_eq!(r.read_bytes(5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn read_past_end_is_corrupt() {
+        let mut r = BitReader::new(&[0xff]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+        assert!(matches!(r.read_bits(1), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn read_bytes_past_end_is_corrupt() {
+        let mut r = BitReader::new(&[1, 2]);
+        assert!(r.read_bytes(3).is_err());
+    }
+
+    #[test]
+    fn read_bytes_after_buffered_bits() {
+        // Reading 8 bits buffers a byte; read_bytes must rewind correctly.
+        let mut w = BitWriter::new();
+        w.write_bits(0xaa, 8);
+        w.write_bytes(&[1, 2, 3]);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0xaa);
+        assert_eq!(r.read_bytes(3).unwrap(), &[1, 2, 3]);
+        assert!(r.is_drained());
+    }
+
+    #[test]
+    fn zero_bit_read_is_noop() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+}

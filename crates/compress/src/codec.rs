@@ -1,0 +1,175 @@
+//! The [`Codec`] trait and the compression cost model.
+
+use serde::{Deserialize, Serialize};
+use xfm_types::{Bandwidth, Cycles, Result};
+
+/// Identifies a codec implementation (used by SFM entries so swap-in
+/// knows how to decompress).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodecKind {
+    /// The LZ77 + Huffman block codec (Deflate class).
+    XDeflate,
+    /// The byte-oriented fast codec (lzo/zstd speed class).
+    Xlz,
+    /// Data stored uncompressed (incompressible page).
+    Raw,
+    /// Page whose every byte is identical: only the fill byte is stored
+    /// (zswap's same-filled-page optimization).
+    SameFilled,
+}
+
+/// A lossless compressor/decompressor.
+///
+/// Implementations append to the destination vector and return the number
+/// of bytes produced, letting callers pack multiple pages into one buffer
+/// (as the zpool allocator does).
+pub trait Codec {
+    /// Short stable name ("xdeflate", "xlz").
+    fn name(&self) -> &'static str;
+
+    /// The [`CodecKind`] tag stored in SFM entries.
+    fn kind(&self) -> CodecKind;
+
+    /// Compresses `src`, appending to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on internal failures; incompressible data is
+    /// stored in a raw container block, never rejected.
+    fn compress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize>;
+
+    /// Decompresses `src`, appending to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xfm_types::Error::Corrupt`] when `src` is not a valid
+    /// stream for this codec.
+    fn decompress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize>;
+}
+
+/// CPU cost of running a codec, used by the §3 cost model and the co-run
+/// interference simulation.
+///
+/// The paper's model uses the average of zstd and lzo costs: 7.65e9
+/// cycles to (de)compress one GB.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_compress::CostModel;
+///
+/// let m = CostModel::paper_average();
+/// assert_eq!(m.cycles_per_gb().count(), 7_650_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// CPU cycles per byte compressed.
+    pub compress_cycles_per_byte: f64,
+    /// CPU cycles per byte decompressed.
+    pub decompress_cycles_per_byte: f64,
+}
+
+impl CostModel {
+    /// The paper's §3 average over zstd and lzo: 7.65e9 cycles/GB,
+    /// split symmetrically.
+    #[must_use]
+    pub fn paper_average() -> Self {
+        let per_byte = 7.65e9 / 1e9;
+        Self {
+            compress_cycles_per_byte: per_byte,
+            decompress_cycles_per_byte: per_byte,
+        }
+    }
+
+    /// A zstd-like profile (slower compression, fast decompression).
+    #[must_use]
+    pub fn zstd_like() -> Self {
+        Self {
+            compress_cycles_per_byte: 12.0,
+            decompress_cycles_per_byte: 3.5,
+        }
+    }
+
+    /// An lzo-like profile (fast both ways, worse ratio).
+    #[must_use]
+    pub fn lzo_like() -> Self {
+        Self {
+            compress_cycles_per_byte: 5.5,
+            decompress_cycles_per_byte: 2.0,
+        }
+    }
+
+    /// Average (compress + decompress) cycles for one gigabyte, the
+    /// quantity the paper's EQ3.4 calls `CCPerGB`.
+    #[must_use]
+    pub fn cycles_per_gb(&self) -> Cycles {
+        let per_byte = (self.compress_cycles_per_byte + self.decompress_cycles_per_byte) / 2.0;
+        Cycles::new((per_byte * 1e9).round() as u64)
+    }
+
+    /// Cycles to compress `bytes` bytes.
+    #[must_use]
+    pub fn compress_cycles(&self, bytes: u64) -> Cycles {
+        Cycles::new((self.compress_cycles_per_byte * bytes as f64).round() as u64)
+    }
+
+    /// Cycles to decompress `bytes` bytes.
+    #[must_use]
+    pub fn decompress_cycles(&self, bytes: u64) -> Cycles {
+        Cycles::new((self.decompress_cycles_per_byte * bytes as f64).round() as u64)
+    }
+
+    /// Compression throughput of one core at `freq`.
+    #[must_use]
+    pub fn compress_throughput(&self, freq: xfm_types::Hertz) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(freq.as_hz() / self.compress_cycles_per_byte)
+    }
+
+    /// Decompression throughput of one core at `freq`.
+    #[must_use]
+    pub fn decompress_throughput(&self, freq: xfm_types::Hertz) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(freq.as_hz() / self.decompress_cycles_per_byte)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_average()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfm_types::Hertz;
+
+    #[test]
+    fn paper_average_matches_eq34_constant() {
+        let m = CostModel::paper_average();
+        assert_eq!(m.cycles_per_gb().count(), 7_650_000_000);
+    }
+
+    #[test]
+    fn throughput_inverse_of_cost() {
+        let m = CostModel::zstd_like();
+        let f = Hertz::from_ghz(2.6);
+        let bw = m.compress_throughput(f);
+        // 2.6e9 / 12 cycles per byte ≈ 0.217 GB/s.
+        assert!((bw.as_gbps() - 0.2167).abs() < 0.001);
+        assert!(m.decompress_throughput(f).as_gbps() > bw.as_gbps());
+    }
+
+    #[test]
+    fn cycle_counts_scale_linearly() {
+        let m = CostModel::lzo_like();
+        assert_eq!(
+            m.compress_cycles(2000).count(),
+            2 * m.compress_cycles(1000).count()
+        );
+    }
+
+    #[test]
+    fn codec_trait_is_object_safe() {
+        fn _takes_dyn(_c: &dyn Codec) {}
+    }
+}

@@ -1,0 +1,369 @@
+//! Length-limited canonical Huffman coding.
+//!
+//! Code lengths are computed with the package-merge algorithm (optimal
+//! under a maximum-length constraint), then turned into canonical codes
+//! exactly as DEFLATE does, so only the length vector needs to be
+//! transmitted.
+
+use xfm_types::{Error, Result};
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Maximum code length used by xdeflate (same as DEFLATE).
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Computes optimal length-limited code lengths for `freqs`.
+///
+/// Symbols with zero frequency get length 0 (absent). A single-symbol
+/// alphabet gets length 1.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] if more than `2^max_len` symbols have
+/// non-zero frequency (no prefix code of that length exists).
+///
+/// # Examples
+///
+/// ```
+/// use xfm_compress::huffman::code_lengths;
+///
+/// let lens = code_lengths(&[10, 1, 1, 0], 15)?;
+/// assert_eq!(lens[3], 0);            // absent symbol
+/// assert!(lens[0] <= lens[1]);       // frequent symbol gets short code
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+pub fn code_lengths(freqs: &[u64], max_len: u32) -> Result<Vec<u32>> {
+    let active: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let n = active.len();
+    let mut lens = vec![0u32; freqs.len()];
+    match n {
+        0 => return Ok(lens),
+        1 => {
+            lens[active[0]] = 1;
+            return Ok(lens);
+        }
+        _ => {}
+    }
+    if n > (1usize << max_len.min(31)) {
+        return Err(Error::InvalidConfig(format!(
+            "{n} symbols cannot fit codes of at most {max_len} bits"
+        )));
+    }
+
+    // Package-merge. Items carry the set of original symbols they contain.
+    #[derive(Clone)]
+    struct Item {
+        weight: u64,
+        symbols: Vec<u16>,
+    }
+    let mut original: Vec<Item> = active
+        .iter()
+        .map(|&i| Item {
+            weight: freqs[i],
+            symbols: vec![i as u16],
+        })
+        .collect();
+    original.sort_by_key(|it| it.weight);
+
+    let mut list = original.clone();
+    for _ in 1..max_len {
+        // Package: pair consecutive items.
+        let mut packages = Vec::with_capacity(list.len() / 2);
+        let mut iter = list.chunks_exact(2);
+        for pair in &mut iter {
+            let mut symbols = pair[0].symbols.clone();
+            symbols.extend_from_slice(&pair[1].symbols);
+            packages.push(Item {
+                weight: pair[0].weight + pair[1].weight,
+                symbols,
+            });
+        }
+        // Merge with the original items (both sorted).
+        let mut merged = Vec::with_capacity(original.len() + packages.len());
+        let (mut a, mut b) = (0, 0);
+        while a < original.len() || b < packages.len() {
+            let take_original = match (original.get(a), packages.get(b)) {
+                (Some(x), Some(y)) => x.weight <= y.weight,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_original {
+                merged.push(original[a].clone());
+                a += 1;
+            } else {
+                merged.push(packages[b].clone());
+                b += 1;
+            }
+        }
+        list = merged;
+    }
+
+    // The first 2n-2 items define the code: each occurrence of a symbol
+    // adds one to its code length.
+    for item in list.iter().take(2 * n - 2) {
+        for &s in &item.symbols {
+            lens[s as usize] += 1;
+        }
+    }
+    debug_assert!(lens.iter().all(|&l| l <= max_len));
+    Ok(lens)
+}
+
+/// A canonical Huffman encoder: symbol -> (code, length).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    codes: Vec<(u32, u32)>,
+}
+
+impl Encoder {
+    /// Builds the canonical codes for the given length vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if the lengths violate the Kraft
+    /// inequality (no prefix code exists) or exceed [`MAX_CODE_LEN`].
+    pub fn from_lengths(lens: &[u32]) -> Result<Self> {
+        validate_lengths(lens)?;
+        let max = lens.iter().copied().max().unwrap_or(0);
+        let mut bl_count = vec![0u32; (max + 1) as usize];
+        for &l in lens {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        let mut next_code = vec![0u32; (max + 2) as usize];
+        let mut code = 0u32;
+        for len in 1..=max {
+            code = (code + bl_count[(len - 1) as usize]) << 1;
+            next_code[len as usize] = code;
+        }
+        let codes = lens
+            .iter()
+            .map(|&l| {
+                if l == 0 {
+                    (0, 0)
+                } else {
+                    let c = next_code[l as usize];
+                    next_code[l as usize] += 1;
+                    (c, l)
+                }
+            })
+            .collect();
+        Ok(Self { codes })
+    }
+
+    /// Writes the code for `symbol` to `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` has no code (length 0) or is out of range.
+    pub fn encode(&self, w: &mut BitWriter, symbol: usize) {
+        let (code, len) = self.codes[symbol];
+        assert!(len > 0, "symbol {symbol} has no code");
+        w.write_code_msb(code, len);
+    }
+
+    /// Returns the code length for `symbol` (0 if absent).
+    #[must_use]
+    pub fn length(&self, symbol: usize) -> u32 {
+        self.codes[symbol].1
+    }
+}
+
+/// A canonical Huffman decoder (bit-at-a-time, first-code arithmetic).
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// `first_code[len]`, `offset[len]` into `symbols`, `count[len]`.
+    first_code: Vec<u32>,
+    offset: Vec<u32>,
+    count: Vec<u32>,
+    symbols: Vec<u16>,
+    max_len: u32,
+}
+
+impl Decoder {
+    /// Builds a decoder from the canonical length vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on invalid lengths (Kraft violation).
+    pub fn from_lengths(lens: &[u32]) -> Result<Self> {
+        validate_lengths(lens)?;
+        let max = lens.iter().copied().max().unwrap_or(0);
+        let mut count = vec![0u32; (max + 1) as usize];
+        for &l in lens {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut first_code = vec![0u32; (max + 1) as usize];
+        let mut offset = vec![0u32; (max + 1) as usize];
+        let mut code = 0u32;
+        let mut sym_base = 0u32;
+        for len in 1..=max as usize {
+            code = (code + count[len - 1]) << 1;
+            first_code[len] = code;
+            offset[len] = sym_base;
+            sym_base += count[len];
+        }
+        // Symbols sorted by (length, symbol index) — canonical order.
+        let mut symbols: Vec<u16> = Vec::with_capacity(sym_base as usize);
+        for len in 1..=max {
+            for (i, &l) in lens.iter().enumerate() {
+                if l == len {
+                    symbols.push(i as u16);
+                }
+            }
+        }
+        Ok(Self {
+            first_code,
+            offset,
+            count,
+            symbols,
+            max_len: max,
+        })
+    }
+
+    /// Decodes one symbol from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if the bits do not form a valid code or
+    /// the stream ends early.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        let mut code = 0u32;
+        for len in 1..=self.max_len as usize {
+            code = (code << 1) | r.read_bit()?;
+            let rel = code.wrapping_sub(self.first_code[len]);
+            if rel < self.count[len] {
+                return Ok(self.symbols[(self.offset[len] + rel) as usize]);
+            }
+        }
+        Err(Error::Corrupt("invalid Huffman code".into()))
+    }
+}
+
+fn validate_lengths(lens: &[u32]) -> Result<()> {
+    let mut kraft = 0u64;
+    for &l in lens {
+        if l > MAX_CODE_LEN {
+            return Err(Error::Corrupt(format!("code length {l} exceeds limit")));
+        }
+        if l > 0 {
+            kraft += 1u64 << (MAX_CODE_LEN - l);
+        }
+    }
+    // A single symbol of length 1 (kraft = 2^14) is allowed; otherwise the
+    // code must not over-subscribe the tree.
+    if kraft > 1u64 << MAX_CODE_LEN {
+        return Err(Error::Corrupt("code lengths violate Kraft inequality".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(freqs: &[u64], message: &[u16]) {
+        let lens = code_lengths(freqs, MAX_CODE_LEN).unwrap();
+        let enc = Encoder::from_lengths(&lens).unwrap();
+        let dec = Decoder::from_lengths(&lens).unwrap();
+        let mut w = BitWriter::new();
+        for &s in message {
+            enc.encode(&mut w, s as usize);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in message {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_round_trips() {
+        let freqs = [1000, 500, 100, 10, 1, 1, 1, 1];
+        let msg: Vec<u16> = (0..8).cycle().take(100).collect();
+        round_trip(&freqs, &msg);
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let lens = code_lengths(&[100, 50, 10, 1], MAX_CODE_LEN).unwrap();
+        assert!(lens[0] <= lens[1]);
+        assert!(lens[1] <= lens[2]);
+        assert!(lens[2] <= lens[3]);
+    }
+
+    #[test]
+    fn kraft_equality_holds_for_optimal_codes() {
+        let freqs = [7, 6, 5, 4, 3, 2, 1];
+        let lens = code_lengths(&freqs, MAX_CODE_LEN).unwrap();
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!((kraft - 1.0).abs() < 1e-12, "kraft {kraft}");
+    }
+
+    #[test]
+    fn length_limit_is_respected() {
+        // Fibonacci-like weights force deep trees in unconstrained Huffman.
+        let freqs: Vec<u64> = {
+            let mut f = vec![1u64, 1];
+            for i in 2..30 {
+                let next = f[i - 1] + f[i - 2];
+                f.push(next);
+            }
+            f
+        };
+        let lens = code_lengths(&freqs, 8).unwrap();
+        assert!(lens.iter().all(|&l| l <= 8 && l > 0));
+        let kraft: f64 = lens.iter().map(|&l| 2f64.powi(-(l as i32))).sum();
+        assert!(kraft <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let lens = code_lengths(&[0, 42, 0], MAX_CODE_LEN).unwrap();
+        assert_eq!(lens, vec![0, 1, 0]);
+        round_trip(&[0, 42, 0], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        let lens = code_lengths(&[0, 0], MAX_CODE_LEN).unwrap();
+        assert_eq!(lens, vec![0, 0]);
+    }
+
+    #[test]
+    fn too_many_symbols_for_limit_rejected() {
+        let freqs = vec![1u64; 16];
+        assert!(code_lengths(&freqs, 3).is_err());
+        assert!(code_lengths(&freqs, 4).is_ok());
+    }
+
+    #[test]
+    fn decoder_rejects_garbage() {
+        // Lengths for a 2-symbol code; a truncated stream must error.
+        let lens = vec![1, 1];
+        let dec = Decoder::from_lengths(&lens).unwrap();
+        let mut r = BitReader::new(&[]);
+        assert!(dec.decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversubscribed_lengths_rejected() {
+        // Three symbols of length 1 violate Kraft.
+        assert!(Encoder::from_lengths(&[1, 1, 1]).is_err());
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn full_byte_alphabet_round_trips() {
+        let freqs: Vec<u64> = (0..256).map(|i| (i % 7 + 1) as u64 * 3).collect();
+        let msg: Vec<u16> = (0..256).collect();
+        round_trip(&freqs, &msg);
+    }
+}

@@ -1,0 +1,285 @@
+//! LZ77 match finding with hash chains and one-step lazy matching.
+//!
+//! Produces a token stream (literals and back-references) consumed by the
+//! [`crate::xdeflate`] entropy stage. The window defaults to 32 KiB like
+//! DEFLATE; page-sized SFM inputs (≤ 4 KiB) always fit entirely in the
+//! window.
+
+use serde::{Deserialize, Serialize};
+
+/// Smallest back-reference the tokenizer will emit.
+pub const MIN_MATCH: usize = 4;
+/// Largest back-reference length.
+pub const MAX_MATCH: usize = 258;
+/// Largest back-reference distance (32 KiB window).
+pub const MAX_DIST: usize = 32 * 1024;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// Match length in `MIN_MATCH..=MAX_MATCH`.
+        len: u32,
+        /// Distance in `1..=MAX_DIST`.
+        dist: u32,
+    },
+}
+
+/// Configurable hash-chain match finder.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_compress::lz77::{MatchFinder, Token};
+///
+/// let mf = MatchFinder::default();
+/// let tokens = mf.tokenize(b"abcdabcdabcd");
+/// assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchFinder {
+    /// Maximum hash-chain positions examined per match attempt.
+    pub max_chain: usize,
+    /// Stop searching once a match of this length is found.
+    pub good_enough: usize,
+    /// Enable one-step lazy matching.
+    pub lazy: bool,
+}
+
+impl MatchFinder {
+    /// A fast configuration (short chains, no lazy matching).
+    #[must_use]
+    pub const fn fast() -> Self {
+        Self {
+            max_chain: 8,
+            good_enough: 32,
+            lazy: false,
+        }
+    }
+
+    /// A thorough configuration (long chains, lazy matching).
+    #[must_use]
+    pub const fn thorough() -> Self {
+        Self {
+            max_chain: 128,
+            good_enough: 128,
+            lazy: true,
+        }
+    }
+
+    fn hash(data: &[u8], i: usize) -> usize {
+        let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+        (v.wrapping_mul(0x9E37_79B1) >> 17) as usize & (HASH_SIZE - 1)
+    }
+
+    /// Tokenizes `data` into literals and back-references. Decoding the
+    /// token stream always reproduces `data` exactly.
+    #[must_use]
+    pub fn tokenize(&self, data: &[u8]) -> Vec<Token> {
+        let n = data.len();
+        let mut tokens = Vec::with_capacity(n / 2);
+        if n < MIN_MATCH {
+            tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+            return tokens;
+        }
+
+        let mut head = vec![usize::MAX; HASH_SIZE];
+        let mut prev = vec![usize::MAX; n];
+        let mut i = 0usize;
+
+        let find = |head: &[usize], prev: &[usize], i: usize| -> Option<(usize, usize)> {
+            if i + MIN_MATCH > n {
+                return None;
+            }
+            let mut best_len = MIN_MATCH - 1;
+            let mut best_dist = 0usize;
+            let mut cand = head[Self::hash(data, i)];
+            let mut chain = self.max_chain;
+            let limit = (n - i).min(MAX_MATCH);
+            while cand != usize::MAX && chain > 0 {
+                let dist = i - cand;
+                if dist > MAX_DIST {
+                    break;
+                }
+                // Quick reject on the byte after the current best.
+                if i + best_len < n && data[cand + best_len] == data[i + best_len] {
+                    let mut l = 0usize;
+                    while l < limit && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = dist;
+                        if l >= self.good_enough || l == limit {
+                            break;
+                        }
+                    }
+                }
+                cand = prev[cand];
+                chain -= 1;
+            }
+            (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+        };
+
+        let insert = |head: &mut [usize], prev: &mut [usize], i: usize| {
+            if i + MIN_MATCH <= n {
+                let h = Self::hash(data, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+        };
+
+        while i < n {
+            let found = find(&head, &prev, i);
+            match found {
+                None => {
+                    tokens.push(Token::Literal(data[i]));
+                    insert(&mut head, &mut prev, i);
+                    i += 1;
+                }
+                Some((len, dist)) => {
+                    // Lazy: check if deferring one byte yields a longer match.
+                    let mut take_len = len;
+                    let mut take_dist = dist;
+                    let mut emitted_literal = false;
+                    if self.lazy && i + 1 < n {
+                        insert(&mut head, &mut prev, i);
+                        if let Some((len2, dist2)) = find(&head, &prev, i + 1) {
+                            if len2 > len {
+                                tokens.push(Token::Literal(data[i]));
+                                i += 1;
+                                take_len = len2;
+                                take_dist = dist2;
+                                emitted_literal = true;
+                            }
+                        }
+                        if !emitted_literal {
+                            // `i` was already inserted above.
+                        }
+                    } else {
+                        insert(&mut head, &mut prev, i);
+                    }
+                    tokens.push(Token::Match {
+                        len: take_len as u32,
+                        dist: take_dist as u32,
+                    });
+                    // Insert the positions covered by the match (sparsely,
+                    // every position keeps ratios good on page inputs).
+                    let start = i + 1;
+                    let end = (i + take_len).min(n);
+                    for j in start..end {
+                        insert(&mut head, &mut prev, j);
+                    }
+                    i = end;
+                }
+            }
+        }
+        tokens
+    }
+}
+
+const HASH_SIZE: usize = 1 << 15;
+
+impl Default for MatchFinder {
+    /// Defaults to the thorough configuration (xdeflate's profile).
+    fn default() -> Self {
+        Self::thorough()
+    }
+}
+
+/// Expands a token stream back into bytes (reference decoder used by
+/// tests and by the xdeflate decompressor's copy loop).
+#[must_use]
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8], mf: MatchFinder) {
+        let tokens = mf.tokenize(data);
+        assert_eq!(expand(&tokens), data, "round-trip failed");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for mf in [MatchFinder::fast(), MatchFinder::thorough()] {
+            round_trip(b"", mf);
+            round_trip(b"a", mf);
+            round_trip(b"abc", mf);
+        }
+    }
+
+    #[test]
+    fn repetitive_input_compresses_to_matches() {
+        let data = b"hello world hello world hello world hello world";
+        let tokens = MatchFinder::default().tokenize(data);
+        let matches = tokens
+            .iter()
+            .filter(|t| matches!(t, Token::Match { .. }))
+            .count();
+        assert!(matches >= 1);
+        assert!(tokens.len() < data.len() / 2);
+        round_trip(data, MatchFinder::default());
+    }
+
+    #[test]
+    fn overlapping_match_rle_style() {
+        // "aaaa..." produces a dist-1 overlapping match like DEFLATE RLE.
+        let data = vec![b'a'; 300];
+        let tokens = MatchFinder::default().tokenize(&data);
+        assert!(tokens.len() <= 4, "RLE should be a couple of tokens");
+        assert_eq!(expand(&tokens), data);
+    }
+
+    #[test]
+    fn match_lengths_and_dists_in_bounds() {
+        let mut data = Vec::new();
+        for i in 0..4096u32 {
+            data.push((i % 251) as u8);
+        }
+        for mf in [MatchFinder::fast(), MatchFinder::thorough()] {
+            for t in mf.tokenize(&data) {
+                if let Token::Match { len, dist } = t {
+                    assert!((MIN_MATCH..=MAX_MATCH).contains(&(len as usize)));
+                    assert!((1..=MAX_DIST).contains(&(dist as usize)));
+                }
+            }
+            round_trip(&data, mf);
+        }
+    }
+
+    #[test]
+    fn incompressible_input_is_all_literals() {
+        // A de Bruijn-ish sequence with no 4-byte repeats.
+        let data: Vec<u8> = (0..600u32)
+            .flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes())
+            .collect();
+        round_trip(&data, MatchFinder::default());
+    }
+
+    #[test]
+    fn lazy_matching_never_corrupts() {
+        let data = b"abcabcabxabcabcabcabyabcabc".repeat(20);
+        round_trip(&data, MatchFinder::thorough());
+        round_trip(&data, MatchFinder::fast());
+    }
+}

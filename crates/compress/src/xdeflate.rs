@@ -1,0 +1,383 @@
+//! `xdeflate`: an LZ77 + canonical-Huffman block codec.
+//!
+//! The format is DEFLATE-inspired but self-contained:
+//!
+//! ```text
+//! stream  := block* ;  each block starts with
+//!   final : 1 bit      (1 on the last block)
+//!   type  : 1 bit      (0 = stored, 1 = compressed)
+//! stored  := align; len:u16le; raw bytes
+//! compressed :=
+//!   lit_lens  : RLE-coded code-length vector for the 265-symbol
+//!               literal/length alphabet (0..=255 literal, 256 EOB,
+//!               257+k = match with bit_length(len - MIN_MATCH + 1) = k+1)
+//!   dist_lens : RLE-coded lengths for the 15-symbol distance alphabet
+//!               (symbol d = bit_length(dist), extra bits follow)
+//!   tokens, terminated by EOB
+//! ```
+//!
+//! Match lengths and distances are coded as `(bucket symbol, extra bits)`
+//! where the bucket is the bit length of the value — a simple exponential
+//! bucketing that keeps the alphabets small for page-sized inputs.
+
+use xfm_types::{Error, Result};
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::codec::{Codec, CodecKind};
+use crate::huffman::{code_lengths, Decoder, Encoder, MAX_CODE_LEN};
+use crate::lz77::{MatchFinder, Token, MAX_MATCH, MIN_MATCH};
+
+/// Literal/length alphabet size: 256 literals + EOB + 8 length buckets.
+const LIT_SYMS: usize = 256 + 1 + 8;
+/// End-of-block symbol.
+const EOB: usize = 256;
+/// Distance alphabet size: bit_length(dist) for dist in 1..=32768
+/// (bit_length(32768) = 16, so symbols 1..=16 are valid).
+const DIST_SYMS: usize = 17;
+
+/// The xdeflate codec.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_compress::{Codec, XDeflate};
+///
+/// let codec = XDeflate::default();
+/// let page = vec![7u8; 4096];
+/// let mut out = Vec::new();
+/// codec.compress(&page, &mut out)?;
+/// assert!(out.len() < 64); // a constant page compresses drastically
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XDeflate {
+    finder: MatchFinder,
+}
+
+impl XDeflate {
+    /// Creates the codec with a specific match-finder profile.
+    #[must_use]
+    pub fn with_finder(finder: MatchFinder) -> Self {
+        Self { finder }
+    }
+
+    /// A fast profile (models the lzo speed class on the CPU path).
+    #[must_use]
+    pub fn fast() -> Self {
+        Self::with_finder(MatchFinder::fast())
+    }
+}
+
+fn length_bucket(len: u32) -> (usize, u32, u32) {
+    // Value coded: len - MIN_MATCH + 1, in 1..=255.
+    let v = len - MIN_MATCH as u32 + 1;
+    let bits = 32 - v.leading_zeros(); // bit_length >= 1
+    let extra_bits = bits - 1;
+    let extra_val = v - (1 << extra_bits);
+    (257 + (bits - 1) as usize, extra_val, extra_bits)
+}
+
+fn length_unbucket(symbol: usize, extra: u32) -> u32 {
+    let bits = (symbol - 257) as u32 + 1;
+    let v = (1 << (bits - 1)) + extra;
+    v + MIN_MATCH as u32 - 1
+}
+
+fn dist_bucket(dist: u32) -> (usize, u32, u32) {
+    let bits = 32 - dist.leading_zeros();
+    let extra_bits = bits - 1;
+    let extra_val = dist - (1 << extra_bits);
+    (bits as usize, extra_val, extra_bits)
+}
+
+fn dist_unbucket(symbol: usize, extra: u32) -> u32 {
+    let bits = symbol as u32;
+    (1 << (bits - 1)) + extra
+}
+
+/// RLE-encodes a code-length vector: `(value:4 bits, run:8 bits)*`,
+/// terminated implicitly by the known alphabet size.
+fn write_lengths(w: &mut BitWriter, lens: &[u32]) {
+    let mut i = 0;
+    while i < lens.len() {
+        let v = lens[i];
+        let mut run = 1usize;
+        while i + run < lens.len() && lens[i + run] == v && run < 255 {
+            run += 1;
+        }
+        w.write_bits(v, 4);
+        w.write_bits(run as u32, 8);
+        i += run;
+    }
+}
+
+fn read_lengths(r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
+    let mut lens = Vec::with_capacity(n);
+    while lens.len() < n {
+        let v = r.read_bits(4)?;
+        let run = r.read_bits(8)? as usize;
+        if run == 0 || lens.len() + run > n {
+            return Err(Error::Corrupt("bad code-length run".into()));
+        }
+        lens.extend(std::iter::repeat_n(v, run));
+    }
+    Ok(lens)
+}
+
+impl Codec for XDeflate {
+    fn name(&self) -> &'static str {
+        "xdeflate"
+    }
+
+    fn kind(&self) -> CodecKind {
+        CodecKind::XDeflate
+    }
+
+    fn compress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        let start = dst.len();
+        let tokens = self.finder.tokenize(src);
+
+        // Gather symbol statistics.
+        let mut lit_freq = [0u64; LIT_SYMS];
+        let mut dist_freq = [0u64; DIST_SYMS];
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_freq[b as usize] += 1,
+                Token::Match { len, dist } => {
+                    lit_freq[length_bucket(len).0] += 1;
+                    dist_freq[dist_bucket(dist).0] += 1;
+                }
+            }
+        }
+        lit_freq[EOB] += 1;
+
+        let lit_lens = code_lengths(&lit_freq, MAX_CODE_LEN)?;
+        let dist_lens = code_lengths(&dist_freq, MAX_CODE_LEN)?;
+        let lit_enc = Encoder::from_lengths(&lit_lens)?;
+        let dist_enc = Encoder::from_lengths(&dist_lens)?;
+
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1); // final
+        w.write_bits(1, 1); // compressed
+        write_lengths(&mut w, &lit_lens);
+        write_lengths(&mut w, &dist_lens);
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => lit_enc.encode(&mut w, b as usize),
+                Token::Match { len, dist } => {
+                    let (sym, extra, ebits) = length_bucket(len);
+                    lit_enc.encode(&mut w, sym);
+                    w.write_bits(extra, ebits);
+                    let (dsym, dextra, debits) = dist_bucket(dist);
+                    dist_enc.encode(&mut w, dsym);
+                    w.write_bits(dextra, debits);
+                }
+            }
+        }
+        lit_enc.encode(&mut w, EOB);
+        let compressed = w.finish();
+
+        // Fall back to stored blocks when entropy coding does not help
+        // (the SFM stores incompressible pages raw). Each stored block
+        // carries at most 64 KiB - 1; large inputs chain blocks.
+        if compressed.len() >= src.len() + 4 {
+            let mut w = BitWriter::new();
+            let mut chunks = src.chunks(0xffff).peekable();
+            if src.is_empty() {
+                w.write_bits(1, 1); // final
+                w.write_bits(0, 1); // stored
+                w.align_byte();
+                w.write_bits(0, 16);
+                w.align_byte();
+            }
+            while let Some(chunk) = chunks.next() {
+                let is_final = chunks.peek().is_none();
+                w.write_bits(u32::from(is_final), 1);
+                w.write_bits(0, 1); // stored
+                w.align_byte();
+                w.write_bits(chunk.len() as u32, 16);
+                w.align_byte();
+                w.write_bytes(chunk);
+            }
+            let stored = w.finish();
+            dst.extend_from_slice(&stored);
+            return Ok(dst.len() - start);
+        }
+        dst.extend_from_slice(&compressed);
+        Ok(dst.len() - start)
+    }
+
+    fn decompress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        let start = dst.len();
+        let mut r = BitReader::new(src);
+        loop {
+            let is_final = r.read_bit()? == 1;
+            let block_type = r.read_bit()?;
+            if block_type == 0 {
+                r.align_byte();
+                let len = r.read_bits(16)? as usize;
+                r.align_byte();
+                let raw = r.read_bytes(len)?;
+                dst.extend_from_slice(raw);
+            } else {
+                let lit_lens = read_lengths(&mut r, LIT_SYMS)?;
+                let dist_lens = read_lengths(&mut r, DIST_SYMS)?;
+                let lit_dec = Decoder::from_lengths(&lit_lens)?;
+                let dist_dec = Decoder::from_lengths(&dist_lens)?;
+                loop {
+                    let sym = lit_dec.decode(&mut r)? as usize;
+                    if sym < 256 {
+                        dst.push(sym as u8);
+                    } else if sym == EOB {
+                        break;
+                    } else {
+                        let ebits = (sym - 257) as u32;
+                        let extra = r.read_bits(ebits)?;
+                        let len = length_unbucket(sym, extra);
+                        if !(MIN_MATCH as u32..=MAX_MATCH as u32).contains(&len) {
+                            return Err(Error::Corrupt(format!("match length {len}")));
+                        }
+                        let dsym = dist_dec.decode(&mut r)? as usize;
+                        if dsym == 0 || dsym >= DIST_SYMS {
+                            return Err(Error::Corrupt("bad distance symbol".into()));
+                        }
+                        let dextra = r.read_bits((dsym - 1) as u32)?;
+                        let dist = dist_unbucket(dsym, dextra) as usize;
+                        let produced = dst.len() - start;
+                        if dist == 0 || dist > produced {
+                            return Err(Error::Corrupt(format!(
+                                "distance {dist} exceeds output {produced}"
+                            )));
+                        }
+                        let from = dst.len() - dist;
+                        for k in 0..len as usize {
+                            let b = dst[from + k];
+                            dst.push(b);
+                        }
+                    }
+                }
+            }
+            if is_final {
+                break;
+            }
+        }
+        Ok(dst.len() - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> usize {
+        let codec = XDeflate::default();
+        let mut compressed = Vec::new();
+        codec.compress(data, &mut compressed).unwrap();
+        let mut restored = Vec::new();
+        codec.decompress(&compressed, &mut restored).unwrap();
+        assert_eq!(restored, data);
+        compressed.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(round_trip(b"") > 0);
+    }
+
+    #[test]
+    fn single_byte() {
+        round_trip(b"x");
+    }
+
+    #[test]
+    fn text_round_trips_and_compresses() {
+        let data = b"software-defined far memory compresses cold pages \
+                     into a zpool; software-defined far memory promotes \
+                     pages out of the zpool when they become hot again. "
+            .repeat(8);
+        let c = round_trip(&data);
+        assert!(c < data.len() / 2, "compressed {c} of {}", data.len());
+    }
+
+    #[test]
+    fn constant_page_compresses_drastically() {
+        let page = vec![0u8; 4096];
+        let c = round_trip(&page);
+        assert!(c < 64, "zero page compressed to {c}");
+    }
+
+    #[test]
+    fn random_bytes_stored_raw() {
+        // Keyed LCG bytes are incompressible: stored block ≈ input + 4.
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        let c = round_trip(&data);
+        assert!(c <= data.len() + 8, "stored fallback too large: {c}");
+    }
+
+    #[test]
+    fn length_bucket_round_trips_all_lengths() {
+        for len in MIN_MATCH as u32..=MAX_MATCH as u32 {
+            let (sym, extra, ebits) = length_bucket(len);
+            assert!((257..LIT_SYMS).contains(&sym), "len {len} -> sym {sym}");
+            assert!(extra < (1 << ebits) || ebits == 0);
+            assert_eq!(length_unbucket(sym, extra), len);
+        }
+    }
+
+    #[test]
+    fn dist_bucket_round_trips_all_distances() {
+        for dist in 1u32..=32768 {
+            let (sym, extra, _) = dist_bucket(dist);
+            assert!((1..DIST_SYMS).contains(&sym), "dist {dist} -> sym {sym}");
+            assert_eq!(dist_unbucket(sym, extra), dist);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_corrupt_not_panic() {
+        let codec = XDeflate::default();
+        let data = b"hello hello hello hello hello hello".repeat(4);
+        let mut compressed = Vec::new();
+        codec.compress(&data, &mut compressed).unwrap();
+        for cut in [1, compressed.len() / 2, compressed.len() - 1] {
+            let mut out = Vec::new();
+            let r = codec.decompress(&compressed[..cut], &mut out);
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn garbage_input_is_corrupt_not_panic() {
+        let codec = XDeflate::default();
+        let garbage: Vec<u8> = (0..200).map(|i| (i * 37 % 256) as u8).collect();
+        let mut out = Vec::new();
+        // Either an error or garbage output is fine; a panic is not.
+        let _ = codec.decompress(&garbage, &mut out);
+    }
+
+    #[test]
+    fn fast_profile_round_trips() {
+        let codec = XDeflate::fast();
+        let data = b"fast path fast path fast path fast path".repeat(16);
+        let mut c = Vec::new();
+        codec.compress(&data, &mut c).unwrap();
+        let mut d = Vec::new();
+        codec.decompress(&c, &mut d).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn appends_to_existing_destination() {
+        let codec = XDeflate::default();
+        let mut dst = vec![9u8; 3];
+        let n = codec.compress(b"abcabcabcabc", &mut dst).unwrap();
+        assert_eq!(dst.len(), 3 + n);
+        assert_eq!(&dst[..3], &[9, 9, 9]);
+    }
+}

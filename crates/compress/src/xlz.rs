@@ -1,0 +1,268 @@
+//! `xlz`: a byte-oriented LZ4-style fast codec.
+//!
+//! Stands in for the lzo/zstd speed class that production SFM deployments
+//! run on the CPU (paper §2.1). The format is a sequence of packets:
+//!
+//! ```text
+//! packet  := token literals* [offset:u16le]
+//! token   := (lit_count:4 | match_len:4)
+//!            lit_count  15 => extended by 255-continuation bytes
+//!            match_len  15 => extended by 255-continuation bytes;
+//!                             actual length = match_len + MIN_MATCH
+//! ```
+//!
+//! The final packet has `match_len = 0` and no offset — it carries only
+//! the trailing literals (marked by offset 0 sentinel absence is resolved
+//! by the stream ending after its literals).
+
+use xfm_types::{Error, Result};
+
+use crate::codec::{Codec, CodecKind};
+use crate::lz77::{MatchFinder, Token};
+
+/// Minimum encodable match length.
+const MIN_MATCH: u32 = 4;
+
+/// The xlz codec.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_compress::{Codec, Xlz};
+///
+/// let codec = Xlz::default();
+/// let data = b"0123456789".repeat(100);
+/// let mut out = Vec::new();
+/// codec.compress(&data, &mut out)?;
+/// assert!(out.len() < data.len() / 4);
+/// let mut back = Vec::new();
+/// codec.decompress(&out, &mut back)?;
+/// assert_eq!(back, data);
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Xlz {
+    finder: MatchFinder,
+}
+
+impl Xlz {
+    /// Creates the codec with a custom match-finder profile.
+    #[must_use]
+    pub fn with_finder(finder: MatchFinder) -> Self {
+        Self { finder }
+    }
+}
+
+impl Default for Xlz {
+    /// Defaults to the fast match-finder profile (this is the fast codec).
+    fn default() -> Self {
+        Self::with_finder(MatchFinder::fast())
+    }
+}
+
+fn write_varcount(out: &mut Vec<u8>, mut extra: usize) {
+    while extra >= 255 {
+        out.push(255);
+        extra -= 255;
+    }
+    out.push(extra as u8);
+}
+
+fn read_varcount(src: &[u8], pos: &mut usize, base: usize) -> Result<usize> {
+    let mut count = base;
+    if base == 15 {
+        loop {
+            let b = *src
+                .get(*pos)
+                .ok_or_else(|| Error::Corrupt("xlz count truncated".into()))?;
+            *pos += 1;
+            count += b as usize;
+            if b != 255 {
+                break;
+            }
+        }
+    }
+    Ok(count)
+}
+
+impl Codec for Xlz {
+    fn name(&self) -> &'static str {
+        "xlz"
+    }
+
+    fn kind(&self) -> CodecKind {
+        CodecKind::Xlz
+    }
+
+    fn compress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        let start = dst.len();
+        let tokens = self.finder.tokenize(src);
+
+        // Group the token stream into (literal run, match) packets.
+        let mut literals: Vec<u8> = Vec::new();
+        let emit = |dst: &mut Vec<u8>, literals: &mut Vec<u8>, m: Option<(u32, u32)>| {
+            let lit_count = literals.len();
+            let match_field = match m {
+                Some((len, _)) => (len - MIN_MATCH + 1).min(15) as usize,
+                None => 0,
+            };
+            // For the token nibbles: literal nibble is min(count,15);
+            // match nibble holds min(len - MIN_MATCH + 1, 15), 0 = none.
+            let token = ((lit_count.min(15) as u8) << 4) | match_field as u8;
+            dst.push(token);
+            if lit_count >= 15 {
+                write_varcount(dst, lit_count - 15);
+            }
+            dst.extend_from_slice(literals);
+            literals.clear();
+            if let Some((len, dist)) = m {
+                let stored = len - MIN_MATCH + 1;
+                if stored >= 15 {
+                    write_varcount(dst, (stored - 15) as usize);
+                }
+                dst.extend_from_slice(&(dist as u16).to_le_bytes());
+            }
+        };
+
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => literals.push(b),
+                Token::Match { len, dist } => {
+                    debug_assert!(dist <= u32::from(u16::MAX));
+                    emit(dst, &mut literals, Some((len, dist)));
+                }
+            }
+        }
+        // Final literal-only packet (always emitted, possibly empty, so
+        // the decoder has an unambiguous terminator).
+        emit(dst, &mut literals, None);
+        Ok(dst.len() - start)
+    }
+
+    fn decompress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        let start = dst.len();
+        let mut pos = 0usize;
+        loop {
+            let token = *src
+                .get(pos)
+                .ok_or_else(|| Error::Corrupt("xlz token truncated".into()))?;
+            pos += 1;
+            let lit_count = read_varcount(src, &mut pos, (token >> 4) as usize)?;
+            if pos + lit_count > src.len() {
+                return Err(Error::Corrupt("xlz literals truncated".into()));
+            }
+            dst.extend_from_slice(&src[pos..pos + lit_count]);
+            pos += lit_count;
+
+            let match_field = (token & 0x0f) as usize;
+            if match_field == 0 {
+                // Terminator packet.
+                if pos != src.len() {
+                    return Err(Error::Corrupt("xlz trailing garbage".into()));
+                }
+                break;
+            }
+            let stored = read_varcount(src, &mut pos, match_field)?;
+            let len = stored as u32 + MIN_MATCH - 1;
+            if pos + 2 > src.len() {
+                return Err(Error::Corrupt("xlz offset truncated".into()));
+            }
+            let dist = u16::from_le_bytes([src[pos], src[pos + 1]]) as usize;
+            pos += 2;
+            let produced = dst.len() - start;
+            if dist == 0 || dist > produced {
+                return Err(Error::Corrupt(format!(
+                    "xlz distance {dist} exceeds output {produced}"
+                )));
+            }
+            let from = dst.len() - dist;
+            for k in 0..len as usize {
+                let b = dst[from + k];
+                dst.push(b);
+            }
+        }
+        Ok(dst.len() - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> usize {
+        let codec = Xlz::default();
+        let mut c = Vec::new();
+        codec.compress(data, &mut c).unwrap();
+        let mut d = Vec::new();
+        codec.decompress(&c, &mut d).unwrap();
+        assert_eq!(d, data);
+        c.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(round_trip(b""), 1); // single terminator token
+    }
+
+    #[test]
+    fn short_literals_only() {
+        round_trip(b"abc");
+        round_trip(b"q");
+    }
+
+    #[test]
+    fn long_literal_run_uses_extension_bytes() {
+        // 300 unique-ish bytes: one packet with extended literal count.
+        let data: Vec<u8> = (0..300u32)
+            .flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes())
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn repetitive_data_compresses_hard() {
+        // 4096 identical bytes: ~16 max-length match packets of 4 bytes.
+        let data = vec![b'z'; 4096];
+        let c = round_trip(&data);
+        assert!(c < 100, "RLE page took {c} bytes");
+    }
+
+    #[test]
+    fn long_match_uses_extension_bytes() {
+        let mut data = b"0123456789abcdef".to_vec();
+        data.extend(std::iter::repeat_n(b"0123456789abcdef", 40).flatten());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let codec = Xlz::default();
+        let data = b"hello world hello world hello world".repeat(4);
+        let mut c = Vec::new();
+        codec.compress(&data, &mut c).unwrap();
+        for cut in [0, 1, c.len() / 2, c.len() - 1] {
+            let mut out = Vec::new();
+            assert!(codec.decompress(&c[..cut], &mut out).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_distance_detected() {
+        // token: 0 literals, match_field 1 (len 4), offset 9999 > produced.
+        let stream = [0x01u8, 0x0f, 0x27];
+        let mut out = Vec::new();
+        assert!(Xlz::default().decompress(&stream, &mut out).is_err());
+    }
+
+    #[test]
+    fn page_of_structured_data() {
+        let mut page = Vec::with_capacity(4096);
+        for i in 0..256u32 {
+            page.extend_from_slice(&i.to_le_bytes());
+            page.extend_from_slice(b"record-name-");
+        }
+        page.truncate(4096);
+        let c = round_trip(&page);
+        assert!(c < page.len(), "structured page should compress");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the compression codecs.
+
+use proptest::prelude::*;
+use xfm_compress::lz77::{expand, MatchFinder};
+use xfm_compress::ratio::{gather_interleaved, split_interleaved};
+use xfm_compress::{Codec, XDeflate, Xlz};
+
+/// Byte-string strategies that mix compressible structure with noise.
+fn arb_data() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Raw random bytes.
+        prop::collection::vec(any::<u8>(), 0..6000),
+        // Repeated motif with noise in between.
+        (prop::collection::vec(any::<u8>(), 1..24), 1usize..200, any::<u8>()).prop_map(
+            |(motif, reps, sep)| {
+                let mut out = Vec::new();
+                for i in 0..reps {
+                    out.extend_from_slice(&motif);
+                    if i % 3 == 0 {
+                        out.push(sep);
+                    }
+                }
+                out
+            }
+        ),
+        // Low-entropy alphabet.
+        prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', 0u8]), 0..5000),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// xdeflate round-trips arbitrary inputs byte-exactly.
+    #[test]
+    fn xdeflate_round_trip(data in arb_data()) {
+        let codec = XDeflate::default();
+        let mut c = Vec::new();
+        codec.compress(&data, &mut c).unwrap();
+        let mut d = Vec::new();
+        codec.decompress(&c, &mut d).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    /// xlz round-trips arbitrary inputs byte-exactly.
+    #[test]
+    fn xlz_round_trip(data in arb_data()) {
+        let codec = Xlz::default();
+        let mut c = Vec::new();
+        codec.compress(&data, &mut c).unwrap();
+        let mut d = Vec::new();
+        codec.decompress(&c, &mut d).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    /// The LZ77 tokenizer is lossless for every finder profile.
+    #[test]
+    fn lz77_tokenize_expand_identity(data in arb_data()) {
+        for mf in [MatchFinder::fast(), MatchFinder::thorough()] {
+            prop_assert_eq!(expand(&mf.tokenize(&data)), data.clone());
+        }
+    }
+
+    /// Interleaved split/gather is the identity for any DIMM count.
+    #[test]
+    fn split_gather_identity(data in prop::collection::vec(any::<u8>(), 0..9000),
+                             n in 1usize..8) {
+        let shares = split_interleaved(&data, n);
+        prop_assert_eq!(gather_interleaved(&shares), data);
+    }
+
+    /// Decompressing corrupted xdeflate data never panics (errors or
+    /// produces different output, but must not crash).
+    #[test]
+    fn xdeflate_corruption_never_panics(data in arb_data(), flip in 0usize..64) {
+        let codec = XDeflate::default();
+        let mut c = Vec::new();
+        codec.compress(&data, &mut c).unwrap();
+        if !c.is_empty() {
+            let idx = flip % c.len();
+            c[idx] ^= 1 << (flip % 8);
+            let mut out = Vec::new();
+            let _ = codec.decompress(&c, &mut out);
+        }
+    }
+
+    /// Same for xlz.
+    #[test]
+    fn xlz_corruption_never_panics(data in arb_data(), flip in 0usize..64) {
+        let codec = Xlz::default();
+        let mut c = Vec::new();
+        codec.compress(&data, &mut c).unwrap();
+        if !c.is_empty() {
+            let idx = flip % c.len();
+            c[idx] ^= 1 << (flip % 8);
+            let mut out = Vec::new();
+            let _ = codec.decompress(&c, &mut out);
+        }
+    }
+}

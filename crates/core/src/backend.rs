@@ -1,0 +1,608 @@
+//! The `XFM_Backend`: an [`SfmBackend`] that offloads (de)compression to
+//! the near-memory accelerators, with `CPU_Fallback` (paper §6).
+//!
+//! Control flow mirrors the paper exactly:
+//!
+//! - `xfm_swap_out` (our [`SfmBackend::swap_out`]) checks SFM space plus
+//!   NMA resources *lazily* (through each [`XfmDriver`]'s inferred SPM
+//!   occupancy), falls back to the CPU when the device rejects the
+//!   offload, and otherwise pushes the page into the
+//!   `Compress_Request_Queue`;
+//! - `xfm_swap_in` (our [`SfmBackend::swap_in`]) looks the page up in
+//!   the entry table and calls `CPU_Fallback` **by default**, unless the
+//!   `do_offload` parameter is asserted (prefetch path), "as
+//!   applications may be sensitive to the decompression latencies
+//!   incurred by XFM's datapath";
+//! - multi-channel mode stripes the page across `n_dimms` accelerators
+//!   and stores the same-offset container (see [`crate::multichannel`]).
+//!
+//! Functionally, results are materialized synchronously with the same
+//! codec the engines run, so data integrity holds end to end; *timing*
+//! flows through the refresh-window scheduler and surfaces in
+//! [`XfmBackend::nma_stats`] (completions, conditional/random mix,
+//! structural-hazard fallbacks — the inputs to Fig. 12).
+
+use xfm_compress::{CodecKind, CostModel, XDeflate};
+use xfm_sfm::backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
+use xfm_sfm::table::{SfmEntry, SfmTable};
+use xfm_sfm::zpool::{CompactReport, Zpool, ZpoolStats};
+use xfm_types::{ByteSize, Cycles, Error, Nanos, PageNumber, Result, RowId, PAGE_SIZE};
+
+use crate::driver::XfmDriver;
+use crate::multichannel::{container_shares, pack_page, unpack_page};
+use crate::nma::{NearMemoryAccelerator, NmaConfig, NmaEvent, NmaStats};
+use crate::regs::OffloadKind;
+
+/// Configuration for the XFM backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XfmBackendConfig {
+    /// Shared SFM parameters (region capacity, reject threshold, clock).
+    pub sfm: SfmConfig,
+    /// Per-DIMM accelerator parameters.
+    pub nma: NmaConfig,
+    /// DIMMs the SFM region is striped over (1, 2, or 4).
+    pub n_dimms: usize,
+    /// Offload demotions to the NMA (true in any sane deployment; false
+    /// degenerates to the CPU baseline and exists for ablation).
+    pub offload_swap_out: bool,
+}
+
+impl Default for XfmBackendConfig {
+    fn default() -> Self {
+        Self {
+            sfm: SfmConfig::default(),
+            nma: NmaConfig::default(),
+            n_dimms: 1,
+            offload_swap_out: true,
+        }
+    }
+}
+
+/// The XFM backend.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_core::backend::{XfmBackend, XfmBackendConfig};
+/// use xfm_sfm::SfmBackend;
+/// use xfm_types::{Nanos, PageNumber};
+///
+/// let mut b = XfmBackend::new(XfmBackendConfig::default());
+/// b.advance_to(Nanos::from_ms(1));
+/// let page = b"compressible cold page data. ".repeat(142)[..4096].to_vec();
+/// let out = b.swap_out(PageNumber::new(1), &page)?;
+/// // The offload rode the refresh side channel: zero DDR traffic.
+/// assert_eq!(out.ddr_bytes.as_bytes(), 0);
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+pub struct XfmBackend {
+    config: XfmBackendConfig,
+    drivers: Vec<XfmDriver>,
+    codec: XDeflate,
+    cost: CostModel,
+    pool: Zpool,
+    table: SfmTable,
+    stats: BackendStats,
+    /// Offloads accepted but later spilled by the scheduler (the CPU had
+    /// to redo them).
+    late_fallbacks: u64,
+    now: Nanos,
+}
+
+impl std::fmt::Debug for XfmBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XfmBackend")
+            .field("n_dimms", &self.config.n_dimms)
+            .field("entries", &self.table.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl XfmBackend {
+    /// Creates a backend with `n_dimms` accelerators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_dimms` is not 1, 2, or 4 (the paper's configurations).
+    #[must_use]
+    pub fn new(config: XfmBackendConfig) -> Self {
+        assert!(
+            [1, 2, 4].contains(&config.n_dimms),
+            "multi-channel mode supports 1, 2, or 4 DIMMs"
+        );
+        let drivers = (0..config.n_dimms)
+            .map(|i| {
+                let mut d = XfmDriver::new(NearMemoryAccelerator::new(config.nma));
+                d.xfm_paramset(
+                    xfm_types::PhysAddr::new(i as u64 * config.sfm.region_capacity.as_bytes()),
+                    config.sfm.region_capacity / config.n_dimms as u64,
+                )
+                .expect("paramset on fresh device");
+                d
+            })
+            .collect();
+        Self {
+            drivers,
+            codec: XDeflate::default(),
+            cost: CostModel::paper_average(),
+            pool: Zpool::new(config.sfm.region_capacity),
+            table: SfmTable::new(),
+            stats: BackendStats::default(),
+            late_fallbacks: 0,
+            now: Nanos::ZERO,
+            config,
+        }
+    }
+
+    /// Advances simulated time: drains refresh windows on every DIMM and
+    /// resolves late (structural-hazard) fallbacks.
+    pub fn advance_to(&mut self, now: Nanos) {
+        self.now = self.now.max(now);
+        for d in &mut self.drivers {
+            for event in d.poll(now) {
+                if let NmaEvent::Fallback { kind, data, .. } = event {
+                    // The CPU redoes the spilled work.
+                    self.late_fallbacks += 1;
+                    let (cycles, ddr) = match kind {
+                        OffloadKind::Compress => (
+                            self.cost.compress_cycles(data.len() as u64),
+                            ByteSize::from_bytes(data.len() as u64 * 2),
+                        ),
+                        OffloadKind::Decompress => (
+                            self.cost.decompress_cycles(PAGE_SIZE as u64),
+                            ByteSize::from_bytes(data.len() as u64 + PAGE_SIZE as u64),
+                        ),
+                    };
+                    self.stats.cpu_cycles += cycles;
+                    self.stats.ddr_bytes += ddr;
+                }
+            }
+        }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &XfmBackendConfig {
+        &self.config
+    }
+
+    /// Offloads the scheduler spilled after acceptance.
+    #[must_use]
+    pub fn late_fallbacks(&self) -> u64 {
+        self.late_fallbacks
+    }
+
+    /// Aggregated accelerator statistics across DIMMs.
+    #[must_use]
+    pub fn nma_stats(&self) -> NmaStats {
+        let mut total = NmaStats::default();
+        for d in &self.drivers {
+            let s = d.stats();
+            total.submitted += s.submitted;
+            total.completed += s.completed;
+            total.fallbacks += s.fallbacks;
+            total.rejected += s.rejected;
+            total.total_latency += s.total_latency;
+            total.spm_high_water = total.spm_high_water.max(s.spm_high_water);
+            total.sched.conditional += s.sched.conditional;
+            total.sched.random += s.sched.random;
+            total.sched.spilled += s.sched.spilled;
+            total.sched.windows = total.sched.windows.max(s.sched.windows);
+            total.sched.side_channel_bytes += s.sched.side_channel_bytes;
+            total.sched.wait_windows += s.sched.wait_windows;
+            total.sched.subarray_conflicts += s.sched.subarray_conflicts;
+        }
+        total
+    }
+
+    /// Fraction of swap operations that had to run on the CPU, counting
+    /// both up-front rejections and late structural hazards — Fig. 12's
+    /// y-axis.
+    #[must_use]
+    pub fn cpu_fallback_fraction(&self) -> f64 {
+        let cpu_ops = self.stats.cpu_executions + self.late_fallbacks;
+        let total = self.stats.nma_executions + cpu_ops;
+        if total == 0 {
+            0.0
+        } else {
+            cpu_ops as f64 / total as f64
+        }
+    }
+
+    /// The entry table.
+    #[must_use]
+    pub fn table(&self) -> &SfmTable {
+        &self.table
+    }
+
+    fn row_of(&self, page: PageNumber) -> RowId {
+        RowId::new((page.index() % u64::from(self.config.nma.geometry.rows_per_bank)) as u32)
+    }
+
+    fn cpu_swap_out_outcome(&self, stored_len: usize) -> SwapOutcome {
+        SwapOutcome {
+            executed_on: ExecutedOn::Cpu,
+            compressed_len: stored_len as u32,
+            cpu_cycles: self.cost.compress_cycles(PAGE_SIZE as u64),
+            ddr_bytes: ByteSize::from_bytes(PAGE_SIZE as u64 + stored_len as u64),
+        }
+    }
+
+    fn store(&mut self, page: PageNumber, bytes: Vec<u8>, codec: CodecKind) -> Result<u32> {
+        let len = bytes.len() as u32;
+        let handle = match self.pool.alloc(&bytes) {
+            Ok(h) => h,
+            Err(Error::SfmRegionFull) => {
+                self.pool.compact();
+                self.pool.alloc(&bytes)?
+            }
+            Err(e) => return Err(e),
+        };
+        self.table.insert(
+            page,
+            SfmEntry {
+                handle,
+                compressed_len: len,
+                codec,
+            },
+        )?;
+        Ok(len)
+    }
+}
+
+impl SfmBackend for XfmBackend {
+    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+        if data.len() != PAGE_SIZE {
+            return Err(Error::InvalidConfig(format!(
+                "swap_out requires a 4 KiB page, got {} bytes",
+                data.len()
+            )));
+        }
+        if self.table.contains(page) {
+            return Err(Error::EntryExists { page: page.index() });
+        }
+        let now = self.now;
+        self.advance_to(now);
+
+        // zswap's same-filled check runs on the host before any offload:
+        // there is nothing for the NMA to do for a one-byte page.
+        if let Some(fill) = xfm_sfm::cpu_backend::same_filled(data) {
+            let stored_len = self.store(page, vec![fill], CodecKind::SameFilled)?;
+            let outcome = SwapOutcome {
+                executed_on: ExecutedOn::Cpu,
+                compressed_len: stored_len,
+                cpu_cycles: Cycles::new(PAGE_SIZE as u64),
+                ddr_bytes: ByteSize::from_bytes(PAGE_SIZE as u64 + 1),
+            };
+            self.stats.record(&outcome, true);
+            return Ok(outcome);
+        }
+
+        // Functional compression (identical to what the engines compute).
+        let packed = pack_page(&self.codec, data, self.config.n_dimms)?;
+        let (bytes, codec_kind) = if packed.bytes.len() > self.config.sfm.max_compressed_len() {
+            (data.to_vec(), CodecKind::Raw)
+        } else {
+            (packed.bytes.clone(), crate::multichannel::packed_codec_kind())
+        };
+
+        // Offload attempt: one share per DIMM, flexible (demotions are
+        // controller-scheduled and can wait for their refresh windows).
+        let mut offloaded = self.config.offload_swap_out && codec_kind != CodecKind::Raw;
+        if offloaded {
+            let shares = xfm_compress::ratio::split_interleaved(data, self.config.n_dimms);
+            let row = self.row_of(page);
+            for (d, share) in self.drivers.iter_mut().zip(shares) {
+                if d.xfm_compress(page, share, row, now, true).is_err() {
+                    offloaded = false;
+                    break;
+                }
+            }
+        }
+
+        let stored_len = self.store(page, bytes, codec_kind)?;
+        let outcome = if offloaded {
+            SwapOutcome {
+                executed_on: ExecutedOn::Nma,
+                compressed_len: stored_len,
+                cpu_cycles: Cycles::ZERO,
+                // The side channel carries all the traffic.
+                ddr_bytes: ByteSize::ZERO,
+            }
+        } else {
+            self.cpu_swap_out_outcome(stored_len as usize)
+        };
+        self.stats.record(&outcome, true);
+        if codec_kind == CodecKind::Raw {
+            self.stats.stored_raw += 1;
+        }
+        Ok(outcome)
+    }
+
+    fn swap_in(&mut self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
+        let now = self.now;
+        self.advance_to(now);
+        let entry = self.table.remove(page)?;
+        let stored = self.pool.get(entry.handle)?.to_vec();
+        self.pool.free(entry.handle)?;
+
+        if entry.codec == CodecKind::SameFilled {
+            let outcome = SwapOutcome {
+                executed_on: ExecutedOn::Cpu,
+                compressed_len: entry.compressed_len,
+                cpu_cycles: Cycles::new(PAGE_SIZE as u64),
+                ddr_bytes: ByteSize::from_bytes(1 + PAGE_SIZE as u64),
+            };
+            self.stats.record(&outcome, false);
+            return Ok((vec![stored[0]; PAGE_SIZE], outcome));
+        }
+        if entry.codec == CodecKind::Raw {
+            let outcome = SwapOutcome {
+                executed_on: ExecutedOn::Cpu,
+                compressed_len: entry.compressed_len,
+                cpu_cycles: Cycles::ZERO,
+                ddr_bytes: ByteSize::from_bytes(2 * PAGE_SIZE as u64),
+            };
+            self.stats.record(&outcome, false);
+            return Ok((stored, outcome));
+        }
+
+        // Offload only when the caller asserted do_offload (prefetch);
+        // demand faults default to CPU_Fallback (paper §6).
+        let mut offloaded = false;
+        if do_offload {
+            let shares = container_shares(&stored)?;
+            let row = self.row_of(page);
+            offloaded = true;
+            for (d, share) in self.drivers.iter_mut().zip(shares) {
+                if d.xfm_decompress(page, share, row, now, true).is_err() {
+                    offloaded = false;
+                    break;
+                }
+            }
+        }
+
+        let data = unpack_page(&self.codec, &stored)?;
+        if data.len() != PAGE_SIZE {
+            return Err(Error::Corrupt(format!(
+                "page {page} unpacked to {} bytes",
+                data.len()
+            )));
+        }
+        let outcome = if offloaded {
+            SwapOutcome {
+                executed_on: ExecutedOn::Nma,
+                compressed_len: entry.compressed_len,
+                cpu_cycles: Cycles::ZERO,
+                ddr_bytes: ByteSize::ZERO,
+            }
+        } else {
+            SwapOutcome {
+                executed_on: ExecutedOn::Cpu,
+                compressed_len: entry.compressed_len,
+                cpu_cycles: self.cost.decompress_cycles(PAGE_SIZE as u64),
+                ddr_bytes: ByteSize::from_bytes(
+                    u64::from(entry.compressed_len) + PAGE_SIZE as u64,
+                ),
+            }
+        };
+        self.stats.record(&outcome, false);
+        Ok((data, outcome))
+    }
+
+    fn contains(&self, page: PageNumber) -> bool {
+        self.table.contains(page)
+    }
+
+    fn compact(&mut self) -> CompactReport {
+        // The paper's xfm_compact(): shifts pages with memcpys. The DDR
+        // traffic is charged to the CPU path here (compaction runs on
+        // the host in the prototype).
+        let report = self.pool.compact();
+        self.stats.ddr_bytes += report.moved_bytes * 2;
+        report
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn pool_stats(&self) -> ZpoolStats {
+        self.pool.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfm_compress::Corpus;
+
+    fn backend(n_dimms: usize) -> XfmBackend {
+        XfmBackend::new(XfmBackendConfig {
+            sfm: SfmConfig {
+                region_capacity: ByteSize::from_mib(8),
+                ..SfmConfig::default()
+            },
+            n_dimms,
+            ..XfmBackendConfig::default()
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_data_across_dimm_counts() {
+        for n in [1usize, 2, 4] {
+            let mut b = backend(n);
+            b.advance_to(Nanos::from_ms(1));
+            for (i, corpus) in Corpus::all().iter().enumerate() {
+                let page = corpus.generate(i as u64, PAGE_SIZE);
+                let pn = PageNumber::new(i as u64);
+                b.swap_out(pn, &page).unwrap();
+                let (restored, _) = b.swap_in(pn, i % 2 == 0).unwrap();
+                assert_eq!(restored, page, "{} n={n}", corpus.name());
+            }
+        }
+    }
+
+    #[test]
+    fn offloaded_swap_out_produces_zero_ddr_traffic() {
+        let mut b = backend(1);
+        b.advance_to(Nanos::from_ms(1));
+        let page = Corpus::Json.generate(1, PAGE_SIZE);
+        let out = b.swap_out(PageNumber::new(1), &page).unwrap();
+        assert_eq!(out.executed_on, ExecutedOn::Nma);
+        assert_eq!(out.ddr_bytes, ByteSize::ZERO);
+        assert_eq!(out.cpu_cycles, Cycles::ZERO);
+    }
+
+    #[test]
+    fn demand_swap_in_defaults_to_cpu() {
+        let mut b = backend(1);
+        b.advance_to(Nanos::from_ms(1));
+        let page = Corpus::Html.generate(2, PAGE_SIZE);
+        b.swap_out(PageNumber::new(2), &page).unwrap();
+        let (_, outcome) = b.swap_in(PageNumber::new(2), false).unwrap();
+        assert_eq!(outcome.executed_on, ExecutedOn::Cpu);
+        assert!(outcome.ddr_bytes.as_bytes() > 0);
+    }
+
+    #[test]
+    fn prefetch_swap_in_offloads() {
+        let mut b = backend(2);
+        b.advance_to(Nanos::from_ms(1));
+        let page = Corpus::Csv.generate(3, PAGE_SIZE);
+        b.swap_out(PageNumber::new(3), &page).unwrap();
+        let (_, outcome) = b.swap_in(PageNumber::new(3), true).unwrap();
+        assert_eq!(outcome.executed_on, ExecutedOn::Nma);
+        assert_eq!(outcome.ddr_bytes, ByteSize::ZERO);
+    }
+
+    #[test]
+    fn same_filled_page_short_circuits_offload() {
+        let mut b = backend(2);
+        b.advance_to(Nanos::from_ms(1));
+        let page = vec![0u8; PAGE_SIZE];
+        let out = b.swap_out(PageNumber::new(5), &page).unwrap();
+        assert_eq!(out.compressed_len, 1);
+        assert_eq!(out.executed_on, ExecutedOn::Cpu);
+        assert_eq!(b.nma_stats().submitted, 0, "nothing to offload");
+        let (restored, _) = b.swap_in(PageNumber::new(5), true).unwrap();
+        assert_eq!(restored, page);
+    }
+
+    #[test]
+    fn incompressible_page_stored_raw_on_cpu_path() {
+        let mut b = backend(1);
+        b.advance_to(Nanos::from_ms(1));
+        let page = Corpus::RandomBytes.generate(4, PAGE_SIZE);
+        let out = b.swap_out(PageNumber::new(4), &page).unwrap();
+        assert_eq!(out.executed_on, ExecutedOn::Cpu);
+        assert_eq!(b.stats().stored_raw, 1);
+        let (restored, _) = b.swap_in(PageNumber::new(4), true).unwrap();
+        assert_eq!(restored, page);
+    }
+
+    #[test]
+    fn nma_resource_exhaustion_falls_back_to_cpu() {
+        let mut b = XfmBackend::new(XfmBackendConfig {
+            sfm: SfmConfig {
+                region_capacity: ByteSize::from_mib(32),
+                ..SfmConfig::default()
+            },
+            nma: NmaConfig {
+                spm_capacity: ByteSize::from_bytes(2 * 4160),
+                ..NmaConfig::default()
+            },
+            n_dimms: 1,
+            offload_swap_out: true,
+        });
+        b.advance_to(Nanos::from_ms(1));
+        let mut cpu = 0;
+        let mut nma = 0;
+        for i in 0..8u64 {
+            let page = Corpus::KeyValue.generate(i, PAGE_SIZE);
+            match b.swap_out(PageNumber::new(i), &page).unwrap().executed_on {
+                ExecutedOn::Cpu => cpu += 1,
+                ExecutedOn::Nma => nma += 1,
+            }
+        }
+        assert_eq!(nma, 2, "only two reservations fit the tiny SPM");
+        assert_eq!(cpu, 6);
+        assert!(b.cpu_fallback_fraction() > 0.5);
+    }
+
+    #[test]
+    fn time_advancement_drains_nma_and_restores_capacity() {
+        let mut b = XfmBackend::new(XfmBackendConfig {
+            sfm: SfmConfig {
+                region_capacity: ByteSize::from_mib(32),
+                ..SfmConfig::default()
+            },
+            nma: NmaConfig {
+                spm_capacity: ByteSize::from_bytes(2 * 4160),
+                ..NmaConfig::default()
+            },
+            n_dimms: 1,
+            offload_swap_out: true,
+        });
+        b.advance_to(Nanos::from_ms(1));
+        for i in 0..4u64 {
+            let page = Corpus::LogLines.generate(i, PAGE_SIZE);
+            b.swap_out(PageNumber::new(i), &page).unwrap();
+        }
+        // Drain two full retention intervals: all offloads complete.
+        b.advance_to(Nanos::from_ms(65));
+        let page = Corpus::LogLines.generate(9, PAGE_SIZE);
+        let out = b.swap_out(PageNumber::new(9), &page).unwrap();
+        assert_eq!(out.executed_on, ExecutedOn::Nma);
+        assert!(b.nma_stats().completed >= 2);
+    }
+
+    #[test]
+    fn double_swap_out_rejected() {
+        let mut b = backend(1);
+        let page = Corpus::Dna.generate(0, PAGE_SIZE);
+        b.swap_out(PageNumber::new(1), &page).unwrap();
+        assert!(matches!(
+            b.swap_out(PageNumber::new(1), &page),
+            Err(Error::EntryExists { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_page_swap_in_rejected() {
+        let mut b = backend(1);
+        assert!(matches!(
+            b.swap_in(PageNumber::new(77), false),
+            Err(Error::EntryNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn compact_charges_memcpy_traffic() {
+        let mut b = backend(1);
+        b.advance_to(Nanos::from_ms(1));
+        for i in 0..64u64 {
+            let page = Corpus::TimeSeries.generate(i, PAGE_SIZE);
+            b.swap_out(PageNumber::new(i), &page).unwrap();
+        }
+        // Free every other page to fragment the pool.
+        for i in (0..64u64).step_by(2) {
+            b.swap_in(PageNumber::new(i), false).unwrap();
+        }
+        let ddr_before = b.stats().ddr_bytes;
+        let report = b.compact();
+        if report.moved_bytes.as_bytes() > 0 {
+            assert_eq!(
+                b.stats().ddr_bytes - ddr_before,
+                report.moved_bytes * 2
+            );
+        }
+    }
+}

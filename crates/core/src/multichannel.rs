@@ -1,0 +1,296 @@
+//! Multi-channel mode: page striping and the same-offset compressed
+//! container (paper §6 "Multi-Channel Mode", Fig. 9).
+//!
+//! A 4 KiB page on a channel-interleaved system is physically spread
+//! across DIMMs at 256 B granularity; each DIMM's NMA compresses only
+//! its own interleaved share. XFM places the per-DIMM compressed shares
+//! at the *same offset* within every DIMM's SFM region, trading internal
+//! fragmentation (each slot is sized by the largest share) for a design
+//! where the host can address all shares with a single offset.
+//!
+//! This module provides the container codec for that layout: shares are
+//! packed with a small header and padded to the slot size, and the
+//! gather-on-decompress path reconstructs the page without extra copies
+//! (the specialized `CPU_Fallback` of Fig. 9b).
+
+use serde::{Deserialize, Serialize};
+use xfm_compress::ratio::{gather_interleaved, split_interleaved};
+use xfm_compress::{Codec, CodecKind};
+use xfm_types::{Error, Result, PAGE_SIZE};
+
+/// Per-share metadata in a packed container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShareInfo {
+    /// Compressed length of the share.
+    pub len: u32,
+    /// Whether the share is stored raw (did not compress).
+    pub raw: bool,
+}
+
+/// A packed multi-DIMM compressed page: per-share streams aligned to a
+/// common slot size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedPage {
+    /// Number of DIMMs the page was striped over.
+    pub n_dimms: usize,
+    /// The serialized container (what the zpool stores).
+    pub bytes: Vec<u8>,
+    /// Per-share metadata.
+    pub shares: Vec<ShareInfo>,
+}
+
+impl PackedPage {
+    /// Slot size each DIMM reserved (the max share, causing the
+    /// fragmentation the paper measures in Fig. 8).
+    #[must_use]
+    pub fn slot_size(&self) -> usize {
+        self.shares.iter().map(|s| s.len as usize).max().unwrap_or(0)
+    }
+
+    /// Sum of actual compressed share bytes (no alignment padding).
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        self.shares.iter().map(|s| s.len as usize).sum()
+    }
+
+    /// Bytes lost to same-offset alignment.
+    #[must_use]
+    pub fn fragmentation_bytes(&self) -> usize {
+        self.slot_size() * self.n_dimms - self.payload_bytes()
+    }
+}
+
+/// Compresses `page` in `n_dimms`-way interleaved mode, producing the
+/// same-offset container.
+///
+/// Each share is compressed independently (as each DIMM's NMA would);
+/// shares that do not shrink are stored raw. The container layout is:
+///
+/// ```text
+/// u8  n_dimms
+/// per share: u8 flags (bit 0 = raw), u16le len
+/// per share: `slot` bytes (share data padded to the max share length)
+/// ```
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] for an empty page, a page larger
+/// than 4 KiB, or an unsupported DIMM count (must be 1, 2, or 4), and
+/// propagates codec failures.
+pub fn pack_page(codec: &dyn Codec, page: &[u8], n_dimms: usize) -> Result<PackedPage> {
+    if page.is_empty() || page.len() > PAGE_SIZE {
+        return Err(Error::InvalidConfig(format!(
+            "page must be 1..=4096 bytes, got {}",
+            page.len()
+        )));
+    }
+    if ![1, 2, 4].contains(&n_dimms) {
+        return Err(Error::InvalidConfig(format!(
+            "multi-channel mode supports 1, 2, or 4 DIMMs, got {n_dimms}"
+        )));
+    }
+    let raw_shares = split_interleaved(page, n_dimms);
+    let mut compressed: Vec<(Vec<u8>, bool)> = Vec::with_capacity(n_dimms);
+    for share in &raw_shares {
+        let mut out = Vec::with_capacity(share.len());
+        codec.compress(share, &mut out)?;
+        if out.len() >= share.len() {
+            compressed.push((share.clone(), true));
+        } else {
+            compressed.push((out, false));
+        }
+    }
+    let slot = compressed.iter().map(|(c, _)| c.len()).max().unwrap_or(0);
+    let mut bytes = Vec::with_capacity(1 + 3 * n_dimms + slot * n_dimms);
+    bytes.push(n_dimms as u8);
+    let mut shares = Vec::with_capacity(n_dimms);
+    for (c, raw) in &compressed {
+        bytes.push(u8::from(*raw));
+        bytes.extend_from_slice(&(c.len() as u16).to_le_bytes());
+        shares.push(ShareInfo {
+            len: c.len() as u32,
+            raw: *raw,
+        });
+    }
+    for (c, _) in &compressed {
+        bytes.extend_from_slice(c);
+        bytes.extend(std::iter::repeat_n(0u8, slot - c.len()));
+    }
+    Ok(PackedPage {
+        n_dimms,
+        bytes,
+        shares,
+    })
+}
+
+/// Decompresses and gathers a container produced by [`pack_page`] —
+/// the specialized fallback path that "handles both decompression and
+/// gathering operations without additional memory copies".
+///
+/// # Errors
+///
+/// Returns [`Error::Corrupt`] for malformed containers or share streams.
+pub fn unpack_page(codec: &dyn Codec, container: &[u8]) -> Result<Vec<u8>> {
+    let &n = container
+        .first()
+        .ok_or_else(|| Error::Corrupt("empty container".into()))?;
+    let n = n as usize;
+    if ![1, 2, 4].contains(&n) {
+        return Err(Error::Corrupt(format!("bad DIMM count {n}")));
+    }
+    let header = 1 + 3 * n;
+    if container.len() < header {
+        return Err(Error::Corrupt("container header truncated".into()));
+    }
+    let mut infos = Vec::with_capacity(n);
+    for i in 0..n {
+        let off = 1 + 3 * i;
+        let raw = container[off] != 0;
+        let len = u16::from_le_bytes([container[off + 1], container[off + 2]]) as usize;
+        infos.push((raw, len));
+    }
+    let slot = infos.iter().map(|&(_, len)| len).max().unwrap_or(0);
+    if container.len() < header + slot * n {
+        return Err(Error::Corrupt("container payload truncated".into()));
+    }
+    let mut shares = Vec::with_capacity(n);
+    for (i, &(raw, len)) in infos.iter().enumerate() {
+        let start = header + i * slot;
+        let data = &container[start..start + len];
+        if raw {
+            shares.push(data.to_vec());
+        } else {
+            let mut out = Vec::new();
+            codec.decompress(data, &mut out)?;
+            shares.push(out);
+        }
+    }
+    Ok(gather_interleaved(&shares))
+}
+
+/// The codec tag stored in SFM entries for packed pages.
+#[must_use]
+pub fn packed_codec_kind() -> CodecKind {
+    CodecKind::XDeflate
+}
+
+/// Extracts the per-DIMM compressed share streams from a container
+/// (without decompressing) — used to route decompression offloads to
+/// each DIMM's NMA.
+///
+/// # Errors
+///
+/// Returns [`Error::Corrupt`] for malformed containers.
+pub fn container_shares(container: &[u8]) -> Result<Vec<Vec<u8>>> {
+    let &n = container
+        .first()
+        .ok_or_else(|| Error::Corrupt("empty container".into()))?;
+    let n = n as usize;
+    if ![1, 2, 4].contains(&n) {
+        return Err(Error::Corrupt(format!("bad DIMM count {n}")));
+    }
+    let header = 1 + 3 * n;
+    if container.len() < header {
+        return Err(Error::Corrupt("container header truncated".into()));
+    }
+    let mut lens = Vec::with_capacity(n);
+    for i in 0..n {
+        let off = 1 + 3 * i;
+        lens.push(u16::from_le_bytes([container[off + 1], container[off + 2]]) as usize);
+    }
+    let slot = lens.iter().copied().max().unwrap_or(0);
+    if container.len() < header + slot * n {
+        return Err(Error::Corrupt("container payload truncated".into()));
+    }
+    Ok(lens
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| container[header + i * slot..header + i * slot + len].to_vec())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfm_compress::{Corpus, XDeflate};
+
+    fn codec() -> XDeflate {
+        XDeflate::default()
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_all_dimm_counts() {
+        let c = codec();
+        for corpus in Corpus::all() {
+            let page = corpus.generate(9, PAGE_SIZE);
+            for n in [1usize, 2, 4] {
+                let packed = pack_page(&c, &page, n).unwrap();
+                let restored = unpack_page(&c, &packed.bytes).unwrap();
+                assert_eq!(restored, page, "{} n={n}", corpus.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fragmentation_grows_with_dimm_count() {
+        let c = codec();
+        let page = Corpus::EnglishText.generate(4, PAGE_SIZE);
+        let p1 = pack_page(&c, &page, 1).unwrap();
+        let p4 = pack_page(&c, &page, 4).unwrap();
+        assert_eq!(p1.fragmentation_bytes(), 0);
+        assert!(p4.fragmentation_bytes() > 0 || p4.payload_bytes() == 0);
+        // The container still beats storing the page raw for text.
+        assert!(p4.bytes.len() < PAGE_SIZE);
+    }
+
+    #[test]
+    fn incompressible_shares_stored_raw() {
+        let c = codec();
+        let page = Corpus::RandomBytes.generate(5, PAGE_SIZE);
+        let packed = pack_page(&c, &page, 2).unwrap();
+        assert!(packed.shares.iter().all(|s| s.raw));
+        assert_eq!(unpack_page(&c, &packed.bytes).unwrap(), page);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let c = codec();
+        assert!(pack_page(&c, &[], 2).is_err());
+        assert!(pack_page(&c, &[0u8; 5000], 2).is_err());
+        assert!(pack_page(&c, &[0u8; 4096], 3).is_err());
+    }
+
+    #[test]
+    fn corrupt_containers_detected() {
+        let c = codec();
+        assert!(unpack_page(&c, &[]).is_err());
+        assert!(unpack_page(&c, &[7]).is_err());
+        let page = Corpus::Json.generate(1, PAGE_SIZE);
+        let packed = pack_page(&c, &page, 4).unwrap();
+        let truncated = &packed.bytes[..packed.bytes.len() / 2];
+        assert!(unpack_page(&c, truncated).is_err());
+    }
+
+    #[test]
+    fn sub_page_inputs_supported() {
+        // Compaction-era partial objects still pack correctly.
+        let c = codec();
+        let data = Corpus::Csv.generate(2, 1000);
+        let packed = pack_page(&c, &data, 2).unwrap();
+        assert_eq!(unpack_page(&c, &packed.bytes).unwrap(), data);
+    }
+
+    #[test]
+    fn slot_size_is_max_share() {
+        let c = codec();
+        let page = Corpus::LogLines.generate(3, PAGE_SIZE);
+        let packed = pack_page(&c, &page, 4).unwrap();
+        let max = packed.shares.iter().map(|s| s.len).max().unwrap();
+        assert_eq!(packed.slot_size(), max as usize);
+        // Container = header + 4 aligned slots.
+        assert_eq!(
+            packed.bytes.len(),
+            1 + 3 * 4 + packed.slot_size() * 4
+        );
+    }
+}

@@ -1,0 +1,707 @@
+//! The per-DIMM near-memory accelerator.
+//!
+//! Composes the request queue, the SPM, the (de)compression engine and
+//! the refresh-window scheduler into the device of the paper's Fig. 4.
+//! An offload flows through two scheduled DRAM accesses (Fig. 10):
+//!
+//! 1. **Read** — the page (or compressed blob) is read out of DRAM
+//!    during a refresh window into the engine, whose output lands in the
+//!    SPM tagged *PENDING* → *COMPLETED*;
+//! 2. **Write-back** — a later refresh window writes the COMPLETED data
+//!    back to DRAM, releasing the SPM slot.
+//!
+//! The minimum offload latency is therefore two refresh intervals
+//! (`2 × tREFI`). SPM reservations are made conservatively at submit
+//! time (one page), which is exactly the upper bound the XFM backend's
+//! lazy occupancy inference tracks on the host side (§6).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use xfm_dram::geometry::DeviceGeometry;
+use xfm_dram::timing::DramTimings;
+use xfm_types::{ByteSize, Error, Nanos, PageNumber, Result, RowId, PAGE_SIZE};
+
+use crate::engine::EngineModel;
+use crate::regs::{OffloadKind, OffloadRequest, RegisterFile, RequestQueue};
+use crate::sched::{AccessOp, SchedConfig, SchedEvent, SchedStats, WindowScheduler};
+use crate::spm::{SlotId, Spm};
+
+/// NMA configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NmaConfig {
+    /// ScratchPad Memory size (FPGA prototype: 2 MiB; Fig. 12 sweeps it).
+    pub spm_capacity: ByteSize,
+    /// Request-queue depth.
+    pub queue_capacity: usize,
+    /// Window-scheduler parameters.
+    pub sched: SchedConfig,
+    /// DRAM timings (refresh calendar).
+    pub timings: DramTimings,
+    /// DRAM device geometry (refresh row sets, subarrays).
+    pub geometry: DeviceGeometry,
+}
+
+impl Default for NmaConfig {
+    /// The paper's prototype: 2 MiB SPM, 256-deep queue, default
+    /// scheduler, DDR4 emulator timings.
+    fn default() -> Self {
+        Self {
+            spm_capacity: ByteSize::from_mib(2),
+            queue_capacity: 256,
+            sched: SchedConfig::default(),
+            timings: DramTimings::paper_emulator(),
+            geometry: DeviceGeometry::ddr4_8gb(),
+        }
+    }
+}
+
+/// One finished (or failed-over) offload delivered by
+/// [`NearMemoryAccelerator::advance_to`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NmaEvent {
+    /// The offload completed on the NMA.
+    Completed {
+        /// Page involved.
+        page: PageNumber,
+        /// Operation direction.
+        kind: OffloadKind,
+        /// Engine output: compressed bytes (compress) or the restored
+        /// page (decompress).
+        data: Vec<u8>,
+        /// Submission time.
+        submitted_at: Nanos,
+        /// Write-back completion time.
+        completed_at: Nanos,
+    },
+    /// Structural hazard: the scheduler spilled the op; the host must
+    /// redo it with `CPU_Fallback`. The untouched input is returned.
+    Fallback {
+        /// Page involved.
+        page: PageNumber,
+        /// Operation direction.
+        kind: OffloadKind,
+        /// The original input (page data or compressed blob).
+        data: Vec<u8>,
+        /// Spill time.
+        at: Nanos,
+    },
+}
+
+/// Aggregate NMA statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NmaStats {
+    /// Offloads accepted into the queue.
+    pub submitted: u64,
+    /// Offloads completed on the accelerator.
+    pub completed: u64,
+    /// Offloads spilled back to the CPU mid-flight.
+    pub fallbacks: u64,
+    /// Submissions rejected up front (queue or SPM full).
+    pub rejected: u64,
+    /// Scheduler counters.
+    pub sched: SchedStats,
+    /// Peak SPM occupancy.
+    pub spm_high_water: ByteSize,
+    /// Sum of completed offload latencies.
+    pub total_latency: Nanos,
+    /// Side-band ECC parity bytes the NMA regenerated on write-backs
+    /// (paper §4.1: the NMA must keep the host controller's SECDED
+    /// checks valid).
+    pub ecc_parity_bytes: u64,
+    /// ECC words encoded.
+    pub ecc_words: u64,
+}
+
+impl NmaStats {
+    /// Mean completed-offload latency (zero when none completed).
+    #[must_use]
+    pub fn mean_latency(&self) -> Nanos {
+        if self.completed == 0 {
+            Nanos::ZERO
+        } else {
+            self.total_latency / self.completed
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Read,
+    WriteBack,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    request: OffloadRequest,
+    phase: Phase,
+    slot: SlotId,
+    /// Input bytes, consumed when the read completes.
+    input: Option<Vec<u8>>,
+    /// Candidate rows for the write-back placement.
+    writeback_rows: Vec<RowId>,
+}
+
+/// The accelerator device for one DIMM.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_core::nma::{NearMemoryAccelerator, NmaConfig, NmaEvent};
+/// use xfm_types::{Nanos, PageNumber, RowId};
+///
+/// let mut nma = NearMemoryAccelerator::new(NmaConfig::default());
+/// let page = vec![7u8; 4096];
+/// nma.submit_compress(PageNumber::new(1), page, RowId::new(42), Nanos::ZERO, true)?;
+/// // Two refresh windows later the compressed page emerges.
+/// let events = nma.advance_to(Nanos::from_ms(32) * 2);
+/// assert!(matches!(events[0], NmaEvent::Completed { .. }));
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct NearMemoryAccelerator {
+    config: NmaConfig,
+    regs: RegisterFile,
+    queue: RequestQueue,
+    spm: Spm,
+    engine: EngineModel,
+    sched: WindowScheduler,
+    ops: BTreeMap<u64, InFlight>,
+    next_op: u64,
+    stats: NmaStats,
+}
+
+impl NearMemoryAccelerator {
+    /// Creates an accelerator with the FPGA-prototype engine.
+    #[must_use]
+    pub fn new(config: NmaConfig) -> Self {
+        Self::with_engine(config, EngineModel::fpga_prototype())
+    }
+
+    /// Creates an accelerator with an explicit engine model.
+    #[must_use]
+    pub fn with_engine(config: NmaConfig, engine: EngineModel) -> Self {
+        Self {
+            regs: RegisterFile::new(),
+            queue: RequestQueue::new(config.queue_capacity),
+            spm: Spm::new(config.spm_capacity),
+            engine,
+            sched: WindowScheduler::new(config.sched, config.timings, config.geometry),
+            ops: BTreeMap::new(),
+            next_op: 0,
+            stats: NmaStats::default(),
+            config,
+        }
+    }
+
+    /// The MMIO register file (what the driver touches).
+    pub fn regs_mut(&mut self) -> &mut RegisterFile {
+        self.regs.set_sp_capacity(self.spm.free().as_bytes());
+        self.regs
+            .set_status(!self.queue.is_empty(), self.spm.free().is_zero());
+        &mut self.regs
+    }
+
+    /// Current free SPM bytes (ground truth; the register mirrors it).
+    #[must_use]
+    pub fn spm_free(&self) -> ByteSize {
+        self.spm.free()
+    }
+
+    /// Free request-queue slots.
+    #[must_use]
+    pub fn queue_free(&self) -> usize {
+        self.queue.free_slots()
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &NmaConfig {
+        &self.config
+    }
+
+    /// Statistics so far (scheduler stats folded in).
+    #[must_use]
+    pub fn stats(&self) -> NmaStats {
+        NmaStats {
+            sched: self.sched.stats(),
+            spm_high_water: self.spm.high_water(),
+            ..self.stats
+        }
+    }
+
+    /// Worst-case SPM bytes for an offload: compression of
+    /// incompressible data falls back to a stored container with a few
+    /// bytes of framing; decompression can expand to a full page.
+    #[must_use]
+    pub fn reservation_for(kind: OffloadKind, input_len: usize) -> usize {
+        match kind {
+            OffloadKind::Compress => input_len + 64,
+            OffloadKind::Decompress => PAGE_SIZE,
+        }
+    }
+
+    fn admit(&mut self, request: OffloadRequest, input: Vec<u8>, read_row: RowId) -> Result<()> {
+        // Conservative SPM reservation: the input size plus a stored-raw
+        // margin — an upper bound on the engine's output, and exactly the
+        // bound the host-side lazy occupancy inference tracks.
+        let slot = match self.spm.reserve(Self::reservation_for(request.kind, input.len())) {
+            Ok(s) => s,
+            Err(e) => {
+                self.stats.rejected += 1;
+                return Err(e);
+            }
+        };
+        // The ring models the in-flight limit: entries are released when
+        // the offload completes or spills (see `advance_to`).
+        if let Err(e) = self.queue.push(request.clone()) {
+            self.spm.cancel(slot).expect("fresh slot");
+            self.stats.rejected += 1;
+            return Err(e);
+        }
+        let id = self.next_op;
+        self.next_op += 1;
+        let access = AccessOp {
+            id,
+            row: read_row,
+            is_write: false,
+            bytes: input.len() as u32,
+            enqueued_window: self.sched.window_index_at(request.at),
+        };
+        if request.flexible {
+            self.sched.enqueue_flexible(access);
+        } else {
+            self.sched.enqueue_urgent(access);
+        }
+        // Write-back candidates: a spread of rows derived from the page
+        // (models the zpool's/OS's freedom to choose destination slots).
+        let rows = self.config.geometry.rows_per_bank;
+        let base = (request.page.index() as u32).wrapping_mul(2654435761) % rows;
+        let writeback_rows = (0..8u32)
+            .map(|k| RowId::new((base.wrapping_add(k * 1021)) % rows))
+            .collect();
+        self.ops.insert(
+            id,
+            InFlight {
+                request,
+                phase: Phase::Read,
+                slot,
+                input: Some(input),
+                writeback_rows,
+            },
+        );
+        self.stats.submitted += 1;
+        Ok(())
+    }
+
+    /// Submits a page compression (the `xfm_compress()` doorbell path).
+    ///
+    /// `row` is the DIMM-local row holding the cold page; `flexible`
+    /// distinguishes controller-scheduled demotions (true) from urgent
+    /// ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] or [`Error::SpmFull`] when the device
+    /// cannot accept the offload — the caller must `CPU_Fallback`.
+    pub fn submit_compress(
+        &mut self,
+        page: PageNumber,
+        data: Vec<u8>,
+        row: RowId,
+        now: Nanos,
+        flexible: bool,
+    ) -> Result<()> {
+        if data.is_empty() || data.len() > PAGE_SIZE {
+            return Err(Error::InvalidConfig(format!(
+                "compress offload requires 1..=4096 bytes, got {}",
+                data.len()
+            )));
+        }
+        self.admit(
+            OffloadRequest {
+                kind: OffloadKind::Compress,
+                page,
+                at: now,
+                flexible,
+            },
+            data,
+            row,
+        )
+    }
+
+    /// Submits a page decompression (the `xfm_decompress()` path, used
+    /// when `do_offload` is asserted, i.e. prefetches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] or [`Error::SpmFull`] when the device
+    /// cannot accept the offload.
+    pub fn submit_decompress(
+        &mut self,
+        page: PageNumber,
+        compressed: Vec<u8>,
+        row: RowId,
+        now: Nanos,
+        flexible: bool,
+    ) -> Result<()> {
+        self.admit(
+            OffloadRequest {
+                kind: OffloadKind::Decompress,
+                page,
+                at: now,
+                flexible,
+            },
+            compressed,
+            row,
+        )
+    }
+
+    /// Advances the device through every refresh window ending at or
+    /// before `now`, returning completions and fallbacks in time order.
+    ///
+    /// Windows are stepped one at a time so a read completing in window
+    /// `k` can have its write-back scheduled into window `k+1` within the
+    /// same call (the Fig. 10 pipeline).
+    pub fn advance_to(&mut self, now: Nanos) -> Vec<NmaEvent> {
+        let mut out = Vec::new();
+        while self.sched.next_window_end() <= now {
+            let (_, events) = self.sched.advance_window();
+            self.handle_events(events, &mut out);
+        }
+        out
+    }
+
+    fn handle_events(&mut self, events: Vec<SchedEvent>, out: &mut Vec<NmaEvent>) {
+        for event in events {
+            match event {
+                SchedEvent::Served { id, at, .. } => {
+                    let Some(mut op) = self.ops.remove(&id) else {
+                        continue;
+                    };
+                    match op.phase {
+                        Phase::Read => {
+                            let input = op.input.take().expect("read phase has input");
+                            let result = match op.request.kind {
+                                OffloadKind::Compress => self.engine.compress(&input),
+                                OffloadKind::Decompress => self.engine.decompress(&input),
+                            };
+                            let output = match result {
+                                Ok((bytes, _engine_time)) => bytes,
+                                Err(_) => {
+                                    // Corrupt input: surface as fallback so
+                                    // the host handles it.
+                                    self.spm.cancel(op.slot).expect("slot live");
+                                    self.queue.pop();
+                                    self.stats.fallbacks += 1;
+                                    out.push(NmaEvent::Fallback {
+                                        page: op.request.page,
+                                        kind: op.request.kind,
+                                        data: input,
+                                        at,
+                                    });
+                                    continue;
+                                }
+                            };
+                            self.spm
+                                .complete(op.slot, output)
+                                .expect("reservation covers output");
+                            // Schedule the write-back as a flexible access
+                            // placed on a lightly-booked upcoming slot.
+                            let wb_row = self.sched.place_flexible_write(&op.writeback_rows);
+                            let wb = AccessOp {
+                                id,
+                                row: wb_row,
+                                is_write: true,
+                                bytes: PAGE_SIZE as u32,
+                                enqueued_window: self.sched.window_index_at(at),
+                            };
+                            if op.request.flexible {
+                                self.sched.enqueue_flexible(wb);
+                            } else {
+                                self.sched.enqueue_urgent(wb);
+                            }
+                            op.phase = Phase::WriteBack;
+                            self.ops.insert(id, op);
+                        }
+                        Phase::WriteBack => {
+                            let data = self.spm.release(op.slot).expect("completed slot");
+                            // Writing back to DRAM chips requires fresh
+                            // side-band parity for the ECC chips
+                            // (paper §4.1); the NMA computes it here.
+                            let parity = xfm_dram::ecc::encode_page(&data);
+                            self.stats.ecc_parity_bytes += parity.len() as u64;
+                            self.stats.ecc_words += parity.len() as u64;
+                            self.queue.pop();
+                            self.stats.completed += 1;
+                            self.stats.total_latency += at.saturating_sub(op.request.at);
+                            out.push(NmaEvent::Completed {
+                                page: op.request.page,
+                                kind: op.request.kind,
+                                data,
+                                submitted_at: op.request.at,
+                                completed_at: at,
+                            });
+                        }
+                    }
+                }
+                SchedEvent::Spilled { id, at } => {
+                    let Some(mut op) = self.ops.remove(&id) else {
+                        continue;
+                    };
+                    let data = match op.phase {
+                        Phase::Read => {
+                            self.spm.cancel(op.slot).expect("slot live");
+                            op.input.take().expect("read phase has input")
+                        }
+                        Phase::WriteBack => {
+                            // Output computed but write-back spilled: the
+                            // host takes the completed data and stores it
+                            // itself (still counts as a fallback).
+                            self.spm.release(op.slot).expect("completed slot")
+                        }
+                    };
+                    self.queue.pop();
+                    self.stats.fallbacks += 1;
+                    out.push(NmaEvent::Fallback {
+                        page: op.request.page,
+                        kind: op.request.kind,
+                        data,
+                        at,
+                    });
+                }
+            }
+        }
+    }
+
+    /// In-flight offloads (either phase).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nma() -> NearMemoryAccelerator {
+        NearMemoryAccelerator::new(NmaConfig::default())
+    }
+
+    #[test]
+    fn compress_offload_round_trips_through_windows() {
+        let mut n = nma();
+        let page = b"cold far-memory page data. ".repeat(152)[..4096].to_vec();
+        n.submit_compress(PageNumber::new(3), page.clone(), RowId::new(10), Nanos::ZERO, true)
+            .unwrap();
+        assert_eq!(n.in_flight(), 1);
+        let events = n.advance_to(Nanos::from_ms(64));
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            NmaEvent::Completed { page: p, kind, data, .. } => {
+                assert_eq!(*p, PageNumber::new(3));
+                assert_eq!(*kind, OffloadKind::Compress);
+                assert!(data.len() < 4096);
+                // Round-trip through the decompress path.
+                let mut m = nma();
+                m.submit_decompress(
+                    PageNumber::new(3),
+                    data.clone(),
+                    RowId::new(10),
+                    Nanos::ZERO,
+                    true,
+                )
+                .unwrap();
+                let evs = m.advance_to(Nanos::from_ms(64));
+                match &evs[0] {
+                    NmaEvent::Completed { data, .. } => assert_eq!(*data, page),
+                    e => panic!("unexpected {e:?}"),
+                }
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+        assert_eq!(n.in_flight(), 0);
+        assert_eq!(n.stats().completed, 1);
+    }
+
+    #[test]
+    fn min_latency_is_two_refresh_intervals() {
+        // Fig. 10: read in one window, write-back in a later one.
+        let mut n = nma();
+        let page = vec![1u8; 4096];
+        // Row 1 refreshes in window 1; writeback lands in a later window.
+        n.submit_compress(PageNumber::new(1), page, RowId::new(1), Nanos::ZERO, true)
+            .unwrap();
+        let events = n.advance_to(Nanos::from_ms(64));
+        match &events[0] {
+            NmaEvent::Completed { completed_at, submitted_at, .. } => {
+                let t_refi = n.config().timings.t_refi;
+                assert!(
+                    *completed_at >= *submitted_at + t_refi * 2,
+                    "latency {} < 2 x tREFI",
+                    *completed_at - *submitted_at
+                );
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_exhaustion_rejects_submission() {
+        let mut n = NearMemoryAccelerator::new(NmaConfig {
+            queue_capacity: 2,
+            spm_capacity: ByteSize::from_mib(2),
+            ..NmaConfig::default()
+        });
+        let page = vec![0u8; 4096];
+        n.submit_compress(PageNumber::new(1), page.clone(), RowId::new(1), Nanos::ZERO, true)
+            .unwrap();
+        n.submit_compress(PageNumber::new(2), page.clone(), RowId::new(2), Nanos::ZERO, true)
+            .unwrap();
+        // Third in-flight op exceeds the 2-deep request ring.
+        assert!(matches!(
+            n.submit_compress(PageNumber::new(3), page.clone(), RowId::new(3), Nanos::ZERO, true),
+            Err(Error::QueueFull)
+        ));
+        assert_eq!(n.stats().rejected, 1);
+        // No SPM leak from the rejected admission (2 x 4160 B reserved).
+        assert_eq!(n.spm_free().as_bytes(), ByteSize::from_mib(2).as_bytes() - 2 * 4160);
+        // Draining the device frees the ring again.
+        let now = Nanos::from_ms(64);
+        n.advance_to(now);
+        assert!(n
+            .submit_compress(PageNumber::new(3), page, RowId::new(3), now, true)
+            .is_ok());
+    }
+
+    #[test]
+    fn spm_exhaustion_rejects_submission() {
+        let mut n = NearMemoryAccelerator::new(NmaConfig {
+            queue_capacity: 4096,
+            spm_capacity: ByteSize::from_mib(2),
+            ..NmaConfig::default()
+        });
+        let page = vec![0u8; 4096];
+        let mut accepted = 0;
+        for p in 0..2000u64 {
+            match n.submit_compress(
+                PageNumber::new(p),
+                page.clone(),
+                RowId::new(p as u32),
+                Nanos::ZERO,
+                true,
+            ) {
+                Ok(()) => accepted += 1,
+                Err(e) => {
+                    assert!(matches!(e, Error::SpmFull { .. }));
+                    break;
+                }
+            }
+        }
+        // 2 MiB SPM / 4160 B conservative reservations = 504 in flight.
+        assert_eq!(accepted, 504);
+        assert_eq!(n.stats().rejected, 1);
+    }
+
+    #[test]
+    fn spm_pressure_relieved_by_advancing() {
+        let mut n = NearMemoryAccelerator::new(NmaConfig {
+            spm_capacity: ByteSize::from_bytes(2 * 4160), // two reservations
+            ..NmaConfig::default()
+        });
+        let page = vec![7u8; 4096];
+        n.submit_compress(PageNumber::new(1), page.clone(), RowId::new(1), Nanos::ZERO, true)
+            .unwrap();
+        n.submit_compress(PageNumber::new(2), page.clone(), RowId::new(2), Nanos::ZERO, true)
+            .unwrap();
+        assert!(n
+            .submit_compress(PageNumber::new(3), page.clone(), RowId::new(3), Nanos::ZERO, true)
+            .is_err());
+        // Drain both offloads, freeing the SPM.
+        let now = Nanos::from_ms(64);
+        let events = n.advance_to(now);
+        assert_eq!(events.len(), 2);
+        assert!(n
+            .submit_compress(PageNumber::new(3), page, RowId::new(3), now, true)
+            .is_ok());
+    }
+
+    #[test]
+    fn corrupt_decompress_input_falls_back() {
+        let mut n = nma();
+        n.submit_decompress(
+            PageNumber::new(9),
+            vec![0xde, 0xad, 0xbe, 0xef],
+            RowId::new(9),
+            Nanos::ZERO,
+            true,
+        )
+        .unwrap();
+        let events = n.advance_to(Nanos::from_ms(64));
+        match &events[0] {
+            NmaEvent::Fallback { page, data, .. } => {
+                assert_eq!(*page, PageNumber::new(9));
+                assert_eq!(*data, vec![0xde, 0xad, 0xbe, 0xef]);
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+        assert_eq!(n.stats().fallbacks, 1);
+        assert_eq!(n.spm_free(), n.config().spm_capacity);
+    }
+
+    #[test]
+    fn regs_mirror_device_state() {
+        let mut n = nma();
+        let free_before = n.regs_mut().read(crate::regs::Reg::SpCapacity);
+        assert_eq!(free_before, ByteSize::from_mib(2).as_bytes());
+        n.submit_compress(
+            PageNumber::new(1),
+            vec![0u8; 4096],
+            RowId::new(1),
+            Nanos::ZERO,
+            true,
+        )
+        .unwrap();
+        let free_after = n.regs_mut().read(crate::regs::Reg::SpCapacity);
+        assert_eq!(free_after, free_before - 4096 - 64);
+    }
+
+    #[test]
+    fn stats_fold_in_scheduler_counters() {
+        let mut n = nma();
+        n.submit_compress(
+            PageNumber::new(1),
+            vec![0u8; 4096],
+            RowId::new(5),
+            Nanos::ZERO,
+            true,
+        )
+        .unwrap();
+        n.advance_to(Nanos::from_ms(64));
+        let s = n.stats();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.sched.conditional + s.sched.random, 2); // read + writeback
+        assert!(s.spm_high_water.as_bytes() >= 4096);
+        assert!(s.mean_latency() > Nanos::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod ecc_tests {
+    use super::*;
+
+    #[test]
+    fn writebacks_regenerate_side_band_parity() {
+        let mut n = NearMemoryAccelerator::new(NmaConfig::default());
+        let page = vec![0x3cu8; 4096];
+        n.submit_compress(PageNumber::new(1), page, RowId::new(3), Nanos::ZERO, true)
+            .unwrap();
+        n.advance_to(Nanos::from_ms(64));
+        let s = n.stats();
+        assert_eq!(s.completed, 1);
+        // One parity byte per 64-bit word of the written-back data.
+        assert!(s.ecc_parity_bytes > 0);
+        assert_eq!(s.ecc_parity_bytes, s.ecc_words);
+    }
+}

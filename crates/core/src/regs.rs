@@ -1,0 +1,309 @@
+//! The MMIO register file and the `Compress_Request_Queue`.
+//!
+//! The `XFM_Driver` communicates with the DIMM through memory-mapped
+//! registers (paper §6): `SP_Capacity_Register` exposes free SPM bytes,
+//! configuration registers carry the SFM region geometry set by
+//! `xfm_paramset()`, and offload requests are pushed into a ring buffer
+//! with an MMIO doorbell write. Every MMIO operation is counted — the
+//! backend's *lazy* occupancy inference exists precisely to keep these
+//! counts low in the common case.
+
+use serde::{Deserialize, Serialize};
+use xfm_types::{Error, Nanos, PageNumber, PhysAddr, Result};
+
+/// Register addresses in the XFM MMIO window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reg {
+    /// Free SPM bytes (read-only).
+    SpCapacity,
+    /// SFM region base physical address.
+    SfmRegionBase,
+    /// SFM region size in bytes.
+    SfmRegionSize,
+    /// Control bits (bit 0: enable).
+    Ctrl,
+    /// Status bits (bit 0: queue non-empty, bit 1: SPM full).
+    Status,
+}
+
+/// Direction of an offloaded operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OffloadKind {
+    /// Compress a cold page into the SFM region.
+    Compress,
+    /// Decompress a page out of the SFM region (prefetch path).
+    Decompress,
+}
+
+/// One entry in the request queue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OffloadRequest {
+    /// Operation direction.
+    pub kind: OffloadKind,
+    /// Page being swapped.
+    pub page: PageNumber,
+    /// Submission time (drives window scheduling).
+    pub at: Nanos,
+    /// `true` when the controller can defer/align this op to the refresh
+    /// calendar (prefetches and demotions); `false` for demand operations.
+    pub flexible: bool,
+}
+
+/// The MMIO register file with operation counting.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_core::{Reg, RegisterFile};
+///
+/// let mut regs = RegisterFile::new();
+/// regs.write(Reg::SfmRegionSize, 1 << 30)?;
+/// assert_eq!(regs.read(Reg::SfmRegionSize), 1 << 30);
+/// assert_eq!(regs.mmio_reads(), 1);
+/// assert_eq!(regs.mmio_writes(), 1);
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RegisterFile {
+    sp_capacity: u64,
+    sfm_region_base: u64,
+    sfm_region_size: u64,
+    ctrl: u64,
+    status: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl RegisterFile {
+    /// Creates a zeroed register file.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// MMIO read (counted).
+    pub fn read(&mut self, reg: Reg) -> u64 {
+        self.reads += 1;
+        match reg {
+            Reg::SpCapacity => self.sp_capacity,
+            Reg::SfmRegionBase => self.sfm_region_base,
+            Reg::SfmRegionSize => self.sfm_region_size,
+            Reg::Ctrl => self.ctrl,
+            Reg::Status => self.status,
+        }
+    }
+
+    /// MMIO write (counted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Device`] when writing a read-only register.
+    pub fn write(&mut self, reg: Reg, value: u64) -> Result<()> {
+        self.writes += 1;
+        match reg {
+            Reg::SpCapacity | Reg::Status => {
+                return Err(Error::Device(format!("register {reg:?} is read-only")))
+            }
+            Reg::SfmRegionBase => self.sfm_region_base = value,
+            Reg::SfmRegionSize => self.sfm_region_size = value,
+            Reg::Ctrl => self.ctrl = value,
+        }
+        Ok(())
+    }
+
+    /// Device-side update of `SP_Capacity` (not an MMIO op).
+    pub fn set_sp_capacity(&mut self, free_bytes: u64) {
+        self.sp_capacity = free_bytes;
+    }
+
+    /// Device-side update of `Status` (not an MMIO op).
+    pub fn set_status(&mut self, queue_nonempty: bool, spm_full: bool) {
+        self.status = u64::from(queue_nonempty) | (u64::from(spm_full) << 1);
+    }
+
+    /// Configured SFM region, if `xfm_paramset` ran.
+    #[must_use]
+    pub fn sfm_region(&self) -> Option<(PhysAddr, u64)> {
+        (self.sfm_region_size > 0)
+            .then(|| (PhysAddr::new(self.sfm_region_base), self.sfm_region_size))
+    }
+
+    /// Total MMIO reads performed.
+    #[must_use]
+    pub fn mmio_reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total MMIO writes performed.
+    #[must_use]
+    pub fn mmio_writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+/// The bounded offload request ring.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_core::{OffloadKind, OffloadRequest, RequestQueue};
+/// use xfm_types::{Nanos, PageNumber};
+///
+/// let mut q = RequestQueue::new(2);
+/// let req = OffloadRequest {
+///     kind: OffloadKind::Compress,
+///     page: PageNumber::new(1),
+///     at: Nanos::ZERO,
+///     flexible: true,
+/// };
+/// q.push(req.clone())?;
+/// q.push(req.clone())?;
+/// assert!(q.push(req).is_err()); // full -> CPU fallback
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestQueue {
+    capacity: usize,
+    entries: std::collections::VecDeque<OffloadRequest>,
+    pushes: u64,
+    rejects: u64,
+}
+
+impl RequestQueue {
+    /// Creates a queue holding at most `capacity` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        Self {
+            capacity,
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            pushes: 0,
+            rejects: 0,
+        }
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the ring is full — the driver
+    /// must fall back to the CPU.
+    pub fn push(&mut self, req: OffloadRequest) -> Result<()> {
+        if self.entries.len() >= self.capacity {
+            self.rejects += 1;
+            return Err(Error::QueueFull);
+        }
+        self.pushes += 1;
+        self.entries.push_back(req);
+        Ok(())
+    }
+
+    /// Dequeues the oldest request.
+    pub fn pop(&mut self) -> Option<OffloadRequest> {
+        self.entries.pop_front()
+    }
+
+    /// Requests currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Free slots remaining.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.entries.len()
+    }
+
+    /// Total accepted pushes.
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total rejected pushes (queue-full events).
+    #[must_use]
+    pub fn rejects(&self) -> u64 {
+        self.rejects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(page: u64) -> OffloadRequest {
+        OffloadRequest {
+            kind: OffloadKind::Compress,
+            page: PageNumber::new(page),
+            at: Nanos::ZERO,
+            flexible: true,
+        }
+    }
+
+    #[test]
+    fn register_round_trip_and_counting() {
+        let mut r = RegisterFile::new();
+        r.write(Reg::SfmRegionBase, 0x4000).unwrap();
+        r.write(Reg::SfmRegionSize, 0x1000).unwrap();
+        assert_eq!(r.read(Reg::SfmRegionBase), 0x4000);
+        assert_eq!(r.sfm_region().unwrap().1, 0x1000);
+        assert_eq!(r.mmio_writes(), 2);
+        assert_eq!(r.mmio_reads(), 1);
+    }
+
+    #[test]
+    fn read_only_registers_reject_writes() {
+        let mut r = RegisterFile::new();
+        assert!(r.write(Reg::SpCapacity, 1).is_err());
+        assert!(r.write(Reg::Status, 1).is_err());
+    }
+
+    #[test]
+    fn device_side_updates_are_not_mmio() {
+        let mut r = RegisterFile::new();
+        r.set_sp_capacity(12345);
+        r.set_status(true, false);
+        assert_eq!(r.mmio_reads() + r.mmio_writes(), 0);
+        assert_eq!(r.read(Reg::SpCapacity), 12345);
+        assert_eq!(r.read(Reg::Status), 0b01);
+    }
+
+    #[test]
+    fn queue_fifo_order() {
+        let mut q = RequestQueue::new(4);
+        for p in 0..3 {
+            q.push(req(p)).unwrap();
+        }
+        assert_eq!(q.pop().unwrap().page.index(), 0);
+        assert_eq!(q.pop().unwrap().page.index(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn queue_full_counts_rejects() {
+        let mut q = RequestQueue::new(1);
+        q.push(req(0)).unwrap();
+        assert!(matches!(q.push(req(1)), Err(Error::QueueFull)));
+        assert_eq!(q.rejects(), 1);
+        assert_eq!(q.pushes(), 1);
+        q.pop();
+        assert!(q.push(req(2)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_queue_rejected() {
+        let _ = RequestQueue::new(0);
+    }
+}

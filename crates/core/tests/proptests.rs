@@ -1,0 +1,148 @@
+//! Property-based tests for the XFM core.
+
+use proptest::prelude::*;
+use xfm_core::backend::{XfmBackend, XfmBackendConfig};
+use xfm_core::multichannel::{pack_page, unpack_page};
+use xfm_core::sched::{AccessOp, SchedConfig, SchedEvent, WindowScheduler};
+use xfm_core::Spm;
+use xfm_dram::{DeviceGeometry, DramTimings};
+use xfm_sfm::{SfmBackend, SfmConfig};
+use xfm_types::{ByteSize, Nanos, PageNumber, RowId, PAGE_SIZE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The multi-channel container round-trips any page for any legal
+    /// DIMM count.
+    #[test]
+    fn container_round_trip(data in prop::collection::vec(any::<u8>(), 1..=PAGE_SIZE),
+                            n in prop::sample::select(vec![1usize, 2, 4])) {
+        let codec = xfm_compress::XDeflate::default();
+        let packed = pack_page(&codec, &data, n).unwrap();
+        prop_assert_eq!(unpack_page(&codec, &packed.bytes).unwrap(), data);
+        // Fragmentation accounting is internally consistent.
+        prop_assert_eq!(
+            packed.slot_size() * n,
+            packed.payload_bytes() + packed.fragmentation_bytes()
+        );
+    }
+
+    /// Scheduler conservation: every enqueued op is eventually served or
+    /// spilled, exactly once.
+    #[test]
+    fn scheduler_conserves_ops(rows in prop::collection::vec(0u32..65_536, 1..80),
+                               budget in 1u32..4,
+                               urgent_mask in any::<u64>()) {
+        let mut sched = WindowScheduler::new(
+            SchedConfig {
+                accesses_per_trfc: budget,
+                max_random_per_trfc: 1,
+                urgent_max_wait: 4,
+                placement_lookahead: 64,
+            },
+            DramTimings::paper_emulator(),
+            DeviceGeometry::ddr4_8gb(),
+        );
+        for (i, &row) in rows.iter().enumerate() {
+            let op = AccessOp {
+                id: i as u64,
+                row: RowId::new(row),
+                is_write: false,
+                bytes: 4096,
+                enqueued_window: 0,
+            };
+            if urgent_mask & (1 << (i % 64)) != 0 {
+                sched.enqueue_urgent(op);
+            } else {
+                sched.enqueue_flexible(op);
+            }
+        }
+        // One full retention interval guarantees every slot came up.
+        let events = sched.advance_to(Nanos::from_ms(33));
+        let mut seen = std::collections::HashSet::new();
+        for e in &events {
+            let id = match e {
+                SchedEvent::Served { id, .. } | SchedEvent::Spilled { id, .. } => *id,
+            };
+            prop_assert!(seen.insert(id), "op {id} resolved twice");
+        }
+        prop_assert_eq!(seen.len(), rows.len());
+        prop_assert_eq!(sched.pending(), 0);
+        let s = sched.stats();
+        prop_assert_eq!(s.conditional + s.random + s.spilled, rows.len() as u64);
+    }
+
+    /// SPM occupancy accounting never drifts through arbitrary
+    /// reserve/complete/release/cancel sequences.
+    #[test]
+    fn spm_accounting_consistent(ops in prop::collection::vec((1usize..5000, 0u8..4), 1..40)) {
+        let mut spm = Spm::new(ByteSize::from_kib(64));
+        let mut live: Vec<(xfm_core::spm::SlotId, usize, bool)> = Vec::new();
+        let mut expected_used = 0usize;
+        for (size, action) in ops {
+            match action {
+                0 => {
+                    if let Ok(slot) = spm.reserve(size) {
+                        live.push((slot, size, false));
+                        expected_used += size;
+                    }
+                }
+                1 => {
+                    if let Some(pos) = live.iter().position(|&(_, _, done)| !done) {
+                        let (slot, reserved, _) = live[pos];
+                        let out_len = reserved.min(size);
+                        spm.complete(slot, vec![0u8; out_len]).unwrap();
+                        expected_used -= reserved - out_len;
+                        live[pos] = (slot, out_len, true);
+                    }
+                }
+                2 => {
+                    if let Some(pos) = live.iter().position(|&(_, _, done)| done) {
+                        let (slot, reserved, _) = live.remove(pos);
+                        spm.release(slot).unwrap();
+                        expected_used -= reserved;
+                    }
+                }
+                _ => {
+                    if let Some(pos) = live.iter().position(|&(_, _, done)| !done) {
+                        let (slot, reserved, _) = live.remove(pos);
+                        spm.cancel(slot).unwrap();
+                        expected_used -= reserved;
+                    }
+                }
+            }
+            prop_assert_eq!(spm.used().as_bytes() as usize, expected_used);
+        }
+    }
+
+    /// XFM backend round-trips arbitrary page contents regardless of the
+    /// offload path taken.
+    #[test]
+    fn backend_integrity(seeds in prop::collection::vec(any::<u64>(), 1..6),
+                         n in prop::sample::select(vec![1usize, 2, 4])) {
+        let mut b = XfmBackend::new(XfmBackendConfig {
+            sfm: SfmConfig {
+                region_capacity: ByteSize::from_mib(4),
+                ..SfmConfig::default()
+            },
+            n_dimms: n,
+            ..XfmBackendConfig::default()
+        });
+        b.advance_to(Nanos::from_ms(1));
+        let pages: Vec<(PageNumber, Vec<u8>)> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                let corpus = xfm_compress::Corpus::all()[(seed % 16) as usize];
+                (PageNumber::new(i as u64), corpus.generate(seed, PAGE_SIZE))
+            })
+            .collect();
+        for (pn, data) in &pages {
+            b.swap_out(*pn, data).unwrap();
+        }
+        for (i, (pn, data)) in pages.iter().enumerate() {
+            let (restored, _) = b.swap_in(*pn, i % 2 == 0).unwrap();
+            prop_assert_eq!(&restored, data);
+        }
+    }
+}

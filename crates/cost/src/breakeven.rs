@@ -1,0 +1,69 @@
+//! Break-even solving between two cumulative-cost trajectories.
+
+/// Finds the earliest `t ∈ (0, 100]` years at which `growing(t) >=
+/// reference(t)`, assuming `growing` starts below `reference` (the SFM
+/// pattern: cheap up front, costs accumulate with use).
+///
+/// Returns `None` when no cross-over exists within 100 years, or when
+/// `growing` already starts at or above `reference` (no meaningful
+/// break-even to report).
+///
+/// # Examples
+///
+/// ```
+/// use xfm_cost::breakeven_years;
+///
+/// // 100 + 50t crosses 500 + 2t at t = 400/48 ≈ 8.33.
+/// let t = breakeven_years(|t| 100.0 + 50.0 * t, |t| 500.0 + 2.0 * t).unwrap();
+/// assert!((t - 8.33).abs() < 0.01);
+/// ```
+pub fn breakeven_years(
+    growing: impl Fn(f64) -> f64,
+    reference: impl Fn(f64) -> f64,
+) -> Option<f64> {
+    const HORIZON: f64 = 100.0;
+    if growing(0.0) >= reference(0.0) {
+        return None;
+    }
+    if growing(HORIZON) < reference(HORIZON) {
+        return None;
+    }
+    // Bisection: the difference is continuous and changes sign once for
+    // the affine trajectories this model produces.
+    let (mut lo, mut hi) = (0.0f64, HORIZON);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if growing(mid) >= reference(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_crossover_found() {
+        let t = breakeven_years(|t| 10.0 * t, |_| 50.0).unwrap();
+        assert!((t - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_crossover_within_horizon() {
+        assert!(breakeven_years(|t| 1.0 + 0.001 * t, |_| 1e9).is_none());
+    }
+
+    #[test]
+    fn starts_above_means_none() {
+        assert!(breakeven_years(|_| 100.0, |_| 50.0).is_none());
+    }
+
+    #[test]
+    fn equal_at_zero_means_none() {
+        assert!(breakeven_years(|t| 50.0 + t, |_| 50.0).is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! First-order capital and environmental cost model for far memory —
+//! the paper's §3 (EQ1–EQ5), reproducing Fig. 3.
+//!
+//! The model compares a **software-defined far memory** (SFM: CPU cycles
+//! spent compressing cold pages into local DRAM) against a
+//! **disaggregated far memory** (DFM: extra DRAM or persistent-memory
+//! DIMMs behind CXL/PCIe) providing the same extra capacity:
+//!
+//! - *capital cost*: DFM pays the DIMMs up front plus idle-DIMM and link
+//!   energy; SFM pays for provisioned CPU cores up front plus
+//!   (de)compression energy that scales with the promotion rate;
+//! - *environmental cost*: DRAM manufacturing is an order of magnitude
+//!   more carbon-intensive than logic, so DFM starts with a large
+//!   embodied-carbon debt that SFM's operational emissions take years to
+//!   reach.
+//!
+//! Headline results reproduced (§3.1): at a 100% promotion rate a
+//! 512 GB SFM takes ~8.5 years to lose its cost advantage over a
+//! DRAM-based DFM, and never loses its emissions advantage within a
+//! 5-year server lifetime; a QAT-style on-chip accelerator becomes
+//! worthwhile above a ~6% promotion rate (§3.2).
+//!
+//! Several constants the paper uses without stating (memory $/GB, CPU
+//! price) are calibrated so the printed break-even claims hold; each is
+//! documented at its definition in [`params`].
+//!
+//! # Examples
+//!
+//! ```
+//! use xfm_cost::{CostParams, FarMemoryModel, FarMemoryKind};
+//!
+//! let model = FarMemoryModel::new(CostParams::paper());
+//! let years = model
+//!     .cost_breakeven_years(FarMemoryKind::DfmDram, 1.0)
+//!     .expect("break-even exists");
+//! assert!((8.0..9.0).contains(&years)); // the paper's ~8.5 years
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakeven;
+pub mod model;
+pub mod params;
+
+pub use breakeven::breakeven_years;
+pub use model::{FarMemoryKind, FarMemoryModel};
+pub use params::CostParams;

@@ -1,0 +1,404 @@
+//! DRAM device and system geometry.
+//!
+//! [`DeviceGeometry`] describes one DRAM chip (Table 1 of the paper);
+//! [`SystemGeometry`] composes chips into ranks, DIMMs and channels and
+//! provides capacity and refresh-schedule arithmetic.
+
+use serde::{Deserialize, Serialize};
+use xfm_types::{ByteSize, RowId, SubarrayId};
+
+use crate::timing::REFS_PER_RETENTION;
+
+/// Geometry of a single DRAM chip (device).
+///
+/// # Examples
+///
+/// ```
+/// use xfm_dram::DeviceGeometry;
+///
+/// let d = DeviceGeometry::ddr5_32gb();
+/// assert_eq!(d.rows_per_bank, 128 * 1024);
+/// assert_eq!(d.banks_per_chip, 32);
+/// assert_eq!(d.subarrays_per_bank(), 256);
+/// assert_eq!(d.rows_per_ref(), 16); // Table 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceGeometry {
+    /// Rows in each bank.
+    pub rows_per_bank: u32,
+    /// Banks in the chip.
+    pub banks_per_chip: u32,
+    /// Rows in each subarray (paper assumes 512, after SALP).
+    pub rows_per_subarray: u32,
+    /// Bytes stored by one chip row (row width / 8 per chip).
+    pub row_bytes_per_chip: u32,
+    /// Data width of the chip in bits (x4/x8/x16).
+    pub width_bits: u32,
+}
+
+impl DeviceGeometry {
+    /// DDR4 8 Gb x8 device: 64 K rows x 16 banks x 1 KiB chip rows.
+    #[must_use]
+    pub const fn ddr4_8gb() -> Self {
+        Self {
+            rows_per_bank: 64 * 1024,
+            banks_per_chip: 16,
+            rows_per_subarray: 512,
+            row_bytes_per_chip: 1024,
+            width_bits: 8,
+        }
+    }
+
+    /// DDR5 8 Gb device (Table 1: 64 K rows/bank, 16 banks).
+    #[must_use]
+    pub const fn ddr5_8gb() -> Self {
+        Self {
+            rows_per_bank: 64 * 1024,
+            banks_per_chip: 16,
+            rows_per_subarray: 512,
+            row_bytes_per_chip: 1024,
+            width_bits: 8,
+        }
+    }
+
+    /// DDR5 16 Gb device (Table 1: 64 K rows/bank, 32 banks).
+    #[must_use]
+    pub const fn ddr5_16gb() -> Self {
+        Self {
+            rows_per_bank: 64 * 1024,
+            banks_per_chip: 32,
+            rows_per_subarray: 512,
+            row_bytes_per_chip: 1024,
+            width_bits: 8,
+        }
+    }
+
+    /// DDR5 32 Gb device (Table 1: 128 K rows/bank, 32 banks).
+    #[must_use]
+    pub const fn ddr5_32gb() -> Self {
+        Self {
+            rows_per_bank: 128 * 1024,
+            banks_per_chip: 32,
+            rows_per_subarray: 512,
+            row_bytes_per_chip: 1024,
+            width_bits: 8,
+        }
+    }
+
+    /// Capacity of one chip.
+    #[must_use]
+    pub fn chip_capacity(&self) -> ByteSize {
+        ByteSize::from_bytes(
+            u64::from(self.rows_per_bank)
+                * u64::from(self.banks_per_chip)
+                * u64::from(self.row_bytes_per_chip),
+        )
+    }
+
+    /// Number of subarrays in each bank (Table 1: 128 or 256).
+    #[must_use]
+    pub fn subarrays_per_bank(&self) -> u32 {
+        self.rows_per_bank / self.rows_per_subarray
+    }
+
+    /// Rows of a bank refreshed during each `tRFC` (Table 1: 8 or 16):
+    /// `rows_per_bank / 8192`.
+    #[must_use]
+    pub fn rows_per_ref(&self) -> u32 {
+        (u64::from(self.rows_per_bank) / REFS_PER_RETENTION) as u32
+    }
+
+    /// Subarray that contains `row`.
+    #[must_use]
+    pub fn subarray_of(&self, row: RowId) -> SubarrayId {
+        SubarrayId::new(row.index() / self.rows_per_subarray)
+    }
+
+    /// The set of rows refreshed in *every* bank by REF command
+    /// `ref_index` (0..8192): rows `ref_index + k·8192`.
+    ///
+    /// Because consecutive entries are 8192 rows (16 subarrays) apart, each
+    /// refreshed row lands in a different subarray — the property XFM's
+    /// conditional accesses rely on (paper §5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ref_index >= 8192`.
+    #[must_use]
+    pub fn refreshed_rows(&self, ref_index: u32) -> Vec<RowId> {
+        assert!(
+            u64::from(ref_index) < REFS_PER_RETENTION,
+            "ref_index must be < 8192"
+        );
+        (0..self.rows_per_ref())
+            .map(|k| RowId::new(ref_index + k * REFS_PER_RETENTION as u32))
+            .collect()
+    }
+
+    /// Validates the geometry (power-of-two fields, divisibility).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xfm_types::Error::InvalidConfig`] when rows/banks are not
+    /// powers of two or the subarray size does not divide the bank.
+    pub fn validate(&self) -> xfm_types::Result<()> {
+        for (name, v) in [
+            ("rows_per_bank", self.rows_per_bank),
+            ("banks_per_chip", self.banks_per_chip),
+            ("rows_per_subarray", self.rows_per_subarray),
+            ("row_bytes_per_chip", self.row_bytes_per_chip),
+        ] {
+            if !v.is_power_of_two() {
+                return Err(xfm_types::Error::InvalidConfig(format!(
+                    "{name} must be a power of two, got {v}"
+                )));
+            }
+        }
+        if !self.rows_per_bank.is_multiple_of(self.rows_per_subarray) {
+            return Err(xfm_types::Error::InvalidConfig(
+                "rows_per_subarray must divide rows_per_bank".into(),
+            ));
+        }
+        if u64::from(self.rows_per_bank) < REFS_PER_RETENTION {
+            return Err(xfm_types::Error::InvalidConfig(
+                "rows_per_bank must be at least 8192".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeviceGeometry {
+    fn default() -> Self {
+        Self::ddr4_8gb()
+    }
+}
+
+/// Geometry of the full memory system attached to one CPU socket.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_dram::{DeviceGeometry, SystemGeometry};
+///
+/// // The paper's testbed: 6 DIMMs of 16 GB (96 GiB).
+/// let sys = SystemGeometry::paper_testbed();
+/// assert_eq!(sys.total_capacity().as_gib(), 96);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemGeometry {
+    /// Number of DDR channels.
+    pub channels: u32,
+    /// DIMMs on each channel.
+    pub dimms_per_channel: u32,
+    /// Ranks on each DIMM.
+    pub ranks_per_dimm: u32,
+    /// Data chips per rank (lockstep group; excludes ECC chips).
+    pub chips_per_rank: u32,
+    /// Per-chip geometry.
+    pub device: DeviceGeometry,
+}
+
+impl SystemGeometry {
+    /// The paper's experimental server: 6 channels x 1 DIMM x 1 rank of
+    /// 8 Gb x8 chips, 16 GiB per DIMM (96 GiB total).
+    #[must_use]
+    pub const fn paper_testbed() -> Self {
+        Self {
+            channels: 6,
+            dimms_per_channel: 1,
+            ranks_per_dimm: 2,
+            chips_per_rank: 8,
+            device: DeviceGeometry::ddr4_8gb(),
+        }
+    }
+
+    /// Skylake-like four-channel, two-DIMMs-per-channel system used in the
+    /// paper's §4.3 example ("a CPU with four memory channels and two
+    /// DIMMs per channel").
+    #[must_use]
+    pub const fn skylake_4ch() -> Self {
+        Self {
+            channels: 4,
+            dimms_per_channel: 2,
+            ranks_per_dimm: 1,
+            chips_per_rank: 8,
+            device: DeviceGeometry::ddr4_8gb(),
+        }
+    }
+
+    /// Capacity of one rank (lockstep chips).
+    #[must_use]
+    pub fn rank_capacity(&self) -> ByteSize {
+        self.device.chip_capacity() * u64::from(self.chips_per_rank)
+    }
+
+    /// Bytes stored by one whole (rank-level) row: chip row x chips.
+    #[must_use]
+    pub fn rank_row_bytes(&self) -> u32 {
+        self.device.row_bytes_per_chip * self.chips_per_rank
+    }
+
+    /// Capacity of one DIMM.
+    #[must_use]
+    pub fn dimm_capacity(&self) -> ByteSize {
+        self.rank_capacity() * u64::from(self.ranks_per_dimm)
+    }
+
+    /// Capacity of one channel.
+    #[must_use]
+    pub fn channel_capacity(&self) -> ByteSize {
+        self.dimm_capacity() * u64::from(self.dimms_per_channel)
+    }
+
+    /// Total system capacity.
+    #[must_use]
+    pub fn total_capacity(&self) -> ByteSize {
+        self.channel_capacity() * u64::from(self.channels)
+    }
+
+    /// Total ranks in the system.
+    #[must_use]
+    pub fn total_ranks(&self) -> u32 {
+        self.channels * self.dimms_per_channel * self.ranks_per_dimm
+    }
+
+    /// Ranks per channel.
+    #[must_use]
+    pub fn ranks_per_channel(&self) -> u32 {
+        self.dimms_per_channel * self.ranks_per_dimm
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xfm_types::Error::InvalidConfig`] if any dimension is zero
+    /// or not a power of two (except channels, which may be e.g. 6), or if
+    /// the device geometry itself is invalid.
+    pub fn validate(&self) -> xfm_types::Result<()> {
+        self.device.validate()?;
+        if self.channels == 0 {
+            return Err(xfm_types::Error::InvalidConfig(
+                "channels must be non-zero".into(),
+            ));
+        }
+        for (name, v) in [
+            ("dimms_per_channel", self.dimms_per_channel),
+            ("ranks_per_dimm", self.ranks_per_dimm),
+            ("chips_per_rank", self.chips_per_rank),
+        ] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(xfm_types::Error::InvalidConfig(format!(
+                    "{name} must be a non-zero power of two, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemGeometry {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_derived_values() {
+        // Table 1 of the paper.
+        let d8 = DeviceGeometry::ddr5_8gb();
+        assert_eq!(d8.rows_per_ref(), 8);
+        assert_eq!(d8.subarrays_per_bank(), 128);
+
+        let d16 = DeviceGeometry::ddr5_16gb();
+        assert_eq!(d16.rows_per_ref(), 8);
+        assert_eq!(d16.subarrays_per_bank(), 128);
+
+        let d32 = DeviceGeometry::ddr5_32gb();
+        assert_eq!(d32.rows_per_ref(), 16);
+        assert_eq!(d32.subarrays_per_bank(), 256);
+    }
+
+    #[test]
+    fn chip_capacities_match_names() {
+        assert_eq!(DeviceGeometry::ddr5_8gb().chip_capacity().as_gib(), 1);
+        assert_eq!(DeviceGeometry::ddr5_16gb().chip_capacity().as_gib(), 2);
+        assert_eq!(DeviceGeometry::ddr5_32gb().chip_capacity().as_gib(), 4);
+    }
+
+    #[test]
+    fn refreshed_rows_are_in_distinct_subarrays() {
+        // Paper §5: "it is safe to assume that the rows refreshed within a
+        // bank each belong to a different subarray."
+        let d = DeviceGeometry::ddr5_32gb();
+        for ref_index in [0u32, 1, 511, 512, 4096, 8191] {
+            let rows = d.refreshed_rows(ref_index);
+            assert_eq!(rows.len(), 16);
+            let mut subarrays: Vec<_> = rows.iter().map(|&r| d.subarray_of(r)).collect();
+            subarrays.sort();
+            subarrays.dedup();
+            assert_eq!(subarrays.len(), 16, "ref {ref_index}");
+        }
+    }
+
+    #[test]
+    fn every_row_refreshed_exactly_once_per_retention() {
+        let d = DeviceGeometry::ddr5_8gb();
+        let mut seen = vec![false; d.rows_per_bank as usize];
+        for ref_index in 0..8192 {
+            for row in d.refreshed_rows(ref_index) {
+                let idx = row.index() as usize;
+                assert!(!seen[idx], "row {idx} refreshed twice");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some rows never refreshed");
+    }
+
+    #[test]
+    #[should_panic(expected = "8192")]
+    fn refreshed_rows_rejects_out_of_range_index() {
+        let _ = DeviceGeometry::ddr5_8gb().refreshed_rows(8192);
+    }
+
+    #[test]
+    fn subarray_of_uses_row_division() {
+        let d = DeviceGeometry::ddr5_8gb();
+        assert_eq!(d.subarray_of(RowId::new(0)).index(), 0);
+        assert_eq!(d.subarray_of(RowId::new(511)).index(), 0);
+        assert_eq!(d.subarray_of(RowId::new(512)).index(), 1);
+    }
+
+    #[test]
+    fn system_capacities() {
+        let sys = SystemGeometry::paper_testbed();
+        assert_eq!(sys.rank_capacity().as_gib(), 8);
+        assert_eq!(sys.dimm_capacity().as_gib(), 16);
+        assert_eq!(sys.total_capacity().as_gib(), 96);
+        assert_eq!(sys.total_ranks(), 12);
+        assert_eq!(sys.rank_row_bytes(), 8192);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        SystemGeometry::paper_testbed().validate().unwrap();
+        SystemGeometry::skylake_4ch().validate().unwrap();
+
+        let mut bad = DeviceGeometry::ddr4_8gb();
+        bad.rows_per_subarray = 500;
+        assert!(bad.validate().is_err());
+
+        let mut bad = SystemGeometry::paper_testbed();
+        bad.chips_per_rank = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = SystemGeometry::paper_testbed();
+        bad.channels = 0;
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Auto-refresh scheduling.
+//!
+//! The memory controller sends 8192 REF commands per 32 ms retention
+//! interval — one every `tREFI` — and each REF locks the whole rank for
+//! `tRFC` (paper §2.2). [`RefreshScheduler`] provides the deterministic
+//! window calendar: when each window opens and closes and which rows each
+//! bank refreshes inside it. XFM builds its entire side-channel on this
+//! calendar.
+
+use serde::{Deserialize, Serialize};
+use xfm_types::{Nanos, RowId};
+
+use crate::geometry::DeviceGeometry;
+use crate::timing::{DramTimings, REFS_PER_RETENTION};
+
+/// One all-bank refresh window (`tRFC` period following a REF command).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefreshWindow {
+    /// Monotonic window number since time zero.
+    pub index: u64,
+    /// Time the REF command is issued (window opens).
+    pub start: Nanos,
+    /// Time the rank unlocks (`start + tRFC`).
+    pub end: Nanos,
+}
+
+impl RefreshWindow {
+    /// The refresh-counter value for this window (`index mod 8192`).
+    #[must_use]
+    pub fn ref_index(&self) -> u32 {
+        (self.index % REFS_PER_RETENTION) as u32
+    }
+
+    /// Whether `time` falls inside the locked interval.
+    #[must_use]
+    pub fn contains(&self, time: Nanos) -> bool {
+        time >= self.start && time < self.end
+    }
+
+    /// Duration of the locked interval.
+    #[must_use]
+    pub fn duration(&self) -> Nanos {
+        self.end - self.start
+    }
+}
+
+/// Deterministic refresh calendar for one rank.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_dram::{DramTimings, DeviceGeometry, RefreshScheduler};
+/// use xfm_types::Nanos;
+///
+/// let sched = RefreshScheduler::new(
+///     DramTimings::paper_emulator(),
+///     DeviceGeometry::ddr4_8gb(),
+/// );
+/// let w = sched.window(0);
+/// assert_eq!(w.start, Nanos::ZERO);
+/// assert_eq!(w.duration().as_ns(), 410);
+/// // Next REF lands one tREFI later.
+/// assert_eq!(sched.window(1).start.as_ns(), 3906);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RefreshScheduler {
+    timings: DramTimings,
+    geometry: DeviceGeometry,
+}
+
+impl RefreshScheduler {
+    /// Creates a scheduler from timings and device geometry.
+    #[must_use]
+    pub fn new(timings: DramTimings, geometry: DeviceGeometry) -> Self {
+        Self { timings, geometry }
+    }
+
+    /// The timing parameters in use.
+    #[must_use]
+    pub fn timings(&self) -> &DramTimings {
+        &self.timings
+    }
+
+    /// The device geometry in use.
+    #[must_use]
+    pub fn geometry(&self) -> &DeviceGeometry {
+        &self.geometry
+    }
+
+    /// Returns window number `index`.
+    #[must_use]
+    pub fn window(&self, index: u64) -> RefreshWindow {
+        let start = self.timings.t_refi * index;
+        RefreshWindow {
+            index,
+            start,
+            end: start + self.timings.t_rfc,
+        }
+    }
+
+    /// Returns the window containing `time`, if `time` is inside one.
+    #[must_use]
+    pub fn window_at(&self, time: Nanos) -> Option<RefreshWindow> {
+        let index = time.periods(self.timings.t_refi);
+        let w = self.window(index);
+        w.contains(time).then_some(w)
+    }
+
+    /// Returns the first window whose start is `>= time`.
+    #[must_use]
+    pub fn next_window(&self, time: Nanos) -> RefreshWindow {
+        let index = time.periods(self.timings.t_refi);
+        let w = self.window(index);
+        if w.start >= time {
+            w
+        } else {
+            self.window(index + 1)
+        }
+    }
+
+    /// Rows refreshed in *each* bank during `window` (one row per distinct
+    /// subarray; see [`DeviceGeometry::refreshed_rows`]).
+    #[must_use]
+    pub fn refreshed_rows(&self, window: &RefreshWindow) -> Vec<RowId> {
+        self.geometry.refreshed_rows(window.ref_index())
+    }
+
+    /// Whether `row` is refreshed during `window` — the test that makes an
+    /// NMA access *conditional* (paper §5).
+    #[must_use]
+    pub fn is_row_refreshed_in(&self, row: RowId, window: &RefreshWindow) -> bool {
+        let ref_index = window.ref_index();
+        row.index() % REFS_PER_RETENTION as u32 == ref_index
+            && row.index() < self.geometry.rows_per_bank
+    }
+
+    /// The window in which `row` will next be refreshed, at or after
+    /// `time`. XFM's SFM controller uses this to schedule prefetch
+    /// decompressions as conditional accesses.
+    #[must_use]
+    pub fn next_window_refreshing(&self, row: RowId, time: Nanos) -> RefreshWindow {
+        let target = u64::from(row.index()) % REFS_PER_RETENTION;
+        let mut w = self.next_window(time);
+        let cur = w.index % REFS_PER_RETENTION;
+        let delta = (target + REFS_PER_RETENTION - cur) % REFS_PER_RETENTION;
+        if delta > 0 {
+            w = self.window(w.index + delta);
+        }
+        w
+    }
+
+    /// Iterator over all windows intersecting `[from, to)`.
+    pub fn windows_in(
+        &self,
+        from: Nanos,
+        to: Nanos,
+    ) -> impl Iterator<Item = RefreshWindow> + '_ {
+        let first = self.next_window(from.saturating_sub(self.timings.t_rfc));
+        let t_refi = self.timings.t_refi;
+        (first.index..)
+            .map(move |i| self.window(i))
+            .take_while(move |w| w.start < to)
+            .filter(move |w| w.end > from && w.start + t_refi > from)
+    }
+
+    /// Total locked time within one retention interval
+    /// (paper §4.3: ~2.46 ms of every 32 ms at `tRFC` = 300 ns).
+    #[must_use]
+    pub fn locked_per_retention(&self) -> Nanos {
+        self.timings.t_rfc * REFS_PER_RETENTION
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> RefreshScheduler {
+        RefreshScheduler::new(DramTimings::paper_emulator(), DeviceGeometry::ddr4_8gb())
+    }
+
+    #[test]
+    fn windows_are_periodic() {
+        let s = sched();
+        let w0 = s.window(0);
+        let w1 = s.window(1);
+        assert_eq!(w1.start - w0.start, s.timings().t_refi);
+        assert_eq!(w0.duration(), s.timings().t_rfc);
+    }
+
+    #[test]
+    fn window_at_detects_locked_time() {
+        let s = sched();
+        assert!(s.window_at(Nanos::from_ns(100)).is_some());
+        assert!(s.window_at(Nanos::from_ns(500)).is_none()); // after tRFC=410
+        let w = s.window_at(s.timings().t_refi + Nanos::from_ns(1)).unwrap();
+        assert_eq!(w.index, 1);
+    }
+
+    #[test]
+    fn next_window_rounds_up() {
+        let s = sched();
+        let w = s.next_window(Nanos::from_ns(1));
+        assert_eq!(w.index, 1);
+        let w = s.next_window(Nanos::ZERO);
+        assert_eq!(w.index, 0);
+    }
+
+    #[test]
+    fn ref_index_wraps_at_8192() {
+        let s = sched();
+        assert_eq!(s.window(8192).ref_index(), 0);
+        assert_eq!(s.window(8193).ref_index(), 1);
+    }
+
+    #[test]
+    fn is_row_refreshed_matches_geometry_list() {
+        let s = sched();
+        let w = s.window(17);
+        let rows = s.refreshed_rows(&w);
+        for row in &rows {
+            assert!(s.is_row_refreshed_in(*row, &w));
+        }
+        assert!(!s.is_row_refreshed_in(RowId::new(18), &w));
+    }
+
+    #[test]
+    fn next_window_refreshing_hits_target_row() {
+        let s = sched();
+        let row = RowId::new(100);
+        let w = s.next_window_refreshing(row, Nanos::from_ns(10));
+        assert!(s.is_row_refreshed_in(row, &w));
+        assert!(w.start >= Nanos::from_ns(10));
+        // A row's window is at most one full retention interval away.
+        assert!(w.start <= Nanos::from_ns(10) + s.timings().retention());
+    }
+
+    #[test]
+    fn windows_in_covers_interval() {
+        let s = sched();
+        let t_refi = s.timings().t_refi;
+        let windows: Vec<_> = s.windows_in(Nanos::ZERO, t_refi * 10).collect();
+        assert_eq!(windows.len(), 10);
+        assert_eq!(windows[0].index, 0);
+        assert_eq!(windows[9].index, 9);
+    }
+
+    #[test]
+    fn locked_time_matches_paper_estimate() {
+        // 8192 x 410 ns = 3.36 ms per 32 ms.
+        let s = sched();
+        let locked = s.locked_per_retention();
+        assert!((locked.as_ms_f64() - 3.36).abs() < 0.01);
+    }
+}

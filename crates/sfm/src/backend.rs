@@ -1,0 +1,212 @@
+//! The [`SfmBackend`] trait and shared accounting types.
+//!
+//! A backend owns the SFM region (zpool + entry table) and executes
+//! swap-outs (compress into far memory) and swap-ins (decompress back).
+//! Two implementations exist in the workspace: the Baseline-CPU backend
+//! ([`crate::cpu_backend::CpuBackend`]) and the XFM backend in
+//! `xfm-core`, which offloads to the near-memory accelerator and falls
+//! back to the CPU when NMA resources are exhausted (paper §6).
+
+use serde::{Deserialize, Serialize};
+use xfm_types::{ByteSize, Cycles, PageNumber, Result, PAGE_SIZE};
+
+/// Where a swap operation actually executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutedOn {
+    /// The host CPU ran the codec (baseline, or XFM's `CPU_Fallback`).
+    Cpu,
+    /// The near-memory accelerator ran the codec during refresh windows.
+    Nma,
+}
+
+/// Accounting record returned by every swap operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapOutcome {
+    /// Who performed the (de)compression.
+    pub executed_on: ExecutedOn,
+    /// Compressed size of the page involved.
+    pub compressed_len: u32,
+    /// Host CPU cycles consumed (zero for NMA executions).
+    pub cpu_cycles: Cycles,
+    /// Bytes moved over the DDR channel for this operation. For a CPU
+    /// swap-out this is read(4 KiB) + write(compressed); for NMA
+    /// executions it is zero — the traffic rides the refresh side channel.
+    pub ddr_bytes: ByteSize,
+}
+
+/// Aggregate statistics for a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BackendStats {
+    /// Completed swap-outs.
+    pub swap_outs: u64,
+    /// Completed swap-ins.
+    pub swap_ins: u64,
+    /// Swap operations that executed on the NMA.
+    pub nma_executions: u64,
+    /// Swap operations that fell back to (or ran on) the CPU.
+    pub cpu_executions: u64,
+    /// Total host CPU cycles spent in codecs.
+    pub cpu_cycles: Cycles,
+    /// Total DDR-channel traffic caused by swap operations.
+    pub ddr_bytes: ByteSize,
+    /// Pages rejected because the region was full.
+    pub rejected_full: u64,
+    /// Pages stored raw because they did not compress.
+    pub stored_raw: u64,
+}
+
+impl BackendStats {
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: &SwapOutcome, is_out: bool) {
+        if is_out {
+            self.swap_outs += 1;
+        } else {
+            self.swap_ins += 1;
+        }
+        match outcome.executed_on {
+            ExecutedOn::Cpu => self.cpu_executions += 1,
+            ExecutedOn::Nma => self.nma_executions += 1,
+        }
+        self.cpu_cycles += outcome.cpu_cycles;
+        self.ddr_bytes += outcome.ddr_bytes;
+    }
+
+    /// Fraction of operations that executed on the CPU (the paper's
+    /// Fig. 12 "CPU fall backs" metric, for the XFM backend).
+    #[must_use]
+    pub fn cpu_fraction(&self) -> f64 {
+        let total = self.cpu_executions + self.nma_executions;
+        if total == 0 {
+            0.0
+        } else {
+            self.cpu_executions as f64 / total as f64
+        }
+    }
+}
+
+/// Configuration shared by SFM backends.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SfmConfig {
+    /// Capacity of the compressed region (zpool limit).
+    pub region_capacity: ByteSize,
+    /// Store the page raw when the compressed size exceeds this fraction
+    /// of 4 KiB (zswap-style reject threshold).
+    pub max_compressed_fraction: f64,
+    /// CPU clock used to convert codec cycles into time.
+    pub cpu_freq: xfm_types::Hertz,
+}
+
+impl SfmConfig {
+    /// Largest acceptable compressed size under the reject threshold.
+    #[must_use]
+    pub fn max_compressed_len(&self) -> usize {
+        (PAGE_SIZE as f64 * self.max_compressed_fraction) as usize
+    }
+}
+
+impl Default for SfmConfig {
+    /// 1 GiB region, 0.95 reject threshold, 2.6 GHz host (the paper's
+    /// Xeon E5-2670 reference clock).
+    fn default() -> Self {
+        Self {
+            region_capacity: ByteSize::from_gib(1),
+            max_compressed_fraction: 0.95,
+            cpu_freq: xfm_types::Hertz::from_ghz(2.6),
+        }
+    }
+}
+
+/// A software-defined far memory backend.
+///
+/// Implementors hold the compressed region; callers are the SFM
+/// controller (policy) and applications (page faults).
+pub trait SfmBackend {
+    /// Compresses `data` (one 4 KiB page) into the SFM under `page`.
+    ///
+    /// # Errors
+    ///
+    /// - [`xfm_types::Error::EntryExists`] if the page is already out;
+    /// - [`xfm_types::Error::SfmRegionFull`] if the region cannot hold it
+    ///   even after compaction;
+    /// - [`xfm_types::Error::InvalidConfig`] if `data` is not 4 KiB.
+    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome>;
+
+    /// Decompresses `page` back out of the SFM, removing its entry.
+    ///
+    /// `do_offload` mirrors the paper's `xfm_swap_out()` parameter: when
+    /// `false` (a demand fault) the CPU path is preferred because the
+    /// application is stalled; when `true` (a prefetch) the NMA path may
+    /// be used. The CPU baseline ignores it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xfm_types::Error::EntryNotFound`] if the page is not in
+    /// the SFM, or [`xfm_types::Error::Corrupt`] if stored data fails to
+    /// decompress.
+    fn swap_in(&mut self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)>;
+
+    /// Whether `page` currently lives in the SFM.
+    fn contains(&self, page: PageNumber) -> bool;
+
+    /// Runs a compaction pass over the region (the paper's
+    /// `xfm_compact()`), returning the `memcpy` report.
+    fn compact(&mut self) -> crate::zpool::CompactReport;
+
+    /// Aggregate statistics.
+    fn stats(&self) -> BackendStats;
+
+    /// Zpool-level statistics (occupancy, fragmentation).
+    fn pool_stats(&self) -> crate::zpool::ZpoolStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_record_and_fraction() {
+        let mut s = BackendStats::default();
+        s.record(
+            &SwapOutcome {
+                executed_on: ExecutedOn::Cpu,
+                compressed_len: 100,
+                cpu_cycles: Cycles::new(1000),
+                ddr_bytes: ByteSize::from_bytes(4196),
+            },
+            true,
+        );
+        s.record(
+            &SwapOutcome {
+                executed_on: ExecutedOn::Nma,
+                compressed_len: 100,
+                cpu_cycles: Cycles::ZERO,
+                ddr_bytes: ByteSize::ZERO,
+            },
+            false,
+        );
+        assert_eq!(s.swap_outs, 1);
+        assert_eq!(s.swap_ins, 1);
+        assert_eq!(s.cpu_fraction(), 0.5);
+        assert_eq!(s.cpu_cycles.count(), 1000);
+        assert_eq!(s.ddr_bytes.as_bytes(), 4196);
+    }
+
+    #[test]
+    fn empty_stats_fraction_is_zero() {
+        assert_eq!(BackendStats::default().cpu_fraction(), 0.0);
+    }
+
+    #[test]
+    fn config_reject_threshold() {
+        let cfg = SfmConfig {
+            max_compressed_fraction: 0.5,
+            ..SfmConfig::default()
+        };
+        assert_eq!(cfg.max_compressed_len(), 2048);
+    }
+
+    #[test]
+    fn backend_trait_is_object_safe() {
+        fn _takes_dyn(_b: &mut dyn SfmBackend) {}
+    }
+}

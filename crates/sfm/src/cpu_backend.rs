@@ -1,0 +1,388 @@
+//! The Baseline-CPU SFM backend.
+//!
+//! Runs the codec synchronously on the host, exactly like zswap: a
+//! swap-out reads the cold 4 KiB page from DRAM, compresses it, and
+//! writes the compressed bytes back into the zpool; a swap-in reads the
+//! compressed bytes and writes the restored page. Both page and pool are
+//! cold by definition, so every one of those four transfers hits DRAM —
+//! the `4 x GBSwapped` channel traffic of the paper's §1/§3 (overhead
+//! O3) — and the codec burns host cycles (overhead O2).
+
+use xfm_compress::{Codec, CodecKind, CostModel, XDeflate};
+use xfm_types::{ByteSize, Cycles, Error, PageNumber, Result, PAGE_SIZE};
+
+use crate::backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
+use crate::table::{SfmEntry, SfmTable};
+use crate::zpool::{CompactReport, Zpool, ZpoolStats};
+
+/// The Baseline-CPU backend.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_sfm::{CpuBackend, SfmBackend, SfmConfig};
+/// use xfm_types::PageNumber;
+///
+/// let mut b = CpuBackend::new(SfmConfig::default());
+/// let page = b"16-byte pattern!".repeat(256); // 4096 bytes
+/// let out = b.swap_out(PageNumber::new(1), &page)?;
+/// assert!(out.compressed_len < 4096);
+/// // DDR traffic: 4 KiB page read + compressed write.
+/// assert_eq!(out.ddr_bytes.as_bytes(), 4096 + u64::from(out.compressed_len));
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+pub struct CpuBackend {
+    config: SfmConfig,
+    codec: Box<dyn Codec + Send>,
+    cost: CostModel,
+    pool: Zpool,
+    table: SfmTable,
+    stats: BackendStats,
+}
+
+impl std::fmt::Debug for CpuBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuBackend")
+            .field("codec", &self.codec.name())
+            .field("entries", &self.table.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CpuBackend {
+    /// Creates a backend with the default codec (xdeflate, matching the
+    /// Deflate class the paper's hardware implements) and the paper's
+    /// average cost model.
+    #[must_use]
+    pub fn new(config: SfmConfig) -> Self {
+        Self::with_codec(config, Box::new(XDeflate::default()), CostModel::paper_average())
+    }
+
+    /// Creates a backend with an explicit codec and cost model.
+    #[must_use]
+    pub fn with_codec(config: SfmConfig, codec: Box<dyn Codec + Send>, cost: CostModel) -> Self {
+        Self {
+            pool: Zpool::new(config.region_capacity),
+            table: SfmTable::new(),
+            stats: BackendStats::default(),
+            config,
+            codec,
+            cost,
+        }
+    }
+
+    /// The entry table (for controllers that scan it).
+    #[must_use]
+    pub fn table(&self) -> &SfmTable {
+        &self.table
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &SfmConfig {
+        &self.config
+    }
+}
+
+/// Returns the fill byte when every byte of `data` is identical.
+#[must_use]
+pub fn same_filled(data: &[u8]) -> Option<u8> {
+    let (&first, rest) = data.split_first()?;
+    rest.iter().all(|&b| b == first).then_some(first)
+}
+
+impl SfmBackend for CpuBackend {
+    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+        if data.len() != PAGE_SIZE {
+            return Err(Error::InvalidConfig(format!(
+                "swap_out requires a 4 KiB page, got {} bytes",
+                data.len()
+            )));
+        }
+        if self.table.contains(page) {
+            return Err(Error::EntryExists { page: page.index() });
+        }
+
+        // zswap's same-filled-page check runs before compression: a page
+        // of one repeated byte stores just that byte.
+        if let Some(fill) = same_filled(data) {
+            let handle = self.pool.alloc(&[fill])?;
+            self.table.insert(
+                page,
+                SfmEntry {
+                    handle,
+                    compressed_len: 1,
+                    codec: CodecKind::SameFilled,
+                },
+            )?;
+            let outcome = SwapOutcome {
+                executed_on: ExecutedOn::Cpu,
+                compressed_len: 1,
+                // The scan costs roughly one pass over the page.
+                cpu_cycles: Cycles::new(PAGE_SIZE as u64),
+                ddr_bytes: ByteSize::from_bytes(PAGE_SIZE as u64 + 1),
+            };
+            self.stats.record(&outcome, true);
+            return Ok(outcome);
+        }
+
+        let mut compressed = Vec::with_capacity(PAGE_SIZE);
+        self.codec.compress(data, &mut compressed)?;
+        let (bytes, codec_kind, cycles) = if compressed.len() > self.config.max_compressed_len() {
+            // zswap-style reject: store raw; compression cycles were
+            // still spent discovering that.
+            self.stats.stored_raw += 1;
+            (
+                data.to_vec(),
+                CodecKind::Raw,
+                self.cost.compress_cycles(PAGE_SIZE as u64),
+            )
+        } else {
+            (
+                compressed,
+                self.codec.kind(),
+                self.cost.compress_cycles(PAGE_SIZE as u64),
+            )
+        };
+
+        // Allocate; on full, compact once and retry (the paper's
+        // swapOut() "initiates an internal compaction operation if the
+        // SFM capacity limit is hit").
+        let mut extra_ddr = ByteSize::ZERO;
+        let handle = match self.pool.alloc(&bytes) {
+            Ok(h) => h,
+            Err(Error::SfmRegionFull) => {
+                let report = self.compact();
+                extra_ddr += report.moved_bytes * 2; // memcpy: read + write
+                match self.pool.alloc(&bytes) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        self.stats.rejected_full += 1;
+                        return Err(e);
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        };
+        self.table.insert(
+            page,
+            SfmEntry {
+                handle,
+                compressed_len: bytes.len() as u32,
+                codec: codec_kind,
+            },
+        )?;
+
+        let outcome = SwapOutcome {
+            executed_on: ExecutedOn::Cpu,
+            compressed_len: bytes.len() as u32,
+            cpu_cycles: cycles,
+            // Cold page read + compressed write, plus any compaction copies.
+            ddr_bytes: ByteSize::from_bytes(PAGE_SIZE as u64 + bytes.len() as u64) + extra_ddr,
+        };
+        self.stats.record(&outcome, true);
+        Ok(outcome)
+    }
+
+    fn swap_in(&mut self, page: PageNumber, _do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
+        let entry = self.table.remove(page)?;
+        let compressed = self.pool.get(entry.handle)?.to_vec();
+        self.pool.free(entry.handle)?;
+
+        let (data, cycles) = match entry.codec {
+            CodecKind::SameFilled => (vec![compressed[0]; PAGE_SIZE], Cycles::new(PAGE_SIZE as u64)),
+            CodecKind::Raw => (compressed.clone(), Cycles::ZERO),
+            _ => {
+                let mut out = Vec::with_capacity(PAGE_SIZE);
+                self.codec.decompress(&compressed, &mut out)?;
+                if out.len() != PAGE_SIZE {
+                    return Err(Error::Corrupt(format!(
+                        "page {page} decompressed to {} bytes",
+                        out.len()
+                    )));
+                }
+                (out, self.cost.decompress_cycles(PAGE_SIZE as u64))
+            }
+        };
+
+        let outcome = SwapOutcome {
+            executed_on: ExecutedOn::Cpu,
+            compressed_len: entry.compressed_len,
+            cpu_cycles: cycles,
+            // Compressed read + restored page write.
+            ddr_bytes: ByteSize::from_bytes(u64::from(entry.compressed_len) + PAGE_SIZE as u64),
+        };
+        self.stats.record(&outcome, false);
+        Ok((data, outcome))
+    }
+
+    fn contains(&self, page: PageNumber) -> bool {
+        self.table.contains(page)
+    }
+
+    fn compact(&mut self) -> CompactReport {
+        self.pool.compact()
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn pool_stats(&self) -> ZpoolStats {
+        self.pool.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfm_compress::Corpus;
+
+    fn page_of(corpus: Corpus, seed: u64) -> Vec<u8> {
+        corpus.generate(seed, PAGE_SIZE)
+    }
+
+    fn backend() -> CpuBackend {
+        CpuBackend::new(SfmConfig {
+            region_capacity: ByteSize::from_mib(4),
+            ..SfmConfig::default()
+        })
+    }
+
+    #[test]
+    fn swap_round_trip_preserves_data() {
+        let mut b = backend();
+        for (i, corpus) in Corpus::all().iter().enumerate() {
+            let page = page_of(*corpus, i as u64);
+            b.swap_out(PageNumber::new(i as u64), &page).unwrap();
+            assert!(b.contains(PageNumber::new(i as u64)));
+            let (restored, _) = b.swap_in(PageNumber::new(i as u64), false).unwrap();
+            assert_eq!(restored, page, "{}", corpus.name());
+            assert!(!b.contains(PageNumber::new(i as u64)));
+        }
+    }
+
+    #[test]
+    fn ddr_traffic_matches_four_component_model() {
+        let mut b = backend();
+        let page = page_of(Corpus::Json, 1);
+        let out = b.swap_out(PageNumber::new(1), &page).unwrap();
+        let c = u64::from(out.compressed_len);
+        assert_eq!(out.ddr_bytes.as_bytes(), 4096 + c);
+        let (_, inn) = b.swap_in(PageNumber::new(1), false).unwrap();
+        assert_eq!(inn.ddr_bytes.as_bytes(), c + 4096);
+        // Over the round trip: compressed read+write plus page read+write.
+        assert_eq!(b.stats().ddr_bytes.as_bytes(), 2 * 4096 + 2 * c);
+    }
+
+    #[test]
+    fn incompressible_page_stored_raw() {
+        let mut b = backend();
+        let page = page_of(Corpus::RandomBytes, 2);
+        let out = b.swap_out(PageNumber::new(9), &page).unwrap();
+        assert_eq!(out.compressed_len as usize, PAGE_SIZE);
+        assert_eq!(b.stats().stored_raw, 1);
+        let (restored, _) = b.swap_in(PageNumber::new(9), false).unwrap();
+        assert_eq!(restored, page);
+    }
+
+    #[test]
+    fn double_swap_out_rejected() {
+        let mut b = backend();
+        let page = page_of(Corpus::Csv, 3);
+        b.swap_out(PageNumber::new(4), &page).unwrap();
+        assert!(matches!(
+            b.swap_out(PageNumber::new(4), &page),
+            Err(Error::EntryExists { page: 4 })
+        ));
+    }
+
+    #[test]
+    fn swap_in_of_missing_page_rejected() {
+        let mut b = backend();
+        assert!(matches!(
+            b.swap_in(PageNumber::new(11), false),
+            Err(Error::EntryNotFound { page: 11 })
+        ));
+    }
+
+    #[test]
+    fn wrong_size_page_rejected() {
+        let mut b = backend();
+        assert!(b.swap_out(PageNumber::new(1), &[0u8; 100]).is_err());
+    }
+
+    #[test]
+    fn region_full_rejects_after_compaction_attempt() {
+        // Tiny region: two raw pages fill it.
+        let mut b = CpuBackend::new(SfmConfig {
+            region_capacity: ByteSize::from_pages(2),
+            ..SfmConfig::default()
+        });
+        let p = page_of(Corpus::RandomBytes, 7);
+        b.swap_out(PageNumber::new(0), &p).unwrap();
+        let p2 = page_of(Corpus::RandomBytes, 8);
+        b.swap_out(PageNumber::new(1), &p2).unwrap();
+        let p3 = page_of(Corpus::RandomBytes, 9);
+        assert!(matches!(
+            b.swap_out(PageNumber::new(2), &p3),
+            Err(Error::SfmRegionFull)
+        ));
+        assert_eq!(b.stats().rejected_full, 1);
+        // Swapping one in frees room again.
+        b.swap_in(PageNumber::new(0), false).unwrap();
+        b.swap_out(PageNumber::new(2), &p3).unwrap();
+    }
+
+    #[test]
+    fn cpu_cycles_charged_for_codec_work() {
+        let mut b = backend();
+        let page = page_of(Corpus::EnglishText, 5);
+        b.swap_out(PageNumber::new(1), &page).unwrap();
+        b.swap_in(PageNumber::new(1), false).unwrap();
+        // paper average: 7.65 cycles/byte each way on 4096 bytes.
+        let expected = (7.65 * 4096.0) as u64;
+        let cycles = b.stats().cpu_cycles.count();
+        assert!(
+            cycles >= 2 * expected - 10 && cycles <= 2 * expected + 10,
+            "cycles {cycles}"
+        );
+    }
+
+    #[test]
+    fn same_filled_pages_store_one_byte() {
+        let mut b = backend();
+        for (i, fill) in [(0u64, 0u8), (1, 0xff), (2, 0x5a)] {
+            let page = vec![fill; PAGE_SIZE];
+            let out = b.swap_out(PageNumber::new(i), &page).unwrap();
+            assert_eq!(out.compressed_len, 1, "fill {fill:#x}");
+            let (restored, _) = b.swap_in(PageNumber::new(i), false).unwrap();
+            assert_eq!(restored, page);
+        }
+        // An almost-same-filled page goes through the codec instead.
+        let mut page = vec![7u8; PAGE_SIZE];
+        page[4095] = 8;
+        let out = b.swap_out(PageNumber::new(9), &page).unwrap();
+        assert!(out.compressed_len > 1);
+        let (restored, _) = b.swap_in(PageNumber::new(9), false).unwrap();
+        assert_eq!(restored, page);
+    }
+
+    #[test]
+    fn same_filled_detector() {
+        assert_eq!(same_filled(&[3, 3, 3]), Some(3));
+        assert_eq!(same_filled(&[3, 3, 4]), None);
+        assert_eq!(same_filled(&[9]), Some(9));
+        assert_eq!(same_filled(&[]), None);
+    }
+
+    #[test]
+    fn pool_stats_reflect_occupancy() {
+        let mut b = backend();
+        let page = page_of(Corpus::ZeroPage, 0);
+        b.swap_out(PageNumber::new(1), &page).unwrap();
+        let s = b.pool_stats();
+        assert_eq!(s.objects, 1);
+        assert!(s.stored_bytes.as_bytes() < 200);
+    }
+}

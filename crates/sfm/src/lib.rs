@@ -1,0 +1,55 @@
+//! User-level software-defined far memory (SFM) stack.
+//!
+//! Re-creates the control plane the paper's §2.1/§6 describe — the part
+//! that production systems build on Linux zswap — as a user-level library
+//! (the same move the paper makes by integrating with AIFM):
+//!
+//! - [`zpool`] — a zsmalloc-like slab allocator that packs compressed
+//!   pages into 4 KiB host pages using size classes, with explicit
+//!   compaction (`memcpy`-cost accounted) to fight internal fragmentation;
+//! - [`table`] — the SFM entry table mapping swapped-out page numbers to
+//!   their compressed locations (the paper's red-black tree);
+//! - [`backend`] — the [`SfmBackend`] trait: `swap_out` / `swap_in` /
+//!   `compact`, with per-operation accounting (CPU cycles, DRAM traffic);
+//! - [`cpu_backend`] — the Baseline-CPU backend: synchronous compression
+//!   on the host, four DRAM traffic components per swap;
+//! - [`controller`] — cold-page scanning (120 s idle threshold by
+//!   default, per the Google fleet data) and promotion-rate tracking;
+//! - [`trace`] — an AIFM-like synthetic swap-trace generator with
+//!   Zipfian object popularity.
+//!
+//! # Examples
+//!
+//! ```
+//! use xfm_sfm::{CpuBackend, SfmBackend, SfmConfig};
+//! use xfm_types::{ByteSize, PageNumber};
+//!
+//! let mut backend = CpuBackend::new(SfmConfig {
+//!     region_capacity: ByteSize::from_mib(4),
+//!     ..SfmConfig::default()
+//! });
+//! let page = vec![42u8; 4096];
+//! backend.swap_out(PageNumber::new(7), &page)?;
+//! let (restored, _) = backend.swap_in(PageNumber::new(7), false)?;
+//! assert_eq!(restored, page);
+//! # Ok::<(), xfm_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod controller;
+pub mod cpu_backend;
+pub mod predictor;
+pub mod table;
+pub mod trace;
+pub mod zpool;
+
+pub use backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
+pub use controller::{ColdScanConfig, PromotionStats, SfmController};
+pub use predictor::{PredictorStats, StridePredictor};
+pub use cpu_backend::CpuBackend;
+pub use table::{SfmEntry, SfmTable};
+pub use trace::{SwapEvent, SwapKind, TraceConfig, TraceGenerator};
+pub use zpool::{CompactReport, Handle, Zpool, ZpoolStats};

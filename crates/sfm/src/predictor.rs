@@ -1,0 +1,261 @@
+//! Far-memory access prediction.
+//!
+//! The paper's conclusion notes that "the benefits of XFM can be
+//! increased by improving the far memory controller's proficiency at
+//! predicting application memory access patterns": a predicted swap-in
+//! can be issued as a *prefetch* (`do_offload = true`) and ride the
+//! refresh side channel, while an unpredicted one stalls the
+//! application on the CPU path.
+//!
+//! [`StridePredictor`] is a classic region-tagged stride predictor: it
+//! detects constant-stride fault streams per memory region and predicts
+//! the next pages. [`PredictorStats`] tracks realized accuracy — the
+//! knob the ablation study sweeps.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use xfm_types::PageNumber;
+
+/// Accuracy bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PredictorStats {
+    /// Faults observed.
+    pub observed: u64,
+    /// Faults that had been predicted beforehand (prefetch hits).
+    pub hits: u64,
+    /// Predictions issued.
+    pub predictions: u64,
+}
+
+impl PredictorStats {
+    /// Fraction of faults that were predicted (the `prefetch_accuracy`
+    /// the Fig. 12 model consumes).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.observed == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.observed as f64
+        }
+    }
+
+    /// Fraction of predictions that were eventually used.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct StreamEntry {
+    last_page: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+/// A region-tagged stride predictor.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_sfm::predictor::StridePredictor;
+/// use xfm_types::PageNumber;
+///
+/// let mut p = StridePredictor::new(4);
+/// for page in [100u64, 101, 102, 103] {
+///     p.observe(PageNumber::new(page));
+/// }
+/// // A confident +1 stride predicts the next pages.
+/// p.observe(PageNumber::new(104));
+/// assert!(p.is_predicted(PageNumber::new(105)));
+/// assert!(p.stats().accuracy() > 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StridePredictor {
+    /// Pages predicted per confident stream observation (prefetch depth).
+    depth: u32,
+    /// Region (page >> REGION_SHIFT) -> stream state.
+    streams: BTreeMap<u64, StreamEntry>,
+    /// Outstanding predictions awaiting confirmation.
+    outstanding: BTreeMap<u64, ()>,
+    stats: PredictorStats,
+}
+
+/// Pages per tracked region (64 pages = 256 KiB regions).
+const REGION_SHIFT: u32 = 6;
+/// Confidence needed before predictions are issued.
+const CONFIDENT: u8 = 2;
+/// Bound on the outstanding-prediction set (models prefetch buffers).
+const MAX_OUTSTANDING: usize = 4096;
+
+impl StridePredictor {
+    /// Creates a predictor that prefetches `depth` pages ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn new(depth: u32) -> Self {
+        assert!(depth > 0, "prefetch depth must be non-zero");
+        Self {
+            depth,
+            streams: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            stats: PredictorStats::default(),
+        }
+    }
+
+    /// Observes a far-memory fault and returns the pages to prefetch.
+    ///
+    /// If the fault itself had been predicted, it counts as a hit (the
+    /// controller would have prefetched it — `do_offload` path).
+    pub fn observe(&mut self, page: PageNumber) -> Vec<PageNumber> {
+        self.stats.observed += 1;
+        if self.outstanding.remove(&page.index()).is_some() {
+            self.stats.hits += 1;
+        }
+
+        let region = page.index() >> REGION_SHIFT;
+        let entry = self.streams.entry(region).or_insert(StreamEntry {
+            last_page: page.index(),
+            stride: 0,
+            confidence: 0,
+        });
+        let stride = page.index() as i64 - entry.last_page as i64;
+        if stride != 0 && stride == entry.stride {
+            entry.confidence = entry.confidence.saturating_add(1);
+        } else if stride != 0 {
+            entry.stride = stride;
+            entry.confidence = 0;
+        }
+        entry.last_page = page.index();
+
+        let mut predictions = Vec::new();
+        if entry.confidence >= CONFIDENT {
+            let stride = entry.stride;
+            let base = page.index() as i64;
+            for k in 1..=i64::from(self.depth) {
+                let predicted = base + stride * k;
+                if predicted >= 0 {
+                    let predicted = predicted as u64;
+                    if self.outstanding.len() < MAX_OUTSTANDING
+                        && self.outstanding.insert(predicted, ()).is_none()
+                    {
+                        self.stats.predictions += 1;
+                        predictions.push(PageNumber::new(predicted));
+                    }
+                }
+            }
+        }
+        predictions
+    }
+
+    /// Whether `page` is currently predicted (the backend checks this
+    /// to pick the `do_offload` path).
+    #[must_use]
+    pub fn is_predicted(&self, page: PageNumber) -> bool {
+        self.outstanding.contains_key(&page.index())
+    }
+
+    /// Accuracy statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+
+    /// Drops all outstanding predictions (phase change).
+    pub fn flush(&mut self) {
+        self.outstanding.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sequential_stream_reaches_high_accuracy() {
+        let mut p = StridePredictor::new(4);
+        for page in 0..500u64 {
+            p.observe(PageNumber::new(page));
+        }
+        let acc = p.stats().accuracy();
+        assert!(acc > 0.9, "sequential accuracy {acc}");
+    }
+
+    #[test]
+    fn strided_stream_detected() {
+        let mut p = StridePredictor::new(2);
+        for k in 0..100u64 {
+            p.observe(PageNumber::new(k * 3));
+        }
+        assert!(p.stats().accuracy() > 0.8);
+    }
+
+    #[test]
+    fn random_stream_stays_inaccurate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = StridePredictor::new(4);
+        for _ in 0..2000 {
+            p.observe(PageNumber::new(rng.gen_range(0..1_000_000)));
+        }
+        let acc = p.stats().accuracy();
+        assert!(acc < 0.1, "random accuracy {acc}");
+    }
+
+    #[test]
+    fn interleaved_streams_tracked_per_region() {
+        // Two sequential streams in distant regions, interleaved.
+        let mut p = StridePredictor::new(2);
+        for k in 0..200u64 {
+            p.observe(PageNumber::new(k));
+            p.observe(PageNumber::new(1_000_000 + k));
+        }
+        assert!(p.stats().accuracy() > 0.8, "{}", p.stats().accuracy());
+    }
+
+    #[test]
+    fn predictions_marked_and_consumed() {
+        let mut p = StridePredictor::new(1);
+        for page in [10u64, 11, 12, 13] {
+            p.observe(PageNumber::new(page));
+        }
+        assert!(p.is_predicted(PageNumber::new(14)));
+        p.observe(PageNumber::new(14));
+        assert!(!p.is_predicted(PageNumber::new(14)));
+    }
+
+    #[test]
+    fn flush_clears_outstanding() {
+        let mut p = StridePredictor::new(4);
+        for page in 0..20u64 {
+            p.observe(PageNumber::new(page));
+        }
+        p.flush();
+        assert!(!p.is_predicted(PageNumber::new(20)));
+    }
+
+    #[test]
+    fn precision_bounded_by_one() {
+        let mut p = StridePredictor::new(8);
+        for page in 0..300u64 {
+            p.observe(PageNumber::new(page));
+        }
+        let s = p.stats();
+        assert!(s.precision() <= 1.0);
+        assert!(s.hits <= s.predictions);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_depth_rejected() {
+        let _ = StridePredictor::new(0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The SFM entry table.
+//!
+//! Maps swapped-out page numbers to their compressed storage. The paper's
+//! `xfm_swap_out()` "performs a lookup in an internal red-black tree to
+//! find the associated physical address of the compressed page entry";
+//! Rust's `BTreeMap` plays that role here.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use xfm_types::{ByteSize, Error, PageNumber, Result};
+
+use xfm_compress::CodecKind;
+
+use crate::zpool::Handle;
+
+/// Metadata for one compressed page resident in the SFM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SfmEntry {
+    /// Location in the zpool.
+    pub handle: Handle,
+    /// Compressed length in bytes.
+    pub compressed_len: u32,
+    /// Codec used (or [`CodecKind::Raw`] for incompressible pages).
+    pub codec: CodecKind,
+}
+
+/// Ordered page-number → entry map.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_sfm::{SfmTable, SfmEntry, Zpool};
+/// use xfm_compress::CodecKind;
+/// use xfm_types::{ByteSize, PageNumber};
+///
+/// let mut pool = Zpool::new(ByteSize::from_mib(1));
+/// let handle = pool.alloc(&[0u8; 100])?;
+/// let mut table = SfmTable::new();
+/// table.insert(PageNumber::new(3), SfmEntry {
+///     handle,
+///     compressed_len: 100,
+///     codec: CodecKind::Xlz,
+/// })?;
+/// assert!(table.get(PageNumber::new(3)).is_some());
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SfmTable {
+    entries: BTreeMap<u64, SfmEntry>,
+}
+
+impl SfmTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an entry for `page`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EntryExists`] if the page is already swapped out —
+    /// the backend must never double-compress a page.
+    pub fn insert(&mut self, page: PageNumber, entry: SfmEntry) -> Result<()> {
+        if self.entries.contains_key(&page.index()) {
+            return Err(Error::EntryExists { page: page.index() });
+        }
+        self.entries.insert(page.index(), entry);
+        Ok(())
+    }
+
+    /// Looks up the entry for `page`.
+    #[must_use]
+    pub fn get(&self, page: PageNumber) -> Option<&SfmEntry> {
+        self.entries.get(&page.index())
+    }
+
+    /// Removes and returns the entry for `page`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EntryNotFound`] if the page is not in the SFM.
+    pub fn remove(&mut self, page: PageNumber) -> Result<SfmEntry> {
+        self.entries
+            .remove(&page.index())
+            .ok_or(Error::EntryNotFound { page: page.index() })
+    }
+
+    /// Whether `page` is currently swapped out.
+    #[must_use]
+    pub fn contains(&self, page: PageNumber) -> bool {
+        self.entries.contains_key(&page.index())
+    }
+
+    /// Number of swapped-out pages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of compressed lengths across entries.
+    #[must_use]
+    pub fn compressed_bytes(&self) -> ByteSize {
+        ByteSize::from_bytes(self.entries.values().map(|e| u64::from(e.compressed_len)).sum())
+    }
+
+    /// Uncompressed capacity represented (entries × 4 KiB) — the
+    /// "extra memory" the SFM provides.
+    #[must_use]
+    pub fn represented_bytes(&self) -> ByteSize {
+        ByteSize::from_pages(self.entries.len() as u64)
+    }
+
+    /// Iterates over `(page, entry)` pairs in page order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageNumber, &SfmEntry)> {
+        self.entries
+            .iter()
+            .map(|(&p, e)| (PageNumber::new(p), e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(len: u32) -> SfmEntry {
+        // Handles here are synthetic: table tests don't need a real pool.
+        let mut pool = crate::zpool::Zpool::new(ByteSize::from_mib(1));
+        let handle = pool.alloc(&vec![0u8; len as usize]).unwrap();
+        SfmEntry {
+            handle,
+            compressed_len: len,
+            codec: CodecKind::XDeflate,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = SfmTable::new();
+        t.insert(PageNumber::new(1), entry(128)).unwrap();
+        assert!(t.contains(PageNumber::new(1)));
+        assert_eq!(t.get(PageNumber::new(1)).unwrap().compressed_len, 128);
+        let e = t.remove(PageNumber::new(1)).unwrap();
+        assert_eq!(e.compressed_len, 128);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn double_insert_rejected() {
+        let mut t = SfmTable::new();
+        t.insert(PageNumber::new(5), entry(64)).unwrap();
+        assert!(matches!(
+            t.insert(PageNumber::new(5), entry(64)),
+            Err(Error::EntryExists { page: 5 })
+        ));
+    }
+
+    #[test]
+    fn remove_missing_rejected() {
+        let mut t = SfmTable::new();
+        assert!(matches!(
+            t.remove(PageNumber::new(9)),
+            Err(Error::EntryNotFound { page: 9 })
+        ));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut t = SfmTable::new();
+        t.insert(PageNumber::new(1), entry(1000)).unwrap();
+        t.insert(PageNumber::new(2), entry(500)).unwrap();
+        assert_eq!(t.compressed_bytes().as_bytes(), 1500);
+        assert_eq!(t.represented_bytes().as_bytes(), 8192);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_page_ordered() {
+        let mut t = SfmTable::new();
+        for p in [9u64, 1, 5] {
+            t.insert(PageNumber::new(p), entry(64)).unwrap();
+        }
+        let pages: Vec<u64> = t.iter().map(|(p, _)| p.index()).collect();
+        assert_eq!(pages, vec![1, 5, 9]);
+    }
+}

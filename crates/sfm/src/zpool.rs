@@ -1,0 +1,450 @@
+//! A zsmalloc-like slab allocator for compressed pages.
+//!
+//! zswap deployments use the zsmalloc allocator because it packs as many
+//! compressed pages as possible into each encapsulating OS page, at the
+//! cost of intermittent compaction (paper §2.1). This model keeps the
+//! same structure: the pool is a set of 4 KiB *host pages*, each assigned
+//! to a *size class* (a multiple of a 64 B chunk); objects occupy fixed
+//! slots of their class size. [`Zpool::compact`] repacks each class into
+//! the fewest host pages and reports the `memcpy` volume, which the
+//! backends charge as DRAM traffic.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use xfm_types::{ByteSize, Error, Result, PAGE_SIZE};
+
+/// Allocation granularity within a host page (zsmalloc chunk).
+pub const CHUNK: usize = 64;
+
+/// Number of size classes (`CHUNK..=PAGE_SIZE` in `CHUNK` steps).
+pub const NUM_CLASSES: usize = PAGE_SIZE / CHUNK;
+
+/// An opaque reference to a stored object.
+///
+/// Handles remain valid across [`Zpool::compact`] (objects may move
+/// between host pages, but the handle indirection is stable, mirroring
+/// zsmalloc's handle table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Handle(u64);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct HostPage {
+    /// Size class (slot size = `(class + 1) * CHUNK`).
+    class: usize,
+    /// Slot contents; `None` = free slot.
+    slots: Vec<Option<Vec<u8>>>,
+    used: usize,
+}
+
+impl HostPage {
+    fn new(class: usize) -> Self {
+        let slot_size = (class + 1) * CHUNK;
+        Self {
+            class,
+            slots: vec![None; PAGE_SIZE / slot_size],
+            used: 0,
+        }
+    }
+}
+
+/// Statistics snapshot for a [`Zpool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ZpoolStats {
+    /// Bytes of actual object payload stored.
+    pub stored_bytes: ByteSize,
+    /// Bytes reserved by slot rounding (internal fragmentation).
+    pub slot_overhead: ByteSize,
+    /// Host pages currently allocated from the region.
+    pub host_pages: u64,
+    /// Live objects.
+    pub objects: u64,
+}
+
+impl ZpoolStats {
+    /// Pool bytes consumed from the SFM region (host pages x 4 KiB).
+    #[must_use]
+    pub fn pool_bytes(&self) -> ByteSize {
+        ByteSize::from_pages(self.host_pages)
+    }
+
+    /// Fraction of pool bytes holding live payload (0 when empty).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let pool = self.pool_bytes().as_bytes();
+        if pool == 0 {
+            0.0
+        } else {
+            self.stored_bytes.as_bytes() as f64 / pool as f64
+        }
+    }
+}
+
+/// Report from one compaction pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompactReport {
+    /// Objects relocated.
+    pub moved_objects: u64,
+    /// Payload bytes `memcpy`ed (charged as DRAM read + write traffic).
+    pub moved_bytes: ByteSize,
+    /// Host pages returned to the region.
+    pub freed_pages: u64,
+}
+
+/// The allocator.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_sfm::Zpool;
+/// use xfm_types::ByteSize;
+///
+/// let mut pool = Zpool::new(ByteSize::from_mib(1));
+/// let h = pool.alloc(&[1, 2, 3, 4])?;
+/// assert_eq!(pool.get(h)?, &[1, 2, 3, 4]);
+/// pool.free(h)?;
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Zpool {
+    capacity: ByteSize,
+    pages: Vec<Option<HostPage>>,
+    /// Free indices in `pages`.
+    free_page_slots: Vec<usize>,
+    /// `handle -> (page index, slot index)`.
+    locations: BTreeMap<u64, (usize, usize)>,
+    next_handle: u64,
+    stored_bytes: u64,
+    slot_overhead: u64,
+}
+
+impl Zpool {
+    /// Creates a pool that may grow to at most `capacity` bytes of host
+    /// pages.
+    #[must_use]
+    pub fn new(capacity: ByteSize) -> Self {
+        Self {
+            capacity,
+            pages: Vec::new(),
+            free_page_slots: Vec::new(),
+            locations: BTreeMap::new(),
+            next_handle: 1,
+            stored_bytes: 0,
+            slot_overhead: 0,
+        }
+    }
+
+    /// The configured capacity limit.
+    #[must_use]
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    fn class_of(len: usize) -> usize {
+        len.div_ceil(CHUNK).max(1) - 1
+    }
+
+    fn live_pages(&self) -> u64 {
+        (self.pages.len() - self.free_page_slots.len()) as u64
+    }
+
+    /// Stores `data`, returning a stable handle.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::InvalidConfig`] if `data` is empty or larger than 4 KiB;
+    /// - [`Error::SfmRegionFull`] if no slot is free and growing the pool
+    ///   would exceed capacity. Callers should [`Zpool::compact`] and
+    ///   retry, or reject the swap-out.
+    pub fn alloc(&mut self, data: &[u8]) -> Result<Handle> {
+        if data.is_empty() || data.len() > PAGE_SIZE {
+            return Err(Error::InvalidConfig(format!(
+                "object size {} outside 1..=4096",
+                data.len()
+            )));
+        }
+        let class = Self::class_of(data.len());
+        // First fit: any existing page of this class with a free slot.
+        let found = self.pages.iter().enumerate().find_map(|(pi, p)| {
+            p.as_ref().and_then(|p| {
+                (p.class == class && p.used < p.slots.len()).then(|| {
+                    let si = p.slots.iter().position(Option::is_none).expect("free slot");
+                    (pi, si)
+                })
+            })
+        });
+        let (pi, si) = match found {
+            Some(loc) => loc,
+            None => {
+                // Grow the pool by one host page, if capacity allows.
+                let next_pages = self.live_pages() + 1;
+                if ByteSize::from_pages(next_pages) > self.capacity {
+                    return Err(Error::SfmRegionFull);
+                }
+                let pi = match self.free_page_slots.pop() {
+                    Some(idx) => {
+                        self.pages[idx] = Some(HostPage::new(class));
+                        idx
+                    }
+                    None => {
+                        self.pages.push(Some(HostPage::new(class)));
+                        self.pages.len() - 1
+                    }
+                };
+                (pi, 0)
+            }
+        };
+        let page = self.pages[pi].as_mut().expect("live page");
+        page.slots[si] = Some(data.to_vec());
+        page.used += 1;
+        let handle = Handle(self.next_handle);
+        self.next_handle += 1;
+        self.locations.insert(handle.0, (pi, si));
+        self.stored_bytes += data.len() as u64;
+        self.slot_overhead += ((class + 1) * CHUNK - data.len()) as u64;
+        Ok(handle)
+    }
+
+    /// Reads the object behind `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EntryNotFound`] for a stale or unknown handle.
+    pub fn get(&self, handle: Handle) -> Result<&[u8]> {
+        let &(pi, si) = self
+            .locations
+            .get(&handle.0)
+            .ok_or(Error::EntryNotFound { page: handle.0 })?;
+        Ok(self.pages[pi]
+            .as_ref()
+            .expect("live page")
+            .slots[si]
+            .as_deref()
+            .expect("live slot"))
+    }
+
+    /// Frees the object behind `handle`. Fully-empty host pages return to
+    /// the region immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EntryNotFound`] for a stale or unknown handle.
+    pub fn free(&mut self, handle: Handle) -> Result<ByteSize> {
+        let (pi, si) = self
+            .locations
+            .remove(&handle.0)
+            .ok_or(Error::EntryNotFound { page: handle.0 })?;
+        let page = self.pages[pi].as_mut().expect("live page");
+        let data = page.slots[si].take().expect("live slot");
+        page.used -= 1;
+        let class = page.class;
+        self.stored_bytes -= data.len() as u64;
+        self.slot_overhead -= ((class + 1) * CHUNK - data.len()) as u64;
+        if page.used == 0 {
+            self.pages[pi] = None;
+            self.free_page_slots.push(pi);
+        }
+        Ok(ByteSize::from_bytes(data.len() as u64))
+    }
+
+    /// Repacks every size class into the fewest host pages, relocating
+    /// objects from sparse pages into dense ones — the zsmalloc-style
+    /// `memcpy` compaction the paper's `xfm_compact()` exposes.
+    pub fn compact(&mut self) -> CompactReport {
+        let mut report = CompactReport::default();
+        // Build per-class page lists, densest first.
+        let mut by_class: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (pi, p) in self.pages.iter().enumerate() {
+            if let Some(p) = p {
+                by_class.entry(p.class).or_default().push(pi);
+            }
+        }
+        for (_, mut page_idxs) in by_class {
+            page_idxs.sort_by_key(|&pi| {
+                std::cmp::Reverse(self.pages[pi].as_ref().expect("live").used)
+            });
+            // Two-pointer: move objects from the sparsest pages into free
+            // slots of the densest pages.
+            let mut dense = 0usize;
+            let mut sparse = page_idxs.len();
+            while dense < sparse {
+                let dense_pi = page_idxs[dense];
+                let free_in_dense = {
+                    let p = self.pages[dense_pi].as_ref().expect("live");
+                    p.slots.len() - p.used
+                };
+                if free_in_dense == 0 {
+                    dense += 1;
+                    continue;
+                }
+                let sparse_pi = page_idxs[sparse - 1];
+                if sparse_pi == dense_pi {
+                    break;
+                }
+                let sparse_used = self.pages[sparse_pi].as_ref().expect("live").used;
+                if sparse_used == 0 {
+                    sparse -= 1;
+                    continue;
+                }
+                // Move one object.
+                let (si_from, data) = {
+                    let p = self.pages[sparse_pi].as_mut().expect("live");
+                    let si = p
+                        .slots
+                        .iter()
+                        .position(Option::is_some)
+                        .expect("object present");
+                    (si, p.slots[si].take().expect("object"))
+                };
+                self.pages[sparse_pi].as_mut().expect("live").used -= 1;
+                let si_to = {
+                    let p = self.pages[dense_pi].as_mut().expect("live");
+                    let si = p.slots.iter().position(Option::is_none).expect("free slot");
+                    p.slots[si] = Some(data.clone());
+                    p.used += 1;
+                    si
+                };
+                // Fix the handle that pointed at (sparse_pi, si_from).
+                let handle = self
+                    .locations
+                    .iter()
+                    .find_map(|(&h, &loc)| (loc == (sparse_pi, si_from)).then_some(h))
+                    .expect("handle for moved object");
+                self.locations.insert(handle, (dense_pi, si_to));
+                report.moved_objects += 1;
+                report.moved_bytes += ByteSize::from_bytes(data.len() as u64);
+                if self.pages[sparse_pi].as_ref().expect("live").used == 0 {
+                    self.pages[sparse_pi] = None;
+                    self.free_page_slots.push(sparse_pi);
+                    report.freed_pages += 1;
+                    sparse -= 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> ZpoolStats {
+        ZpoolStats {
+            stored_bytes: ByteSize::from_bytes(self.stored_bytes),
+            slot_overhead: ByteSize::from_bytes(self.slot_overhead),
+            host_pages: self.live_pages(),
+            objects: self.locations.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Zpool {
+        Zpool::new(ByteSize::from_mib(1))
+    }
+
+    #[test]
+    fn alloc_get_free_round_trip() {
+        let mut p = pool();
+        let h = p.alloc(&[9u8; 100]).unwrap();
+        assert_eq!(p.get(h).unwrap(), &[9u8; 100][..]);
+        assert_eq!(p.free(h).unwrap().as_bytes(), 100);
+        assert!(p.get(h).is_err());
+        assert!(p.free(h).is_err());
+    }
+
+    #[test]
+    fn objects_pack_into_shared_host_pages() {
+        let mut p = pool();
+        // 100-byte objects round to 128 B slots: 32 per host page.
+        let handles: Vec<_> = (0..32).map(|_| p.alloc(&[1u8; 100]).unwrap()).collect();
+        assert_eq!(p.stats().host_pages, 1);
+        let h33 = p.alloc(&[1u8; 100]).unwrap();
+        assert_eq!(p.stats().host_pages, 2);
+        for h in handles {
+            p.free(h).unwrap();
+        }
+        p.free(h33).unwrap();
+        assert_eq!(p.stats().host_pages, 0);
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let mut p = Zpool::new(ByteSize::from_pages(2));
+        // Full-page objects: only 2 fit.
+        p.alloc(&[1u8; 4096]).unwrap();
+        p.alloc(&[2u8; 4096]).unwrap();
+        assert!(matches!(p.alloc(&[3u8; 4096]), Err(Error::SfmRegionFull)));
+    }
+
+    #[test]
+    fn invalid_sizes_rejected() {
+        let mut p = pool();
+        assert!(p.alloc(&[]).is_err());
+        assert!(p.alloc(&vec![0u8; 4097]).is_err());
+    }
+
+    #[test]
+    fn fragmentation_then_compaction_frees_pages() {
+        let mut p = pool();
+        // Fill 4 host pages with 128 B-class objects...
+        let handles: Vec<_> = (0..128).map(|i| p.alloc(&[i as u8; 100]).unwrap()).collect();
+        assert_eq!(p.stats().host_pages, 4);
+        // ...then free three quarters, scattered (leaves holes everywhere).
+        for (i, h) in handles.iter().enumerate() {
+            if i % 4 != 0 {
+                p.free(*h).unwrap();
+            }
+        }
+        assert_eq!(p.stats().objects, 32);
+        let before = p.stats().host_pages;
+        let report = p.compact();
+        let after = p.stats().host_pages;
+        assert_eq!(after, 1, "32 objects of 128 B fit one host page");
+        assert_eq!(before - after, report.freed_pages);
+        assert!(report.moved_objects > 0);
+        // Survivors unharmed.
+        for (i, h) in handles.iter().enumerate() {
+            if i % 4 == 0 {
+                assert_eq!(p.get(*h).unwrap(), &[i as u8; 100][..]);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_stay_valid_across_compaction() {
+        let mut p = pool();
+        let keep = p.alloc(b"keep me around").unwrap();
+        let doomed: Vec<_> = (0..100).map(|_| p.alloc(&[0u8; 1000]).unwrap()).collect();
+        for h in doomed {
+            p.free(h).unwrap();
+        }
+        p.compact();
+        assert_eq!(p.get(keep).unwrap(), b"keep me around");
+    }
+
+    #[test]
+    fn stats_track_overhead() {
+        let mut p = pool();
+        p.alloc(&[0u8; 65]).unwrap(); // 128 B slot -> 63 B overhead
+        let s = p.stats();
+        assert_eq!(s.stored_bytes.as_bytes(), 65);
+        assert_eq!(s.slot_overhead.as_bytes(), 63);
+        assert_eq!(s.objects, 1);
+        assert!(s.utilization() > 0.0 && s.utilization() < 0.05);
+    }
+
+    #[test]
+    fn empty_pool_utilization_is_zero() {
+        assert_eq!(pool().stats().utilization(), 0.0);
+    }
+
+    #[test]
+    fn distinct_classes_use_distinct_pages() {
+        let mut p = pool();
+        p.alloc(&[1u8; 64]).unwrap(); // class 0
+        p.alloc(&[2u8; 2048]).unwrap(); // class 31
+        assert_eq!(p.stats().host_pages, 2);
+    }
+}

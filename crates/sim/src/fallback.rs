@@ -1,0 +1,562 @@
+//! The CPU-fallback sensitivity engine (paper Fig. 12).
+//!
+//! Simulates one XFM DIMM's refresh-window service loop against a bursty
+//! swap arrival process and counts how often the driver must fall back
+//! to the CPU. Swept inputs (matching the figure): SPM size, accesses
+//! per `tRFC`, and promotion rate.
+//!
+//! Modeling choices (documented in `DESIGN.md`):
+//!
+//! - Window service capacity is counted in *bytes* —
+//!   `accesses_per_trfc × 4096` per window — so sub-page compressed
+//!   write-backs batch naturally, as the paper's SPM-drain design
+//!   implies.
+//! - Demotions and prefetched promotions are *flexible*: the controller
+//!   aligns them to the refresh calendar (conditional accesses). Demand
+//!   promotions are *urgent*: they need a random access (at most
+//!   `max_random_per_trfc` per window, methodology: 1) and spill to the
+//!   CPU after a short deadline.
+//! - Swap traffic arrives in bursts (the page scanner emits batches;
+//!   §3.2 calls the traffic "bursty"), which is what makes SPM capacity
+//!   matter.
+//! - Every admitted offload holds an SPM reservation from admission to
+//!   write-back completion; admission fails (→ CPU fallback) when the
+//!   SPM cannot cover it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use xfm_dram::geometry::DeviceGeometry;
+use xfm_dram::timing::{DramTimings, REFS_PER_RETENTION};
+use xfm_types::{ByteSize, Nanos, PAGE_SIZE};
+
+/// Sweep-point configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FallbackConfig {
+    /// SFM far-memory capacity (512 GB in the paper).
+    pub sfm_capacity: ByteSize,
+    /// Promotion rate (Fig. 12 uses 50% and 100%).
+    pub promotion_rate: f64,
+    /// DIMMs sharing the swap traffic (4 channels x 2 DIMMs).
+    pub n_dimms: u32,
+    /// SPM capacity (the x-axis).
+    pub spm_capacity: ByteSize,
+    /// NMA accesses that fit in one `tRFC` (panels: 1, 2, 3).
+    pub accesses_per_trfc: u32,
+    /// Random accesses allowed per window (methodology: 1).
+    pub max_random_per_trfc: u32,
+    /// Average compression ratio of swapped pages.
+    pub compression_ratio: f64,
+    /// Fraction of promotions predicted by the controller (prefetches).
+    pub prefetch_accuracy: f64,
+    /// Pages per scanner burst.
+    pub burst_pages: u32,
+    /// Compress_Request_Queue depth (pending read descriptors).
+    pub queue_capacity: usize,
+    /// Windows of controller alignment lookahead: flexible operations
+    /// are scheduled onto refresh slots at most this far ahead (the
+    /// scanner prefers cold pages whose rows refresh soon).
+    pub alignment_lookahead: u32,
+    /// Windows an urgent op may wait before spilling.
+    pub urgent_max_wait: u64,
+    /// DRAM timings (sets `tREFI`).
+    pub timings: DramTimings,
+    /// Device geometry (subarray-conflict probability).
+    pub geometry: DeviceGeometry,
+    /// Simulated duration.
+    pub duration: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FallbackConfig {
+    /// The paper's §8 setup at a 100% promotion rate with the 2 MiB
+    /// prototype SPM and 3 accesses per window.
+    fn default() -> Self {
+        Self {
+            sfm_capacity: ByteSize::from_gib(512),
+            promotion_rate: 1.0,
+            n_dimms: 8,
+            spm_capacity: ByteSize::from_mib(2),
+            accesses_per_trfc: 3,
+            max_random_per_trfc: 1,
+            compression_ratio: 2.5,
+            prefetch_accuracy: 0.8,
+            burst_pages: 2048,
+            queue_capacity: 8192,
+            alignment_lookahead: 512,
+            urgent_max_wait: 16,
+            timings: DramTimings::paper_emulator(),
+            geometry: DeviceGeometry::ddr4_8gb(),
+            duration: Nanos::from_ms(200),
+            seed: 0x0f0f_1234,
+        }
+    }
+}
+
+impl FallbackConfig {
+    /// Swap operations per second per DIMM, per direction (EQ1 scaled
+    /// down to one DIMM).
+    #[must_use]
+    pub fn ops_per_sec_per_dimm(&self) -> f64 {
+        self.sfm_capacity.as_gib_f64() * self.promotion_rate / 60.0 * 1e9
+            / PAGE_SIZE as f64
+            / f64::from(self.n_dimms)
+    }
+
+    /// Offered service load as a fraction of the window byte budget.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let per_op_bytes = 2.0 * (PAGE_SIZE as f64 * (1.0 + 1.0 / self.compression_ratio));
+        let bytes_per_sec = self.ops_per_sec_per_dimm() * per_op_bytes;
+        let budget_per_sec = f64::from(self.accesses_per_trfc) * PAGE_SIZE as f64
+            / self.timings.t_refi.as_secs_f64();
+        bytes_per_sec / budget_per_sec
+    }
+}
+
+/// Simulation outcome for one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FallbackReport {
+    /// Swap operations that completed on the NMA.
+    pub completed: u64,
+    /// Operations that fell back to the CPU.
+    pub fallbacks: u64,
+    /// DRAM accesses served conditionally.
+    pub conditional_accesses: u64,
+    /// DRAM accesses served randomly.
+    pub random_accesses: u64,
+    /// Peak SPM occupancy observed.
+    pub spm_high_water: ByteSize,
+    /// Random-access attempts deferred by subarray conflicts.
+    pub subarray_conflicts: u64,
+}
+
+impl FallbackReport {
+    /// Fraction of swap operations that fell back to the CPU (Fig. 12's
+    /// y-axis).
+    #[must_use]
+    pub fn fallback_fraction(&self) -> f64 {
+        let total = self.completed + self.fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.fallbacks as f64 / total as f64
+        }
+    }
+
+    /// Share of served accesses that were conditional.
+    #[must_use]
+    pub fn conditional_fraction(&self) -> f64 {
+        let total = self.conditional_accesses + self.random_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.conditional_accesses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpPhase {
+    Read,
+    WriteBack,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    phase: OpPhase,
+    /// Bytes of the current phase's DRAM access.
+    bytes: u32,
+    /// Bytes of the write-back phase (after the read completes).
+    writeback_bytes: u32,
+    /// SPM bytes currently reserved.
+    reserved: u32,
+    /// Window the op entered its current queue.
+    since: u64,
+}
+
+/// Runs the sweep-point simulation.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_sim::fallback::{simulate, FallbackConfig};
+/// use xfm_types::{ByteSize, Nanos};
+///
+/// let report = simulate(&FallbackConfig {
+///     spm_capacity: ByteSize::from_mib(8),
+///     duration: Nanos::from_ms(50),
+///     ..FallbackConfig::default()
+/// });
+/// // 8 MiB of SPM at 3 accesses/tRFC: (almost) no CPU fallbacks.
+/// assert!(report.fallback_fraction() < 0.01);
+/// ```
+#[must_use]
+pub fn simulate(cfg: &FallbackConfig) -> FallbackReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let windows = cfg.duration.periods(cfg.timings.t_refi);
+    let slots = REFS_PER_RETENTION as usize;
+    let mut by_slot: Vec<std::collections::VecDeque<Op>> =
+        vec![std::collections::VecDeque::new(); slots];
+    let mut random_q: std::collections::VecDeque<Op> = std::collections::VecDeque::new();
+
+    // SPM holds engine outputs awaiting write-back; the request queue
+    // holds read descriptors awaiting their refresh slots.
+    let spm_cap = cfg.spm_capacity.as_bytes();
+    let mut spm_used: u64 = 0;
+    let mut queue_len: usize = 0;
+    let mut report = FallbackReport {
+        completed: 0,
+        fallbacks: 0,
+        conditional_accesses: 0,
+        random_accesses: 0,
+        spm_high_water: ByteSize::ZERO,
+        subarray_conflicts: 0,
+    };
+    let mut high_water: u64 = 0;
+
+    // Arrival processes.
+    let ops_per_window = cfg.ops_per_sec_per_dimm() * cfg.timings.t_refi.as_secs_f64();
+    let burst_interval = (f64::from(cfg.burst_pages) / ops_per_window).max(1.0) as u64;
+    let demand_rate = ops_per_window * (1.0 - cfg.prefetch_accuracy);
+    let wb_bytes = (PAGE_SIZE as f64 / cfg.compression_ratio) as u32;
+    let p_conflict =
+        f64::from(cfg.geometry.rows_per_ref()) / f64::from(cfg.geometry.subarrays_per_bank());
+    let lookahead = cfg.alignment_lookahead.max(1) as u64;
+    let promote_offset = burst_interval / 2;
+
+    for w in 0..windows {
+        let ref_idx = (w % REFS_PER_RETENTION) as usize;
+
+        // --- Arrivals -------------------------------------------------
+        // Demotion bursts (compress: read page, write back compressed)
+        // and prefetched-promotion bursts (decompress: read compressed,
+        // write back page). The controller aligns each to a refresh slot
+        // within the lookahead horizon.
+        let mut flex_arrivals: Vec<(u32, u32)> = Vec::new();
+        if w % burst_interval == 0 {
+            for _ in 0..cfg.burst_pages {
+                flex_arrivals.push((PAGE_SIZE as u32, wb_bytes));
+            }
+        }
+        if (w + promote_offset).is_multiple_of(burst_interval) {
+            let count =
+                (f64::from(cfg.burst_pages) * cfg.prefetch_accuracy).round() as u32;
+            for _ in 0..count {
+                flex_arrivals.push((wb_bytes, PAGE_SIZE as u32));
+            }
+        }
+        for (read_bytes, writeback_bytes) in flex_arrivals {
+            if queue_len >= cfg.queue_capacity {
+                report.fallbacks += 1;
+                continue;
+            }
+            queue_len += 1;
+            let slot = (w as usize + 1 + rng.gen_range(0..lookahead as usize)) % slots;
+            by_slot[slot].push_back(Op {
+                phase: OpPhase::Read,
+                bytes: read_bytes,
+                writeback_bytes,
+                reserved: 0,
+                since: w,
+            });
+        }
+        // Demand promotions: Poisson, urgent (random accesses).
+        let mut demand = 0u32;
+        {
+            // Knuth Poisson sampling (rates here are << 10).
+            let l = (-demand_rate).exp();
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    break;
+                }
+                demand += 1;
+            }
+        }
+        for _ in 0..demand {
+            if queue_len >= cfg.queue_capacity {
+                report.fallbacks += 1;
+                continue;
+            }
+            queue_len += 1;
+            random_q.push_back(Op {
+                phase: OpPhase::Read,
+                bytes: wb_bytes,
+                writeback_bytes: PAGE_SIZE as u32,
+                reserved: 0,
+                since: w,
+            });
+        }
+
+        // --- Service ---------------------------------------------------
+        let mut budget = u64::from(cfg.accesses_per_trfc) * PAGE_SIZE as u64;
+        let mut random_left = cfg.max_random_per_trfc;
+
+        // Random service for urgent (demand) ops runs first — they are
+        // latency-critical, unlike the flexible demotion/prefetch work
+        // (subarray conflicts defer to the next window).
+        while random_left > 0 {
+            let Some(op) = random_q.front().copied() else { break };
+            if u64::from(op.bytes) > budget {
+                break;
+            }
+            if rng.gen::<f64>() < p_conflict {
+                report.subarray_conflicts += 1;
+                break; // conflicting op retries next window
+            }
+            match op.phase {
+                OpPhase::Read => {
+                    if spm_used + u64::from(op.writeback_bytes) > spm_cap {
+                        break;
+                    }
+                    random_q.pop_front();
+                    budget -= u64::from(op.bytes);
+                    random_left -= 1;
+                    report.random_accesses += 1;
+                    queue_len -= 1;
+                    spm_used += u64::from(op.writeback_bytes);
+                    high_water = high_water.max(spm_used);
+                    random_q.push_back(Op {
+                        phase: OpPhase::WriteBack,
+                        bytes: op.writeback_bytes,
+                        writeback_bytes: 0,
+                        reserved: op.writeback_bytes,
+                        since: w,
+                    });
+                }
+                OpPhase::WriteBack => {
+                    random_q.pop_front();
+                    budget -= u64::from(op.bytes);
+                    random_left -= 1;
+                    report.random_accesses += 1;
+                    spm_used -= u64::from(op.reserved);
+                    report.completed += 1;
+                }
+            }
+        }
+
+        // Conditional service of this slot's queue. SPM-stalled reads
+        // step aside (no head-of-line blocking) and re-align below.
+        let mut stalled: Vec<Op> = Vec::new();
+        while let Some(op) = by_slot[ref_idx].front().copied() {
+            if u64::from(op.bytes) > budget {
+                break;
+            }
+            match op.phase {
+                OpPhase::Read => {
+                    // The engine output must fit in the SPM before the
+                    // read may execute.
+                    if spm_used + u64::from(op.writeback_bytes) > spm_cap {
+                        by_slot[ref_idx].pop_front();
+                        stalled.push(op);
+                        continue; // SPM stall: skip, keep draining
+                    }
+                    by_slot[ref_idx].pop_front();
+                    budget -= u64::from(op.bytes);
+                    report.conditional_accesses += 1;
+                    queue_len -= 1;
+                    spm_used += u64::from(op.writeback_bytes);
+                    high_water = high_water.max(spm_used);
+                    let target =
+                        (ref_idx + 1 + rng.gen_range(0..lookahead as usize)) % slots;
+                    by_slot[target].push_back(Op {
+                        phase: OpPhase::WriteBack,
+                        bytes: op.writeback_bytes,
+                        writeback_bytes: 0,
+                        reserved: op.writeback_bytes,
+                        since: w,
+                    });
+                }
+                OpPhase::WriteBack => {
+                    by_slot[ref_idx].pop_front();
+                    budget -= u64::from(op.bytes);
+                    report.conditional_accesses += 1;
+                    spm_used -= u64::from(op.reserved);
+                    report.completed += 1;
+                }
+            }
+        }
+        // Missed flexible work re-aligns to an upcoming slot (the
+        // controller simply picks the candidate again later).
+        for op in stalled.drain(..) {
+            let target = (ref_idx + 1 + rng.gen_range(0..16)) % slots;
+            by_slot[target].push_back(op);
+        }
+        while let Some(op) = by_slot[ref_idx].pop_front() {
+            let target = (ref_idx + 1 + rng.gen_range(0..16)) % slots;
+            by_slot[target].push_back(op);
+        }
+
+        // Deadline spills for urgent ops still waiting for a read.
+        while let Some(op) = random_q.front().copied() {
+            if w.saturating_sub(op.since) < cfg.urgent_max_wait {
+                break;
+            }
+            random_q.pop_front();
+            if op.phase == OpPhase::Read {
+                queue_len -= 1;
+            } else {
+                spm_used -= u64::from(op.reserved);
+            }
+            report.fallbacks += 1;
+        }
+    }
+
+    report.spm_high_water = ByteSize::from_bytes(high_water);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FallbackConfig {
+        FallbackConfig {
+            duration: Nanos::from_ms(100),
+            ..FallbackConfig::default()
+        }
+    }
+
+    #[test]
+    fn utilization_math_matches_footnote() {
+        // 100% PR on 512 GB: 8.5 GB/s per direction; with ratio 2.5 and
+        // 3 accesses/tRFC the per-DIMM service load sits just below 1.
+        let c = cfg();
+        let u = c.utilization();
+        assert!((0.85..1.0).contains(&u), "{u}");
+        // One access per window is hopelessly overloaded.
+        let c1 = FallbackConfig {
+            accesses_per_trfc: 1,
+            ..c
+        };
+        assert!(c1.utilization() > 2.0);
+    }
+
+    #[test]
+    fn eight_mib_spm_eliminates_fallbacks_at_three_accesses() {
+        // Fig. 12: "regardless of the promotion rate, an 8MB SPM can
+        // eliminate all CPU fall backs for an XFM implementation that
+        // accommodates 3 NMA accesses per REF command."
+        for pr in [0.5, 1.0] {
+            let report = simulate(&FallbackConfig {
+                spm_capacity: ByteSize::from_mib(8),
+                promotion_rate: pr,
+                ..cfg()
+            });
+            assert!(
+                report.fallback_fraction() < 0.01,
+                "PR {pr}: fallback {}",
+                report.fallback_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn one_access_per_window_cannot_keep_up() {
+        let report = simulate(&FallbackConfig {
+            accesses_per_trfc: 1,
+            spm_capacity: ByteSize::from_mib(16),
+            ..cfg()
+        });
+        assert!(
+            report.fallback_fraction() > 0.3,
+            "fallback {}",
+            report.fallback_fraction()
+        );
+    }
+
+    #[test]
+    fn fallbacks_decrease_with_spm_size() {
+        let mut prev = f64::INFINITY;
+        for mib in [1u64, 2, 4, 8] {
+            let report = simulate(&FallbackConfig {
+                spm_capacity: ByteSize::from_mib(mib),
+                ..cfg()
+            });
+            let f = report.fallback_fraction();
+            assert!(f <= prev + 0.02, "{mib} MiB: {f} > prev {prev}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn majority_of_accesses_are_conditional() {
+        // §8: "the majority of accesses can be accommodated with
+        // conditional accesses."
+        let report = simulate(&FallbackConfig {
+            spm_capacity: ByteSize::from_mib(8),
+            ..cfg()
+        });
+        assert!(
+            report.conditional_fraction() > 0.7,
+            "conditional {}",
+            report.conditional_fraction()
+        );
+    }
+
+    #[test]
+    fn random_share_scales_with_promotion_rate() {
+        // §8: "the rate of random accesses is shown to scale with the
+        // promotion rate."
+        let low = simulate(&FallbackConfig {
+            promotion_rate: 0.25,
+            spm_capacity: ByteSize::from_mib(8),
+            ..cfg()
+        });
+        let high = simulate(&FallbackConfig {
+            promotion_rate: 1.0,
+            spm_capacity: ByteSize::from_mib(8),
+            ..cfg()
+        });
+        assert!(high.random_accesses > low.random_accesses);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simulate(&cfg());
+        let b = simulate(&cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spm_high_water_bounded_by_capacity() {
+        let c = cfg();
+        let report = simulate(&c);
+        assert!(report.spm_high_water <= c.spm_capacity);
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+
+    #[test]
+    fn print_sweep() {
+        for acc in [1u32, 2, 3] {
+            for pr in [0.5f64, 1.0] {
+                for mib in [1u64, 2, 4, 8, 16] {
+                    let c = FallbackConfig {
+                        accesses_per_trfc: acc,
+                        promotion_rate: pr,
+                        spm_capacity: xfm_types::ByteSize::from_mib(mib),
+                        duration: Nanos::from_ms(100),
+                        ..FallbackConfig::default()
+                    };
+                    let r = simulate(&c);
+                    println!(
+                        "acc={acc} pr={pr:.1} spm={mib:2}MiB util={:.2} fb={:.3} cond={:.2} hw={} done={} fbk={}",
+                        c.utilization(),
+                        r.fallback_fraction(),
+                        r.conditional_fraction(),
+                        r.spm_high_water,
+                        r.completed,
+                        r.fallbacks
+                    );
+                }
+            }
+        }
+    }
+}

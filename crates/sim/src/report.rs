@@ -1,0 +1,164 @@
+//! Plain-text table rendering for the `xfm-repro` harness.
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_sim::report::Table;
+///
+/// let mut t = Table::new(vec!["corpus", "1-DIMM", "4-DIMM"]);
+/// t.row(vec!["json".into(), "3.21".into(), "2.78".into()]);
+/// let text = t.render();
+/// assert!(text.contains("corpus"));
+/// assert!(text.contains("3.21"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title line printed above the table.
+    pub fn title<S: Into<String>>(&mut self, title: S) -> &mut Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row. Shorter rows are padded with empty cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has more cells than there are headers.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        assert!(
+            cells.len() <= self.headers.len(),
+            "row has {} cells for {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+#[must_use]
+pub fn f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header", "c"]);
+        t.row(vec!["x".into(), "1".into(), "yy".into()]);
+        t.row(vec!["wider-cell".into(), "2".into(), "z".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All data lines start at the same column offsets.
+        assert!(lines[2].starts_with("x "));
+        assert!(lines[3].starts_with("wider-cell"));
+    }
+
+    #[test]
+    fn title_is_printed() {
+        let mut t = Table::new(vec!["x"]);
+        t.title("Figure 8");
+        t.row(vec!["1".into()]);
+        assert!(t.render().starts_with("Figure 8\n"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.render().contains("only"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells for")]
+    fn oversized_rows_rejected() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(2.71828, 2), "2.72");
+        assert_eq!(pct(0.125), "12.5%");
+    }
+}

@@ -1,0 +1,89 @@
+//! Fleet far-memory cost planner: should you buy CXL DIMMs or burn CPU
+//! cycles on compression? (The paper's §3 analysis as a tool.)
+//!
+//! Run with: `cargo run --example cost_planner -- [extra_gib] [promotion_pct]`
+
+use xfm::cost::{CostParams, FarMemoryKind, FarMemoryModel};
+use xfm::types::ByteSize;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let extra_gib: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(512);
+    let promotion_pct: f64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20.0);
+    let rate = promotion_pct / 100.0;
+
+    let params = CostParams {
+        extra_capacity: ByteSize::from_gib(extra_gib),
+        ..CostParams::paper()
+    };
+    let model = FarMemoryModel::new(params);
+
+    println!("Far-memory planning: {extra_gib} GiB extra capacity at {promotion_pct}% promotion/min\n");
+    println!(
+        "swap traffic: {:.1} GB/min ({:.2} GB/s each direction)",
+        params.gb_swapped_per_min(rate),
+        params.gb_swapped_per_min(rate) / 60.0
+    );
+    println!(
+        "CPU needed for (de)compression: {:.0}% of a {}-core reference CPU\n",
+        params.cpu_fraction_needed(rate) * 100.0,
+        params.cpu_cores
+    );
+
+    println!("{:<6} {:>12} {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}",
+        "year", "DFM-DRAM $", "DFM-PMem $", "SFM $", "SFM+acc $",
+        "DFM-DRAM kg", "PMem kg", "SFM kg");
+    for year in [0u32, 1, 2, 3, 5, 7, 10] {
+        let y = f64::from(year);
+        println!(
+            "{year:<6} {:>12.0} {:>12.0} {:>12.0} {:>12.0} | {:>12.0} {:>12.0} {:>12.0}",
+            model.cost_usd(FarMemoryKind::DfmDram, rate, y),
+            model.cost_usd(FarMemoryKind::DfmPmem, rate, y),
+            model.cost_usd(FarMemoryKind::Sfm, rate, y),
+            model.cost_usd(FarMemoryKind::SfmAccelerated, rate, y),
+            model.emissions_kg(FarMemoryKind::DfmDram, rate, y),
+            model.emissions_kg(FarMemoryKind::DfmPmem, rate, y),
+            model.emissions_kg(FarMemoryKind::Sfm, rate, y),
+        );
+    }
+
+    println!();
+    for (name, kind) in [
+        ("DRAM DFM", FarMemoryKind::DfmDram),
+        ("PMem DFM", FarMemoryKind::DfmPmem),
+    ] {
+        match model.cost_breakeven_years(kind, rate) {
+            Some(t) => println!("SFM loses its COST advantage over {name} after {t:.1} years"),
+            None => println!("SFM keeps its COST advantage over {name} beyond 100 years"),
+        }
+        match model.emission_breakeven_years(kind, rate) {
+            Some(t) => {
+                println!("SFM loses its EMISSIONS advantage over {name} after {t:.1} years");
+            }
+            None => println!("SFM keeps its EMISSIONS advantage over {name} beyond 100 years"),
+        }
+    }
+    println!(
+        "\nOn-chip compression accelerator pays off above a {:.1}% promotion rate \
+         (you are at {promotion_pct}%)",
+        model.accelerator_breakeven_promotion_rate() * 100.0
+    );
+    println!("\nVerdict at a 5-year server lifetime:");
+    let sfm5 = model.cost_usd(FarMemoryKind::Sfm, rate, 5.0);
+    let dram5 = model.cost_usd(FarMemoryKind::DfmDram, rate, 5.0);
+    let pmem5 = model.cost_usd(FarMemoryKind::DfmPmem, rate, 5.0);
+    let best = if sfm5 <= dram5 && sfm5 <= pmem5 {
+        "SFM (compress your cold pages!)"
+    } else if pmem5 <= dram5 {
+        "PMem-based DFM"
+    } else {
+        "DRAM-based DFM"
+    };
+    println!("cheapest option: {best}");
+}
