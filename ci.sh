@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, tests, lints. Run from the repo root.
+set -euo pipefail
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo clippy --all-targets --workspace -- -D warnings

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use xfm_compress::{Codec, Corpus, XDeflate, Xlz};
+use xfm_compress::{Codec, Corpus, Scratch, XDeflate, Xlz};
 
 fn bench(c: &mut Criterion) {
     let corpora = [Corpus::EnglishText, Corpus::Json, Corpus::ZeroPage, Corpus::RandomBytes];
@@ -23,6 +23,19 @@ fn bench(c: &mut Criterion) {
                     out
                 })
             });
+            // The zero-allocation hot path: scratch state and output
+            // buffer live across iterations, as in the swap daemon.
+            group.bench_function(format!("{name}/compress-scratch/{}", corpus.name()), |b| {
+                let mut scratch = Scratch::new();
+                let mut out = Vec::with_capacity(2 * 4096);
+                b.iter(|| {
+                    out.clear();
+                    codec
+                        .compress_into(black_box(&page), &mut out, &mut scratch)
+                        .unwrap();
+                    black_box(out.len())
+                })
+            });
             let mut compressed = Vec::new();
             codec.compress(&page, &mut compressed).unwrap();
             group.bench_function(format!("{name}/decompress/{}", corpus.name()), |b| {
@@ -32,6 +45,20 @@ fn bench(c: &mut Criterion) {
                     out
                 })
             });
+            group.bench_function(
+                format!("{name}/decompress-scratch/{}", corpus.name()),
+                |b| {
+                    let mut scratch = Scratch::new();
+                    let mut out = Vec::with_capacity(4096);
+                    b.iter(|| {
+                        out.clear();
+                        codec
+                            .decompress_into(black_box(&compressed), &mut out, &mut scratch)
+                            .unwrap();
+                        black_box(out.len())
+                    })
+                },
+            );
         }
     }
     group.finish();

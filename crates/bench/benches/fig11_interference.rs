@@ -11,7 +11,7 @@ fn bench(c: &mut Criterion) {
     let cfg = CorunConfig::default();
     let mix = JobMix::memory_sensitive_eight();
     for mode in SfmMode::compared() {
-        c.bench_function(&format!("fig11/evaluate_{}", mode.label()), |b| {
+        c.bench_function(format!("fig11/evaluate_{}", mode.label()), |b| {
             b.iter(|| evaluate(black_box(&mix), mode, &cfg))
         });
     }

@@ -23,13 +23,26 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // zpool: steady-state store/load/free — with the arena-backed host
+    // pages this is offset arithmetic plus one memcpy each way.
+    c.bench_function("zpool/store_load_free", |b| {
+        let mut pool = Zpool::new(ByteSize::from_mib(4));
+        let obj = vec![0xa5u8; 1000];
+        b.iter(|| {
+            let h = pool.alloc(black_box(&obj)).unwrap();
+            let len = pool.get(h).unwrap().len();
+            pool.free(h).unwrap();
+            len
+        })
+    });
+
     // zpool: compaction of a half-empty pool.
     c.bench_function("zpool/compact_fragmented", |b| {
         b.iter_batched(
             || {
                 let mut pool = Zpool::new(ByteSize::from_mib(4));
                 let handles: Vec<_> = (0..1000usize)
-                    .map(|i| pool.alloc(&vec![i as u8; 100]).unwrap())
+                    .map(|i| pool.alloc(&[i as u8; 100]).unwrap())
                     .collect();
                 for (i, h) in handles.into_iter().enumerate() {
                     if i % 2 == 0 {

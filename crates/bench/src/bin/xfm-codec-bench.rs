@@ -1,0 +1,203 @@
+//! Measures codec throughput in pages/sec on 4 KiB corpus pages and
+//! emits machine-readable `BENCH_codec.json`.
+//!
+//! Two paths are timed per codec/corpus: the fresh-state `compress`/
+//! `decompress` API (a new internal state per page) and the scratch-
+//! reusing `compress_into`/`decompress_into` hot path with a
+//! pre-reserved output buffer (the zero-allocation swap path). The JSON
+//! report also embeds the seed implementation's numbers for the same
+//! workload on the same machine, so the speedup is tracked in-tree.
+//!
+//! Run with `cargo run --release -p xfm-bench --bin xfm-codec-bench`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use xfm_compress::{Codec, Corpus, Scratch, XDeflate, Xlz};
+
+const PAGE: usize = 4096;
+const PAGES_PER_CORPUS: usize = 256;
+const ROUNDS: usize = 5;
+
+/// Seed-implementation throughput (pre scratch reuse, byte-loop match
+/// extension, per-call allocations), measured with this same harness
+/// (256 x 4 KiB pages, best-of-5, release) on the machine that produced
+/// the `current` section. Regenerate both sections together when
+/// re-benchmarking on different hardware.
+const BASELINE: &[(&str, &str, f64, f64)] = &[
+    ("xdeflate", "json", 5234.0, 34401.0),
+    ("xdeflate", "english-text", 5714.0, 24628.0),
+    ("xlz", "json", 27377.0, 155758.0),
+    ("xlz", "english-text", 19501.0, 90599.0),
+];
+
+fn corpus_pages(corpus: Corpus) -> Vec<Vec<u8>> {
+    (0..PAGES_PER_CORPUS)
+        .map(|i| corpus.generate(0x5EED_0000 + i as u64, PAGE))
+        .collect()
+}
+
+/// Best-of-`ROUNDS` pages/sec for `f` applied to every page.
+fn pages_per_sec(pages: usize, mut f: impl FnMut()) -> f64 {
+    // Warm-up pass.
+    f();
+    let mut best = f64::MAX;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    pages as f64 / best
+}
+
+struct Row {
+    codec: &'static str,
+    corpus: &'static str,
+    compress_fresh: f64,
+    compress_scratch: f64,
+    decompress_fresh: f64,
+    decompress_scratch: f64,
+}
+
+fn measure(codec: &dyn Codec, corpus: Corpus) -> Row {
+    let pages = corpus_pages(corpus);
+    let compressed: Vec<Vec<u8>> = pages
+        .iter()
+        .map(|p| {
+            let mut out = Vec::new();
+            codec.compress(p, &mut out).unwrap();
+            out
+        })
+        .collect();
+
+    let compress_fresh = pages_per_sec(pages.len(), || {
+        for p in &pages {
+            let mut out = Vec::new();
+            codec.compress(std::hint::black_box(p), &mut out).unwrap();
+            std::hint::black_box(&out);
+        }
+    });
+    let decompress_fresh = pages_per_sec(pages.len(), || {
+        for c in &compressed {
+            let mut out = Vec::new();
+            codec.decompress(std::hint::black_box(c), &mut out).unwrap();
+            std::hint::black_box(&out);
+        }
+    });
+
+    let mut scratch = Scratch::new();
+    let mut out = Vec::with_capacity(2 * PAGE);
+    let compress_scratch = pages_per_sec(pages.len(), || {
+        for p in &pages {
+            out.clear();
+            codec
+                .compress_into(std::hint::black_box(p), &mut out, &mut scratch)
+                .unwrap();
+            std::hint::black_box(&out);
+        }
+    });
+    let decompress_scratch = pages_per_sec(pages.len(), || {
+        for c in &compressed {
+            out.clear();
+            codec
+                .decompress_into(std::hint::black_box(c), &mut out, &mut scratch)
+                .unwrap();
+            std::hint::black_box(&out);
+        }
+    });
+
+    Row {
+        codec: codec.name(),
+        corpus: corpus.name(),
+        compress_fresh,
+        compress_scratch,
+        decompress_fresh,
+        decompress_scratch,
+    }
+}
+
+fn baseline_for(codec: &str, corpus: &str) -> Option<(f64, f64)> {
+    BASELINE
+        .iter()
+        .find(|(c, k, _, _)| *c == codec && *k == corpus)
+        .map(|&(_, _, c, d)| (c, d))
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"page_size\": {PAGE},");
+    let _ = writeln!(s, "  \"pages_per_corpus\": {PAGES_PER_CORPUS},");
+    let _ = writeln!(s, "  \"rounds\": {ROUNDS},");
+    s.push_str(
+        "  \"baseline_note\": \"seed implementation (per-call state, byte-loop match \
+         extension), same harness and machine as 'current'\",\n",
+    );
+    s.push_str("  \"baseline\": [\n");
+    for (i, &(codec, corpus, c, d)) in BASELINE.iter().enumerate() {
+        let comma = if i + 1 < BASELINE.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"codec\": \"{codec}\", \"corpus\": \"{corpus}\", \
+             \"compress_pages_per_sec\": {c:.0}, \"decompress_pages_per_sec\": {d:.0}}}{comma}"
+        );
+    }
+    s.push_str("  ],\n  \"current\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let speedup = baseline_for(r.codec, r.corpus)
+            .map_or(String::from("null"), |(c, _)| {
+                format!("{:.2}", r.compress_scratch / c)
+            });
+        let _ = writeln!(
+            s,
+            "    {{\"codec\": \"{}\", \"corpus\": \"{}\", \
+             \"compress_pages_per_sec\": {:.0}, \"decompress_pages_per_sec\": {:.0}, \
+             \"compress_fresh_pages_per_sec\": {:.0}, \"decompress_fresh_pages_per_sec\": {:.0}, \
+             \"compress_speedup_vs_baseline\": {}}}{comma}",
+            r.codec,
+            r.corpus,
+            r.compress_scratch,
+            r.decompress_scratch,
+            r.compress_fresh,
+            r.decompress_fresh,
+            speedup
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let corpora = [Corpus::Json, Corpus::EnglishText];
+    let codecs: Vec<Box<dyn Codec>> = vec![Box::<XDeflate>::default(), Box::<Xlz>::default()];
+
+    println!(
+        "{:<12} {:<14} {:>14} {:>14} {:>14} {:>14} {:>9}",
+        "codec", "corpus", "c fresh pg/s", "c scratch", "d fresh pg/s", "d scratch", "speedup"
+    );
+    let mut rows = Vec::new();
+    for codec in &codecs {
+        for &corpus in &corpora {
+            let row = measure(codec.as_ref(), corpus);
+            let speedup = baseline_for(row.codec, row.corpus)
+                .map_or(String::from("-"), |(c, _)| {
+                    format!("{:.2}x", row.compress_scratch / c)
+                });
+            println!(
+                "{:<12} {:<14} {:>14.0} {:>14.0} {:>14.0} {:>14.0} {:>9}",
+                row.codec,
+                row.corpus,
+                row.compress_fresh,
+                row.compress_scratch,
+                row.decompress_fresh,
+                row.decompress_scratch,
+                speedup
+            );
+            rows.push(row);
+        }
+    }
+
+    let json = render_json(&rows);
+    std::fs::write("BENCH_codec.json", &json).expect("write BENCH_codec.json");
+    println!("\nwrote BENCH_codec.json");
+}

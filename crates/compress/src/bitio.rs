@@ -95,6 +95,26 @@ impl BitWriter {
         self.bytes.len()
     }
 
+    /// Resets the writer to empty, keeping the byte buffer's capacity so
+    /// a scratch-held writer never reallocates in steady state.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.acc = 0;
+        self.nbits = 0;
+    }
+
+    /// The bytes emitted so far; the writer must be byte-aligned (call
+    /// [`Self::align_byte`] first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bits are still buffered.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        assert!(self.nbits == 0, "bytes() requires byte alignment");
+        &self.bytes
+    }
+
     /// Flushes any buffered bits (zero-padded) and returns the bytes.
     #[must_use]
     pub fn finish(mut self) -> Vec<u8> {

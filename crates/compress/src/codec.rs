@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use xfm_types::{Bandwidth, Cycles, Result};
 
+use crate::scratch::Scratch;
+
 /// Identifies a codec implementation (used by SFM entries so swap-in
 /// knows how to decompress).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -45,6 +47,36 @@ pub trait Codec {
     /// Returns [`xfm_types::Error::Corrupt`] when `src` is not a valid
     /// stream for this codec.
     fn decompress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize>;
+
+    /// [`Self::compress`] reusing caller-held scratch state, the
+    /// zero-allocation hot path. Output is byte-identical to
+    /// [`Self::compress`] regardless of what the scratch last held.
+    ///
+    /// The default implementation ignores the scratch and delegates to
+    /// [`Self::compress`]; codecs with reusable state override it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::compress`].
+    fn compress_into(&self, src: &[u8], dst: &mut Vec<u8>, scratch: &mut Scratch) -> Result<usize> {
+        let _ = scratch;
+        self.compress(src, dst)
+    }
+
+    /// [`Self::decompress`] reusing caller-held scratch state.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::decompress`].
+    fn decompress_into(
+        &self,
+        src: &[u8],
+        dst: &mut Vec<u8>,
+        scratch: &mut Scratch,
+    ) -> Result<usize> {
+        let _ = scratch;
+        self.decompress(src, dst)
+    }
 }
 
 /// CPU cost of running a codec, used by the §3 cost model and the co-run

@@ -12,10 +12,37 @@ use crate::bitio::{BitReader, BitWriter};
 /// Maximum code length used by xdeflate (same as DEFLATE).
 pub const MAX_CODE_LEN: u32 = 15;
 
+/// Reusable buffers for [`code_lengths_into`].
+///
+/// Package-merge items are `(weight, node)` pairs; a node id below the
+/// active-symbol count is a leaf (an index into `active_syms`), anything
+/// larger points into `arena`, whose entries hold the two child node
+/// ids of a package. This replaces the per-item symbol `Vec`s (and
+/// their clones on every merge) with integer ids into one arena.
+#[derive(Debug, Clone, Default)]
+pub struct HuffScratch {
+    active_syms: Vec<u32>,
+    arena: Vec<(u32, u32)>,
+    original: Vec<(u64, u32)>,
+    list: Vec<(u64, u32)>,
+    merged: Vec<(u64, u32)>,
+    stack: Vec<u32>,
+}
+
+impl HuffScratch {
+    /// Creates empty buffers (first use sizes them).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Computes optimal length-limited code lengths for `freqs`.
 ///
 /// Symbols with zero frequency get length 0 (absent). A single-symbol
 /// alphabet gets length 1.
+///
+/// Thin wrapper over [`code_lengths_into`] with fresh buffers.
 ///
 /// # Errors
 ///
@@ -33,14 +60,37 @@ pub const MAX_CODE_LEN: u32 = 15;
 /// # Ok::<(), xfm_types::Error>(())
 /// ```
 pub fn code_lengths(freqs: &[u64], max_len: u32) -> Result<Vec<u32>> {
-    let active: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
-    let n = active.len();
-    let mut lens = vec![0u32; freqs.len()];
+    let mut lens = Vec::new();
+    code_lengths_into(freqs, max_len, &mut HuffScratch::new(), &mut lens)?;
+    Ok(lens)
+}
+
+/// [`code_lengths`] into caller-provided buffers: `lens` is cleared and
+/// refilled, `scratch` holds the package-merge working set. Steady-state
+/// calls perform no heap allocation.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] if more than `2^max_len` symbols have
+/// non-zero frequency.
+pub fn code_lengths_into(
+    freqs: &[u64],
+    max_len: u32,
+    scratch: &mut HuffScratch,
+    lens: &mut Vec<u32>,
+) -> Result<()> {
+    lens.clear();
+    lens.resize(freqs.len(), 0);
+    scratch.active_syms.clear();
+    scratch
+        .active_syms
+        .extend((0..freqs.len()).filter(|&i| freqs[i] > 0).map(|i| i as u32));
+    let n = scratch.active_syms.len();
     match n {
-        0 => return Ok(lens),
+        0 => return Ok(()),
         1 => {
-            lens[active[0]] = 1;
-            return Ok(lens);
+            lens[scratch.active_syms[0] as usize] = 1;
+            return Ok(());
         }
         _ => {}
     }
@@ -50,67 +100,75 @@ pub fn code_lengths(freqs: &[u64], max_len: u32) -> Result<Vec<u32>> {
         )));
     }
 
-    // Package-merge. Items carry the set of original symbols they contain.
-    #[derive(Clone)]
-    struct Item {
-        weight: u64,
-        symbols: Vec<u16>,
-    }
-    let mut original: Vec<Item> = active
-        .iter()
-        .map(|&i| Item {
-            weight: freqs[i],
-            symbols: vec![i as u16],
-        })
-        .collect();
-    original.sort_by_key(|it| it.weight);
+    // Leaves sorted by (weight, symbol order) — identical ordering to a
+    // stable sort by weight over the ascending symbol list.
+    scratch.original.clear();
+    scratch.original.extend(
+        scratch
+            .active_syms
+            .iter()
+            .enumerate()
+            .map(|(leaf, &sym)| (freqs[sym as usize], leaf as u32)),
+    );
+    scratch.original.sort_unstable_by_key(|&(w, leaf)| (w, leaf));
 
-    let mut list = original.clone();
+    scratch.arena.clear();
+    scratch.list.clear();
+    scratch.list.extend_from_slice(&scratch.original);
     for _ in 1..max_len {
-        // Package: pair consecutive items.
-        let mut packages = Vec::with_capacity(list.len() / 2);
-        let mut iter = list.chunks_exact(2);
-        for pair in &mut iter {
-            let mut symbols = pair[0].symbols.clone();
-            symbols.extend_from_slice(&pair[1].symbols);
-            packages.push(Item {
-                weight: pair[0].weight + pair[1].weight,
-                symbols,
+        // Package: pair consecutive items into arena nodes.
+        scratch.merged.clear();
+        let packages = scratch.list.len() / 2;
+        let (mut a, mut b) = (0usize, 0usize);
+        // Merge the (sorted) leaves with the (sorted) packages; ties
+        // take the leaf first, matching the reference implementation.
+        while a < scratch.original.len() || b < packages {
+            let package_weight = (b < packages).then(|| {
+                let (w0, _) = scratch.list[2 * b];
+                let (w1, _) = scratch.list[2 * b + 1];
+                w0 + w1
             });
-        }
-        // Merge with the original items (both sorted).
-        let mut merged = Vec::with_capacity(original.len() + packages.len());
-        let (mut a, mut b) = (0, 0);
-        while a < original.len() || b < packages.len() {
-            let take_original = match (original.get(a), packages.get(b)) {
-                (Some(x), Some(y)) => x.weight <= y.weight,
+            let take_original = match (scratch.original.get(a), package_weight) {
+                (Some(&(w, _)), Some(pw)) => w <= pw,
                 (Some(_), None) => true,
                 _ => false,
             };
             if take_original {
-                merged.push(original[a].clone());
+                scratch.merged.push(scratch.original[a]);
                 a += 1;
             } else {
-                merged.push(packages[b].clone());
+                let (w0, n0) = scratch.list[2 * b];
+                let (w1, n1) = scratch.list[2 * b + 1];
+                let id = (n + scratch.arena.len()) as u32;
+                scratch.arena.push((n0, n1));
+                scratch.merged.push((w0 + w1, id));
                 b += 1;
             }
         }
-        list = merged;
+        std::mem::swap(&mut scratch.list, &mut scratch.merged);
     }
 
-    // The first 2n-2 items define the code: each occurrence of a symbol
-    // adds one to its code length.
-    for item in list.iter().take(2 * n - 2) {
-        for &s in &item.symbols {
-            lens[s as usize] += 1;
+    // The first 2n-2 items define the code: each leaf reachable from an
+    // item's node adds one to its symbol's code length.
+    for &(_, node) in scratch.list.iter().take(2 * n - 2) {
+        scratch.stack.clear();
+        scratch.stack.push(node);
+        while let Some(id) = scratch.stack.pop() {
+            if (id as usize) < n {
+                lens[scratch.active_syms[id as usize] as usize] += 1;
+            } else {
+                let (l, r) = scratch.arena[id as usize - n];
+                scratch.stack.push(l);
+                scratch.stack.push(r);
+            }
         }
     }
     debug_assert!(lens.iter().all(|&l| l <= max_len));
-    Ok(lens)
+    Ok(())
 }
 
 /// A canonical Huffman encoder: symbol -> (code, length).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Encoder {
     codes: Vec<(u32, u32)>,
 }
@@ -123,33 +181,42 @@ impl Encoder {
     /// Returns [`Error::Corrupt`] if the lengths violate the Kraft
     /// inequality (no prefix code exists) or exceed [`MAX_CODE_LEN`].
     pub fn from_lengths(lens: &[u32]) -> Result<Self> {
+        let mut enc = Self::default();
+        enc.rebuild(lens)?;
+        Ok(enc)
+    }
+
+    /// Rebuilds the code table in place, reusing its storage. A scratch-
+    /// held encoder performs no heap allocation once warmed up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on invalid lengths (Kraft violation).
+    pub fn rebuild(&mut self, lens: &[u32]) -> Result<()> {
         validate_lengths(lens)?;
-        let max = lens.iter().copied().max().unwrap_or(0);
-        let mut bl_count = vec![0u32; (max + 1) as usize];
+        let mut bl_count = [0u32; MAX_CODE_LEN as usize + 1];
         for &l in lens {
             if l > 0 {
                 bl_count[l as usize] += 1;
             }
         }
-        let mut next_code = vec![0u32; (max + 2) as usize];
+        let mut next_code = [0u32; MAX_CODE_LEN as usize + 2];
         let mut code = 0u32;
-        for len in 1..=max {
+        for len in 1..=MAX_CODE_LEN {
             code = (code + bl_count[(len - 1) as usize]) << 1;
             next_code[len as usize] = code;
         }
-        let codes = lens
-            .iter()
-            .map(|&l| {
-                if l == 0 {
-                    (0, 0)
-                } else {
-                    let c = next_code[l as usize];
-                    next_code[l as usize] += 1;
-                    (c, l)
-                }
-            })
-            .collect();
-        Ok(Self { codes })
+        self.codes.clear();
+        self.codes.extend(lens.iter().map(|&l| {
+            if l == 0 {
+                (0, 0)
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                (c, l)
+            }
+        }));
+        Ok(())
     }
 
     /// Writes the code for `symbol` to `w`.
@@ -171,7 +238,7 @@ impl Encoder {
 }
 
 /// A canonical Huffman decoder (bit-at-a-time, first-code arithmetic).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Decoder {
     /// `first_code[len]`, `offset[len]` into `symbols`, `count[len]`.
     first_code: Vec<u32>,
@@ -188,40 +255,49 @@ impl Decoder {
     ///
     /// Returns [`Error::Corrupt`] on invalid lengths (Kraft violation).
     pub fn from_lengths(lens: &[u32]) -> Result<Self> {
+        let mut dec = Self::default();
+        dec.rebuild(lens)?;
+        Ok(dec)
+    }
+
+    /// Rebuilds the decode tables in place, reusing their storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on invalid lengths (Kraft violation).
+    pub fn rebuild(&mut self, lens: &[u32]) -> Result<()> {
         validate_lengths(lens)?;
         let max = lens.iter().copied().max().unwrap_or(0);
-        let mut count = vec![0u32; (max + 1) as usize];
+        self.count.clear();
+        self.count.resize((max + 1) as usize, 0);
         for &l in lens {
             if l > 0 {
-                count[l as usize] += 1;
+                self.count[l as usize] += 1;
             }
         }
-        let mut first_code = vec![0u32; (max + 1) as usize];
-        let mut offset = vec![0u32; (max + 1) as usize];
+        self.first_code.clear();
+        self.first_code.resize((max + 1) as usize, 0);
+        self.offset.clear();
+        self.offset.resize((max + 1) as usize, 0);
         let mut code = 0u32;
         let mut sym_base = 0u32;
         for len in 1..=max as usize {
-            code = (code + count[len - 1]) << 1;
-            first_code[len] = code;
-            offset[len] = sym_base;
-            sym_base += count[len];
+            code = (code + self.count[len - 1]) << 1;
+            self.first_code[len] = code;
+            self.offset[len] = sym_base;
+            sym_base += self.count[len];
         }
         // Symbols sorted by (length, symbol index) — canonical order.
-        let mut symbols: Vec<u16> = Vec::with_capacity(sym_base as usize);
+        self.symbols.clear();
         for len in 1..=max {
             for (i, &l) in lens.iter().enumerate() {
                 if l == len {
-                    symbols.push(i as u16);
+                    self.symbols.push(i as u16);
                 }
             }
         }
-        Ok(Self {
-            first_code,
-            offset,
-            count,
-            symbols,
-            max_len: max,
-        })
+        self.max_len = max;
+        Ok(())
     }
 
     /// Decodes one symbol from `r`.
@@ -365,5 +441,46 @@ mod tests {
         let freqs: Vec<u64> = (0..256).map(|i| (i % 7 + 1) as u64 * 3).collect();
         let msg: Vec<u16> = (0..256).collect();
         round_trip(&freqs, &msg);
+    }
+
+    #[test]
+    fn reused_scratch_reproduces_fresh_lengths() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![1000, 500, 100, 10, 1, 1, 1, 1],
+            vec![7, 6, 5, 4, 3, 2, 1],
+            (0..256).map(|i| (i % 7 + 1) as u64 * 3).collect(),
+            vec![0, 42, 0],
+            vec![0, 0],
+            vec![5, 5, 5, 5, 5, 5, 5, 5], // all-tied weights
+        ];
+        let mut scratch = HuffScratch::new();
+        let mut lens = Vec::new();
+        for freqs in &cases {
+            code_lengths_into(freqs, MAX_CODE_LEN, &mut scratch, &mut lens).unwrap();
+            assert_eq!(lens, code_lengths(freqs, MAX_CODE_LEN).unwrap());
+        }
+    }
+
+    #[test]
+    fn rebuilt_coders_match_fresh_ones() {
+        let mut enc = Encoder::default();
+        let mut dec = Decoder::default();
+        for lens in [vec![1u32, 2, 2], vec![2, 2, 2, 2], vec![1, 1]] {
+            enc.rebuild(&lens).unwrap();
+            dec.rebuild(&lens).unwrap();
+            let fresh = Encoder::from_lengths(&lens).unwrap();
+            let mut w1 = BitWriter::new();
+            let mut w2 = BitWriter::new();
+            for s in 0..lens.len() {
+                enc.encode(&mut w1, s);
+                fresh.encode(&mut w2, s);
+            }
+            let bytes = w1.finish();
+            assert_eq!(bytes, w2.finish());
+            let mut r = BitReader::new(&bytes);
+            for s in 0..lens.len() {
+                assert_eq!(dec.decode(&mut r).unwrap(), s as u16);
+            }
+        }
     }
 }

@@ -47,12 +47,14 @@ pub mod huffman;
 pub mod lz77;
 pub mod parallel;
 pub mod ratio;
+pub mod scratch;
 pub mod xdeflate;
 pub mod xlz;
 
 pub use codec::{Codec, CodecKind, CostModel};
 pub use corpus::Corpus;
 pub use parallel::{compress_pages, split_pages};
+pub use scratch::Scratch;
 pub use ratio::{interleaved_ratio, page_ratio, InterleaveReport};
 pub use xdeflate::XDeflate;
 pub use xlz::Xlz;

@@ -4,6 +4,12 @@
 //! [`crate::xdeflate`] entropy stage. The window defaults to 32 KiB like
 //! DEFLATE; page-sized SFM inputs (≤ 4 KiB) always fit entirely in the
 //! window.
+//!
+//! The hot path is allocation-free: [`MatchFinder::tokenize_into`] reuses
+//! the hash-chain tables in a [`Lz77Scratch`] across pages (the head
+//! table is invalidated by bumping a generation counter, not by
+//! refilling it) and streams tokens into a [`TokenSink`] instead of
+//! materializing a `Vec<Token>`.
 
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +32,132 @@ pub enum Token {
         /// Distance in `1..=MAX_DIST`.
         dist: u32,
     },
+}
+
+/// Receives the token stream produced by [`MatchFinder::tokenize_into`].
+///
+/// `pos` is the byte offset of the literal in the source, which lets
+/// sinks that keep the source slice around (like the xlz packetizer)
+/// reference literal runs without buffering the bytes.
+pub trait TokenSink {
+    /// One literal byte at source offset `pos`.
+    fn literal(&mut self, pos: usize, byte: u8);
+    /// A back-reference of `len` bytes at distance `dist`.
+    fn emit_match(&mut self, len: u32, dist: u32);
+}
+
+impl TokenSink for Vec<Token> {
+    fn literal(&mut self, _pos: usize, byte: u8) {
+        self.push(Token::Literal(byte));
+    }
+
+    fn emit_match(&mut self, len: u32, dist: u32) {
+        self.push(Token::Match { len, dist });
+    }
+}
+
+/// Chain terminator inside [`Lz77Scratch`].
+const NO_POS: usize = usize::MAX;
+
+/// Reusable hash-chain tables for the tokenizer.
+///
+/// The `head` table stores `(generation << 32) | position`; starting a
+/// new page bumps the generation, instantly invalidating every stale
+/// entry without touching the 32 K-entry table. `prev` needs no such
+/// tagging: `prev[i]` is always written when position `i` is inserted,
+/// before any chain walk of the current generation can read it.
+#[derive(Debug, Clone)]
+pub struct Lz77Scratch {
+    head: Vec<u64>,
+    prev: Vec<u32>,
+    generation: u32,
+}
+
+impl Default for Lz77Scratch {
+    fn default() -> Self {
+        Self {
+            head: vec![0; HASH_SIZE],
+            prev: Vec::new(),
+            generation: 0,
+        }
+    }
+}
+
+impl Lz77Scratch {
+    /// Creates empty tables (first use sizes them).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, n: usize) {
+        assert!(n <= u32::MAX as usize, "input too large for u32 positions");
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Generation counter wrapped: stale tags could now collide
+            // with live ones, so pay for one full reset.
+            self.head.iter_mut().for_each(|e| *e = 0);
+            self.generation = 1;
+        }
+        if self.prev.len() < n {
+            self.prev.resize(n, 0);
+        }
+    }
+
+    #[inline]
+    fn chain_head(&self, h: usize) -> usize {
+        let e = self.head[h];
+        if (e >> 32) as u32 == self.generation {
+            (e & 0xffff_ffff) as usize
+        } else {
+            NO_POS
+        }
+    }
+
+    #[inline]
+    fn chain_next(&self, pos: usize) -> usize {
+        let p = self.prev[pos];
+        if p == u32::MAX {
+            NO_POS
+        } else {
+            p as usize
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], i: usize, n: usize) {
+        if i + MIN_MATCH <= n {
+            let h = MatchFinder::hash(data, i);
+            let e = self.head[h];
+            self.prev[i] = if (e >> 32) as u32 == self.generation {
+                (e & 0xffff_ffff) as u32
+            } else {
+                u32::MAX
+            };
+            self.head[h] = (u64::from(self.generation) << 32) | i as u64;
+        }
+    }
+}
+
+/// Longest common prefix of `data[cand..]` and `data[i..]`, capped at
+/// `limit`, compared a 64-bit word at a time. Caller guarantees
+/// `cand < i` and `i + limit <= data.len()`.
+#[inline]
+fn match_len(data: &[u8], cand: usize, i: usize, limit: usize) -> usize {
+    let mut l = 0usize;
+    while l + 8 <= limit {
+        let a = u64::from_le_bytes(data[cand + l..cand + l + 8].try_into().unwrap());
+        let b = u64::from_le_bytes(data[i + l..i + l + 8].try_into().unwrap());
+        let x = a ^ b;
+        if x != 0 {
+            return l + (x.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    while l < limit && data[cand + l] == data[i + l] {
+        l += 1;
+    }
+    l
 }
 
 /// Configurable hash-chain match finder.
@@ -77,107 +209,96 @@ impl MatchFinder {
 
     /// Tokenizes `data` into literals and back-references. Decoding the
     /// token stream always reproduces `data` exactly.
+    ///
+    /// Thin wrapper over [`Self::tokenize_into`] that allocates fresh
+    /// tables and collects into a `Vec<Token>`.
     #[must_use]
     pub fn tokenize(&self, data: &[u8]) -> Vec<Token> {
+        let mut tokens = Vec::with_capacity(data.len() / 2);
+        self.tokenize_into(data, &mut Lz77Scratch::new(), &mut tokens);
+        tokens
+    }
+
+    fn find(&self, data: &[u8], scratch: &Lz77Scratch, i: usize) -> Option<(usize, usize)> {
         let n = data.len();
-        let mut tokens = Vec::with_capacity(n / 2);
+        if i + MIN_MATCH > n {
+            return None;
+        }
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut cand = scratch.chain_head(Self::hash(data, i));
+        let mut chain = self.max_chain;
+        let limit = (n - i).min(MAX_MATCH);
+        while cand != NO_POS && chain > 0 {
+            let dist = i - cand;
+            if dist > MAX_DIST {
+                break;
+            }
+            // Quick reject on the byte after the current best.
+            if i + best_len < n && data[cand + best_len] == data[i + best_len] {
+                let l = match_len(data, cand, i, limit);
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l >= self.good_enough || l == limit {
+                        break;
+                    }
+                }
+            }
+            cand = scratch.chain_next(cand);
+            chain -= 1;
+        }
+        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+    }
+
+    /// Tokenizes `data`, streaming tokens into `sink` and reusing the
+    /// hash-chain tables in `scratch`. Emits the exact same token
+    /// sequence as [`Self::tokenize`] without allocating.
+    pub fn tokenize_into<S: TokenSink>(&self, data: &[u8], scratch: &mut Lz77Scratch, sink: &mut S) {
+        let n = data.len();
         if n < MIN_MATCH {
-            tokens.extend(data.iter().map(|&b| Token::Literal(b)));
-            return tokens;
+            for (i, &b) in data.iter().enumerate() {
+                sink.literal(i, b);
+            }
+            return;
         }
 
-        let mut head = vec![usize::MAX; HASH_SIZE];
-        let mut prev = vec![usize::MAX; n];
+        scratch.begin(n);
         let mut i = 0usize;
-
-        let find = |head: &[usize], prev: &[usize], i: usize| -> Option<(usize, usize)> {
-            if i + MIN_MATCH > n {
-                return None;
-            }
-            let mut best_len = MIN_MATCH - 1;
-            let mut best_dist = 0usize;
-            let mut cand = head[Self::hash(data, i)];
-            let mut chain = self.max_chain;
-            let limit = (n - i).min(MAX_MATCH);
-            while cand != usize::MAX && chain > 0 {
-                let dist = i - cand;
-                if dist > MAX_DIST {
-                    break;
-                }
-                // Quick reject on the byte after the current best.
-                if i + best_len < n && data[cand + best_len] == data[i + best_len] {
-                    let mut l = 0usize;
-                    while l < limit && data[cand + l] == data[i + l] {
-                        l += 1;
-                    }
-                    if l > best_len {
-                        best_len = l;
-                        best_dist = dist;
-                        if l >= self.good_enough || l == limit {
-                            break;
-                        }
-                    }
-                }
-                cand = prev[cand];
-                chain -= 1;
-            }
-            (best_len >= MIN_MATCH).then_some((best_len, best_dist))
-        };
-
-        let insert = |head: &mut [usize], prev: &mut [usize], i: usize| {
-            if i + MIN_MATCH <= n {
-                let h = Self::hash(data, i);
-                prev[i] = head[h];
-                head[h] = i;
-            }
-        };
-
         while i < n {
-            let found = find(&head, &prev, i);
-            match found {
+            match self.find(data, scratch, i) {
                 None => {
-                    tokens.push(Token::Literal(data[i]));
-                    insert(&mut head, &mut prev, i);
+                    sink.literal(i, data[i]);
+                    scratch.insert(data, i, n);
                     i += 1;
                 }
                 Some((len, dist)) => {
                     // Lazy: check if deferring one byte yields a longer match.
                     let mut take_len = len;
                     let mut take_dist = dist;
-                    let mut emitted_literal = false;
+                    scratch.insert(data, i, n);
                     if self.lazy && i + 1 < n {
-                        insert(&mut head, &mut prev, i);
-                        if let Some((len2, dist2)) = find(&head, &prev, i + 1) {
+                        if let Some((len2, dist2)) = self.find(data, scratch, i + 1) {
                             if len2 > len {
-                                tokens.push(Token::Literal(data[i]));
+                                sink.literal(i, data[i]);
                                 i += 1;
                                 take_len = len2;
                                 take_dist = dist2;
-                                emitted_literal = true;
                             }
                         }
-                        if !emitted_literal {
-                            // `i` was already inserted above.
-                        }
-                    } else {
-                        insert(&mut head, &mut prev, i);
                     }
-                    tokens.push(Token::Match {
-                        len: take_len as u32,
-                        dist: take_dist as u32,
-                    });
+                    sink.emit_match(take_len as u32, take_dist as u32);
                     // Insert the positions covered by the match (sparsely,
                     // every position keeps ratios good on page inputs).
                     let start = i + 1;
                     let end = (i + take_len).min(n);
                     for j in start..end {
-                        insert(&mut head, &mut prev, j);
+                        scratch.insert(data, j, n);
                     }
                     i = end;
                 }
             }
         }
-        tokens
     }
 }
 
@@ -281,5 +402,48 @@ mod tests {
         let data = b"abcabcabxabcabcabcabyabcabc".repeat(20);
         round_trip(&data, MatchFinder::thorough());
         round_trip(&data, MatchFinder::fast());
+    }
+
+    #[test]
+    fn reused_scratch_emits_identical_tokens() {
+        let inputs: Vec<Vec<u8>> = vec![
+            b"hello world hello world hello world".to_vec(),
+            vec![b'a'; 300],
+            (0..600u32).flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes()).collect(),
+            b"abcabcabxabcabcabcabyabcabc".repeat(20),
+            b"".to_vec(),
+            b"xy".to_vec(),
+        ];
+        for mf in [MatchFinder::fast(), MatchFinder::thorough()] {
+            let mut scratch = Lz77Scratch::new();
+            for data in &inputs {
+                let mut streamed = Vec::new();
+                mf.tokenize_into(data, &mut scratch, &mut streamed);
+                assert_eq!(streamed, mf.tokenize(data), "scratch reuse changed tokens");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_wrap_resets_head_table() {
+        let mut scratch = Lz77Scratch::new();
+        scratch.generation = u32::MAX;
+        let data = b"wrap wrap wrap wrap wrap wrap";
+        let mut tokens = Vec::new();
+        MatchFinder::default().tokenize_into(data, &mut scratch, &mut tokens);
+        assert_eq!(scratch.generation, 1);
+        assert_eq!(expand(&tokens), data);
+    }
+
+    #[test]
+    fn word_at_a_time_match_len_agrees_with_bytes() {
+        let mut data = b"0123456789abcdef0123456789abcdeX".to_vec();
+        data.extend_from_slice(&data.clone());
+        for limit in 0..=16 {
+            let expected = (0..limit)
+                .take_while(|&l| data[l] == data[16 + l])
+                .count();
+            assert_eq!(match_len(&data, 0, 16, limit), expected, "limit {limit}");
+        }
     }
 }

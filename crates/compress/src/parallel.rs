@@ -17,6 +17,7 @@ use parking_lot::Mutex;
 use xfm_types::{Error, Result};
 
 use crate::codec::Codec;
+use crate::scratch::Scratch;
 
 /// Result of compressing one page in a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,28 +59,37 @@ pub fn compress_pages<C: Codec + Sync>(
     if threads == 0 {
         return Err(Error::InvalidConfig("threads must be non-zero".into()));
     }
+    if pages.is_empty() {
+        return Ok(Vec::new());
+    }
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<PageResult>>> = Mutex::new(vec![None; pages.len()]);
     let first_error: Mutex<Option<Error>> = Mutex::new(None);
 
     crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(pages.len().max(1)) {
-            scope.spawn(|_| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= pages.len() {
-                    break;
-                }
-                let mut compressed = Vec::with_capacity(pages[index].len());
-                match codec.compress(&pages[index], &mut compressed) {
-                    Ok(_) => {
-                        results.lock()[index] = Some(PageResult { index, compressed });
-                    }
-                    Err(e) => {
-                        let mut slot = first_error.lock();
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
+        for _ in 0..threads.min(pages.len()) {
+            scope.spawn(|_| {
+                // One scratch per worker: the codec's hash chains, token
+                // buffers, and entropy coders warm up on the first page
+                // and are reused for every page the worker claims.
+                let mut scratch = Scratch::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= pages.len() {
                         break;
+                    }
+                    let mut compressed = Vec::with_capacity(pages[index].len());
+                    match codec.compress_into(&pages[index], &mut compressed, &mut scratch) {
+                        Ok(_) => {
+                            results.lock()[index] = Some(PageResult { index, compressed });
+                        }
+                        Err(e) => {
+                            let mut slot = first_error.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            break;
+                        }
                     }
                 }
             });

@@ -1,0 +1,53 @@
+//! Reusable codec scratch state for the zero-allocation hot path.
+//!
+//! A [`Scratch`] bundles every buffer the codecs need across a page:
+//! the LZ77 hash-chain tables, the xdeflate token/frequency/entropy
+//! buffers, and the package-merge working set. One `Scratch` per worker
+//! thread turns the per-page swap path into pure compute plus memcpys —
+//! after a warm-up page, steady-state `compress_into`/`decompress_into`
+//! calls perform no heap allocation.
+//!
+//! # Examples
+//!
+//! ```
+//! use xfm_compress::{Codec, Scratch, XDeflate};
+//!
+//! let codec = XDeflate::default();
+//! let mut scratch = Scratch::new();
+//! let mut out = Vec::with_capacity(4096);
+//! for page in [vec![7u8; 4096], vec![9u8; 4096]] {
+//!     out.clear();
+//!     codec.compress_into(&page, &mut out, &mut scratch)?;
+//!     assert!(out.len() < 64);
+//! }
+//! # Ok::<(), xfm_types::Error>(())
+//! ```
+
+use crate::huffman::HuffScratch;
+use crate::lz77::Lz77Scratch;
+use crate::xdeflate::XdefScratch;
+
+/// Per-thread reusable state for [`crate::Codec::compress_into`] and
+/// [`crate::Codec::decompress_into`].
+///
+/// The sub-structs are separate fields (rather than one flat struct) so
+/// codec internals can borrow the match-finder tables, the token
+/// buffers, and the package-merge working set disjointly.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// LZ77 hash-chain tables (generation-tagged, reset in O(1)).
+    pub(crate) lz: Lz77Scratch,
+    /// xdeflate token, frequency, entropy-coder, and bitstream buffers.
+    pub(crate) xd: XdefScratch,
+    /// Package-merge working set for Huffman code-length computation.
+    pub(crate) huff: HuffScratch,
+}
+
+impl Scratch {
+    /// Creates empty scratch state; buffers are sized lazily on first
+    /// use and retained afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -24,8 +24,9 @@ use xfm_types::{Error, Result};
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::codec::{Codec, CodecKind};
-use crate::huffman::{code_lengths, Decoder, Encoder, MAX_CODE_LEN};
-use crate::lz77::{MatchFinder, Token, MAX_MATCH, MIN_MATCH};
+use crate::huffman::{code_lengths_into, Decoder, Encoder, MAX_CODE_LEN};
+use crate::lz77::{MatchFinder, TokenSink, MAX_MATCH, MIN_MATCH};
+use crate::scratch::Scratch;
 
 /// Literal/length alphabet size: 256 literals + EOB + 8 length buckets.
 const LIT_SYMS: usize = 256 + 1 + 8;
@@ -65,6 +66,69 @@ impl XDeflate {
     #[must_use]
     pub fn fast() -> Self {
         Self::with_finder(MatchFinder::fast())
+    }
+}
+
+/// Tag bit marking a packed token as a match.
+const MATCH_BIT: u32 = 1 << 31;
+
+/// Reusable xdeflate state: the packed token buffer, symbol statistics,
+/// entropy coders, and the output bitstream writer.
+///
+/// Tokens pack into one `u32` each: bit 31 set means a match with the
+/// distance in bits 0..16 and `len - MIN_MATCH` in bits 16..24;
+/// otherwise the value is the literal byte. The tokenizer feeds this
+/// struct directly (it implements [`TokenSink`]), so frequency counting
+/// happens while tokens stream in — no intermediate `Vec<Token>`.
+#[derive(Debug, Clone)]
+pub struct XdefScratch {
+    tokens: Vec<u32>,
+    lit_freq: [u64; LIT_SYMS],
+    dist_freq: [u64; DIST_SYMS],
+    lit_lens: Vec<u32>,
+    dist_lens: Vec<u32>,
+    lit_enc: Encoder,
+    dist_enc: Encoder,
+    lit_dec: Decoder,
+    dist_dec: Decoder,
+    writer: BitWriter,
+}
+
+impl Default for XdefScratch {
+    fn default() -> Self {
+        Self {
+            tokens: Vec::new(),
+            lit_freq: [0; LIT_SYMS],
+            dist_freq: [0; DIST_SYMS],
+            lit_lens: Vec::new(),
+            dist_lens: Vec::new(),
+            lit_enc: Encoder::default(),
+            dist_enc: Encoder::default(),
+            lit_dec: Decoder::default(),
+            dist_dec: Decoder::default(),
+            writer: BitWriter::new(),
+        }
+    }
+}
+
+impl XdefScratch {
+    fn reset(&mut self) {
+        self.tokens.clear();
+        self.lit_freq = [0; LIT_SYMS];
+        self.dist_freq = [0; DIST_SYMS];
+    }
+}
+
+impl TokenSink for XdefScratch {
+    fn literal(&mut self, _pos: usize, byte: u8) {
+        self.lit_freq[byte as usize] += 1;
+        self.tokens.push(u32::from(byte));
+    }
+
+    fn emit_match(&mut self, len: u32, dist: u32) {
+        self.lit_freq[length_bucket(len).0] += 1;
+        self.dist_freq[dist_bucket(dist).0] += 1;
+        self.tokens.push(MATCH_BIT | ((len - MIN_MATCH as u32) << 16) | dist);
     }
 }
 
@@ -111,8 +175,8 @@ fn write_lengths(w: &mut BitWriter, lens: &[u32]) {
     }
 }
 
-fn read_lengths(r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
-    let mut lens = Vec::with_capacity(n);
+fn read_lengths_into(r: &mut BitReader<'_>, n: usize, lens: &mut Vec<u32>) -> Result<()> {
+    lens.clear();
     while lens.len() < n {
         let v = r.read_bits(4)?;
         let run = r.read_bits(8)? as usize;
@@ -121,7 +185,7 @@ fn read_lengths(r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
         }
         lens.extend(std::iter::repeat_n(v, run));
     }
-    Ok(lens)
+    Ok(())
 }
 
 impl Codec for XDeflate {
@@ -134,54 +198,63 @@ impl Codec for XDeflate {
     }
 
     fn compress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        self.compress_into(src, dst, &mut Scratch::new())
+    }
+
+    fn decompress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        self.decompress_into(src, dst, &mut Scratch::new())
+    }
+
+    fn compress_into(&self, src: &[u8], dst: &mut Vec<u8>, scratch: &mut Scratch) -> Result<usize> {
         let start = dst.len();
-        let tokens = self.finder.tokenize(src);
+        let Scratch { lz, xd, huff } = scratch;
+        xd.reset();
+        // Tokenize straight into the scratch: the sink counts symbol
+        // frequencies as tokens stream in.
+        self.finder.tokenize_into(src, lz, xd);
+        xd.lit_freq[EOB] += 1;
 
-        // Gather symbol statistics.
-        let mut lit_freq = [0u64; LIT_SYMS];
-        let mut dist_freq = [0u64; DIST_SYMS];
-        for t in &tokens {
-            match *t {
-                Token::Literal(b) => lit_freq[b as usize] += 1,
-                Token::Match { len, dist } => {
-                    lit_freq[length_bucket(len).0] += 1;
-                    dist_freq[dist_bucket(dist).0] += 1;
-                }
-            }
-        }
-        lit_freq[EOB] += 1;
+        code_lengths_into(&xd.lit_freq, MAX_CODE_LEN, huff, &mut xd.lit_lens)?;
+        code_lengths_into(&xd.dist_freq, MAX_CODE_LEN, huff, &mut xd.dist_lens)?;
+        xd.lit_enc.rebuild(&xd.lit_lens)?;
+        xd.dist_enc.rebuild(&xd.dist_lens)?;
 
-        let lit_lens = code_lengths(&lit_freq, MAX_CODE_LEN)?;
-        let dist_lens = code_lengths(&dist_freq, MAX_CODE_LEN)?;
-        let lit_enc = Encoder::from_lengths(&lit_lens)?;
-        let dist_enc = Encoder::from_lengths(&dist_lens)?;
-
-        let mut w = BitWriter::new();
+        let XdefScratch {
+            tokens,
+            lit_lens,
+            dist_lens,
+            lit_enc,
+            dist_enc,
+            writer: w,
+            ..
+        } = xd;
+        w.clear();
         w.write_bits(1, 1); // final
         w.write_bits(1, 1); // compressed
-        write_lengths(&mut w, &lit_lens);
-        write_lengths(&mut w, &dist_lens);
-        for t in &tokens {
-            match *t {
-                Token::Literal(b) => lit_enc.encode(&mut w, b as usize),
-                Token::Match { len, dist } => {
-                    let (sym, extra, ebits) = length_bucket(len);
-                    lit_enc.encode(&mut w, sym);
-                    w.write_bits(extra, ebits);
-                    let (dsym, dextra, debits) = dist_bucket(dist);
-                    dist_enc.encode(&mut w, dsym);
-                    w.write_bits(dextra, debits);
-                }
+        write_lengths(w, lit_lens);
+        write_lengths(w, dist_lens);
+        for &t in tokens.iter() {
+            if t & MATCH_BIT != 0 {
+                let len = ((t >> 16) & 0xff) + MIN_MATCH as u32;
+                let dist = t & 0xffff;
+                let (sym, extra, ebits) = length_bucket(len);
+                lit_enc.encode(w, sym);
+                w.write_bits(extra, ebits);
+                let (dsym, dextra, debits) = dist_bucket(dist);
+                dist_enc.encode(w, dsym);
+                w.write_bits(dextra, debits);
+            } else {
+                lit_enc.encode(w, t as usize);
             }
         }
-        lit_enc.encode(&mut w, EOB);
-        let compressed = w.finish();
+        lit_enc.encode(w, EOB);
+        w.align_byte();
 
         // Fall back to stored blocks when entropy coding does not help
         // (the SFM stores incompressible pages raw). Each stored block
         // carries at most 64 KiB - 1; large inputs chain blocks.
-        if compressed.len() >= src.len() + 4 {
-            let mut w = BitWriter::new();
+        if w.byte_len() >= src.len() + 4 {
+            w.clear();
             let mut chunks = src.chunks(0xffff).peekable();
             if src.is_empty() {
                 w.write_bits(1, 1); // final
@@ -199,16 +272,14 @@ impl Codec for XDeflate {
                 w.align_byte();
                 w.write_bytes(chunk);
             }
-            let stored = w.finish();
-            dst.extend_from_slice(&stored);
-            return Ok(dst.len() - start);
         }
-        dst.extend_from_slice(&compressed);
+        dst.extend_from_slice(w.bytes());
         Ok(dst.len() - start)
     }
 
-    fn decompress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+    fn decompress_into(&self, src: &[u8], dst: &mut Vec<u8>, scratch: &mut Scratch) -> Result<usize> {
         let start = dst.len();
+        let xd = &mut scratch.xd;
         let mut r = BitReader::new(src);
         loop {
             let is_final = r.read_bit()? == 1;
@@ -220,12 +291,12 @@ impl Codec for XDeflate {
                 let raw = r.read_bytes(len)?;
                 dst.extend_from_slice(raw);
             } else {
-                let lit_lens = read_lengths(&mut r, LIT_SYMS)?;
-                let dist_lens = read_lengths(&mut r, DIST_SYMS)?;
-                let lit_dec = Decoder::from_lengths(&lit_lens)?;
-                let dist_dec = Decoder::from_lengths(&dist_lens)?;
+                read_lengths_into(&mut r, LIT_SYMS, &mut xd.lit_lens)?;
+                read_lengths_into(&mut r, DIST_SYMS, &mut xd.dist_lens)?;
+                xd.lit_dec.rebuild(&xd.lit_lens)?;
+                xd.dist_dec.rebuild(&xd.dist_lens)?;
                 loop {
-                    let sym = lit_dec.decode(&mut r)? as usize;
+                    let sym = xd.lit_dec.decode(&mut r)? as usize;
                     if sym < 256 {
                         dst.push(sym as u8);
                     } else if sym == EOB {
@@ -237,7 +308,7 @@ impl Codec for XDeflate {
                         if !(MIN_MATCH as u32..=MAX_MATCH as u32).contains(&len) {
                             return Err(Error::Corrupt(format!("match length {len}")));
                         }
-                        let dsym = dist_dec.decode(&mut r)? as usize;
+                        let dsym = xd.dist_dec.decode(&mut r)? as usize;
                         if dsym == 0 || dsym >= DIST_SYMS {
                             return Err(Error::Corrupt("bad distance symbol".into()));
                         }
@@ -282,6 +353,33 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(round_trip(b"") > 0);
+    }
+
+    #[test]
+    fn reused_scratch_output_is_byte_identical() {
+        let codec = XDeflate::default();
+        let inputs: Vec<Vec<u8>> = vec![
+            b"far memory far memory far memory".repeat(16),
+            vec![0u8; 4096],
+            (0..1024u32)
+                .flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes())
+                .collect(),
+            Vec::new(),
+            b"x".to_vec(),
+        ];
+        let mut scratch = Scratch::new();
+        for data in &inputs {
+            let mut fresh = Vec::new();
+            codec.compress(data, &mut fresh).unwrap();
+            let mut reused = Vec::new();
+            codec.compress_into(data, &mut reused, &mut scratch).unwrap();
+            assert_eq!(fresh, reused, "compress_into diverged on {} bytes", data.len());
+            let mut back = Vec::new();
+            codec
+                .decompress_into(&reused, &mut back, &mut scratch)
+                .unwrap();
+            assert_eq!(&back, data);
+        }
     }
 
     #[test]

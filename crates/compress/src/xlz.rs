@@ -18,7 +18,8 @@
 use xfm_types::{Error, Result};
 
 use crate::codec::{Codec, CodecKind};
-use crate::lz77::{MatchFinder, Token};
+use crate::lz77::{MatchFinder, TokenSink};
+use crate::scratch::Scratch;
 
 /// Minimum encodable match length.
 const MIN_MATCH: u32 = 4;
@@ -68,6 +69,56 @@ fn write_varcount(out: &mut Vec<u8>, mut extra: usize) {
     out.push(extra as u8);
 }
 
+/// Writes one packet: token byte, literal run, optional match tail.
+fn emit_packet(dst: &mut Vec<u8>, literals: &[u8], m: Option<(u32, u32)>) {
+    let lit_count = literals.len();
+    let match_field = match m {
+        Some((len, _)) => (len - MIN_MATCH + 1).min(15) as usize,
+        None => 0,
+    };
+    // For the token nibbles: literal nibble is min(count,15);
+    // match nibble holds min(len - MIN_MATCH + 1, 15), 0 = none.
+    let token = ((lit_count.min(15) as u8) << 4) | match_field as u8;
+    dst.push(token);
+    if lit_count >= 15 {
+        write_varcount(dst, lit_count - 15);
+    }
+    dst.extend_from_slice(literals);
+    if let Some((len, dist)) = m {
+        let stored = len - MIN_MATCH + 1;
+        if stored >= 15 {
+            write_varcount(dst, (stored - 15) as usize);
+        }
+        dst.extend_from_slice(&(dist as u16).to_le_bytes());
+    }
+}
+
+/// Streams tokenizer output straight into xlz packets. Literal runs are
+/// tracked as a `(start, len)` window over the source slice — runs are
+/// always contiguous in the source — so nothing is buffered.
+struct PacketSink<'a> {
+    src: &'a [u8],
+    dst: &'a mut Vec<u8>,
+    run_start: usize,
+    run_len: usize,
+}
+
+impl TokenSink for PacketSink<'_> {
+    fn literal(&mut self, pos: usize, _byte: u8) {
+        if self.run_len == 0 {
+            self.run_start = pos;
+        }
+        self.run_len += 1;
+    }
+
+    fn emit_match(&mut self, len: u32, dist: u32) {
+        debug_assert!(dist <= u32::from(u16::MAX));
+        let literals = &self.src[self.run_start..self.run_start + self.run_len];
+        emit_packet(self.dst, literals, Some((len, dist)));
+        self.run_len = 0;
+    }
+}
+
 fn read_varcount(src: &[u8], pos: &mut usize, base: usize) -> Result<usize> {
     let mut count = base;
     if base == 15 {
@@ -95,47 +146,22 @@ impl Codec for Xlz {
     }
 
     fn compress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        self.compress_into(src, dst, &mut Scratch::new())
+    }
+
+    fn compress_into(&self, src: &[u8], dst: &mut Vec<u8>, scratch: &mut Scratch) -> Result<usize> {
         let start = dst.len();
-        let tokens = self.finder.tokenize(src);
-
-        // Group the token stream into (literal run, match) packets.
-        let mut literals: Vec<u8> = Vec::new();
-        let emit = |dst: &mut Vec<u8>, literals: &mut Vec<u8>, m: Option<(u32, u32)>| {
-            let lit_count = literals.len();
-            let match_field = match m {
-                Some((len, _)) => (len - MIN_MATCH + 1).min(15) as usize,
-                None => 0,
-            };
-            // For the token nibbles: literal nibble is min(count,15);
-            // match nibble holds min(len - MIN_MATCH + 1, 15), 0 = none.
-            let token = ((lit_count.min(15) as u8) << 4) | match_field as u8;
-            dst.push(token);
-            if lit_count >= 15 {
-                write_varcount(dst, lit_count - 15);
-            }
-            dst.extend_from_slice(literals);
-            literals.clear();
-            if let Some((len, dist)) = m {
-                let stored = len - MIN_MATCH + 1;
-                if stored >= 15 {
-                    write_varcount(dst, (stored - 15) as usize);
-                }
-                dst.extend_from_slice(&(dist as u16).to_le_bytes());
-            }
+        let mut sink = PacketSink {
+            src,
+            dst,
+            run_start: 0,
+            run_len: 0,
         };
-
-        for t in &tokens {
-            match *t {
-                Token::Literal(b) => literals.push(b),
-                Token::Match { len, dist } => {
-                    debug_assert!(dist <= u32::from(u16::MAX));
-                    emit(dst, &mut literals, Some((len, dist)));
-                }
-            }
-        }
+        self.finder.tokenize_into(src, &mut scratch.lz, &mut sink);
         // Final literal-only packet (always emitted, possibly empty, so
         // the decoder has an unambiguous terminator).
-        emit(dst, &mut literals, None);
+        let literals = &src[sink.run_start..sink.run_start + sink.run_len];
+        emit_packet(dst, literals, None);
         Ok(dst.len() - start)
     }
 
@@ -252,6 +278,31 @@ mod tests {
         let stream = [0x01u8, 0x0f, 0x27];
         let mut out = Vec::new();
         assert!(Xlz::default().decompress(&stream, &mut out).is_err());
+    }
+
+    #[test]
+    fn reused_scratch_output_is_byte_identical() {
+        let codec = Xlz::default();
+        let inputs: Vec<Vec<u8>> = vec![
+            b"hello world hello world hello world".repeat(8),
+            vec![b'z'; 4096],
+            (0..300u32)
+                .flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes())
+                .collect(),
+            Vec::new(),
+            b"q".to_vec(),
+        ];
+        let mut scratch = Scratch::new();
+        for data in &inputs {
+            let mut fresh = Vec::new();
+            codec.compress(data, &mut fresh).unwrap();
+            let mut reused = Vec::new();
+            codec.compress_into(data, &mut reused, &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+            let mut back = Vec::new();
+            codec.decompress(&reused, &mut back).unwrap();
+            assert_eq!(&back, data);
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use xfm_compress::lz77::{expand, MatchFinder};
 use xfm_compress::ratio::{gather_interleaved, split_interleaved};
-use xfm_compress::{Codec, XDeflate, Xlz};
+use xfm_compress::{Codec, Scratch, XDeflate, Xlz};
 
 /// Byte-string strategies that mix compressible structure with noise.
 fn arb_data() -> impl Strategy<Value = Vec<u8>> {
@@ -81,6 +81,29 @@ proptest! {
             c[idx] ^= 1 << (flip % 8);
             let mut out = Vec::new();
             let _ = codec.decompress(&c, &mut out);
+        }
+    }
+
+    /// Reused scratch state never changes codec output: compressing a
+    /// sequence of inputs through one `Scratch` yields byte-identical
+    /// streams to fresh-state `compress`, for both codecs, and the
+    /// scratch decompress path restores the original bytes.
+    #[test]
+    fn scratch_reuse_is_byte_identical(inputs in prop::collection::vec(arb_data(), 1..5)) {
+        let xdef = XDeflate::default();
+        let xlz = Xlz::default();
+        let mut scratch = Scratch::new();
+        for data in &inputs {
+            for codec in [&xdef as &dyn Codec, &xlz as &dyn Codec] {
+                let mut fresh = Vec::new();
+                codec.compress(data, &mut fresh).unwrap();
+                let mut reused = Vec::new();
+                codec.compress_into(data, &mut reused, &mut scratch).unwrap();
+                prop_assert_eq!(&fresh, &reused, "{} diverged with reused scratch", codec.name());
+                let mut back = Vec::new();
+                codec.decompress_into(&reused, &mut back, &mut scratch).unwrap();
+                prop_assert_eq!(&back, data);
+            }
         }
     }
 

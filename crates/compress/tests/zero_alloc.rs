@@ -1,0 +1,124 @@
+//! Proves the steady-state codec hot path performs no heap allocation.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator. The test
+//! warms a [`Scratch`] up (first pages size every internal buffer), then
+//! turns the counter on and pushes more pages through
+//! `compress_into`/`decompress_into` with pre-reserved output buffers:
+//! the count must stay at zero. This pins the tentpole property — after
+//! warm-up, tokenize + entropy encode + bitstream emit touch no heap.
+//!
+//! This file intentionally holds a single `#[test]` so no concurrent
+//! test can allocate while the counter is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use xfm_compress::{Codec, Corpus, Scratch, XDeflate, Xlz};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Armed only on the test thread, so allocations from test-harness
+    /// service threads don't pollute the count. Const-initialized: the
+    /// first access inside the allocator hook must not itself allocate.
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn note_alloc() {
+    let _ = ARMED.try_with(|armed| {
+        if armed.get() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const PAGE: usize = 4096;
+
+#[test]
+fn steady_state_hot_path_does_not_allocate() {
+    let xdef = XDeflate::default();
+    let xlz = Xlz::default();
+
+    // Warm-up corpus includes a random page: it maximizes the token
+    // count (all literals) and the bitstream length, so every internal
+    // buffer reaches its worst-case 4 KiB-page capacity.
+    let warmup: Vec<Vec<u8>> = vec![
+        Corpus::RandomBytes.generate(7, PAGE),
+        Corpus::Json.generate(1, PAGE),
+        Corpus::EnglishText.generate(2, PAGE),
+    ];
+    // Steady-state pages are distinct from the warm-up ones.
+    let steady: Vec<Vec<u8>> = (10..20u64).map(|s| Corpus::Json.generate(s, PAGE)).collect();
+
+    let mut scratch = Scratch::new();
+    // Output buffers sized for the worst case (stored-block fallback is
+    // src + header; xlz worst case adds ~1/255 overhead).
+    let mut compressed = Vec::with_capacity(2 * PAGE);
+    let mut restored = Vec::with_capacity(2 * PAGE);
+
+    for codec in [&xdef as &dyn Codec, &xlz as &dyn Codec] {
+        for page in &warmup {
+            compressed.clear();
+            codec.compress_into(page, &mut compressed, &mut scratch).unwrap();
+            restored.clear();
+            codec.decompress_into(&compressed, &mut restored, &mut scratch).unwrap();
+            assert_eq!(&restored, page);
+        }
+    }
+
+    ALLOC_CALLS.store(0, Ordering::SeqCst);
+    ARMED.with(|armed| armed.set(true));
+    for codec in [&xdef as &dyn Codec, &xlz as &dyn Codec] {
+        for page in &steady {
+            compressed.clear();
+            codec.compress_into(page, &mut compressed, &mut scratch).unwrap();
+            restored.clear();
+            codec.decompress_into(&compressed, &mut restored, &mut scratch).unwrap();
+        }
+    }
+    ARMED.with(|armed| armed.set(false));
+    let allocs = ALLOC_CALLS.load(Ordering::SeqCst);
+
+    // Validate outside the armed window (assert_eq formats on failure).
+    for codec in [&xdef as &dyn Codec, &xlz as &dyn Codec] {
+        for page in &steady {
+            compressed.clear();
+            codec.compress_into(page, &mut compressed, &mut scratch).unwrap();
+            restored.clear();
+            codec.decompress_into(&compressed, &mut restored, &mut scratch).unwrap();
+            assert_eq!(&restored, page, "{} round trip", codec.name());
+        }
+    }
+
+    assert_eq!(
+        allocs, 0,
+        "steady-state compress/decompress hot path allocated {allocs} times"
+    );
+}

@@ -7,7 +7,7 @@
 //! "highly overprovisioned for XFM"), and the AxDIMM-class accelerator
 //! IP reaches 14.8/17.2 GB/s (§7).
 
-use xfm_compress::{Codec, XDeflate};
+use xfm_compress::{Codec, Scratch, XDeflate};
 use xfm_types::{Bandwidth, ByteSize, Nanos, Result};
 
 /// The engine: a codec plus a throughput model and busy-time accounting.
@@ -31,6 +31,9 @@ pub struct EngineModel {
     busy: Nanos,
     compressed_bytes: u64,
     decompressed_bytes: u64,
+    /// Reusable codec state — the engine services a stream of pages, so
+    /// after warm-up the (de)compress paths allocate only their outputs.
+    scratch: Scratch,
 }
 
 impl std::fmt::Debug for EngineModel {
@@ -54,6 +57,7 @@ impl EngineModel {
             busy: Nanos::ZERO,
             compressed_bytes: 0,
             decompressed_bytes: 0,
+            scratch: Scratch::new(),
         }
     }
 
@@ -91,7 +95,7 @@ impl EngineModel {
     /// Propagates codec failures.
     pub fn compress(&mut self, src: &[u8]) -> Result<(Vec<u8>, Nanos)> {
         let mut out = Vec::with_capacity(src.len());
-        self.codec.compress(src, &mut out)?;
+        self.codec.compress_into(src, &mut out, &mut self.scratch)?;
         let t = self.compress_bw.time_for(ByteSize::from_bytes(src.len() as u64));
         self.busy += t;
         self.compressed_bytes += src.len() as u64;
@@ -106,7 +110,8 @@ impl EngineModel {
     /// Returns [`xfm_types::Error::Corrupt`] for invalid streams.
     pub fn decompress(&mut self, src: &[u8]) -> Result<(Vec<u8>, Nanos)> {
         let mut out = Vec::new();
-        self.codec.decompress(src, &mut out)?;
+        self.codec
+            .decompress_into(src, &mut out, &mut self.scratch)?;
         let t = self
             .decompress_bw
             .time_for(ByteSize::from_bytes(out.len() as u64));

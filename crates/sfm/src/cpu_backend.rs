@@ -8,7 +8,7 @@
 //! the `4 x GBSwapped` channel traffic of the paper's §1/§3 (overhead
 //! O3) — and the codec burns host cycles (overhead O2).
 
-use xfm_compress::{Codec, CodecKind, CostModel, XDeflate};
+use xfm_compress::{Codec, CodecKind, CostModel, Scratch, XDeflate};
 use xfm_types::{ByteSize, Cycles, Error, PageNumber, Result, PAGE_SIZE};
 
 use crate::backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
@@ -38,6 +38,11 @@ pub struct CpuBackend {
     pool: Zpool,
     table: SfmTable,
     stats: BackendStats,
+    /// Reusable codec state: after the first page, swap-out and swap-in
+    /// run without heap allocation in the codec.
+    scratch: Scratch,
+    /// Reusable compressed-output buffer for swap-out.
+    comp_buf: Vec<u8>,
 }
 
 impl std::fmt::Debug for CpuBackend {
@@ -68,6 +73,8 @@ impl CpuBackend {
             config,
             codec,
             cost,
+            scratch: Scratch::new(),
+            comp_buf: Vec::with_capacity(PAGE_SIZE),
         }
     }
 
@@ -126,35 +133,30 @@ impl SfmBackend for CpuBackend {
             return Ok(outcome);
         }
 
-        let mut compressed = Vec::with_capacity(PAGE_SIZE);
-        self.codec.compress(data, &mut compressed)?;
-        let (bytes, codec_kind, cycles) = if compressed.len() > self.config.max_compressed_len() {
-            // zswap-style reject: store raw; compression cycles were
-            // still spent discovering that.
-            self.stats.stored_raw += 1;
-            (
-                data.to_vec(),
-                CodecKind::Raw,
-                self.cost.compress_cycles(PAGE_SIZE as u64),
-            )
-        } else {
-            (
-                compressed,
-                self.codec.kind(),
-                self.cost.compress_cycles(PAGE_SIZE as u64),
-            )
-        };
+        self.comp_buf.clear();
+        self.codec
+            .compress_into(data, &mut self.comp_buf, &mut self.scratch)?;
+        let cycles = self.cost.compress_cycles(PAGE_SIZE as u64);
+        let (bytes, codec_kind): (&[u8], CodecKind) =
+            if self.comp_buf.len() > self.config.max_compressed_len() {
+                // zswap-style reject: store raw; compression cycles were
+                // still spent discovering that.
+                self.stats.stored_raw += 1;
+                (data, CodecKind::Raw)
+            } else {
+                (&self.comp_buf, self.codec.kind())
+            };
 
         // Allocate; on full, compact once and retry (the paper's
         // swapOut() "initiates an internal compaction operation if the
         // SFM capacity limit is hit").
         let mut extra_ddr = ByteSize::ZERO;
-        let handle = match self.pool.alloc(&bytes) {
+        let handle = match self.pool.alloc(bytes) {
             Ok(h) => h,
             Err(Error::SfmRegionFull) => {
-                let report = self.compact();
+                let report = self.pool.compact();
                 extra_ddr += report.moved_bytes * 2; // memcpy: read + write
-                match self.pool.alloc(&bytes) {
+                match self.pool.alloc(bytes) {
                     Ok(h) => h,
                     Err(e) => {
                         self.stats.rejected_full += 1;
@@ -186,24 +188,35 @@ impl SfmBackend for CpuBackend {
 
     fn swap_in(&mut self, page: PageNumber, _do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
         let entry = self.table.remove(page)?;
-        let compressed = self.pool.get(entry.handle)?.to_vec();
-        self.pool.free(entry.handle)?;
-
-        let (data, cycles) = match entry.codec {
-            CodecKind::SameFilled => (vec![compressed[0]; PAGE_SIZE], Cycles::new(PAGE_SIZE as u64)),
-            CodecKind::Raw => (compressed.clone(), Cycles::ZERO),
-            _ => {
-                let mut out = Vec::with_capacity(PAGE_SIZE);
-                self.codec.decompress(&compressed, &mut out)?;
-                if out.len() != PAGE_SIZE {
-                    return Err(Error::Corrupt(format!(
-                        "page {page} decompressed to {} bytes",
-                        out.len()
-                    )));
+        // Decompress straight out of the pool's arena slice — the
+        // compressed bytes are never copied. The slot is freed after the
+        // borrow ends, even when decoding fails.
+        let decoded: Result<(Vec<u8>, Cycles)> = {
+            let compressed = self.pool.get(entry.handle)?;
+            match entry.codec {
+                CodecKind::SameFilled => Ok((
+                    vec![compressed[0]; PAGE_SIZE],
+                    Cycles::new(PAGE_SIZE as u64),
+                )),
+                CodecKind::Raw => Ok((compressed.to_vec(), Cycles::ZERO)),
+                _ => {
+                    let mut out = Vec::with_capacity(PAGE_SIZE);
+                    match self
+                        .codec
+                        .decompress_into(compressed, &mut out, &mut self.scratch)
+                    {
+                        Ok(_) if out.len() != PAGE_SIZE => Err(Error::Corrupt(format!(
+                            "page {page} decompressed to {} bytes",
+                            out.len()
+                        ))),
+                        Ok(_) => Ok((out, self.cost.decompress_cycles(PAGE_SIZE as u64))),
+                        Err(e) => Err(e),
+                    }
                 }
-                (out, self.cost.decompress_cycles(PAGE_SIZE as u64))
             }
         };
+        self.pool.free(entry.handle)?;
+        let (data, cycles) = decoded?;
 
         let outcome = SwapOutcome {
             executed_on: ExecutedOn::Cpu,

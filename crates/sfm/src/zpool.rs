@@ -5,9 +5,12 @@
 //! cost of intermittent compaction (paper §2.1). This model keeps the
 //! same structure: the pool is a set of 4 KiB *host pages*, each assigned
 //! to a *size class* (a multiple of a 64 B chunk); objects occupy fixed
-//! slots of their class size. [`Zpool::compact`] repacks each class into
-//! the fewest host pages and reports the `memcpy` volume, which the
-//! backends charge as DRAM traffic.
+//! slots of their class size. Each host page is one contiguous 4 KiB
+//! arena — slot addresses are pure offset arithmetic, so store, load,
+//! and compaction are single `memcpy`s with no per-object heap boxes.
+//! [`Zpool::compact`] repacks each class into the fewest host pages and
+//! reports the `memcpy` volume, which the backends charge as DRAM
+//! traffic.
 
 use std::collections::BTreeMap;
 
@@ -32,8 +35,11 @@ pub struct Handle(u64);
 struct HostPage {
     /// Size class (slot size = `(class + 1) * CHUNK`).
     class: usize,
-    /// Slot contents; `None` = free slot.
-    slots: Vec<Option<Vec<u8>>>,
+    /// One contiguous 4 KiB arena; slot `si` occupies
+    /// `si * slot_size .. si * slot_size + lens[si]`.
+    data: Box<[u8]>,
+    /// Per-slot payload length; 0 = free (objects are never empty).
+    lens: Vec<u16>,
     used: usize,
 }
 
@@ -42,9 +48,49 @@ impl HostPage {
         let slot_size = (class + 1) * CHUNK;
         Self {
             class,
-            slots: vec![None; PAGE_SIZE / slot_size],
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+            lens: vec![0; PAGE_SIZE / slot_size],
             used: 0,
         }
+    }
+
+    fn slot_size(&self) -> usize {
+        (self.class + 1) * CHUNK
+    }
+
+    fn num_slots(&self) -> usize {
+        self.lens.len()
+    }
+
+    fn object(&self, si: usize) -> &[u8] {
+        let start = si * self.slot_size();
+        &self.data[start..start + self.lens[si] as usize]
+    }
+
+    /// Stores `obj` into free slot `si` (one memcpy into the arena).
+    fn store(&mut self, si: usize, obj: &[u8]) {
+        debug_assert_eq!(self.lens[si], 0, "slot occupied");
+        let start = si * self.slot_size();
+        self.data[start..start + obj.len()].copy_from_slice(obj);
+        self.lens[si] = obj.len() as u16;
+        self.used += 1;
+    }
+
+    /// Frees slot `si`, returning the payload length it held.
+    fn clear(&mut self, si: usize) -> usize {
+        let len = self.lens[si] as usize;
+        debug_assert!(len > 0, "slot already free");
+        self.lens[si] = 0;
+        self.used -= 1;
+        len
+    }
+
+    fn first_free(&self) -> Option<usize> {
+        self.lens.iter().position(|&l| l == 0)
+    }
+
+    fn first_used(&self) -> Option<usize> {
+        self.lens.iter().position(|&l| l != 0)
     }
 }
 
@@ -167,8 +213,8 @@ impl Zpool {
         // First fit: any existing page of this class with a free slot.
         let found = self.pages.iter().enumerate().find_map(|(pi, p)| {
             p.as_ref().and_then(|p| {
-                (p.class == class && p.used < p.slots.len()).then(|| {
-                    let si = p.slots.iter().position(Option::is_none).expect("free slot");
+                (p.class == class && p.used < p.num_slots()).then(|| {
+                    let si = p.first_free().expect("free slot");
                     (pi, si)
                 })
             })
@@ -195,8 +241,7 @@ impl Zpool {
             }
         };
         let page = self.pages[pi].as_mut().expect("live page");
-        page.slots[si] = Some(data.to_vec());
-        page.used += 1;
+        page.store(si, data);
         let handle = Handle(self.next_handle);
         self.next_handle += 1;
         self.locations.insert(handle.0, (pi, si));
@@ -215,12 +260,7 @@ impl Zpool {
             .locations
             .get(&handle.0)
             .ok_or(Error::EntryNotFound { page: handle.0 })?;
-        Ok(self.pages[pi]
-            .as_ref()
-            .expect("live page")
-            .slots[si]
-            .as_deref()
-            .expect("live slot"))
+        Ok(self.pages[pi].as_ref().expect("live page").object(si))
     }
 
     /// Frees the object behind `handle`. Fully-empty host pages return to
@@ -235,16 +275,15 @@ impl Zpool {
             .remove(&handle.0)
             .ok_or(Error::EntryNotFound { page: handle.0 })?;
         let page = self.pages[pi].as_mut().expect("live page");
-        let data = page.slots[si].take().expect("live slot");
-        page.used -= 1;
+        let len = page.clear(si);
         let class = page.class;
-        self.stored_bytes -= data.len() as u64;
-        self.slot_overhead -= ((class + 1) * CHUNK - data.len()) as u64;
+        self.stored_bytes -= len as u64;
+        self.slot_overhead -= ((class + 1) * CHUNK - len) as u64;
         if page.used == 0 {
             self.pages[pi] = None;
             self.free_page_slots.push(pi);
         }
-        Ok(ByteSize::from_bytes(data.len() as u64))
+        Ok(ByteSize::from_bytes(len as u64))
     }
 
     /// Repacks every size class into the fewest host pages, relocating
@@ -271,7 +310,7 @@ impl Zpool {
                 let dense_pi = page_idxs[dense];
                 let free_in_dense = {
                     let p = self.pages[dense_pi].as_ref().expect("live");
-                    p.slots.len() - p.used
+                    p.num_slots() - p.used
                 };
                 if free_in_dense == 0 {
                     dense += 1;
@@ -286,23 +325,29 @@ impl Zpool {
                     sparse -= 1;
                     continue;
                 }
-                // Move one object.
-                let (si_from, data) = {
-                    let p = self.pages[sparse_pi].as_mut().expect("live");
-                    let si = p
-                        .slots
-                        .iter()
-                        .position(Option::is_some)
-                        .expect("object present");
-                    (si, p.slots[si].take().expect("object"))
-                };
-                self.pages[sparse_pi].as_mut().expect("live").used -= 1;
-                let si_to = {
-                    let p = self.pages[dense_pi].as_mut().expect("live");
-                    let si = p.slots.iter().position(Option::is_none).expect("free slot");
-                    p.slots[si] = Some(data.clone());
-                    p.used += 1;
-                    si
+                // Move one object: a single arena-to-arena memcpy.
+                // `split_at_mut` yields disjoint borrows of the two pages
+                // (they are distinct — checked above).
+                let (si_from, si_to, moved_len) = {
+                    let mid = sparse_pi.max(dense_pi);
+                    let (lo, hi) = self.pages.split_at_mut(mid);
+                    let (from, to) = if sparse_pi < dense_pi {
+                        (&mut lo[sparse_pi], &mut hi[0])
+                    } else {
+                        (&mut hi[0], &mut lo[dense_pi])
+                    };
+                    let from = from.as_mut().expect("live");
+                    let to = to.as_mut().expect("live");
+                    let si_from = from.first_used().expect("object present");
+                    let si_to = to.first_free().expect("free slot");
+                    let len = from.lens[si_from] as usize;
+                    let src = si_from * from.slot_size();
+                    let dst = si_to * to.slot_size();
+                    to.data[dst..dst + len].copy_from_slice(&from.data[src..src + len]);
+                    to.lens[si_to] = len as u16;
+                    to.used += 1;
+                    from.clear(si_from);
+                    (si_from, si_to, len)
                 };
                 // Fix the handle that pointed at (sparse_pi, si_from).
                 let handle = self
@@ -312,7 +357,7 @@ impl Zpool {
                     .expect("handle for moved object");
                 self.locations.insert(handle, (dense_pi, si_to));
                 report.moved_objects += 1;
-                report.moved_bytes += ByteSize::from_bytes(data.len() as u64);
+                report.moved_bytes += ByteSize::from_bytes(moved_len as u64);
                 if self.pages[sparse_pi].as_ref().expect("live").used == 0 {
                     self.pages[sparse_pi] = None;
                     self.free_page_slots.push(sparse_pi);

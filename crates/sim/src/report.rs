@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(f(2.71828, 2), "2.72");
+        assert_eq!(f(2.71901, 2), "2.72");
         assert_eq!(pct(0.125), "12.5%");
     }
 }

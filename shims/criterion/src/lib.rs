@@ -1,0 +1,254 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a plain wall-clock measurement loop: a short calibration pass
+//! sizes the batch, then a fixed number of samples report median
+//! ns/iter (plus throughput when configured). No statistical analysis,
+//! plotting, or HTML reports. See `shims/README.md` for why these
+//! exist.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How measured values are scaled for reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim times one
+/// setup+routine pair per sample regardless of the variant.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples_per_bench: usize,
+    /// Median nanoseconds per iteration, filled in by `iter*`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the median ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the inner iteration count until one sample takes
+        // at least ~1 ms, so Instant overhead stays negligible.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut samples = Vec::with_capacity(self.samples_per_bench);
+        for _ in 0..self.samples_per_bench {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        self.ns_per_iter = median(&mut samples);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.samples_per_bench);
+        for _ in 0..self.samples_per_bench {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+        self.ns_per_iter = median(&mut samples);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_unstable_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn report(id: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gib_s = n as f64 / ns_per_iter * 1e9 / (1u64 << 30) as f64;
+            format!("  {gib_s:>8.3} GiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / ns_per_iter * 1e9;
+            format!("  {elem_s:>10.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("bench {id:<50} {ns_per_iter:>12.1} ns/iter{rate}");
+}
+
+/// Group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to scale subsequent reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.samples_per_bench = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher {
+            samples_per_bench: self.criterion.samples_per_bench,
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut bencher);
+        report(&full, bencher.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    samples_per_bench: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples_per_bench: 10 }
+    }
+}
+
+impl Criterion {
+    /// CLI-argument hook; the shim accepts and ignores harness flags
+    /// (`--bench`, filters) so `cargo bench` invocations still run.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples_per_bench: self.samples_per_bench,
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut bencher);
+        report(&id, bencher.ns_per_iter, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// End-of-run hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group declared by `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_positive_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 256],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    fn bench_entry(c: &mut Criterion) {
+        c.bench_function("macro_path", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(shim_benches, bench_entry);
+
+    #[test]
+    fn group_macro_expands_and_runs() {
+        shim_benches();
+    }
+}

@@ -1,0 +1,71 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Implements the `crossbeam::thread::scope` API the workspace uses on
+//! top of `std::thread::scope` (stable since Rust 1.63). See
+//! `shims/README.md` for why these exist.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention (the spawn
+    //! closure receives the scope, enabling nested spawns).
+
+    /// Scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, like
+        /// crossbeam's `ScopedThreadBuilder` API.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(scope))
+        }
+    }
+
+    /// Creates a scope in which all spawned threads are joined before the
+    /// call returns. Mirrors crossbeam's signature by returning a
+    /// `Result`; with `std::thread::scope` underneath, child panics
+    /// propagate as a panic from the scope itself, so a normal return is
+    /// always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hit = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| hit.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+}

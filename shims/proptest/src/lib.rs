@@ -1,0 +1,563 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the API subset the workspace's property tests use:
+//! [`Strategy`] with `prop_map`/`boxed`, integer-range and tuple
+//! strategies, `collection::vec`, `sample::select`, `sample::Index`,
+//! [`Just`], weighted/unweighted `prop_oneof!`, and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!` macros. Cases are generated from a
+//! deterministic per-test seed; there is **no shrinking** — a failure
+//! reports the case number and seed instead of a minimal input. See
+//! `shims/README.md` for why these exist.
+
+use rand::prelude::*;
+
+/// The generator handed to strategies. Re-exported so generated code can
+/// name it.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; this shim trims it to keep `cargo test`
+        // fast while still exercising each property broadly.
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+///
+/// Unlike the real crate this samples values directly (no value trees),
+/// so failing cases are not shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, map: f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.source.sample(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let lo = i128::from(*self.start());
+                let hi = i128::from(*self.end());
+                assert!(lo <= hi, "sampled from empty inclusive range");
+                let span = (hi - lo + 1) as u128;
+                let v = (u128::from(rng.next_u64()) * span) >> 64;
+                (lo + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<usize> {
+    type Value = usize;
+
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let lo = *self.start() as u128;
+        let hi = *self.end() as u128;
+        assert!(lo <= hi, "sampled from empty inclusive range");
+        let span = hi - lo + 1;
+        let v = (u128::from(rng.next_u64()) * span) >> 64;
+        (lo + v) as usize
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+impl Arbitrary for sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        sample::Index(rng.next_u64() as usize)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy for any value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Weighted union of strategies — the engine behind `prop_oneof!`.
+pub struct Union<T> {
+    variants: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    #[must_use]
+    pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight = variants.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! requires positive total weight");
+        Self { variants, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (weight, strat) in &self.variants {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strat.sample(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick exceeded total weight")
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            Self { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = (self.size.lo..=self.size.hi).sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// An index into a collection of unknown size; resolve with
+    /// [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) usize);
+
+    impl Index {
+        /// Maps this abstract index into `0..size`.
+        #[must_use]
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            self.0 % size
+        }
+    }
+
+    /// Strategy picking one element of a fixed set.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Uniformly selects one of `options` (cloned) per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` / `prop::sample::select`
+/// resolve after `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Runs `case` for `config.cases` deterministic seeds, panicking with
+/// case/seed context on the first failure. Called by the `proptest!`
+/// macro expansion.
+pub fn run_property_test<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    // FNV-1a over the test name decorrelates seeds between properties.
+    let mut name_hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        name_hash = (name_hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for i in 0..config.cases {
+        let seed = name_hash ^ u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(msg) = case(&mut rng) {
+            panic!("property '{name}' failed at case {i}/{} (seed {seed:#x}):\n{msg}", config.cases);
+        }
+    }
+}
+
+/// Defines property tests. Each body runs once per generated case; use
+/// `prop_assert!`-family macros (not `assert!`) so failures report the
+/// case and seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_property_test(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                (|| -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+    )*};
+}
+
+/// Asserts inside a `proptest!` body, failing the current case (with
+/// context) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+                        stringify!($left),
+                        stringify!($right),
+                        __left,
+                        __right,
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::std::result::Result::Err(::std::format!(
+                        "{}\n  left: `{:?}`\n right: `{:?}`",
+                        ::std::format!($($fmt)+),
+                        __left,
+                        __right,
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Weighted (`w => strat`) or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(::std::vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(::std::vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Everything a property test needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::sample::Index;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_respect_bounds() {
+        let strat = prop::collection::vec(3u32..7, 2..=5);
+        crate::run_property_test(&ProptestConfig::with_cases(200), "bounds", |rng| {
+            let v = strat.sample(rng);
+            if !(2..=5).contains(&v.len()) {
+                return Err(format!("len {}", v.len()));
+            }
+            if v.iter().any(|x| !(3..7).contains(x)) {
+                return Err(format!("elem out of range: {v:?}"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn oneof_hits_every_weighted_variant() {
+        let strat = prop_oneof![
+            3 => (0usize..4, any::<u8>()).prop_map(|(a, _)| a),
+            1 => Just(99usize),
+        ];
+        let mut seen_small = false;
+        let mut seen_just = false;
+        crate::run_property_test(&ProptestConfig::with_cases(300), "oneof", |rng| {
+            match strat.sample(rng) {
+                99 => seen_just = true,
+                0..=3 => seen_small = true,
+                other => return Err(format!("unexpected {other}")),
+            }
+            Ok(())
+        });
+        assert!(seen_small && seen_just);
+    }
+
+    #[test]
+    fn select_and_index_resolve() {
+        let strat = (prop::sample::select(vec![10u8, 20, 30]), any::<Index>());
+        crate::run_property_test(&ProptestConfig::with_cases(100), "select", |rng| {
+            let (v, idx) = strat.sample(rng);
+            if ![10, 20, 30].contains(&v) {
+                return Err(format!("bad select {v}"));
+            }
+            if idx.index(7) >= 7 {
+                return Err("index out of bounds".into());
+            }
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline itself: params, asserts, early return.
+        #[test]
+        fn macro_round_trip(data in prop::collection::vec(any::<u8>(), 0..100),
+                            k in 1usize..4) {
+            let doubled: Vec<u8> = data.iter().map(|b| b.wrapping_mul(2)).collect();
+            prop_assert_eq!(doubled.len(), data.len());
+            prop_assert!((1..4).contains(&k), "k out of range: {}", k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        crate::run_property_test(&ProptestConfig::with_cases(5), "always_fails", |_rng| {
+            Err("nope".to_string())
+        });
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` traits and re-exports the no-op
+//! derive macros so `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Deserialize, Serialize}` compile unchanged. The workspace
+//! never serializes values (there is no `serde_json` dependency), so no
+//! trait methods are needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait SerializeTrait {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait DeserializeTrait<'de> {}

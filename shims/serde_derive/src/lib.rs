@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal stand-ins for its external dependencies (see
+//! `shims/README.md`). Nothing in the workspace serializes at runtime —
+//! the derives only need to exist and expand — so both macros emit an
+//! empty token stream.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
