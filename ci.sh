@@ -2,7 +2,9 @@
 # Tier-1 gate: build, tests, lints. Run from the repo root.
 set -euo pipefail
 
+cargo fmt --all -- --check
 cargo build --release
 cargo test -q
 cargo test --workspace -q
+cargo test --doc --workspace -q
 cargo clippy --all-targets --workspace -- -D warnings

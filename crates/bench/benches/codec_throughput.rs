@@ -6,7 +6,12 @@ use std::hint::black_box;
 use xfm_compress::{Codec, Corpus, Scratch, XDeflate, Xlz};
 
 fn bench(c: &mut Criterion) {
-    let corpora = [Corpus::EnglishText, Corpus::Json, Corpus::ZeroPage, Corpus::RandomBytes];
+    let corpora = [
+        Corpus::EnglishText,
+        Corpus::Json,
+        Corpus::ZeroPage,
+        Corpus::RandomBytes,
+    ];
     let mut group = c.benchmark_group("codec");
     group.throughput(Throughput::Bytes(4096));
     group.sample_size(20);

@@ -10,17 +10,18 @@ use xfm_types::{Nanos, PageNumber, PhysAddr, RowId};
 fn bench(c: &mut Criterion) {
     let map = AddressMapping::skylake(SystemGeometry::skylake_4ch());
     c.bench_function("dram/decompose", |b| {
-        b.iter(|| map.decompose(black_box(PhysAddr::new(0x1234_5680))).unwrap())
+        b.iter(|| {
+            map.decompose(black_box(PhysAddr::new(0x1234_5680)))
+                .unwrap()
+        })
     });
     c.bench_function("dram/page_rows", |b| {
         b.iter(|| map.page_rows(black_box(PageNumber::new(777))).unwrap())
     });
     c.bench_function("dram/controller_1k_reads", |b| {
         b.iter(|| {
-            let mut ctrl = MemController::new(
-                DramTimings::paper_emulator(),
-                SystemGeometry::skylake_4ch(),
-            );
+            let mut ctrl =
+                MemController::new(DramTimings::paper_emulator(), SystemGeometry::skylake_4ch());
             let mut at = Nanos::from_us(1);
             for i in 0..1000u64 {
                 let done = ctrl

@@ -5,7 +5,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", xfm_bench::render_fig1(&xfm_sim::figures::fig1_bandwidth(1.0)));
+    println!(
+        "{}",
+        xfm_bench::render_fig1(&xfm_sim::figures::fig1_bandwidth(1.0))
+    );
     c.bench_function("fig01/bandwidth_model", |b| {
         b.iter(|| xfm_sim::figures::fig1_bandwidth(black_box(1.0)))
     });

@@ -8,9 +8,7 @@ use xfm_cost::{CostParams, FarMemoryKind, FarMemoryModel};
 fn bench(c: &mut Criterion) {
     println!("{}", xfm_bench::render_fig3(&xfm_sim::figures::fig3_cost()));
     let model = FarMemoryModel::new(CostParams::paper());
-    c.bench_function("fig03/cost_grid", |b| {
-        b.iter(xfm_sim::figures::fig3_cost)
-    });
+    c.bench_function("fig03/cost_grid", |b| b.iter(xfm_sim::figures::fig3_cost));
     c.bench_function("fig03/breakeven_solver", |b| {
         b.iter(|| model.cost_breakeven_years(black_box(FarMemoryKind::DfmDram), 1.0))
     });

@@ -7,7 +7,10 @@ use xfm_sim::corun::{evaluate, CorunConfig, SfmMode};
 use xfm_sim::workload::JobMix;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", xfm_bench::render_fig11(&xfm_sim::figures::fig11_interference()));
+    println!(
+        "{}",
+        xfm_bench::render_fig11(&xfm_sim::figures::fig11_interference())
+    );
     let cfg = CorunConfig::default();
     let mix = JobMix::memory_sensitive_eight();
     for mode in SfmMode::compared() {

@@ -7,13 +7,16 @@ use xfm_dram::{DeviceGeometry, DramTimings, RefreshScheduler};
 use xfm_types::{Nanos, RowId};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", xfm_bench::render_table1(&xfm_sim::figures::table1_devices()));
-    println!("{}", xfm_bench::render_timing(&xfm_sim::figures::timing_summary()));
-
-    let sched = RefreshScheduler::new(
-        DramTimings::paper_emulator(),
-        DeviceGeometry::ddr4_8gb(),
+    println!(
+        "{}",
+        xfm_bench::render_table1(&xfm_sim::figures::table1_devices())
     );
+    println!(
+        "{}",
+        xfm_bench::render_timing(&xfm_sim::figures::timing_summary())
+    );
+
+    let sched = RefreshScheduler::new(DramTimings::paper_emulator(), DeviceGeometry::ddr4_8gb());
     c.bench_function("tab01/window_at", |b| {
         b.iter(|| sched.window_at(black_box(Nanos::from_ms(7))))
     });

@@ -144,10 +144,9 @@ fn render_json(rows: &[Row]) -> String {
     s.push_str("  ],\n  \"current\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
-        let speedup = baseline_for(r.codec, r.corpus)
-            .map_or(String::from("null"), |(c, _)| {
-                format!("{:.2}", r.compress_scratch / c)
-            });
+        let speedup = baseline_for(r.codec, r.corpus).map_or(String::from("null"), |(c, _)| {
+            format!("{:.2}", r.compress_scratch / c)
+        });
         let _ = writeln!(
             s,
             "    {{\"codec\": \"{}\", \"corpus\": \"{}\", \

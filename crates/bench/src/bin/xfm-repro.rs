@@ -3,12 +3,19 @@
 //! Usage:
 //!
 //! ```text
-//! xfm-repro [experiment...]
+//! xfm-repro [--metrics-out <path>] [experiment...]
 //! ```
 //!
 //! With no arguments, all experiments run. Experiment names: `fig1`,
 //! `fig3`, `fig8`, `fig11`, `fig12`, `table1`, `table2`, `table3`,
 //! `timing`, `energy`, `antagonist`, `latency`.
+//!
+//! `--metrics-out <path>` drives the instrumented stack (swap path,
+//! refresh-window gauges, DRAM model, fallback and co-run simulators)
+//! against one telemetry registry and writes the snapshot to `path` —
+//! Prometheus text exposition when the path ends in `.prom` or `.txt`,
+//! JSON otherwise. When no experiment names accompany the flag, only the
+//! metrics pass runs.
 
 use xfm_bench::{
     render_energy, render_fig1, render_fig11, render_fig12, render_fig3, render_fig8,
@@ -19,11 +26,44 @@ use xfm_sim::figures;
 use xfm_types::Nanos;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--metrics-out") {
+        if i + 1 >= args.len() {
+            eprintln!("--metrics-out requires a path argument");
+            std::process::exit(2);
+        }
+        metrics_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let all = args.is_empty() && metrics_out.is_none();
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
     println!("XFM reproduction — regenerating the paper's tables and figures\n");
+
+    if let Some(path) = &metrics_out {
+        let registry = xfm_telemetry::Registry::new();
+        let snapshot = xfm_bench::metrics::collect(&registry).expect("metrics collection");
+        let rendered = if path.ends_with(".prom") || path.ends_with(".txt") {
+            snapshot.to_prometheus()
+        } else {
+            snapshot.to_json()
+        };
+        std::fs::write(path, rendered).expect("write metrics snapshot");
+        let outs = &snapshot.histograms["xfm_swap_out_latency_ns"];
+        let ins = &snapshot.histograms["xfm_swap_in_latency_ns"];
+        println!(
+            "telemetry snapshot written to {path}: {} swap-outs (p50 {} ns, p99 {} ns), \
+             {} swap-ins (p50 {} ns, p99 {} ns), {} spans\n",
+            outs.count,
+            outs.p50,
+            outs.p99,
+            ins.count,
+            ins.p50,
+            ins.p99,
+            snapshot.spans.len()
+        );
+    }
 
     if want("fig1") {
         for pr in [0.14, 1.0] {

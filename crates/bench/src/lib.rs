@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
+
 use xfm_sim::ablation::{
     GranularityRow, PredictorRow, PrefetchSweepRow, RandomBudgetRow, RefreshModeRow,
 };
@@ -46,9 +48,19 @@ pub fn render_fig1(rows: &[Fig1Row]) -> String {
 pub fn render_fig3(rows: &[Fig3Row]) -> String {
     let mut out = String::new();
     for &pr in &[0.2, 1.0] {
-        let mut t = Table::new(vec!["years", "DFM-DRAM $", "DFM-PMem $", "SFM $",
-                                    "DFM-DRAM kg", "DFM-PMem kg", "SFM kg"]);
-        t.title(format!("Figure 3: cumulative cost/emissions @ {}% promotion", pr * 100.0));
+        let mut t = Table::new(vec![
+            "years",
+            "DFM-DRAM $",
+            "DFM-PMem $",
+            "SFM $",
+            "DFM-DRAM kg",
+            "DFM-PMem kg",
+            "SFM kg",
+        ]);
+        t.title(format!(
+            "Figure 3: cumulative cost/emissions @ {}% promotion",
+            pr * 100.0
+        ));
         for year in 0..=10 {
             let years = f64::from(year);
             let get = |kind: xfm_cost::FarMemoryKind| {
@@ -82,7 +94,13 @@ pub fn render_fig3(rows: &[Fig3Row]) -> String {
 /// Renders Fig. 8 (compression ratios by DIMM count).
 #[must_use]
 pub fn render_fig8(rows: &[Fig8Row]) -> String {
-    let mut t = Table::new(vec!["corpus", "1-DIMM", "2-DIMM", "4-DIMM", "4-DIMM retention"]);
+    let mut t = Table::new(vec![
+        "corpus",
+        "1-DIMM",
+        "2-DIMM",
+        "4-DIMM",
+        "4-DIMM retention",
+    ]);
     t.title("Figure 8: aligned compression ratio by channel interleave");
     for r in rows {
         t.row(vec![
@@ -134,7 +152,9 @@ pub fn render_fig11(rows: &[Fig11Row]) -> String {
     };
     for mix in mixes {
         let get = |mode: xfm_sim::SfmMode| {
-            rows.iter().find(|r| r.mix == mix && r.mode == mode).unwrap()
+            rows.iter()
+                .find(|r| r.mix == mix && r.mode == mode)
+                .unwrap()
         };
         let base = get(xfm_sim::SfmMode::BaselineCpu);
         let xfm = get(xfm_sim::SfmMode::Xfm);
@@ -158,7 +178,9 @@ pub fn render_fig12(rows: &[Fig12Row]) -> String {
             "PR 100%: fallback",
             "PR 100%: cond/random",
         ]);
-        t.title(format!("Figure 12: CPU fallbacks, {acc} access(es) per tRFC"));
+        t.title(format!(
+            "Figure 12: CPU fallbacks, {acc} access(es) per tRFC"
+        ));
         for mib in [1u64, 2, 4, 8, 16] {
             let get = |pr: f64| {
                 rows.iter()
@@ -174,9 +196,17 @@ pub fn render_fig12(rows: &[Fig12Row]) -> String {
             t.row(vec![
                 mib.to_string(),
                 pct(lo.fallback_fraction),
-                format!("{}/{}", pct(lo.conditional_fraction), pct(lo.random_fraction)),
+                format!(
+                    "{}/{}",
+                    pct(lo.conditional_fraction),
+                    pct(lo.random_fraction)
+                ),
                 pct(hi.fallback_fraction),
-                format!("{}/{}", pct(hi.conditional_fraction), pct(hi.random_fraction)),
+                format!(
+                    "{}/{}",
+                    pct(hi.conditional_fraction),
+                    pct(hi.random_fraction)
+                ),
             ]);
         }
         out.push_str(&t.render());
@@ -307,12 +337,20 @@ pub fn render_ablations(
     let mut t = Table::new(vec!["prediction accuracy", "fallbacks", "random share"]);
     t.title("Ablation A: prefetch accuracy (8 MiB SPM, 3 acc/tRFC, 100% PR)");
     for r in prefetch {
-        t.row(vec![pct(r.accuracy), pct(r.fallback_fraction), pct(r.random_fraction)]);
+        t.row(vec![
+            pct(r.accuracy),
+            pct(r.fallback_fraction),
+            pct(r.random_fraction),
+        ]);
     }
     out.push_str(&t.render());
     out.push('\n');
 
-    let mut t = Table::new(vec!["random slots/window", "fallbacks", "conditional share"]);
+    let mut t = Table::new(vec![
+        "random slots/window",
+        "fallbacks",
+        "conditional share",
+    ]);
     t.title("Ablation B: random-access budget (TRR-slot scavenging, 40% accuracy)");
     for r in random_budget {
         t.row(vec![
@@ -336,7 +374,11 @@ pub fn render_ablations(
     out.push_str(&t.render());
     out.push('\n');
 
-    let mut t = Table::new(vec!["refresh mode", "NMA side channel GB/s", "host rank locked"]);
+    let mut t = Table::new(vec![
+        "refresh mode",
+        "NMA side channel GB/s",
+        "host rank locked",
+    ]);
     t.title("Ablation D: refresh mode as an XFM substrate");
     for r in refresh_modes {
         t.row(vec![

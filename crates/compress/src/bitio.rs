@@ -47,7 +47,10 @@ impl BitWriter {
     /// Panics if `n > 32` or if `value` has bits set above `n`.
     pub fn write_bits(&mut self, value: u32, n: u32) {
         assert!(n <= 32, "cannot write more than 32 bits at once");
-        debug_assert!(n == 32 || u64::from(value) < (1u64 << n), "value wider than n bits");
+        debug_assert!(
+            n == 32 || u64::from(value) < (1u64 << n),
+            "value wider than n bits"
+        );
         self.acc |= u64::from(value) << self.nbits;
         self.nbits += n;
         while self.nbits >= 8 {
@@ -147,9 +150,10 @@ impl<'a> BitReader<'a> {
 
     fn refill(&mut self, need: u32) -> Result<()> {
         while self.nbits < need {
-            let byte = *self.bytes.get(self.pos).ok_or_else(|| {
-                Error::Corrupt("bitstream ended mid-symbol".into())
-            })?;
+            let byte = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::Corrupt("bitstream ended mid-symbol".into()))?;
             self.acc |= u64::from(byte) << self.nbits;
             self.nbits += 8;
             self.pos += 1;
@@ -204,7 +208,10 @@ impl<'a> BitReader<'a> {
     ///
     /// Panics if the reader is not byte-aligned.
     pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
-        assert!(self.nbits.is_multiple_of(8), "read_bytes requires byte alignment");
+        assert!(
+            self.nbits.is_multiple_of(8),
+            "read_bytes requires byte alignment"
+        );
         // Return buffered whole bytes to the slice position first.
         let buffered = (self.nbits / 8) as usize;
         self.pos -= buffered;

@@ -128,8 +128,11 @@ impl Corpus {
                 let tag = ["div", "span", "p", "li", "td", "a", "h2"][zipf(rng, 7)];
                 let class = ["row", "col", "item", "nav", "hero"][zipf(rng, 5)];
                 out.extend_from_slice(
-                    format!("<{tag} class=\"{class}\">{}</{tag}>\n", WORDS[zipf(rng, WORDS.len())])
-                        .as_bytes(),
+                    format!(
+                        "<{tag} class=\"{class}\">{}</{tag}>\n",
+                        WORDS[zipf(rng, WORDS.len())]
+                    )
+                    .as_bytes(),
                 );
             }
             Corpus::Json => {
@@ -160,8 +163,11 @@ impl Corpus {
                 let kw = ["if", "for", "while", "return", "int", "void"][zipf(rng, 6)];
                 let var = ["count", "index", "buffer", "result", "state"][zipf(rng, 5)];
                 out.extend_from_slice(
-                    format!("    {kw} ({var} < {}) {{ {var} += 1; }}\n", rng.gen_range(1..256))
-                        .as_bytes(),
+                    format!(
+                        "    {kw} ({var} < {}) {{ {var} += 1; }}\n",
+                        rng.gen_range(1..256)
+                    )
+                    .as_bytes(),
                 );
             }
             Corpus::LogLines => {
@@ -190,7 +196,8 @@ impl Corpus {
                 out.extend_from_slice(&v.to_le_bytes());
             }
             Corpus::Base64 => {
-                const B64: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+                const B64: &[u8] =
+                    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
                 for _ in 0..64 {
                     out.push(B64[rng.gen_range(0..64)]);
                 }
@@ -262,15 +269,70 @@ fn zipf(rng: &mut StdRng, n: usize) -> usize {
 }
 
 const WORDS: [&str; 64] = [
-    "the", "memory", "of", "and", "page", "to", "data", "in", "cache", "is",
-    "far", "cold", "swap", "system", "with", "compression", "rate", "access",
-    "bandwidth", "latency", "that", "for", "refresh", "bank", "row", "dram",
-    "channel", "control", "software", "defined", "near", "accelerator", "cost",
-    "model", "server", "capacity", "application", "workload", "performance",
-    "energy", "carbon", "pool", "tier", "hot", "promote", "demote", "scan",
-    "table", "entry", "queue", "buffer", "region", "address", "virtual",
-    "physical", "kernel", "driver", "device", "register", "offload", "engine",
-    "window", "cycle", "interval",
+    "the",
+    "memory",
+    "of",
+    "and",
+    "page",
+    "to",
+    "data",
+    "in",
+    "cache",
+    "is",
+    "far",
+    "cold",
+    "swap",
+    "system",
+    "with",
+    "compression",
+    "rate",
+    "access",
+    "bandwidth",
+    "latency",
+    "that",
+    "for",
+    "refresh",
+    "bank",
+    "row",
+    "dram",
+    "channel",
+    "control",
+    "software",
+    "defined",
+    "near",
+    "accelerator",
+    "cost",
+    "model",
+    "server",
+    "capacity",
+    "application",
+    "workload",
+    "performance",
+    "energy",
+    "carbon",
+    "pool",
+    "tier",
+    "hot",
+    "promote",
+    "demote",
+    "scan",
+    "table",
+    "entry",
+    "queue",
+    "buffer",
+    "region",
+    "address",
+    "virtual",
+    "physical",
+    "kernel",
+    "driver",
+    "device",
+    "register",
+    "offload",
+    "engine",
+    "window",
+    "cycle",
+    "interval",
 ];
 
 #[cfg(test)]

@@ -110,7 +110,9 @@ pub fn code_lengths_into(
             .enumerate()
             .map(|(leaf, &sym)| (freqs[sym as usize], leaf as u32)),
     );
-    scratch.original.sort_unstable_by_key(|&(w, leaf)| (w, leaf));
+    scratch
+        .original
+        .sort_unstable_by_key(|&(w, leaf)| (w, leaf));
 
     scratch.arena.clear();
     scratch.list.clear();
@@ -332,7 +334,9 @@ fn validate_lengths(lens: &[u32]) -> Result<()> {
     // A single symbol of length 1 (kraft = 2^14) is allowed; otherwise the
     // code must not over-subscribe the tree.
     if kraft > 1u64 << MAX_CODE_LEN {
-        return Err(Error::Corrupt("code lengths violate Kraft inequality".into()));
+        return Err(Error::Corrupt(
+            "code lengths violate Kraft inequality".into(),
+        ));
     }
     Ok(())
 }

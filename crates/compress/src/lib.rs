@@ -53,8 +53,8 @@ pub mod xlz;
 
 pub use codec::{Codec, CodecKind, CostModel};
 pub use corpus::Corpus;
-pub use parallel::{compress_pages, split_pages};
-pub use scratch::Scratch;
+pub use parallel::{compress_pages, compress_pages_traced, split_pages};
 pub use ratio::{interleaved_ratio, page_ratio, InterleaveReport};
+pub use scratch::Scratch;
 pub use xdeflate::XDeflate;
 pub use xlz::Xlz;

@@ -254,7 +254,12 @@ impl MatchFinder {
     /// Tokenizes `data`, streaming tokens into `sink` and reusing the
     /// hash-chain tables in `scratch`. Emits the exact same token
     /// sequence as [`Self::tokenize`] without allocating.
-    pub fn tokenize_into<S: TokenSink>(&self, data: &[u8], scratch: &mut Lz77Scratch, sink: &mut S) {
+    pub fn tokenize_into<S: TokenSink>(
+        &self,
+        data: &[u8],
+        scratch: &mut Lz77Scratch,
+        sink: &mut S,
+    ) {
         let n = data.len();
         if n < MIN_MATCH {
             for (i, &b) in data.iter().enumerate() {
@@ -409,7 +414,9 @@ mod tests {
         let inputs: Vec<Vec<u8>> = vec![
             b"hello world hello world hello world".to_vec(),
             vec![b'a'; 300],
-            (0..600u32).flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes()).collect(),
+            (0..600u32)
+                .flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes())
+                .collect(),
             b"abcabcabxabcabcabcabyabcabc".repeat(20),
             b"".to_vec(),
             b"xy".to_vec(),
@@ -440,9 +447,7 @@ mod tests {
         let mut data = b"0123456789abcdef0123456789abcdeX".to_vec();
         data.extend_from_slice(&data.clone());
         for limit in 0..=16 {
-            let expected = (0..limit)
-                .take_while(|&l| data[l] == data[16 + l])
-                .count();
+            let expected = (0..limit).take_while(|&l| data[l] == data[16 + l]).count();
             assert_eq!(match_len(&data, 0, 16, limit), expected, "limit {limit}");
         }
     }

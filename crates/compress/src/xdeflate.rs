@@ -128,7 +128,8 @@ impl TokenSink for XdefScratch {
     fn emit_match(&mut self, len: u32, dist: u32) {
         self.lit_freq[length_bucket(len).0] += 1;
         self.dist_freq[dist_bucket(dist).0] += 1;
-        self.tokens.push(MATCH_BIT | ((len - MIN_MATCH as u32) << 16) | dist);
+        self.tokens
+            .push(MATCH_BIT | ((len - MIN_MATCH as u32) << 16) | dist);
     }
 }
 
@@ -277,7 +278,12 @@ impl Codec for XDeflate {
         Ok(dst.len() - start)
     }
 
-    fn decompress_into(&self, src: &[u8], dst: &mut Vec<u8>, scratch: &mut Scratch) -> Result<usize> {
+    fn decompress_into(
+        &self,
+        src: &[u8],
+        dst: &mut Vec<u8>,
+        scratch: &mut Scratch,
+    ) -> Result<usize> {
         let start = dst.len();
         let xd = &mut scratch.xd;
         let mut r = BitReader::new(src);
@@ -372,8 +378,15 @@ mod tests {
             let mut fresh = Vec::new();
             codec.compress(data, &mut fresh).unwrap();
             let mut reused = Vec::new();
-            codec.compress_into(data, &mut reused, &mut scratch).unwrap();
-            assert_eq!(fresh, reused, "compress_into diverged on {} bytes", data.len());
+            codec
+                .compress_into(data, &mut reused, &mut scratch)
+                .unwrap();
+            assert_eq!(
+                fresh,
+                reused,
+                "compress_into diverged on {} bytes",
+                data.len()
+            );
             let mut back = Vec::new();
             codec
                 .decompress_into(&reused, &mut back, &mut scratch)

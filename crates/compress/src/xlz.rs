@@ -297,7 +297,9 @@ mod tests {
             let mut fresh = Vec::new();
             codec.compress(data, &mut fresh).unwrap();
             let mut reused = Vec::new();
-            codec.compress_into(data, &mut reused, &mut scratch).unwrap();
+            codec
+                .compress_into(data, &mut reused, &mut scratch)
+                .unwrap();
             assert_eq!(fresh, reused);
             let mut back = Vec::new();
             codec.decompress(&reused, &mut back).unwrap();

@@ -11,8 +11,12 @@ fn arb_data() -> impl Strategy<Value = Vec<u8>> {
         // Raw random bytes.
         prop::collection::vec(any::<u8>(), 0..6000),
         // Repeated motif with noise in between.
-        (prop::collection::vec(any::<u8>(), 1..24), 1usize..200, any::<u8>()).prop_map(
-            |(motif, reps, sep)| {
+        (
+            prop::collection::vec(any::<u8>(), 1..24),
+            1usize..200,
+            any::<u8>()
+        )
+            .prop_map(|(motif, reps, sep)| {
                 let mut out = Vec::new();
                 for i in 0..reps {
                     out.extend_from_slice(&motif);
@@ -21,8 +25,7 @@ fn arb_data() -> impl Strategy<Value = Vec<u8>> {
                     }
                 }
                 out
-            }
-        ),
+            }),
         // Low-entropy alphabet.
         prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c', 0u8]), 0..5000),
     ]

@@ -75,7 +75,9 @@ fn steady_state_hot_path_does_not_allocate() {
         Corpus::EnglishText.generate(2, PAGE),
     ];
     // Steady-state pages are distinct from the warm-up ones.
-    let steady: Vec<Vec<u8>> = (10..20u64).map(|s| Corpus::Json.generate(s, PAGE)).collect();
+    let steady: Vec<Vec<u8>> = (10..20u64)
+        .map(|s| Corpus::Json.generate(s, PAGE))
+        .collect();
 
     let mut scratch = Scratch::new();
     // Output buffers sized for the worst case (stored-block fallback is
@@ -86,9 +88,13 @@ fn steady_state_hot_path_does_not_allocate() {
     for codec in [&xdef as &dyn Codec, &xlz as &dyn Codec] {
         for page in &warmup {
             compressed.clear();
-            codec.compress_into(page, &mut compressed, &mut scratch).unwrap();
+            codec
+                .compress_into(page, &mut compressed, &mut scratch)
+                .unwrap();
             restored.clear();
-            codec.decompress_into(&compressed, &mut restored, &mut scratch).unwrap();
+            codec
+                .decompress_into(&compressed, &mut restored, &mut scratch)
+                .unwrap();
             assert_eq!(&restored, page);
         }
     }
@@ -98,9 +104,13 @@ fn steady_state_hot_path_does_not_allocate() {
     for codec in [&xdef as &dyn Codec, &xlz as &dyn Codec] {
         for page in &steady {
             compressed.clear();
-            codec.compress_into(page, &mut compressed, &mut scratch).unwrap();
+            codec
+                .compress_into(page, &mut compressed, &mut scratch)
+                .unwrap();
             restored.clear();
-            codec.decompress_into(&compressed, &mut restored, &mut scratch).unwrap();
+            codec
+                .decompress_into(&compressed, &mut restored, &mut scratch)
+                .unwrap();
         }
     }
     ARMED.with(|armed| armed.set(false));
@@ -110,9 +120,13 @@ fn steady_state_hot_path_does_not_allocate() {
     for codec in [&xdef as &dyn Codec, &xlz as &dyn Codec] {
         for page in &steady {
             compressed.clear();
-            codec.compress_into(page, &mut compressed, &mut scratch).unwrap();
+            codec
+                .compress_into(page, &mut compressed, &mut scratch)
+                .unwrap();
             restored.clear();
-            codec.decompress_into(&compressed, &mut restored, &mut scratch).unwrap();
+            codec
+                .decompress_into(&compressed, &mut restored, &mut scratch)
+                .unwrap();
             assert_eq!(&restored, page, "{} round trip", codec.name());
         }
     }

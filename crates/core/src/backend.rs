@@ -22,16 +22,32 @@
 //! [`XfmBackend::nma_stats`] (completions, conditional/random mix,
 //! structural-hazard fallbacks — the inputs to Fig. 12).
 
+use std::sync::Arc;
+
 use xfm_compress::{CodecKind, CostModel, XDeflate};
 use xfm_sfm::backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
 use xfm_sfm::table::{SfmEntry, SfmTable};
 use xfm_sfm::zpool::{CompactReport, Zpool, ZpoolStats};
+use xfm_telemetry::swap_metrics::Stopwatch;
+use xfm_telemetry::{Cause, Gauge, Registry, SwapMetrics, SwapStage};
 use xfm_types::{ByteSize, Cycles, Error, Nanos, PageNumber, Result, RowId, PAGE_SIZE};
 
 use crate::driver::XfmDriver;
 use crate::multichannel::{container_shares, pack_page, unpack_page};
 use crate::nma::{NearMemoryAccelerator, NmaConfig, NmaEvent, NmaStats};
 use crate::regs::OffloadKind;
+
+/// Telemetry handles held by an attached backend: the standard swap
+/// metric bundle plus per-DIMM refresh-window gauges. Registered once
+/// at attach time; every hot-path recording afterwards is a relaxed
+/// atomic.
+struct XfmTelemetry {
+    metrics: SwapMetrics,
+    /// `xfm_refresh_window_utilization{rank="i"}`, one per DIMM.
+    rank_util: Vec<Arc<Gauge>>,
+    /// `xfm_refresh_windows_processed{rank="i"}`, one per DIMM.
+    rank_windows: Vec<Arc<Gauge>>,
+}
 
 /// Configuration for the XFM backend.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +103,8 @@ pub struct XfmBackend {
     /// to redo them).
     late_fallbacks: u64,
     now: Nanos,
+    /// Attached observability sink; `None` costs nothing on the hot path.
+    telemetry: Option<XfmTelemetry>,
 }
 
 impl std::fmt::Debug for XfmBackend {
@@ -131,8 +149,27 @@ impl XfmBackend {
             stats: BackendStats::default(),
             late_fallbacks: 0,
             now: Nanos::ZERO,
+            telemetry: None,
             config,
         }
+    }
+
+    /// Attaches a telemetry registry: swap-path counters, latency
+    /// histograms, span tracing, and per-DIMM refresh-window utilization
+    /// gauges (`xfm_refresh_window_utilization{rank="i"}`). Gauges are
+    /// refreshed on every [`XfmBackend::advance_to`].
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let rank_util = (0..self.config.n_dimms)
+            .map(|i| registry.gauge(&format!("xfm_refresh_window_utilization{{rank=\"{i}\"}}")))
+            .collect();
+        let rank_windows = (0..self.config.n_dimms)
+            .map(|i| registry.gauge(&format!("xfm_refresh_windows_processed{{rank=\"{i}\"}}")))
+            .collect();
+        self.telemetry = Some(XfmTelemetry {
+            metrics: SwapMetrics::register(registry),
+            rank_util,
+            rank_windows,
+        });
     }
 
     /// Advances simulated time: drains refresh windows on every DIMM and
@@ -141,7 +178,13 @@ impl XfmBackend {
         self.now = self.now.max(now);
         for d in &mut self.drivers {
             for event in d.poll(now) {
-                if let NmaEvent::Fallback { kind, data, .. } = event {
+                if let NmaEvent::Fallback {
+                    kind,
+                    data,
+                    page,
+                    at,
+                } = event
+                {
                     // The CPU redoes the spilled work.
                     self.late_fallbacks += 1;
                     let (cycles, ddr) = match kind {
@@ -156,7 +199,28 @@ impl XfmBackend {
                     };
                     self.stats.cpu_cycles += cycles;
                     self.stats.ddr_bytes += ddr;
+                    if let Some(t) = &self.telemetry {
+                        t.metrics.refresh_window_misses.inc();
+                        let stage = match kind {
+                            OffloadKind::Compress => SwapStage::Compress,
+                            OffloadKind::Decompress => SwapStage::Decompress,
+                        };
+                        t.metrics.span(
+                            stage,
+                            page.index(),
+                            at.as_ns(),
+                            0,
+                            Cause::RefreshWindowMiss,
+                        );
+                    }
                 }
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            for (i, d) in self.drivers.iter().enumerate() {
+                let u = d.device().window_utilization();
+                t.rank_util[i].set(u.fraction(0));
+                t.rank_windows[i].set(u.windows(0) as f64);
             }
         }
     }
@@ -226,6 +290,47 @@ impl XfmBackend {
         RowId::new((page.index() % u64::from(self.config.nma.geometry.rows_per_bank)) as u32)
     }
 
+    /// Swap-in telemetry: fault + fetch + decompress spans, latency
+    /// histograms, and execution counters. No-op when unattached.
+    fn record_swap_in(
+        &self,
+        page: PageNumber,
+        now: Nanos,
+        sw: &Option<Stopwatch>,
+        fetch_ns: u64,
+        decompress_ns: u64,
+        cause: Cause,
+    ) {
+        let Some(t) = &self.telemetry else { return };
+        let total = sw.as_ref().map_or(0, Stopwatch::elapsed_ns);
+        t.metrics.swap_ins.inc();
+        match cause {
+            Cause::NmaOffload => t.metrics.nma_executions.inc(),
+            _ => t.metrics.cpu_executions.inc(),
+        }
+        t.metrics.zpool_load_ns.record(fetch_ns);
+        t.metrics.swap_in_ns.record(total);
+        t.metrics
+            .span(SwapStage::Fault, page.index(), now.as_ns(), total, cause);
+        t.metrics.span(
+            SwapStage::Fetch,
+            page.index(),
+            now.as_ns(),
+            fetch_ns,
+            Cause::Ok,
+        );
+        if decompress_ns > 0 || !matches!(cause, Cause::SameFilled | Cause::StoredRaw) {
+            t.metrics.decompress_ns.record(decompress_ns);
+            t.metrics.span(
+                SwapStage::Decompress,
+                page.index(),
+                now.as_ns(),
+                decompress_ns,
+                cause,
+            );
+        }
+    }
+
     fn cpu_swap_out_outcome(&self, stored_len: usize) -> SwapOutcome {
         SwapOutcome {
             executed_on: ExecutedOn::Cpu,
@@ -270,6 +375,7 @@ impl SfmBackend for XfmBackend {
         }
         let now = self.now;
         self.advance_to(now);
+        let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
 
         // zswap's same-filled check runs on the host before any offload:
         // there is nothing for the NMA to do for a one-byte page.
@@ -282,15 +388,34 @@ impl SfmBackend for XfmBackend {
                 ddr_bytes: ByteSize::from_bytes(PAGE_SIZE as u64 + 1),
             };
             self.stats.record(&outcome, true);
+            if let Some(t) = &self.telemetry {
+                let dur = sw.as_ref().map_or(0, Stopwatch::elapsed_ns);
+                t.metrics.swap_outs.inc();
+                t.metrics.same_filled.inc();
+                t.metrics.cpu_executions.inc();
+                t.metrics.swap_out_ns.record(dur);
+                t.metrics.span(
+                    SwapStage::Compress,
+                    page.index(),
+                    now.as_ns(),
+                    dur,
+                    Cause::SameFilled,
+                );
+            }
             return Ok(outcome);
         }
 
         // Functional compression (identical to what the engines compute).
+        let csw = self.telemetry.as_ref().map(|_| Stopwatch::start());
         let packed = pack_page(&self.codec, data, self.config.n_dimms)?;
+        let compress_ns = csw.as_ref().map_or(0, Stopwatch::elapsed_ns);
         let (bytes, codec_kind) = if packed.bytes.len() > self.config.sfm.max_compressed_len() {
             (data.to_vec(), CodecKind::Raw)
         } else {
-            (packed.bytes.clone(), crate::multichannel::packed_codec_kind())
+            (
+                packed.bytes.clone(),
+                crate::multichannel::packed_codec_kind(),
+            )
         };
 
         // Offload attempt: one share per DIMM, flexible (demotions are
@@ -307,7 +432,9 @@ impl SfmBackend for XfmBackend {
             }
         }
 
+        let ssw = self.telemetry.as_ref().map(|_| Stopwatch::start());
         let stored_len = self.store(page, bytes, codec_kind)?;
+        let store_ns = ssw.as_ref().map_or(0, Stopwatch::elapsed_ns);
         let outcome = if offloaded {
             SwapOutcome {
                 executed_on: ExecutedOn::Nma,
@@ -323,15 +450,50 @@ impl SfmBackend for XfmBackend {
         if codec_kind == CodecKind::Raw {
             self.stats.stored_raw += 1;
         }
+        if let Some(t) = &self.telemetry {
+            t.metrics.swap_outs.inc();
+            t.metrics.compress_ns.record(compress_ns);
+            t.metrics.zpool_store_ns.record(store_ns);
+            let cause = if offloaded {
+                t.metrics.nma_executions.inc();
+                Cause::NmaOffload
+            } else if codec_kind == CodecKind::Raw {
+                t.metrics.cpu_executions.inc();
+                t.metrics.stored_raw.inc();
+                Cause::StoredRaw
+            } else {
+                t.metrics.cpu_executions.inc();
+                Cause::CpuFallback
+            };
+            t.metrics.span(
+                SwapStage::Compress,
+                page.index(),
+                now.as_ns(),
+                compress_ns,
+                cause,
+            );
+            t.metrics.span(
+                SwapStage::ZpoolStore,
+                page.index(),
+                now.as_ns(),
+                store_ns,
+                Cause::Ok,
+            );
+            t.metrics
+                .swap_out_ns
+                .record(sw.as_ref().map_or(0, Stopwatch::elapsed_ns));
+        }
         Ok(outcome)
     }
 
     fn swap_in(&mut self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
         let now = self.now;
         self.advance_to(now);
+        let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
         let entry = self.table.remove(page)?;
         let stored = self.pool.get(entry.handle)?.to_vec();
         self.pool.free(entry.handle)?;
+        let fetch_ns = sw.as_ref().map_or(0, Stopwatch::elapsed_ns);
 
         if entry.codec == CodecKind::SameFilled {
             let outcome = SwapOutcome {
@@ -341,6 +503,7 @@ impl SfmBackend for XfmBackend {
                 ddr_bytes: ByteSize::from_bytes(1 + PAGE_SIZE as u64),
             };
             self.stats.record(&outcome, false);
+            self.record_swap_in(page, now, &sw, fetch_ns, 0, Cause::SameFilled);
             return Ok((vec![stored[0]; PAGE_SIZE], outcome));
         }
         if entry.codec == CodecKind::Raw {
@@ -351,6 +514,7 @@ impl SfmBackend for XfmBackend {
                 ddr_bytes: ByteSize::from_bytes(2 * PAGE_SIZE as u64),
             };
             self.stats.record(&outcome, false);
+            self.record_swap_in(page, now, &sw, fetch_ns, 0, Cause::StoredRaw);
             return Ok((stored, outcome));
         }
 
@@ -369,7 +533,9 @@ impl SfmBackend for XfmBackend {
             }
         }
 
+        let dsw = self.telemetry.as_ref().map(|_| Stopwatch::start());
         let data = unpack_page(&self.codec, &stored)?;
+        let decompress_ns = dsw.as_ref().map_or(0, Stopwatch::elapsed_ns);
         if data.len() != PAGE_SIZE {
             return Err(Error::Corrupt(format!(
                 "page {page} unpacked to {} bytes",
@@ -388,12 +554,16 @@ impl SfmBackend for XfmBackend {
                 executed_on: ExecutedOn::Cpu,
                 compressed_len: entry.compressed_len,
                 cpu_cycles: self.cost.decompress_cycles(PAGE_SIZE as u64),
-                ddr_bytes: ByteSize::from_bytes(
-                    u64::from(entry.compressed_len) + PAGE_SIZE as u64,
-                ),
+                ddr_bytes: ByteSize::from_bytes(u64::from(entry.compressed_len) + PAGE_SIZE as u64),
             }
         };
         self.stats.record(&outcome, false);
+        let cause = if offloaded {
+            Cause::NmaOffload
+        } else {
+            Cause::CpuFallback
+        };
+        self.record_swap_in(page, now, &sw, fetch_ns, decompress_ns, cause);
         Ok((data, outcome))
     }
 
@@ -585,6 +755,58 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_captures_swap_path_metrics_and_rank_gauges() {
+        let registry = Registry::new();
+        let mut b = backend(2);
+        b.attach_telemetry(&registry);
+        b.advance_to(Nanos::from_ms(1));
+        for i in 0..6u64 {
+            let page = Corpus::Json.generate(i, PAGE_SIZE);
+            b.swap_out(PageNumber::new(i), &page).unwrap();
+        }
+        for i in 0..6u64 {
+            b.swap_in(PageNumber::new(i), i % 2 == 0).unwrap();
+        }
+        b.advance_to(Nanos::from_ms(2));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["xfm_swap_outs_total"], 6);
+        assert_eq!(snap.counters["xfm_swap_ins_total"], 6);
+        assert_eq!(snap.histograms["xfm_swap_out_latency_ns"].count, 6);
+        assert_eq!(snap.histograms["xfm_swap_in_latency_ns"].count, 6);
+        assert!(snap.histograms["xfm_swap_out_latency_ns"].p99 > 0);
+        assert!(!snap.spans.is_empty());
+        // Both DIMMs expose utilization gauges; windows have been
+        // processed, so the gauge is a real (possibly small) fraction.
+        for rank in 0..2 {
+            let util = snap.gauges[&format!("xfm_refresh_window_utilization{{rank=\"{rank}\"}}")];
+            assert!((0.0..=1.0).contains(&util));
+            let windows = snap.gauges[&format!("xfm_refresh_windows_processed{{rank=\"{rank}\"}}")];
+            assert!(windows > 0.0, "windows {windows}");
+        }
+    }
+
+    #[test]
+    fn unattached_backend_behaves_identically() {
+        let mut plain = backend(1);
+        let mut wired = backend(1);
+        wired.attach_telemetry(&Registry::new());
+        plain.advance_to(Nanos::from_ms(1));
+        wired.advance_to(Nanos::from_ms(1));
+        for i in 0..4u64 {
+            let page = Corpus::Html.generate(i, PAGE_SIZE);
+            let a = plain.swap_out(PageNumber::new(i), &page).unwrap();
+            let b = wired.swap_out(PageNumber::new(i), &page).unwrap();
+            assert_eq!(a, b);
+        }
+        for i in 0..4u64 {
+            let (da, oa) = plain.swap_in(PageNumber::new(i), true).unwrap();
+            let (db, ob) = wired.swap_in(PageNumber::new(i), true).unwrap();
+            assert_eq!(da, db);
+            assert_eq!(oa, ob);
+        }
+    }
+
+    #[test]
     fn compact_charges_memcpy_traffic() {
         let mut b = backend(1);
         b.advance_to(Nanos::from_ms(1));
@@ -599,10 +821,7 @@ mod tests {
         let ddr_before = b.stats().ddr_bytes;
         let report = b.compact();
         if report.moved_bytes.as_bytes() > 0 {
-            assert_eq!(
-                b.stats().ddr_bytes - ddr_before,
-                report.moved_bytes * 2
-            );
+            assert_eq!(b.stats().ddr_bytes - ddr_before, report.moved_bytes * 2);
         }
     }
 }

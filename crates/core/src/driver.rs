@@ -116,7 +116,8 @@ impl XfmDriver {
         if !self.paramset {
             return Err(Error::Device("xfm_paramset has not run".into()));
         }
-        let needed = NearMemoryAccelerator::reservation_for(OffloadKind::Compress, data.len()) as u64;
+        let needed =
+            NearMemoryAccelerator::reservation_for(OffloadKind::Compress, data.len()) as u64;
         self.ensure_capacity(needed)?;
         self.nma.submit_compress(page, data, row, now, flexible)?;
         self.inferred_used += needed;
@@ -142,9 +143,11 @@ impl XfmDriver {
             return Err(Error::Device("xfm_paramset has not run".into()));
         }
         let needed =
-            NearMemoryAccelerator::reservation_for(OffloadKind::Decompress, compressed.len()) as u64;
+            NearMemoryAccelerator::reservation_for(OffloadKind::Decompress, compressed.len())
+                as u64;
         self.ensure_capacity(needed)?;
-        self.nma.submit_decompress(page, compressed, row, now, flexible)?;
+        self.nma
+            .submit_decompress(page, compressed, row, now, flexible)?;
         self.inferred_used += needed;
         self.reservations.insert((page.index(), false), needed);
         Ok(())
@@ -212,7 +215,8 @@ mod tests {
 
     fn driver() -> XfmDriver {
         let mut d = XfmDriver::new(NearMemoryAccelerator::new(NmaConfig::default()));
-        d.xfm_paramset(PhysAddr::new(0), ByteSize::from_gib(1)).unwrap();
+        d.xfm_paramset(PhysAddr::new(0), ByteSize::from_gib(1))
+            .unwrap();
         d
     }
 
@@ -220,12 +224,25 @@ mod tests {
     fn paramset_required_before_offloads() {
         let mut d = XfmDriver::new(NearMemoryAccelerator::new(NmaConfig::default()));
         assert!(matches!(
-            d.xfm_compress(PageNumber::new(1), vec![0; 4096], RowId::new(1), Nanos::ZERO, true),
+            d.xfm_compress(
+                PageNumber::new(1),
+                vec![0; 4096],
+                RowId::new(1),
+                Nanos::ZERO,
+                true
+            ),
             Err(Error::Device(_))
         ));
-        d.xfm_paramset(PhysAddr::new(0), ByteSize::from_gib(1)).unwrap();
+        d.xfm_paramset(PhysAddr::new(0), ByteSize::from_gib(1))
+            .unwrap();
         assert!(d
-            .xfm_compress(PageNumber::new(1), vec![0; 4096], RowId::new(1), Nanos::ZERO, true)
+            .xfm_compress(
+                PageNumber::new(1),
+                vec![0; 4096],
+                RowId::new(1),
+                Nanos::ZERO,
+                true
+            )
             .is_ok());
     }
 
@@ -240,8 +257,14 @@ mod tests {
         let mut d = driver();
         let (reads_before, _) = d.mmio_counts();
         for p in 0..10 {
-            d.xfm_compress(PageNumber::new(p), vec![0; 4096], RowId::new(p as u32), Nanos::ZERO, true)
-                .unwrap();
+            d.xfm_compress(
+                PageNumber::new(p),
+                vec![0; 4096],
+                RowId::new(p as u32),
+                Nanos::ZERO,
+                true,
+            )
+            .unwrap();
         }
         let (reads_after, _) = d.mmio_counts();
         assert_eq!(reads_after, reads_before, "no capacity reads while roomy");
@@ -254,14 +277,27 @@ mod tests {
             spm_capacity: ByteSize::from_bytes(3 * 4160),
             ..NmaConfig::default()
         }));
-        d.xfm_paramset(PhysAddr::new(0), ByteSize::from_gib(1)).unwrap();
+        d.xfm_paramset(PhysAddr::new(0), ByteSize::from_gib(1))
+            .unwrap();
         for p in 0..3 {
-            d.xfm_compress(PageNumber::new(p), vec![0; 4096], RowId::new(p as u32), Nanos::ZERO, true)
-                .unwrap();
+            d.xfm_compress(
+                PageNumber::new(p),
+                vec![0; 4096],
+                RowId::new(p as u32),
+                Nanos::ZERO,
+                true,
+            )
+            .unwrap();
         }
         // Fourth submit: inferred full -> MMIO sync -> still full -> error.
         let err = d
-            .xfm_compress(PageNumber::new(3), vec![0; 4096], RowId::new(3), Nanos::ZERO, true)
+            .xfm_compress(
+                PageNumber::new(3),
+                vec![0; 4096],
+                RowId::new(3),
+                Nanos::ZERO,
+                true,
+            )
             .unwrap_err();
         assert!(matches!(err, Error::SpmFull { .. }));
         assert_eq!(d.capacity_syncs(), 1);
@@ -270,8 +306,14 @@ mod tests {
     #[test]
     fn poll_releases_inferred_reservations() {
         let mut d = driver();
-        d.xfm_compress(PageNumber::new(5), vec![1u8; 4096], RowId::new(5), Nanos::ZERO, true)
-            .unwrap();
+        d.xfm_compress(
+            PageNumber::new(5),
+            vec![1u8; 4096],
+            RowId::new(5),
+            Nanos::ZERO,
+            true,
+        )
+        .unwrap();
         assert!(d.inferred_used().as_bytes() > 0);
         let events = d.poll(Nanos::from_ms(64));
         assert_eq!(events.len(), 1);
@@ -282,11 +324,16 @@ mod tests {
     fn inferred_is_upper_bound_of_truth() {
         let mut d = driver();
         for p in 0..4 {
-            d.xfm_compress(PageNumber::new(p), vec![0; 4096], RowId::new(p as u32), Nanos::ZERO, true)
-                .unwrap();
+            d.xfm_compress(
+                PageNumber::new(p),
+                vec![0; 4096],
+                RowId::new(p as u32),
+                Nanos::ZERO,
+                true,
+            )
+            .unwrap();
         }
-        let truth = d.device().config().spm_capacity.as_bytes()
-            - d.device().spm_free().as_bytes();
+        let truth = d.device().config().spm_capacity.as_bytes() - d.device().spm_free().as_bytes();
         assert!(d.inferred_used().as_bytes() >= truth);
     }
 }

@@ -49,7 +49,11 @@ impl std::fmt::Debug for EngineModel {
 impl EngineModel {
     /// Builds an engine from a codec and throughputs.
     #[must_use]
-    pub fn new(codec: Box<dyn Codec + Send>, compress_bw: Bandwidth, decompress_bw: Bandwidth) -> Self {
+    pub fn new(
+        codec: Box<dyn Codec + Send>,
+        compress_bw: Bandwidth,
+        decompress_bw: Bandwidth,
+    ) -> Self {
         Self {
             codec,
             compress_bw,
@@ -96,7 +100,9 @@ impl EngineModel {
     pub fn compress(&mut self, src: &[u8]) -> Result<(Vec<u8>, Nanos)> {
         let mut out = Vec::with_capacity(src.len());
         self.codec.compress_into(src, &mut out, &mut self.scratch)?;
-        let t = self.compress_bw.time_for(ByteSize::from_bytes(src.len() as u64));
+        let t = self
+            .compress_bw
+            .time_for(ByteSize::from_bytes(src.len() as u64));
         self.busy += t;
         self.compressed_bytes += src.len() as u64;
         Ok((out, t))

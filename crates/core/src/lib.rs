@@ -64,7 +64,7 @@ pub mod system;
 pub use backend::XfmBackend;
 pub use driver::XfmDriver;
 pub use engine::EngineModel;
-pub use nma::{NmaConfig, NmaStats, NearMemoryAccelerator};
+pub use nma::{NearMemoryAccelerator, NmaConfig, NmaStats};
 pub use regs::{OffloadKind, OffloadRequest, Reg, RegisterFile, RequestQueue};
 pub use sched::{SchedStats, WindowScheduler};
 pub use spm::{Spm, SpmSlotState};

@@ -44,7 +44,11 @@ impl PackedPage {
     /// fragmentation the paper measures in Fig. 8).
     #[must_use]
     pub fn slot_size(&self) -> usize {
-        self.shares.iter().map(|s| s.len as usize).max().unwrap_or(0)
+        self.shares
+            .iter()
+            .map(|s| s.len as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum of actual compressed share bytes (no alignment padding).
@@ -288,9 +292,6 @@ mod tests {
         let max = packed.shares.iter().map(|s| s.len).max().unwrap();
         assert_eq!(packed.slot_size(), max as usize);
         // Container = header + 4 aligned slots.
-        assert_eq!(
-            packed.bytes.len(),
-            1 + 3 * 4 + packed.slot_size() * 4
-        );
+        assert_eq!(packed.bytes.len(), 1 + 3 * 4 + packed.slot_size() * 4);
     }
 }

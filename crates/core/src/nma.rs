@@ -230,6 +230,13 @@ impl NearMemoryAccelerator {
         }
     }
 
+    /// Refresh-window utilization of this device's rank (fraction of the
+    /// per-`tRFC` access budget actually used by the side channel).
+    #[must_use]
+    pub fn window_utilization(&self) -> &xfm_dram::refresh::WindowUtilization {
+        self.sched.utilization()
+    }
+
     /// Worst-case SPM bytes for an offload: compression of
     /// incompressible data falls back to a stored container with a few
     /// bytes of framing; decompression can expand to a full page.
@@ -245,7 +252,10 @@ impl NearMemoryAccelerator {
         // Conservative SPM reservation: the input size plus a stored-raw
         // margin — an upper bound on the engine's output, and exactly the
         // bound the host-side lazy occupancy inference tracks.
-        let slot = match self.spm.reserve(Self::reservation_for(request.kind, input.len())) {
+        let slot = match self
+            .spm
+            .reserve(Self::reservation_for(request.kind, input.len()))
+        {
             Ok(s) => s,
             Err(e) => {
                 self.stats.rejected += 1;
@@ -493,13 +503,24 @@ mod tests {
     fn compress_offload_round_trips_through_windows() {
         let mut n = nma();
         let page = b"cold far-memory page data. ".repeat(152)[..4096].to_vec();
-        n.submit_compress(PageNumber::new(3), page.clone(), RowId::new(10), Nanos::ZERO, true)
-            .unwrap();
+        n.submit_compress(
+            PageNumber::new(3),
+            page.clone(),
+            RowId::new(10),
+            Nanos::ZERO,
+            true,
+        )
+        .unwrap();
         assert_eq!(n.in_flight(), 1);
         let events = n.advance_to(Nanos::from_ms(64));
         assert_eq!(events.len(), 1);
         match &events[0] {
-            NmaEvent::Completed { page: p, kind, data, .. } => {
+            NmaEvent::Completed {
+                page: p,
+                kind,
+                data,
+                ..
+            } => {
                 assert_eq!(*p, PageNumber::new(3));
                 assert_eq!(*kind, OffloadKind::Compress);
                 assert!(data.len() < 4096);
@@ -535,7 +556,11 @@ mod tests {
             .unwrap();
         let events = n.advance_to(Nanos::from_ms(64));
         match &events[0] {
-            NmaEvent::Completed { completed_at, submitted_at, .. } => {
+            NmaEvent::Completed {
+                completed_at,
+                submitted_at,
+                ..
+            } => {
                 let t_refi = n.config().timings.t_refi;
                 assert!(
                     *completed_at >= *submitted_at + t_refi * 2,
@@ -555,18 +580,39 @@ mod tests {
             ..NmaConfig::default()
         });
         let page = vec![0u8; 4096];
-        n.submit_compress(PageNumber::new(1), page.clone(), RowId::new(1), Nanos::ZERO, true)
-            .unwrap();
-        n.submit_compress(PageNumber::new(2), page.clone(), RowId::new(2), Nanos::ZERO, true)
-            .unwrap();
+        n.submit_compress(
+            PageNumber::new(1),
+            page.clone(),
+            RowId::new(1),
+            Nanos::ZERO,
+            true,
+        )
+        .unwrap();
+        n.submit_compress(
+            PageNumber::new(2),
+            page.clone(),
+            RowId::new(2),
+            Nanos::ZERO,
+            true,
+        )
+        .unwrap();
         // Third in-flight op exceeds the 2-deep request ring.
         assert!(matches!(
-            n.submit_compress(PageNumber::new(3), page.clone(), RowId::new(3), Nanos::ZERO, true),
+            n.submit_compress(
+                PageNumber::new(3),
+                page.clone(),
+                RowId::new(3),
+                Nanos::ZERO,
+                true
+            ),
             Err(Error::QueueFull)
         ));
         assert_eq!(n.stats().rejected, 1);
         // No SPM leak from the rejected admission (2 x 4160 B reserved).
-        assert_eq!(n.spm_free().as_bytes(), ByteSize::from_mib(2).as_bytes() - 2 * 4160);
+        assert_eq!(
+            n.spm_free().as_bytes(),
+            ByteSize::from_mib(2).as_bytes() - 2 * 4160
+        );
         // Draining the device frees the ring again.
         let now = Nanos::from_ms(64);
         n.advance_to(now);
@@ -611,12 +657,30 @@ mod tests {
             ..NmaConfig::default()
         });
         let page = vec![7u8; 4096];
-        n.submit_compress(PageNumber::new(1), page.clone(), RowId::new(1), Nanos::ZERO, true)
-            .unwrap();
-        n.submit_compress(PageNumber::new(2), page.clone(), RowId::new(2), Nanos::ZERO, true)
-            .unwrap();
+        n.submit_compress(
+            PageNumber::new(1),
+            page.clone(),
+            RowId::new(1),
+            Nanos::ZERO,
+            true,
+        )
+        .unwrap();
+        n.submit_compress(
+            PageNumber::new(2),
+            page.clone(),
+            RowId::new(2),
+            Nanos::ZERO,
+            true,
+        )
+        .unwrap();
         assert!(n
-            .submit_compress(PageNumber::new(3), page.clone(), RowId::new(3), Nanos::ZERO, true)
+            .submit_compress(
+                PageNumber::new(3),
+                page.clone(),
+                RowId::new(3),
+                Nanos::ZERO,
+                true
+            )
             .is_err());
         // Drain both offloads, freeing the SPM.
         let now = Nanos::from_ms(64);

@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, VecDeque};
 use serde::{Deserialize, Serialize};
 use xfm_dram::bank::RefreshAccessKind;
 use xfm_dram::geometry::DeviceGeometry;
-use xfm_dram::refresh::RefreshScheduler;
+use xfm_dram::refresh::{RefreshScheduler, WindowUtilization};
 use xfm_dram::timing::{DramTimings, REFS_PER_RETENTION};
 use xfm_types::{ByteSize, Nanos, RowId};
 
@@ -188,6 +188,8 @@ pub struct WindowScheduler {
     next_window: u64,
     pending: usize,
     stats: SchedStats,
+    /// This rank's side-channel usage, window by window.
+    utilization: WindowUtilization,
 }
 
 impl WindowScheduler {
@@ -202,6 +204,7 @@ impl WindowScheduler {
             next_window: 0,
             pending: 0,
             stats: SchedStats::default(),
+            utilization: WindowUtilization::new(1),
         }
     }
 
@@ -259,7 +262,10 @@ impl WindowScheduler {
                 best = Some(key);
             }
         }
-        best.map_or_else(|| preferred_rows.first().copied().unwrap_or(RowId::new(0)), |b| b.2)
+        best.map_or_else(
+            || preferred_rows.first().copied().unwrap_or(RowId::new(0)),
+            |b| b.2,
+        )
     }
 
     /// Ops waiting (flexible + urgent).
@@ -272,6 +278,14 @@ impl WindowScheduler {
     #[must_use]
     pub fn stats(&self) -> SchedStats {
         self.stats
+    }
+
+    /// Refresh-window utilization of this scheduler's rank: what
+    /// fraction of the per-`tRFC` access budget the NMA actually used
+    /// (the paper's "just-enough bandwidth" claim, measured).
+    #[must_use]
+    pub fn utilization(&self) -> &WindowUtilization {
+        &self.utilization
     }
 
     /// Processes every refresh window that *ends* at or before `now`,
@@ -403,6 +417,9 @@ impl WindowScheduler {
                 self.urgent.push_back(op);
             }
         }
+        let total = u64::from(self.config.accesses_per_trfc);
+        self.utilization
+            .record_window(0, total - u64::from(budget), total);
     }
 }
 
@@ -578,5 +595,20 @@ mod tests {
         let t_refi = s.refresh().timings().t_refi;
         s.advance_to(t_refi * 100);
         assert_eq!(s.stats().windows, 100);
+    }
+
+    #[test]
+    fn utilization_counts_used_over_budget() {
+        let mut s = sched(2);
+        // Two ops in slot 5, one in slot 9: windows 0..10 offer a budget
+        // of 2 each; 3 slots get used in total.
+        s.enqueue_flexible(op(1, 5));
+        s.enqueue_flexible(op(2, 5));
+        s.enqueue_flexible(op(3, 9));
+        let t_refi = s.refresh().timings().t_refi;
+        s.advance_to(t_refi * 10);
+        let u = s.utilization();
+        assert_eq!(u.windows(0), 10);
+        assert!((u.fraction(0) - 3.0 / 20.0).abs() < 1e-9);
     }
 }

@@ -136,7 +136,10 @@ impl Spm {
             .get_mut(&slot.0)
             .ok_or_else(|| Error::Device(format!("no SPM slot {}", slot.0)))?;
         if s.state == SpmSlotState::Completed {
-            return Err(Error::Device(format!("SPM slot {} already completed", slot.0)));
+            return Err(Error::Device(format!(
+                "SPM slot {} already completed",
+                slot.0
+            )));
         }
         if data.len() > s.reserved {
             return Err(Error::Device(format!(

@@ -5,21 +5,21 @@ use xfm_compress::Corpus;
 use xfm_sfm::backend::{ExecutedOn, SfmBackend};
 use xfm_sfm::controller::{ColdScanConfig, SfmController};
 use xfm_sfm::trace::{SwapEvent, SwapKind};
+use xfm_telemetry::swap_metrics::Stopwatch;
+use xfm_telemetry::{Cause, Registry, SwapMetrics, SwapStage};
 use xfm_types::{ByteSize, Nanos, Result, PAGE_SIZE};
 
 use crate::backend::{XfmBackend, XfmBackendConfig};
 use crate::nma::NmaStats;
 
 /// Top-level configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct XfmConfig {
     /// Backend (SFM + NMA + multi-channel) parameters.
     pub backend: XfmBackendConfig,
     /// Cold-page scanner parameters.
     pub scan: ColdScanConfig,
 }
-
 
 /// Result of replaying a swap trace through the system.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -65,6 +65,9 @@ pub struct ReplayReport {
 pub struct XfmSystem {
     backend: XfmBackend,
     controller: SfmController,
+    /// Metric handles for control-plane (cold-scan) spans; the swap
+    /// data plane records through the backend's own handles.
+    telemetry: Option<SwapMetrics>,
 }
 
 impl XfmSystem {
@@ -74,7 +77,34 @@ impl XfmSystem {
         Self {
             backend: XfmBackend::new(config.backend),
             controller: SfmController::new(config.scan),
+            telemetry: None,
         }
+    }
+
+    /// Attaches telemetry to the whole stack: the backend's swap-path
+    /// counters/histograms/gauges plus control-plane cold-scan spans,
+    /// all on the shared `registry`.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.backend.attach_telemetry(registry);
+        self.telemetry = Some(SwapMetrics::register(registry));
+    }
+
+    /// Scans for cold pages, recording a [`SwapStage::ColdScan`] span
+    /// when telemetry is attached (the span's `page` field carries the
+    /// number of cold pages found).
+    pub fn scan_cold(&mut self, now: Nanos) -> Vec<xfm_types::PageNumber> {
+        let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
+        let cold = self.controller.scan(now);
+        if let (Some(t), Some(sw)) = (&self.telemetry, &sw) {
+            t.span(
+                SwapStage::ColdScan,
+                cold.len() as u64,
+                now.as_ns(),
+                sw.elapsed_ns(),
+                Cause::Ok,
+            );
+        }
+        cold
     }
 
     /// The backend (swap data plane).
@@ -145,8 +175,7 @@ impl XfmSystem {
                     if !self.backend.contains(event.page) {
                         continue; // never made it to far memory
                     }
-                    let (data, outcome) =
-                        self.backend.swap_in(event.page, event.prefetchable)?;
+                    let (data, outcome) = self.backend.swap_in(event.page, event.prefetchable)?;
                     report.swap_ins += 1;
                     report.ddr_bytes += outcome.ddr_bytes;
                     match outcome.executed_on {
@@ -210,6 +239,61 @@ mod tests {
         let ra = a.replay(&small_trace(3), Corpus::Csv).unwrap();
         let rb = b.replay(&small_trace(3), Corpus::Csv).unwrap();
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn attached_system_traces_scan_and_swap_path() {
+        let registry = Registry::new();
+        let mut sys = XfmSystem::new(XfmConfig {
+            scan: ColdScanConfig {
+                cold_threshold: Nanos::from_secs(1),
+                scan_batch: 0,
+            },
+            ..XfmConfig::default()
+        });
+        sys.attach_telemetry(&registry);
+        for p in 0..8u64 {
+            sys.controller_mut()
+                .touch(xfm_types::PageNumber::new(p), Nanos::ZERO);
+        }
+        let now = Nanos::from_secs(2);
+        sys.advance_to(now);
+        let cold = sys.scan_cold(now);
+        assert_eq!(cold.len(), 8);
+        for page in &cold {
+            let data = Corpus::KeyValue.generate(page.index(), PAGE_SIZE);
+            sys.backend_mut().swap_out(*page, &data).unwrap();
+        }
+        sys.advance_to(Nanos::from_secs(3));
+        for page in &cold {
+            sys.backend_mut().swap_in(*page, false).unwrap();
+        }
+        let s = registry.snapshot();
+        assert_eq!(s.counters["xfm_swap_outs_total"], 8);
+        assert_eq!(s.counters["xfm_swap_ins_total"], 8);
+        assert!(s
+            .spans
+            .iter()
+            .any(|sp| matches!(sp.stage, SwapStage::ColdScan) && sp.page == 8));
+        assert!(s.histograms["xfm_swap_in_latency_ns"].p99 > 0);
+    }
+
+    #[test]
+    fn replay_with_telemetry_matches_plain_replay() {
+        let registry = Registry::new();
+        let mut plain = XfmSystem::new(XfmConfig::default());
+        let mut traced = XfmSystem::new(XfmConfig::default());
+        traced.attach_telemetry(&registry);
+        let ra = plain.replay(&small_trace(5), Corpus::Json).unwrap();
+        let rb = traced.replay(&small_trace(5), Corpus::Json).unwrap();
+        assert_eq!(ra, rb);
+        let s = registry.snapshot();
+        assert_eq!(s.counters["xfm_swap_outs_total"], rb.swap_outs);
+        assert_eq!(s.counters["xfm_swap_ins_total"], rb.swap_ins);
+        assert_eq!(
+            s.counters["xfm_nma_executions_total"] + s.counters["xfm_cpu_executions_total"],
+            rb.nma_ops + rb.cpu_ops
+        );
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Telemetry overhead acceptance check.
+//!
+//! The instrumented steady-state swap path must stay within 2% of the
+//! uninstrumented zero-allocation throughput. Wall-clock benchmarks are
+//! too noisy for CI, so this asserts the stronger structural property
+//! that bounds the overhead: attaching telemetry adds **zero** heap
+//! allocations per steady-state swap — every recording is a relaxed
+//! atomic or a write into the preallocated span ring, leaving only a
+//! handful of `Instant::now()` calls (tens of nanoseconds against a
+//! multi-microsecond compression) as the cost.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use xfm_core::backend::{XfmBackend, XfmBackendConfig};
+use xfm_sfm::backend::{SfmBackend, SfmConfig};
+use xfm_sfm::CpuBackend;
+use xfm_telemetry::Registry;
+use xfm_types::{ByteSize, Nanos, PageNumber, PAGE_SIZE};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const WORKING_SET: u64 = 16;
+const WARMUP_ROUNDS: u64 = 4;
+const MEASURED_ROUNDS: u64 = 8;
+
+fn pages() -> Vec<Vec<u8>> {
+    (0..WORKING_SET)
+        .map(|i| xfm_compress::Corpus::Json.generate(i, PAGE_SIZE))
+        .collect()
+}
+
+/// One round: demote the working set, then fault it all back in.
+fn round(b: &mut XfmBackend, pages: &[Vec<u8>], at: &mut Nanos) {
+    *at += Nanos::from_ms(1);
+    b.advance_to(*at);
+    for (i, data) in pages.iter().enumerate() {
+        b.swap_out(PageNumber::new(i as u64), data).unwrap();
+    }
+    for i in 0..pages.len() as u64 {
+        b.swap_in(PageNumber::new(i), i % 2 == 0).unwrap();
+    }
+}
+
+fn measure(b: &mut XfmBackend) -> u64 {
+    let pages = pages();
+    let mut at = Nanos::ZERO;
+    for _ in 0..WARMUP_ROUNDS {
+        round(b, &pages, &mut at);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..MEASURED_ROUNDS {
+        round(b, &pages, &mut at);
+    }
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn backend() -> XfmBackend {
+    XfmBackend::new(XfmBackendConfig {
+        sfm: SfmConfig {
+            region_capacity: ByteSize::from_mib(8),
+            ..SfmConfig::default()
+        },
+        ..XfmBackendConfig::default()
+    })
+}
+
+#[test]
+fn attached_telemetry_adds_zero_steady_state_allocations() {
+    let mut plain = backend();
+    let plain_allocs = measure(&mut plain);
+
+    let registry = Registry::new();
+    let mut traced = backend();
+    traced.attach_telemetry(&registry);
+    let traced_allocs = measure(&mut traced);
+
+    assert_eq!(
+        traced_allocs, plain_allocs,
+        "telemetry changed the steady-state allocation count"
+    );
+    // The instrumented run really did record.
+    let s = registry.snapshot();
+    assert_eq!(
+        s.counters["xfm_swap_outs_total"],
+        WORKING_SET * (WARMUP_ROUNDS + MEASURED_ROUNDS)
+    );
+    assert!(!s.spans.is_empty());
+}
+
+#[test]
+fn cpu_backend_telemetry_adds_zero_steady_state_allocations() {
+    fn cpu_round(b: &mut CpuBackend, pages: &[Vec<u8>]) {
+        for (i, data) in pages.iter().enumerate() {
+            b.swap_out(PageNumber::new(i as u64), data).unwrap();
+        }
+        for i in 0..pages.len() as u64 {
+            b.swap_in(PageNumber::new(i), false).unwrap();
+        }
+    }
+    fn cpu_measure(b: &mut CpuBackend) -> u64 {
+        let pages = pages();
+        for _ in 0..WARMUP_ROUNDS {
+            cpu_round(b, &pages);
+        }
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..MEASURED_ROUNDS {
+            cpu_round(b, &pages);
+        }
+        ALLOCS.load(Ordering::Relaxed) - before
+    }
+
+    let mut plain = CpuBackend::new(SfmConfig {
+        region_capacity: ByteSize::from_mib(8),
+        ..SfmConfig::default()
+    });
+    let plain_allocs = cpu_measure(&mut plain);
+
+    let registry = Registry::new();
+    let mut traced = CpuBackend::new(SfmConfig {
+        region_capacity: ByteSize::from_mib(8),
+        ..SfmConfig::default()
+    });
+    traced.attach_telemetry(&registry);
+    let traced_allocs = cpu_measure(&mut traced);
+
+    assert_eq!(traced_allocs, plain_allocs);
+}

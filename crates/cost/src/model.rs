@@ -135,9 +135,7 @@ impl FarMemoryModel {
                 // "comes at the cost of consuming a physical core to
                 // manage the offload operations", plus its own price.
                 let management = p.cpu_price / f64::from(p.cpu_cores);
-                management
-                    + p.accelerator_price
-                    + self.sfm_energy_kwh(promotion_rate, years) * elec
+                management + p.accelerator_price + self.sfm_energy_kwh(promotion_rate, years) * elec
             }
         }
     }
@@ -158,8 +156,8 @@ impl FarMemoryModel {
                     + self.idle_dimm_energy_kwh(p.pmem_dimm, years) * grid
             }
             FarMemoryKind::Sfm => {
-                let cores = self.params.cpu_fraction_needed(promotion_rate)
-                    * f64::from(p.cpu_cores);
+                let cores =
+                    self.params.cpu_fraction_needed(promotion_rate) * f64::from(p.cpu_cores);
                 cores * p.core_kg_co2 + self.sfm_energy_kwh(promotion_rate, years) * grid
             }
             FarMemoryKind::SfmAccelerated => {
@@ -183,11 +181,7 @@ impl FarMemoryModel {
 
     /// Years until SFM's cumulative emissions reach `dfm`'s.
     #[must_use]
-    pub fn emission_breakeven_years(
-        &self,
-        dfm: FarMemoryKind,
-        promotion_rate: f64,
-    ) -> Option<f64> {
+    pub fn emission_breakeven_years(&self, dfm: FarMemoryKind, promotion_rate: f64) -> Option<f64> {
         crate::breakeven::breakeven_years(
             |t| self.emissions_kg(FarMemoryKind::Sfm, promotion_rate, t),
             |t| self.emissions_kg(dfm, promotion_rate, t),
@@ -272,7 +266,9 @@ mod tests {
         // emissions during the typical 5-year lifetime of a server."
         let m = model();
         for rate in [0.2, 1.0] {
-            if let Some(t) = m.emission_breakeven_years(FarMemoryKind::DfmDram, rate) { assert!(t > 5.0, "rate {rate}: broke even at {t}") }
+            if let Some(t) = m.emission_breakeven_years(FarMemoryKind::DfmDram, rate) {
+                assert!(t > 5.0, "rate {rate}: broke even at {t}")
+            }
         }
     }
 
@@ -298,7 +294,10 @@ mod tests {
     fn costs_monotone_in_time_and_rate() {
         let m = model();
         for kind in FarMemoryKind::all() {
-            assert!(m.cost_usd(kind, 0.5, 5.0) >= m.cost_usd(kind, 0.5, 1.0), "{kind:?}");
+            assert!(
+                m.cost_usd(kind, 0.5, 5.0) >= m.cost_usd(kind, 0.5, 1.0),
+                "{kind:?}"
+            );
             assert!(
                 m.cost_usd(kind, 1.0, 5.0) >= m.cost_usd(kind, 0.1, 5.0),
                 "{kind:?}"

@@ -11,8 +11,8 @@
 //! [`MemSystem`] wraps one controller per channel behind the system
 //! [`AddressMapping`].
 
-use serde::{Deserialize, Serialize};
 pub use crate::stats::AccessSource;
+use serde::{Deserialize, Serialize};
 use xfm_types::{ByteSize, Error, Nanos, PhysAddr, Result};
 
 use crate::bank::Bank;
@@ -285,12 +285,13 @@ impl MemSystem {
         let coord = self.mapping.decompose(req.addr)?;
         // Rewrite the address into the channel-local space: drop the
         // channel digit by recomposing with channel 0 in a 1-channel map.
-        let local = self.channels[coord.channel.as_usize()]
-            .mapping()
-            .compose(xfm_types::DramCoord {
-                channel: xfm_types::ChannelId::new(0),
-                ..coord
-            })?;
+        let local =
+            self.channels[coord.channel.as_usize()]
+                .mapping()
+                .compose(xfm_types::DramCoord {
+                    channel: xfm_types::ChannelId::new(0),
+                    ..coord
+                })?;
         self.channels[coord.channel.as_usize()].submit(MemRequest {
             addr: local + (req.addr.as_u64() % 128),
             ..req
@@ -456,6 +457,9 @@ mod tests {
         let bw = c.stats().ddr_bandwidth(elapsed);
         let peak = c.timings.peak_bandwidth();
         let util = bw.as_bytes_per_sec() / peak.as_bytes_per_sec();
-        assert!(util > 0.5, "streaming should exceed 50% of peak, got {util}");
+        assert!(
+            util > 0.5,
+            "streaming should exceed 50% of peak, got {util}"
+        );
     }
 }

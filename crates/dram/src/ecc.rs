@@ -260,10 +260,7 @@ mod tests {
             assert_eq!(check(word, corrupted_p), EccOutcome::Uncorrectable);
         }
         // data + parity flip.
-        assert_eq!(
-            check(word ^ 2, parity ^ 1),
-            EccOutcome::Uncorrectable
-        );
+        assert_eq!(check(word ^ 2, parity ^ 1), EccOutcome::Uncorrectable);
     }
 
     #[test]

@@ -95,7 +95,12 @@ impl EnergyModel {
     /// `conditional` conditional and `random` random page accesses,
     /// relative to an all-random baseline (paper §8: 10.1% on average).
     #[must_use]
-    pub fn conditional_saving(&self, bytes_per_access: ByteSize, conditional: u64, random: u64) -> f64 {
+    pub fn conditional_saving(
+        &self,
+        bytes_per_access: ByteSize,
+        conditional: u64,
+        random: u64,
+    ) -> f64 {
         let total = conditional + random;
         if total == 0 {
             return 0.0;

@@ -56,6 +56,6 @@ pub use controller::{AccessSource, MemController, MemRequest, RequestKind};
 pub use energy::EnergyModel;
 pub use geometry::{DeviceGeometry, SystemGeometry};
 pub use mapping::AddressMapping;
-pub use refresh::RefreshScheduler;
+pub use refresh::{RefreshScheduler, WindowUtilization};
 pub use stats::ChannelStats;
 pub use timing::DramTimings;

@@ -150,11 +150,7 @@ impl RefreshScheduler {
     }
 
     /// Iterator over all windows intersecting `[from, to)`.
-    pub fn windows_in(
-        &self,
-        from: Nanos,
-        to: Nanos,
-    ) -> impl Iterator<Item = RefreshWindow> + '_ {
+    pub fn windows_in(&self, from: Nanos, to: Nanos) -> impl Iterator<Item = RefreshWindow> + '_ {
         let first = self.next_window(from.saturating_sub(self.timings.t_rfc));
         let t_refi = self.timings.t_refi;
         (first.index..)
@@ -168,6 +164,115 @@ impl RefreshScheduler {
     #[must_use]
     pub fn locked_per_retention(&self) -> Nanos {
         self.timings.t_rfc * REFS_PER_RETENTION
+    }
+}
+
+/// Per-rank accounting of refresh-window side-channel usage.
+///
+/// XFM's core quantitative claim is that refresh windows provide
+/// "just-enough" bandwidth for SFM traffic; this tracker measures the
+/// claim directly — for each rank, the fraction of the per-`tRFC`
+/// access budget the NMA actually consumed. A fraction near 1.0 means
+/// the side channel is saturated (offloads will start spilling to the
+/// CPU); near 0.0 means the windows are idle headroom.
+///
+/// The tracker is pure data (no atomics, no telemetry dependency): the
+/// window scheduler records into it and the observability layer reads
+/// it out into gauges.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_dram::refresh::WindowUtilization;
+///
+/// let mut u = WindowUtilization::new(2);
+/// u.record_window(0, 3, 14); // rank 0: used 3 of 14 access slots
+/// u.record_window(0, 14, 14);
+/// u.record_window(1, 0, 14);
+/// assert!((u.fraction(0) - 17.0 / 28.0).abs() < 1e-9);
+/// assert_eq!(u.fraction(1), 0.0);
+/// assert_eq!(u.windows(0), 2);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WindowUtilization {
+    ranks: Vec<RankUsage>,
+}
+
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct RankUsage {
+    windows: u64,
+    used: u64,
+    budget: u64,
+}
+
+impl WindowUtilization {
+    /// Creates a tracker for `ranks` ranks.
+    #[must_use]
+    pub fn new(ranks: usize) -> Self {
+        Self {
+            ranks: vec![RankUsage::default(); ranks],
+        }
+    }
+
+    /// Number of tracked ranks.
+    #[must_use]
+    pub fn ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Records one completed refresh window on `rank`: the NMA used
+    /// `used` of the window's `budget` access slots. Out-of-range ranks
+    /// are ignored (a misconfigured caller must not corrupt accounting).
+    pub fn record_window(&mut self, rank: usize, used: u64, budget: u64) {
+        if let Some(r) = self.ranks.get_mut(rank) {
+            r.windows = r.windows.saturating_add(1);
+            r.used = r.used.saturating_add(used.min(budget));
+            r.budget = r.budget.saturating_add(budget);
+        }
+    }
+
+    /// Windows recorded on `rank`.
+    #[must_use]
+    pub fn windows(&self, rank: usize) -> u64 {
+        self.ranks.get(rank).map_or(0, |r| r.windows)
+    }
+
+    /// Fraction of `rank`'s cumulative window budget the NMA used
+    /// (0.0 when no windows recorded).
+    #[must_use]
+    pub fn fraction(&self, rank: usize) -> f64 {
+        self.ranks.get(rank).map_or(0.0, |r| {
+            if r.budget == 0 {
+                0.0
+            } else {
+                r.used as f64 / r.budget as f64
+            }
+        })
+    }
+
+    /// Utilization across all ranks combined.
+    #[must_use]
+    pub fn overall_fraction(&self) -> f64 {
+        let used: u64 = self.ranks.iter().map(|r| r.used).sum();
+        let budget: u64 = self.ranks.iter().map(|r| r.budget).sum();
+        if budget == 0 {
+            0.0
+        } else {
+            used as f64 / budget as f64
+        }
+    }
+
+    /// Merges another tracker (rank-wise; extends if `other` has more
+    /// ranks).
+    pub fn merge(&mut self, other: &WindowUtilization) {
+        if other.ranks.len() > self.ranks.len() {
+            self.ranks.resize(other.ranks.len(), RankUsage::default());
+        }
+        for (a, b) in self.ranks.iter_mut().zip(other.ranks.iter()) {
+            a.windows = a.windows.saturating_add(b.windows);
+            a.used = a.used.saturating_add(b.used);
+            a.budget = a.budget.saturating_add(b.budget);
+        }
     }
 }
 
@@ -251,5 +356,40 @@ mod tests {
         let s = sched();
         let locked = s.locked_per_retention();
         assert!((locked.as_ms_f64() - 3.36).abs() < 0.01);
+    }
+
+    #[test]
+    fn window_utilization_tracks_per_rank_fractions() {
+        let mut u = WindowUtilization::new(2);
+        for _ in 0..10 {
+            u.record_window(0, 7, 14);
+        }
+        u.record_window(1, 14, 14);
+        assert!((u.fraction(0) - 0.5).abs() < 1e-9);
+        assert!((u.fraction(1) - 1.0).abs() < 1e-9);
+        assert_eq!(u.windows(0), 10);
+        // overall: (70 + 14) / (140 + 14)
+        assert!((u.overall_fraction() - 84.0 / 154.0).abs() < 1e-9);
+        // Out-of-range rank is ignored, empty rank reads 0.
+        u.record_window(9, 5, 14);
+        assert_eq!(u.fraction(9), 0.0);
+        assert_eq!(WindowUtilization::new(1).fraction(0), 0.0);
+    }
+
+    #[test]
+    fn window_utilization_merge_is_rank_wise_and_saturating() {
+        let mut a = WindowUtilization::new(1);
+        a.record_window(0, u64::MAX / 2, u64::MAX / 2);
+        let mut b = WindowUtilization::new(2);
+        b.record_window(0, u64::MAX / 2 + 10, u64::MAX / 2 + 10);
+        b.record_window(1, 1, 14);
+        a.merge(&b);
+        assert_eq!(a.ranks(), 2);
+        assert!((a.fraction(0) - 1.0).abs() < 1e-9);
+        assert!(a.fraction(1) > 0.0);
+        // used clamps to budget per window.
+        let mut c = WindowUtilization::new(1);
+        c.record_window(0, 100, 14);
+        assert!((c.fraction(0) - 1.0).abs() < 1e-9);
     }
 }

@@ -51,6 +51,10 @@ impl ChannelStats {
     }
 
     /// Records one completed access.
+    ///
+    /// Accumulation is saturating: statistics from arbitrarily long runs
+    /// clamp at the representable maximum rather than overflowing (which
+    /// would panic in debug builds).
     pub fn record_access(
         &mut self,
         source: AccessSource,
@@ -61,17 +65,17 @@ impl ChannelStats {
     ) {
         let b = bytes.as_bytes();
         match (source, is_write) {
-            (AccessSource::Cpu, false) => self.cpu_read += b,
-            (AccessSource::Cpu, true) => self.cpu_written += b,
-            (AccessSource::Nma, false) => self.nma_read += b,
-            (AccessSource::Nma, true) => self.nma_written += b,
+            (AccessSource::Cpu, false) => self.cpu_read = self.cpu_read.saturating_add(b),
+            (AccessSource::Cpu, true) => self.cpu_written = self.cpu_written.saturating_add(b),
+            (AccessSource::Nma, false) => self.nma_read = self.nma_read.saturating_add(b),
+            (AccessSource::Nma, true) => self.nma_written = self.nma_written.saturating_add(b),
         }
-        self.accesses += 1;
-        self.latency_sum += latency;
+        self.accesses = self.accesses.saturating_add(1);
+        self.latency_sum = self.latency_sum.saturating_add(latency);
         self.latency_max = self.latency_max.max(latency);
         // NMA traffic rides the refresh side channel, not the DDR bus.
         if source == AccessSource::Cpu {
-            self.bus_busy += bus_time;
+            self.bus_busy = self.bus_busy.saturating_add(bus_time);
         }
     }
 
@@ -102,7 +106,7 @@ impl ChannelStats {
     /// Total bytes moved on the DDR data bus (CPU reads + writes).
     #[must_use]
     pub fn ddr_bus_bytes(&self) -> ByteSize {
-        ByteSize::from_bytes(self.cpu_read + self.cpu_written)
+        ByteSize::from_bytes(self.cpu_read.saturating_add(self.cpu_written))
     }
 
     /// Mean access latency, or zero when no accesses completed.
@@ -143,15 +147,18 @@ impl ChannelStats {
     }
 
     /// Merges another statistics block into this one.
+    ///
+    /// Saturating, like [`ChannelStats::record_access`]: aggregating any
+    /// number of channels or workers cannot overflow-panic.
     pub fn merge(&mut self, other: &ChannelStats) {
-        self.cpu_read += other.cpu_read;
-        self.cpu_written += other.cpu_written;
-        self.nma_read += other.nma_read;
-        self.nma_written += other.nma_written;
-        self.accesses += other.accesses;
-        self.latency_sum += other.latency_sum;
+        self.cpu_read = self.cpu_read.saturating_add(other.cpu_read);
+        self.cpu_written = self.cpu_written.saturating_add(other.cpu_written);
+        self.nma_read = self.nma_read.saturating_add(other.nma_read);
+        self.nma_written = self.nma_written.saturating_add(other.nma_written);
+        self.accesses = self.accesses.saturating_add(other.accesses);
+        self.latency_sum = self.latency_sum.saturating_add(other.latency_sum);
         self.latency_max = self.latency_max.max(other.latency_max);
-        self.bus_busy += other.bus_busy;
+        self.bus_busy = self.bus_busy.saturating_add(other.bus_busy);
     }
 }
 
@@ -234,5 +241,27 @@ mod tests {
         assert_eq!(a.accesses(), 2);
         assert_eq!(a.ddr_bus_bytes().as_bytes(), 192);
         assert_eq!(a.max_latency(), Nanos::from_ns(50));
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        // Two near-saturated blocks: merging must clamp, not panic
+        // (pre-saturation this overflowed in debug builds).
+        let mut a = ChannelStats::new();
+        a.record_access(
+            AccessSource::Cpu,
+            false,
+            ByteSize::from_bytes(u64::MAX - 10),
+            Nanos::from_ps(u64::MAX - 10),
+            Nanos::from_ps(u64::MAX - 10),
+        );
+        let b = a.clone();
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.bytes_read(AccessSource::Cpu).as_bytes(), u64::MAX);
+        assert_eq!(a.accesses(), 3);
+        assert_eq!(a.max_latency(), Nanos::from_ps(u64::MAX - 10));
+        // Mean stays well-defined (saturated sum / count).
+        assert!(a.mean_latency() > Nanos::ZERO);
     }
 }

@@ -6,7 +6,7 @@ use xfm_types::{Nanos, PhysAddr, RowId};
 
 fn arb_geometry() -> impl Strategy<Value = SystemGeometry> {
     (
-        1u32..=6,                       // channels (incl. non-power-of-two)
+        1u32..=6,                            // channels (incl. non-power-of-two)
         prop::sample::select(vec![1u32, 2]), // dimms per channel
         prop::sample::select(vec![1u32, 2]), // ranks per dimm
         prop::sample::select(vec![16u32 * 1024, 32 * 1024, 64 * 1024]),

@@ -9,6 +9,8 @@
 //! O3) — and the codec burns host cycles (overhead O2).
 
 use xfm_compress::{Codec, CodecKind, CostModel, Scratch, XDeflate};
+use xfm_telemetry::swap_metrics::Stopwatch;
+use xfm_telemetry::{Cause, Registry, SwapMetrics, SwapStage};
 use xfm_types::{ByteSize, Cycles, Error, PageNumber, Result, PAGE_SIZE};
 
 use crate::backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
@@ -43,6 +45,10 @@ pub struct CpuBackend {
     scratch: Scratch,
     /// Reusable compressed-output buffer for swap-out.
     comp_buf: Vec<u8>,
+    /// Swap-path metric handles; `None` until
+    /// [`CpuBackend::attach_telemetry`], and the hot path pays nothing
+    /// while detached.
+    telemetry: Option<SwapMetrics>,
 }
 
 impl std::fmt::Debug for CpuBackend {
@@ -60,7 +66,11 @@ impl CpuBackend {
     /// average cost model.
     #[must_use]
     pub fn new(config: SfmConfig) -> Self {
-        Self::with_codec(config, Box::new(XDeflate::default()), CostModel::paper_average())
+        Self::with_codec(
+            config,
+            Box::new(XDeflate::default()),
+            CostModel::paper_average(),
+        )
     }
 
     /// Creates a backend with an explicit codec and cost model.
@@ -75,7 +85,17 @@ impl CpuBackend {
             cost,
             scratch: Scratch::new(),
             comp_buf: Vec::with_capacity(PAGE_SIZE),
+            telemetry: None,
         }
+    }
+
+    /// Attaches the standard swap-path metrics to `registry`.
+    ///
+    /// The baseline backend reports through the same `xfm_*` series as
+    /// the XFM backend — every operation counts as a CPU execution —
+    /// so A/B comparisons read one schema.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(SwapMetrics::register(registry));
     }
 
     /// The entry table (for controllers that scan it).
@@ -109,6 +129,7 @@ impl SfmBackend for CpuBackend {
         if self.table.contains(page) {
             return Err(Error::EntryExists { page: page.index() });
         }
+        let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
 
         // zswap's same-filled-page check runs before compression: a page
         // of one repeated byte stores just that byte.
@@ -130,12 +151,28 @@ impl SfmBackend for CpuBackend {
                 ddr_bytes: ByteSize::from_bytes(PAGE_SIZE as u64 + 1),
             };
             self.stats.record(&outcome, true);
+            if let (Some(t), Some(sw)) = (&self.telemetry, &sw) {
+                let total = sw.elapsed_ns();
+                t.swap_outs.inc();
+                t.same_filled.inc();
+                t.cpu_executions.inc();
+                t.swap_out_ns.record(total);
+                t.span(
+                    SwapStage::Compress,
+                    page.index(),
+                    0,
+                    total,
+                    Cause::SameFilled,
+                );
+            }
             return Ok(outcome);
         }
 
         self.comp_buf.clear();
+        let csw = self.telemetry.as_ref().map(|_| Stopwatch::start());
         self.codec
             .compress_into(data, &mut self.comp_buf, &mut self.scratch)?;
+        let compress_ns = csw.map_or(0, |s| s.elapsed_ns());
         let cycles = self.cost.compress_cycles(PAGE_SIZE as u64);
         let (bytes, codec_kind): (&[u8], CodecKind) =
             if self.comp_buf.len() > self.config.max_compressed_len() {
@@ -151,6 +188,7 @@ impl SfmBackend for CpuBackend {
         // swapOut() "initiates an internal compaction operation if the
         // SFM capacity limit is hit").
         let mut extra_ddr = ByteSize::ZERO;
+        let ssw = self.telemetry.as_ref().map(|_| Stopwatch::start());
         let handle = match self.pool.alloc(bytes) {
             Ok(h) => h,
             Err(Error::SfmRegionFull) => {
@@ -160,12 +198,22 @@ impl SfmBackend for CpuBackend {
                     Ok(h) => h,
                     Err(e) => {
                         self.stats.rejected_full += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.span(
+                                SwapStage::ZpoolStore,
+                                page.index(),
+                                0,
+                                ssw.map_or(0, |s| s.elapsed_ns()),
+                                Cause::RegionFull,
+                            );
+                        }
                         return Err(e);
                     }
                 }
             }
             Err(e) => return Err(e),
         };
+        let store_ns = ssw.map_or(0, |s| s.elapsed_ns());
         self.table.insert(
             page,
             SfmEntry {
@@ -183,16 +231,44 @@ impl SfmBackend for CpuBackend {
             ddr_bytes: ByteSize::from_bytes(PAGE_SIZE as u64 + bytes.len() as u64) + extra_ddr,
         };
         self.stats.record(&outcome, true);
+        if let (Some(t), Some(sw)) = (&self.telemetry, &sw) {
+            let total = sw.elapsed_ns();
+            let cause = if matches!(codec_kind, CodecKind::Raw) {
+                t.stored_raw.inc();
+                Cause::StoredRaw
+            } else {
+                Cause::Ok
+            };
+            t.swap_outs.inc();
+            t.cpu_executions.inc();
+            t.compress_ns.record(compress_ns);
+            t.zpool_store_ns.record(store_ns);
+            t.swap_out_ns.record(total);
+            t.span(SwapStage::Compress, page.index(), 0, compress_ns, cause);
+            t.span(
+                SwapStage::ZpoolStore,
+                page.index(),
+                compress_ns,
+                store_ns,
+                Cause::Ok,
+            );
+        }
         Ok(outcome)
     }
 
     fn swap_in(&mut self, page: PageNumber, _do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
+        let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
         let entry = self.table.remove(page)?;
+        let mut fetch_ns = 0u64;
+        let mut decomp_ns = 0u64;
         // Decompress straight out of the pool's arena slice — the
         // compressed bytes are never copied. The slot is freed after the
         // borrow ends, even when decoding fails.
         let decoded: Result<(Vec<u8>, Cycles)> = {
             let compressed = self.pool.get(entry.handle)?;
+            if let Some(sw) = &sw {
+                fetch_ns = sw.elapsed_ns();
+            }
             match entry.codec {
                 CodecKind::SameFilled => Ok((
                     vec![compressed[0]; PAGE_SIZE],
@@ -201,6 +277,7 @@ impl SfmBackend for CpuBackend {
                 CodecKind::Raw => Ok((compressed.to_vec(), Cycles::ZERO)),
                 _ => {
                     let mut out = Vec::with_capacity(PAGE_SIZE);
+                    let dsw = sw.map(|_| Stopwatch::start());
                     match self
                         .codec
                         .decompress_into(compressed, &mut out, &mut self.scratch)
@@ -209,7 +286,10 @@ impl SfmBackend for CpuBackend {
                             "page {page} decompressed to {} bytes",
                             out.len()
                         ))),
-                        Ok(_) => Ok((out, self.cost.decompress_cycles(PAGE_SIZE as u64))),
+                        Ok(_) => {
+                            decomp_ns = dsw.map_or(0, |s| s.elapsed_ns());
+                            Ok((out, self.cost.decompress_cycles(PAGE_SIZE as u64)))
+                        }
                         Err(e) => Err(e),
                     }
                 }
@@ -226,6 +306,30 @@ impl SfmBackend for CpuBackend {
             ddr_bytes: ByteSize::from_bytes(u64::from(entry.compressed_len) + PAGE_SIZE as u64),
         };
         self.stats.record(&outcome, false);
+        if let (Some(t), Some(sw)) = (&self.telemetry, &sw) {
+            let total = sw.elapsed_ns();
+            let cause = match entry.codec {
+                CodecKind::SameFilled => Cause::SameFilled,
+                CodecKind::Raw => Cause::StoredRaw,
+                _ => Cause::Ok,
+            };
+            t.swap_ins.inc();
+            t.cpu_executions.inc();
+            t.zpool_load_ns.record(fetch_ns);
+            t.swap_in_ns.record(total);
+            t.span(SwapStage::Fault, page.index(), 0, total, cause);
+            t.span(SwapStage::Fetch, page.index(), 0, fetch_ns, Cause::Ok);
+            if !matches!(cause, Cause::SameFilled | Cause::StoredRaw) {
+                t.decompress_ns.record(decomp_ns);
+                t.span(
+                    SwapStage::Decompress,
+                    page.index(),
+                    fetch_ns,
+                    decomp_ns,
+                    Cause::Ok,
+                );
+            }
+        }
         Ok((data, outcome))
     }
 
@@ -387,6 +491,66 @@ mod tests {
         assert_eq!(same_filled(&[3, 3, 4]), None);
         assert_eq!(same_filled(&[9]), Some(9));
         assert_eq!(same_filled(&[]), None);
+    }
+
+    #[test]
+    fn telemetry_records_cpu_swap_path() {
+        let registry = Registry::new();
+        let mut b = backend();
+        b.attach_telemetry(&registry);
+        // One compressible, one same-filled, one incompressible page.
+        b.swap_out(PageNumber::new(0), &page_of(Corpus::Json, 1))
+            .unwrap();
+        b.swap_out(PageNumber::new(1), &vec![9u8; PAGE_SIZE])
+            .unwrap();
+        b.swap_out(PageNumber::new(2), &page_of(Corpus::RandomBytes, 2))
+            .unwrap();
+        for i in 0..3 {
+            b.swap_in(PageNumber::new(i), false).unwrap();
+        }
+        let s = registry.snapshot();
+        assert_eq!(s.counters["xfm_swap_outs_total"], 3);
+        assert_eq!(s.counters["xfm_swap_ins_total"], 3);
+        assert_eq!(s.counters["xfm_cpu_executions_total"], 6);
+        assert_eq!(s.counters["xfm_same_filled_total"], 1);
+        assert_eq!(s.counters["xfm_stored_raw_total"], 1);
+        assert_eq!(
+            s.counters
+                .get("xfm_nma_executions_total")
+                .copied()
+                .unwrap_or(0),
+            0
+        );
+        assert_eq!(s.histograms["xfm_swap_out_latency_ns"].count, 3);
+        assert_eq!(s.histograms["xfm_swap_in_latency_ns"].count, 3);
+        // Only the codec-compressed page exercises compress/decompress
+        // (raw pages still pass through compress_into to discover they
+        // don't fit, so compress has 2 samples; decompress has 1).
+        assert_eq!(s.histograms["xfm_compress_latency_ns"].count, 2);
+        assert_eq!(s.histograms["xfm_decompress_latency_ns"].count, 1);
+        assert!(!s.spans.is_empty());
+        assert!(s
+            .spans
+            .iter()
+            .any(|sp| matches!(sp.cause, Cause::SameFilled)));
+    }
+
+    #[test]
+    fn unattached_cpu_backend_behaves_identically() {
+        let registry = Registry::new();
+        let mut plain = backend();
+        let mut traced = backend();
+        traced.attach_telemetry(&registry);
+        for (i, corpus) in Corpus::all().iter().enumerate() {
+            let page = page_of(*corpus, i as u64);
+            let a = plain.swap_out(PageNumber::new(i as u64), &page).unwrap();
+            let b = traced.swap_out(PageNumber::new(i as u64), &page).unwrap();
+            assert_eq!(a, b);
+            let (da, oa) = plain.swap_in(PageNumber::new(i as u64), false).unwrap();
+            let (db, ob) = traced.swap_in(PageNumber::new(i as u64), false).unwrap();
+            assert_eq!(da, db);
+            assert_eq!(oa, ob);
+        }
     }
 
     #[test]

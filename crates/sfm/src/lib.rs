@@ -48,8 +48,8 @@ pub mod zpool;
 
 pub use backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
 pub use controller::{ColdScanConfig, PromotionStats, SfmController};
-pub use predictor::{PredictorStats, StridePredictor};
 pub use cpu_backend::CpuBackend;
+pub use predictor::{PredictorStats, StridePredictor};
 pub use table::{SfmEntry, SfmTable};
 pub use trace::{SwapEvent, SwapKind, TraceConfig, TraceGenerator};
 pub use zpool::{CompactReport, Handle, Zpool, ZpoolStats};

@@ -109,7 +109,12 @@ impl SfmTable {
     /// Sum of compressed lengths across entries.
     #[must_use]
     pub fn compressed_bytes(&self) -> ByteSize {
-        ByteSize::from_bytes(self.entries.values().map(|e| u64::from(e.compressed_len)).sum())
+        ByteSize::from_bytes(
+            self.entries
+                .values()
+                .map(|e| u64::from(e.compressed_len))
+                .sum(),
+        )
     }
 
     /// Uncompressed capacity represented (entries × 4 KiB) — the
@@ -121,9 +126,7 @@ impl SfmTable {
 
     /// Iterates over `(page, entry)` pairs in page order.
     pub fn iter(&self) -> impl Iterator<Item = (PageNumber, &SfmEntry)> {
-        self.entries
-            .iter()
-            .map(|(&p, e)| (PageNumber::new(p), e))
+        self.entries.iter().map(|(&p, e)| (PageNumber::new(p), e))
     }
 }
 

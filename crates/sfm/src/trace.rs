@@ -107,7 +107,10 @@ impl TraceGenerator {
     /// Panics if `working_set_pages` is zero or `local_pages` exceeds it.
     #[must_use]
     pub fn new(config: TraceConfig) -> Self {
-        assert!(config.working_set_pages > 0, "working set must be non-empty");
+        assert!(
+            config.working_set_pages > 0,
+            "working set must be non-empty"
+        );
         assert!(
             config.local_pages <= config.working_set_pages,
             "local memory cannot exceed the working set"
@@ -322,8 +325,6 @@ mod tests {
     fn pages_in_events_are_within_working_set() {
         let cfg = small_config();
         let trace = TraceGenerator::new(cfg).generate();
-        assert!(trace
-            .iter()
-            .all(|e| e.page.index() < cfg.working_set_pages));
+        assert!(trace.iter().all(|e| e.page.index() < cfg.working_set_pages));
     }
 }

@@ -299,9 +299,8 @@ impl Zpool {
             }
         }
         for (_, mut page_idxs) in by_class {
-            page_idxs.sort_by_key(|&pi| {
-                std::cmp::Reverse(self.pages[pi].as_ref().expect("live").used)
-            });
+            page_idxs
+                .sort_by_key(|&pi| std::cmp::Reverse(self.pages[pi].as_ref().expect("live").used));
             // Two-pointer: move objects from the sparsest pages into free
             // slots of the densest pages.
             let mut dense = 0usize;
@@ -434,7 +433,9 @@ mod tests {
     fn fragmentation_then_compaction_frees_pages() {
         let mut p = pool();
         // Fill 4 host pages with 128 B-class objects...
-        let handles: Vec<_> = (0..128).map(|i| p.alloc(&[i as u8; 100]).unwrap()).collect();
+        let handles: Vec<_> = (0..128)
+            .map(|i| p.alloc(&[i as u8; 100]).unwrap())
+            .collect();
         assert_eq!(p.stats().host_pages, 4);
         // ...then free three quarters, scattered (leaves holes everywhere).
         for (i, h) in handles.iter().enumerate() {

@@ -119,7 +119,9 @@ pub struct GranularityRow {
 /// # Errors
 ///
 /// Propagates codec failures (none expected).
-pub fn offload_granularity_sweep(bytes_per_corpus: usize) -> xfm_types::Result<Vec<GranularityRow>> {
+pub fn offload_granularity_sweep(
+    bytes_per_corpus: usize,
+) -> xfm_types::Result<Vec<GranularityRow>> {
     let codec = XDeflate::default();
     let corpora = [
         Corpus::EnglishText,

@@ -61,8 +61,7 @@ impl SharedLlc {
             // than the pollution stream's (which are dead on arrival),
             // modeled by discounting pollution's effective rate.
             const POLLUTION_REUSE_DISCOUNT: f64 = 0.5;
-            let total: f64 =
-                rates.iter().sum::<f64>() + pollution_rate * POLLUTION_REUSE_DISCOUNT;
+            let total: f64 = rates.iter().sum::<f64>() + pollution_rate * POLLUTION_REUSE_DISCOUNT;
             if total <= 0.0 {
                 break;
             }
@@ -104,8 +103,7 @@ mod tests {
     fn shares_sum_to_capacity_without_pollution() {
         let llc = SharedLlc::default();
         let (shares, pollution) = llc.shares(&eight(), 200.0, 2.2e9, 0.0);
-        let total: u64 = shares.iter().map(|s| s.as_bytes()).sum::<u64>()
-            + pollution.as_bytes();
+        let total: u64 = shares.iter().map(|s| s.as_bytes()).sum::<u64>() + pollution.as_bytes();
         let cap = llc.capacity.as_bytes();
         assert!(total.abs_diff(cap) < cap / 100, "total {total} cap {cap}");
         assert!(pollution.as_bytes() < cap / 50);

@@ -53,12 +53,10 @@ impl MemoryChannelModel {
         // Expected extra wait from rank unavailability: the mean
         // residual of the blocking interval, folded in as a latency adder
         // proportional to how often an access collides with a busy rank.
-        let block_penalty_ns =
-            blocked_fraction.clamp(0.0, 0.95) * MEAN_BLOCK_RESIDUAL_NS;
+        let block_penalty_ns = blocked_fraction.clamp(0.0, 0.95) * MEAN_BLOCK_RESIDUAL_NS;
         Nanos::from_ps(
-            (self.base_latency.as_ps() as f64 * queueing
-                + block_penalty_ns * 1000.0)
-                .round() as u64,
+            (self.base_latency.as_ps() as f64 * queueing + block_penalty_ns * 1000.0).round()
+                as u64,
         )
     }
 

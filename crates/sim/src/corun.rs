@@ -19,6 +19,7 @@
 //! throughput degradation.
 
 use serde::{Deserialize, Serialize};
+use xfm_telemetry::Registry;
 use xfm_types::{Bandwidth, ByteSize};
 
 use crate::cache::SharedLlc;
@@ -179,7 +180,8 @@ pub fn evaluate(mix: &JobMix, mode: SfmMode, cfg: &CorunConfig) -> CorunOutcome 
 
     // Fixed point: latency <-> cache shares <-> bandwidth demand.
     let mut latency = cfg.channel.base_latency;
-    let mut shares = vec![cfg.llc.capacity / mix.workloads.len().max(1) as u64; mix.workloads.len()];
+    let mut shares =
+        vec![cfg.llc.capacity / mix.workloads.len().max(1) as u64; mix.workloads.len()];
     let mut offered = Bandwidth::ZERO;
     for _ in 0..24 {
         let lat_cycles = latency.as_secs_f64() * cfg.core_hz;
@@ -264,15 +266,48 @@ pub fn evaluate(mix: &JobMix, mode: SfmMode, cfg: &CorunConfig) -> CorunOutcome 
     }
 }
 
+/// Evaluates one job mix under one SFM mode and publishes the outcome
+/// as per-mode gauges on `registry` (the telemetry replacement for the
+/// old stdout calibration probe):
+/// `xfm_corun_mean_slowdown{mode="…"}`,
+/// `xfm_corun_max_slowdown{mode="…"}`,
+/// `xfm_corun_sfm_degradation{mode="…"}`,
+/// `xfm_corun_effective_latency_ns{mode="…"}`, and
+/// `xfm_corun_offered_gbps{mode="…"}`.
+#[must_use]
+pub fn evaluate_traced(
+    mix: &JobMix,
+    mode: SfmMode,
+    cfg: &CorunConfig,
+    registry: &Registry,
+) -> CorunOutcome {
+    let outcome = evaluate(mix, mode, cfg);
+    let label = mode.label();
+    let max = outcome.app_slowdowns.iter().copied().fold(1.0f64, f64::max);
+    registry
+        .gauge(&format!("xfm_corun_mean_slowdown{{mode=\"{label}\"}}"))
+        .set(outcome.mean_slowdown);
+    registry
+        .gauge(&format!("xfm_corun_max_slowdown{{mode=\"{label}\"}}"))
+        .set(max);
+    registry
+        .gauge(&format!("xfm_corun_sfm_degradation{{mode=\"{label}\"}}"))
+        .set(outcome.sfm_degradation);
+    registry
+        .gauge(&format!(
+            "xfm_corun_effective_latency_ns{{mode=\"{label}\"}}"
+        ))
+        .set(outcome.effective_latency_ns);
+    registry
+        .gauge(&format!("xfm_corun_offered_gbps{{mode=\"{label}\"}}"))
+        .set(outcome.offered_gbps);
+    outcome
+}
+
 impl CorunOutcome {
     /// Reconstructs the share workload `i` had in this outcome's fixed
     /// point (approximated by re-solving; used for slowdown baselines).
-    fn solo_share(
-        &self,
-        i: usize,
-        mix: &JobMix,
-        cfg: &CorunConfig,
-    ) -> ByteSize {
+    fn solo_share(&self, i: usize, mix: &JobMix, cfg: &CorunConfig) -> ByteSize {
         let lat_cycles = self.effective_latency_ns * 1e-9 * cfg.core_hz;
         let (shares, _) = cfg.llc.shares(&mix.workloads, lat_cycles, cfg.core_hz, 0.0);
         shares[i]
@@ -293,11 +328,7 @@ fn geomean(xs: &[f64]) -> f64 {
 pub fn antagonist_study(cfg: &CorunConfig) -> (f64, f64) {
     let mix = JobMix::memory_sensitive_eight();
     let outcome = evaluate(&mix, SfmMode::BaselineCpu, cfg);
-    let max_slowdown = outcome
-        .app_slowdowns
-        .iter()
-        .copied()
-        .fold(1.0f64, f64::max);
+    let max_slowdown = outcome.app_slowdowns.iter().copied().fold(1.0f64, f64::max);
     (max_slowdown - 1.0, outcome.sfm_degradation)
 }
 
@@ -360,8 +391,7 @@ mod tests {
         for mix in JobMix::figure11_mixes() {
             let base = evaluate(&mix, SfmMode::BaselineCpu, &cfg());
             let xfm = evaluate(&mix, SfmMode::Xfm, &cfg());
-            let improvement =
-                xfm.combined_throughput() / base.combined_throughput() - 1.0;
+            let improvement = xfm.combined_throughput() / base.combined_throughput() - 1.0;
             assert!(
                 (0.03..0.35).contains(&improvement),
                 "{}: {improvement}",
@@ -415,21 +445,43 @@ mod tests {
 mod calibration_probe {
     use super::*;
 
+    /// The old stdout calibration probe, rebuilt on telemetry: every
+    /// number it used to print is now a labeled gauge, and the figure's
+    /// orderings are asserted from one snapshot instead of eyeballed.
     #[test]
-    fn print_numbers() {
+    fn gauges_capture_calibration_numbers() {
+        let registry = Registry::new();
         let cfg = CorunConfig::default();
         let mix = JobMix::memory_sensitive_eight();
-        for mode in [SfmMode::None, SfmMode::BaselineCpu, SfmMode::HostLockoutNma, SfmMode::Xfm] {
-            let o = evaluate(&mix, mode, &cfg);
-            println!(
-                "{:18} mean_slowdown={:.4} max={:.4} sfm_degr={:.4} lat={:.1}ns offered={:.1}GB/s",
-                mode.label(),
-                o.mean_slowdown,
-                o.app_slowdowns.iter().copied().fold(1.0f64, f64::max),
-                o.sfm_degradation,
-                o.effective_latency_ns,
-                o.offered_gbps
-            );
+        for mode in [
+            SfmMode::None,
+            SfmMode::BaselineCpu,
+            SfmMode::HostLockoutNma,
+            SfmMode::Xfm,
+        ] {
+            let o = evaluate_traced(&mix, mode, &cfg, &registry);
+            let g = registry
+                .gauge(&format!(
+                    "xfm_corun_mean_slowdown{{mode=\"{}\"}}",
+                    mode.label()
+                ))
+                .get();
+            assert_eq!(g, o.mean_slowdown);
         }
+        let s = registry.snapshot();
+        let mean = |label: &str| s.gauges[&format!("xfm_corun_mean_slowdown{{mode=\"{label}\"}}")];
+        assert_eq!(mean("no-SFM"), 1.0);
+        assert!(mean("XFM") < mean("Baseline-CPU"));
+        assert!(mean("Baseline-CPU") < mean("Host-Lockout-NMA"));
+        assert!(s.gauges[r#"xfm_corun_sfm_degradation{mode="Baseline-CPU"}"#] > 0.0);
+        assert_eq!(s.gauges[r#"xfm_corun_sfm_degradation{mode="XFM"}"#], 0.0);
+        assert!(
+            s.gauges[r#"xfm_corun_offered_gbps{mode="Baseline-CPU"}"#]
+                > s.gauges[r#"xfm_corun_offered_gbps{mode="XFM"}"#]
+        );
+        assert!(
+            s.gauges[r#"xfm_corun_effective_latency_ns{mode="Host-Lockout-NMA"}"#]
+                > s.gauges[r#"xfm_corun_effective_latency_ns{mode="no-SFM"}"#]
+        );
     }
 }

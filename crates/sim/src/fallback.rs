@@ -23,11 +23,14 @@
 //!   write-back completion; admission fails (→ CPU fallback) when the
 //!   SPM cannot cover it.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use xfm_dram::geometry::DeviceGeometry;
 use xfm_dram::timing::{DramTimings, REFS_PER_RETENTION};
+use xfm_telemetry::{Cause, Counter, Registry, SwapStage};
 use xfm_types::{ByteSize, Nanos, PAGE_SIZE};
 
 /// Sweep-point configuration.
@@ -176,6 +179,36 @@ struct Op {
     since: u64,
 }
 
+/// Per-cause fallback telemetry (the replacement for the old stdout
+/// sweep probe): each CPU fallback and deferral is attributed to its
+/// structural hazard, and spans tag individual events on the trace ring
+/// with simulated-time starts (`window × tREFI`).
+struct FallbackTelemetry {
+    queue_full: Arc<Counter>,
+    spm_exhausted: Arc<Counter>,
+    deadline_spills: Arc<Counter>,
+    subarray_conflicts: Arc<Counter>,
+    completed: Arc<Counter>,
+    registry: Registry,
+}
+
+impl FallbackTelemetry {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            queue_full: registry.counter("xfm_sim_queue_full_fallbacks_total"),
+            spm_exhausted: registry.counter("xfm_sim_spm_exhausted_stalls_total"),
+            deadline_spills: registry.counter("xfm_sim_deadline_spills_total"),
+            subarray_conflicts: registry.counter("xfm_sim_subarray_conflicts_total"),
+            completed: registry.counter("xfm_sim_nma_completed_total"),
+            registry: registry.clone(),
+        }
+    }
+
+    fn event(&self, stage: SwapStage, window: u64, at_ns: u64, cause: Cause) {
+        self.registry.trace().record(stage, window, at_ns, 0, cause);
+    }
+}
+
 /// Runs the sweep-point simulation.
 ///
 /// # Examples
@@ -194,6 +227,22 @@ struct Op {
 /// ```
 #[must_use]
 pub fn simulate(cfg: &FallbackConfig) -> FallbackReport {
+    simulate_inner(cfg, None)
+}
+
+/// Runs the sweep-point simulation with per-cause telemetry on
+/// `registry`: counters `xfm_sim_queue_full_fallbacks_total`,
+/// `xfm_sim_spm_exhausted_stalls_total`, `xfm_sim_deadline_spills_total`,
+/// `xfm_sim_subarray_conflicts_total`, and `xfm_sim_nma_completed_total`,
+/// plus cause-tagged spans on the trace ring. The report is identical to
+/// [`simulate`] for the same configuration.
+#[must_use]
+pub fn simulate_traced(cfg: &FallbackConfig, registry: &Registry) -> FallbackReport {
+    simulate_inner(cfg, Some(registry))
+}
+
+fn simulate_inner(cfg: &FallbackConfig, registry: Option<&Registry>) -> FallbackReport {
+    let telemetry = registry.map(FallbackTelemetry::new);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let windows = cfg.duration.periods(cfg.timings.t_refi);
     let slots = REFS_PER_RETENTION as usize;
@@ -225,9 +274,11 @@ pub fn simulate(cfg: &FallbackConfig) -> FallbackReport {
         f64::from(cfg.geometry.rows_per_ref()) / f64::from(cfg.geometry.subarrays_per_bank());
     let lookahead = cfg.alignment_lookahead.max(1) as u64;
     let promote_offset = burst_interval / 2;
+    let t_refi_ns = cfg.timings.t_refi.as_ns();
 
     for w in 0..windows {
         let ref_idx = (w % REFS_PER_RETENTION) as usize;
+        let now_ns = w * t_refi_ns;
 
         // --- Arrivals -------------------------------------------------
         // Demotion bursts (compress: read page, write back compressed)
@@ -241,8 +292,7 @@ pub fn simulate(cfg: &FallbackConfig) -> FallbackReport {
             }
         }
         if (w + promote_offset).is_multiple_of(burst_interval) {
-            let count =
-                (f64::from(cfg.burst_pages) * cfg.prefetch_accuracy).round() as u32;
+            let count = (f64::from(cfg.burst_pages) * cfg.prefetch_accuracy).round() as u32;
             for _ in 0..count {
                 flex_arrivals.push((wb_bytes, PAGE_SIZE as u32));
             }
@@ -250,6 +300,10 @@ pub fn simulate(cfg: &FallbackConfig) -> FallbackReport {
         for (read_bytes, writeback_bytes) in flex_arrivals {
             if queue_len >= cfg.queue_capacity {
                 report.fallbacks += 1;
+                if let Some(t) = &telemetry {
+                    t.queue_full.inc();
+                    t.event(SwapStage::Compress, w, now_ns, Cause::QueueFull);
+                }
                 continue;
             }
             queue_len += 1;
@@ -279,6 +333,10 @@ pub fn simulate(cfg: &FallbackConfig) -> FallbackReport {
         for _ in 0..demand {
             if queue_len >= cfg.queue_capacity {
                 report.fallbacks += 1;
+                if let Some(t) = &telemetry {
+                    t.queue_full.inc();
+                    t.event(SwapStage::Fault, w, now_ns, Cause::QueueFull);
+                }
                 continue;
             }
             queue_len += 1;
@@ -299,12 +357,18 @@ pub fn simulate(cfg: &FallbackConfig) -> FallbackReport {
         // latency-critical, unlike the flexible demotion/prefetch work
         // (subarray conflicts defer to the next window).
         while random_left > 0 {
-            let Some(op) = random_q.front().copied() else { break };
+            let Some(op) = random_q.front().copied() else {
+                break;
+            };
             if u64::from(op.bytes) > budget {
                 break;
             }
             if rng.gen::<f64>() < p_conflict {
                 report.subarray_conflicts += 1;
+                if let Some(t) = &telemetry {
+                    t.subarray_conflicts.inc();
+                    t.event(SwapStage::Fetch, w, now_ns, Cause::SubarrayConflict);
+                }
                 break; // conflicting op retries next window
             }
             match op.phase {
@@ -334,6 +398,9 @@ pub fn simulate(cfg: &FallbackConfig) -> FallbackReport {
                     report.random_accesses += 1;
                     spm_used -= u64::from(op.reserved);
                     report.completed += 1;
+                    if let Some(t) = &telemetry {
+                        t.completed.inc();
+                    }
                 }
             }
         }
@@ -352,6 +419,10 @@ pub fn simulate(cfg: &FallbackConfig) -> FallbackReport {
                     if spm_used + u64::from(op.writeback_bytes) > spm_cap {
                         by_slot[ref_idx].pop_front();
                         stalled.push(op);
+                        if let Some(t) = &telemetry {
+                            t.spm_exhausted.inc();
+                            t.event(SwapStage::ZpoolStore, w, now_ns, Cause::SpmExhausted);
+                        }
                         continue; // SPM stall: skip, keep draining
                     }
                     by_slot[ref_idx].pop_front();
@@ -360,8 +431,7 @@ pub fn simulate(cfg: &FallbackConfig) -> FallbackReport {
                     queue_len -= 1;
                     spm_used += u64::from(op.writeback_bytes);
                     high_water = high_water.max(spm_used);
-                    let target =
-                        (ref_idx + 1 + rng.gen_range(0..lookahead as usize)) % slots;
+                    let target = (ref_idx + 1 + rng.gen_range(0..lookahead as usize)) % slots;
                     by_slot[target].push_back(Op {
                         phase: OpPhase::WriteBack,
                         bytes: op.writeback_bytes,
@@ -376,6 +446,9 @@ pub fn simulate(cfg: &FallbackConfig) -> FallbackReport {
                     report.conditional_accesses += 1;
                     spm_used -= u64::from(op.reserved);
                     report.completed += 1;
+                    if let Some(t) = &telemetry {
+                        t.completed.inc();
+                    }
                 }
             }
         }
@@ -402,6 +475,10 @@ pub fn simulate(cfg: &FallbackConfig) -> FallbackReport {
                 spm_used -= u64::from(op.reserved);
             }
             report.fallbacks += 1;
+            if let Some(t) = &telemetry {
+                t.deadline_spills.inc();
+                t.event(SwapStage::Fault, w, now_ns, Cause::DeadlineSpill);
+            }
         }
     }
 
@@ -533,30 +610,56 @@ mod tests {
 mod probe {
     use super::*;
 
+    /// The old stdout sweep probe, rebuilt on telemetry: instead of
+    /// printing per-point numbers for eyeballing, each sweep point runs
+    /// traced and the per-cause counters must reconstruct the report.
     #[test]
-    fn print_sweep() {
-        for acc in [1u32, 2, 3] {
-            for pr in [0.5f64, 1.0] {
-                for mib in [1u64, 2, 4, 8, 16] {
-                    let c = FallbackConfig {
-                        accesses_per_trfc: acc,
-                        promotion_rate: pr,
-                        spm_capacity: xfm_types::ByteSize::from_mib(mib),
-                        duration: Nanos::from_ms(100),
-                        ..FallbackConfig::default()
-                    };
-                    let r = simulate(&c);
-                    println!(
-                        "acc={acc} pr={pr:.1} spm={mib:2}MiB util={:.2} fb={:.3} cond={:.2} hw={} done={} fbk={}",
-                        c.utilization(),
-                        r.fallback_fraction(),
-                        r.conditional_fraction(),
-                        r.spm_high_water,
-                        r.completed,
-                        r.fallbacks
-                    );
-                }
-            }
+    fn traced_sweep_attributes_every_fallback() {
+        for (acc, mib) in [(1u32, 16u64), (3, 1), (3, 8)] {
+            let c = FallbackConfig {
+                accesses_per_trfc: acc,
+                spm_capacity: xfm_types::ByteSize::from_mib(mib),
+                duration: Nanos::from_ms(50),
+                ..FallbackConfig::default()
+            };
+            let registry = Registry::new();
+            let r = simulate_traced(&c, &registry);
+            let s = registry.snapshot();
+            // Every fallback is either a queue rejection or a deadline
+            // spill; deferrals (SPM stalls, subarray conflicts) retry
+            // and are counted separately.
+            assert_eq!(
+                s.counters["xfm_sim_queue_full_fallbacks_total"]
+                    + s.counters["xfm_sim_deadline_spills_total"],
+                r.fallbacks,
+                "acc={acc} spm={mib}MiB"
+            );
+            assert_eq!(s.counters["xfm_sim_nma_completed_total"], r.completed);
+            assert_eq!(
+                s.counters["xfm_sim_subarray_conflicts_total"],
+                r.subarray_conflicts
+            );
         }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_report() {
+        let c = FallbackConfig {
+            duration: Nanos::from_ms(50),
+            ..FallbackConfig::default()
+        };
+        let registry = Registry::new();
+        assert_eq!(simulate(&c), simulate_traced(&c, &registry));
+        // An overloaded point leaves cause-tagged spans on the ring.
+        let overloaded = FallbackConfig {
+            accesses_per_trfc: 1,
+            ..c
+        };
+        let _ = simulate_traced(&overloaded, &registry);
+        let s = registry.snapshot();
+        assert!(s
+            .spans
+            .iter()
+            .any(|sp| matches!(sp.cause, Cause::DeadlineSpill | Cause::QueueFull)));
     }
 }

@@ -50,8 +50,7 @@ pub fn fig1_bandwidth(promotion_rate: f64) -> Vec<Fig1Row> {
             let swap_gbps = sfm_gib * promotion_rate / 60.0;
             let cpu_sfm_gbps = 2.0 * swap_gbps * (1.0 + 1.0 / compression_ratio);
             // Per-rank side channel: accesses_per_trfc pages per tREFI.
-            let per_rank =
-                3.0 * PAGE_SIZE as f64 / timings.t_refi.as_secs_f64() / 1e9;
+            let per_rank = 3.0 * PAGE_SIZE as f64 / timings.t_refi.as_secs_f64() / 1e9;
             Fig1Row {
                 ranks,
                 promotion_rate,
@@ -318,7 +317,11 @@ pub struct Table1Row {
 #[must_use]
 pub fn table1_devices() -> Vec<Table1Row> {
     let entries: [(&'static str, DeviceGeometry, DramTimings); 3] = [
-        ("8Gb", DeviceGeometry::ddr5_8gb(), DramTimings::ddr5_3200_8gb()),
+        (
+            "8Gb",
+            DeviceGeometry::ddr5_8gb(),
+            DramTimings::ddr5_3200_8gb(),
+        ),
         (
             "16Gb",
             DeviceGeometry::ddr5_16gb(),
@@ -456,9 +459,7 @@ mod tests {
             .unwrap();
         let dfm0 = rows
             .iter()
-            .find(|r| {
-                r.kind == FarMemoryKind::DfmDram && r.years == 0.0 && r.promotion_rate == 1.0
-            })
+            .find(|r| r.kind == FarMemoryKind::DfmDram && r.years == 0.0 && r.promotion_rate == 1.0)
             .unwrap();
         assert!(sfm0.cost_usd < dfm0.cost_usd);
     }

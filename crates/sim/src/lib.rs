@@ -40,6 +40,8 @@ pub use cache::SharedLlc;
 pub use contention::MemoryChannelModel;
 pub use corun::{CorunConfig, CorunOutcome, SfmMode};
 pub use fallback::{FallbackConfig, FallbackReport};
-pub use offload_policy::{io_amplification, should_offload_decompress, PathLatencies, SwapInContext};
+pub use offload_policy::{
+    io_amplification, should_offload_decompress, PathLatencies, SwapInContext,
+};
 pub use resource::{FpgaResourceModel, PowerBreakdown};
 pub use workload::{JobMix, Workload, WorkloadKind};

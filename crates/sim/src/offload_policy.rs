@@ -125,7 +125,10 @@ mod tests {
     fn prompt_full_use_prefers_cpu() {
         // The application uses the whole page immediately: the CPU path
         // moves only the compressed bytes (amplification 0.5 < 1).
-        assert!(!should_offload_decompress(&ctx(), &PathLatencies::default()));
+        assert!(!should_offload_decompress(
+            &ctx(),
+            &PathLatencies::default()
+        ));
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Point-in-time snapshots with JSON and Prometheus-text exposition.
+//!
+//! The workspace's `serde` is an offline no-op shim, so serialization
+//! here is hand-rolled. Metric names are crate-controlled
+//! (`snake_case` plus optional `{label="value"}` suffixes), but string
+//! escaping is still applied so arbitrary names cannot corrupt the
+//! output.
+
+use std::collections::BTreeMap;
+
+use crate::trace::Span;
+
+/// Summary of one histogram at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Mean value (0.0 when empty).
+    pub mean: f64,
+    /// 50th percentile (bucket lower bound).
+    pub p50: u64,
+    /// 90th percentile (bucket lower bound).
+    pub p90: u64,
+    /// 99th percentile (bucket lower bound).
+    pub p99: u64,
+}
+
+/// A full capture of a [`crate::Registry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Retained trace spans, oldest first.
+    pub spans: Vec<Span>,
+    /// Spans evicted from the ring before this snapshot.
+    pub spans_dropped: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        "null".to_string()
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a JSON object.
+    ///
+    /// Layout:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"name": 1},
+    ///   "gauges": {"name": 0.5},
+    ///   "histograms": {"name": {"count": 1, "p50": 3, ...}},
+    ///   "spans": [{"seq": 0, "stage": "compress", ...}],
+    ///   "spans_dropped": 0
+    /// }
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {v}", json_escape(k)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {}", json_escape(k), json_f64(*v)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                json_escape(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                json_f64(h.mean),
+                h.p50,
+                h.p90,
+                h.p99
+            ));
+        }
+        out.push_str("\n  },\n  \"spans\": [");
+        first = true;
+        for s in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"seq\": {}, \"stage\": \"{}\", \"page\": {}, \"start_ns\": {}, \
+                 \"dur_ns\": {}, \"cause\": \"{}\"}}",
+                s.seq,
+                s.stage.name(),
+                s.page,
+                s.start_ns,
+                s.dur_ns,
+                s.cause.name()
+            ));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"spans_dropped\": {}\n}}\n",
+            self.spans_dropped
+        ));
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Counters become `counter` samples, gauges `gauge` samples, and
+    /// each histogram a `summary` (quantile series plus `_sum` and
+    /// `_count`). Spans are not representable in Prometheus text and are
+    /// omitted (use [`Snapshot::to_json`] for traces).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        // `# TYPE` must appear once per metric family; labeled series of
+        // one family are adjacent in the BTreeMap, so tracking the last
+        // emitted base suffices.
+        let mut typed = "";
+        for (k, v) in &self.counters {
+            let (base, labels) = split_labels(k);
+            if base != typed {
+                out.push_str(&format!("# TYPE {base} counter\n"));
+                typed = base;
+            }
+            out.push_str(&format!("{base}{labels} {v}\n"));
+        }
+        let mut typed = "";
+        for (k, v) in &self.gauges {
+            let (base, labels) = split_labels(k);
+            if base != typed {
+                out.push_str(&format!("# TYPE {base} gauge\n"));
+                typed = base;
+            }
+            out.push_str(&format!(
+                "{base}{labels} {}\n",
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "NaN".to_string()
+                }
+            ));
+        }
+        let mut typed = "";
+        for (k, h) in &self.histograms {
+            let (base, labels) = split_labels(k);
+            let q = |quantile: &str, value: u64| {
+                let inner = labels.trim_start_matches('{').trim_end_matches('}');
+                if inner.is_empty() {
+                    format!("{base}{{quantile=\"{quantile}\"}} {value}\n")
+                } else {
+                    format!("{base}{{{inner},quantile=\"{quantile}\"}} {value}\n")
+                }
+            };
+            if base != typed {
+                out.push_str(&format!("# TYPE {base} summary\n"));
+                typed = base;
+            }
+            out.push_str(&q("0.5", h.p50));
+            out.push_str(&q("0.9", h.p90));
+            out.push_str(&q("0.99", h.p99));
+            out.push_str(&format!("{base}_sum{labels} {}\n", h.sum));
+            out.push_str(&format!("{base}_count{labels} {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Splits `name{label="v"}` into (`name`, `{label="v"}`); plain names
+/// return an empty label part.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::trace::{Cause, SwapStage};
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("xfm_swap_outs_total").add(12);
+        r.gauge("xfm_refresh_window_utilization{rank=\"0\"}")
+            .set(0.078);
+        let h = r.histogram("xfm_swap_in_latency_ns");
+        for v in [100u64, 200, 300, 4000] {
+            h.record(v);
+        }
+        r.trace()
+            .record(SwapStage::Fault, 42, 0, 900, Cause::CpuFallback);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_contains_all_sections() {
+        let j = sample().to_json();
+        assert!(j.contains("\"xfm_swap_outs_total\": 12"));
+        assert!(j.contains("xfm_refresh_window_utilization{rank=\\\"0\\\"}"));
+        assert!(j.contains("\"count\": 4"));
+        assert!(j.contains("\"cause\": \"cpu_fallback\""));
+        assert!(j.contains("\"spans_dropped\": 0"));
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let j = sample().to_json();
+        let opens = j.matches('{').count() + j.matches('[').count();
+        let closes = j.matches('}').count() + j.matches(']').count();
+        // The only braces outside structure are inside escaped label
+        // names, which appear once on each side of nothing — count must
+        // still balance because labels carry one '{' and one '}'.
+        assert_eq!(opens, closes, "unbalanced JSON:\n{j}");
+    }
+
+    #[test]
+    fn prometheus_renders_types_and_labels() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE xfm_swap_outs_total counter"));
+        assert!(p.contains("xfm_swap_outs_total 12"));
+        assert!(p.contains("# TYPE xfm_refresh_window_utilization gauge"));
+        assert!(p.contains("xfm_refresh_window_utilization{rank=\"0\"} 0.078"));
+        assert!(p.contains("# TYPE xfm_swap_in_latency_ns summary"));
+        assert!(p.contains("xfm_swap_in_latency_ns{quantile=\"0.99\"}"));
+        assert!(p.contains("xfm_swap_in_latency_ns_count 4"));
+    }
+
+    #[test]
+    fn labeled_histogram_merges_label_with_quantile() {
+        let r = Registry::new();
+        r.histogram("lat{rank=\"1\"}").record(5);
+        let p = r.snapshot().to_prometheus();
+        assert!(p.contains("lat{rank=\"1\",quantile=\"0.5\"} 5"), "{p}");
+        assert!(p.contains("lat_sum{rank=\"1\"} 5"));
+    }
+
+    #[test]
+    fn type_line_appears_once_per_family() {
+        let r = Registry::new();
+        for rank in 0..3 {
+            r.gauge(&format!("util{{rank=\"{rank}\"}}")).set(0.5);
+            r.counter(&format!("ops_total{{rank=\"{rank}\"}}")).inc();
+        }
+        let p = r.snapshot().to_prometheus();
+        assert_eq!(p.matches("# TYPE util gauge").count(), 1, "{p}");
+        assert_eq!(p.matches("# TYPE ops_total counter").count(), 1, "{p}");
+        assert_eq!(p.matches("util{rank=").count(), 3);
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_gauges_render_as_null_json() {
+        let r = Registry::new();
+        r.gauge("g").set(f64::INFINITY);
+        assert!(r.snapshot().to_json().contains("\"g\": null"));
+    }
+}

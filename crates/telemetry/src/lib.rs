@@ -1,0 +1,63 @@
+//! `xfm-telemetry`: the observability substrate of the XFM stack.
+//!
+//! XFM's core claim is quantitative — refresh windows (~8% of cycles)
+//! provide "just-enough" bandwidth for SFM traffic, and CPU fallbacks
+//! and interference must stay rare. Validating that requires uniform,
+//! always-on measurement rather than ad-hoc per-struct counters. This
+//! crate provides:
+//!
+//! - [`Counter`] / [`Gauge`] — lock-free atomic scalars, safe to bump
+//!   from the `compress_pages` worker threads; a relaxed atomic add on
+//!   the hot path and nothing else;
+//! - [`Histogram`] — log-bucketed latency histograms (8 sub-buckets per
+//!   octave, ≤ 12.5% relative bucket error) with p50/p90/p99/max
+//!   reporting, mergeable across workers and channels;
+//! - [`SpanTrace`] — a fixed-capacity ring buffer of swap-path spans
+//!   (cold-scan → compress → zpool store → fault → fetch → decompress)
+//!   with per-span [`Cause`] tags for fallbacks and refresh-window
+//!   misses;
+//! - [`Registry`] — a cheap, cloneable handle that names and owns the
+//!   above; registration happens once at attach time, after which every
+//!   recording site holds an `Arc` straight to its atomic;
+//! - [`Snapshot`] — a point-in-time capture with JSON and
+//!   Prometheus-text exposition (`xfm-repro --metrics-out`).
+//!
+//! Telemetry is opt-in per component: backends, schedulers, and
+//! simulators hold an `Option` of their metric bundle, so an
+//! uninstrumented hot path pays nothing at all, and an instrumented one
+//! pays only relaxed atomics (no allocation in steady state — the span
+//! ring is preallocated).
+//!
+//! # Examples
+//!
+//! ```
+//! use xfm_telemetry::{Registry, SwapStage, Cause};
+//!
+//! let registry = Registry::new();
+//! let swaps = registry.counter("xfm_swap_outs_total");
+//! let lat = registry.histogram("xfm_swap_out_latency_ns");
+//! swaps.inc();
+//! lat.record(1_800);
+//! registry
+//!     .trace()
+//!     .record(SwapStage::Compress, 7, 0, 1_800, Cause::Ok);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counters["xfm_swap_outs_total"], 1);
+//! assert!(snap.to_json().contains("xfm_swap_out_latency_ns"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod export;
+pub mod hist;
+pub mod registry;
+pub mod swap_metrics;
+pub mod trace;
+
+pub use counter::{Counter, Gauge};
+pub use export::{HistogramSnapshot, Snapshot};
+pub use hist::Histogram;
+pub use registry::Registry;
+pub use swap_metrics::SwapMetrics;
+pub use trace::{Cause, Span, SpanTrace, SwapStage};

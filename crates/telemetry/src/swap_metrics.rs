@@ -1,0 +1,170 @@
+//! The standard swap-path metric bundle shared by every SFM backend.
+//!
+//! Both the Baseline-CPU backend (`xfm-sfm`) and the XFM backend
+//! (`xfm-core`) report through the same metric names, so co-run and
+//! fallback comparisons read from one schema regardless of which data
+//! plane served the traffic.
+
+use std::sync::Arc;
+
+use crate::counter::Counter;
+use crate::hist::Histogram;
+use crate::registry::Registry;
+use crate::trace::{Cause, SpanTrace, SwapStage};
+
+/// Pre-registered handles for every swap-path metric.
+///
+/// Built once at attach time ([`SwapMetrics::register`]); afterwards
+/// each recording is a relaxed atomic with no registry lookups and no
+/// allocation, keeping the instrumented hot path within noise of the
+/// uninstrumented one.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_telemetry::{Registry, SwapMetrics};
+///
+/// let registry = Registry::new();
+/// let m = SwapMetrics::register(&registry);
+/// m.swap_outs.inc();
+/// m.swap_out_ns.record(1_700);
+/// assert_eq!(registry.counter("xfm_swap_outs_total").get(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwapMetrics {
+    /// Completed swap-outs.
+    pub swap_outs: Arc<Counter>,
+    /// Completed swap-ins.
+    pub swap_ins: Arc<Counter>,
+    /// Operations that executed on the NMA.
+    pub nma_executions: Arc<Counter>,
+    /// Operations that ran on (or fell back to) the CPU.
+    pub cpu_executions: Arc<Counter>,
+    /// Offloads redone by the CPU after missing their refresh windows.
+    pub refresh_window_misses: Arc<Counter>,
+    /// Pages stored raw (did not compress under the threshold).
+    pub stored_raw: Arc<Counter>,
+    /// Same-filled pages short-circuited before the codec.
+    pub same_filled: Arc<Counter>,
+    /// End-to-end swap-out latency (wall clock, ns).
+    pub swap_out_ns: Arc<Histogram>,
+    /// End-to-end swap-in latency (wall clock, ns).
+    pub swap_in_ns: Arc<Histogram>,
+    /// Compression latency (wall clock, ns).
+    pub compress_ns: Arc<Histogram>,
+    /// Decompression latency (wall clock, ns).
+    pub decompress_ns: Arc<Histogram>,
+    /// Zpool store (alloc + copy) latency (wall clock, ns).
+    pub zpool_store_ns: Arc<Histogram>,
+    /// Zpool load (lookup + copy out) latency (wall clock, ns).
+    pub zpool_load_ns: Arc<Histogram>,
+    /// Modeled DRAM access latency (simulated ns).
+    pub dram_access_ns: Arc<Histogram>,
+    /// The shared registry (for span recording).
+    registry: Registry,
+}
+
+impl SwapMetrics {
+    /// Registers (or re-binds to) the standard swap metrics on
+    /// `registry`.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            swap_outs: registry.counter("xfm_swap_outs_total"),
+            swap_ins: registry.counter("xfm_swap_ins_total"),
+            nma_executions: registry.counter("xfm_nma_executions_total"),
+            cpu_executions: registry.counter("xfm_cpu_executions_total"),
+            refresh_window_misses: registry.counter("xfm_refresh_window_misses_total"),
+            stored_raw: registry.counter("xfm_stored_raw_total"),
+            same_filled: registry.counter("xfm_same_filled_total"),
+            swap_out_ns: registry.histogram("xfm_swap_out_latency_ns"),
+            swap_in_ns: registry.histogram("xfm_swap_in_latency_ns"),
+            compress_ns: registry.histogram("xfm_compress_latency_ns"),
+            decompress_ns: registry.histogram("xfm_decompress_latency_ns"),
+            zpool_store_ns: registry.histogram("xfm_zpool_store_latency_ns"),
+            zpool_load_ns: registry.histogram("xfm_zpool_load_latency_ns"),
+            dram_access_ns: registry.histogram("xfm_dram_access_latency_ns"),
+            registry: registry.clone(),
+        }
+    }
+
+    /// The span trace of the shared registry.
+    #[must_use]
+    pub fn trace(&self) -> &SpanTrace {
+        self.registry.trace()
+    }
+
+    /// Records a span on the shared trace.
+    pub fn span(&self, stage: SwapStage, page: u64, start_ns: u64, dur_ns: u64, cause: Cause) {
+        self.registry
+            .trace()
+            .record(stage, page, start_ns, dur_ns, cause);
+    }
+}
+
+/// A minimal wall-clock stopwatch for latency sections.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_telemetry::swap_metrics::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let ns = sw.elapsed_ns();
+/// # let _ = ns;
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Starts timing.
+    #[must_use]
+    pub fn start() -> Self {
+        Self(std::time::Instant::now())
+    }
+
+    /// Nanoseconds since start (saturating).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Cause, SwapStage};
+
+    #[test]
+    fn register_binds_standard_names() {
+        let r = Registry::new();
+        let m = SwapMetrics::register(&r);
+        m.swap_outs.inc();
+        m.nma_executions.inc();
+        m.swap_out_ns.record(500);
+        m.span(SwapStage::Compress, 3, 0, 500, Cause::NmaOffload);
+        let s = r.snapshot();
+        assert_eq!(s.counters["xfm_swap_outs_total"], 1);
+        assert_eq!(s.counters["xfm_nma_executions_total"], 1);
+        assert_eq!(s.histograms["xfm_swap_out_latency_ns"].count, 1);
+        assert_eq!(s.spans.len(), 1);
+    }
+
+    #[test]
+    fn re_registration_shares_handles() {
+        let r = Registry::new();
+        let a = SwapMetrics::register(&r);
+        let b = SwapMetrics::register(&r);
+        a.cpu_executions.add(2);
+        b.cpu_executions.add(3);
+        assert_eq!(r.counter("xfm_cpu_executions_total").get(), 5);
+    }
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,314 @@
+//! Span-style ring-buffer tracing of the swap path.
+//!
+//! Every stage of a page's journey through the SFM — cold-scan,
+//! compress, zpool store, fault, fetch, decompress — can record a
+//! [`Span`] into a fixed-capacity ring buffer. Spans carry a [`Cause`]
+//! tag so fallbacks, refresh-window misses, and capacity rejections are
+//! attributable after the fact without any log scraping.
+//!
+//! The ring is preallocated at construction: recording in steady state
+//! performs no heap allocation (one mutex acquisition plus a slot
+//! write), keeping the instrumented swap path allocation-free.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A stage of the swap path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwapStage {
+    /// Cold-page scan selecting demotion candidates.
+    ColdScan,
+    /// Page compression (CPU codec or NMA engine).
+    Compress,
+    /// Compressed bytes stored into the zpool.
+    ZpoolStore,
+    /// Demand fault on a far-memory page.
+    Fault,
+    /// Compressed bytes fetched from the zpool.
+    Fetch,
+    /// Page decompression back to 4 KiB.
+    Decompress,
+}
+
+impl SwapStage {
+    /// Stable lowercase name (used in exposition).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SwapStage::ColdScan => "cold_scan",
+            SwapStage::Compress => "compress",
+            SwapStage::ZpoolStore => "zpool_store",
+            SwapStage::Fault => "fault",
+            SwapStage::Fetch => "fetch",
+            SwapStage::Decompress => "decompress",
+        }
+    }
+}
+
+/// Why a span ended the way it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Cause {
+    /// Completed on the intended path.
+    #[default]
+    Ok,
+    /// Executed on the NMA over the refresh side channel.
+    NmaOffload,
+    /// Fell back to the CPU (device rejected the offload).
+    CpuFallback,
+    /// A scheduled offload missed its refresh window (structural
+    /// hazard) and was redone by the CPU.
+    RefreshWindowMiss,
+    /// The scratchpad memory could not hold the reservation.
+    SpmExhausted,
+    /// The request queue was full.
+    QueueFull,
+    /// The SFM region was full.
+    RegionFull,
+    /// Stored raw: the page did not compress under the threshold.
+    StoredRaw,
+    /// Same-filled page short-circuited the codec.
+    SameFilled,
+    /// An urgent op waited past its deadline and spilled.
+    DeadlineSpill,
+    /// A random access deferred by a subarray conflict.
+    SubarrayConflict,
+}
+
+impl Cause {
+    /// Stable lowercase name (used in exposition).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Cause::Ok => "ok",
+            Cause::NmaOffload => "nma_offload",
+            Cause::CpuFallback => "cpu_fallback",
+            Cause::RefreshWindowMiss => "refresh_window_miss",
+            Cause::SpmExhausted => "spm_exhausted",
+            Cause::QueueFull => "queue_full",
+            Cause::RegionFull => "region_full",
+            Cause::StoredRaw => "stored_raw",
+            Cause::SameFilled => "same_filled",
+            Cause::DeadlineSpill => "deadline_spill",
+            Cause::SubarrayConflict => "subarray_conflict",
+        }
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Monotonic sequence number (global per trace; survives wrap).
+    pub seq: u64,
+    /// Which stage of the swap path.
+    pub stage: SwapStage,
+    /// Page number the span concerns (0 when not page-scoped).
+    pub page: u64,
+    /// Span start, in nanoseconds on the recorder's clock (wall or
+    /// simulated — uniform within one recorder).
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Outcome tag.
+    pub cause: Cause,
+}
+
+/// A fixed-capacity ring buffer of [`Span`]s.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_telemetry::{Cause, SpanTrace, SwapStage};
+///
+/// let trace = SpanTrace::with_capacity(2);
+/// trace.record(SwapStage::Compress, 1, 0, 10, Cause::Ok);
+/// trace.record(SwapStage::ZpoolStore, 1, 10, 5, Cause::Ok);
+/// trace.record(SwapStage::Fault, 2, 100, 1, Cause::CpuFallback);
+/// let spans = trace.snapshot();
+/// // Oldest span evicted; the last two remain in order.
+/// assert_eq!(spans.len(), 2);
+/// assert_eq!(spans[1].cause, Cause::CpuFallback);
+/// assert_eq!(trace.dropped(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTrace {
+    ring: Mutex<Ring>,
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    slots: Vec<Span>,
+    head: usize,
+    len: usize,
+    capacity: usize,
+}
+
+/// Default span capacity (64 KiB of spans).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+impl SpanTrace {
+    /// Creates a trace ring with the default capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates a trace ring holding the most recent `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        Self {
+            ring: Mutex::new(Ring {
+                slots: Vec::with_capacity(capacity),
+                head: 0,
+                len: 0,
+                capacity,
+            }),
+            enabled: AtomicBool::new(true),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables or disables recording (reads stay available).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records one span; evicts the oldest when full.
+    pub fn record(&self, stage: SwapStage, page: u64, start_ns: u64, dur_ns: u64, cause: Cause) {
+        if !self.is_enabled() {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let span = Span {
+            seq,
+            stage,
+            page,
+            start_ns,
+            dur_ns,
+            cause,
+        };
+        let mut ring = self.ring.lock();
+        if ring.len < ring.capacity {
+            ring.slots.push(span);
+            ring.len += 1;
+        } else {
+            let head = ring.head;
+            ring.slots[head] = span;
+            ring.head = (head + 1) % ring.capacity;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Spans recorded so far (including evicted ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Spans evicted by ring wrap-around.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies out the retained spans, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Span> {
+        let ring = self.ring.lock();
+        let mut out = Vec::with_capacity(ring.len);
+        for i in 0..ring.len {
+            out.push(ring.slots[(ring.head + i) % ring.capacity]);
+        }
+        out
+    }
+
+    /// Clears the retained spans (sequence numbers keep increasing).
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock();
+        ring.slots.clear();
+        ring.head = 0;
+        ring.len = 0;
+    }
+}
+
+impl Default for SpanTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let t = SpanTrace::with_capacity(4);
+        for i in 0..3 {
+            t.record(SwapStage::Compress, i, i * 10, 5, Cause::Ok);
+        }
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert!(spans.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn wraps_and_keeps_newest() {
+        let t = SpanTrace::with_capacity(3);
+        for i in 0..10u64 {
+            t.record(SwapStage::Fetch, i, 0, 0, Cause::Ok);
+        }
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(
+            spans.iter().map(|s| s.page).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.recorded(), 10);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = SpanTrace::with_capacity(4);
+        t.set_enabled(false);
+        t.record(SwapStage::Fault, 1, 0, 0, Cause::CpuFallback);
+        assert!(t.snapshot().is_empty());
+        assert_eq!(t.recorded(), 0);
+        t.set_enabled(true);
+        t.record(SwapStage::Fault, 1, 0, 0, Cause::CpuFallback);
+        assert_eq!(t.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotonic() {
+        let t = SpanTrace::with_capacity(4);
+        t.record(SwapStage::ColdScan, 0, 0, 0, Cause::Ok);
+        t.clear();
+        t.record(SwapStage::ColdScan, 0, 0, 0, Cause::Ok);
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].seq, 1);
+    }
+
+    #[test]
+    fn stage_and_cause_names_are_stable() {
+        assert_eq!(SwapStage::ZpoolStore.name(), "zpool_store");
+        assert_eq!(Cause::RefreshWindowMiss.name(), "refresh_window_miss");
+    }
+}

@@ -137,7 +137,10 @@ mod tests {
             let first_word = msg.split_whitespace().next().unwrap();
             let acronym = first_word.chars().all(|c| c.is_uppercase());
             let first = msg.chars().next().unwrap();
-            assert!(first.is_lowercase() || first.is_numeric() || acronym, "{msg}");
+            assert!(
+                first.is_lowercase() || first.is_numeric() || acronym,
+                "{msg}"
+            );
         }
     }
 

@@ -116,6 +116,15 @@ impl Nanos {
         Self(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating addition: clamps at the maximum representable
+    /// duration instead of overflowing. Use when accumulating unbounded
+    /// sums (e.g. merging statistics) where `+`'s debug-build overflow
+    /// panic is unacceptable.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+
     /// Returns the smaller of two durations.
     #[must_use]
     pub fn min(self, other: Self) -> Self {
@@ -437,6 +446,11 @@ mod tests {
         assert_eq!(a * 3, Nanos::from_ns(300));
         assert_eq!(a / 4, Nanos::from_ns(25));
         assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(a.saturating_add(b), Nanos::from_ns(160));
+        assert_eq!(
+            Nanos::from_ps(u64::MAX).saturating_add(a),
+            Nanos::from_ps(u64::MAX)
+        );
     }
 
     #[test]

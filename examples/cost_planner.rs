@@ -8,14 +8,8 @@ use xfm::types::ByteSize;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let extra_gib: u64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(512);
-    let promotion_pct: f64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(20.0);
+    let extra_gib: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(512);
+    let promotion_pct: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20.0);
     let rate = promotion_pct / 100.0;
 
     let params = CostParams {
@@ -24,7 +18,9 @@ fn main() {
     };
     let model = FarMemoryModel::new(params);
 
-    println!("Far-memory planning: {extra_gib} GiB extra capacity at {promotion_pct}% promotion/min\n");
+    println!(
+        "Far-memory planning: {extra_gib} GiB extra capacity at {promotion_pct}% promotion/min\n"
+    );
     println!(
         "swap traffic: {:.1} GB/min ({:.2} GB/s each direction)",
         params.gb_swapped_per_min(rate),
@@ -36,9 +32,17 @@ fn main() {
         params.cpu_cores
     );
 
-    println!("{:<6} {:>12} {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}",
-        "year", "DFM-DRAM $", "DFM-PMem $", "SFM $", "SFM+acc $",
-        "DFM-DRAM kg", "PMem kg", "SFM kg");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}",
+        "year",
+        "DFM-DRAM $",
+        "DFM-PMem $",
+        "SFM $",
+        "SFM+acc $",
+        "DFM-DRAM kg",
+        "PMem kg",
+        "SFM kg"
+    );
     for year in [0u32, 1, 2, 3, 5, 7, 10] {
         let y = f64::from(year);
         println!(

@@ -86,10 +86,7 @@ fn main() -> xfm::types::Result<()> {
         completions.len()
     );
     for (ch, stats) in sys.channel_stats().iter().enumerate() {
-        println!(
-            "  channel {ch}: {} moved",
-            stats.ddr_bus_bytes()
-        );
+        println!("  channel {ch}: {} moved", stats.ddr_bus_bytes());
     }
     Ok(())
 }

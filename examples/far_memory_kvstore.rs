@@ -63,7 +63,9 @@ impl FarMemoryKv {
         self.tick(Nanos::from_us(10));
         if self.far.remove(&key) {
             // Overwrite of a spilled value: drop the stale far copy.
-            self.sys.backend_mut().swap_in(PageNumber::new(key), false)?;
+            self.sys
+                .backend_mut()
+                .swap_in(PageNumber::new(key), false)?;
         }
         self.local.insert(key, encode(value));
         self.enforce_budget()
@@ -77,7 +79,10 @@ impl FarMemoryKv {
         if self.far.contains(&key) {
             // Far-memory fault: demand swap-in on the CPU path.
             self.faults += 1;
-            let (page, _) = self.sys.backend_mut().swap_in(PageNumber::new(key), false)?;
+            let (page, _) = self
+                .sys
+                .backend_mut()
+                .swap_in(PageNumber::new(key), false)?;
             let value = decode(&page);
             self.far.remove(&key);
             self.local.insert(key, page);
@@ -129,7 +134,10 @@ fn main() -> Result<()> {
         let value = kv.get(key)?.expect("value present");
         assert!(value.contains(&format!("user{key}")));
     }
-    println!("all 256 values intact; far-memory faults served: {}", kv.faults);
+    println!(
+        "all 256 values intact; far-memory faults served: {}",
+        kv.faults
+    );
 
     // Let the refresh windows drain the offload pipeline (flexible
     // accesses may wait up to one retention interval, 32 ms).
@@ -146,10 +154,7 @@ fn main() -> Result<()> {
     );
     println!(
         "swap-outs: {} ({} on the NMA), swap-ins: {}, DDR traffic: {}",
-        stats.swap_outs,
-        stats.nma_executions,
-        stats.swap_ins,
-        stats.ddr_bytes
+        stats.swap_outs, stats.nma_executions, stats.swap_ins, stats.ddr_bytes
     );
     let nma = kv.sys.nma_stats();
     println!(

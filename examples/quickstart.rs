@@ -6,13 +6,17 @@ use xfm::compress::Corpus;
 use xfm::core::{XfmConfig, XfmSystem};
 use xfm::sfm::backend::ExecutedOn;
 use xfm::sfm::SfmBackend;
+use xfm::telemetry::Registry;
 use xfm::types::{Nanos, PageNumber, PAGE_SIZE};
 
 fn main() -> xfm::types::Result<()> {
     // An XFM system: one DIMM with a 2 MiB scratchpad, a DDR4 refresh
     // calendar (tREFI = 3.9 us, tRFC = 410 ns), and the default window
-    // scheduler (3 accesses per tRFC, 1 of them random).
+    // scheduler (3 accesses per tRFC, 1 of them random), with telemetry
+    // attached so every swap below is counted, timed, and traced.
+    let registry = Registry::new();
     let mut sys = XfmSystem::new(XfmConfig::default());
+    sys.attach_telemetry(&registry);
     let mut now = Nanos::from_ms(1);
     sys.advance_to(now);
 
@@ -79,5 +83,27 @@ fn main() -> xfm::types::Result<()> {
         "side-channel traffic: {} (DDR-channel traffic avoided)",
         nma.sched.side_channel_bytes
     );
+
+    let snap = registry.snapshot();
+    println!("\n== telemetry snapshot ==");
+    for name in ["xfm_swap_out_latency_ns", "xfm_swap_in_latency_ns"] {
+        let h = &snap.histograms[name];
+        println!(
+            "{name}: count {} p50 {} ns p99 {} ns max {} ns",
+            h.count, h.p50, h.p99, h.max
+        );
+    }
+    let util = snap.gauges[r#"xfm_refresh_window_utilization{rank="0"}"#];
+    println!("refresh-window utilization (rank 0): {:.4}%", util * 100.0);
+    if let Some(span) = snap.spans.last() {
+        println!(
+            "last traced span: stage {} page {} cause {} ({} spans retained)",
+            span.stage.name(),
+            span.page,
+            span.cause.name(),
+            snap.spans.len()
+        );
+    }
+    println!("(full registry: snapshot().to_json() / to_prometheus())");
     Ok(())
 }

@@ -43,8 +43,20 @@ fn main() {
 
     // Flexible accesses (controller-aligned demotions) to rows whose
     // refresh slots are spread over the next few windows.
-    for (id, row) in [(0u64, 2u32), (1, 3), (2, 3), (3, 5), (4, 8), (5, 8), (6, 8), (7, 8)] {
-        println!("enqueue flexible read  id={id} row={row} (slot {})", row % 8192);
+    for (id, row) in [
+        (0u64, 2u32),
+        (1, 3),
+        (2, 3),
+        (3, 5),
+        (4, 8),
+        (5, 8),
+        (6, 8),
+        (7, 8),
+    ] {
+        println!(
+            "enqueue flexible read  id={id} row={row} (slot {})",
+            row % 8192
+        );
         sched.enqueue_flexible(AccessOp {
             id,
             row: RowId::new(row),
@@ -54,7 +66,12 @@ fn main() {
         });
     }
     // Urgent accesses (demand promotions): rows not refreshing soon.
-    for (id, row) in [(100u64, 20_000u32), (101, 30_000), (102, 44_000), (103, 50_000)] {
+    for (id, row) in [
+        (100u64, 20_000u32),
+        (101, 30_000),
+        (102, 44_000),
+        (103, 50_000),
+    ] {
         println!("enqueue urgent   read  id={id} row={row}");
         sched.enqueue_urgent(AccessOp {
             id,
@@ -73,7 +90,12 @@ fn main() {
         if events.is_empty() {
             continue;
         }
-        print!("window {:>2} (refreshes rows {:>2}+k*8192, ends {}):", w.index, w.index % 8192, w.end);
+        print!(
+            "window {:>2} (refreshes rows {:>2}+k*8192, ends {}):",
+            w.index,
+            w.index % 8192,
+            w.end
+        );
         for e in &events {
             match e {
                 SchedEvent::Served { id, kind, .. } => {

@@ -152,7 +152,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { samples_per_bench: 10 }
+        Self {
+            samples_per_bench: 10,
+        }
     }
 }
 

@@ -55,7 +55,10 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(Self::Value) -> U,
     {
-        Map { source: self, map: f }
+        Map {
+            source: self,
+            map: f,
+        }
     }
 
     /// Type-erases the strategy.
@@ -241,8 +244,14 @@ impl<T> Union<T> {
     #[must_use]
     pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         let total_weight = variants.iter().map(|(w, _)| u64::from(*w)).sum();
-        assert!(total_weight > 0, "prop_oneof! requires positive total weight");
-        Self { variants, total_weight }
+        assert!(
+            total_weight > 0,
+            "prop_oneof! requires positive total weight"
+        );
+        Self {
+            variants,
+            total_weight,
+        }
     }
 }
 
@@ -276,14 +285,20 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            Self { lo: r.start, hi: r.end - 1 }
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty vec size range");
-            Self { lo: *r.start(), hi: *r.end() }
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -301,7 +316,10 @@ pub mod collection {
 
     /// Generates vectors with lengths drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -376,7 +394,10 @@ where
         let seed = name_hash ^ u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut rng = TestRng::seed_from_u64(seed);
         if let Err(msg) = case(&mut rng) {
-            panic!("property '{name}' failed at case {i}/{} (seed {seed:#x}):\n{msg}", config.cases);
+            panic!(
+                "property '{name}' failed at case {i}/{} (seed {seed:#x}):\n{msg}",
+                config.cases
+            );
         }
     }
 }

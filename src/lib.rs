@@ -19,6 +19,7 @@
 //! | [`core`] | **The paper's contribution**: SPM, MMIO regs, refresh-window scheduler, NMA, driver, XFM backend, multi-channel mode |
 //! | [`cost`] | The §3 DFM-vs-SFM cost & carbon model (EQ1–EQ5) |
 //! | [`sim`] | Co-run interference + fallback sensitivity engines; per-figure harnesses |
+//! | [`telemetry`] | Unified counters, latency histograms, swap-path span tracing, JSON/Prometheus exposition |
 //!
 //! # Quickstart
 //!
@@ -54,4 +55,5 @@ pub use xfm_cost as cost;
 pub use xfm_dram as dram;
 pub use xfm_sfm as sfm;
 pub use xfm_sim as sim;
+pub use xfm_telemetry as telemetry;
 pub use xfm_types as types;

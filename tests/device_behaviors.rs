@@ -109,11 +109,21 @@ fn decompress_offloads_round_trip_through_driver() {
     let mut d = driver_with(ByteSize::from_mib(2));
     let page = b"driver-level round trip ".repeat(171)[..PAGE_SIZE].to_vec();
 
-    d.xfm_compress(PageNumber::new(9), page.clone(), RowId::new(9), Nanos::ZERO, true)
-        .unwrap();
+    d.xfm_compress(
+        PageNumber::new(9),
+        page.clone(),
+        RowId::new(9),
+        Nanos::ZERO,
+        true,
+    )
+    .unwrap();
     let events = d.poll(Nanos::from_ms(64));
     let compressed = match &events[..] {
-        [NmaEvent::Completed { kind: OffloadKind::Compress, data, .. }] => data.clone(),
+        [NmaEvent::Completed {
+            kind: OffloadKind::Compress,
+            data,
+            ..
+        }] => data.clone(),
         other => panic!("unexpected events {other:?}"),
     };
     assert!(compressed.len() < PAGE_SIZE);
@@ -128,7 +138,11 @@ fn decompress_offloads_round_trip_through_driver() {
     .unwrap();
     let events = d.poll(Nanos::from_ms(128));
     match &events[..] {
-        [NmaEvent::Completed { kind: OffloadKind::Decompress, data, .. }] => {
+        [NmaEvent::Completed {
+            kind: OffloadKind::Decompress,
+            data,
+            ..
+        }] => {
             assert_eq!(*data, page);
         }
         other => panic!("unexpected events {other:?}"),
@@ -189,11 +203,7 @@ fn refresh_calendar_and_scheduler_agree_on_windows() {
     let w = sched.next_window_refreshing(row, Nanos::ZERO);
     assert_eq!(w.index % 8192, 42);
 
-    let mut s = xfm::core::sched::WindowScheduler::new(
-        SchedConfig::default(),
-        timings,
-        geometry,
-    );
+    let mut s = xfm::core::sched::WindowScheduler::new(SchedConfig::default(), timings, geometry);
     s.enqueue_flexible(xfm::core::sched::AccessOp {
         id: 1,
         row,

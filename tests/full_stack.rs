@@ -7,7 +7,9 @@ use xfm::core::backend::{XfmBackend, XfmBackendConfig};
 use xfm::core::nma::NmaConfig;
 use xfm::core::{XfmConfig, XfmSystem};
 use xfm::sfm::backend::{ExecutedOn, SfmConfig};
-use xfm::sfm::{ColdScanConfig, CpuBackend, SfmBackend, SfmController, TraceConfig, TraceGenerator};
+use xfm::sfm::{
+    ColdScanConfig, CpuBackend, SfmBackend, SfmController, TraceConfig, TraceGenerator,
+};
 use xfm::types::{ByteSize, Nanos, PageNumber, PAGE_SIZE};
 
 fn trace(seed: u64, secs: u64) -> Vec<xfm::sfm::SwapEvent> {
@@ -141,7 +143,10 @@ fn tiny_spm_forces_cpu_fallbacks_but_never_corrupts() {
             cpu += 1;
         }
     }
-    assert!(cpu >= 20, "the one-slot SPM must reject most offloads ({cpu})");
+    assert!(
+        cpu >= 20,
+        "the one-slot SPM must reject most offloads ({cpu})"
+    );
     for (pn, data) in &pages {
         let (restored, _) = backend.swap_in(*pn, true).unwrap();
         assert_eq!(&restored, data);

@@ -44,7 +44,9 @@ fn claim_accelerator_beneficial_above_6_percent() {
 fn claim_110ns_conditional_read_and_4_3_2_capacity() {
     // §5 / Fig. 6.
     assert_eq!(
-        DramTimings::ddr5_3200_32gb().conditional_read_first().as_ns(),
+        DramTimings::ddr5_3200_32gb()
+            .conditional_read_first()
+            .as_ns(),
         110
     );
     assert_eq!(DramTimings::ddr5_3200_32gb().max_conditional_accesses(), 4);
@@ -101,7 +103,11 @@ fn claim_8mb_spm_eliminates_fallbacks() {
             duration: Nanos::from_ms(150),
             ..FallbackConfig::default()
         });
-        assert!(r.fallback_fraction() < 0.01, "pr {pr}: {}", r.fallback_fraction());
+        assert!(
+            r.fallback_fraction() < 0.01,
+            "pr {pr}: {}",
+            r.fallback_fraction()
+        );
     }
 }
 
@@ -141,7 +147,11 @@ fn claim_interference_ordering_and_combined_band() {
         assert!(lock.mean_slowdown > cpu.mean_slowdown);
         assert!((0.05..0.25).contains(&cpu.sfm_degradation) || cpu.sfm_degradation > 0.02);
         let improvement = xfm.combined_throughput() / cpu.combined_throughput() - 1.0;
-        assert!((0.03..0.35).contains(&improvement), "{}: {improvement}", mix.name);
+        assert!(
+            (0.03..0.35).contains(&improvement),
+            "{}: {improvement}",
+            mix.name
+        );
     }
 }
 
@@ -159,7 +169,11 @@ fn claim_conditional_access_energy_saving_near_10_percent() {
     // energy by 10.1% across various promotion rates."
     let fig12 = xfm::sim::figures::fig12_fallbacks(Nanos::from_ms(30));
     let e = xfm::sim::figures::energy_summary(&fig12);
-    assert!((0.05..0.18).contains(&e.conditional_saving), "{}", e.conditional_saving);
+    assert!(
+        (0.05..0.18).contains(&e.conditional_saving),
+        "{}",
+        e.conditional_saving
+    );
 }
 
 #[test]
