@@ -53,7 +53,10 @@ pub mod xlz;
 
 pub use codec::{Codec, CodecKind, CostModel};
 pub use corpus::Corpus;
-pub use parallel::{compress_pages, compress_pages_traced, split_pages};
+pub use parallel::{
+    compress_pages, compress_pages_streamed, compress_pages_streamed_traced, compress_pages_traced,
+    map_pages, split_pages,
+};
 pub use ratio::{interleaved_ratio, page_ratio, InterleaveReport};
 pub use scratch::Scratch;
 pub use xdeflate::XDeflate;

@@ -78,12 +78,80 @@ pub fn compress_pages_traced<C: Codec + Sync>(
     compress_pages_inner(codec, pages, threads, Some(registry))
 }
 
+/// Streaming variant of [`compress_pages`]: instead of collecting
+/// results, each compressed page is handed to `sink` on the worker
+/// thread that produced it, as soon as it is ready. This is the batched
+/// swap-out handoff of the sharded data plane — the sink routes each
+/// store-back to the owning shard, so no shard lock is ever held while
+/// a page is being compressed.
+///
+/// `sink` runs concurrently from every worker; delivery order across
+/// pages is unspecified (compressed bytes themselves are deterministic).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when `threads` is zero, or the first
+/// codec failure encountered (pages already delivered stay delivered).
+pub fn compress_pages_streamed<C>(
+    codec: &C,
+    pages: &[Bytes],
+    threads: usize,
+    sink: impl Fn(PageResult) + Sync,
+) -> Result<()>
+where
+    C: Codec + Sync + ?Sized,
+{
+    compress_pages_streamed_inner(codec, pages, threads, None, sink)
+}
+
+/// [`compress_pages_streamed`] with per-page compression latency and
+/// throughput recording on `registry` (same series as
+/// [`compress_pages_traced`]).
+///
+/// # Errors
+///
+/// Same conditions as [`compress_pages_streamed`].
+pub fn compress_pages_streamed_traced<C>(
+    codec: &C,
+    pages: &[Bytes],
+    threads: usize,
+    registry: &Registry,
+    sink: impl Fn(PageResult) + Sync,
+) -> Result<()>
+where
+    C: Codec + Sync + ?Sized,
+{
+    compress_pages_streamed_inner(codec, pages, threads, Some(registry), sink)
+}
+
 fn compress_pages_inner<C: Codec + Sync>(
     codec: &C,
     pages: &[Bytes],
     threads: usize,
     registry: Option<&Registry>,
 ) -> Result<Vec<PageResult>> {
+    let results: Mutex<Vec<Option<PageResult>>> = Mutex::new(vec![None; pages.len()]);
+    compress_pages_streamed_inner(codec, pages, threads, registry, |r| {
+        let index = r.index;
+        results.lock()[index] = Some(r);
+    })?;
+    Ok(results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every page compressed"))
+        .collect())
+}
+
+fn compress_pages_streamed_inner<C>(
+    codec: &C,
+    pages: &[Bytes],
+    threads: usize,
+    registry: Option<&Registry>,
+    sink: impl Fn(PageResult) + Sync,
+) -> Result<()>
+where
+    C: Codec + Sync + ?Sized,
+{
     let telemetry = registry.map(|r| {
         (
             r.histogram("xfm_compress_latency_ns"),
@@ -94,10 +162,9 @@ fn compress_pages_inner<C: Codec + Sync>(
         return Err(Error::InvalidConfig("threads must be non-zero".into()));
     }
     if pages.is_empty() {
-        return Ok(Vec::new());
+        return Ok(());
     }
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<PageResult>>> = Mutex::new(vec![None; pages.len()]);
     let first_error: Mutex<Option<Error>> = Mutex::new(None);
 
     crossbeam::thread::scope(|scope| {
@@ -122,7 +189,7 @@ fn compress_pages_inner<C: Codec + Sync>(
                                 );
                                 count.inc();
                             }
-                            results.lock()[index] = Some(PageResult { index, compressed });
+                            sink(PageResult { index, compressed });
                         }
                         Err(e) => {
                             let mut slot = first_error.lock();
@@ -141,10 +208,67 @@ fn compress_pages_inner<C: Codec + Sync>(
     if let Some(e) = first_error.into_inner() {
         return Err(e);
     }
+    Ok(())
+}
+
+/// Runs an arbitrary per-page transform over a fixed worker pool,
+/// returning results in submission order. Each worker owns a reusable
+/// codec [`Scratch`], so scratch-aware transforms (multi-channel
+/// `pack_page`, ratio probes) run allocation-free after warm-up. The
+/// XFM backend uses this to compress whole demotion batches off the
+/// serial path before scheduling them into refresh windows.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when `threads` is zero, or the first
+/// transform failure encountered.
+pub fn map_pages<R, F>(pages: &[Bytes], threads: usize, f: F) -> Result<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, &Bytes, &mut Scratch) -> Result<R> + Sync,
+{
+    if threads == 0 {
+        return Err(Error::InvalidConfig("threads must be non-zero".into()));
+    }
+    if pages.is_empty() {
+        return Ok(Vec::new());
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..pages.len()).map(|_| None).collect());
+    let first_error: Mutex<Option<Error>> = Mutex::new(None);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(pages.len()) {
+            scope.spawn(|_| {
+                let mut scratch = Scratch::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= pages.len() {
+                        break;
+                    }
+                    match f(index, &pages[index], &mut scratch) {
+                        Ok(r) => results.lock()[index] = Some(r),
+                        Err(e) => {
+                            let mut slot = first_error.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("map workers do not panic");
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
     Ok(results
         .into_inner()
         .into_iter()
-        .map(|r| r.expect("every page compressed"))
+        .map(|r| r.expect("every page mapped"))
         .collect())
 }
 

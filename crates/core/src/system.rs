@@ -107,6 +107,29 @@ impl XfmSystem {
         cold
     }
 
+    /// One batched demotion round: scans for cold pages at `now`, fetches
+    /// each page's contents through `fetch`, and pushes the whole batch
+    /// through [`XfmBackend::swap_out_batch`] — compression fans out over
+    /// `threads` workers while offload attempts and store-backs stay in
+    /// cold-age order. Returns each demoted page with its per-page result
+    /// (a full region surfaces as that page's `Err`, not a round failure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xfm_types::Error::InvalidConfig`] when `threads` is zero.
+    pub fn demote_cold_batch(
+        &mut self,
+        now: Nanos,
+        threads: usize,
+        fetch: impl Fn(xfm_types::PageNumber) -> bytes::Bytes,
+    ) -> Result<Vec<(xfm_types::PageNumber, Result<xfm_sfm::SwapOutcome>)>> {
+        let cold = self.scan_cold(now);
+        let batch: Vec<(xfm_types::PageNumber, bytes::Bytes)> =
+            cold.iter().map(|&p| (p, fetch(p))).collect();
+        let results = self.backend.swap_out_batch(&batch, threads)?;
+        Ok(cold.into_iter().zip(results).collect())
+    }
+
     /// The backend (swap data plane).
     #[must_use]
     pub fn backend(&self) -> &XfmBackend {
@@ -294,6 +317,49 @@ mod tests {
             s.counters["xfm_nma_executions_total"] + s.counters["xfm_cpu_executions_total"],
             rb.nma_ops + rb.cpu_ops
         );
+    }
+
+    #[test]
+    fn batched_demotion_round_matches_sequential_demotions() {
+        let cfg = XfmConfig {
+            scan: ColdScanConfig {
+                cold_threshold: Nanos::from_secs(1),
+                scan_batch: 0,
+            },
+            ..XfmConfig::default()
+        };
+        let mut batched = XfmSystem::new(cfg);
+        let mut serial = XfmSystem::new(cfg);
+        for sys in [&mut batched, &mut serial] {
+            for p in 0..16u64 {
+                sys.controller_mut()
+                    .touch(xfm_types::PageNumber::new(p), Nanos::ZERO);
+            }
+        }
+        let now = Nanos::from_secs(2);
+        batched.advance_to(now);
+        serial.advance_to(now);
+        let fetch = |p: xfm_types::PageNumber| {
+            bytes::Bytes::from(Corpus::KeyValue.generate(p.index(), PAGE_SIZE))
+        };
+        let results = batched.demote_cold_batch(now, 4, fetch).unwrap();
+        assert_eq!(results.len(), 16);
+        assert!(results.iter().all(|(_, r)| r.is_ok()));
+        for page in serial.scan_cold(now) {
+            let data = fetch(page);
+            serial.backend_mut().swap_out(page, &data).unwrap();
+        }
+        assert_eq!(batched.backend().stats(), serial.backend().stats());
+        assert_eq!(
+            batched.backend().pool_stats(),
+            serial.backend().pool_stats()
+        );
+        assert_eq!(batched.controller().far_pages(), 16);
+        // Every demoted page restores intact.
+        for (page, _) in results {
+            let (data, _) = batched.backend_mut().swap_in(page, false).unwrap();
+            assert_eq!(&data[..], &fetch(page)[..], "page {page}");
+        }
     }
 
     #[test]

@@ -104,6 +104,12 @@ impl SfmController {
     /// Scans the resident set at `now`, returning pages idle longer than
     /// the cold threshold (oldest first) and moving them to the far set.
     /// The caller must actually `swap_out` each returned page.
+    ///
+    /// When [`ColdScanConfig::scan_batch`] is nonzero, at most that many
+    /// pages are returned per scan — always the *oldest* cold pages —
+    /// and the remainder stays resident, so consecutive scans drain the
+    /// cold set in age order (rate-limited demotion). A batch of 0 means
+    /// unlimited: every cold page is returned at once.
     pub fn scan(&mut self, now: Nanos) -> Vec<PageNumber> {
         self.roll_minute(now);
         let threshold = self.config.cold_threshold;
@@ -113,10 +119,7 @@ impl SfmController {
             .filter(|(_, &last)| now.saturating_sub(last) >= threshold)
             .map(|(&p, &last)| (last, p))
             .collect();
-        cold.sort();
-        if self.config.scan_batch > 0 {
-            cold.truncate(self.config.scan_batch);
-        }
+        select_cold_batch(&mut cold, self.config.scan_batch);
         let pages: Vec<PageNumber> = cold.iter().map(|&(_, p)| PageNumber::new(p)).collect();
         for p in &pages {
             self.resident.remove(&p.index());
@@ -189,6 +192,21 @@ impl SfmController {
     }
 }
 
+/// Keeps the oldest `batch` candidates of `cold`, sorted oldest first.
+///
+/// `batch == 0` means unlimited: the whole set is kept (sorted). For a
+/// nonzero batch this is a partial selection — `select_nth_unstable`
+/// partitions in O(n), then only the kept prefix is sorted — so a
+/// rate-limited scan over a huge resident set never pays a full sort.
+/// Shared by [`SfmController::scan`] and the sharded scanner.
+pub(crate) fn select_cold_batch(cold: &mut Vec<(Nanos, u64)>, batch: usize) {
+    if batch > 0 && cold.len() > batch {
+        cold.select_nth_unstable(batch - 1);
+        cold.truncate(batch);
+    }
+    cold.sort_unstable();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +260,84 @@ mod tests {
         assert_eq!(c.scan(Nanos::from_secs(2)).len(), 2);
         assert_eq!(c.scan(Nanos::from_secs(2)).len(), 2);
         assert_eq!(c.scan(Nanos::from_secs(2)).len(), 1);
+    }
+
+    #[test]
+    fn unlimited_scan_batch_returns_every_cold_page() {
+        let mut c = ctl(1); // scan_batch: 0 (unlimited)
+        for p in 0..100 {
+            c.touch(PageNumber::new(p), Nanos::from_ms(p));
+        }
+        let cold = c.scan(Nanos::from_secs(5));
+        assert_eq!(cold.len(), 100, "batch 0 must not rate-limit");
+        // Oldest first: ascending last-touch time.
+        let expect: Vec<_> = (0..100).map(PageNumber::new).collect();
+        assert_eq!(cold, expect);
+        assert_eq!(c.resident_pages(), 0);
+        assert_eq!(c.far_pages(), 100);
+    }
+
+    #[test]
+    fn partial_scans_resume_in_age_order() {
+        let mut c = SfmController::new(ColdScanConfig {
+            cold_threshold: Nanos::from_secs(1),
+            scan_batch: 3,
+        });
+        // Ten pages with distinct ages; page p last touched at p ms.
+        for p in 0..10 {
+            c.touch(PageNumber::new(p), Nanos::from_ms(p));
+        }
+        let now = Nanos::from_secs(2);
+        // Each scan takes the three oldest *remaining* cold pages; the
+        // rest stay resident and are picked up by the next scan.
+        assert_eq!(c.scan(now), (0..3).map(PageNumber::new).collect::<Vec<_>>());
+        assert_eq!(c.resident_pages(), 7);
+        assert_eq!(c.scan(now), (3..6).map(PageNumber::new).collect::<Vec<_>>());
+        assert_eq!(c.scan(now), (6..9).map(PageNumber::new).collect::<Vec<_>>());
+        // Final partial batch drains the tail.
+        assert_eq!(c.scan(now), vec![PageNumber::new(9)]);
+        assert!(c.scan(now).is_empty());
+        assert_eq!(c.far_pages(), 10);
+    }
+
+    #[test]
+    fn retouch_between_partial_scans_requeues_the_page() {
+        let mut c = SfmController::new(ColdScanConfig {
+            cold_threshold: Nanos::from_secs(1),
+            scan_batch: 2,
+        });
+        for p in 0..6 {
+            c.touch(PageNumber::new(p), Nanos::from_ms(p));
+        }
+        assert_eq!(
+            c.scan(Nanos::from_secs(2)),
+            vec![PageNumber::new(0), PageNumber::new(1)]
+        );
+        // Page 2 is accessed before the scanner reaches it: it must not
+        // appear in the next batch...
+        c.touch(PageNumber::new(2), Nanos::from_secs(2));
+        assert_eq!(
+            c.scan(Nanos::from_secs(2)),
+            vec![PageNumber::new(3), PageNumber::new(4)]
+        );
+        // ...but goes cold again once it re-ages past the threshold.
+        assert_eq!(
+            c.scan(Nanos::from_secs(4)),
+            vec![PageNumber::new(5), PageNumber::new(2)]
+        );
+    }
+
+    #[test]
+    fn scan_batch_larger_than_cold_set_takes_everything() {
+        let mut c = SfmController::new(ColdScanConfig {
+            cold_threshold: Nanos::from_secs(1),
+            scan_batch: 100,
+        });
+        for p in 0..4 {
+            c.touch(PageNumber::new(p), Nanos::ZERO);
+        }
+        assert_eq!(c.scan(Nanos::from_secs(2)).len(), 4);
+        assert!(c.scan(Nanos::from_secs(2)).is_empty());
     }
 
     #[test]

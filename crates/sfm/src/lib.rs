@@ -15,6 +15,10 @@
 //!   on the host, four DRAM traffic components per swap;
 //! - [`controller`] — cold-page scanning (120 s idle threshold by
 //!   default, per the Google fleet data) and promotion-rate tracking;
+//! - [`sharded`] — the sharded concurrent swap data plane: the table,
+//!   age table, and zpool striped into N lock-independent shards behind
+//!   a `&self` front, with a batched swap-out pipeline feeding the
+//!   `compress_pages` worker pool;
 //! - [`trace`] — an AIFM-like synthetic swap-trace generator with
 //!   Zipfian object popularity.
 //!
@@ -42,6 +46,7 @@ pub mod backend;
 pub mod controller;
 pub mod cpu_backend;
 pub mod predictor;
+pub mod sharded;
 pub mod table;
 pub mod trace;
 pub mod zpool;
@@ -50,6 +55,7 @@ pub use backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
 pub use controller::{ColdScanConfig, PromotionStats, SfmController};
 pub use cpu_backend::CpuBackend;
 pub use predictor::{PredictorStats, StridePredictor};
+pub use sharded::{ShardedSfm, ShardedSfmConfig};
 pub use table::{SfmEntry, SfmTable};
 pub use trace::{SwapEvent, SwapKind, TraceConfig, TraceGenerator};
 pub use zpool::{CompactReport, Handle, Zpool, ZpoolStats};

@@ -1,0 +1,1255 @@
+//! The sharded concurrent swap data plane.
+//!
+//! The single-threaded stack ([`crate::CpuBackend`] + [`crate::SfmController`])
+//! caps aggregate swap throughput at one core, while the paper sizes XFM
+//! for fleet-scale SFM traffic (≈426 MB/s of cold-page churn for a 512 GB
+//! SFM at 100% promotion rate, §3). This module stripes the entry table,
+//! the cold-age table, and the zpool into N independent *shards* — the
+//! same shard-for-parallelism move refresh-access-parallelism work makes
+//! at the DRAM level — so unrelated faults never contend:
+//!
+//! - **Routing**: a page's shard is a Fibonacci hash of its page number
+//!   masked to a power-of-two shard count, so sequential page ranges
+//!   spread evenly across shards.
+//! - **Lock discipline**: one `Mutex` per shard, never more than one
+//!   held at a time. Cross-shard state (capacity budget, far-set size,
+//!   promotion minute) lives in atomics plus one tiny minute-roll mutex
+//!   that is never held together with a shard lock.
+//! - **Batch handoff**: [`ShardedSfm::swap_out_batch`] same-fill-checks
+//!   inline, then drains the remaining pages through the
+//!   `compress_pages` worker pool; each worker hands its finished page
+//!   to a sink that locks *only the owning shard* for the store-back,
+//!   so no lock is ever held across compression.
+//!
+//! With one shard the plane is observably identical to the unsharded
+//! path (pinned by a differential proptest); the capacity budget is
+//! global across shards, enforced before any shard's pool grows.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use xfm_compress::parallel::PageResult;
+use xfm_compress::{
+    compress_pages_streamed, compress_pages_streamed_traced, Codec, CodecKind, CostModel, Scratch,
+    XDeflate,
+};
+use xfm_telemetry::swap_metrics::Stopwatch;
+use xfm_telemetry::{Cause, Registry, ShardMetrics, SwapMetrics, SwapStage};
+use xfm_types::{ByteSize, Cycles, Error, Nanos, PageNumber, Result, PAGE_SIZE};
+
+use crate::backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
+use crate::controller::{select_cold_batch, ColdScanConfig, PromotionStats};
+use crate::cpu_backend::same_filled;
+use crate::table::{SfmEntry, SfmTable};
+use crate::zpool::{CompactReport, Handle, Zpool, ZpoolStats};
+
+/// Configuration for [`ShardedSfm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedSfmConfig {
+    /// Backend configuration. `region_capacity` is the **global** budget
+    /// shared by every shard's pool, not a per-shard limit.
+    pub sfm: SfmConfig,
+    /// Cold-scan configuration. `scan_batch` rate-limits the *merged*
+    /// scan across shards, oldest pages first.
+    pub scan: ColdScanConfig,
+    /// Number of shards; must be a nonzero power of two.
+    pub shards: usize,
+}
+
+impl Default for ShardedSfmConfig {
+    fn default() -> Self {
+        Self {
+            sfm: SfmConfig::default(),
+            scan: ColdScanConfig::default(),
+            shards: 4,
+        }
+    }
+}
+
+/// One stripe of the data plane: pool, entry table, age table, and
+/// reusable codec state, all guarded by a single mutex.
+struct Shard {
+    pool: Zpool,
+    table: SfmTable,
+    /// Resident pages owned by this shard and their last access times.
+    resident: BTreeMap<u64, Nanos>,
+    /// This shard's pages currently in far memory.
+    far: BTreeSet<u64>,
+    stats: BackendStats,
+    /// Reusable codec state: after warm-up the sequential swap path runs
+    /// without heap allocation inside this shard.
+    scratch: Scratch,
+    /// Reusable compressed-output buffer for sequential swap-out.
+    comp_buf: Vec<u8>,
+    /// Host pages this shard's pool currently holds, mirrored into the
+    /// global budget counter on every pool mutation.
+    host_pages: u64,
+}
+
+struct MinuteState {
+    start: Nanos,
+    stats: PromotionStats,
+}
+
+struct Telemetry {
+    swap: SwapMetrics,
+    shards: ShardMetrics,
+    registry: Registry,
+}
+
+/// The sharded front: same observable behavior as the unsharded plane,
+/// but every operation takes `&self` and only the owning shard's lock,
+/// so faults and demotions on different shards run concurrently.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_sfm::{ShardedSfm, ShardedSfmConfig};
+/// use xfm_types::PageNumber;
+///
+/// let sfm = ShardedSfm::new(ShardedSfmConfig::default());
+/// let page = b"16-byte pattern!".repeat(256); // 4096 bytes
+/// sfm.swap_out(PageNumber::new(7), &page)?;
+/// let (restored, _) = sfm.swap_in(PageNumber::new(7), false)?;
+/// assert_eq!(restored, page);
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+pub struct ShardedSfm {
+    shards: Vec<Mutex<Shard>>,
+    /// `shards - 1`; page-number hash is masked with this.
+    mask: u64,
+    config: SfmConfig,
+    scan_config: ColdScanConfig,
+    codec: Arc<dyn Codec + Send + Sync>,
+    cost: CostModel,
+    /// Host pages across every shard's pool (the global budget).
+    total_host_pages: AtomicU64,
+    /// Far-memory pages across every shard (controller accounting).
+    far_pages_total: AtomicU64,
+    /// Promotions since the current minute started.
+    promoted_this_minute: AtomicU64,
+    /// Fast-path mirror of `minute.start` so steady-state ops skip the
+    /// minute mutex entirely.
+    minute_start_ns: AtomicU64,
+    minute: Mutex<MinuteState>,
+    telemetry: Option<Telemetry>,
+}
+
+impl std::fmt::Debug for ShardedSfm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSfm")
+            .field("shards", &self.shards.len())
+            .field("codec", &self.codec.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedSfm {
+    /// Creates a sharded plane with the default codec (xdeflate) and the
+    /// paper's average cost model — the sharded counterpart of
+    /// [`crate::CpuBackend::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.shards` is zero or not a power of two.
+    #[must_use]
+    pub fn new(config: ShardedSfmConfig) -> Self {
+        Self::with_codec(
+            config,
+            Arc::new(XDeflate::default()),
+            CostModel::paper_average(),
+        )
+    }
+
+    /// Creates a sharded plane with an explicit codec and cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.shards` is zero or not a power of two.
+    #[must_use]
+    pub fn with_codec(
+        config: ShardedSfmConfig,
+        codec: Arc<dyn Codec + Send + Sync>,
+        cost: CostModel,
+    ) -> Self {
+        assert!(
+            config.shards > 0 && config.shards.is_power_of_two(),
+            "shard count {} must be a nonzero power of two",
+            config.shards
+        );
+        let shards = (0..config.shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    // Every pool is created with the full region capacity;
+                    // the *global* budget below is what actually limits
+                    // growth, so fragmentation in one shard cannot strand
+                    // budget another shard needs.
+                    pool: Zpool::new(config.sfm.region_capacity),
+                    table: SfmTable::new(),
+                    resident: BTreeMap::new(),
+                    far: BTreeSet::new(),
+                    stats: BackendStats::default(),
+                    scratch: Scratch::new(),
+                    comp_buf: Vec::with_capacity(PAGE_SIZE),
+                    host_pages: 0,
+                })
+            })
+            .collect();
+        Self {
+            shards,
+            mask: (config.shards - 1) as u64,
+            config: config.sfm,
+            scan_config: config.scan,
+            codec,
+            cost,
+            total_host_pages: AtomicU64::new(0),
+            far_pages_total: AtomicU64::new(0),
+            promoted_this_minute: AtomicU64::new(0),
+            minute_start_ns: AtomicU64::new(0),
+            minute: Mutex::new(MinuteState {
+                start: Nanos::ZERO,
+                stats: PromotionStats::default(),
+            }),
+            telemetry: None,
+        }
+    }
+
+    /// Attaches the standard swap metrics plus per-shard series
+    /// (`xfm_shard_*{shard="i"}` and the `xfm_shard_imbalance` gauge).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(Telemetry {
+            swap: SwapMetrics::register(registry),
+            shards: ShardMetrics::register(registry, self.shards.len()),
+            registry: registry.clone(),
+        });
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The active backend configuration.
+    #[must_use]
+    pub fn config(&self) -> &SfmConfig {
+        &self.config
+    }
+
+    /// The shard that owns `page`: high bits of a Fibonacci hash of the
+    /// page number, masked to the power-of-two shard count. Sequential
+    /// page ranges (the common hot-set layout) spread evenly.
+    #[must_use]
+    pub fn shard_of(&self, page: PageNumber) -> usize {
+        ((page.index().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & self.mask) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    /// Compresses `data` (one 4 KiB page) into the owning shard.
+    /// Observable behavior matches [`crate::CpuBackend::swap_out`]:
+    /// same-filled short-circuit, zswap-style raw-store reject, and a
+    /// compact-once retry when the global capacity budget is hit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SfmBackend::swap_out`].
+    pub fn swap_out(&self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+        if data.len() != PAGE_SIZE {
+            return Err(Error::InvalidConfig(format!(
+                "swap_out requires a 4 KiB page, got {} bytes",
+                data.len()
+            )));
+        }
+        let si = self.shard_of(page);
+        let mut guard = self.shards[si].lock();
+        let s = &mut *guard;
+        if s.table.contains(page) {
+            return Err(Error::EntryExists { page: page.index() });
+        }
+        let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
+
+        // zswap's same-filled-page check runs before compression: a page
+        // of one repeated byte stores just that byte.
+        if let Some(fill) = same_filled(data) {
+            if self.store_would_overflow(&s.pool, 1) {
+                return Err(Error::SfmRegionFull);
+            }
+            let handle = s.pool.alloc(&[fill])?;
+            let Shard {
+                pool, host_pages, ..
+            } = s;
+            self.sync_host_pages(pool, host_pages);
+            s.table.insert(
+                page,
+                SfmEntry {
+                    handle,
+                    compressed_len: 1,
+                    codec: CodecKind::SameFilled,
+                },
+            )?;
+            let outcome = SwapOutcome {
+                executed_on: ExecutedOn::Cpu,
+                compressed_len: 1,
+                // The scan costs roughly one pass over the page.
+                cpu_cycles: Cycles::new(PAGE_SIZE as u64),
+                ddr_bytes: ByteSize::from_bytes(PAGE_SIZE as u64 + 1),
+            };
+            s.stats.record(&outcome, true);
+            if let (Some(t), Some(sw)) = (&self.telemetry, &sw) {
+                let total = sw.elapsed_ns();
+                t.swap.swap_outs.inc();
+                t.swap.same_filled.inc();
+                t.swap.cpu_executions.inc();
+                t.swap.swap_out_ns.record(total);
+                t.swap.span(
+                    SwapStage::Compress,
+                    page.index(),
+                    0,
+                    total,
+                    Cause::SameFilled,
+                );
+                t.shards.swap_outs[si].inc();
+                t.shards.busy_ns[si].add(total);
+                t.shards.entries[si].set(s.table.len() as f64);
+            }
+            return Ok(outcome);
+        }
+
+        s.comp_buf.clear();
+        let csw = self.telemetry.as_ref().map(|_| Stopwatch::start());
+        {
+            let Shard {
+                comp_buf, scratch, ..
+            } = s;
+            self.codec.compress_into(data, comp_buf, scratch)?;
+        }
+        let compress_ns = csw.map_or(0, |s| s.elapsed_ns());
+        self.store_page(si, s, page, data, None, sw, compress_ns)
+    }
+
+    /// Decompresses `page` back out of its shard, removing the entry.
+    /// `do_offload` is accepted for API parity and ignored (CPU plane).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SfmBackend::swap_in`].
+    pub fn swap_in(&self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
+        let mut out = Vec::with_capacity(PAGE_SIZE);
+        let outcome = self.swap_in_into(page, do_offload, &mut out)?;
+        Ok((out, outcome))
+    }
+
+    /// Allocation-free fault path: decompresses `page` into the caller's
+    /// reusable buffer (`out` is cleared first). With a warm buffer the
+    /// steady-state fault performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SfmBackend::swap_in`].
+    pub fn swap_in_into(
+        &self,
+        page: PageNumber,
+        _do_offload: bool,
+        out: &mut Vec<u8>,
+    ) -> Result<SwapOutcome> {
+        let si = self.shard_of(page);
+        let mut guard = self.shards[si].lock();
+        let s = &mut *guard;
+        let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
+        let entry = s.table.remove(page)?;
+        let mut fetch_ns = 0u64;
+        let mut decomp_ns = 0u64;
+        out.clear();
+        // Decompress straight out of the pool's arena slice — the
+        // compressed bytes are never copied. The slot is freed after the
+        // borrow ends, even when decoding fails.
+        let decoded: Result<Cycles> = {
+            let Shard { pool, scratch, .. } = &mut *s;
+            let compressed = pool.get(entry.handle)?;
+            if let Some(sw) = &sw {
+                fetch_ns = sw.elapsed_ns();
+            }
+            match entry.codec {
+                CodecKind::SameFilled => {
+                    out.resize(PAGE_SIZE, compressed[0]);
+                    Ok(Cycles::new(PAGE_SIZE as u64))
+                }
+                CodecKind::Raw => {
+                    out.extend_from_slice(compressed);
+                    Ok(Cycles::ZERO)
+                }
+                _ => {
+                    let dsw = sw.map(|_| Stopwatch::start());
+                    match self.codec.decompress_into(compressed, out, scratch) {
+                        Ok(_) if out.len() != PAGE_SIZE => Err(Error::Corrupt(format!(
+                            "page {page} decompressed to {} bytes",
+                            out.len()
+                        ))),
+                        Ok(_) => {
+                            decomp_ns = dsw.map_or(0, |s| s.elapsed_ns());
+                            Ok(self.cost.decompress_cycles(PAGE_SIZE as u64))
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+            }
+        };
+        s.pool.free(entry.handle)?;
+        {
+            let Shard {
+                pool, host_pages, ..
+            } = s;
+            self.sync_host_pages(pool, host_pages);
+        }
+        let cycles = decoded?;
+
+        let outcome = SwapOutcome {
+            executed_on: ExecutedOn::Cpu,
+            compressed_len: entry.compressed_len,
+            cpu_cycles: cycles,
+            // Compressed read + restored page write.
+            ddr_bytes: ByteSize::from_bytes(u64::from(entry.compressed_len) + PAGE_SIZE as u64),
+        };
+        s.stats.record(&outcome, false);
+        if let (Some(t), Some(sw)) = (&self.telemetry, &sw) {
+            let total = sw.elapsed_ns();
+            let cause = match entry.codec {
+                CodecKind::SameFilled => Cause::SameFilled,
+                CodecKind::Raw => Cause::StoredRaw,
+                _ => Cause::Ok,
+            };
+            t.swap.swap_ins.inc();
+            t.swap.cpu_executions.inc();
+            t.swap.zpool_load_ns.record(fetch_ns);
+            t.swap.swap_in_ns.record(total);
+            t.swap.span(SwapStage::Fault, page.index(), 0, total, cause);
+            t.swap
+                .span(SwapStage::Fetch, page.index(), 0, fetch_ns, Cause::Ok);
+            if !matches!(cause, Cause::SameFilled | Cause::StoredRaw) {
+                t.swap.decompress_ns.record(decomp_ns);
+                t.swap.span(
+                    SwapStage::Decompress,
+                    page.index(),
+                    fetch_ns,
+                    decomp_ns,
+                    Cause::Ok,
+                );
+            }
+            t.shards.swap_ins[si].inc();
+            t.shards.busy_ns[si].add(total);
+            t.shards.entries[si].set(s.table.len() as f64);
+        }
+        Ok(outcome)
+    }
+
+    /// Whether `page` currently lives in the SFM.
+    #[must_use]
+    pub fn contains(&self, page: PageNumber) -> bool {
+        self.shards[self.shard_of(page)].lock().table.contains(page)
+    }
+
+    /// Batched swap-out pipeline. Same-filled (and invalid-size) pages
+    /// resolve inline; everything else is compressed by `threads`
+    /// workers from the `compress_pages` pool, and each finished page is
+    /// stored back under *only its owning shard's lock*. Per-page
+    /// results come back in submission order.
+    ///
+    /// Observable per-page behavior (outcome, stats, stored bytes)
+    /// matches calling [`ShardedSfm::swap_out`] sequentially, except
+    /// that a page already present is only rejected at store-back time
+    /// (after its compression has been wasted).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `threads` is zero or the codec itself fails
+    /// (per-page conditions such as `EntryExists` or `SfmRegionFull` are
+    /// reported in the per-page results instead).
+    pub fn swap_out_batch(
+        &self,
+        batch: &[(PageNumber, Bytes)],
+        threads: usize,
+    ) -> Result<Vec<Result<SwapOutcome>>> {
+        let results: Mutex<Vec<Option<Result<SwapOutcome>>>> =
+            Mutex::new((0..batch.len()).map(|_| None).collect());
+        let mut compress_idx: Vec<usize> = Vec::new();
+        let mut to_compress: Vec<Bytes> = Vec::new();
+        // Pages claimed earlier in this batch: later duplicates are
+        // rejected here, in submission order, so the out-of-order sink
+        // below can never race two occurrences of the same page.
+        let mut claimed: BTreeSet<u64> = BTreeSet::new();
+        for (i, (page, data)) in batch.iter().enumerate() {
+            if data.len() != PAGE_SIZE {
+                results.lock()[i] = Some(self.swap_out(*page, data));
+            } else if self.contains(*page) || claimed.contains(&page.index()) {
+                results.lock()[i] = Some(Err(Error::EntryExists { page: page.index() }));
+            } else if same_filled(data).is_some() {
+                let res = self.swap_out(*page, data);
+                if res.is_ok() {
+                    claimed.insert(page.index());
+                }
+                results.lock()[i] = Some(res);
+            } else {
+                claimed.insert(page.index());
+                compress_idx.push(i);
+                to_compress.push(data.clone());
+            }
+        }
+        if !to_compress.is_empty() {
+            let sink = |r: PageResult| {
+                let bi = compress_idx[r.index];
+                let (page, data) = &batch[bi];
+                let res = self.store_compressed(*page, data, &r.compressed);
+                results.lock()[bi] = Some(res);
+            };
+            let codec = &*self.codec;
+            match &self.telemetry {
+                Some(t) => {
+                    compress_pages_streamed_traced(codec, &to_compress, threads, &t.registry, sink)?
+                }
+                None => compress_pages_streamed(codec, &to_compress, threads, sink)?,
+            }
+        }
+        Ok(results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every page resolved"))
+            .collect())
+    }
+
+    /// Store-back half of the batched pipeline: runs under the owning
+    /// shard's lock only, with the compression already done.
+    fn store_compressed(
+        &self,
+        page: PageNumber,
+        data: &[u8],
+        compressed: &[u8],
+    ) -> Result<SwapOutcome> {
+        let si = self.shard_of(page);
+        let mut guard = self.shards[si].lock();
+        let s = &mut *guard;
+        if s.table.contains(page) {
+            return Err(Error::EntryExists { page: page.index() });
+        }
+        let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
+        self.store_page(si, s, page, data, Some(compressed), sw, 0)
+    }
+
+    /// Common post-compression store path. `compressed` is
+    /// `Some(bytes)` for the batched pipeline (compressed off-lock) or
+    /// `None` for the sequential path (compressed into `s.comp_buf`).
+    #[allow(clippy::too_many_arguments)]
+    fn store_page(
+        &self,
+        si: usize,
+        s: &mut Shard,
+        page: PageNumber,
+        data: &[u8],
+        compressed: Option<&[u8]>,
+        sw: Option<Stopwatch>,
+        compress_ns: u64,
+    ) -> Result<SwapOutcome> {
+        let cycles = self.cost.compress_cycles(PAGE_SIZE as u64);
+        let comp_len = compressed.map_or(s.comp_buf.len(), <[u8]>::len);
+        let raw = comp_len > self.config.max_compressed_len();
+        if raw {
+            // zswap-style reject: store raw; compression cycles were
+            // still spent discovering that.
+            s.stats.stored_raw += 1;
+        }
+        let ssw = self.telemetry.as_ref().map(|_| Stopwatch::start());
+        let (handle, extra_ddr, stored_len) = {
+            let Shard {
+                pool,
+                stats,
+                host_pages,
+                comp_buf,
+                ..
+            } = s;
+            let bytes: &[u8] = if raw {
+                data
+            } else {
+                compressed.unwrap_or(comp_buf)
+            };
+            match self.store_bytes(pool, stats, host_pages, bytes) {
+                Ok((h, extra)) => (h, extra, bytes.len()),
+                Err(e) => {
+                    if let Some(t) = &self.telemetry {
+                        t.swap.span(
+                            SwapStage::ZpoolStore,
+                            page.index(),
+                            0,
+                            ssw.map_or(0, |s| s.elapsed_ns()),
+                            Cause::RegionFull,
+                        );
+                    }
+                    return Err(e);
+                }
+            }
+        };
+        let store_ns = ssw.map_or(0, |s| s.elapsed_ns());
+        let codec_kind = if raw {
+            CodecKind::Raw
+        } else {
+            self.codec.kind()
+        };
+        s.table.insert(
+            page,
+            SfmEntry {
+                handle,
+                compressed_len: stored_len as u32,
+                codec: codec_kind,
+            },
+        )?;
+
+        let outcome = SwapOutcome {
+            executed_on: ExecutedOn::Cpu,
+            compressed_len: stored_len as u32,
+            cpu_cycles: cycles,
+            // Cold page read + compressed write, plus any compaction copies.
+            ddr_bytes: ByteSize::from_bytes(PAGE_SIZE as u64 + stored_len as u64) + extra_ddr,
+        };
+        s.stats.record(&outcome, true);
+        if let (Some(t), Some(sw)) = (&self.telemetry, &sw) {
+            let total = sw.elapsed_ns();
+            let cause = if raw {
+                t.swap.stored_raw.inc();
+                Cause::StoredRaw
+            } else {
+                Cause::Ok
+            };
+            t.swap.swap_outs.inc();
+            t.swap.cpu_executions.inc();
+            if compressed.is_none() {
+                // The batched pipeline records compression latency from
+                // inside the worker pool instead.
+                t.swap.compress_ns.record(compress_ns);
+                t.swap
+                    .span(SwapStage::Compress, page.index(), 0, compress_ns, cause);
+            }
+            t.swap.zpool_store_ns.record(store_ns);
+            t.swap.swap_out_ns.record(total);
+            t.swap.span(
+                SwapStage::ZpoolStore,
+                page.index(),
+                compress_ns,
+                store_ns,
+                Cause::Ok,
+            );
+            t.shards.swap_outs[si].inc();
+            t.shards.busy_ns[si].add(total);
+            t.shards.entries[si].set(s.table.len() as f64);
+        }
+        Ok(outcome)
+    }
+
+    /// Allocates `bytes` in a shard's pool under the global capacity
+    /// budget; on budget exhaustion, compacts *this shard* once and
+    /// retries (mirroring the unsharded compact-once-retry), recording
+    /// a rejection when still full.
+    fn store_bytes(
+        &self,
+        pool: &mut Zpool,
+        stats: &mut BackendStats,
+        shard_pages: &mut u64,
+        bytes: &[u8],
+    ) -> Result<(Handle, ByteSize)> {
+        let mut extra_ddr = ByteSize::ZERO;
+        if self.store_would_overflow(pool, bytes.len()) {
+            let report = pool.compact();
+            self.sync_host_pages(pool, shard_pages);
+            extra_ddr += report.moved_bytes * 2; // memcpy: read + write
+            if self.store_would_overflow(pool, bytes.len()) {
+                stats.rejected_full += 1;
+                return Err(Error::SfmRegionFull);
+            }
+        }
+        let handle = pool.alloc(bytes)?;
+        self.sync_host_pages(pool, shard_pages);
+        Ok((handle, extra_ddr))
+    }
+
+    /// Whether storing `len` bytes would grow this shard's pool past the
+    /// *global* budget. Concurrent shards may overshoot the budget by up
+    /// to `shards - 1` host pages (the check and the growth are not one
+    /// atomic step); single-threaded use is exact.
+    fn store_would_overflow(&self, pool: &Zpool, len: usize) -> bool {
+        pool.would_grow(len)
+            && (self.total_host_pages.load(Ordering::Relaxed) + 1) * PAGE_SIZE as u64
+                > self.config.region_capacity.as_bytes()
+    }
+
+    /// Mirrors a shard pool's host-page count into the global budget.
+    fn sync_host_pages(&self, pool: &Zpool, shard_pages: &mut u64) {
+        let now = pool.stats().host_pages;
+        let prev = std::mem::replace(shard_pages, now);
+        if now >= prev {
+            self.total_host_pages
+                .fetch_add(now - prev, Ordering::Relaxed);
+        } else {
+            self.total_host_pages
+                .fetch_sub(prev - now, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane (sharded SfmController)
+    // ------------------------------------------------------------------
+
+    /// Records an application access to `page` at `now`. Returns `true`
+    /// if the page was in far memory (a promotion / swap-in fault).
+    pub fn touch(&self, page: PageNumber, now: Nanos) -> bool {
+        self.roll_minute(now);
+        let si = self.shard_of(page);
+        let mut s = self.shards[si].lock();
+        let was_far = s.far.remove(&page.index());
+        if was_far {
+            self.far_pages_total.fetch_sub(1, Ordering::Relaxed);
+            self.promoted_this_minute.fetch_add(1, Ordering::Relaxed);
+        }
+        s.resident.insert(page.index(), now);
+        was_far
+    }
+
+    /// Explicitly marks a page promoted out of far memory without an
+    /// application access (controller-initiated prefetch).
+    pub fn prefetch(&self, page: PageNumber, now: Nanos) -> bool {
+        self.roll_minute(now);
+        let si = self.shard_of(page);
+        let mut s = self.shards[si].lock();
+        let was_far = s.far.remove(&page.index());
+        if was_far {
+            self.far_pages_total.fetch_sub(1, Ordering::Relaxed);
+            self.promoted_this_minute.fetch_add(1, Ordering::Relaxed);
+            s.resident.insert(page.index(), now);
+        }
+        was_far
+    }
+
+    /// Scans every shard's resident set at `now`, merging cold
+    /// candidates (idle ≥ threshold) across shards, rate-limiting to the
+    /// globally oldest `scan_batch` pages, and moving the survivors to
+    /// the far set. Locks are taken one shard at a time; candidates
+    /// touched between collection and commit are skipped.
+    pub fn scan(&self, now: Nanos) -> Vec<PageNumber> {
+        self.roll_minute(now);
+        let threshold = self.scan_config.cold_threshold;
+        let mut cold: Vec<(Nanos, u64)> = Vec::new();
+        let mut entry_counts: Vec<u64> = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let s = shard.lock();
+            cold.extend(
+                s.resident
+                    .iter()
+                    .filter(|(_, &last)| now.saturating_sub(last) >= threshold)
+                    .map(|(&p, &last)| (last, p)),
+            );
+            entry_counts.push(s.table.len() as u64);
+        }
+        select_cold_batch(&mut cold, self.scan_config.scan_batch);
+        let mut pages = Vec::with_capacity(cold.len());
+        for &(last, p) in &cold {
+            let pn = PageNumber::new(p);
+            let mut s = self.shards[self.shard_of(pn)].lock();
+            // Re-check: the page may have been touched (or demoted by a
+            // racing scanner) since the candidate was collected.
+            if s.resident.get(&p) == Some(&last) {
+                s.resident.remove(&p);
+                s.far.insert(p);
+                self.far_pages_total.fetch_add(1, Ordering::Relaxed);
+                pages.push(pn);
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            t.shards.update_imbalance(&entry_counts);
+        }
+        pages
+    }
+
+    /// One batched demotion round: scan for cold pages, fetch their
+    /// contents from the caller, and push them through
+    /// [`ShardedSfm::swap_out_batch`]. Returns the demoted pages and the
+    /// per-page outcomes (in the same order).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardedSfm::swap_out_batch`].
+    pub fn demote_cold(
+        &self,
+        now: Nanos,
+        threads: usize,
+        fetch: impl Fn(PageNumber) -> Bytes,
+    ) -> Result<(Vec<PageNumber>, Vec<Result<SwapOutcome>>)> {
+        let cold = self.scan(now);
+        let batch: Vec<(PageNumber, Bytes)> = cold.iter().map(|&p| (p, fetch(p))).collect();
+        let results = self.swap_out_batch(&batch, threads)?;
+        Ok((cold, results))
+    }
+
+    fn roll_minute(&self, now: Nanos) {
+        let minute = Nanos::from_secs(60);
+        // Fast path: no roll due — one relaxed load, no locks.
+        if now.as_ns()
+            < self
+                .minute_start_ns
+                .load(Ordering::Relaxed)
+                .saturating_add(minute.as_ns())
+        {
+            return;
+        }
+        let mut m = self.minute.lock();
+        if now < m.start + minute {
+            return; // another thread rolled first
+        }
+        let mut promoted_pages = self.promoted_this_minute.swap(0, Ordering::Relaxed);
+        while now >= m.start + minute {
+            let far_bytes = ByteSize::from_pages(self.far_pages_total.load(Ordering::Relaxed));
+            let promoted = ByteSize::from_pages(promoted_pages);
+            m.stats = PromotionStats {
+                promoted_last_minute: promoted,
+                far_bytes,
+                promotion_rate: if far_bytes.is_zero() {
+                    0.0
+                } else {
+                    promoted.as_bytes() as f64 / far_bytes.as_bytes() as f64
+                },
+                minutes: m.stats.minutes + 1,
+            };
+            promoted_pages = 0;
+            m.start += minute;
+        }
+        self.minute_start_ns
+            .store(m.start.as_ns(), Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregated views
+    // ------------------------------------------------------------------
+
+    /// Number of resident pages across all shards.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().resident.len()).sum()
+    }
+
+    /// Number of far-memory pages across all shards.
+    #[must_use]
+    pub fn far_pages(&self) -> usize {
+        self.far_pages_total.load(Ordering::Relaxed) as usize
+    }
+
+    /// Fraction of tracked pages currently classified cold (in far
+    /// memory).
+    #[must_use]
+    pub fn cold_fraction(&self) -> f64 {
+        let resident = self.resident_pages();
+        let far = self.far_pages();
+        let total = resident + far;
+        if total == 0 {
+            0.0
+        } else {
+            far as f64 / total as f64
+        }
+    }
+
+    /// Promotion statistics for the last completed minute.
+    #[must_use]
+    pub fn promotion_stats(&self) -> PromotionStats {
+        self.minute.lock().stats
+    }
+
+    /// Merged backend statistics across shards.
+    #[must_use]
+    pub fn stats(&self) -> BackendStats {
+        let mut total = BackendStats::default();
+        for shard in &self.shards {
+            let st = shard.lock().stats;
+            total.swap_outs += st.swap_outs;
+            total.swap_ins += st.swap_ins;
+            total.nma_executions += st.nma_executions;
+            total.cpu_executions += st.cpu_executions;
+            total.cpu_cycles += st.cpu_cycles;
+            total.ddr_bytes += st.ddr_bytes;
+            total.rejected_full += st.rejected_full;
+            total.stored_raw += st.stored_raw;
+        }
+        total
+    }
+
+    /// Merged zpool statistics across shards.
+    #[must_use]
+    pub fn pool_stats(&self) -> ZpoolStats {
+        let mut total = ZpoolStats::default();
+        for shard in &self.shards {
+            let st = shard.lock().pool.stats();
+            total.stored_bytes += st.stored_bytes;
+            total.slot_overhead += st.slot_overhead;
+            total.host_pages += st.host_pages;
+            total.objects += st.objects;
+        }
+        total
+    }
+
+    /// Live compressed entries per shard (for imbalance inspection).
+    #[must_use]
+    pub fn shard_entries(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().table.len() as u64)
+            .collect()
+    }
+
+    /// Republishes per-shard entry gauges and the imbalance gauge.
+    /// No-op when telemetry is detached.
+    pub fn update_shard_gauges(&self) {
+        if let Some(t) = &self.telemetry {
+            t.shards.update_imbalance(&self.shard_entries());
+        }
+    }
+
+    /// Compacts every shard's pool, returning the merged report.
+    pub fn compact_all(&self) -> CompactReport {
+        let mut total = CompactReport::default();
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            let r = s.pool.compact();
+            let Shard {
+                pool, host_pages, ..
+            } = &mut *s;
+            self.sync_host_pages(pool, host_pages);
+            total.moved_objects += r.moved_objects;
+            total.moved_bytes += r.moved_bytes;
+            total.freed_pages += r.freed_pages;
+        }
+        total
+    }
+}
+
+impl SfmBackend for ShardedSfm {
+    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+        ShardedSfm::swap_out(self, page, data)
+    }
+
+    fn swap_in(&mut self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
+        ShardedSfm::swap_in(self, page, do_offload)
+    }
+
+    fn contains(&self, page: PageNumber) -> bool {
+        ShardedSfm::contains(self, page)
+    }
+
+    fn compact(&mut self) -> CompactReport {
+        self.compact_all()
+    }
+
+    fn stats(&self) -> BackendStats {
+        ShardedSfm::stats(self)
+    }
+
+    fn pool_stats(&self) -> ZpoolStats {
+        ShardedSfm::pool_stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CpuBackend;
+    use xfm_compress::Corpus;
+
+    fn page_of(corpus: Corpus, seed: u64) -> Vec<u8> {
+        corpus.generate(seed, PAGE_SIZE)
+    }
+
+    fn plane(shards: usize) -> ShardedSfm {
+        ShardedSfm::new(ShardedSfmConfig {
+            sfm: SfmConfig {
+                region_capacity: ByteSize::from_mib(4),
+                ..SfmConfig::default()
+            },
+            scan: ColdScanConfig::default(),
+            shards,
+        })
+    }
+
+    #[test]
+    fn plane_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedSfm>();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_rejected() {
+        let _ = plane(3);
+    }
+
+    #[test]
+    fn round_trip_across_shard_counts() {
+        for shards in [1usize, 2, 4, 8] {
+            let sfm = plane(shards);
+            for (i, corpus) in Corpus::all().iter().enumerate() {
+                let page = page_of(*corpus, i as u64);
+                sfm.swap_out(PageNumber::new(i as u64), &page).unwrap();
+                assert!(sfm.contains(PageNumber::new(i as u64)));
+                let (restored, _) = sfm.swap_in(PageNumber::new(i as u64), false).unwrap();
+                assert_eq!(restored, page, "{} shards, {}", shards, corpus.name());
+            }
+            assert_eq!(sfm.pool_stats().objects, 0);
+        }
+    }
+
+    #[test]
+    fn hash_routing_spreads_sequential_pages() {
+        let sfm = plane(8);
+        let mut counts = [0usize; 8];
+        for p in 0..8000u64 {
+            counts[sfm.shard_of(PageNumber::new(p))] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "shard {s} got {c} of 8000 sequential pages"
+            );
+        }
+    }
+
+    #[test]
+    fn one_shard_matches_cpu_backend_outcomes() {
+        let sfm = plane(1);
+        let mut cpu = CpuBackend::new(SfmConfig {
+            region_capacity: ByteSize::from_mib(4),
+            ..SfmConfig::default()
+        });
+        for (i, corpus) in Corpus::all().iter().enumerate() {
+            let page = page_of(*corpus, i as u64);
+            let a = sfm.swap_out(PageNumber::new(i as u64), &page).unwrap();
+            let b = cpu.swap_out(PageNumber::new(i as u64), &page).unwrap();
+            assert_eq!(a, b, "{}", corpus.name());
+        }
+        assert_eq!(ShardedSfm::stats(&sfm), cpu.stats());
+        assert_eq!(ShardedSfm::pool_stats(&sfm), cpu.pool_stats());
+        for i in 0..Corpus::all().len() as u64 {
+            let (da, oa) = sfm.swap_in(PageNumber::new(i), false).unwrap();
+            let (db, ob) = cpu.swap_in(PageNumber::new(i), false).unwrap();
+            assert_eq!(da, db);
+            assert_eq!(oa, ob);
+        }
+        assert_eq!(ShardedSfm::stats(&sfm), cpu.stats());
+    }
+
+    #[test]
+    fn capacity_budget_is_global_across_shards() {
+        // Two raw pages fill the 2-page global budget no matter which
+        // shards they land on.
+        let sfm = ShardedSfm::new(ShardedSfmConfig {
+            sfm: SfmConfig {
+                region_capacity: ByteSize::from_pages(2),
+                ..SfmConfig::default()
+            },
+            scan: ColdScanConfig::default(),
+            shards: 4,
+        });
+        let pages: Vec<Vec<u8>> = (0..3)
+            .map(|i| page_of(Corpus::RandomBytes, 7 + i))
+            .collect();
+        sfm.swap_out(PageNumber::new(0), &pages[0]).unwrap();
+        sfm.swap_out(PageNumber::new(1), &pages[1]).unwrap();
+        assert!(matches!(
+            sfm.swap_out(PageNumber::new(2), &pages[2]),
+            Err(Error::SfmRegionFull)
+        ));
+        assert_eq!(ShardedSfm::stats(&sfm).rejected_full, 1);
+        // Swapping one in frees global budget for any shard.
+        sfm.swap_in(PageNumber::new(0), false).unwrap();
+        sfm.swap_out(PageNumber::new(2), &pages[2]).unwrap();
+    }
+
+    #[test]
+    fn batch_matches_sequential_swap_out() {
+        let batch_plane = plane(4);
+        let seq_plane = plane(4);
+        let batch: Vec<(PageNumber, Bytes)> = (0..24u64)
+            .map(|i| {
+                let data = if i % 7 == 0 {
+                    vec![0xAAu8; PAGE_SIZE]
+                } else {
+                    page_of(Corpus::all()[i as usize % Corpus::all().len()], i)
+                };
+                (PageNumber::new(i), Bytes::from(data))
+            })
+            .collect();
+        let results = batch_plane.swap_out_batch(&batch, 4).unwrap();
+        assert_eq!(results.len(), batch.len());
+        for ((page, data), res) in batch.iter().zip(&results) {
+            let seq = seq_plane.swap_out(*page, data).unwrap();
+            assert_eq!(res.as_ref().unwrap(), &seq);
+        }
+        assert_eq!(
+            ShardedSfm::stats(&batch_plane),
+            ShardedSfm::stats(&seq_plane)
+        );
+        assert_eq!(
+            ShardedSfm::pool_stats(&batch_plane),
+            ShardedSfm::pool_stats(&seq_plane)
+        );
+        // Every page faults back identical on both planes.
+        for (page, data) in &batch {
+            let (a, _) = batch_plane.swap_in(*page, false).unwrap();
+            let (b, _) = seq_plane.swap_in(*page, false).unwrap();
+            assert_eq!(&a[..], &data[..]);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_page_errors() {
+        let sfm = plane(2);
+        let good = page_of(Corpus::Json, 1);
+        sfm.swap_out(PageNumber::new(5), &good).unwrap();
+        let batch = vec![
+            (PageNumber::new(5), Bytes::from(good.clone())), // duplicate
+            (PageNumber::new(6), Bytes::from(vec![1u8; 10])), // wrong size
+            (PageNumber::new(7), Bytes::from(good.clone())), // fine
+        ];
+        let results = sfm.swap_out_batch(&batch, 2).unwrap();
+        assert!(matches!(results[0], Err(Error::EntryExists { page: 5 })));
+        assert!(matches!(results[1], Err(Error::InvalidConfig(_))));
+        assert!(results[2].is_ok());
+        assert!(sfm.contains(PageNumber::new(7)));
+    }
+
+    #[test]
+    fn touch_scan_prefetch_mirror_controller() {
+        use crate::SfmController;
+        let scan = ColdScanConfig {
+            cold_threshold: Nanos::from_secs(1),
+            scan_batch: 3,
+        };
+        let sfm = ShardedSfm::new(ShardedSfmConfig {
+            sfm: SfmConfig::default(),
+            scan,
+            shards: 4,
+        });
+        let mut ctl = SfmController::new(scan);
+        for p in 0..10u64 {
+            let now = Nanos::from_ms(p);
+            assert_eq!(
+                sfm.touch(PageNumber::new(p), now),
+                ctl.touch(PageNumber::new(p), now)
+            );
+        }
+        // Rate-limited scans drain in the same global age order.
+        for _ in 0..4 {
+            assert_eq!(sfm.scan(Nanos::from_secs(2)), ctl.scan(Nanos::from_secs(2)));
+            assert_eq!(sfm.far_pages(), ctl.far_pages());
+            assert_eq!(sfm.resident_pages(), ctl.resident_pages());
+        }
+        // Promotions on fault and on prefetch.
+        assert_eq!(
+            sfm.touch(PageNumber::new(0), Nanos::from_secs(3)),
+            ctl.touch(PageNumber::new(0), Nanos::from_secs(3))
+        );
+        assert_eq!(
+            sfm.prefetch(PageNumber::new(1), Nanos::from_secs(4)),
+            ctl.prefetch(PageNumber::new(1), Nanos::from_secs(4))
+        );
+        assert!((sfm.cold_fraction() - ctl.cold_fraction()).abs() < 1e-12);
+        // Minute roll produces the same promotion stats.
+        sfm.touch(PageNumber::new(0), Nanos::from_secs(61));
+        ctl.touch(PageNumber::new(0), Nanos::from_secs(61));
+        assert_eq!(sfm.promotion_stats(), ctl.promotion_stats());
+    }
+
+    #[test]
+    fn demote_cold_scans_and_stores() {
+        let sfm = ShardedSfm::new(ShardedSfmConfig {
+            sfm: SfmConfig {
+                region_capacity: ByteSize::from_mib(4),
+                ..SfmConfig::default()
+            },
+            scan: ColdScanConfig {
+                cold_threshold: Nanos::from_secs(1),
+                scan_batch: 0,
+            },
+            shards: 4,
+        });
+        let contents: Vec<Bytes> = (0..16u64)
+            .map(|i| Bytes::from(page_of(Corpus::Json, i)))
+            .collect();
+        for p in 0..16u64 {
+            sfm.touch(PageNumber::new(p), Nanos::ZERO);
+        }
+        let (cold, results) = sfm
+            .demote_cold(Nanos::from_secs(2), 4, |p| {
+                contents[p.index() as usize].clone()
+            })
+            .unwrap();
+        assert_eq!(cold.len(), 16);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(sfm.far_pages(), 16);
+        for p in 0..16u64 {
+            let (restored, _) = sfm.swap_in(PageNumber::new(p), false).unwrap();
+            assert_eq!(&restored[..], &contents[p as usize][..]);
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_traffic_is_safe() {
+        // 4 threads × disjoint page ranges, mixed fault/swap-out traffic.
+        let sfm = Arc::new(plane(4));
+        const PER_THREAD: u64 = 40;
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let sfm = Arc::clone(&sfm);
+                scope.spawn(move || {
+                    let base = t * PER_THREAD;
+                    let mut buf = Vec::with_capacity(PAGE_SIZE);
+                    for i in 0..PER_THREAD {
+                        let p = PageNumber::new(base + i);
+                        let data = page_of(Corpus::Csv, base + i);
+                        sfm.swap_out(p, &data).unwrap();
+                        sfm.swap_in_into(p, false, &mut buf).unwrap();
+                        assert_eq!(buf, data);
+                    }
+                });
+            }
+        });
+        let stats = ShardedSfm::stats(&sfm);
+        assert_eq!(stats.swap_outs, 4 * PER_THREAD);
+        assert_eq!(stats.swap_ins, 4 * PER_THREAD);
+        assert_eq!(ShardedSfm::pool_stats(&sfm).objects, 0);
+    }
+
+    #[test]
+    fn telemetry_records_per_shard_series() {
+        let registry = Registry::new();
+        let mut sfm = plane(2);
+        sfm.attach_telemetry(&registry);
+        for i in 0..8u64 {
+            sfm.swap_out(PageNumber::new(i), &page_of(Corpus::Json, i))
+                .unwrap();
+        }
+        sfm.update_shard_gauges();
+        let s = registry.snapshot();
+        assert_eq!(s.counters["xfm_swap_outs_total"], 8);
+        let per_shard: u64 = (0..2)
+            .map(|i| s.counters[&format!("xfm_shard_swap_outs_total{{shard=\"{i}\"}}")])
+            .sum();
+        assert_eq!(per_shard, 8);
+        assert!(s.gauges["xfm_shard_imbalance"] >= 1.0);
+        for i in 0..8u64 {
+            sfm.swap_in(PageNumber::new(i), false).unwrap();
+        }
+        let s = registry.snapshot();
+        let busy: u64 = (0..2)
+            .map(|i| s.counters[&format!("xfm_shard_busy_ns_total{{shard=\"{i}\"}}")])
+            .sum();
+        assert!(busy > 0, "shard busy time must accumulate");
+    }
+}

@@ -194,6 +194,22 @@ impl Zpool {
         (self.pages.len() - self.free_page_slots.len()) as u64
     }
 
+    /// Whether storing an object of `len` bytes would require growing
+    /// the pool by a new host page (no live page of the matching size
+    /// class has a free slot).
+    ///
+    /// Read-only companion to [`Zpool::alloc`]: the sharded data plane
+    /// uses it to enforce a *global* capacity budget across per-shard
+    /// pools before committing an allocation, without mutating any pool.
+    #[must_use]
+    pub fn would_grow(&self, len: usize) -> bool {
+        let class = Self::class_of(len);
+        !self.pages.iter().any(|p| {
+            p.as_ref()
+                .is_some_and(|p| p.class == class && p.used < p.num_slots())
+        })
+    }
+
     /// Stores `data`, returning a stable handle.
     ///
     /// # Errors
@@ -484,6 +500,24 @@ mod tests {
     #[test]
     fn empty_pool_utilization_is_zero() {
         assert_eq!(pool().stats().utilization(), 0.0);
+    }
+
+    #[test]
+    fn would_grow_tracks_free_slots_per_class() {
+        let mut p = pool();
+        assert!(p.would_grow(100), "empty pool always grows");
+        let h = p.alloc(&[1u8; 100]).unwrap();
+        assert!(!p.would_grow(100), "31 free 128 B slots remain");
+        assert!(p.would_grow(300), "no 320 B-class page yet");
+        // Fill the remaining slots of the 128 B class.
+        let rest: Vec<_> = (0..31).map(|_| p.alloc(&[2u8; 100]).unwrap()).collect();
+        assert!(p.would_grow(100), "class page is full");
+        p.free(h).unwrap();
+        assert!(!p.would_grow(100), "freed slot is reusable");
+        for h in rest {
+            p.free(h).unwrap();
+        }
+        assert!(p.would_grow(100), "empty host pages return to the region");
     }
 
     #[test]

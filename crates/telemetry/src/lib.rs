@@ -52,6 +52,7 @@ pub mod counter;
 pub mod export;
 pub mod hist;
 pub mod registry;
+pub mod shard_metrics;
 pub mod swap_metrics;
 pub mod trace;
 
@@ -59,5 +60,6 @@ pub use counter::{Counter, Gauge};
 pub use export::{HistogramSnapshot, Snapshot};
 pub use hist::Histogram;
 pub use registry::Registry;
+pub use shard_metrics::ShardMetrics;
 pub use swap_metrics::SwapMetrics;
 pub use trace::{Cause, Span, SpanTrace, SwapStage};
