@@ -16,3 +16,9 @@ cargo clippy --all-targets --workspace -- -D warnings
 # Swap throughput bench, smoke mode: runs the 1/2/4/8-shard matrix at a
 # tiny size and self-validates the emitted JSON (nonzero exit on failure).
 cargo run --release -p xfm-bench --bin xfm-swap-bench -- --smoke
+# Chaos smoke (opt-in via `./ci.sh --chaos`): the seeded fault-injection
+# harness must survive an all-sites storm with zero lost pages, bounded
+# retries, and telemetry-visible degraded-mode transitions.
+if [[ "${1:-}" == "--chaos" ]]; then
+    cargo run --release -p xfm-bench --bin xfm-fault-bench -- --smoke
+fi

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use xfm_compress::Corpus;
 use xfm_core::backend::{XfmBackend, XfmBackendConfig};
-use xfm_sfm::{CpuBackend, SfmBackend, SfmConfig, TraceConfig, TraceGenerator, Zpool};
+use xfm_sfm::{CpuBackend, SfmConfig, TraceConfig, TraceGenerator, Zpool};
 use xfm_types::{ByteSize, Nanos, PageNumber, PAGE_SIZE};
 
 fn bench(c: &mut Criterion) {
@@ -61,7 +61,7 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(PAGE_SIZE as u64));
     group.sample_size(20);
     group.bench_function("cpu_backend", |b| {
-        let mut backend = CpuBackend::new(SfmConfig::default());
+        let backend = CpuBackend::new(SfmConfig::default());
         let page = Corpus::Json.generate(1, PAGE_SIZE);
         let mut i = 0u64;
         b.iter(|| {
@@ -72,7 +72,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.bench_function("xfm_backend", |b| {
-        let mut backend = XfmBackend::new(XfmBackendConfig::default());
+        let backend = XfmBackend::new(XfmBackendConfig::default());
         backend.advance_to(Nanos::from_ms(1));
         let page = Corpus::Json.generate(1, PAGE_SIZE);
         let mut i = 0u64;

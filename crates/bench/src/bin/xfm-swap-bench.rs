@@ -34,7 +34,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use xfm_compress::Corpus;
-use xfm_sfm::{ColdScanConfig, CpuBackend, SfmBackend, SfmConfig, ShardedSfm, ShardedSfmConfig};
+use xfm_sfm::{ColdScanConfig, CpuBackend, SfmConfig, ShardedSfm, ShardedSfmConfig};
 use xfm_telemetry::Registry;
 use xfm_types::{ByteSize, PageNumber, PAGE_SIZE};
 
@@ -110,7 +110,7 @@ fn drive_sharded(sfm: &ShardedSfm, worker: usize, wl: Workload, contents: &[Vec<
 }
 
 /// The identical traffic against the pre-existing single-threaded path.
-fn drive_cpu(backend: &mut CpuBackend, worker: usize, wl: Workload, contents: &[Vec<u8>]) -> u64 {
+fn drive_cpu(backend: &CpuBackend, worker: usize, wl: Workload, contents: &[Vec<u8>]) -> u64 {
     let base = (worker * wl.pages_per_worker) as u64;
     let mut swapped_out = vec![false; wl.pages_per_worker];
     let mut ops = 0u64;
@@ -333,14 +333,14 @@ fn main() {
         .collect();
 
     // Pre-PR single-threaded baseline: the unsharded CpuBackend.
-    let mut cpu = CpuBackend::new(SfmConfig {
+    let cpu = CpuBackend::new(SfmConfig {
         region_capacity: ByteSize::from_mib(16),
         ..SfmConfig::default()
     });
     let start = Instant::now();
     let mut baseline_ops = 0u64;
     for (w, c) in contents.iter().enumerate() {
-        baseline_ops += drive_cpu(&mut cpu, w, wl, c);
+        baseline_ops += drive_cpu(&cpu, w, wl, c);
     }
     let baseline_pps = baseline_ops as f64 / start.elapsed().as_secs_f64();
 

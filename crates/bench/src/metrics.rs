@@ -17,7 +17,6 @@ use xfm_core::backend::XfmBackendConfig;
 use xfm_core::{XfmConfig, XfmSystem};
 use xfm_dram::controller::MemSystem;
 use xfm_dram::{DramTimings, SystemGeometry};
-use xfm_sfm::backend::SfmBackend;
 use xfm_sfm::controller::ColdScanConfig;
 use xfm_sim::corun::{evaluate_traced, CorunConfig, SfmMode};
 use xfm_sim::fallback::{simulate_traced, FallbackConfig};
@@ -103,13 +102,13 @@ fn swap_path_exercise(registry: &Registry) -> Result<()> {
     let cold = sys.scan_cold(scan_at);
     for page in &cold {
         let data = Corpus::Json.generate(page.index(), PAGE_SIZE);
-        sys.backend_mut().swap_out(*page, &data)?;
+        sys.backend().swap_out(*page, &data)?;
     }
     // Let the refresh calendar run so offloads complete and the drivers
     // publish per-rank window-utilization gauges.
     sys.advance_to(Nanos::from_secs(3));
     for page in &cold {
-        let (restored, _) = sys.backend_mut().swap_in(*page, false)?;
+        let (restored, _) = sys.backend().swap_in(*page, false)?;
         debug_assert_eq!(restored.len(), PAGE_SIZE);
     }
     sys.advance_to(Nanos::from_secs(4));

@@ -1,20 +1,33 @@
-//! The `XFM_Backend`: an [`SfmBackend`] that offloads (de)compression to
+//! The `XFM_Backend`: a [`SwapPlane`] that offloads (de)compression to
 //! the near-memory accelerators, with `CPU_Fallback` (paper §6).
 //!
 //! Control flow mirrors the paper exactly:
 //!
-//! - `xfm_swap_out` (our [`SfmBackend::swap_out`]) checks SFM space plus
+//! - `xfm_swap_out` (our [`XfmBackend::swap_out`]) checks SFM space plus
 //!   NMA resources *lazily* (through each [`XfmDriver`]'s inferred SPM
 //!   occupancy), falls back to the CPU when the device rejects the
 //!   offload, and otherwise pushes the page into the
 //!   `Compress_Request_Queue`;
-//! - `xfm_swap_in` (our [`SfmBackend::swap_in`]) looks the page up in
+//! - `xfm_swap_in` (our [`XfmBackend::swap_in`]) looks the page up in
 //!   the entry table and calls `CPU_Fallback` **by default**, unless the
 //!   `do_offload` parameter is asserted (prefetch path), "as
 //!   applications may be sensitive to the decompression latencies
 //!   incurred by XFM's datapath";
 //! - multi-channel mode stripes the page across `n_dimms` accelerators
 //!   and stores the same-offset container (see [`crate::multichannel`]).
+//!
+//! On top of the paper's per-operation fallback, this backend layers the
+//! operational failure model:
+//!
+//! - every stored block carries an XXH64 checksum, verified at swap-in
+//!   *before* the entry is consumed — a corrupted fetch surfaces as a
+//!   retryable [`Error::ChecksumMismatch`] with the stored copy intact;
+//! - transient NMA rejects (queue full, SPM pressure) can be retried
+//!   with exponential backoff ([`XfmBackend::set_retry_policy`]), each
+//!   backoff advancing the clock so refresh windows drain the device;
+//! - a sticky degraded-mode state machine
+//!   ([`xfm_faults::DegradeController`]) stops submitting doomed
+//!   offloads when the failure rate spikes and probes its way back.
 //!
 //! Functionally, results are materialized synchronously with the same
 //! codec the engines run, so data integrity holds end to end; *timing*
@@ -25,13 +38,17 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use parking_lot::Mutex;
 use xfm_compress::{CodecKind, CostModel, XDeflate};
-use xfm_sfm::backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
+use xfm_faults::{DegradeConfig, DegradeController, DegradedMode, FaultInjector, RetryPolicy};
+use xfm_sfm::backend::{BackendStats, ExecutedOn, SfmConfig, SwapOutcome, SwapPlane};
 use xfm_sfm::table::{SfmEntry, SfmTable};
 use xfm_sfm::zpool::{CompactReport, Zpool, ZpoolStats};
 use xfm_telemetry::swap_metrics::Stopwatch;
 use xfm_telemetry::{Cause, Gauge, Registry, SwapMetrics, SwapStage};
-use xfm_types::{ByteSize, Cycles, Error, Nanos, PageNumber, Result, RowId, PAGE_SIZE};
+use xfm_types::{
+    ByteSize, Cycles, Error, Nanos, PageNumber, Result, RowId, SwapError, SwapResult, PAGE_SIZE,
+};
 
 use crate::driver::XfmDriver;
 use crate::multichannel::{container_shares, pack_page, unpack_page};
@@ -48,6 +65,8 @@ struct XfmTelemetry {
     rank_util: Vec<Arc<Gauge>>,
     /// `xfm_refresh_windows_processed{rank="i"}`, one per DIMM.
     rank_windows: Vec<Arc<Gauge>>,
+    /// `xfm_degraded_mode`: the [`DegradedMode::level`] encoding.
+    degraded_mode: Arc<Gauge>,
 }
 
 /// Configuration for the XFM backend.
@@ -77,14 +96,18 @@ impl Default for XfmBackendConfig {
 
 /// The XFM backend.
 ///
+/// The whole data-path surface is `&self` (the [`SwapPlane`] contract):
+/// one mutex fronts the single-owner state, so the backend can be
+/// shared across threads and boxed as a `dyn SwapPlane` next to the CPU
+/// baseline.
+///
 /// # Examples
 ///
 /// ```
 /// use xfm_core::backend::{XfmBackend, XfmBackendConfig};
-/// use xfm_sfm::SfmBackend;
 /// use xfm_types::{Nanos, PageNumber};
 ///
-/// let mut b = XfmBackend::new(XfmBackendConfig::default());
+/// let b = XfmBackend::new(XfmBackendConfig::default());
 /// b.advance_to(Nanos::from_ms(1));
 /// let page = b"compressible cold page data. ".repeat(142)[..4096].to_vec();
 /// let out = b.swap_out(PageNumber::new(1), &page)?;
@@ -93,6 +116,13 @@ impl Default for XfmBackendConfig {
 /// # Ok::<(), xfm_types::Error>(())
 /// ```
 pub struct XfmBackend {
+    config: XfmBackendConfig,
+    inner: Mutex<XfmInner>,
+}
+
+/// Single-owner state behind the mutex; every data-path method lives
+/// here so the public wrappers are one lock acquisition each.
+struct XfmInner {
     config: XfmBackendConfig,
     drivers: Vec<XfmDriver>,
     codec: XDeflate,
@@ -106,59 +136,91 @@ pub struct XfmBackend {
     now: Nanos,
     /// Attached observability sink; `None` costs nothing on the hot path.
     telemetry: Option<XfmTelemetry>,
+    /// Fault hooks for the host-side store and fetch paths
+    /// (`zpool_store_failure`, `bit_corruption`); the device-side sites
+    /// live in the drivers.
+    faults: Option<Arc<FaultInjector>>,
+    /// Bounded retry for transient NMA rejects. Defaults to
+    /// [`RetryPolicy::none`] so an unconfigured backend keeps the
+    /// paper's single-attempt try-then-fallback semantics.
+    retry: RetryPolicy,
+    /// Sticky degraded-mode state machine gating offload attempts.
+    degrade: DegradeController,
 }
 
 impl std::fmt::Debug for XfmBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
         f.debug_struct("XfmBackend")
             .field("n_dimms", &self.config.n_dimms)
-            .field("entries", &self.table.len())
-            .field("now", &self.now)
+            .field("entries", &inner.table.len())
+            .field("now", &inner.now)
+            .field("mode", &inner.degrade.mode())
             .finish_non_exhaustive()
     }
 }
 
 impl XfmBackend {
-    /// Creates a backend with `n_dimms` accelerators.
+    /// Creates a backend with `n_dimms` accelerators, propagating
+    /// configuration failures instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `n_dimms` is not 1, 2, or 4
+    /// (the paper's configurations), or when `xfm_paramset` rejects the
+    /// per-DIMM region slice (e.g. a zero-sized region).
+    pub fn try_new(config: XfmBackendConfig) -> Result<Self> {
+        if ![1, 2, 4].contains(&config.n_dimms) {
+            return Err(Error::InvalidConfig(format!(
+                "multi-channel mode supports 1, 2, or 4 DIMMs, got {}",
+                config.n_dimms
+            )));
+        }
+        let mut drivers = Vec::with_capacity(config.n_dimms);
+        for i in 0..config.n_dimms {
+            let mut d = XfmDriver::new(NearMemoryAccelerator::new(config.nma));
+            d.xfm_paramset(
+                xfm_types::PhysAddr::new(i as u64 * config.sfm.region_capacity.as_bytes()),
+                config.sfm.region_capacity / config.n_dimms as u64,
+            )?;
+            drivers.push(d);
+        }
+        Ok(Self {
+            config,
+            inner: Mutex::new(XfmInner {
+                drivers,
+                codec: XDeflate::default(),
+                cost: CostModel::paper_average(),
+                pool: Zpool::new(config.sfm.region_capacity),
+                table: SfmTable::new(),
+                stats: BackendStats::default(),
+                late_fallbacks: 0,
+                now: Nanos::ZERO,
+                telemetry: None,
+                faults: None,
+                retry: RetryPolicy::none(),
+                degrade: DegradeController::new(DegradeConfig::default()),
+                config,
+            }),
+        })
+    }
+
+    /// Creates a backend with `n_dimms` accelerators: the panicking
+    /// convenience over [`XfmBackend::try_new`].
     ///
     /// # Panics
     ///
-    /// Panics if `n_dimms` is not 1, 2, or 4 (the paper's configurations).
+    /// Panics on any configuration [`XfmBackend::try_new`] rejects.
     #[must_use]
     pub fn new(config: XfmBackendConfig) -> Self {
-        assert!(
-            [1, 2, 4].contains(&config.n_dimms),
-            "multi-channel mode supports 1, 2, or 4 DIMMs"
-        );
-        let drivers = (0..config.n_dimms)
-            .map(|i| {
-                let mut d = XfmDriver::new(NearMemoryAccelerator::new(config.nma));
-                d.xfm_paramset(
-                    xfm_types::PhysAddr::new(i as u64 * config.sfm.region_capacity.as_bytes()),
-                    config.sfm.region_capacity / config.n_dimms as u64,
-                )
-                .expect("paramset on fresh device");
-                d
-            })
-            .collect();
-        Self {
-            drivers,
-            codec: XDeflate::default(),
-            cost: CostModel::paper_average(),
-            pool: Zpool::new(config.sfm.region_capacity),
-            table: SfmTable::new(),
-            stats: BackendStats::default(),
-            late_fallbacks: 0,
-            now: Nanos::ZERO,
-            telemetry: None,
-            config,
-        }
+        Self::try_new(config).expect("valid XFM backend configuration")
     }
 
     /// Attaches a telemetry registry: swap-path counters, latency
-    /// histograms, span tracing, and per-DIMM refresh-window utilization
-    /// gauges (`xfm_refresh_window_utilization{rank="i"}`). Gauges are
-    /// refreshed on every [`XfmBackend::advance_to`].
+    /// histograms, span tracing, per-DIMM refresh-window utilization
+    /// gauges (`xfm_refresh_window_utilization{rank="i"}`), and the
+    /// `xfm_degraded_mode` gauge. Window gauges are refreshed on every
+    /// [`XfmBackend::advance_to`]; the mode gauge on every transition.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         let rank_util = (0..self.config.n_dimms)
             .map(|i| registry.gauge(&format!("xfm_refresh_window_utilization{{rank=\"{i}\"}}")))
@@ -166,16 +228,295 @@ impl XfmBackend {
         let rank_windows = (0..self.config.n_dimms)
             .map(|i| registry.gauge(&format!("xfm_refresh_windows_processed{{rank=\"{i}\"}}")))
             .collect();
-        self.telemetry = Some(XfmTelemetry {
+        let degraded_mode = registry.gauge("xfm_degraded_mode");
+        let mut inner = self.inner.lock();
+        degraded_mode.set(f64::from(inner.degrade.mode().level()));
+        inner.telemetry = Some(XfmTelemetry {
             metrics: SwapMetrics::register(registry),
             rank_util,
             rank_windows,
+            degraded_mode,
         });
+    }
+
+    /// Arms fault-injection hooks across the whole stack: every driver's
+    /// device (admission, engine, and window-scheduler sites) plus the
+    /// host-side store and fetch paths (`zpool_store_failure`,
+    /// `bit_corruption`).
+    pub fn attach_faults(&mut self, faults: Arc<FaultInjector>) {
+        let mut inner = self.inner.lock();
+        for d in &mut inner.drivers {
+            d.attach_faults(Arc::clone(&faults));
+        }
+        inner.faults = Some(faults);
+    }
+
+    /// Sets the bounded retry policy for transient NMA rejects (queue
+    /// full, SPM pressure). The default is [`RetryPolicy::none`]: a
+    /// single attempt, matching the paper's try-then-fallback semantics.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.inner.lock().retry = policy;
+    }
+
+    /// Replaces the degraded-mode state machine with a fresh controller
+    /// using `config` (resetting to the healthy state).
+    pub fn set_degrade_config(&mut self, config: DegradeConfig) {
+        self.inner.lock().degrade = DegradeController::new(config);
+    }
+
+    /// Current degraded-mode level.
+    #[must_use]
+    pub fn degraded_mode(&self) -> DegradedMode {
+        self.inner.lock().degrade.mode()
+    }
+
+    /// Degraded-mode transitions so far.
+    #[must_use]
+    pub fn degrade_transitions(&self) -> u64 {
+        self.inner.lock().degrade.transitions()
     }
 
     /// Advances simulated time: drains refresh windows on every DIMM and
     /// resolves late (structural-hazard) fallbacks.
-    pub fn advance_to(&mut self, now: Nanos) {
+    pub fn advance_to(&self, now: Nanos) {
+        self.inner.lock().advance_clock(now);
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.inner.lock().now
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &XfmBackendConfig {
+        &self.config
+    }
+
+    /// Offloads the scheduler spilled after acceptance.
+    #[must_use]
+    pub fn late_fallbacks(&self) -> u64 {
+        self.inner.lock().late_fallbacks
+    }
+
+    /// Aggregated accelerator statistics across DIMMs.
+    #[must_use]
+    pub fn nma_stats(&self) -> NmaStats {
+        let inner = self.inner.lock();
+        let mut total = NmaStats::default();
+        for d in &inner.drivers {
+            let s = d.stats();
+            total.submitted += s.submitted;
+            total.completed += s.completed;
+            total.fallbacks += s.fallbacks;
+            total.rejected += s.rejected;
+            total.total_latency += s.total_latency;
+            total.spm_high_water = total.spm_high_water.max(s.spm_high_water);
+            total.sched.conditional += s.sched.conditional;
+            total.sched.random += s.sched.random;
+            total.sched.spilled += s.sched.spilled;
+            total.sched.windows = total.sched.windows.max(s.sched.windows);
+            total.sched.side_channel_bytes += s.sched.side_channel_bytes;
+            total.sched.wait_windows += s.sched.wait_windows;
+            total.sched.subarray_conflicts += s.sched.subarray_conflicts;
+        }
+        total
+    }
+
+    /// Fraction of swap operations that had to run on the CPU, counting
+    /// both up-front rejections and late structural hazards — Fig. 12's
+    /// y-axis.
+    #[must_use]
+    pub fn cpu_fallback_fraction(&self) -> f64 {
+        let inner = self.inner.lock();
+        let cpu_ops = inner.stats.cpu_executions + inner.late_fallbacks;
+        let total = inner.stats.nma_executions + cpu_ops;
+        if total == 0 {
+            0.0
+        } else {
+            cpu_ops as f64 / total as f64
+        }
+    }
+
+    /// Number of pages currently held by the SFM entry table.
+    #[must_use]
+    pub fn table_len(&self) -> usize {
+        self.inner.lock().table.len()
+    }
+
+    /// Compresses `data` (one 4 KiB page) into the SFM under `page`,
+    /// offloading to the NMA when eligible.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::EntryExists`] if the page is already out;
+    /// - [`Error::SfmRegionFull`] if the region cannot hold it even
+    ///   after compaction;
+    /// - [`Error::InvalidConfig`] if `data` is not 4 KiB.
+    pub fn swap_out(&self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+        self.inner.lock().swap_out(page, data)
+    }
+
+    /// Decompresses `page` back out of the SFM, removing its entry.
+    /// `do_offload` asserts the prefetch path (paper §6): demand faults
+    /// default to `CPU_Fallback`.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::EntryNotFound`] if the page is not in the SFM;
+    /// - [`Error::ChecksumMismatch`] if the fetched bytes fail
+    ///   verification — the entry and slot are left intact, so a retry
+    ///   re-reads the stored copy;
+    /// - [`Error::Corrupt`] if stored data fails to decompress.
+    pub fn swap_in(&self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
+        let mut out = Vec::with_capacity(PAGE_SIZE);
+        let outcome = self.inner.lock().swap_in_into(page, do_offload, &mut out)?;
+        Ok((out, outcome))
+    }
+
+    /// Like [`XfmBackend::swap_in`], but decompresses into the caller's
+    /// reusable buffer (`out` is cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`XfmBackend::swap_in`].
+    pub fn swap_in_into(
+        &self,
+        page: PageNumber,
+        do_offload: bool,
+        out: &mut Vec<u8>,
+    ) -> Result<SwapOutcome> {
+        self.inner.lock().swap_in_into(page, do_offload, out)
+    }
+
+    /// Batched demotion pipeline (the paper §6 `Compress_Request_Queue`
+    /// drained by a worker pool): packs every eligible batch page in
+    /// parallel over `threads` workers, then performs offload attempts
+    /// and store-backs sequentially **in submission order**, so driver
+    /// state, pool packing, statistics, and telemetry evolve exactly as
+    /// the equivalent sequence of [`XfmBackend::swap_out`] calls.
+    ///
+    /// Per-page failures (duplicate entries, wrong-sized pages, a full
+    /// region) come back as the corresponding slot's `Err` without
+    /// disturbing the rest of the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `threads` is zero; per-page
+    /// errors are reported inside the result vector instead.
+    pub fn swap_out_batch(
+        &self,
+        batch: &[(PageNumber, Bytes)],
+        threads: usize,
+    ) -> Result<Vec<Result<SwapOutcome>>> {
+        self.inner.lock().swap_out_batch(batch, threads)
+    }
+
+    /// Whether `page` currently lives in the SFM.
+    #[must_use]
+    pub fn contains(&self, page: PageNumber) -> bool {
+        self.inner.lock().table.contains(page)
+    }
+
+    /// The paper's `xfm_compact()`: shifts pages with memcpys. The DDR
+    /// traffic is charged to the CPU path here (compaction runs on the
+    /// host in the prototype).
+    pub fn compact(&self) -> CompactReport {
+        let mut inner = self.inner.lock();
+        let report = inner.pool.compact();
+        inner.stats.ddr_bytes += report.moved_bytes * 2;
+        report
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> BackendStats {
+        self.inner.lock().stats
+    }
+
+    /// Zpool-level statistics.
+    #[must_use]
+    pub fn pool_stats(&self) -> ZpoolStats {
+        self.inner.lock().pool.stats()
+    }
+}
+
+impl SwapPlane for XfmBackend {
+    fn swap_out(&self, page: PageNumber, data: &[u8]) -> SwapResult<SwapOutcome> {
+        XfmBackend::swap_out(self, page, data).map_err(SwapError::from)
+    }
+
+    fn swap_in_into(
+        &self,
+        page: PageNumber,
+        do_offload: bool,
+        out: &mut Vec<u8>,
+    ) -> SwapResult<SwapOutcome> {
+        XfmBackend::swap_in_into(self, page, do_offload, out).map_err(SwapError::from)
+    }
+
+    fn swap_out_batch(
+        &self,
+        batch: &[(PageNumber, Bytes)],
+        threads: usize,
+    ) -> SwapResult<Vec<SwapResult<SwapOutcome>>> {
+        XfmBackend::swap_out_batch(self, batch, threads)
+            .map(|results| {
+                results
+                    .into_iter()
+                    .map(|r| r.map_err(SwapError::from))
+                    .collect()
+            })
+            .map_err(SwapError::from)
+    }
+
+    fn contains(&self, page: PageNumber) -> bool {
+        XfmBackend::contains(self, page)
+    }
+
+    fn compact(&self) -> CompactReport {
+        XfmBackend::compact(self)
+    }
+
+    fn stats(&self) -> BackendStats {
+        XfmBackend::stats(self)
+    }
+
+    fn pool_stats(&self) -> ZpoolStats {
+        XfmBackend::pool_stats(self)
+    }
+}
+
+#[allow(deprecated)]
+impl xfm_sfm::backend::SfmBackend for XfmBackend {
+    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+        XfmBackend::swap_out(self, page, data)
+    }
+
+    fn swap_in(&mut self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
+        XfmBackend::swap_in(self, page, do_offload)
+    }
+
+    fn contains(&self, page: PageNumber) -> bool {
+        XfmBackend::contains(self, page)
+    }
+
+    fn compact(&mut self) -> CompactReport {
+        XfmBackend::compact(self)
+    }
+
+    fn stats(&self) -> BackendStats {
+        XfmBackend::stats(self)
+    }
+
+    fn pool_stats(&self) -> ZpoolStats {
+        XfmBackend::pool_stats(self)
+    }
+}
+
+impl XfmInner {
+    fn advance_clock(&mut self, now: Nanos) {
         self.now = self.now.max(now);
         for d in &mut self.drivers {
             for event in d.poll(now) {
@@ -226,69 +567,90 @@ impl XfmBackend {
         }
     }
 
-    /// Current simulated time.
-    #[must_use]
-    pub fn now(&self) -> Nanos {
-        self.now
-    }
-
-    /// The configuration in use.
-    #[must_use]
-    pub fn config(&self) -> &XfmBackendConfig {
-        &self.config
-    }
-
-    /// Offloads the scheduler spilled after acceptance.
-    #[must_use]
-    pub fn late_fallbacks(&self) -> u64 {
-        self.late_fallbacks
-    }
-
-    /// Aggregated accelerator statistics across DIMMs.
-    #[must_use]
-    pub fn nma_stats(&self) -> NmaStats {
-        let mut total = NmaStats::default();
-        for d in &self.drivers {
-            let s = d.stats();
-            total.submitted += s.submitted;
-            total.completed += s.completed;
-            total.fallbacks += s.fallbacks;
-            total.rejected += s.rejected;
-            total.total_latency += s.total_latency;
-            total.spm_high_water = total.spm_high_water.max(s.spm_high_water);
-            total.sched.conditional += s.sched.conditional;
-            total.sched.random += s.sched.random;
-            total.sched.spilled += s.sched.spilled;
-            total.sched.windows = total.sched.windows.max(s.sched.windows);
-            total.sched.side_channel_bytes += s.sched.side_channel_bytes;
-            total.sched.wait_windows += s.sched.wait_windows;
-            total.sched.subarray_conflicts += s.sched.subarray_conflicts;
-        }
-        total
-    }
-
-    /// Fraction of swap operations that had to run on the CPU, counting
-    /// both up-front rejections and late structural hazards — Fig. 12's
-    /// y-axis.
-    #[must_use]
-    pub fn cpu_fallback_fraction(&self) -> f64 {
-        let cpu_ops = self.stats.cpu_executions + self.late_fallbacks;
-        let total = self.stats.nma_executions + cpu_ops;
-        if total == 0 {
-            0.0
-        } else {
-            cpu_ops as f64 / total as f64
-        }
-    }
-
-    /// The entry table.
-    #[must_use]
-    pub fn table(&self) -> &SfmTable {
-        &self.table
-    }
-
     fn row_of(&self, page: PageNumber) -> RowId {
         RowId::new((page.index() % u64::from(self.config.nma.geometry.rows_per_bank)) as u32)
+    }
+
+    /// Emits a zero-duration annotation span at the current clock.
+    fn span_cause(&self, stage: SwapStage, page: PageNumber, cause: Cause) {
+        if let Some(t) = &self.telemetry {
+            t.metrics
+                .span(stage, page.index(), self.now.as_ns(), 0, cause);
+        }
+    }
+
+    /// Records a degraded-mode transition: gauge + annotation span.
+    fn note_mode_change(&mut self, page: PageNumber, stage: SwapStage, mode: DegradedMode) {
+        if let Some(t) = &self.telemetry {
+            t.degraded_mode.set(f64::from(mode.level()));
+        }
+        self.span_cause(stage, page, Cause::Degraded);
+    }
+
+    /// Attempts the compress offload (one share per DIMM), retrying
+    /// transient rejects per the retry policy. Each backoff advances the
+    /// clock, letting refresh windows drain the queue and free SPM slots
+    /// before the re-submission. Returns whether every share was
+    /// accepted.
+    fn attempt_offload_compress(&mut self, page: PageNumber, data: &[u8]) -> bool {
+        let row = self.row_of(page);
+        let mut attempt = 0u32;
+        loop {
+            let shares = xfm_compress::ratio::split_interleaved(data, self.config.n_dimms);
+            let now = self.now;
+            let mut reject = None;
+            for (d, share) in self.drivers.iter_mut().zip(shares) {
+                if let Err(e) = d.xfm_compress(page, share, row, now, true) {
+                    reject = Some(e);
+                    break;
+                }
+            }
+            let Some(e) = reject else { return true };
+            if !SwapError::from(e).retryable || attempt >= self.retry.max_retries {
+                if attempt > 0 {
+                    self.span_cause(SwapStage::Compress, page, Cause::RetryExhausted);
+                }
+                return false;
+            }
+            attempt += 1;
+            self.span_cause(SwapStage::Compress, page, Cause::Retry);
+            let resume = self.now + self.retry.backoff_for(attempt);
+            self.advance_clock(resume);
+        }
+    }
+
+    /// Decompress-side twin of [`XfmInner::attempt_offload_compress`],
+    /// re-deriving the container shares for each attempt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-container errors (a device reject is not an
+    /// error here — it reports `Ok(false)` and the CPU path takes over).
+    fn attempt_offload_decompress(&mut self, page: PageNumber, stored: &[u8]) -> Result<bool> {
+        let row = self.row_of(page);
+        let mut attempt = 0u32;
+        loop {
+            let shares = container_shares(stored)?;
+            let now = self.now;
+            let mut reject = None;
+            for (d, share) in self.drivers.iter_mut().zip(shares) {
+                if let Err(e) = d.xfm_decompress(page, share, row, now, true) {
+                    reject = Some(e);
+                    break;
+                }
+            }
+            let Some(e) = reject else { return Ok(true) };
+            if !SwapError::from(e).retryable || attempt >= self.retry.max_retries {
+                if attempt > 0 {
+                    self.span_cause(SwapStage::Decompress, page, Cause::RetryExhausted);
+                }
+                return Ok(false);
+            }
+            attempt += 1;
+            self.span_cause(SwapStage::Decompress, page, Cause::Retry);
+            let resume = self.now + self.retry.backoff_for(attempt);
+            self.advance_clock(resume);
+        }
     }
 
     /// Swap-in telemetry: fault + fetch + decompress spans, latency
@@ -376,12 +738,13 @@ impl XfmBackend {
     }
 
     /// Everything a swap-out does after the page has been compressed:
-    /// raw-store decision, offload attempt, store-back, accounting, and
-    /// telemetry. `packed` is the multi-channel container `data` packed
-    /// to; `compress_ns` is how long packing took (0 when untraced).
-    /// Shared between the synchronous [`SfmBackend::swap_out`] and the
-    /// batched pipeline, so both evolve driver state, pool packing, and
-    /// statistics identically.
+    /// raw-store decision, degrade-gated offload attempt (with retry),
+    /// store-back, accounting, and telemetry. `packed` is the
+    /// multi-channel container `data` packed to; `compress_ns` is how
+    /// long packing took (0 when untraced). Shared between the
+    /// synchronous [`XfmBackend::swap_out`] and the batched pipeline, so
+    /// both evolve driver state, pool packing, and statistics
+    /// identically.
     fn finish_swap_out(
         &mut self,
         page: PageNumber,
@@ -398,16 +761,17 @@ impl XfmBackend {
         };
 
         // Offload attempt: one share per DIMM, flexible (demotions are
-        // controller-scheduled and can wait for their refresh windows).
-        let mut offloaded = self.config.offload_swap_out && codec_kind != CodecKind::Raw;
-        if offloaded {
-            let shares = xfm_compress::ratio::split_interleaved(data, self.config.n_dimms);
-            let row = self.row_of(page);
-            for (d, share) in self.drivers.iter_mut().zip(shares) {
-                if d.xfm_compress(page, share, row, now, true).is_err() {
-                    offloaded = false;
-                    break;
+        // controller-scheduled and can wait for their refresh windows),
+        // gated by the degraded-mode controller.
+        let mut offloaded = false;
+        if self.config.offload_swap_out && codec_kind != CodecKind::Raw {
+            if self.degrade.decide_offload() {
+                offloaded = self.attempt_offload_compress(page, data);
+                if let Some(mode) = self.degrade.record_offload(offloaded) {
+                    self.note_mode_change(page, SwapStage::Compress, mode);
                 }
+            } else if let Some(mode) = self.degrade.record_cpu_op() {
+                self.note_mode_change(page, SwapStage::Compress, mode);
             }
         }
 
@@ -465,22 +829,34 @@ impl XfmBackend {
         Ok(outcome)
     }
 
-    /// Batched demotion pipeline (the paper §6 `Compress_Request_Queue`
-    /// drained by a worker pool): packs every eligible batch page in
-    /// parallel over `threads` workers, then performs offload attempts
-    /// and store-backs sequentially **in submission order**, so driver
-    /// state, pool packing, statistics, and telemetry evolve exactly as
-    /// the equivalent sequence of [`SfmBackend::swap_out`] calls.
-    ///
-    /// Per-page failures (duplicate entries, wrong-sized pages, a full
-    /// region) come back as the corresponding slot's `Err` without
-    /// disturbing the rest of the batch.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::InvalidConfig`] when `threads` is zero; per-page
-    /// errors are reported inside the result vector instead.
-    pub fn swap_out_batch(
+    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+        if data.len() != PAGE_SIZE {
+            return Err(Error::InvalidConfig(format!(
+                "swap_out requires a 4 KiB page, got {} bytes",
+                data.len()
+            )));
+        }
+        if self.table.contains(page) {
+            return Err(Error::EntryExists { page: page.index() });
+        }
+        let now = self.now;
+        self.advance_clock(now);
+        let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
+
+        // zswap's same-filled check runs on the host before any offload:
+        // there is nothing for the NMA to do for a one-byte page.
+        if let Some(fill) = xfm_sfm::cpu_backend::same_filled(data) {
+            return self.store_same_filled(page, fill, now, sw);
+        }
+
+        // Functional compression (identical to what the engines compute).
+        let csw = self.telemetry.as_ref().map(|_| Stopwatch::start());
+        let packed = pack_page(&self.codec, data, self.config.n_dimms)?;
+        let compress_ns = csw.as_ref().map_or(0, Stopwatch::elapsed_ns);
+        self.finish_swap_out(page, data, packed.bytes, compress_ns, now, sw)
+    }
+
+    fn swap_out_batch(
         &mut self,
         batch: &[(PageNumber, Bytes)],
         threads: usize,
@@ -535,13 +911,13 @@ impl XfmBackend {
                 _ if self.table.contains(*page) => Err(Error::EntryExists { page: page.index() }),
                 Prep::SameFilled(fill) => {
                     let now = self.now;
-                    self.advance_to(now);
+                    self.advance_clock(now);
                     let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
                     self.store_same_filled(*page, fill, now, sw)
                 }
                 Prep::Packed(i) => {
                     let now = self.now;
-                    self.advance_to(now);
+                    self.advance_clock(now);
                     let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
                     let (bytes, compress_ns) = packed[i].take().expect("each pack consumed once");
                     self.finish_swap_out(*page, data, bytes, compress_ns, now, sw)
@@ -552,66 +928,49 @@ impl XfmBackend {
         Ok(results)
     }
 
-    fn store(&mut self, page: PageNumber, bytes: Vec<u8>, codec: CodecKind) -> Result<u32> {
-        let len = bytes.len() as u32;
-        let handle = match self.pool.alloc(&bytes) {
-            Ok(h) => h,
-            Err(Error::SfmRegionFull) => {
-                self.pool.compact();
-                self.pool.alloc(&bytes)?
-            }
-            Err(e) => return Err(e),
-        };
-        self.table.insert(
-            page,
-            SfmEntry {
-                handle,
-                compressed_len: len,
-                codec,
-            },
-        )?;
-        Ok(len)
-    }
-}
-
-impl SfmBackend for XfmBackend {
-    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
-        if data.len() != PAGE_SIZE {
-            return Err(Error::InvalidConfig(format!(
-                "swap_out requires a 4 KiB page, got {} bytes",
-                data.len()
-            )));
-        }
-        if self.table.contains(page) {
-            return Err(Error::EntryExists { page: page.index() });
-        }
+    fn swap_in_into(
+        &mut self,
+        page: PageNumber,
+        do_offload: bool,
+        out: &mut Vec<u8>,
+    ) -> Result<SwapOutcome> {
         let now = self.now;
-        self.advance_to(now);
+        self.advance_clock(now);
         let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
-
-        // zswap's same-filled check runs on the host before any offload:
-        // there is nothing for the NMA to do for a one-byte page.
-        if let Some(fill) = xfm_sfm::cpu_backend::same_filled(data) {
-            return self.store_same_filled(page, fill, now, sw);
-        }
-
-        // Functional compression (identical to what the engines compute).
-        let csw = self.telemetry.as_ref().map(|_| Stopwatch::start());
-        let packed = pack_page(&self.codec, data, self.config.n_dimms)?;
-        let compress_ns = csw.as_ref().map_or(0, Stopwatch::elapsed_ns);
-        self.finish_swap_out(page, data, packed.bytes, compress_ns, now, sw)
-    }
-
-    fn swap_in(&mut self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
-        let now = self.now;
-        self.advance_to(now);
-        let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
-        let entry = self.table.remove(page)?;
-        let stored = self.pool.get(entry.handle)?.to_vec();
-        self.pool.free(entry.handle)?;
+        let entry = *self
+            .table
+            .get(page)
+            .ok_or(Error::EntryNotFound { page: page.index() })?;
+        let mut stored = self.pool.get(entry.handle)?.to_vec();
         let fetch_ns = sw.as_ref().map_or(0, Stopwatch::elapsed_ns);
 
+        // Verify before consuming the entry. An armed bit-corruption
+        // site flips a bit in the fetched copy (modeling in-transit
+        // corruption), so on mismatch the stored copy is still pristine
+        // and the error is retryable: entry and slot stay untouched.
+        if let Some(v) = self
+            .faults
+            .as_deref()
+            .and_then(|f| f.fire_value(xfm_faults::FaultSite::BitCorruption))
+        {
+            let bit = (v % (stored.len() as u64 * 8)) as usize;
+            stored[bit / 8] ^= 1 << (bit % 8);
+        }
+        let got = xfm_faults::checksum(&stored);
+        if got != entry.checksum {
+            self.span_cause(SwapStage::Fetch, page, Cause::ChecksumMismatch);
+            return Err(Error::ChecksumMismatch {
+                page: page.index(),
+                expected: entry.checksum,
+                got,
+            });
+        }
+        self.table.remove(page)?;
+        self.pool.free(entry.handle)?;
+
+        out.clear();
         if entry.codec == CodecKind::SameFilled {
+            out.resize(PAGE_SIZE, stored[0]);
             let outcome = SwapOutcome {
                 executed_on: ExecutedOn::Cpu,
                 compressed_len: entry.compressed_len,
@@ -620,9 +979,10 @@ impl SfmBackend for XfmBackend {
             };
             self.stats.record(&outcome, false);
             self.record_swap_in(page, now, &sw, fetch_ns, 0, Cause::SameFilled);
-            return Ok((vec![stored[0]; PAGE_SIZE], outcome));
+            return Ok(outcome);
         }
         if entry.codec == CodecKind::Raw {
+            out.extend_from_slice(&stored);
             let outcome = SwapOutcome {
                 executed_on: ExecutedOn::Cpu,
                 compressed_len: entry.compressed_len,
@@ -631,21 +991,21 @@ impl SfmBackend for XfmBackend {
             };
             self.stats.record(&outcome, false);
             self.record_swap_in(page, now, &sw, fetch_ns, 0, Cause::StoredRaw);
-            return Ok((stored, outcome));
+            return Ok(outcome);
         }
 
         // Offload only when the caller asserted do_offload (prefetch);
-        // demand faults default to CPU_Fallback (paper §6).
+        // demand faults default to CPU_Fallback (paper §6). The degrade
+        // controller gates eligible attempts the same way as swap-out.
         let mut offloaded = false;
         if do_offload {
-            let shares = container_shares(&stored)?;
-            let row = self.row_of(page);
-            offloaded = true;
-            for (d, share) in self.drivers.iter_mut().zip(shares) {
-                if d.xfm_decompress(page, share, row, now, true).is_err() {
-                    offloaded = false;
-                    break;
+            if self.degrade.decide_offload() {
+                offloaded = self.attempt_offload_decompress(page, &stored)?;
+                if let Some(mode) = self.degrade.record_offload(offloaded) {
+                    self.note_mode_change(page, SwapStage::Decompress, mode);
                 }
+            } else if let Some(mode) = self.degrade.record_cpu_op() {
+                self.note_mode_change(page, SwapStage::Decompress, mode);
             }
         }
 
@@ -658,6 +1018,7 @@ impl SfmBackend for XfmBackend {
                 data.len()
             )));
         }
+        out.extend_from_slice(&data);
         let outcome = if offloaded {
             SwapOutcome {
                 executed_on: ExecutedOn::Nma,
@@ -680,28 +1041,29 @@ impl SfmBackend for XfmBackend {
             Cause::CpuFallback
         };
         self.record_swap_in(page, now, &sw, fetch_ns, decompress_ns, cause);
-        Ok((data, outcome))
+        Ok(outcome)
     }
 
-    fn contains(&self, page: PageNumber) -> bool {
-        self.table.contains(page)
-    }
-
-    fn compact(&mut self) -> CompactReport {
-        // The paper's xfm_compact(): shifts pages with memcpys. The DDR
-        // traffic is charged to the CPU path here (compaction runs on
-        // the host in the prototype).
-        let report = self.pool.compact();
-        self.stats.ddr_bytes += report.moved_bytes * 2;
-        report
-    }
-
-    fn stats(&self) -> BackendStats {
-        self.stats
-    }
-
-    fn pool_stats(&self) -> ZpoolStats {
-        self.pool.stats()
+    fn store(&mut self, page: PageNumber, bytes: Vec<u8>, codec: CodecKind) -> Result<u32> {
+        let len = bytes.len() as u32;
+        let handle = match self.pool.alloc_faulted(&bytes, self.faults.as_deref()) {
+            Ok(h) => h,
+            Err(Error::SfmRegionFull) => {
+                self.pool.compact();
+                self.pool.alloc_faulted(&bytes, self.faults.as_deref())?
+            }
+            Err(e) => return Err(e),
+        };
+        self.table.insert(
+            page,
+            SfmEntry {
+                handle,
+                compressed_len: len,
+                codec,
+                checksum: xfm_faults::checksum(&bytes),
+            },
+        )?;
+        Ok(len)
     }
 }
 
@@ -709,6 +1071,7 @@ impl SfmBackend for XfmBackend {
 mod tests {
     use super::*;
     use xfm_compress::Corpus;
+    use xfm_faults::{FaultPlan, FaultSite, SiteSpec};
 
     fn backend(n_dimms: usize) -> XfmBackend {
         XfmBackend::new(XfmBackendConfig {
@@ -724,7 +1087,7 @@ mod tests {
     #[test]
     fn round_trip_preserves_data_across_dimm_counts() {
         for n in [1usize, 2, 4] {
-            let mut b = backend(n);
+            let b = backend(n);
             b.advance_to(Nanos::from_ms(1));
             for (i, corpus) in Corpus::all().iter().enumerate() {
                 let page = corpus.generate(i as u64, PAGE_SIZE);
@@ -738,7 +1101,7 @@ mod tests {
 
     #[test]
     fn offloaded_swap_out_produces_zero_ddr_traffic() {
-        let mut b = backend(1);
+        let b = backend(1);
         b.advance_to(Nanos::from_ms(1));
         let page = Corpus::Json.generate(1, PAGE_SIZE);
         let out = b.swap_out(PageNumber::new(1), &page).unwrap();
@@ -749,7 +1112,7 @@ mod tests {
 
     #[test]
     fn demand_swap_in_defaults_to_cpu() {
-        let mut b = backend(1);
+        let b = backend(1);
         b.advance_to(Nanos::from_ms(1));
         let page = Corpus::Html.generate(2, PAGE_SIZE);
         b.swap_out(PageNumber::new(2), &page).unwrap();
@@ -760,7 +1123,7 @@ mod tests {
 
     #[test]
     fn prefetch_swap_in_offloads() {
-        let mut b = backend(2);
+        let b = backend(2);
         b.advance_to(Nanos::from_ms(1));
         let page = Corpus::Csv.generate(3, PAGE_SIZE);
         b.swap_out(PageNumber::new(3), &page).unwrap();
@@ -771,7 +1134,7 @@ mod tests {
 
     #[test]
     fn same_filled_page_short_circuits_offload() {
-        let mut b = backend(2);
+        let b = backend(2);
         b.advance_to(Nanos::from_ms(1));
         let page = vec![0u8; PAGE_SIZE];
         let out = b.swap_out(PageNumber::new(5), &page).unwrap();
@@ -784,7 +1147,7 @@ mod tests {
 
     #[test]
     fn incompressible_page_stored_raw_on_cpu_path() {
-        let mut b = backend(1);
+        let b = backend(1);
         b.advance_to(Nanos::from_ms(1));
         let page = Corpus::RandomBytes.generate(4, PAGE_SIZE);
         let out = b.swap_out(PageNumber::new(4), &page).unwrap();
@@ -796,7 +1159,7 @@ mod tests {
 
     #[test]
     fn nma_resource_exhaustion_falls_back_to_cpu() {
-        let mut b = XfmBackend::new(XfmBackendConfig {
+        let b = XfmBackend::new(XfmBackendConfig {
             sfm: SfmConfig {
                 region_capacity: ByteSize::from_mib(32),
                 ..SfmConfig::default()
@@ -825,7 +1188,7 @@ mod tests {
 
     #[test]
     fn time_advancement_drains_nma_and_restores_capacity() {
-        let mut b = XfmBackend::new(XfmBackendConfig {
+        let b = XfmBackend::new(XfmBackendConfig {
             sfm: SfmConfig {
                 region_capacity: ByteSize::from_mib(32),
                 ..SfmConfig::default()
@@ -852,7 +1215,7 @@ mod tests {
 
     #[test]
     fn double_swap_out_rejected() {
-        let mut b = backend(1);
+        let b = backend(1);
         let page = Corpus::Dna.generate(0, PAGE_SIZE);
         b.swap_out(PageNumber::new(1), &page).unwrap();
         assert!(matches!(
@@ -863,11 +1226,125 @@ mod tests {
 
     #[test]
     fn missing_page_swap_in_rejected() {
-        let mut b = backend(1);
+        let b = backend(1);
         assert!(matches!(
             b.swap_in(PageNumber::new(77), false),
             Err(Error::EntryNotFound { .. })
         ));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs_without_panicking() {
+        assert!(matches!(
+            XfmBackend::try_new(XfmBackendConfig {
+                n_dimms: 3,
+                ..XfmBackendConfig::default()
+            }),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            XfmBackend::try_new(XfmBackendConfig {
+                sfm: SfmConfig {
+                    region_capacity: ByteSize::ZERO,
+                    ..SfmConfig::default()
+                },
+                ..XfmBackendConfig::default()
+            }),
+            Err(Error::InvalidConfig(_))
+        ));
+        assert!(XfmBackend::try_new(XfmBackendConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn swap_plane_surface_round_trips() {
+        let b = backend(1);
+        b.advance_to(Nanos::from_ms(1));
+        let plane: &dyn SwapPlane = &b;
+        let page = Corpus::Json.generate(8, PAGE_SIZE);
+        plane.swap_out(PageNumber::new(8), &page).unwrap();
+        assert!(plane.contains(PageNumber::new(8)));
+        let (restored, _) = plane.swap_in(PageNumber::new(8), false).unwrap();
+        assert_eq!(restored, page);
+    }
+
+    #[test]
+    fn swap_plane_errors_carry_site_and_retryability() {
+        let b = backend(1);
+        let plane: &dyn SwapPlane = &b;
+        let err = plane
+            .swap_in_into(PageNumber::new(404), false, &mut Vec::new())
+            .unwrap_err();
+        assert_eq!(err.site, xfm_types::SwapSite::EntryTable);
+        assert!(!err.retryable);
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_and_retryable() {
+        let mut b = backend(1);
+        let plan = FaultPlan::new(7).with_site(
+            FaultSite::BitCorruption,
+            SiteSpec::with_probability(1.0).max_fires(1),
+        );
+        b.attach_faults(Arc::new(FaultInjector::new(&plan)));
+        b.advance_to(Nanos::from_ms(1));
+        let page = Corpus::Json.generate(11, PAGE_SIZE);
+        b.swap_out(PageNumber::new(11), &page).unwrap();
+        // First fetch sees the flipped bit: checksum catches it and the
+        // entry stays intact.
+        let err = b.swap_in(PageNumber::new(11), false).unwrap_err();
+        assert!(matches!(err, Error::ChecksumMismatch { .. }));
+        assert!(b.contains(PageNumber::new(11)), "entry must survive");
+        // The stored copy was pristine: the retry round-trips.
+        let (restored, _) = b.swap_in(PageNumber::new(11), false).unwrap();
+        assert_eq!(restored, page);
+    }
+
+    #[test]
+    fn retry_policy_rides_out_transient_rejects() {
+        let mut b = backend(1);
+        let plan = FaultPlan::new(3).with_site(
+            FaultSite::QueueFull,
+            SiteSpec::with_probability(1.0).max_fires(2),
+        );
+        b.attach_faults(Arc::new(FaultInjector::new(&plan)));
+        b.set_retry_policy(RetryPolicy::default());
+        b.advance_to(Nanos::from_ms(1));
+        let page = Corpus::Json.generate(21, PAGE_SIZE);
+        // Two injected rejects, then the third attempt lands on the NMA.
+        let out = b.swap_out(PageNumber::new(21), &page).unwrap();
+        assert_eq!(out.executed_on, ExecutedOn::Nma);
+        assert_eq!(b.nma_stats().rejected, 2);
+        let (restored, _) = b.swap_in(PageNumber::new(21), false).unwrap();
+        assert_eq!(restored, page);
+    }
+
+    #[test]
+    fn sustained_faults_degrade_to_cpu_only_and_stop_submitting() {
+        let mut b = backend(1);
+        let plan =
+            FaultPlan::new(1).with_site(FaultSite::SpmExhaustion, SiteSpec::with_probability(1.0));
+        b.attach_faults(Arc::new(FaultInjector::new(&plan)));
+        b.advance_to(Nanos::from_ms(1));
+        for i in 0..16u64 {
+            let page = Corpus::Json.generate(i, PAGE_SIZE);
+            let out = b.swap_out(PageNumber::new(i), &page).unwrap();
+            assert_eq!(out.executed_on, ExecutedOn::Cpu, "every offload rejected");
+        }
+        assert_eq!(b.degraded_mode(), DegradedMode::CpuOnly);
+        assert!(b.degrade_transitions() >= 1);
+        let rejected_at_trip = b.nma_stats().rejected;
+        // CpuOnly is sticky: further swap-outs skip the doomed MMIO
+        // submissions entirely.
+        for i in 16..24u64 {
+            let page = Corpus::Json.generate(i, PAGE_SIZE);
+            b.swap_out(PageNumber::new(i), &page).unwrap();
+        }
+        assert_eq!(b.nma_stats().rejected, rejected_at_trip);
+        // Data stayed intact throughout.
+        for i in 0..24u64 {
+            let (restored, _) = b.swap_in(PageNumber::new(i), false).unwrap();
+            assert_eq!(restored, Corpus::Json.generate(i, PAGE_SIZE));
+        }
     }
 
     #[test]
@@ -891,6 +1368,7 @@ mod tests {
         assert_eq!(snap.histograms["xfm_swap_in_latency_ns"].count, 6);
         assert!(snap.histograms["xfm_swap_out_latency_ns"].p99 > 0);
         assert!(!snap.spans.is_empty());
+        assert_eq!(snap.gauges["xfm_degraded_mode"], 0.0, "healthy stack");
         // Both DIMMs expose utilization gauges; windows have been
         // processed, so the gauge is a real (possibly small) fraction.
         for rank in 0..2 {
@@ -903,7 +1381,7 @@ mod tests {
 
     #[test]
     fn unattached_backend_behaves_identically() {
-        let mut plain = backend(1);
+        let plain = backend(1);
         let mut wired = backend(1);
         wired.attach_telemetry(&Registry::new());
         plain.advance_to(Nanos::from_ms(1));
@@ -925,8 +1403,8 @@ mod tests {
     #[test]
     fn batched_swap_out_matches_sequential_calls() {
         for n_dimms in [1usize, 2] {
-            let mut batched = backend(n_dimms);
-            let mut serial = backend(n_dimms);
+            let batched = backend(n_dimms);
+            let serial = backend(n_dimms);
             batched.advance_to(Nanos::from_ms(1));
             serial.advance_to(Nanos::from_ms(1));
             // Mixed batch: compressible, same-filled, incompressible
@@ -968,7 +1446,7 @@ mod tests {
 
     #[test]
     fn batched_swap_out_rejects_zero_threads() {
-        let mut b = backend(1);
+        let b = backend(1);
         assert!(matches!(
             b.swap_out_batch(&[], 0),
             Err(Error::InvalidConfig(_))
@@ -1001,7 +1479,7 @@ mod tests {
 
     #[test]
     fn compact_charges_memcpy_traffic() {
-        let mut b = backend(1);
+        let b = backend(1);
         b.advance_to(Nanos::from_ms(1));
         for i in 0..64u64 {
             let page = Corpus::TimeSeries.generate(i, PAGE_SIZE);

@@ -79,6 +79,12 @@ impl XfmDriver {
         self.paramset
     }
 
+    /// Arms fault-injection hooks on the underlying device (admission,
+    /// engine, and window-scheduler sites).
+    pub fn attach_faults(&mut self, faults: std::sync::Arc<xfm_faults::FaultInjector>) {
+        self.nma.attach_faults(faults);
+    }
+
     fn ensure_capacity(&mut self, needed: u64) -> Result<()> {
         let cap = self.nma.config().spm_capacity.as_bytes();
         if self.inferred_used + needed <= cap {

@@ -7,8 +7,11 @@
 //! "highly overprovisioned for XFM"), and the AxDIMM-class accelerator
 //! IP reaches 14.8/17.2 GB/s (§7).
 
+use std::sync::Arc;
+
 use xfm_compress::{Codec, Scratch, XDeflate};
-use xfm_types::{Bandwidth, ByteSize, Nanos, Result};
+use xfm_faults::{FaultInjector, FaultSite};
+use xfm_types::{Bandwidth, ByteSize, Error, Nanos, Result};
 
 /// The engine: a codec plus a throughput model and busy-time accounting.
 ///
@@ -34,6 +37,9 @@ pub struct EngineModel {
     /// Reusable codec state — the engine services a stream of pages, so
     /// after warm-up the (de)compress paths allocate only their outputs.
     scratch: Scratch,
+    /// Fault hooks: an armed [`FaultSite::NmaEngineTimeout`] site makes
+    /// an engine pass error out, which the NMA surfaces as a fallback.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl std::fmt::Debug for EngineModel {
@@ -62,7 +68,24 @@ impl EngineModel {
             compressed_bytes: 0,
             decompressed_bytes: 0,
             scratch: Scratch::new(),
+            faults: None,
         }
+    }
+
+    /// Arms fault-injection hooks: when the
+    /// [`FaultSite::NmaEngineTimeout`] site fires, a (de)compress pass
+    /// errors out as if the engine hung past its window deadline.
+    pub fn attach_faults(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = Some(faults);
+    }
+
+    fn injected_timeout(&self) -> Result<()> {
+        if let Some(f) = &self.faults {
+            if f.should_fire(FaultSite::NmaEngineTimeout) {
+                return Err(Error::Device("injected fault: engine timeout".into()));
+            }
+        }
+        Ok(())
     }
 
     /// The paper's FPGA prototype: open-source Deflate at 1.4 / 1.7 GB/s.
@@ -98,6 +121,7 @@ impl EngineModel {
     ///
     /// Propagates codec failures.
     pub fn compress(&mut self, src: &[u8]) -> Result<(Vec<u8>, Nanos)> {
+        self.injected_timeout()?;
         let mut out = Vec::with_capacity(src.len());
         self.codec.compress_into(src, &mut out, &mut self.scratch)?;
         let t = self
@@ -115,6 +139,7 @@ impl EngineModel {
     ///
     /// Returns [`xfm_types::Error::Corrupt`] for invalid streams.
     pub fn decompress(&mut self, src: &[u8]) -> Result<(Vec<u8>, Nanos)> {
+        self.injected_timeout()?;
         let mut out = Vec::new();
         self.codec
             .decompress_into(src, &mut out, &mut self.scratch)?;

@@ -26,8 +26,8 @@
 //!   `xfm_decompress` / `xfm_compact` MMIO-level API with lazy
 //!   `SP_Capacity_Register` reads;
 //! - [`backend`] — the `XFM_Backend` implementing
-//!   [`xfm_sfm::SfmBackend`], with `CPU_Fallback` and the `do_offload`
-//!   policy;
+//!   [`xfm_sfm::SwapPlane`], with `CPU_Fallback`, the `do_offload`
+//!   policy, checksummed stores, bounded retry, and degraded modes;
 //! - [`multichannel`] — page striping across 1/2/4 DIMMs with
 //!   same-offset compressed placement (§6 "Multi-Channel Mode");
 //! - [`system`] — [`XfmSystem`], the top-level public API.
@@ -36,14 +36,13 @@
 //!
 //! ```
 //! use xfm_core::{XfmConfig, XfmSystem};
-//! use xfm_sfm::SfmBackend;
 //! use xfm_types::{Nanos, PageNumber};
 //!
 //! let mut sys = XfmSystem::new(XfmConfig::default());
 //! let page = vec![0xabu8; 4096];
 //! sys.advance_to(Nanos::from_ms(1));
-//! sys.backend_mut().swap_out(PageNumber::new(7), &page)?;
-//! let (restored, _) = sys.backend_mut().swap_in(PageNumber::new(7), true)?;
+//! sys.backend().swap_out(PageNumber::new(7), &page)?;
+//! let (restored, _) = sys.backend().swap_in(PageNumber::new(7), true)?;
 //! assert_eq!(restored, page);
 //! # Ok::<(), xfm_types::Error>(())
 //! ```
@@ -61,7 +60,7 @@ pub mod sched;
 pub mod spm;
 pub mod system;
 
-pub use backend::XfmBackend;
+pub use backend::{XfmBackend, XfmBackendConfig};
 pub use driver::XfmDriver;
 pub use engine::EngineModel;
 pub use nma::{NearMemoryAccelerator, NmaConfig, NmaStats};

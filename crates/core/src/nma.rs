@@ -16,10 +16,12 @@
 //! lazy occupancy inference tracks on the host side (§6).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use xfm_dram::geometry::DeviceGeometry;
 use xfm_dram::timing::DramTimings;
+use xfm_faults::{FaultInjector, FaultSite};
 use xfm_types::{ByteSize, Error, Nanos, PageNumber, Result, RowId, PAGE_SIZE};
 
 use crate::engine::EngineModel;
@@ -169,6 +171,9 @@ pub struct NearMemoryAccelerator {
     ops: BTreeMap<u64, InFlight>,
     next_op: u64,
     stats: NmaStats,
+    /// Fault hooks consulted at admission (`SpmExhaustion`,
+    /// `QueueFull`); the engine and scheduler hold their own handles.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl NearMemoryAccelerator {
@@ -190,8 +195,19 @@ impl NearMemoryAccelerator {
             ops: BTreeMap::new(),
             next_op: 0,
             stats: NmaStats::default(),
+            faults: None,
             config,
         }
+    }
+
+    /// Arms fault-injection hooks on this device and its components:
+    /// admission ([`FaultSite::SpmExhaustion`], [`FaultSite::QueueFull`]),
+    /// the engine ([`FaultSite::NmaEngineTimeout`]), and the window
+    /// scheduler ([`FaultSite::RefreshWindowMiss`]).
+    pub fn attach_faults(&mut self, faults: Arc<FaultInjector>) {
+        self.engine.attach_faults(Arc::clone(&faults));
+        self.sched.attach_faults(Arc::clone(&faults));
+        self.faults = Some(faults);
     }
 
     /// The MMIO register file (what the driver touches).
@@ -249,6 +265,21 @@ impl NearMemoryAccelerator {
     }
 
     fn admit(&mut self, request: OffloadRequest, input: Vec<u8>, read_row: RowId) -> Result<()> {
+        // Injected admission failures reject before any reservation so
+        // device state stays exactly as a real rejection leaves it.
+        if let Some(f) = &self.faults {
+            if f.should_fire(FaultSite::SpmExhaustion) {
+                self.stats.rejected += 1;
+                return Err(Error::SpmFull {
+                    requested: Self::reservation_for(request.kind, input.len()) as u64,
+                    available: 0,
+                });
+            }
+            if f.should_fire(FaultSite::QueueFull) {
+                self.stats.rejected += 1;
+                return Err(Error::QueueFull);
+            }
+        }
         // Conservative SPM reservation: the input size plus a stored-raw
         // margin — an upper bound on the engine's output, and exactly the
         // bound the host-side lazy occupancy inference tracks.

@@ -22,12 +22,14 @@
 //! quantity Fig. 12 plots.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use xfm_dram::bank::RefreshAccessKind;
 use xfm_dram::geometry::DeviceGeometry;
 use xfm_dram::refresh::{RefreshScheduler, WindowUtilization};
 use xfm_dram::timing::{DramTimings, REFS_PER_RETENTION};
+use xfm_faults::{FaultInjector, FaultSite};
 use xfm_types::{ByteSize, Nanos, RowId};
 
 /// Scheduler configuration.
@@ -190,6 +192,9 @@ pub struct WindowScheduler {
     stats: SchedStats,
     /// This rank's side-channel usage, window by window.
     utilization: WindowUtilization,
+    /// Fault hooks: an armed [`FaultSite::RefreshWindowMiss`] site
+    /// steals entire windows (their access budget drops to zero).
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl WindowScheduler {
@@ -205,7 +210,16 @@ impl WindowScheduler {
             pending: 0,
             stats: SchedStats::default(),
             utilization: WindowUtilization::new(1),
+            faults: None,
         }
+    }
+
+    /// Arms fault-injection hooks: when the
+    /// [`FaultSite::RefreshWindowMiss`] site fires, the entire window's
+    /// access budget is stolen — its slot's flexible ops spill to the
+    /// CPU and urgent ops burn one window of their deadline.
+    pub fn attach_faults(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = Some(faults);
     }
 
     /// The refresh calendar in use.
@@ -335,6 +349,18 @@ impl WindowScheduler {
         let mut budget = self.config.accesses_per_trfc;
         let mut random_budget = self.config.max_random_per_trfc;
 
+        // A stolen window (injected contention) offers the NMA nothing:
+        // this slot's flexible ops spill below, and urgent ops keep
+        // aging toward their deadline.
+        let stolen = self
+            .faults
+            .as_deref()
+            .is_some_and(|f| f.should_fire(FaultSite::RefreshWindowMiss));
+        if stolen {
+            budget = 0;
+            random_budget = 0;
+        }
+
         // 1. Conditional service of this slot's flexible ops.
         if let Some(bucket) = self.by_slot.get_mut(&ref_index) {
             while budget > 0 {
@@ -418,8 +444,12 @@ impl WindowScheduler {
             }
         }
         let total = u64::from(self.config.accesses_per_trfc);
-        self.utilization
-            .record_window(0, total - u64::from(budget), total);
+        if stolen {
+            self.utilization.record_stolen_window(0, total);
+        } else {
+            self.utilization
+                .record_window(0, total - u64::from(budget), total);
+        }
     }
 }
 

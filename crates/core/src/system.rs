@@ -2,7 +2,7 @@
 //! SFM control plane, with trace replay for experiments.
 
 use xfm_compress::Corpus;
-use xfm_sfm::backend::{ExecutedOn, SfmBackend};
+use xfm_sfm::backend::ExecutedOn;
 use xfm_sfm::controller::{ColdScanConfig, SfmController};
 use xfm_sfm::trace::{SwapEvent, SwapKind};
 use xfm_telemetry::swap_metrics::Stopwatch;
@@ -71,14 +71,29 @@ pub struct XfmSystem {
 }
 
 impl XfmSystem {
-    /// Creates a system.
-    #[must_use]
-    pub fn new(config: XfmConfig) -> Self {
-        Self {
-            backend: XfmBackend::new(config.backend),
+    /// Creates a system, propagating configuration failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xfm_types::Error::InvalidConfig`] on any configuration
+    /// [`XfmBackend::try_new`] rejects.
+    pub fn try_new(config: XfmConfig) -> Result<Self> {
+        Ok(Self {
+            backend: XfmBackend::try_new(config.backend)?,
             controller: SfmController::new(config.scan),
             telemetry: None,
-        }
+        })
+    }
+
+    /// Creates a system: the panicking convenience over
+    /// [`XfmSystem::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any configuration [`XfmSystem::try_new`] rejects.
+    #[must_use]
+    pub fn new(config: XfmConfig) -> Self {
+        Self::try_new(config).expect("valid XFM system configuration")
     }
 
     /// Attaches telemetry to the whole stack: the backend's swap-path
@@ -385,6 +400,6 @@ mod tests {
             let data = Corpus::KeyValue.generate(page.index(), PAGE_SIZE);
             sys.backend_mut().swap_out(page, &data).unwrap();
         }
-        assert_eq!(sys.backend().table().len(), 8);
+        assert_eq!(sys.backend().table_len(), 8);
     }
 }

@@ -6,8 +6,10 @@ use xfm_core::multichannel::{pack_page, unpack_page};
 use xfm_core::sched::{AccessOp, SchedConfig, SchedEvent, WindowScheduler};
 use xfm_core::Spm;
 use xfm_dram::{DeviceGeometry, DramTimings};
-use xfm_sfm::{SfmBackend, SfmConfig};
-use xfm_types::{ByteSize, Nanos, PageNumber, RowId, PAGE_SIZE};
+use xfm_faults::{FaultInjector, FaultPlan, FaultSite, RetryPolicy, SiteSpec};
+use xfm_sfm::SfmConfig;
+use xfm_telemetry::Registry;
+use xfm_types::{ByteSize, Error, Nanos, PageNumber, RowId, PAGE_SIZE};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -120,7 +122,7 @@ proptest! {
     #[test]
     fn backend_integrity(seeds in prop::collection::vec(any::<u64>(), 1..6),
                          n in prop::sample::select(vec![1usize, 2, 4])) {
-        let mut b = XfmBackend::new(XfmBackendConfig {
+        let b = XfmBackend::new(XfmBackendConfig {
             sfm: SfmConfig {
                 region_capacity: ByteSize::from_mib(4),
                 ..SfmConfig::default()
@@ -143,6 +145,129 @@ proptest! {
         for (i, (pn, data)) in pages.iter().enumerate() {
             let (restored, _) = b.swap_in(*pn, i % 2 == 0).unwrap();
             prop_assert_eq!(&restored, data);
+        }
+    }
+
+    /// Replaying the same seeded fault plan twice yields byte-identical
+    /// swap-ins, identical per-site fire counts, and identical telemetry
+    /// cause counts: chaos runs are reproducible.
+    #[test]
+    fn fault_replay_is_deterministic(seed in any::<u64>(),
+                                     seeds in prop::collection::vec(any::<u64>(), 1..8)) {
+        let plan = FaultPlan::new(seed)
+            .with_site(FaultSite::NmaEngineTimeout, SiteSpec::with_probability(0.3))
+            .with_site(FaultSite::SpmExhaustion, SiteSpec::with_probability(0.3))
+            .with_site(FaultSite::QueueFull, SiteSpec::with_probability(0.3).burst(2))
+            .with_site(FaultSite::RefreshWindowMiss, SiteSpec::with_probability(0.5))
+            .with_site(FaultSite::BitCorruption, SiteSpec::with_probability(0.2));
+        let run = |registry: &Registry| {
+            let injector = std::sync::Arc::new(FaultInjector::new(&plan));
+            let mut b = XfmBackend::new(XfmBackendConfig {
+                sfm: SfmConfig {
+                    region_capacity: ByteSize::from_mib(4),
+                    ..SfmConfig::default()
+                },
+                ..XfmBackendConfig::default()
+            });
+            b.attach_telemetry(registry);
+            b.attach_faults(std::sync::Arc::clone(&injector));
+            b.set_retry_policy(RetryPolicy::default());
+            b.advance_to(Nanos::from_ms(1));
+            let mut restored = Vec::new();
+            for (i, &s) in seeds.iter().enumerate() {
+                let corpus = xfm_compress::Corpus::all()[(s % 16) as usize];
+                let data = corpus.generate(s, PAGE_SIZE);
+                b.swap_out(PageNumber::new(i as u64), &data).unwrap();
+            }
+            for (i, _) in seeds.iter().enumerate() {
+                // Checksum mismatches are retryable: loop until the
+                // bounded fault stream lets a clean fetch through.
+                let page = loop {
+                    match b.swap_in(PageNumber::new(i as u64), i % 2 == 0) {
+                        Ok((data, _)) => break data,
+                        Err(Error::ChecksumMismatch { .. }) => {}
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                };
+                restored.push(page);
+            }
+            let fires: Vec<u64> = FaultSite::ALL.iter().map(|&s| injector.fires(s)).collect();
+            (restored, fires)
+        };
+        let (ra, ries) = run(&Registry::new());
+        let rb_registry = Registry::new();
+        let (rb, rbes) = run(&rb_registry);
+        prop_assert_eq!(&ra, &rb, "swap-ins must be byte-identical");
+        prop_assert_eq!(ries, rbes, "per-site fire counts must replay");
+        // Cause counts from the second run must match a third replay.
+        let rc_registry = Registry::new();
+        run(&rc_registry);
+        let causes = |r: &Registry| {
+            let mut m = std::collections::BTreeMap::new();
+            for sp in r.snapshot().spans {
+                *m.entry(format!("{:?}/{:?}", sp.stage, sp.cause)).or_insert(0u64) += 1;
+            }
+            m
+        };
+        prop_assert_eq!(causes(&rb_registry), causes(&rc_registry));
+    }
+
+    /// With every site armed, the stack still round-trips every page:
+    /// device faults divert to CPU fallback, host faults are bounded by
+    /// max_fires and survivable through retries. No page is ever lost.
+    #[test]
+    fn all_sites_firing_still_round_trips(seed in any::<u64>(),
+                                          seeds in prop::collection::vec(any::<u64>(), 1..8)) {
+        // Device-side sites fire on every opportunity, forever; the
+        // host-side store/fetch sites are bounded so forward progress
+        // is possible (an always-corrupting channel has no remedy).
+        let plan = FaultPlan::new(seed)
+            .with_site(FaultSite::NmaEngineTimeout, SiteSpec::with_probability(1.0))
+            .with_site(FaultSite::SpmExhaustion, SiteSpec::with_probability(1.0))
+            .with_site(FaultSite::QueueFull, SiteSpec::with_probability(1.0))
+            .with_site(FaultSite::RefreshWindowMiss, SiteSpec::with_probability(1.0))
+            .with_site(FaultSite::BitCorruption, SiteSpec::with_probability(1.0).max_fires(4))
+            .with_site(FaultSite::ZpoolStoreFailure, SiteSpec::with_probability(1.0).max_fires(4));
+        let mut b = XfmBackend::new(XfmBackendConfig {
+            sfm: SfmConfig {
+                region_capacity: ByteSize::from_mib(4),
+                ..SfmConfig::default()
+            },
+            ..XfmBackendConfig::default()
+        });
+        b.attach_faults(std::sync::Arc::new(FaultInjector::new(&plan)));
+        b.advance_to(Nanos::from_ms(1));
+        let pages: Vec<(PageNumber, Vec<u8>)> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let corpus = xfm_compress::Corpus::all()[(s % 16) as usize];
+                (PageNumber::new(i as u64), corpus.generate(s, PAGE_SIZE))
+            })
+            .collect();
+        for (pn, data) in &pages {
+            loop {
+                match b.swap_out(*pn, data) {
+                    Ok(out) => {
+                        // Device sites reject everything: nothing may
+                        // report an NMA execution.
+                        prop_assert_eq!(out.executed_on, xfm_sfm::ExecutedOn::Cpu);
+                        break;
+                    }
+                    Err(Error::SfmRegionFull) => {} // injected store failure
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+        for (i, (pn, data)) in pages.iter().enumerate() {
+            let restored = loop {
+                match b.swap_in(*pn, i % 2 == 0) {
+                    Ok((d, _)) => break d,
+                    Err(Error::ChecksumMismatch { .. }) => {}
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            };
+            prop_assert_eq!(&restored, data, "page {} must survive chaos", pn);
         }
     }
 }

@@ -13,7 +13,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use xfm_core::backend::{XfmBackend, XfmBackendConfig};
-use xfm_sfm::backend::{SfmBackend, SfmConfig};
+use xfm_sfm::backend::SfmConfig;
 use xfm_sfm::CpuBackend;
 use xfm_telemetry::Registry;
 use xfm_types::{ByteSize, Nanos, PageNumber, PAGE_SIZE};

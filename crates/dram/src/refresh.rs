@@ -203,6 +203,11 @@ struct RankUsage {
     windows: u64,
     used: u64,
     budget: u64,
+    /// Windows whose access budget was stolen outright (contention or
+    /// injected refresh-window misses): counted in `windows` with zero
+    /// contribution to `used`/`budget`, tracked separately so starved
+    /// ranks are distinguishable from idle ones.
+    stolen: u64,
 }
 
 impl WindowUtilization {
@@ -231,10 +236,28 @@ impl WindowUtilization {
         }
     }
 
+    /// Records a refresh window on `rank` whose whole access budget was
+    /// stolen: the NMA got zero of its `budget` slots. The window still
+    /// counts toward [`WindowUtilization::windows`], but neither `used`
+    /// nor `budget` accumulate — a starved rank must not read as merely
+    /// idle in [`WindowUtilization::fraction`].
+    pub fn record_stolen_window(&mut self, rank: usize, _budget: u64) {
+        if let Some(r) = self.ranks.get_mut(rank) {
+            r.windows = r.windows.saturating_add(1);
+            r.stolen = r.stolen.saturating_add(1);
+        }
+    }
+
     /// Windows recorded on `rank`.
     #[must_use]
     pub fn windows(&self, rank: usize) -> u64 {
         self.ranks.get(rank).map_or(0, |r| r.windows)
+    }
+
+    /// Windows on `rank` whose budget was stolen outright.
+    #[must_use]
+    pub fn stolen(&self, rank: usize) -> u64 {
+        self.ranks.get(rank).map_or(0, |r| r.stolen)
     }
 
     /// Fraction of `rank`'s cumulative window budget the NMA used
@@ -272,6 +295,7 @@ impl WindowUtilization {
             a.windows = a.windows.saturating_add(b.windows);
             a.used = a.used.saturating_add(b.used);
             a.budget = a.budget.saturating_add(b.budget);
+            a.stolen = a.stolen.saturating_add(b.stolen);
         }
     }
 }
@@ -391,5 +415,24 @@ mod tests {
         let mut c = WindowUtilization::new(1);
         c.record_window(0, 100, 14);
         assert!((c.fraction(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stolen_windows_count_but_do_not_dilute_utilization() {
+        let mut u = WindowUtilization::new(1);
+        u.record_window(0, 7, 14);
+        u.record_stolen_window(0, 14);
+        u.record_stolen_window(0, 14);
+        // Three windows passed, two stolen; the fraction reflects only
+        // the windows the NMA could actually use.
+        assert_eq!(u.windows(0), 3);
+        assert_eq!(u.stolen(0), 2);
+        assert!((u.fraction(0) - 0.5).abs() < 1e-9);
+        // Out-of-range ranks are ignored, and merge carries the count.
+        u.record_stolen_window(9, 14);
+        let mut other = WindowUtilization::new(1);
+        other.record_stolen_window(0, 14);
+        u.merge(&other);
+        assert_eq!(u.stolen(0), 3);
     }
 }

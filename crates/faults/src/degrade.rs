@@ -1,0 +1,400 @@
+//! The sticky degraded-mode state machine.
+//!
+//! The paper's fallback semantics are per-operation: an offload that
+//! misses its window is simply redone by the CPU. Under sustained
+//! faults that policy wastes work — every page still pays the doomed
+//! MMIO submission and SPM reservation before falling back. This
+//! module adds the operational policy on top: a windowed failure-rate
+//! estimator drives a four-state machine,
+//!
+//! ```text
+//!            rate ≥ mixed_threshold        rate ≥ cpu_only_threshold
+//!   [Nma] ─────────────────────▶ [Mixed] ─────────────────────▶ [CpuOnly]
+//!     ▲                            │  ▲                            │
+//!     │ rate ≤ mixed_threshold/2   │  │ probe fails               │ cooldown_ops
+//!     │ (full window)              │  └──────────[Recovering]◀────┘
+//!     └────────────────────────────┘       probes_ok ≥ recover_window
+//!                                          └────────▶ [Nma]
+//! ```
+//!
+//! `Nma` and `Mixed` keep attempting offloads (`Mixed` marks elevated
+//! failure, useful as an operator signal and a gauge level); `CpuOnly`
+//! stops attempting them entirely (sticky, so one good window cannot
+//! flap the mode back); `Recovering` probes the NMA with one in
+//! `probe_interval` operations until enough consecutive probes succeed
+//! or one fails.
+
+/// The degradation level, exported as the `xfm_degraded_mode` gauge
+/// (0 = healthy … 3 = recovering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum DegradedMode {
+    /// Healthy: every eligible operation attempts the NMA.
+    #[default]
+    Nma,
+    /// Elevated failure rate: offloads still attempted, fallbacks
+    /// expected.
+    Mixed,
+    /// NMA path disabled; all work executes on the CPU.
+    CpuOnly,
+    /// Probing the NMA with a fraction of operations.
+    Recovering,
+}
+
+impl DegradedMode {
+    /// Stable lowercase name (used in exposition).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradedMode::Nma => "nma",
+            DegradedMode::Mixed => "mixed",
+            DegradedMode::CpuOnly => "cpu_only",
+            DegradedMode::Recovering => "recovering",
+        }
+    }
+
+    /// Gauge encoding: 0 = `Nma`, 1 = `Mixed`, 2 = `CpuOnly`,
+    /// 3 = `Recovering`.
+    #[must_use]
+    pub fn level(self) -> u8 {
+        match self {
+            DegradedMode::Nma => 0,
+            DegradedMode::Mixed => 1,
+            DegradedMode::CpuOnly => 2,
+            DegradedMode::Recovering => 3,
+        }
+    }
+}
+
+/// Tuning for the estimator and state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeConfig {
+    /// Offload outcomes the failure-rate window holds (≤ 64).
+    pub window: u32,
+    /// Failure rate entering `Mixed` from `Nma`.
+    pub mixed_threshold: f64,
+    /// Failure rate entering `CpuOnly` from `Mixed` (or directly from
+    /// `Nma` on a catastrophic window).
+    pub cpu_only_threshold: f64,
+    /// CPU operations to sit out in `CpuOnly` before probing.
+    pub cooldown_ops: u32,
+    /// In `Recovering`, probe the NMA once every this many operations.
+    pub probe_interval: u32,
+    /// Consecutive successful probes required to return to `Nma`.
+    pub recover_window: u32,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        Self {
+            window: 32,
+            mixed_threshold: 0.25,
+            cpu_only_threshold: 0.75,
+            cooldown_ops: 64,
+            probe_interval: 8,
+            recover_window: 4,
+        }
+    }
+}
+
+/// The state machine. Single-owner (`&mut self`); wrap in a mutex to
+/// share.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_faults::{DegradeConfig, DegradeController, DegradedMode};
+///
+/// let mut ctl = DegradeController::new(DegradeConfig::default());
+/// assert_eq!(ctl.mode(), DegradedMode::Nma);
+/// assert!(ctl.decide_offload());
+/// // A solid run of failures escalates all the way to CPU-only.
+/// for _ in 0..64 {
+///     if ctl.decide_offload() {
+///         ctl.record_offload(false);
+///     } else {
+///         ctl.record_cpu_op();
+///     }
+/// }
+/// assert_eq!(ctl.mode(), DegradedMode::CpuOnly);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DegradeController {
+    config: DegradeConfig,
+    mode: DegradedMode,
+    /// Rolling window of offload outcomes: bit = failure.
+    history: u64,
+    history_len: u32,
+    failures: u32,
+    cpu_ops_in_cooldown: u32,
+    ops_since_probe: u32,
+    probes_ok: u32,
+    transitions: u64,
+}
+
+impl DegradeController {
+    /// Creates a controller in the healthy state.
+    #[must_use]
+    pub fn new(config: DegradeConfig) -> Self {
+        Self {
+            config: DegradeConfig {
+                window: config.window.clamp(1, 64),
+                ..config
+            },
+            mode: DegradedMode::Nma,
+            history: 0,
+            history_len: 0,
+            failures: 0,
+            cpu_ops_in_cooldown: 0,
+            ops_since_probe: 0,
+            probes_ok: 0,
+            transitions: 0,
+        }
+    }
+
+    /// Current mode.
+    #[must_use]
+    pub fn mode(&self) -> DegradedMode {
+        self.mode
+    }
+
+    /// Mode changes so far.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Failure rate over the current window (0.0 when empty).
+    #[must_use]
+    pub fn failure_rate(&self) -> f64 {
+        if self.history_len == 0 {
+            0.0
+        } else {
+            f64::from(self.failures) / f64::from(self.history_len)
+        }
+    }
+
+    /// Whether the next eligible operation should attempt the NMA.
+    /// Mutates probe bookkeeping in `Recovering`.
+    pub fn decide_offload(&mut self) -> bool {
+        match self.mode {
+            DegradedMode::Nma | DegradedMode::Mixed => true,
+            DegradedMode::CpuOnly => false,
+            DegradedMode::Recovering => {
+                self.ops_since_probe += 1;
+                if self.ops_since_probe >= self.config.probe_interval {
+                    self.ops_since_probe = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records the outcome of an attempted offload (`success == true`
+    /// means it actually executed on the NMA). Returns the new mode
+    /// when this observation causes a transition.
+    pub fn record_offload(&mut self, success: bool) -> Option<DegradedMode> {
+        if self.mode == DegradedMode::Recovering {
+            return if success {
+                self.probes_ok += 1;
+                if self.probes_ok >= self.config.recover_window {
+                    self.reset_history();
+                    Some(self.switch(DegradedMode::Nma))
+                } else {
+                    None
+                }
+            } else {
+                self.cpu_ops_in_cooldown = 0;
+                Some(self.switch(DegradedMode::CpuOnly))
+            };
+        }
+        self.push_outcome(!success);
+        let rate = self.failure_rate();
+        let warm = self.history_len >= self.config.window.div_ceil(2);
+        match self.mode {
+            DegradedMode::Nma if warm && rate >= self.config.cpu_only_threshold => {
+                self.cpu_ops_in_cooldown = 0;
+                Some(self.switch(DegradedMode::CpuOnly))
+            }
+            DegradedMode::Nma if warm && rate >= self.config.mixed_threshold => {
+                Some(self.switch(DegradedMode::Mixed))
+            }
+            DegradedMode::Mixed if warm && rate >= self.config.cpu_only_threshold => {
+                self.cpu_ops_in_cooldown = 0;
+                Some(self.switch(DegradedMode::CpuOnly))
+            }
+            DegradedMode::Mixed
+                if self.history_len >= self.config.window
+                    && rate <= self.config.mixed_threshold / 2.0 =>
+            {
+                Some(self.switch(DegradedMode::Nma))
+            }
+            _ => None,
+        }
+    }
+
+    /// Records an operation that ran on the CPU without attempting the
+    /// NMA (ticks the `CpuOnly` cooldown). Returns the new mode when
+    /// the cooldown expires.
+    pub fn record_cpu_op(&mut self) -> Option<DegradedMode> {
+        if self.mode == DegradedMode::CpuOnly {
+            self.cpu_ops_in_cooldown += 1;
+            if self.cpu_ops_in_cooldown >= self.config.cooldown_ops {
+                self.probes_ok = 0;
+                self.ops_since_probe = 0;
+                return Some(self.switch(DegradedMode::Recovering));
+            }
+        }
+        None
+    }
+
+    fn push_outcome(&mut self, failure: bool) {
+        let window = self.config.window;
+        if self.history_len >= window {
+            // Evict the oldest bit.
+            let oldest = (self.history >> (window - 1)) & 1;
+            self.failures -= oldest as u32;
+            let mask = if window >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << window) - 1
+            };
+            self.history = (self.history << 1) & mask;
+        } else {
+            self.history <<= 1;
+            self.history_len += 1;
+        }
+        if failure {
+            self.history |= 1;
+            self.failures += 1;
+        }
+    }
+
+    fn reset_history(&mut self) {
+        self.history = 0;
+        self.history_len = 0;
+        self.failures = 0;
+    }
+
+    fn switch(&mut self, to: DegradedMode) -> DegradedMode {
+        self.mode = to;
+        self.transitions += 1;
+        to
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fails offloads until `CpuOnly`, then ticks the cooldown until
+    /// `Recovering`.
+    fn drive_to_recovering(cfg: DegradeConfig) -> DegradeController {
+        let mut ctl = DegradeController::new(cfg);
+        while ctl.mode() != DegradedMode::CpuOnly {
+            ctl.decide_offload();
+            ctl.record_offload(false);
+        }
+        while ctl.mode() != DegradedMode::Recovering {
+            ctl.record_cpu_op();
+        }
+        ctl
+    }
+
+    #[test]
+    fn healthy_stack_stays_in_nma() {
+        let mut ctl = DegradeController::new(DegradeConfig::default());
+        for _ in 0..1000 {
+            assert!(ctl.decide_offload());
+            assert_eq!(ctl.record_offload(true), None);
+        }
+        assert_eq!(ctl.mode(), DegradedMode::Nma);
+        assert_eq!(ctl.transitions(), 0);
+    }
+
+    #[test]
+    fn moderate_failures_enter_mixed_then_recover() {
+        let mut ctl = DegradeController::new(DegradeConfig::default());
+        // ~40% failures: above mixed (25%), below cpu-only (75%).
+        for i in 0..64 {
+            ctl.decide_offload();
+            ctl.record_offload(i % 5 >= 2);
+        }
+        assert_eq!(ctl.mode(), DegradedMode::Mixed);
+        // Clean run drains the window back below the hysteresis floor.
+        for _ in 0..64 {
+            ctl.decide_offload();
+            ctl.record_offload(true);
+        }
+        assert_eq!(ctl.mode(), DegradedMode::Nma);
+    }
+
+    #[test]
+    fn saturation_escalates_to_cpu_only_and_sticks() {
+        let cfg = DegradeConfig::default();
+        let mut ctl = DegradeController::new(cfg);
+        for _ in 0..16 {
+            ctl.decide_offload();
+            ctl.record_offload(false);
+        }
+        assert_eq!(ctl.mode(), DegradedMode::CpuOnly);
+        // Sticky: no offload attempts until the cooldown expires.
+        let mut ticks = 0;
+        while ctl.mode() == DegradedMode::CpuOnly {
+            assert!(!ctl.decide_offload());
+            ctl.record_cpu_op();
+            ticks += 1;
+        }
+        assert_eq!(ticks, cfg.cooldown_ops);
+        assert_eq!(ctl.mode(), DegradedMode::Recovering);
+    }
+
+    #[test]
+    fn recovery_probes_and_returns_to_nma() {
+        let cfg = DegradeConfig::default();
+        let mut ctl = drive_to_recovering(cfg);
+        // The device healed: every probe now succeeds.
+        let mut probes = 0;
+        while ctl.mode() == DegradedMode::Recovering {
+            if ctl.decide_offload() {
+                probes += 1;
+                ctl.record_offload(true);
+            }
+        }
+        assert_eq!(ctl.mode(), DegradedMode::Nma);
+        assert_eq!(probes, cfg.recover_window);
+    }
+
+    #[test]
+    fn failed_probe_goes_back_to_cpu_only() {
+        let mut ctl = drive_to_recovering(DegradeConfig::default());
+        // Walk to the first probe and fail it.
+        loop {
+            if ctl.decide_offload() {
+                ctl.record_offload(false);
+                break;
+            }
+        }
+        assert_eq!(ctl.mode(), DegradedMode::CpuOnly);
+    }
+
+    #[test]
+    fn probe_interval_limits_recovering_offloads() {
+        let cfg = DegradeConfig {
+            probe_interval: 8,
+            ..DegradeConfig::default()
+        };
+        let mut ctl = drive_to_recovering(cfg);
+        let attempts = (0..64).filter(|_| ctl.decide_offload()).count();
+        assert_eq!(attempts, 64 / 8);
+    }
+
+    #[test]
+    fn modes_order_by_severity_level() {
+        assert!(DegradedMode::Nma.level() < DegradedMode::Mixed.level());
+        assert!(DegradedMode::Mixed.level() < DegradedMode::CpuOnly.level());
+        assert_eq!(DegradedMode::Recovering.level(), 3);
+        assert_eq!(DegradedMode::CpuOnly.name(), "cpu_only");
+    }
+}

@@ -1,0 +1,100 @@
+//! Bounded retry-with-backoff policy for transient swap failures.
+
+use xfm_types::Nanos;
+
+/// How many times to retry a transient failure and how long to back
+/// off between attempts.
+///
+/// Backoff is exponential: attempt `n` (1-based) waits
+/// `backoff_base * multiplier^(n-1)`, letting refresh windows drain
+/// the request queue and free SPM slots before the re-submission.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_faults::RetryPolicy;
+/// use xfm_types::Nanos;
+///
+/// let policy = RetryPolicy::default();
+/// assert_eq!(policy.max_retries, 3);
+/// assert_eq!(policy.backoff_for(2), policy.backoff_for(1) * 2);
+/// assert_eq!(policy.backoff_for(0), Nanos::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: Nanos,
+    /// Backoff growth factor per retry.
+    pub multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            // One refresh interval (tREFI ≈ 3.9 us) is the natural
+            // drain quantum: by the next window the queue has had one
+            // service opportunity.
+            backoff_base: Nanos::from_ns(3_906),
+            multiplier: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            backoff_base: Nanos::ZERO,
+            multiplier: 1,
+        }
+    }
+
+    /// Backoff before retry `attempt` (1-based; 0 yields zero).
+    #[must_use]
+    pub fn backoff_for(&self, attempt: u32) -> Nanos {
+        if attempt == 0 {
+            return Nanos::ZERO;
+        }
+        let factor = u64::from(self.multiplier).saturating_pow(attempt - 1);
+        Nanos::from_ps(self.backoff_base.as_ps().saturating_mul(factor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy {
+            max_retries: 4,
+            backoff_base: Nanos::from_ns(100),
+            multiplier: 3,
+        };
+        assert_eq!(p.backoff_for(1).as_ns(), 100);
+        assert_eq!(p.backoff_for(2).as_ns(), 300);
+        assert_eq!(p.backoff_for(3).as_ns(), 900);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            backoff_base: Nanos::from_ns(1_000_000),
+            multiplier: 2,
+        };
+        assert_eq!(p.backoff_for(200).as_ps(), u64::MAX);
+    }
+
+    #[test]
+    fn none_disables_retrying() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_retries, 0);
+        assert_eq!(p.backoff_for(1), Nanos::ZERO);
+    }
+}

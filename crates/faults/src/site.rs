@@ -1,0 +1,95 @@
+//! Named fault-injection sites on the swap path.
+
+use core::fmt;
+
+/// A named point in the stack where a fault can be injected.
+///
+/// Each site corresponds to one failure branch the paper's
+/// `xfm_swap_out()` try-then-fallback semantics must survive: device
+/// resource exhaustion (`SpmExhaustion`, `QueueFull`), refresh-side
+/// starvation (`RefreshWindowMiss`, `NmaEngineTimeout`), and host-side
+/// storage failures (`ZpoolStoreFailure`, `BitCorruption`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultSite {
+    /// The NMA (de)compression engine times out: the operation errors
+    /// inside the window and falls back to the CPU.
+    NmaEngineTimeout,
+    /// The scratchpad memory reports no free slot even when one exists.
+    SpmExhaustion,
+    /// A refresh window is stolen (its access budget drops to zero),
+    /// modeling contention or adversarial refresh scheduling.
+    RefreshWindowMiss,
+    /// The compress-request queue rejects a submission.
+    QueueFull,
+    /// A fetched compressed block suffers an in-transit bit flip,
+    /// detected by the stored checksum at load time.
+    BitCorruption,
+    /// The zpool rejects a store as if the region were full.
+    ZpoolStoreFailure,
+}
+
+impl FaultSite {
+    /// Every site, in declaration order.
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::NmaEngineTimeout,
+        FaultSite::SpmExhaustion,
+        FaultSite::RefreshWindowMiss,
+        FaultSite::QueueFull,
+        FaultSite::BitCorruption,
+        FaultSite::ZpoolStoreFailure,
+    ];
+
+    /// Stable lowercase name, used in plans, metrics, and exposition.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::NmaEngineTimeout => "engine_timeout",
+            FaultSite::SpmExhaustion => "spm_exhaustion",
+            FaultSite::RefreshWindowMiss => "refresh_window_miss",
+            FaultSite::QueueFull => "queue_full",
+            FaultSite::BitCorruption => "bit_corruption",
+            FaultSite::ZpoolStoreFailure => "zpool_store_failure",
+        }
+    }
+
+    /// Parses a site name (as produced by [`FaultSite::name`]).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|site| site.name() == s)
+    }
+
+    /// Dense index for table-based per-site state.
+    #[must_use]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for site in FaultSite::ALL {
+            assert_eq!(FaultSite::parse(site.name()), Some(site));
+        }
+        assert_eq!(FaultSite::parse("bogus"), None);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; FaultSite::ALL.len()];
+        for site in FaultSite::ALL {
+            assert!(!seen[site.index()]);
+            seen[site.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

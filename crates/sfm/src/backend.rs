@@ -1,14 +1,23 @@
-//! The [`SfmBackend`] trait and shared accounting types.
+//! The [`SwapPlane`] trait and shared accounting types.
 //!
 //! A backend owns the SFM region (zpool + entry table) and executes
 //! swap-outs (compress into far memory) and swap-ins (decompress back).
-//! Two implementations exist in the workspace: the Baseline-CPU backend
-//! ([`crate::cpu_backend::CpuBackend`]) and the XFM backend in
+//! Three implementations exist in the workspace: the Baseline-CPU
+//! backend ([`crate::cpu_backend::CpuBackend`]), the sharded concurrent
+//! plane ([`crate::sharded::ShardedSfm`]), and the XFM backend in
 //! `xfm-core`, which offloads to the near-memory accelerator and falls
-//! back to the CPU when NMA resources are exhausted (paper §6).
+//! back to the CPU when NMA resources are exhausted (paper §6). All
+//! three sit behind [`SwapPlane`]: `&self` methods (interior
+//! mutability), [`SwapResult`] errors that carry the failing
+//! [`SwapSite`](xfm_types::SwapSite) and a retryability verdict.
+//!
+//! The older `&mut self` [`SfmBackend`] trait is deprecated; it remains
+//! implemented so out-of-tree callers keep compiling, but every caller
+//! in this workspace goes through [`SwapPlane`].
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
-use xfm_types::{ByteSize, Cycles, PageNumber, Result, PAGE_SIZE};
+use xfm_types::{ByteSize, Cycles, PageNumber, Result, SwapResult, PAGE_SIZE};
 
 /// Where a swap operation actually executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -116,10 +125,102 @@ impl Default for SfmConfig {
     }
 }
 
+/// The unified swap data plane.
+///
+/// Implementors hold the compressed region; callers are the SFM
+/// controller (policy) and applications (page faults). Every method
+/// takes `&self` — implementations use interior mutability (a mutex, or
+/// per-shard mutexes) — so one plane can be shared across threads and
+/// behind `Arc` without wrapper locks at every call site. Failures come
+/// back as [`SwapError`](xfm_types::SwapError), which names the failing
+/// site and whether re-submitting the operation may succeed.
+pub trait SwapPlane: Send + Sync {
+    /// Compresses `data` (one 4 KiB page) into the SFM under `page`.
+    ///
+    /// # Errors
+    ///
+    /// - [`xfm_types::Error::EntryExists`] if the page is already out;
+    /// - [`xfm_types::Error::SfmRegionFull`] if the region cannot hold it
+    ///   even after compaction;
+    /// - [`xfm_types::Error::InvalidConfig`] if `data` is not 4 KiB.
+    fn swap_out(&self, page: PageNumber, data: &[u8]) -> SwapResult<SwapOutcome>;
+
+    /// Decompresses `page` into the caller's reusable buffer (`out` is
+    /// cleared first), removing the entry. With a warm buffer the
+    /// steady-state fault performs zero heap allocations.
+    ///
+    /// `do_offload` mirrors the paper's parameter: when `false` (a
+    /// demand fault) the CPU path is preferred because the application
+    /// is stalled; when `true` (a prefetch) the NMA path may be used.
+    ///
+    /// # Errors
+    ///
+    /// - [`xfm_types::Error::EntryNotFound`] if the page is not in the
+    ///   SFM;
+    /// - [`xfm_types::Error::ChecksumMismatch`] if the fetched block
+    ///   fails verification — retryable, the entry stays intact;
+    /// - [`xfm_types::Error::Corrupt`] if stored data fails to
+    ///   decompress (the entry is consumed).
+    fn swap_in_into(
+        &self,
+        page: PageNumber,
+        do_offload: bool,
+        out: &mut Vec<u8>,
+    ) -> SwapResult<SwapOutcome>;
+
+    /// Allocating convenience form of [`SwapPlane::swap_in_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SwapPlane::swap_in_into`].
+    fn swap_in(&self, page: PageNumber, do_offload: bool) -> SwapResult<(Vec<u8>, SwapOutcome)> {
+        let mut out = Vec::with_capacity(PAGE_SIZE);
+        let outcome = self.swap_in_into(page, do_offload, &mut out)?;
+        Ok((out, outcome))
+    }
+
+    /// Swaps out a batch of pages, returning per-page results in
+    /// submission order. The default runs pages sequentially through
+    /// [`SwapPlane::swap_out`]; concurrent planes override this to fan
+    /// the codec work across worker threads (`threads` is a hint).
+    ///
+    /// # Errors
+    ///
+    /// A top-level error means the batch machinery itself failed;
+    /// per-page conditions are reported in the inner results.
+    fn swap_out_batch(
+        &self,
+        batch: &[(PageNumber, Bytes)],
+        _threads: usize,
+    ) -> SwapResult<Vec<SwapResult<SwapOutcome>>> {
+        Ok(batch
+            .iter()
+            .map(|(page, data)| self.swap_out(*page, data))
+            .collect())
+    }
+
+    /// Whether `page` currently lives in the SFM.
+    fn contains(&self, page: PageNumber) -> bool;
+
+    /// Runs a compaction pass over the region (the paper's
+    /// `xfm_compact()`), returning the `memcpy` report.
+    fn compact(&self) -> crate::zpool::CompactReport;
+
+    /// Aggregate statistics.
+    fn stats(&self) -> BackendStats;
+
+    /// Zpool-level statistics (occupancy, fragmentation).
+    fn pool_stats(&self) -> crate::zpool::ZpoolStats;
+}
+
 /// A software-defined far memory backend.
 ///
 /// Implementors hold the compressed region; callers are the SFM
 /// controller (policy) and applications (page faults).
+#[deprecated(
+    since = "0.4.0",
+    note = "use the `SwapPlane` trait: `&self` methods and structured `SwapError` results"
+)]
 pub trait SfmBackend {
     /// Compresses `data` (one 4 KiB page) into the SFM under `page`.
     ///
@@ -206,7 +307,13 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn backend_trait_is_object_safe() {
         fn _takes_dyn(_b: &mut dyn SfmBackend) {}
+    }
+
+    #[test]
+    fn swap_plane_trait_is_object_safe() {
+        fn _takes_dyn(_b: &dyn SwapPlane) {}
     }
 }

@@ -7,13 +7,22 @@
 //! cold by definition, so every one of those four transfers hits DRAM —
 //! the `4 x GBSwapped` channel traffic of the paper's §1/§3 (overhead
 //! O3) — and the codec burns host cycles (overhead O2).
+//!
+//! The backend fronts its single-threaded state with one mutex so the
+//! whole surface is `&self` (the [`SwapPlane`] contract); the lock is a
+//! plain uncontended acquisition on this baseline, costing nothing
+//! measurable next to a codec pass.
 
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use xfm_compress::{Codec, CodecKind, CostModel, Scratch, XDeflate};
+use xfm_faults::{FaultInjector, FaultSite};
 use xfm_telemetry::swap_metrics::Stopwatch;
 use xfm_telemetry::{Cause, Registry, SwapMetrics, SwapStage};
-use xfm_types::{ByteSize, Cycles, Error, PageNumber, Result, PAGE_SIZE};
+use xfm_types::{ByteSize, Cycles, Error, PageNumber, Result, SwapError, SwapResult, PAGE_SIZE};
 
-use crate::backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
+use crate::backend::{BackendStats, ExecutedOn, SfmConfig, SwapOutcome, SwapPlane};
 use crate::table::{SfmEntry, SfmTable};
 use crate::zpool::{CompactReport, Zpool, ZpoolStats};
 
@@ -22,10 +31,10 @@ use crate::zpool::{CompactReport, Zpool, ZpoolStats};
 /// # Examples
 ///
 /// ```
-/// use xfm_sfm::{CpuBackend, SfmBackend, SfmConfig};
+/// use xfm_sfm::{CpuBackend, SfmConfig};
 /// use xfm_types::PageNumber;
 ///
-/// let mut b = CpuBackend::new(SfmConfig::default());
+/// let b = CpuBackend::new(SfmConfig::default());
 /// let page = b"16-byte pattern!".repeat(256); // 4096 bytes
 /// let out = b.swap_out(PageNumber::new(1), &page)?;
 /// assert!(out.compressed_len < 4096);
@@ -34,6 +43,13 @@ use crate::zpool::{CompactReport, Zpool, ZpoolStats};
 /// # Ok::<(), xfm_types::Error>(())
 /// ```
 pub struct CpuBackend {
+    config: SfmConfig,
+    inner: Mutex<CpuInner>,
+}
+
+/// Single-owner state behind the mutex; every data-path method lives
+/// here so the public wrappers are one lock acquisition each.
+struct CpuInner {
     config: SfmConfig,
     codec: Box<dyn Codec + Send>,
     cost: CostModel,
@@ -49,13 +65,17 @@ pub struct CpuBackend {
     /// [`CpuBackend::attach_telemetry`], and the hot path pays nothing
     /// while detached.
     telemetry: Option<SwapMetrics>,
+    /// Fault-injection hooks; `None` until [`CpuBackend::attach_faults`],
+    /// and the hot path pays one pointer test while detached.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl std::fmt::Debug for CpuBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
         f.debug_struct("CpuBackend")
-            .field("codec", &self.codec.name())
-            .field("entries", &self.table.len())
+            .field("codec", &inner.codec.name())
+            .field("entries", &inner.table.len())
             .finish_non_exhaustive()
     }
 }
@@ -77,15 +97,19 @@ impl CpuBackend {
     #[must_use]
     pub fn with_codec(config: SfmConfig, codec: Box<dyn Codec + Send>, cost: CostModel) -> Self {
         Self {
-            pool: Zpool::new(config.region_capacity),
-            table: SfmTable::new(),
-            stats: BackendStats::default(),
             config,
-            codec,
-            cost,
-            scratch: Scratch::new(),
-            comp_buf: Vec::with_capacity(PAGE_SIZE),
-            telemetry: None,
+            inner: Mutex::new(CpuInner {
+                pool: Zpool::new(config.region_capacity),
+                table: SfmTable::new(),
+                stats: BackendStats::default(),
+                config,
+                codec,
+                cost,
+                scratch: Scratch::new(),
+                comp_buf: Vec::with_capacity(PAGE_SIZE),
+                telemetry: None,
+                faults: None,
+            }),
         }
     }
 
@@ -95,19 +119,154 @@ impl CpuBackend {
     /// the XFM backend — every operation counts as a CPU execution —
     /// so A/B comparisons read one schema.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
-        self.telemetry = Some(SwapMetrics::register(registry));
+        self.inner.lock().telemetry = Some(SwapMetrics::register(registry));
     }
 
-    /// The entry table (for controllers that scan it).
+    /// Attaches a fault injector; its zpool-store and bit-corruption
+    /// sites then apply to this backend's swap path.
+    pub fn attach_faults(&mut self, faults: Arc<FaultInjector>) {
+        self.inner.lock().faults = Some(faults);
+    }
+
+    /// Number of pages currently held by the SFM entry table.
     #[must_use]
-    pub fn table(&self) -> &SfmTable {
-        &self.table
+    pub fn table_len(&self) -> usize {
+        self.inner.lock().table.len()
     }
 
     /// The active configuration.
     #[must_use]
     pub fn config(&self) -> &SfmConfig {
         &self.config
+    }
+
+    /// Compresses `data` (one 4 KiB page) into the SFM under `page`.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::EntryExists`] if the page is already out;
+    /// - [`Error::SfmRegionFull`] if the region cannot hold it even
+    ///   after compaction;
+    /// - [`Error::InvalidConfig`] if `data` is not 4 KiB.
+    pub fn swap_out(&self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+        self.inner.lock().swap_out(page, data)
+    }
+
+    /// Decompresses `page` back out of the SFM, removing its entry.
+    ///
+    /// `do_offload` mirrors the paper's `xfm_swap_out()` parameter: when
+    /// `false` (a demand fault) the CPU path is preferred because the
+    /// application is stalled; when `true` (a prefetch) the NMA path may
+    /// be used. The CPU baseline ignores it.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::EntryNotFound`] if the page is not in the SFM;
+    /// - [`Error::ChecksumMismatch`] if the fetched bytes fail
+    ///   verification — the entry and slot are left intact, so a retry
+    ///   re-reads the stored copy;
+    /// - [`Error::Corrupt`] if stored data fails to decompress (the
+    ///   entry is consumed).
+    pub fn swap_in(&self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
+        let mut out = Vec::with_capacity(PAGE_SIZE);
+        let outcome = self.inner.lock().swap_in_into(page, do_offload, &mut out)?;
+        Ok((out, outcome))
+    }
+
+    /// Allocation-free fault path: decompresses `page` into the caller's
+    /// reusable buffer (`out` is cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CpuBackend::swap_in`].
+    pub fn swap_in_into(
+        &self,
+        page: PageNumber,
+        do_offload: bool,
+        out: &mut Vec<u8>,
+    ) -> Result<SwapOutcome> {
+        self.inner.lock().swap_in_into(page, do_offload, out)
+    }
+
+    /// Whether `page` currently lives in the SFM.
+    #[must_use]
+    pub fn contains(&self, page: PageNumber) -> bool {
+        self.inner.lock().table.contains(page)
+    }
+
+    /// Runs a compaction pass over the zpool.
+    pub fn compact(&self) -> CompactReport {
+        self.inner.lock().pool.compact()
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> BackendStats {
+        self.inner.lock().stats
+    }
+
+    /// Zpool-level statistics.
+    #[must_use]
+    pub fn pool_stats(&self) -> ZpoolStats {
+        self.inner.lock().pool.stats()
+    }
+}
+
+impl SwapPlane for CpuBackend {
+    fn swap_out(&self, page: PageNumber, data: &[u8]) -> SwapResult<SwapOutcome> {
+        CpuBackend::swap_out(self, page, data).map_err(SwapError::from)
+    }
+
+    fn swap_in_into(
+        &self,
+        page: PageNumber,
+        do_offload: bool,
+        out: &mut Vec<u8>,
+    ) -> SwapResult<SwapOutcome> {
+        CpuBackend::swap_in_into(self, page, do_offload, out).map_err(SwapError::from)
+    }
+
+    fn contains(&self, page: PageNumber) -> bool {
+        CpuBackend::contains(self, page)
+    }
+
+    fn compact(&self) -> CompactReport {
+        CpuBackend::compact(self)
+    }
+
+    fn stats(&self) -> BackendStats {
+        CpuBackend::stats(self)
+    }
+
+    fn pool_stats(&self) -> ZpoolStats {
+        CpuBackend::pool_stats(self)
+    }
+}
+
+#[allow(deprecated)]
+impl crate::backend::SfmBackend for CpuBackend {
+    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+        CpuBackend::swap_out(self, page, data)
+    }
+
+    fn swap_in(&mut self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
+        CpuBackend::swap_in(self, page, do_offload)
+    }
+
+    fn contains(&self, page: PageNumber) -> bool {
+        CpuBackend::contains(self, page)
+    }
+
+    fn compact(&mut self) -> CompactReport {
+        CpuBackend::compact(self)
+    }
+
+    fn stats(&self) -> BackendStats {
+        CpuBackend::stats(self)
+    }
+
+    fn pool_stats(&self) -> ZpoolStats {
+        CpuBackend::pool_stats(self)
     }
 }
 
@@ -118,7 +277,7 @@ pub fn same_filled(data: &[u8]) -> Option<u8> {
     rest.iter().all(|&b| b == first).then_some(first)
 }
 
-impl SfmBackend for CpuBackend {
+impl CpuInner {
     fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
         if data.len() != PAGE_SIZE {
             return Err(Error::InvalidConfig(format!(
@@ -134,13 +293,14 @@ impl SfmBackend for CpuBackend {
         // zswap's same-filled-page check runs before compression: a page
         // of one repeated byte stores just that byte.
         if let Some(fill) = same_filled(data) {
-            let handle = self.pool.alloc(&[fill])?;
+            let handle = self.pool.alloc_faulted(&[fill], self.faults.as_deref())?;
             self.table.insert(
                 page,
                 SfmEntry {
                     handle,
                     compressed_len: 1,
                     codec: CodecKind::SameFilled,
+                    checksum: xfm_faults::checksum(&[fill]),
                 },
             )?;
             let outcome = SwapOutcome {
@@ -189,12 +349,12 @@ impl SfmBackend for CpuBackend {
         // SFM capacity limit is hit").
         let mut extra_ddr = ByteSize::ZERO;
         let ssw = self.telemetry.as_ref().map(|_| Stopwatch::start());
-        let handle = match self.pool.alloc(bytes) {
+        let handle = match self.pool.alloc_faulted(bytes, self.faults.as_deref()) {
             Ok(h) => h,
             Err(Error::SfmRegionFull) => {
                 let report = self.pool.compact();
                 extra_ddr += report.moved_bytes * 2; // memcpy: read + write
-                match self.pool.alloc(bytes) {
+                match self.pool.alloc_faulted(bytes, self.faults.as_deref()) {
                     Ok(h) => h,
                     Err(e) => {
                         self.stats.rejected_full += 1;
@@ -220,6 +380,7 @@ impl SfmBackend for CpuBackend {
                 handle,
                 compressed_len: bytes.len() as u32,
                 codec: codec_kind,
+                checksum: xfm_faults::checksum(bytes),
             },
         )?;
 
@@ -256,31 +417,75 @@ impl SfmBackend for CpuBackend {
         Ok(outcome)
     }
 
-    fn swap_in(&mut self, page: PageNumber, _do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
+    fn swap_in_into(
+        &mut self,
+        page: PageNumber,
+        _do_offload: bool,
+        out: &mut Vec<u8>,
+    ) -> Result<SwapOutcome> {
         let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
-        let entry = self.table.remove(page)?;
+        let entry = *self
+            .table
+            .get(page)
+            .ok_or(Error::EntryNotFound { page: page.index() })?;
         let mut fetch_ns = 0u64;
         let mut decomp_ns = 0u64;
+        out.clear();
         // Decompress straight out of the pool's arena slice — the
         // compressed bytes are never copied. The slot is freed after the
         // borrow ends, even when decoding fails.
-        let decoded: Result<(Vec<u8>, Cycles)> = {
+        let decoded: Result<Cycles> = {
             let compressed = self.pool.get(entry.handle)?;
             if let Some(sw) = &sw {
                 fetch_ns = sw.elapsed_ns();
             }
+            // Verify before decoding. The checksum covers the bytes as
+            // fetched — an injected flip models in-transit corruption —
+            // so on mismatch the stored copy is still pristine and the
+            // error is retryable: entry and slot stay untouched.
+            let got = match self
+                .faults
+                .as_deref()
+                .and_then(|f| f.fire_value(FaultSite::BitCorruption))
+            {
+                Some(v) => {
+                    let mut fetched = compressed.to_vec();
+                    let bit = (v % (fetched.len() as u64 * 8)) as usize;
+                    fetched[bit / 8] ^= 1 << (bit % 8);
+                    xfm_faults::checksum(&fetched)
+                }
+                None => xfm_faults::checksum(compressed),
+            };
+            if got != entry.checksum {
+                if let Some(t) = &self.telemetry {
+                    t.span(
+                        SwapStage::Fetch,
+                        page.index(),
+                        0,
+                        fetch_ns,
+                        Cause::ChecksumMismatch,
+                    );
+                }
+                return Err(Error::ChecksumMismatch {
+                    page: page.index(),
+                    expected: entry.checksum,
+                    got,
+                });
+            }
             match entry.codec {
-                CodecKind::SameFilled => Ok((
-                    vec![compressed[0]; PAGE_SIZE],
-                    Cycles::new(PAGE_SIZE as u64),
-                )),
-                CodecKind::Raw => Ok((compressed.to_vec(), Cycles::ZERO)),
+                CodecKind::SameFilled => {
+                    out.resize(PAGE_SIZE, compressed[0]);
+                    Ok(Cycles::new(PAGE_SIZE as u64))
+                }
+                CodecKind::Raw => {
+                    out.extend_from_slice(compressed);
+                    Ok(Cycles::ZERO)
+                }
                 _ => {
-                    let mut out = Vec::with_capacity(PAGE_SIZE);
                     let dsw = sw.map(|_| Stopwatch::start());
                     match self
                         .codec
-                        .decompress_into(compressed, &mut out, &mut self.scratch)
+                        .decompress_into(compressed, out, &mut self.scratch)
                     {
                         Ok(_) if out.len() != PAGE_SIZE => Err(Error::Corrupt(format!(
                             "page {page} decompressed to {} bytes",
@@ -288,15 +493,16 @@ impl SfmBackend for CpuBackend {
                         ))),
                         Ok(_) => {
                             decomp_ns = dsw.map_or(0, |s| s.elapsed_ns());
-                            Ok((out, self.cost.decompress_cycles(PAGE_SIZE as u64)))
+                            Ok(self.cost.decompress_cycles(PAGE_SIZE as u64))
                         }
                         Err(e) => Err(e),
                     }
                 }
             }
         };
+        self.table.remove(page)?;
         self.pool.free(entry.handle)?;
-        let (data, cycles) = decoded?;
+        let cycles = decoded?;
 
         let outcome = SwapOutcome {
             executed_on: ExecutedOn::Cpu,
@@ -330,23 +536,7 @@ impl SfmBackend for CpuBackend {
                 );
             }
         }
-        Ok((data, outcome))
-    }
-
-    fn contains(&self, page: PageNumber) -> bool {
-        self.table.contains(page)
-    }
-
-    fn compact(&mut self) -> CompactReport {
-        self.pool.compact()
-    }
-
-    fn stats(&self) -> BackendStats {
-        self.stats
-    }
-
-    fn pool_stats(&self) -> ZpoolStats {
-        self.pool.stats()
+        Ok(outcome)
     }
 }
 
@@ -368,7 +558,7 @@ mod tests {
 
     #[test]
     fn swap_round_trip_preserves_data() {
-        let mut b = backend();
+        let b = backend();
         for (i, corpus) in Corpus::all().iter().enumerate() {
             let page = page_of(*corpus, i as u64);
             b.swap_out(PageNumber::new(i as u64), &page).unwrap();
@@ -381,7 +571,7 @@ mod tests {
 
     #[test]
     fn ddr_traffic_matches_four_component_model() {
-        let mut b = backend();
+        let b = backend();
         let page = page_of(Corpus::Json, 1);
         let out = b.swap_out(PageNumber::new(1), &page).unwrap();
         let c = u64::from(out.compressed_len);
@@ -394,7 +584,7 @@ mod tests {
 
     #[test]
     fn incompressible_page_stored_raw() {
-        let mut b = backend();
+        let b = backend();
         let page = page_of(Corpus::RandomBytes, 2);
         let out = b.swap_out(PageNumber::new(9), &page).unwrap();
         assert_eq!(out.compressed_len as usize, PAGE_SIZE);
@@ -405,7 +595,7 @@ mod tests {
 
     #[test]
     fn double_swap_out_rejected() {
-        let mut b = backend();
+        let b = backend();
         let page = page_of(Corpus::Csv, 3);
         b.swap_out(PageNumber::new(4), &page).unwrap();
         assert!(matches!(
@@ -416,7 +606,7 @@ mod tests {
 
     #[test]
     fn swap_in_of_missing_page_rejected() {
-        let mut b = backend();
+        let b = backend();
         assert!(matches!(
             b.swap_in(PageNumber::new(11), false),
             Err(Error::EntryNotFound { page: 11 })
@@ -425,14 +615,14 @@ mod tests {
 
     #[test]
     fn wrong_size_page_rejected() {
-        let mut b = backend();
+        let b = backend();
         assert!(b.swap_out(PageNumber::new(1), &[0u8; 100]).is_err());
     }
 
     #[test]
     fn region_full_rejects_after_compaction_attempt() {
         // Tiny region: two raw pages fill it.
-        let mut b = CpuBackend::new(SfmConfig {
+        let b = CpuBackend::new(SfmConfig {
             region_capacity: ByteSize::from_pages(2),
             ..SfmConfig::default()
         });
@@ -453,7 +643,7 @@ mod tests {
 
     #[test]
     fn cpu_cycles_charged_for_codec_work() {
-        let mut b = backend();
+        let b = backend();
         let page = page_of(Corpus::EnglishText, 5);
         b.swap_out(PageNumber::new(1), &page).unwrap();
         b.swap_in(PageNumber::new(1), false).unwrap();
@@ -468,7 +658,7 @@ mod tests {
 
     #[test]
     fn same_filled_pages_store_one_byte() {
-        let mut b = backend();
+        let b = backend();
         for (i, fill) in [(0u64, 0u8), (1, 0xff), (2, 0x5a)] {
             let page = vec![fill; PAGE_SIZE];
             let out = b.swap_out(PageNumber::new(i), &page).unwrap();
@@ -491,6 +681,30 @@ mod tests {
         assert_eq!(same_filled(&[3, 3, 4]), None);
         assert_eq!(same_filled(&[9]), Some(9));
         assert_eq!(same_filled(&[]), None);
+    }
+
+    #[test]
+    fn swap_plane_surface_round_trips() {
+        let b = backend();
+        let plane: &dyn SwapPlane = &b;
+        let page = page_of(Corpus::Json, 4);
+        plane.swap_out(PageNumber::new(3), &page).unwrap();
+        assert!(plane.contains(PageNumber::new(3)));
+        let mut out = Vec::new();
+        plane
+            .swap_in_into(PageNumber::new(3), false, &mut out)
+            .unwrap();
+        assert_eq!(out, page);
+        assert_eq!(plane.stats().swap_outs, 1);
+    }
+
+    #[test]
+    fn swap_plane_errors_carry_site_and_retryability() {
+        let b = backend();
+        let plane: &dyn SwapPlane = &b;
+        let err = plane.swap_in(PageNumber::new(11), false).unwrap_err();
+        assert_eq!(err.site, xfm_types::SwapSite::EntryTable);
+        assert!(!err.retryable);
     }
 
     #[test]
@@ -538,7 +752,7 @@ mod tests {
     #[test]
     fn unattached_cpu_backend_behaves_identically() {
         let registry = Registry::new();
-        let mut plain = backend();
+        let plain = backend();
         let mut traced = backend();
         traced.attach_telemetry(&registry);
         for (i, corpus) in Corpus::all().iter().enumerate() {
@@ -555,7 +769,7 @@ mod tests {
 
     #[test]
     fn pool_stats_reflect_occupancy() {
-        let mut b = backend();
+        let b = backend();
         let page = page_of(Corpus::ZeroPage, 0);
         b.swap_out(PageNumber::new(1), &page).unwrap();
         let s = b.pool_stats();

@@ -9,8 +9,10 @@
 //!   compaction (`memcpy`-cost accounted) to fight internal fragmentation;
 //! - [`table`] — the SFM entry table mapping swapped-out page numbers to
 //!   their compressed locations (the paper's red-black tree);
-//! - [`backend`] — the [`SfmBackend`] trait: `swap_out` / `swap_in` /
-//!   `compact`, with per-operation accounting (CPU cycles, DRAM traffic);
+//! - [`backend`] — the [`SwapPlane`] trait: `swap_out` / `swap_in_into` /
+//!   `swap_out_batch` / `compact` behind `&self`, with per-operation
+//!   accounting (CPU cycles, DRAM traffic) and structured
+//!   [`SwapError`](xfm_types::SwapError) results;
 //! - [`cpu_backend`] — the Baseline-CPU backend: synchronous compression
 //!   on the host, four DRAM traffic components per swap;
 //! - [`controller`] — cold-page scanning (120 s idle threshold by
@@ -25,10 +27,10 @@
 //! # Examples
 //!
 //! ```
-//! use xfm_sfm::{CpuBackend, SfmBackend, SfmConfig};
+//! use xfm_sfm::{CpuBackend, SfmConfig};
 //! use xfm_types::{ByteSize, PageNumber};
 //!
-//! let mut backend = CpuBackend::new(SfmConfig {
+//! let backend = CpuBackend::new(SfmConfig {
 //!     region_capacity: ByteSize::from_mib(4),
 //!     ..SfmConfig::default()
 //! });
@@ -51,7 +53,9 @@ pub mod table;
 pub mod trace;
 pub mod zpool;
 
-pub use backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
+#[allow(deprecated)]
+pub use backend::SfmBackend;
+pub use backend::{BackendStats, ExecutedOn, SfmConfig, SwapOutcome, SwapPlane};
 pub use controller::{ColdScanConfig, PromotionStats, SfmController};
 pub use cpu_backend::CpuBackend;
 pub use predictor::{PredictorStats, StridePredictor};

@@ -36,11 +36,16 @@ use xfm_compress::{
     compress_pages_streamed, compress_pages_streamed_traced, Codec, CodecKind, CostModel, Scratch,
     XDeflate,
 };
+use xfm_faults::{FaultInjector, FaultSite};
 use xfm_telemetry::swap_metrics::Stopwatch;
 use xfm_telemetry::{Cause, Registry, ShardMetrics, SwapMetrics, SwapStage};
-use xfm_types::{ByteSize, Cycles, Error, Nanos, PageNumber, Result, PAGE_SIZE};
+use xfm_types::{
+    ByteSize, Cycles, Error, Nanos, PageNumber, Result, SwapError, SwapResult, PAGE_SIZE,
+};
 
-use crate::backend::{BackendStats, ExecutedOn, SfmBackend, SfmConfig, SwapOutcome};
+#[allow(deprecated)]
+use crate::backend::SfmBackend;
+use crate::backend::{BackendStats, ExecutedOn, SfmConfig, SwapOutcome, SwapPlane};
 use crate::controller::{select_cold_batch, ColdScanConfig, PromotionStats};
 use crate::cpu_backend::same_filled;
 use crate::table::{SfmEntry, SfmTable};
@@ -136,6 +141,9 @@ pub struct ShardedSfm {
     minute_start_ns: AtomicU64,
     minute: Mutex<MinuteState>,
     telemetry: Option<Telemetry>,
+    /// Fault-injection hooks; `None` until [`ShardedSfm::attach_faults`],
+    /// and the hot path pays one pointer test while detached.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl std::fmt::Debug for ShardedSfm {
@@ -214,6 +222,7 @@ impl ShardedSfm {
                 stats: PromotionStats::default(),
             }),
             telemetry: None,
+            faults: None,
         }
     }
 
@@ -225,6 +234,12 @@ impl ShardedSfm {
             shards: ShardMetrics::register(registry, self.shards.len()),
             registry: registry.clone(),
         });
+    }
+
+    /// Attaches a fault injector; its zpool-store and bit-corruption
+    /// sites then apply to every shard's swap path.
+    pub fn attach_faults(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = Some(faults);
     }
 
     /// Number of shards.
@@ -280,7 +295,7 @@ impl ShardedSfm {
             if self.store_would_overflow(&s.pool, 1) {
                 return Err(Error::SfmRegionFull);
             }
-            let handle = s.pool.alloc(&[fill])?;
+            let handle = s.pool.alloc_faulted(&[fill], self.faults.as_deref())?;
             let Shard {
                 pool, host_pages, ..
             } = s;
@@ -291,6 +306,7 @@ impl ShardedSfm {
                     handle,
                     compressed_len: 1,
                     codec: CodecKind::SameFilled,
+                    checksum: xfm_faults::checksum(&[fill]),
                 },
             )?;
             let outcome = SwapOutcome {
@@ -362,7 +378,10 @@ impl ShardedSfm {
         let mut guard = self.shards[si].lock();
         let s = &mut *guard;
         let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
-        let entry = s.table.remove(page)?;
+        let entry = *s
+            .table
+            .get(page)
+            .ok_or(Error::EntryNotFound { page: page.index() })?;
         let mut fetch_ns = 0u64;
         let mut decomp_ns = 0u64;
         out.clear();
@@ -374,6 +393,39 @@ impl ShardedSfm {
             let compressed = pool.get(entry.handle)?;
             if let Some(sw) = &sw {
                 fetch_ns = sw.elapsed_ns();
+            }
+            // Verify before decoding. The checksum covers the bytes as
+            // fetched — an injected flip models in-transit corruption —
+            // so on mismatch the stored copy is still pristine and the
+            // error is retryable: entry and slot stay untouched.
+            let got = match self
+                .faults
+                .as_deref()
+                .and_then(|f| f.fire_value(FaultSite::BitCorruption))
+            {
+                Some(v) => {
+                    let mut fetched = compressed.to_vec();
+                    let bit = (v % (fetched.len() as u64 * 8)) as usize;
+                    fetched[bit / 8] ^= 1 << (bit % 8);
+                    xfm_faults::checksum(&fetched)
+                }
+                None => xfm_faults::checksum(compressed),
+            };
+            if got != entry.checksum {
+                if let Some(t) = &self.telemetry {
+                    t.swap.span(
+                        SwapStage::Fetch,
+                        page.index(),
+                        0,
+                        fetch_ns,
+                        Cause::ChecksumMismatch,
+                    );
+                }
+                return Err(Error::ChecksumMismatch {
+                    page: page.index(),
+                    expected: entry.checksum,
+                    got,
+                });
             }
             match entry.codec {
                 CodecKind::SameFilled => {
@@ -400,6 +452,7 @@ impl ShardedSfm {
                 }
             }
         };
+        s.table.remove(page)?;
         s.pool.free(entry.handle)?;
         {
             let Shard {
@@ -563,7 +616,7 @@ impl ShardedSfm {
             s.stats.stored_raw += 1;
         }
         let ssw = self.telemetry.as_ref().map(|_| Stopwatch::start());
-        let (handle, extra_ddr, stored_len) = {
+        let (handle, extra_ddr, stored_len, checksum) = {
             let Shard {
                 pool,
                 stats,
@@ -577,7 +630,7 @@ impl ShardedSfm {
                 compressed.unwrap_or(comp_buf)
             };
             match self.store_bytes(pool, stats, host_pages, bytes) {
-                Ok((h, extra)) => (h, extra, bytes.len()),
+                Ok((h, extra)) => (h, extra, bytes.len(), xfm_faults::checksum(bytes)),
                 Err(e) => {
                     if let Some(t) = &self.telemetry {
                         t.swap.span(
@@ -604,6 +657,7 @@ impl ShardedSfm {
                 handle,
                 compressed_len: stored_len as u32,
                 codec: codec_kind,
+                checksum,
             },
         )?;
 
@@ -669,7 +723,7 @@ impl ShardedSfm {
                 return Err(Error::SfmRegionFull);
             }
         }
-        let handle = pool.alloc(bytes)?;
+        let handle = pool.alloc_faulted(bytes, self.faults.as_deref())?;
         self.sync_host_pages(pool, shard_pages);
         Ok((handle, extra_ddr))
     }
@@ -930,6 +984,53 @@ impl ShardedSfm {
     }
 }
 
+impl SwapPlane for ShardedSfm {
+    fn swap_out(&self, page: PageNumber, data: &[u8]) -> SwapResult<SwapOutcome> {
+        ShardedSfm::swap_out(self, page, data).map_err(SwapError::from)
+    }
+
+    fn swap_in_into(
+        &self,
+        page: PageNumber,
+        do_offload: bool,
+        out: &mut Vec<u8>,
+    ) -> SwapResult<SwapOutcome> {
+        ShardedSfm::swap_in_into(self, page, do_offload, out).map_err(SwapError::from)
+    }
+
+    fn swap_out_batch(
+        &self,
+        batch: &[(PageNumber, Bytes)],
+        threads: usize,
+    ) -> SwapResult<Vec<SwapResult<SwapOutcome>>> {
+        ShardedSfm::swap_out_batch(self, batch, threads)
+            .map(|results| {
+                results
+                    .into_iter()
+                    .map(|r| r.map_err(SwapError::from))
+                    .collect()
+            })
+            .map_err(SwapError::from)
+    }
+
+    fn contains(&self, page: PageNumber) -> bool {
+        ShardedSfm::contains(self, page)
+    }
+
+    fn compact(&self) -> CompactReport {
+        self.compact_all()
+    }
+
+    fn stats(&self) -> BackendStats {
+        ShardedSfm::stats(self)
+    }
+
+    fn pool_stats(&self) -> ZpoolStats {
+        ShardedSfm::pool_stats(self)
+    }
+}
+
+#[allow(deprecated)]
 impl SfmBackend for ShardedSfm {
     fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
         ShardedSfm::swap_out(self, page, data)
@@ -1022,7 +1123,7 @@ mod tests {
     #[test]
     fn one_shard_matches_cpu_backend_outcomes() {
         let sfm = plane(1);
-        let mut cpu = CpuBackend::new(SfmConfig {
+        let cpu = CpuBackend::new(SfmConfig {
             region_capacity: ByteSize::from_mib(4),
             ..SfmConfig::default()
         });

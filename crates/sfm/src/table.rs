@@ -23,6 +23,10 @@ pub struct SfmEntry {
     pub compressed_len: u32,
     /// Codec used (or [`CodecKind::Raw`] for incompressible pages).
     pub codec: CodecKind,
+    /// XXH64 checksum of the stored bytes, computed at swap-out and
+    /// verified at swap-in so in-transit corruption surfaces as a
+    /// retryable [`Error::ChecksumMismatch`] instead of a garbage page.
+    pub checksum: u64,
 }
 
 /// Ordered page-number → entry map.
@@ -41,6 +45,7 @@ pub struct SfmEntry {
 ///     handle,
 ///     compressed_len: 100,
 ///     codec: CodecKind::Xlz,
+///     checksum: xfm_faults::checksum(&[0u8; 100]),
 /// })?;
 /// assert!(table.get(PageNumber::new(3)).is_some());
 /// # Ok::<(), xfm_types::Error>(())
@@ -137,11 +142,13 @@ mod tests {
     fn entry(len: u32) -> SfmEntry {
         // Handles here are synthetic: table tests don't need a real pool.
         let mut pool = crate::zpool::Zpool::new(ByteSize::from_mib(1));
-        let handle = pool.alloc(&vec![0u8; len as usize]).unwrap();
+        let data = vec![0u8; len as usize];
+        let handle = pool.alloc(&data).unwrap();
         SfmEntry {
             handle,
             compressed_len: len,
             codec: CodecKind::XDeflate,
+            checksum: xfm_faults::checksum(&data),
         }
     }
 

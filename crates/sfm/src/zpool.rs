@@ -266,6 +266,34 @@ impl Zpool {
         Ok(handle)
     }
 
+    /// [`Zpool::alloc`] behind a fault-injection hook: when `faults`
+    /// carries an armed [`FaultSite::ZpoolStoreFailure`] that fires, the
+    /// store is rejected as [`Error::SfmRegionFull`] before touching the
+    /// pool — exactly the shape a capacity rejection takes, so callers
+    /// exercise their compact-and-retry and clean-reject paths.
+    ///
+    /// The injector is a parameter rather than a field so the pool stays
+    /// plain serializable data; with `None` this is a single branch on
+    /// top of `alloc`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Zpool::alloc`], plus the injected [`Error::SfmRegionFull`].
+    ///
+    /// [`FaultSite::ZpoolStoreFailure`]: xfm_faults::FaultSite::ZpoolStoreFailure
+    pub fn alloc_faulted(
+        &mut self,
+        data: &[u8],
+        faults: Option<&xfm_faults::FaultInjector>,
+    ) -> Result<Handle> {
+        if let Some(f) = faults {
+            if f.should_fire(xfm_faults::FaultSite::ZpoolStoreFailure) {
+                return Err(Error::SfmRegionFull);
+            }
+        }
+        self.alloc(data)
+    }
+
     /// Reads the object behind `handle`.
     ///
     /// # Errors
@@ -526,5 +554,26 @@ mod tests {
         p.alloc(&[1u8; 64]).unwrap(); // class 0
         p.alloc(&[2u8; 2048]).unwrap(); // class 31
         assert_eq!(p.stats().host_pages, 2);
+    }
+
+    #[test]
+    fn injected_store_failure_rejects_without_touching_the_pool() {
+        use xfm_faults::{FaultInjector, FaultPlan, FaultSite, SiteSpec};
+        let plan = FaultPlan::new(1).with_site(
+            FaultSite::ZpoolStoreFailure,
+            SiteSpec::with_probability(1.0).max_fires(1),
+        );
+        let inj = FaultInjector::new(&plan);
+        let mut p = pool();
+        let before = p.stats();
+        assert!(matches!(
+            p.alloc_faulted(&[1u8; 100], Some(&inj)),
+            Err(Error::SfmRegionFull)
+        ));
+        assert_eq!(p.stats(), before, "rejected store left no residue");
+        // Fires exhausted: the same call now succeeds, and a `None`
+        // injector is a pure pass-through.
+        assert!(p.alloc_faulted(&[1u8; 100], Some(&inj)).is_ok());
+        assert!(p.alloc_faulted(&[1u8; 100], None).is_ok());
     }
 }

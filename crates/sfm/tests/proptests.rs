@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use xfm_sfm::{CpuBackend, SfmBackend, SfmConfig, Zpool};
+use xfm_sfm::{CpuBackend, SfmConfig, Zpool};
 use xfm_types::{ByteSize, PageNumber, PAGE_SIZE};
 
 /// An operation against the zpool.
@@ -69,7 +69,7 @@ proptest! {
     #[test]
     fn backend_round_trip(pages in prop::collection::vec(
         prop::collection::vec(any::<u8>(), PAGE_SIZE..=PAGE_SIZE), 1..12)) {
-        let mut backend = CpuBackend::new(SfmConfig {
+        let backend = CpuBackend::new(SfmConfig {
             region_capacity: ByteSize::from_mib(2),
             ..SfmConfig::default()
         });

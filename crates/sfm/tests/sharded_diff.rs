@@ -13,8 +13,7 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use xfm_sfm::{
-    ColdScanConfig, CpuBackend, SfmBackend, SfmConfig, SfmController, ShardedSfm, ShardedSfmConfig,
-    SwapOutcome,
+    ColdScanConfig, CpuBackend, SfmConfig, SfmController, ShardedSfm, ShardedSfmConfig, SwapOutcome,
 };
 use xfm_types::{ByteSize, Nanos, PageNumber, Result as XfmResult, PAGE_SIZE};
 
@@ -89,7 +88,7 @@ proptest! {
             scan: scan_cfg,
             shards,
         });
-        let mut cpu = CpuBackend::new(sfm_cfg);
+        let cpu = CpuBackend::new(sfm_cfg);
         let mut ctl = SfmController::new(scan_cfg);
         let mut now = Nanos::ZERO;
 

@@ -72,6 +72,16 @@ pub enum Cause {
     DeadlineSpill,
     /// A random access deferred by a subarray conflict.
     SubarrayConflict,
+    /// A fault-injection hook fired at this point.
+    FaultInjected,
+    /// A stored block failed checksum verification at load.
+    ChecksumMismatch,
+    /// A transient failure was retried after backoff.
+    Retry,
+    /// Bounded retries were exhausted; the failure was surfaced.
+    RetryExhausted,
+    /// The degraded-mode state machine changed level here.
+    Degraded,
 }
 
 impl Cause {
@@ -90,6 +100,11 @@ impl Cause {
             Cause::SameFilled => "same_filled",
             Cause::DeadlineSpill => "deadline_spill",
             Cause::SubarrayConflict => "subarray_conflict",
+            Cause::FaultInjected => "fault_injected",
+            Cause::ChecksumMismatch => "checksum_mismatch",
+            Cause::Retry => "retry",
+            Cause::RetryExhausted => "retry_exhausted",
+            Cause::Degraded => "degraded",
         }
     }
 }

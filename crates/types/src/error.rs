@@ -47,6 +47,17 @@ pub enum Error {
     },
     /// Compressed data failed validation during decompression.
     Corrupt(String),
+    /// A stored block's checksum did not match at load time (in-transit
+    /// corruption); the stored copy is still intact, so a re-read may
+    /// succeed.
+    ChecksumMismatch {
+        /// Index of the page whose block failed verification.
+        page: u64,
+        /// Checksum recorded at store time.
+        expected: u64,
+        /// Checksum computed over the fetched bytes.
+        got: u64,
+    },
     /// The compressed output would not fit the provided buffer.
     OutputTooSmall {
         /// Bytes needed.
@@ -86,6 +97,14 @@ impl fmt::Display for Error {
             Error::EntryNotFound { page } => write!(f, "no SFM entry for page {page}"),
             Error::EntryExists { page } => write!(f, "SFM entry for page {page} already exists"),
             Error::Corrupt(msg) => write!(f, "corrupt compressed data: {msg}"),
+            Error::ChecksumMismatch {
+                page,
+                expected,
+                got,
+            } => write!(
+                f,
+                "checksum mismatch for page {page}: stored {expected:#018x}, fetched {got:#018x}"
+            ),
             Error::OutputTooSmall { needed, capacity } => write!(
                 f,
                 "output buffer too small: need {needed} bytes, have {capacity}"
@@ -116,6 +135,11 @@ mod tests {
             Error::EntryNotFound { page: 3 },
             Error::EntryExists { page: 3 },
             Error::Corrupt("bad length".into()),
+            Error::ChecksumMismatch {
+                page: 7,
+                expected: 1,
+                got: 2,
+            },
             Error::OutputTooSmall {
                 needed: 10,
                 capacity: 5,

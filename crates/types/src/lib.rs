@@ -3,8 +3,9 @@
 //! This crate defines the strongly-typed vocabulary shared by every other
 //! crate in the workspace: physical/virtual addresses and page numbers
 //! ([`addr`]), byte capacities ([`capacity`]), simulated time and bandwidth
-//! ([`time`]), DRAM coordinates ([`dram`]), and the shared error type
-//! ([`error`]).
+//! ([`time`]), DRAM coordinates ([`dram`]), the shared error type
+//! ([`error`]), and the structured swap-path error ([`swap_error`])
+//! distinguishing transient from permanent failures.
 //!
 //! All types are plain-old-data newtypes ([C-NEWTYPE]): they are `Copy`,
 //! ordered, hashable, serializable, and cost nothing at runtime while
@@ -36,10 +37,12 @@ pub mod addr;
 pub mod capacity;
 pub mod dram;
 pub mod error;
+pub mod swap_error;
 pub mod time;
 
 pub use addr::{PageNumber, PhysAddr, VirtAddr, PAGE_SIZE};
 pub use capacity::ByteSize;
 pub use dram::{BankId, ChannelId, ColId, DimmId, DramCoord, RankId, RowId, SubarrayId};
 pub use error::{Error, Result};
+pub use swap_error::{SwapError, SwapResult, SwapSite};
 pub use time::{Bandwidth, Cycles, Hertz, Nanos};

@@ -1,0 +1,248 @@
+//! Structured swap-path errors: where a failure originated and whether
+//! retrying can help.
+//!
+//! The plain [`Error`] enum is a catch-all: a caller seeing `QueueFull`
+//! versus `EntryExists` must hard-code knowledge of which variants are
+//! transient. [`SwapError`] makes that classification part of the
+//! contract — every swap-path failure carries its origin [`SwapSite`]
+//! and a `retryable` verdict, so recovery layers can retry transient
+//! rejects (queue full, SPM pressure, in-transit corruption) and fall
+//! back or surface permanent ones without a fragile `match`.
+
+use core::fmt;
+
+use crate::error::Error;
+
+/// Convenience alias for swap-path results.
+pub type SwapResult<T> = core::result::Result<T, SwapError>;
+
+/// Where on the swap path a failure originated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SwapSite {
+    /// Host-side submission: argument validation, duplicate entries.
+    HostSubmit,
+    /// The NMA compress-request queue.
+    NmaQueue,
+    /// The NMA scratchpad memory.
+    Spm,
+    /// The NMA (de)compression engine.
+    NmaEngine,
+    /// Refresh-window scheduling (missed or starved windows).
+    RefreshWindow,
+    /// The zpool slab allocator.
+    Zpool,
+    /// The SFM entry table.
+    EntryTable,
+    /// The software codec.
+    Codec,
+    /// Stored-block checksum verification at load time.
+    Checksum,
+    /// Anywhere not covered above.
+    Other,
+}
+
+impl SwapSite {
+    /// Stable lowercase name (used in exposition and logs).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SwapSite::HostSubmit => "host_submit",
+            SwapSite::NmaQueue => "nma_queue",
+            SwapSite::Spm => "spm",
+            SwapSite::NmaEngine => "nma_engine",
+            SwapSite::RefreshWindow => "refresh_window",
+            SwapSite::Zpool => "zpool",
+            SwapSite::EntryTable => "entry_table",
+            SwapSite::Codec => "codec",
+            SwapSite::Checksum => "checksum",
+            SwapSite::Other => "other",
+        }
+    }
+}
+
+/// A swap-path failure with its origin and retryability.
+///
+/// `retryable == true` means the condition is transient: the same
+/// operation, re-submitted after backing off (letting refresh windows
+/// drain the queue, the SPM free slots, or a clean re-read of the
+/// stored block), may succeed. `retryable == false` means the caller
+/// must fall back (CPU path), reject cleanly, or surface the error.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_types::{Error, SwapError, SwapSite};
+///
+/// let e = SwapError::from(Error::QueueFull);
+/// assert_eq!(e.site, SwapSite::NmaQueue);
+/// assert!(e.retryable);
+/// // Compatibility: a SwapError collapses back to its cause.
+/// assert_eq!(Error::from(e), Error::QueueFull);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SwapError {
+    /// Where the failure originated.
+    pub site: SwapSite,
+    /// The underlying error.
+    pub cause: Error,
+    /// Whether re-submitting the same operation may succeed.
+    pub retryable: bool,
+}
+
+impl SwapError {
+    /// Builds a swap error at `site`, classifying retryability from the
+    /// cause (see [`SwapError::from`] for the default mapping).
+    #[must_use]
+    pub fn new(site: SwapSite, cause: Error) -> Self {
+        let retryable = default_retryable(&cause);
+        Self {
+            site,
+            cause,
+            retryable,
+        }
+    }
+
+    /// Overrides the retryability verdict.
+    #[must_use]
+    pub fn with_retryable(mut self, retryable: bool) -> Self {
+        self.retryable = retryable;
+        self
+    }
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {} ({})",
+            self.cause,
+            self.site.name(),
+            if self.retryable {
+                "retryable"
+            } else {
+                "permanent"
+            }
+        )
+    }
+}
+
+impl std::error::Error for SwapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
+/// The default retryability of each error kind: resource pressure the
+/// device drains over time and in-transit corruption are transient;
+/// everything else is permanent.
+fn default_retryable(cause: &Error) -> bool {
+    matches!(
+        cause,
+        Error::SpmFull { .. } | Error::QueueFull | Error::ChecksumMismatch { .. }
+    )
+}
+
+impl From<Error> for SwapError {
+    /// Classifies a plain error into the site it canonically originates
+    /// from. Sites the mapping cannot infer (e.g. a `Device` error from
+    /// any register file) land on coarse buckets; hook code that knows
+    /// better should construct via [`SwapError::new`].
+    fn from(cause: Error) -> Self {
+        let site = match &cause {
+            Error::SpmFull { .. } => SwapSite::Spm,
+            Error::QueueFull => SwapSite::NmaQueue,
+            Error::SfmRegionFull => SwapSite::Zpool,
+            Error::EntryNotFound { .. } | Error::EntryExists { .. } => SwapSite::EntryTable,
+            Error::ChecksumMismatch { .. } => SwapSite::Checksum,
+            Error::Corrupt(_) | Error::OutputTooSmall { .. } | Error::Incompressible => {
+                SwapSite::Codec
+            }
+            Error::InvalidConfig(_) => SwapSite::HostSubmit,
+            Error::Device(_) => SwapSite::NmaEngine,
+            _ => SwapSite::Other,
+        };
+        SwapError::new(site, cause)
+    }
+}
+
+impl From<SwapError> for Error {
+    /// Compatibility collapse: drops the site/retryability annotation.
+    fn from(e: SwapError) -> Self {
+        e.cause
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_causes_are_retryable() {
+        for cause in [
+            Error::QueueFull,
+            Error::SpmFull {
+                requested: 4096,
+                available: 0,
+            },
+            Error::ChecksumMismatch {
+                page: 1,
+                expected: 2,
+                got: 3,
+            },
+        ] {
+            assert!(SwapError::from(cause.clone()).retryable, "{cause}");
+        }
+    }
+
+    #[test]
+    fn permanent_causes_are_not_retryable() {
+        for cause in [
+            Error::SfmRegionFull,
+            Error::EntryExists { page: 1 },
+            Error::EntryNotFound { page: 1 },
+            Error::Corrupt("x".into()),
+            Error::InvalidConfig("x".into()),
+            Error::Device("nak".into()),
+        ] {
+            assert!(!SwapError::from(cause.clone()).retryable, "{cause}");
+        }
+    }
+
+    #[test]
+    fn sites_classify_canonically() {
+        assert_eq!(SwapError::from(Error::QueueFull).site, SwapSite::NmaQueue);
+        assert_eq!(SwapError::from(Error::SfmRegionFull).site, SwapSite::Zpool);
+        assert_eq!(
+            SwapError::from(Error::EntryExists { page: 9 }).site,
+            SwapSite::EntryTable
+        );
+        assert_eq!(
+            SwapError::from(Error::Corrupt("len".into())).site,
+            SwapSite::Codec
+        );
+    }
+
+    #[test]
+    fn round_trips_to_plain_error() {
+        let e = SwapError::new(SwapSite::Checksum, Error::QueueFull).with_retryable(false);
+        assert!(!e.retryable);
+        assert_eq!(Error::from(e), Error::QueueFull);
+    }
+
+    #[test]
+    fn display_carries_site_and_verdict() {
+        let e = SwapError::from(Error::QueueFull);
+        let msg = e.to_string();
+        assert!(msg.contains("nma_queue"), "{msg}");
+        assert!(msg.contains("retryable"), "{msg}");
+        assert!(!msg.ends_with('.'), "{msg}");
+    }
+
+    #[test]
+    fn swap_error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SwapError>();
+    }
+}

@@ -11,7 +11,6 @@
 use std::collections::BTreeMap;
 
 use xfm::core::{XfmConfig, XfmSystem};
-use xfm::sfm::SfmBackend;
 use xfm::types::{ByteSize, Nanos, PageNumber, Result, PAGE_SIZE};
 
 /// A value padded into one 4 KiB page (real stores pack many objects per
@@ -63,9 +62,7 @@ impl FarMemoryKv {
         self.tick(Nanos::from_us(10));
         if self.far.remove(&key) {
             // Overwrite of a spilled value: drop the stale far copy.
-            self.sys
-                .backend_mut()
-                .swap_in(PageNumber::new(key), false)?;
+            self.sys.backend().swap_in(PageNumber::new(key), false)?;
         }
         self.local.insert(key, encode(value));
         self.enforce_budget()
@@ -79,10 +76,7 @@ impl FarMemoryKv {
         if self.far.contains(&key) {
             // Far-memory fault: demand swap-in on the CPU path.
             self.faults += 1;
-            let (page, _) = self
-                .sys
-                .backend_mut()
-                .swap_in(PageNumber::new(key), false)?;
+            let (page, _) = self.sys.backend().swap_in(PageNumber::new(key), false)?;
             let value = decode(&page);
             self.far.remove(&key);
             self.local.insert(key, page);
@@ -99,7 +93,7 @@ impl FarMemoryKv {
             let (&victim, _) = self.local.iter().next().expect("non-empty");
             let page = self.local.remove(&victim).expect("present");
             self.sys
-                .backend_mut()
+                .backend()
                 .swap_out(PageNumber::new(victim), &page)?;
             self.far.insert(victim);
             self.spills += 1;

@@ -5,7 +5,6 @@
 use xfm::compress::Corpus;
 use xfm::core::{XfmConfig, XfmSystem};
 use xfm::sfm::backend::ExecutedOn;
-use xfm::sfm::SfmBackend;
 use xfm::telemetry::Registry;
 use xfm::types::{Nanos, PageNumber, PAGE_SIZE};
 
@@ -25,7 +24,7 @@ fn main() -> xfm::types::Result<()> {
     for i in 0..32u64 {
         let corpus = corpora[(i % 16) as usize];
         let page = corpus.generate(i, PAGE_SIZE);
-        let out = sys.backend_mut().swap_out(PageNumber::new(i), &page)?;
+        let out = sys.backend().swap_out(PageNumber::new(i), &page)?;
         println!(
             "page {i:2} ({:>14}): {:4} B compressed, executed on {:?}, DDR traffic {} B",
             corpus.name(),
@@ -45,7 +44,7 @@ fn main() -> xfm::types::Result<()> {
     let pool = sys.backend().pool_stats();
     println!(
         "entries: {}, pool pages: {}, stored: {}, utilization: {:.1}%",
-        sys.backend().table().len(),
+        sys.backend().table_len(),
         pool.host_pages,
         pool.stored_bytes,
         pool.utilization() * 100.0
@@ -58,7 +57,7 @@ fn main() -> xfm::types::Result<()> {
         let corpus = corpora[(i % 16) as usize];
         let expected = corpus.generate(i, PAGE_SIZE);
         // Even pages: prefetch path (NMA offload); odd: demand faults.
-        let (restored, outcome) = sys.backend_mut().swap_in(PageNumber::new(i), i % 2 == 0)?;
+        let (restored, outcome) = sys.backend().swap_in(PageNumber::new(i), i % 2 == 0)?;
         assert_eq!(restored, expected, "data corruption on page {i}");
         match outcome.executed_on {
             ExecutedOn::Nma => nma_ops += 1,

@@ -15,7 +15,8 @@
 //! | [`types`] | Newtypes: addresses, capacities, time, DRAM coordinates |
 //! | [`dram`] | DDR4/DDR5 timing model, refresh calendar, address mapping, memory controller |
 //! | [`compress`] | From-scratch `xdeflate` (LZ77+Huffman) and `xlz` (LZ4-class) codecs, 16 corpora |
-//! | [`sfm`] | zsmalloc-style zpool, entry table, cold-page controller, CPU baseline backend |
+//! | [`faults`] | Seeded fault plans and injector, XXH64 checksums, retry policy, degraded-mode state machine |
+//! | [`sfm`] | zsmalloc-style zpool, entry table, cold-page controller, `SwapPlane` trait, CPU baseline backend |
 //! | [`core`] | **The paper's contribution**: SPM, MMIO regs, refresh-window scheduler, NMA, driver, XFM backend, multi-channel mode |
 //! | [`cost`] | The §3 DFM-vs-SFM cost & carbon model (EQ1–EQ5) |
 //! | [`sim`] | Co-run interference + fallback sensitivity engines; per-figure harnesses |
@@ -25,7 +26,6 @@
 //!
 //! ```
 //! use xfm::core::{XfmConfig, XfmSystem};
-//! use xfm::sfm::SfmBackend;
 //! use xfm::types::{Nanos, PageNumber};
 //!
 //! // Build an XFM system (one DIMM, 2 MiB SPM, DDR4 refresh calendar).
@@ -34,11 +34,11 @@
 //!
 //! // Demote a cold page: compression rides the refresh side channel.
 //! let page = b"cold data ".repeat(410)[..4096].to_vec();
-//! let out = sys.backend_mut().swap_out(PageNumber::new(7), &page)?;
+//! let out = sys.backend().swap_out(PageNumber::new(7), &page)?;
 //! assert_eq!(out.ddr_bytes.as_bytes(), 0); // no DDR traffic!
 //!
 //! // Promote it back (prefetch path → NMA decompression).
-//! let (restored, _) = sys.backend_mut().swap_in(PageNumber::new(7), true)?;
+//! let (restored, _) = sys.backend().swap_in(PageNumber::new(7), true)?;
 //! assert_eq!(restored, page);
 //! # Ok::<(), xfm::types::Error>(())
 //! ```
@@ -53,6 +53,7 @@ pub use xfm_compress as compress;
 pub use xfm_core as core;
 pub use xfm_cost as cost;
 pub use xfm_dram as dram;
+pub use xfm_faults as faults;
 pub use xfm_sfm as sfm;
 pub use xfm_sim as sim;
 pub use xfm_telemetry as telemetry;

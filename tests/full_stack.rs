@@ -7,9 +7,7 @@ use xfm::core::backend::{XfmBackend, XfmBackendConfig};
 use xfm::core::nma::NmaConfig;
 use xfm::core::{XfmConfig, XfmSystem};
 use xfm::sfm::backend::{ExecutedOn, SfmConfig};
-use xfm::sfm::{
-    ColdScanConfig, CpuBackend, SfmBackend, SfmController, TraceConfig, TraceGenerator,
-};
+use xfm::sfm::{ColdScanConfig, CpuBackend, SfmController, TraceConfig, TraceGenerator};
 use xfm::types::{ByteSize, Nanos, PageNumber, PAGE_SIZE};
 
 fn trace(seed: u64, secs: u64) -> Vec<xfm::sfm::SwapEvent> {
@@ -41,8 +39,8 @@ fn xfm_beats_cpu_baseline_on_ddr_traffic() {
     // traffic must be a small fraction of the baseline's.
     let events = trace(7, 2);
 
-    let mut cpu = CpuBackend::new(SfmConfig::default());
-    let mut xfm = XfmBackend::new(XfmBackendConfig::default());
+    let cpu = CpuBackend::new(SfmConfig::default());
+    let xfm = XfmBackend::new(XfmBackendConfig::default());
     xfm.advance_to(Nanos::from_ms(1));
 
     for e in &events {
@@ -88,7 +86,7 @@ fn controller_backend_loop_with_aging() {
         cold_threshold: Nanos::from_secs(2),
         scan_batch: 0,
     });
-    let mut backend = XfmBackend::new(XfmBackendConfig::default());
+    let backend = XfmBackend::new(XfmBackendConfig::default());
     backend.advance_to(Nanos::from_ms(1));
 
     // 64 pages touched at t=0; 16 of them re-touched at t=2s (still
@@ -108,7 +106,7 @@ fn controller_backend_loop_with_aging() {
         let data = Corpus::Html.generate(page.index(), PAGE_SIZE);
         backend.swap_out(*page, &data).unwrap();
     }
-    assert_eq!(backend.table().len(), 48);
+    assert_eq!(backend.table_len(), 48);
 
     // An access to a demoted page is a promotion the controller sees.
     let victim = cold[0];
@@ -120,7 +118,7 @@ fn controller_backend_loop_with_aging() {
 
 #[test]
 fn tiny_spm_forces_cpu_fallbacks_but_never_corrupts() {
-    let mut backend = XfmBackend::new(XfmBackendConfig {
+    let backend = XfmBackend::new(XfmBackendConfig {
         nma: NmaConfig {
             spm_capacity: ByteSize::from_bytes(4160), // one offload
             ..NmaConfig::default()
@@ -159,7 +157,7 @@ fn multichannel_configs_agree_on_data() {
     // restored data, decreasing compression efficiency.
     let mut stored = Vec::new();
     for n in [1usize, 2, 4] {
-        let mut b = XfmBackend::new(XfmBackendConfig {
+        let b = XfmBackend::new(XfmBackendConfig {
             n_dimms: n,
             ..XfmBackendConfig::default()
         });
@@ -182,7 +180,7 @@ fn multichannel_configs_agree_on_data() {
 
 #[test]
 fn compaction_under_churn_is_safe_and_reclaims_space() {
-    let mut backend = CpuBackend::new(SfmConfig {
+    let backend = CpuBackend::new(SfmConfig {
         region_capacity: ByteSize::from_mib(8),
         ..SfmConfig::default()
     });
