@@ -16,6 +16,30 @@ cargo clippy --all-targets --workspace -- -D warnings
 # Swap throughput bench, smoke mode: runs the 1/2/4/8-shard matrix at a
 # tiny size and self-validates the emitted JSON (nonzero exit on failure).
 cargo run --release -p xfm-bench --bin xfm-swap-bench -- --smoke
+# Event-core bench, smoke mode: events/sec through the shared queue plus
+# a wall-clock pin on the full-stack simulated run.
+cargo run --release -p xfm-bench --bin xfm-event-bench -- --smoke
+# Determinism gate: the same-seed full-stack replay must export
+# byte-identical sim-time-only telemetry JSON twice in a row. The default
+# gate runs the smoke-sized replay; `./ci.sh --determinism` runs the
+# full-sized one.
+determinism_check() {
+    local size_flag="$1"
+    local a b
+    a=$(mktemp) && b=$(mktemp)
+    cargo run --release -q -p xfm-bench --bin xfm-event-bench -- \
+        --replay $size_flag --seed 252645426 --out "$a"
+    cargo run --release -q -p xfm-bench --bin xfm-event-bench -- \
+        --replay $size_flag --seed 252645426 --out "$b"
+    diff "$a" "$b" || { echo "determinism gate FAILED: exports differ"; exit 1; }
+    rm -f "$a" "$b"
+    echo "determinism gate passed ($([ -n "$size_flag" ] && echo smoke || echo full) replay)"
+}
+if [[ "${1:-}" == "--determinism" ]]; then
+    determinism_check ""
+else
+    determinism_check "--smoke"
+fi
 # Chaos smoke (opt-in via `./ci.sh --chaos`): the seeded fault-injection
 # harness must survive an all-sites storm with zero lost pages, bounded
 # retries, and telemetry-visible degraded-mode transitions.

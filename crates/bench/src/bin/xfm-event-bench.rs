@@ -1,0 +1,132 @@
+//! Discrete-event core benchmark and deterministic replay harness.
+//!
+//! Two modes:
+//!
+//! - **Throughput** (default, `--smoke` for the CI-sized run): measures
+//!   raw events/sec through the shared [`xfm_event::EventQueue`] under a
+//!   self-rescheduling periodic workload, and pins the wall-clock of a
+//!   full-stack simulated run so event-core regressions show up as a
+//!   hard failure rather than a silently slower CI. Emits
+//!   machine-readable `BENCH_event.json` (the smoke run writes to a
+//!   temporary file) and self-validates.
+//!
+//! - **Replay** (`--replay --seed N --out PATH`): runs the deterministic
+//!   full stack (see [`xfm_bench::replay`]) and writes the sim-time-only
+//!   telemetry export to `PATH`. The `ci.sh` determinism gate runs this
+//!   twice with the same seed and byte-diffs the two files.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use xfm_bench::replay::replay;
+use xfm_event::EventQueue;
+use xfm_types::Nanos;
+
+/// Generous wall-clock ceiling for the pinned full-stack run. The run
+/// takes well under a second on any host this repo targets; the pin only
+/// exists to catch catastrophic event-core regressions (e.g. the queue
+/// going quadratic).
+const SIM_WALL_CEILING_MS: u128 = 30_000;
+
+/// A self-rescheduling periodic stream, mimicking how the refresh
+/// calendar, burst arrivals and engine completions ride the queue.
+struct Stream {
+    period: Nanos,
+    next: Nanos,
+}
+
+/// Pushes `total` events through the queue across `streams` interleaved
+/// periodic streams and returns the events/sec rate.
+fn queue_throughput(streams: usize, total: u64) -> f64 {
+    let mut queue: EventQueue<usize> = EventQueue::with_capacity(streams);
+    let mut procs: Vec<Stream> = (0..streams)
+        .map(|i| Stream {
+            // Coprime-ish periods so streams genuinely interleave, with
+            // frequent exact collisions exercising the FIFO tie-break.
+            period: Nanos::from_ns(100 + (i as u64 % 7) * 50),
+            next: Nanos::ZERO,
+        })
+        .collect();
+    for (i, p) in procs.iter().enumerate() {
+        queue.push(p.next, i);
+    }
+    let start = Instant::now();
+    let mut popped = 0u64;
+    while popped < total {
+        let ev = queue.pop().expect("streams never drain");
+        popped += 1;
+        let p = &mut procs[ev.payload];
+        p.next = ev.at + p.period;
+        queue.push(p.next, ev.payload);
+    }
+    popped as f64 / start.elapsed().as_secs_f64()
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::args().any(|a| a == "--replay") {
+        let seed = arg_value("--seed")
+            .map(|s| s.parse().expect("--seed takes a u64"))
+            .unwrap_or(0x0f0f_1234);
+        let out = arg_value("--out").expect("--replay requires --out PATH");
+        let json = replay(seed, smoke);
+        std::fs::write(&out, &json).expect("write replay export");
+        println!("replay seed={seed} -> {out} ({} bytes)", json.len());
+        return;
+    }
+
+    let (streams, total) = if smoke {
+        (16, 200_000)
+    } else {
+        (64, 5_000_000)
+    };
+    let events_per_sec = queue_throughput(streams, total);
+
+    // Pin the wall-clock of a full-stack simulated run: the Fig. 12
+    // simulation, the event-front DRAM trace, and the NMA pipeline all
+    // ride the shared event core.
+    let start = Instant::now();
+    let export = replay(0x0f0f_1234, smoke);
+    let sim_wall_ms = start.elapsed().as_millis();
+    assert!(
+        sim_wall_ms < SIM_WALL_CEILING_MS,
+        "full-stack sim took {sim_wall_ms} ms (ceiling {SIM_WALL_CEILING_MS} ms)"
+    );
+    assert!(export.contains("\"fallback\""), "replay export malformed");
+
+    let mut json = String::with_capacity(512);
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"streams\": {streams},");
+    let _ = writeln!(json, "  \"events\": {total},");
+    let _ = writeln!(json, "  \"events_per_sec\": {events_per_sec:.0},");
+    let _ = writeln!(json, "  \"sim_wall_ms\": {sim_wall_ms},");
+    let _ = writeln!(json, "  \"sim_wall_ceiling_ms\": {SIM_WALL_CEILING_MS}");
+    json.push('}');
+
+    // Self-validate: the throughput must be positive and sane.
+    assert!(
+        events_per_sec > 10_000.0,
+        "event core absurdly slow: {events_per_sec:.0} ev/s"
+    );
+
+    let path = if smoke {
+        std::env::temp_dir().join("BENCH_event.json")
+    } else {
+        std::path::PathBuf::from("BENCH_event.json")
+    };
+    std::fs::write(&path, &json).expect("write bench output");
+    println!("{json}");
+    println!(
+        "event core: {events_per_sec:.0} events/sec across {streams} streams; \
+         full-stack sim {sim_wall_ms} ms -> {}",
+        path.display()
+    );
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod replay;
 
 use xfm_sim::ablation::{
     GranularityRow, PredictorRow, PrefetchSweepRow, RandomBudgetRow, RefreshModeRow,

@@ -1,0 +1,166 @@
+//! Deterministic full-stack replay for the determinism gate.
+//!
+//! [`replay`] runs the Fig. 12 fallback simulation (telemetry attached),
+//! a seeded out-of-order cross-channel trace through the event-front
+//! [`MemSystem`], and an NMA offload pipeline, then renders the results
+//! as JSON. Every exported value is **simulated time or a deterministic
+//! counter** — there are no wall-clock readings — so two runs with the
+//! same seed must produce byte-identical output. `ci.sh` enforces
+//! exactly that, and `xfm-event-bench --replay` exposes it on the
+//! command line.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xfm_compress::Corpus;
+use xfm_core::nma::{NearMemoryAccelerator, NmaConfig, NmaStats};
+use xfm_dram::{
+    AccessSource, ChannelStats, DramTimings, MemRequest, MemSystem, RequestKind, SystemGeometry,
+};
+use xfm_sim::fallback::{simulate_traced, FallbackConfig, FallbackReport};
+use xfm_telemetry::Registry;
+use xfm_types::{Nanos, PageNumber, PhysAddr, RowId, PAGE_SIZE};
+
+/// Seeded out-of-order cross-channel trace through the event-front
+/// [`MemSystem`]: requests are generated with jittered arrival times and
+/// enqueued in generation order (which is *not* arrival order), then
+/// drained. Returns the merged channel statistics.
+///
+/// # Panics
+///
+/// Panics if the event front fails to deliver every request.
+#[must_use]
+pub fn mem_trace(seed: u64, requests: usize) -> ChannelStats {
+    let geometry = SystemGeometry::skylake_4ch();
+    let mut sys = MemSystem::new(DramTimings::paper_emulator(), geometry);
+    let capacity = geometry.total_capacity().as_bytes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = Nanos::from_us(1);
+    for _ in 0..requests {
+        // Jitter makes later-generated requests arrive earlier than
+        // earlier-generated ones: the front must reorder them.
+        let at = base + Nanos::from_ns(rng.gen_range(0..50_000));
+        sys.enqueue(MemRequest {
+            addr: PhysAddr::new((rng.gen_range(0..capacity / 64)) * 64),
+            kind: if rng.gen_bool(0.5) {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            },
+            bytes: 64,
+            source: if rng.gen_bool(0.25) {
+                AccessSource::Nma
+            } else {
+                AccessSource::Cpu
+            },
+            at,
+        });
+    }
+    let done = sys.drain_to(Nanos::from_ms(1)).expect("trace must drain");
+    assert_eq!(done.len(), requests, "event front lost requests");
+    sys.total_stats()
+}
+
+/// A seeded NMA offload scenario: compress offloads for rows aligned to
+/// upcoming refresh slots, driven to completion through the overlapped
+/// read → compute → write-back pipeline.
+///
+/// # Panics
+///
+/// Panics if the NMA queue rejects a submission (it is sized for the
+/// workload).
+#[must_use]
+pub fn nma_run(seed: u64, offloads: u64) -> NmaStats {
+    let mut nma = NearMemoryAccelerator::new(NmaConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+    let t_refi = NmaConfig::default().timings.t_refi;
+    for i in 0..offloads {
+        let data = Corpus::Json.generate(seed.wrapping_add(i), PAGE_SIZE);
+        nma.submit_compress(
+            PageNumber::new(i),
+            data,
+            RowId::new(rng.gen_range(1..4096)),
+            Nanos::ZERO,
+            true,
+        )
+        .expect("queue has room");
+    }
+    nma.advance_to(t_refi * 16_384);
+    nma.stats()
+}
+
+fn json_report(r: &FallbackReport) -> String {
+    format!(
+        "{{\"completed\": {}, \"fallbacks\": {}, \"conditional\": {}, \"random\": {}, \
+         \"spm_high_water_bytes\": {}, \"subarray_conflicts\": {}}}",
+        r.completed,
+        r.fallbacks,
+        r.conditional_accesses,
+        r.random_accesses,
+        r.spm_high_water.as_bytes(),
+        r.subarray_conflicts,
+    )
+}
+
+fn json_mem(s: &ChannelStats) -> String {
+    format!(
+        "{{\"accesses\": {}, \"cpu_read\": {}, \"cpu_written\": {}, \"nma_read\": {}, \
+         \"nma_written\": {}, \"mean_latency_ns\": {}, \"max_latency_ns\": {}}}",
+        s.accesses(),
+        s.bytes_read(AccessSource::Cpu).as_bytes(),
+        s.bytes_written(AccessSource::Cpu).as_bytes(),
+        s.bytes_read(AccessSource::Nma).as_bytes(),
+        s.bytes_written(AccessSource::Nma).as_bytes(),
+        s.mean_latency().as_ns(),
+        s.max_latency().as_ns(),
+    )
+}
+
+fn json_nma(s: &NmaStats) -> String {
+    format!(
+        "{{\"submitted\": {}, \"completed\": {}, \"fallbacks\": {}, \"rejected\": {}, \
+         \"conditional\": {}, \"random\": {}, \"spilled\": {}, \"windows\": {}, \
+         \"spm_high_water_bytes\": {}, \"total_latency_ns\": {}, \"ecc_parity_bytes\": {}}}",
+        s.submitted,
+        s.completed,
+        s.fallbacks,
+        s.rejected,
+        s.sched.conditional,
+        s.sched.random,
+        s.sched.spilled,
+        s.sched.windows,
+        s.spm_high_water.as_bytes(),
+        s.total_latency.as_ns(),
+        s.ecc_parity_bytes,
+    )
+}
+
+/// The deterministic full-stack replay: every exported value is a pure
+/// function of `seed`. `smoke` shrinks the workload to a CI-friendly
+/// size.
+#[must_use]
+pub fn replay(seed: u64, smoke: bool) -> String {
+    let registry = Registry::new();
+    let cfg = FallbackConfig {
+        duration: if smoke {
+            Nanos::from_ms(5)
+        } else {
+            Nanos::from_ms(50)
+        },
+        seed,
+        ..FallbackConfig::default()
+    };
+    let report = simulate_traced(&cfg, &registry);
+    let mem = mem_trace(seed, if smoke { 128 } else { 1024 });
+    let nma = nma_run(seed, if smoke { 16 } else { 64 });
+    let mut out = String::with_capacity(16 * 1024);
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"fallback\": {},", json_report(&report));
+    let _ = writeln!(out, "  \"mem\": {},", json_mem(&mem));
+    let _ = writeln!(out, "  \"nma\": {},", json_nma(&nma));
+    let _ = writeln!(out, "  \"telemetry\": {}", registry.snapshot().to_json());
+    out.push('}');
+    out
+}

@@ -488,33 +488,6 @@ impl SwapPlane for XfmBackend {
     }
 }
 
-#[allow(deprecated)]
-impl xfm_sfm::backend::SfmBackend for XfmBackend {
-    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
-        XfmBackend::swap_out(self, page, data)
-    }
-
-    fn swap_in(&mut self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
-        XfmBackend::swap_in(self, page, do_offload)
-    }
-
-    fn contains(&self, page: PageNumber) -> bool {
-        XfmBackend::contains(self, page)
-    }
-
-    fn compact(&mut self) -> CompactReport {
-        XfmBackend::compact(self)
-    }
-
-    fn stats(&self) -> BackendStats {
-        XfmBackend::stats(self)
-    }
-
-    fn pool_stats(&self) -> ZpoolStats {
-        XfmBackend::pool_stats(self)
-    }
-}
-
 impl XfmInner {
     fn advance_clock(&mut self, now: Nanos) {
         self.now = self.now.max(now);

@@ -7,11 +7,44 @@
 //! "highly overprovisioned for XFM"), and the AxDIMM-class accelerator
 //! IP reaches 14.8/17.2 GB/s (§7).
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use xfm_compress::{Codec, Scratch, XDeflate};
+use xfm_event::{Events, Simulated};
 use xfm_faults::{FaultInjector, FaultSite};
 use xfm_types::{Bandwidth, ByteSize, Error, Nanos, Result};
+
+/// Which pass a pipelined engine job performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineJobKind {
+    /// Page compression (swap-out direction).
+    Compress,
+    /// Stream decompression (swap-in direction).
+    Decompress,
+}
+
+/// Completion of a pipelined engine job (emitted by [`EngineModel::poll`]).
+#[derive(Debug)]
+pub struct EngineEvent {
+    /// Caller-chosen job id (the NMA maps it back to an offload).
+    pub id: u64,
+    /// Which pass ran.
+    pub kind: EngineJobKind,
+    /// Virtual time the pass finished (input time + queueing + transform
+    /// time at the modeled throughput).
+    pub at: Nanos,
+    /// The transformed bytes, or the codec/fault error.
+    pub result: Result<Vec<u8>>,
+}
+
+#[derive(Debug)]
+struct PipelinedJob {
+    id: u64,
+    kind: EngineJobKind,
+    done_at: Nanos,
+    result: Result<Vec<u8>>,
+}
 
 /// The engine: a codec plus a throughput model and busy-time accounting.
 ///
@@ -40,6 +73,11 @@ pub struct EngineModel {
     /// Fault hooks: an armed [`FaultSite::NmaEngineTimeout`] site makes
     /// an engine pass error out, which the NMA surfaces as a fallback.
     faults: Option<Arc<FaultInjector>>,
+    /// Pipelined jobs in flight, completion-ordered (the engine is a
+    /// single serial functional unit, so jobs finish in submit order).
+    pipeline: VecDeque<PipelinedJob>,
+    /// Virtual time the functional unit frees up.
+    busy_until: Nanos,
 }
 
 impl std::fmt::Debug for EngineModel {
@@ -69,6 +107,8 @@ impl EngineModel {
             decompressed_bytes: 0,
             scratch: Scratch::new(),
             faults: None,
+            pipeline: VecDeque::new(),
+            busy_until: Nanos::ZERO,
         }
     }
 
@@ -121,6 +161,51 @@ impl EngineModel {
     ///
     /// Propagates codec failures.
     pub fn compress(&mut self, src: &[u8]) -> Result<(Vec<u8>, Nanos)> {
+        self.transform_compress(src)
+    }
+
+    /// Decompresses a stream, returning the output and the modeled engine
+    /// occupancy time (output bytes over decompression throughput).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`xfm_types::Error::Corrupt`] for invalid streams.
+    pub fn decompress(&mut self, src: &[u8]) -> Result<(Vec<u8>, Nanos)> {
+        self.transform_decompress(src)
+    }
+
+    /// Submits a pipelined job: the functional transform runs eagerly
+    /// (the bytes are real), but completion is *scheduled* — the engine
+    /// is a single serial unit, so the job starts at
+    /// `max(at, busy_until)` and finishes one transform-time later.
+    /// Returns the modeled completion time; the result is delivered by
+    /// [`EngineModel::poll`] once virtual time reaches it.
+    ///
+    /// A job that errors (codec failure or injected timeout) completes
+    /// immediately at its start time with the error in
+    /// [`EngineEvent::result`] and adds no busy time, mirroring the
+    /// synchronous paths.
+    pub fn submit_job(&mut self, id: u64, kind: EngineJobKind, src: &[u8], at: Nanos) -> Nanos {
+        let start = at.max(self.busy_until);
+        let result = match kind {
+            EngineJobKind::Compress => self.transform_compress(src),
+            EngineJobKind::Decompress => self.transform_decompress(src),
+        };
+        let done_at = match &result {
+            Ok((_, t)) => start + *t,
+            Err(_) => start,
+        };
+        self.busy_until = done_at;
+        self.pipeline.push_back(PipelinedJob {
+            id,
+            kind,
+            done_at,
+            result: result.map(|(out, _)| out),
+        });
+        done_at
+    }
+
+    fn transform_compress(&mut self, src: &[u8]) -> Result<(Vec<u8>, Nanos)> {
         self.injected_timeout()?;
         let mut out = Vec::with_capacity(src.len());
         self.codec.compress_into(src, &mut out, &mut self.scratch)?;
@@ -132,13 +217,7 @@ impl EngineModel {
         Ok((out, t))
     }
 
-    /// Decompresses a stream, returning the output and the modeled engine
-    /// occupancy time (output bytes over decompression throughput).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`xfm_types::Error::Corrupt`] for invalid streams.
-    pub fn decompress(&mut self, src: &[u8]) -> Result<(Vec<u8>, Nanos)> {
+    fn transform_decompress(&mut self, src: &[u8]) -> Result<(Vec<u8>, Nanos)> {
         self.injected_timeout()?;
         let mut out = Vec::new();
         self.codec
@@ -149,6 +228,18 @@ impl EngineModel {
         self.busy += t;
         self.decompressed_bytes += out.len() as u64;
         Ok((out, t))
+    }
+
+    /// Completion time of the oldest in-flight pipelined job.
+    #[must_use]
+    pub fn next_completion(&self) -> Option<Nanos> {
+        self.pipeline.front().map(|j| j.done_at)
+    }
+
+    /// Number of pipelined jobs not yet delivered.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.pipeline.len()
     }
 
     /// Total modeled busy time.
@@ -177,6 +268,26 @@ impl EngineModel {
             ByteSize::from_bytes(self.compressed_bytes),
             ByteSize::from_bytes(self.decompressed_bytes),
         )
+    }
+}
+
+impl Simulated for EngineModel {
+    type Event = EngineEvent;
+
+    fn next_ready(&self) -> Option<Nanos> {
+        self.next_completion()
+    }
+
+    fn poll(&mut self, now: Nanos, out: &mut Events<EngineEvent>) {
+        while self.pipeline.front().is_some_and(|j| j.done_at <= now) {
+            let job = self.pipeline.pop_front().expect("checked front");
+            out.emit(EngineEvent {
+                id: job.id,
+                kind: job.kind,
+                at: job.done_at,
+                result: job.result,
+            });
+        }
     }
 }
 
@@ -233,5 +344,65 @@ mod tests {
     fn corrupt_stream_reported() {
         let mut e = EngineModel::fpga_prototype();
         assert!(e.decompress(&[0xff, 0x00, 0x13]).is_err());
+    }
+
+    #[test]
+    fn pipelined_jobs_serialize_on_the_functional_unit() {
+        let mut e = EngineModel::fpga_prototype();
+        let page = vec![7u8; 4096];
+        let t0 = Nanos::from_us(10);
+        // Two jobs arriving together: the second queues behind the first.
+        let d1 = e.submit_job(1, EngineJobKind::Compress, &page, t0);
+        let d2 = e.submit_job(2, EngineJobKind::Compress, &page, t0);
+        assert!(d1 > t0);
+        let pass = d1 - t0;
+        assert_eq!(d2, d1 + pass, "second job starts when the first ends");
+        assert_eq!(e.in_flight(), 2);
+        assert_eq!(e.next_completion(), Some(d1));
+    }
+
+    #[test]
+    fn poll_delivers_in_completion_order_up_to_now() {
+        let mut e = EngineModel::fpga_prototype();
+        let page = vec![7u8; 4096];
+        let d1 = e.submit_job(1, EngineJobKind::Compress, &page, Nanos::from_us(1));
+        let d2 = e.submit_job(2, EngineJobKind::Compress, &page, Nanos::from_us(1));
+        let mut out = Events::new();
+        e.poll(d1, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.as_slice()[0].id, 1);
+        assert!(out.as_slice()[0].result.is_ok());
+        out.clear();
+        e.poll(d2, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.as_slice()[0].id, 2);
+        assert_eq!(e.in_flight(), 0);
+        assert_eq!(e.next_completion(), None);
+    }
+
+    #[test]
+    fn pipelined_round_trip_preserves_bytes() {
+        let mut e = EngineModel::fpga_prototype();
+        let page = b"pipelined page ".repeat(273);
+        let done = e.submit_job(5, EngineJobKind::Compress, &page, Nanos::ZERO);
+        let mut out = Events::new();
+        e.poll(done, &mut out);
+        let compressed = out.drain().next().unwrap().result.unwrap();
+        let done = e.submit_job(6, EngineJobKind::Decompress, &compressed, done);
+        e.poll(done, &mut out);
+        let restored = out.drain().next().unwrap().result.unwrap();
+        assert_eq!(restored, page);
+    }
+
+    #[test]
+    fn failed_job_completes_immediately_with_error() {
+        let mut e = EngineModel::fpga_prototype();
+        let at = Nanos::from_us(3);
+        let done = e.submit_job(9, EngineJobKind::Decompress, &[0xff, 0x00, 0x13], at);
+        assert_eq!(done, at, "errors add no engine occupancy");
+        assert_eq!(e.busy_time(), Nanos::ZERO);
+        let mut out = Events::new();
+        e.poll(at, &mut out);
+        assert!(out.as_slice()[0].result.is_err());
     }
 }

@@ -29,8 +29,9 @@ use xfm_dram::bank::RefreshAccessKind;
 use xfm_dram::geometry::DeviceGeometry;
 use xfm_dram::refresh::{RefreshScheduler, WindowUtilization};
 use xfm_dram::timing::{DramTimings, REFS_PER_RETENTION};
+use xfm_event::{Events, Simulated};
 use xfm_faults::{FaultInjector, FaultSite};
-use xfm_types::{ByteSize, Nanos, RowId};
+use xfm_types::{ByteSize, Nanos, RowId, SubarrayId};
 
 /// Scheduler configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -195,6 +196,12 @@ pub struct WindowScheduler {
     /// Fault hooks: an armed [`FaultSite::RefreshWindowMiss`] site
     /// steals entire windows (their access budget drops to zero).
     faults: Option<Arc<FaultInjector>>,
+    /// Reusable per-window scratch (refreshed rows of the current slot).
+    scratch_rows: Vec<RowId>,
+    /// Reusable per-window scratch (subarrays of `scratch_rows`).
+    scratch_subarrays: Vec<SubarrayId>,
+    /// Reusable per-window scratch (urgent ops retained past the window).
+    scratch_retained: VecDeque<AccessOp>,
 }
 
 impl WindowScheduler {
@@ -211,6 +218,9 @@ impl WindowScheduler {
             stats: SchedStats::default(),
             utilization: WindowUtilization::new(1),
             faults: None,
+            scratch_rows: Vec::new(),
+            scratch_subarrays: Vec::new(),
+            scratch_retained: VecDeque::new(),
         }
     }
 
@@ -305,16 +315,27 @@ impl WindowScheduler {
     /// Processes every refresh window that *ends* at or before `now`,
     /// returning the resulting events in time order.
     ///
+    /// Allocating wrapper around [`WindowScheduler::advance_to_into`];
+    /// hot loops should pass a reusable sink instead.
+    ///
     /// Note: ops enqueued *while handling* returned events can only be
     /// served by later windows; callers that feed results back (like the
     /// NMA's read → write-back chain) should step window by window with
     /// [`WindowScheduler::advance_window`].
     pub fn advance_to(&mut self, now: Nanos) -> Vec<SchedEvent> {
         let mut events = Vec::new();
-        while self.next_window_end() <= now {
-            events.extend(self.advance_window().1);
-        }
+        self.advance_to_into(now, &mut events);
         events
+    }
+
+    /// Processes every refresh window that *ends* at or before `now`,
+    /// appending the resulting events (in time order) to `events`.
+    /// Performs no allocation beyond the sink's own growth, so a reused
+    /// sink makes steady-state stepping allocation-free.
+    pub fn advance_to_into(&mut self, now: Nanos, events: &mut Vec<SchedEvent>) {
+        while self.next_window_end() <= now {
+            self.advance_window_into(events);
+        }
     }
 
     /// End time of the next unprocessed window.
@@ -324,27 +345,36 @@ impl WindowScheduler {
     }
 
     /// Processes exactly one refresh window, returning it and its events.
+    ///
+    /// Allocating wrapper around [`WindowScheduler::advance_window_into`].
     pub fn advance_window(&mut self) -> (crate::sched::RefreshWindowRef, Vec<SchedEvent>) {
-        let w = self.refresh.window(self.next_window);
         let mut events = Vec::new();
-        self.process_window(w.index, w.end, &mut events);
+        let w = self.advance_window_into(&mut events);
+        (w, events)
+    }
+
+    /// Processes exactly one refresh window, appending its events to
+    /// `events` and returning the window's identity.
+    pub fn advance_window_into(&mut self, events: &mut Vec<SchedEvent>) -> RefreshWindowRef {
+        let w = self.refresh.window(self.next_window);
+        self.process_window(w.index, w.end, events);
         self.next_window += 1;
-        (
-            RefreshWindowRef {
-                index: w.index,
-                end: w.end,
-            },
-            events,
-        )
+        RefreshWindowRef {
+            index: w.index,
+            end: w.end,
+        }
     }
 
     fn process_window(&mut self, index: u64, end: Nanos, events: &mut Vec<SchedEvent>) {
         self.stats.windows += 1;
         let ref_index = (index % REFS_PER_RETENTION) as u32;
         let geometry = *self.refresh.geometry();
-        let refreshed = geometry.refreshed_rows(ref_index);
-        let refreshed_subarrays: Vec<_> =
-            refreshed.iter().map(|&r| geometry.subarray_of(r)).collect();
+        geometry.refreshed_rows_into(ref_index, &mut self.scratch_rows);
+        self.scratch_subarrays.clear();
+        self.scratch_subarrays
+            .extend(self.scratch_rows.iter().map(|&r| geometry.subarray_of(r)));
+        let refreshed = &self.scratch_rows;
+        let refreshed_subarrays = &self.scratch_subarrays;
 
         let mut budget = self.config.accesses_per_trfc;
         let mut random_budget = self.config.max_random_per_trfc;
@@ -389,8 +419,10 @@ impl WindowScheduler {
         }
 
         // 2. Urgent ops: lucky-conditional or random (with subarray
-        //    conflict reordering), then deadline spilling.
-        let mut retained: VecDeque<AccessOp> = VecDeque::with_capacity(self.urgent.len());
+        //    conflict reordering), then deadline spilling. `scratch_retained`
+        //    is empty between windows; reusing it keeps this loop
+        //    allocation-free at steady state.
+        let retained = &mut self.scratch_retained;
         while let Some(op) = self.urgent.pop_front() {
             if budget == 0 {
                 retained.push_back(op);
@@ -434,7 +466,7 @@ impl WindowScheduler {
             }
         }
         // Deadline spilling for urgent ops that waited too long.
-        for op in retained {
+        while let Some(op) = self.scratch_retained.pop_front() {
             if index.saturating_sub(op.enqueued_window) >= self.config.urgent_max_wait {
                 self.pending -= 1;
                 self.stats.spilled += 1;
@@ -450,6 +482,20 @@ impl WindowScheduler {
             self.utilization
                 .record_window(0, total - u64::from(budget), total);
         }
+    }
+}
+
+impl Simulated for WindowScheduler {
+    type Event = SchedEvent;
+
+    /// The refresh calendar is periodic and never idle: the next action
+    /// is always the close of the next unprocessed window.
+    fn next_ready(&self) -> Option<Nanos> {
+        Some(self.next_window_end())
+    }
+
+    fn poll(&mut self, now: Nanos, out: &mut Events<SchedEvent>) {
+        self.advance_to_into(now, out.as_vec_mut());
     }
 }
 

@@ -109,6 +109,62 @@ fn attached_telemetry_adds_zero_steady_state_allocations() {
     assert!(!s.spans.is_empty());
 }
 
+/// The reusable-sink window advance (`advance_to_into`) must be
+/// allocation-free at steady state: events land in the caller's reused
+/// `Vec<SchedEvent>`, refreshed rows and retained urgent ops live in the
+/// scheduler's internal scratch, and nothing else touches the heap.
+#[test]
+fn scheduler_reusable_sink_advance_allocates_zero_steady_state() {
+    use xfm_core::sched::{AccessOp, SchedConfig, SchedEvent, WindowScheduler};
+    use xfm_dram::{DeviceGeometry, DramTimings};
+    use xfm_types::RowId;
+
+    let timings = DramTimings::paper_emulator();
+    let mut sched =
+        WindowScheduler::new(SchedConfig::default(), timings, DeviceGeometry::ddr4_8gb());
+    let mut events: Vec<SchedEvent> = Vec::new();
+    let t_refi = timings.t_refi;
+    let mut now = Nanos::ZERO;
+    let mut id = 0u64;
+    let mut served = 0usize;
+
+    // One round: a burst of urgent ops, then sixteen windows of service
+    // into the reused sink.
+    let mut round = |sched: &mut WindowScheduler, events: &mut Vec<SchedEvent>| {
+        let window = sched.window_index_at(now);
+        for j in 0..8u64 {
+            id += 1;
+            sched.enqueue_urgent(AccessOp {
+                id,
+                row: RowId::new(((id * 37 + j) % 4096) as u32),
+                is_write: j % 2 == 0,
+                bytes: 4096,
+                enqueued_window: window,
+            });
+        }
+        now += t_refi * 16;
+        sched.advance_to_into(now, events);
+        served += events.len();
+        events.clear();
+    };
+
+    for _ in 0..4 {
+        round(&mut sched, &mut events);
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..4 {
+        round(&mut sched, &mut events);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state advance_to_into touched the heap"
+    );
+    assert!(served > 0, "rounds never produced scheduler events");
+}
+
 #[test]
 fn cpu_backend_telemetry_adds_zero_steady_state_allocations() {
     fn cpu_round(b: &mut CpuBackend, pages: &[Vec<u8>]) {

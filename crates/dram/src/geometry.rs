@@ -126,13 +126,27 @@ impl DeviceGeometry {
     /// Panics if `ref_index >= 8192`.
     #[must_use]
     pub fn refreshed_rows(&self, ref_index: u32) -> Vec<RowId> {
+        let mut rows = Vec::with_capacity(self.rows_per_ref() as usize);
+        self.refreshed_rows_into(ref_index, &mut rows);
+        rows
+    }
+
+    /// Allocation-free variant of [`DeviceGeometry::refreshed_rows`]:
+    /// clears `out` and fills it with the refreshed rows. Hot simulation
+    /// loops call this once per window, so the buffer must be reusable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ref_index` is outside `0..8192`.
+    pub fn refreshed_rows_into(&self, ref_index: u32, out: &mut Vec<RowId>) {
         assert!(
             u64::from(ref_index) < REFS_PER_RETENTION,
             "ref_index must be < 8192"
         );
-        (0..self.rows_per_ref())
-            .map(|k| RowId::new(ref_index + k * REFS_PER_RETENTION as u32))
-            .collect()
+        out.clear();
+        out.extend(
+            (0..self.rows_per_ref()).map(|k| RowId::new(ref_index + k * REFS_PER_RETENTION as u32)),
+        );
     }
 
     /// Validates the geometry (power-of-two fields, divisibility).

@@ -52,7 +52,9 @@ pub mod timing;
 
 pub use bank::{Bank, BankState};
 pub use command::DramCommand;
-pub use controller::{AccessSource, MemController, MemRequest, RequestKind};
+pub use controller::{
+    AccessSource, MemCompletion, MemController, MemRequest, MemSystem, RequestKind,
+};
 pub use energy::EnergyModel;
 pub use geometry::{DeviceGeometry, SystemGeometry};
 pub use mapping::AddressMapping;

@@ -31,7 +31,7 @@ pub enum AccessSource {
 /// assert_eq!(s.bytes_read(AccessSource::Cpu).as_bytes(), 64);
 /// assert_eq!(s.accesses(), 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChannelStats {
     cpu_read: u64,
     cpu_written: u64,

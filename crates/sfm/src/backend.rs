@@ -10,14 +10,10 @@
 //! three sit behind [`SwapPlane`]: `&self` methods (interior
 //! mutability), [`SwapResult`] errors that carry the failing
 //! [`SwapSite`](xfm_types::SwapSite) and a retryability verdict.
-//!
-//! The older `&mut self` [`SfmBackend`] trait is deprecated; it remains
-//! implemented so out-of-tree callers keep compiling, but every caller
-//! in this workspace goes through [`SwapPlane`].
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
-use xfm_types::{ByteSize, Cycles, PageNumber, Result, SwapResult, PAGE_SIZE};
+use xfm_types::{ByteSize, Cycles, PageNumber, SwapResult, PAGE_SIZE};
 
 /// Where a swap operation actually executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -213,53 +209,6 @@ pub trait SwapPlane: Send + Sync {
     fn pool_stats(&self) -> crate::zpool::ZpoolStats;
 }
 
-/// A software-defined far memory backend.
-///
-/// Implementors hold the compressed region; callers are the SFM
-/// controller (policy) and applications (page faults).
-#[deprecated(
-    since = "0.4.0",
-    note = "use the `SwapPlane` trait: `&self` methods and structured `SwapError` results"
-)]
-pub trait SfmBackend {
-    /// Compresses `data` (one 4 KiB page) into the SFM under `page`.
-    ///
-    /// # Errors
-    ///
-    /// - [`xfm_types::Error::EntryExists`] if the page is already out;
-    /// - [`xfm_types::Error::SfmRegionFull`] if the region cannot hold it
-    ///   even after compaction;
-    /// - [`xfm_types::Error::InvalidConfig`] if `data` is not 4 KiB.
-    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome>;
-
-    /// Decompresses `page` back out of the SFM, removing its entry.
-    ///
-    /// `do_offload` mirrors the paper's `xfm_swap_out()` parameter: when
-    /// `false` (a demand fault) the CPU path is preferred because the
-    /// application is stalled; when `true` (a prefetch) the NMA path may
-    /// be used. The CPU baseline ignores it.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`xfm_types::Error::EntryNotFound`] if the page is not in
-    /// the SFM, or [`xfm_types::Error::Corrupt`] if stored data fails to
-    /// decompress.
-    fn swap_in(&mut self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)>;
-
-    /// Whether `page` currently lives in the SFM.
-    fn contains(&self, page: PageNumber) -> bool;
-
-    /// Runs a compaction pass over the region (the paper's
-    /// `xfm_compact()`), returning the `memcpy` report.
-    fn compact(&mut self) -> crate::zpool::CompactReport;
-
-    /// Aggregate statistics.
-    fn stats(&self) -> BackendStats;
-
-    /// Zpool-level statistics (occupancy, fragmentation).
-    fn pool_stats(&self) -> crate::zpool::ZpoolStats;
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,12 +253,6 @@ mod tests {
             ..SfmConfig::default()
         };
         assert_eq!(cfg.max_compressed_len(), 2048);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn backend_trait_is_object_safe() {
-        fn _takes_dyn(_b: &mut dyn SfmBackend) {}
     }
 
     #[test]

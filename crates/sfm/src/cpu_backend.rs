@@ -243,33 +243,6 @@ impl SwapPlane for CpuBackend {
     }
 }
 
-#[allow(deprecated)]
-impl crate::backend::SfmBackend for CpuBackend {
-    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
-        CpuBackend::swap_out(self, page, data)
-    }
-
-    fn swap_in(&mut self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
-        CpuBackend::swap_in(self, page, do_offload)
-    }
-
-    fn contains(&self, page: PageNumber) -> bool {
-        CpuBackend::contains(self, page)
-    }
-
-    fn compact(&mut self) -> CompactReport {
-        CpuBackend::compact(self)
-    }
-
-    fn stats(&self) -> BackendStats {
-        CpuBackend::stats(self)
-    }
-
-    fn pool_stats(&self) -> ZpoolStats {
-        CpuBackend::pool_stats(self)
-    }
-}
-
 /// Returns the fill byte when every byte of `data` is identical.
 #[must_use]
 pub fn same_filled(data: &[u8]) -> Option<u8> {

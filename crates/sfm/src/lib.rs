@@ -53,8 +53,6 @@ pub mod table;
 pub mod trace;
 pub mod zpool;
 
-#[allow(deprecated)]
-pub use backend::SfmBackend;
 pub use backend::{BackendStats, ExecutedOn, SfmConfig, SwapOutcome, SwapPlane};
 pub use controller::{ColdScanConfig, PromotionStats, SfmController};
 pub use cpu_backend::CpuBackend;

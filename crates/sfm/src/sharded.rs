@@ -43,8 +43,6 @@ use xfm_types::{
     ByteSize, Cycles, Error, Nanos, PageNumber, Result, SwapError, SwapResult, PAGE_SIZE,
 };
 
-#[allow(deprecated)]
-use crate::backend::SfmBackend;
 use crate::backend::{BackendStats, ExecutedOn, SfmConfig, SwapOutcome, SwapPlane};
 use crate::controller::{select_cold_batch, ColdScanConfig, PromotionStats};
 use crate::cpu_backend::same_filled;
@@ -1018,33 +1016,6 @@ impl SwapPlane for ShardedSfm {
     }
 
     fn compact(&self) -> CompactReport {
-        self.compact_all()
-    }
-
-    fn stats(&self) -> BackendStats {
-        ShardedSfm::stats(self)
-    }
-
-    fn pool_stats(&self) -> ZpoolStats {
-        ShardedSfm::pool_stats(self)
-    }
-}
-
-#[allow(deprecated)]
-impl SfmBackend for ShardedSfm {
-    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
-        ShardedSfm::swap_out(self, page, data)
-    }
-
-    fn swap_in(&mut self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
-        ShardedSfm::swap_in(self, page, do_offload)
-    }
-
-    fn contains(&self, page: PageNumber) -> bool {
-        ShardedSfm::contains(self, page)
-    }
-
-    fn compact(&mut self) -> CompactReport {
         self.compact_all()
     }
 

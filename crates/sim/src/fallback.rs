@@ -30,6 +30,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use xfm_dram::geometry::DeviceGeometry;
 use xfm_dram::timing::{DramTimings, REFS_PER_RETENTION};
+use xfm_event::{EventQueue, VirtualClock};
 use xfm_telemetry::{Cause, Counter, Registry, SwapStage};
 use xfm_types::{ByteSize, Nanos, PAGE_SIZE};
 
@@ -241,89 +242,98 @@ pub fn simulate_traced(cfg: &FallbackConfig, registry: &Registry) -> FallbackRep
     simulate_inner(cfg, Some(registry))
 }
 
-fn simulate_inner(cfg: &FallbackConfig, registry: Option<&Registry>) -> FallbackReport {
-    let telemetry = registry.map(FallbackTelemetry::new);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let windows = cfg.duration.periods(cfg.timings.t_refi);
-    let slots = REFS_PER_RETENTION as usize;
-    let mut by_slot: Vec<std::collections::VecDeque<Op>> =
-        vec![std::collections::VecDeque::new(); slots];
-    let mut random_q: std::collections::VecDeque<Op> = std::collections::VecDeque::new();
+/// The three periodic processes of the Fig. 12 simulation, as events on
+/// the shared discrete-event queue. Each is self-rescheduling; FIFO
+/// tie-breaking at a shared timestamp preserves the service order (and
+/// therefore the exact RNG draw sequence) of the old per-window loop:
+/// demotion arrivals, then promotion arrivals, then window service.
+#[derive(Debug, Clone, Copy)]
+enum SimEvent {
+    /// Scanner demotion burst at window `w` (compress direction).
+    DemotionBurst { w: u64 },
+    /// Prefetched-promotion burst at window `w` (decompress direction).
+    PromotionBurst { w: u64 },
+    /// Refresh-window service (demand sampling + budgeted access service)
+    /// for window `w`.
+    WindowService { w: u64 },
+}
 
-    // SPM holds engine outputs awaiting write-back; the request queue
-    // holds read descriptors awaiting their refresh slots.
-    let spm_cap = cfg.spm_capacity.as_bytes();
-    let mut spm_used: u64 = 0;
-    let mut queue_len: usize = 0;
-    let mut report = FallbackReport {
-        completed: 0,
-        fallbacks: 0,
-        conditional_accesses: 0,
-        random_accesses: 0,
-        spm_high_water: ByteSize::ZERO,
-        subarray_conflicts: 0,
-    };
-    let mut high_water: u64 = 0;
+/// All mutable simulation state shared by the event handlers.
+struct SimState<'a> {
+    cfg: &'a FallbackConfig,
+    telemetry: Option<FallbackTelemetry>,
+    rng: StdRng,
+    by_slot: Vec<std::collections::VecDeque<Op>>,
+    random_q: std::collections::VecDeque<Op>,
+    spm_cap: u64,
+    spm_used: u64,
+    queue_len: usize,
+    report: FallbackReport,
+    high_water: u64,
+    // Derived parameters.
+    demand_rate: f64,
+    wb_bytes: u32,
+    p_conflict: f64,
+    lookahead: u64,
+    t_refi_ns: u64,
+}
 
-    // Arrival processes.
-    let ops_per_window = cfg.ops_per_sec_per_dimm() * cfg.timings.t_refi.as_secs_f64();
-    let burst_interval = (f64::from(cfg.burst_pages) / ops_per_window).max(1.0) as u64;
-    let demand_rate = ops_per_window * (1.0 - cfg.prefetch_accuracy);
-    let wb_bytes = (PAGE_SIZE as f64 / cfg.compression_ratio) as u32;
-    let p_conflict =
-        f64::from(cfg.geometry.rows_per_ref()) / f64::from(cfg.geometry.subarrays_per_bank());
-    let lookahead = cfg.alignment_lookahead.max(1) as u64;
-    let promote_offset = burst_interval / 2;
-    let t_refi_ns = cfg.timings.t_refi.as_ns();
+impl SimState<'_> {
+    fn admit_flexible(&mut self, w: u64, read_bytes: u32, writeback_bytes: u32) {
+        let slots = REFS_PER_RETENTION as usize;
+        if self.queue_len >= self.cfg.queue_capacity {
+            self.report.fallbacks += 1;
+            if let Some(t) = &self.telemetry {
+                t.queue_full.inc();
+                t.event(SwapStage::Compress, w, w * self.t_refi_ns, Cause::QueueFull);
+            }
+            return;
+        }
+        self.queue_len += 1;
+        let slot = (w as usize + 1 + self.rng.gen_range(0..self.lookahead as usize)) % slots;
+        self.by_slot[slot].push_back(Op {
+            phase: OpPhase::Read,
+            bytes: read_bytes,
+            writeback_bytes,
+            reserved: 0,
+            since: w,
+        });
+    }
 
-    for w in 0..windows {
+    /// Demotion burst: `burst_pages` compress offloads (read a page,
+    /// write back compressed), each aligned to a refresh slot within the
+    /// lookahead horizon.
+    fn demotion_burst(&mut self, w: u64) {
+        for _ in 0..self.cfg.burst_pages {
+            self.admit_flexible(w, PAGE_SIZE as u32, self.wb_bytes);
+        }
+    }
+
+    /// Prefetched-promotion burst: decompress offloads (read compressed,
+    /// write back the page).
+    fn promotion_burst(&mut self, w: u64) {
+        let count = (f64::from(self.cfg.burst_pages) * self.cfg.prefetch_accuracy).round() as u32;
+        for _ in 0..count {
+            self.admit_flexible(w, self.wb_bytes, PAGE_SIZE as u32);
+        }
+    }
+
+    /// One refresh window's worth of work: demand-promotion arrivals,
+    /// random service, conditional service, re-alignment, deadline
+    /// spills.
+    fn window_service(&mut self, w: u64) {
+        let slots = REFS_PER_RETENTION as usize;
         let ref_idx = (w % REFS_PER_RETENTION) as usize;
-        let now_ns = w * t_refi_ns;
+        let now_ns = w * self.t_refi_ns;
 
-        // --- Arrivals -------------------------------------------------
-        // Demotion bursts (compress: read page, write back compressed)
-        // and prefetched-promotion bursts (decompress: read compressed,
-        // write back page). The controller aligns each to a refresh slot
-        // within the lookahead horizon.
-        let mut flex_arrivals: Vec<(u32, u32)> = Vec::new();
-        if w % burst_interval == 0 {
-            for _ in 0..cfg.burst_pages {
-                flex_arrivals.push((PAGE_SIZE as u32, wb_bytes));
-            }
-        }
-        if (w + promote_offset).is_multiple_of(burst_interval) {
-            let count = (f64::from(cfg.burst_pages) * cfg.prefetch_accuracy).round() as u32;
-            for _ in 0..count {
-                flex_arrivals.push((wb_bytes, PAGE_SIZE as u32));
-            }
-        }
-        for (read_bytes, writeback_bytes) in flex_arrivals {
-            if queue_len >= cfg.queue_capacity {
-                report.fallbacks += 1;
-                if let Some(t) = &telemetry {
-                    t.queue_full.inc();
-                    t.event(SwapStage::Compress, w, now_ns, Cause::QueueFull);
-                }
-                continue;
-            }
-            queue_len += 1;
-            let slot = (w as usize + 1 + rng.gen_range(0..lookahead as usize)) % slots;
-            by_slot[slot].push_back(Op {
-                phase: OpPhase::Read,
-                bytes: read_bytes,
-                writeback_bytes,
-                reserved: 0,
-                since: w,
-            });
-        }
         // Demand promotions: Poisson, urgent (random accesses).
         let mut demand = 0u32;
         {
             // Knuth Poisson sampling (rates here are << 10).
-            let l = (-demand_rate).exp();
+            let l = (-self.demand_rate).exp();
             let mut p = 1.0;
             loop {
-                p *= rng.gen::<f64>();
+                p *= self.rng.gen::<f64>();
                 if p <= l {
                     break;
                 }
@@ -331,18 +341,18 @@ fn simulate_inner(cfg: &FallbackConfig, registry: Option<&Registry>) -> Fallback
             }
         }
         for _ in 0..demand {
-            if queue_len >= cfg.queue_capacity {
-                report.fallbacks += 1;
-                if let Some(t) = &telemetry {
+            if self.queue_len >= self.cfg.queue_capacity {
+                self.report.fallbacks += 1;
+                if let Some(t) = &self.telemetry {
                     t.queue_full.inc();
                     t.event(SwapStage::Fault, w, now_ns, Cause::QueueFull);
                 }
                 continue;
             }
-            queue_len += 1;
-            random_q.push_back(Op {
+            self.queue_len += 1;
+            self.random_q.push_back(Op {
                 phase: OpPhase::Read,
-                bytes: wb_bytes,
+                bytes: self.wb_bytes,
                 writeback_bytes: PAGE_SIZE as u32,
                 reserved: 0,
                 since: w,
@@ -350,22 +360,22 @@ fn simulate_inner(cfg: &FallbackConfig, registry: Option<&Registry>) -> Fallback
         }
 
         // --- Service ---------------------------------------------------
-        let mut budget = u64::from(cfg.accesses_per_trfc) * PAGE_SIZE as u64;
-        let mut random_left = cfg.max_random_per_trfc;
+        let mut budget = u64::from(self.cfg.accesses_per_trfc) * PAGE_SIZE as u64;
+        let mut random_left = self.cfg.max_random_per_trfc;
 
         // Random service for urgent (demand) ops runs first — they are
         // latency-critical, unlike the flexible demotion/prefetch work
         // (subarray conflicts defer to the next window).
         while random_left > 0 {
-            let Some(op) = random_q.front().copied() else {
+            let Some(op) = self.random_q.front().copied() else {
                 break;
             };
             if u64::from(op.bytes) > budget {
                 break;
             }
-            if rng.gen::<f64>() < p_conflict {
-                report.subarray_conflicts += 1;
-                if let Some(t) = &telemetry {
+            if self.rng.gen::<f64>() < self.p_conflict {
+                self.report.subarray_conflicts += 1;
+                if let Some(t) = &self.telemetry {
                     t.subarray_conflicts.inc();
                     t.event(SwapStage::Fetch, w, now_ns, Cause::SubarrayConflict);
                 }
@@ -373,17 +383,17 @@ fn simulate_inner(cfg: &FallbackConfig, registry: Option<&Registry>) -> Fallback
             }
             match op.phase {
                 OpPhase::Read => {
-                    if spm_used + u64::from(op.writeback_bytes) > spm_cap {
+                    if self.spm_used + u64::from(op.writeback_bytes) > self.spm_cap {
                         break;
                     }
-                    random_q.pop_front();
+                    self.random_q.pop_front();
                     budget -= u64::from(op.bytes);
                     random_left -= 1;
-                    report.random_accesses += 1;
-                    queue_len -= 1;
-                    spm_used += u64::from(op.writeback_bytes);
-                    high_water = high_water.max(spm_used);
-                    random_q.push_back(Op {
+                    self.report.random_accesses += 1;
+                    self.queue_len -= 1;
+                    self.spm_used += u64::from(op.writeback_bytes);
+                    self.high_water = self.high_water.max(self.spm_used);
+                    self.random_q.push_back(Op {
                         phase: OpPhase::WriteBack,
                         bytes: op.writeback_bytes,
                         writeback_bytes: 0,
@@ -392,13 +402,13 @@ fn simulate_inner(cfg: &FallbackConfig, registry: Option<&Registry>) -> Fallback
                     });
                 }
                 OpPhase::WriteBack => {
-                    random_q.pop_front();
+                    self.random_q.pop_front();
                     budget -= u64::from(op.bytes);
                     random_left -= 1;
-                    report.random_accesses += 1;
-                    spm_used -= u64::from(op.reserved);
-                    report.completed += 1;
-                    if let Some(t) = &telemetry {
+                    self.report.random_accesses += 1;
+                    self.spm_used -= u64::from(op.reserved);
+                    self.report.completed += 1;
+                    if let Some(t) = &self.telemetry {
                         t.completed.inc();
                     }
                 }
@@ -408,7 +418,7 @@ fn simulate_inner(cfg: &FallbackConfig, registry: Option<&Registry>) -> Fallback
         // Conditional service of this slot's queue. SPM-stalled reads
         // step aside (no head-of-line blocking) and re-align below.
         let mut stalled: Vec<Op> = Vec::new();
-        while let Some(op) = by_slot[ref_idx].front().copied() {
+        while let Some(op) = self.by_slot[ref_idx].front().copied() {
             if u64::from(op.bytes) > budget {
                 break;
             }
@@ -416,23 +426,24 @@ fn simulate_inner(cfg: &FallbackConfig, registry: Option<&Registry>) -> Fallback
                 OpPhase::Read => {
                     // The engine output must fit in the SPM before the
                     // read may execute.
-                    if spm_used + u64::from(op.writeback_bytes) > spm_cap {
-                        by_slot[ref_idx].pop_front();
+                    if self.spm_used + u64::from(op.writeback_bytes) > self.spm_cap {
+                        self.by_slot[ref_idx].pop_front();
                         stalled.push(op);
-                        if let Some(t) = &telemetry {
+                        if let Some(t) = &self.telemetry {
                             t.spm_exhausted.inc();
                             t.event(SwapStage::ZpoolStore, w, now_ns, Cause::SpmExhausted);
                         }
                         continue; // SPM stall: skip, keep draining
                     }
-                    by_slot[ref_idx].pop_front();
+                    self.by_slot[ref_idx].pop_front();
                     budget -= u64::from(op.bytes);
-                    report.conditional_accesses += 1;
-                    queue_len -= 1;
-                    spm_used += u64::from(op.writeback_bytes);
-                    high_water = high_water.max(spm_used);
-                    let target = (ref_idx + 1 + rng.gen_range(0..lookahead as usize)) % slots;
-                    by_slot[target].push_back(Op {
+                    self.report.conditional_accesses += 1;
+                    self.queue_len -= 1;
+                    self.spm_used += u64::from(op.writeback_bytes);
+                    self.high_water = self.high_water.max(self.spm_used);
+                    let target =
+                        (ref_idx + 1 + self.rng.gen_range(0..self.lookahead as usize)) % slots;
+                    self.by_slot[target].push_back(Op {
                         phase: OpPhase::WriteBack,
                         bytes: op.writeback_bytes,
                         writeback_bytes: 0,
@@ -441,12 +452,12 @@ fn simulate_inner(cfg: &FallbackConfig, registry: Option<&Registry>) -> Fallback
                     });
                 }
                 OpPhase::WriteBack => {
-                    by_slot[ref_idx].pop_front();
+                    self.by_slot[ref_idx].pop_front();
                     budget -= u64::from(op.bytes);
-                    report.conditional_accesses += 1;
-                    spm_used -= u64::from(op.reserved);
-                    report.completed += 1;
-                    if let Some(t) = &telemetry {
+                    self.report.conditional_accesses += 1;
+                    self.spm_used -= u64::from(op.reserved);
+                    self.report.completed += 1;
+                    if let Some(t) = &self.telemetry {
                         t.completed.inc();
                     }
                 }
@@ -455,34 +466,119 @@ fn simulate_inner(cfg: &FallbackConfig, registry: Option<&Registry>) -> Fallback
         // Missed flexible work re-aligns to an upcoming slot (the
         // controller simply picks the candidate again later).
         for op in stalled.drain(..) {
-            let target = (ref_idx + 1 + rng.gen_range(0..16)) % slots;
-            by_slot[target].push_back(op);
+            let target = (ref_idx + 1 + self.rng.gen_range(0..16)) % slots;
+            self.by_slot[target].push_back(op);
         }
-        while let Some(op) = by_slot[ref_idx].pop_front() {
-            let target = (ref_idx + 1 + rng.gen_range(0..16)) % slots;
-            by_slot[target].push_back(op);
+        while let Some(op) = self.by_slot[ref_idx].pop_front() {
+            let target = (ref_idx + 1 + self.rng.gen_range(0..16)) % slots;
+            self.by_slot[target].push_back(op);
         }
 
         // Deadline spills for urgent ops still waiting for a read.
-        while let Some(op) = random_q.front().copied() {
-            if w.saturating_sub(op.since) < cfg.urgent_max_wait {
+        while let Some(op) = self.random_q.front().copied() {
+            if w.saturating_sub(op.since) < self.cfg.urgent_max_wait {
                 break;
             }
-            random_q.pop_front();
+            self.random_q.pop_front();
             if op.phase == OpPhase::Read {
-                queue_len -= 1;
+                self.queue_len -= 1;
             } else {
-                spm_used -= u64::from(op.reserved);
+                self.spm_used -= u64::from(op.reserved);
             }
-            report.fallbacks += 1;
-            if let Some(t) = &telemetry {
+            self.report.fallbacks += 1;
+            if let Some(t) = &self.telemetry {
                 t.deadline_spills.inc();
                 t.event(SwapStage::Fault, w, now_ns, Cause::DeadlineSpill);
             }
         }
     }
+}
 
-    report.spm_high_water = ByteSize::from_bytes(high_water);
+fn simulate_inner(cfg: &FallbackConfig, registry: Option<&Registry>) -> FallbackReport {
+    let windows = cfg.duration.periods(cfg.timings.t_refi);
+    let slots = REFS_PER_RETENTION as usize;
+
+    // Arrival processes.
+    let ops_per_window = cfg.ops_per_sec_per_dimm() * cfg.timings.t_refi.as_secs_f64();
+    let burst_interval = (f64::from(cfg.burst_pages) / ops_per_window).max(1.0) as u64;
+    let promote_offset = burst_interval / 2;
+    let t_refi = cfg.timings.t_refi;
+
+    let mut state = SimState {
+        cfg,
+        telemetry: registry.map(FallbackTelemetry::new),
+        rng: StdRng::seed_from_u64(cfg.seed),
+        by_slot: vec![std::collections::VecDeque::new(); slots],
+        random_q: std::collections::VecDeque::new(),
+        // SPM holds engine outputs awaiting write-back; the request queue
+        // holds read descriptors awaiting their refresh slots.
+        spm_cap: cfg.spm_capacity.as_bytes(),
+        spm_used: 0,
+        queue_len: 0,
+        report: FallbackReport {
+            completed: 0,
+            fallbacks: 0,
+            conditional_accesses: 0,
+            random_accesses: 0,
+            spm_high_water: ByteSize::ZERO,
+            subarray_conflicts: 0,
+        },
+        high_water: 0,
+        demand_rate: ops_per_window * (1.0 - cfg.prefetch_accuracy),
+        wb_bytes: (PAGE_SIZE as f64 / cfg.compression_ratio) as u32,
+        p_conflict: f64::from(cfg.geometry.rows_per_ref())
+            / f64::from(cfg.geometry.subarrays_per_bank()),
+        lookahead: cfg.alignment_lookahead.max(1) as u64,
+        t_refi_ns: t_refi.as_ns(),
+    };
+
+    // The shared discrete-event core drives all three periodic processes
+    // off one queue and one virtual clock. Seeding order at t=0 (and the
+    // self-rescheduling order at every later shared timestamp) fixes the
+    // FIFO tie-break to demotion → promotion → service.
+    let mut queue: EventQueue<SimEvent> = EventQueue::new();
+    let mut clock = VirtualClock::new();
+    if windows > 0 {
+        queue.push(Nanos::ZERO, SimEvent::DemotionBurst { w: 0 });
+        // First window w with (w + promote_offset) % burst_interval == 0.
+        let first_promote = (burst_interval - promote_offset) % burst_interval;
+        if first_promote < windows {
+            queue.push(
+                t_refi * first_promote,
+                SimEvent::PromotionBurst { w: first_promote },
+            );
+        }
+        queue.push(Nanos::ZERO, SimEvent::WindowService { w: 0 });
+    }
+    while let Some(ev) = queue.pop() {
+        clock.advance_to(ev.at);
+        match ev.payload {
+            SimEvent::DemotionBurst { w } => {
+                state.demotion_burst(w);
+                let next = w + burst_interval;
+                if next < windows {
+                    queue.push(t_refi * next, SimEvent::DemotionBurst { w: next });
+                }
+            }
+            SimEvent::PromotionBurst { w } => {
+                state.promotion_burst(w);
+                let next = w + burst_interval;
+                if next < windows {
+                    queue.push(t_refi * next, SimEvent::PromotionBurst { w: next });
+                }
+            }
+            SimEvent::WindowService { w } => {
+                state.window_service(w);
+                let next = w + 1;
+                if next < windows {
+                    queue.push(t_refi * next, SimEvent::WindowService { w: next });
+                }
+            }
+        }
+    }
+
+    let mut report = state.report;
+    report.spm_high_water = ByteSize::from_bytes(state.high_water);
     report
 }
 

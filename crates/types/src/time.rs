@@ -38,6 +38,11 @@ impl Nanos {
     /// Zero duration.
     pub const ZERO: Self = Self(0);
 
+    /// Maximum representable duration (`u64::MAX` picoseconds, ~213
+    /// days). Event drivers use it as the "idle, nothing scheduled"
+    /// sentinel when folding `Option<Nanos>` deadlines with `min`.
+    pub const MAX: Self = Self(u64::MAX);
+
     /// Creates a duration from picoseconds.
     #[must_use]
     pub const fn from_ps(ps: u64) -> Self {
@@ -146,6 +151,43 @@ impl Nanos {
     pub fn periods(self, period: Self) -> u64 {
         assert!(!period.is_zero(), "period must be non-zero");
         self.0 / period.0
+    }
+
+    /// Round up to the next multiple of `period` (an instant already on a
+    /// boundary is returned unchanged). Saturates at [`Nanos::MAX`].
+    ///
+    /// Discrete-event drivers use this to find the end of the refresh
+    /// window containing an instant: `t.align_up(t_refi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn align_up(self, period: Self) -> Self {
+        assert!(!period.is_zero(), "period must be non-zero");
+        let rem = self.0 % period.0;
+        if rem == 0 {
+            self
+        } else {
+            Self(self.0.saturating_add(period.0 - rem))
+        }
+    }
+
+    /// Round down to the previous multiple of `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn align_down(self, period: Self) -> Self {
+        assert!(!period.is_zero(), "period must be non-zero");
+        Self(self.0 - self.0 % period.0)
+    }
+
+    /// Checked subtraction: `None` if `rhs > self`.
+    #[must_use]
+    pub fn checked_sub(self, rhs: Self) -> Option<Self> {
+        self.0.checked_sub(rhs.0).map(Self)
     }
 }
 
@@ -498,5 +540,24 @@ mod tests {
     fn bandwidth_display() {
         assert_eq!(Bandwidth::from_gbps(25.6).to_string(), "25.60 GB/s");
         assert_eq!(Bandwidth::from_mbps(426.0).to_string(), "426.00 MB/s");
+    }
+
+    #[test]
+    fn align_up_and_down() {
+        let refi = Nanos::from_ns(3900);
+        assert_eq!(Nanos::ZERO.align_up(refi), Nanos::ZERO);
+        assert_eq!(Nanos::from_ns(1).align_up(refi), refi);
+        assert_eq!(refi.align_up(refi), refi);
+        assert_eq!(Nanos::from_ns(3901).align_down(refi), refi);
+        assert_eq!(Nanos::from_ns(3899).align_down(refi), Nanos::ZERO);
+        assert_eq!(Nanos::MAX.align_up(Nanos::from_ns(7)), Nanos::MAX);
+    }
+
+    #[test]
+    fn checked_sub_behaves() {
+        let a = Nanos::from_ns(10);
+        let b = Nanos::from_ns(3);
+        assert_eq!(a.checked_sub(b), Some(Nanos::from_ns(7)));
+        assert_eq!(b.checked_sub(a), None);
     }
 }
