@@ -46,3 +46,13 @@ fi
 if [[ "${1:-}" == "--chaos" ]]; then
     cargo run --release -p xfm-bench --bin xfm-fault-bench -- --smoke
 fi
+# Codec smoke (opt-in via `./ci.sh --codec`): reduced-round codec bench
+# with built-in round-trip identity on every corpus/codec pair, the FSE
+# differential proptests against the naive reference coder, and the
+# counting-allocator zero-alloc gate over the FSE, auto-routing, and
+# batch-decompress paths.
+if [[ "${1:-}" == "--codec" ]]; then
+    cargo run --release -p xfm-bench --bin xfm-codec-bench -- --smoke
+    cargo test --release -q -p xfm-compress --test fse_differential
+    cargo test --release -q -p xfm-compress --test zero_alloc
+fi

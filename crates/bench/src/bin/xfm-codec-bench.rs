@@ -4,19 +4,30 @@
 //! Two paths are timed per codec/corpus: the fresh-state `compress`/
 //! `decompress` API (a new internal state per page) and the scratch-
 //! reusing `compress_into`/`decompress_into` hot path with a
-//! pre-reserved output buffer (the zero-allocation swap path). The JSON
-//! report also embeds the seed implementation's numbers for the same
-//! workload on the same machine, so the speedup is tracked in-tree.
+//! pre-reserved output buffer (the zero-allocation swap path). Every
+//! measured block is also round-tripped and checked byte-exact before
+//! timing starts, so a silently corrupting codec fails the bench
+//! instead of posting a number.
+//!
+//! Per codec/corpus the report also records the compression ratio, and
+//! for the `auto` codec the probe's route distribution (raw/xlz/fse
+//! counts read back from the self-describing tag bytes).
+//!
+//! The JSON report embeds the seed implementation's numbers for the
+//! same workload, so the speedup is tracked in-tree; because absolute
+//! pages/sec shifts with hardware, each row also carries its speedup
+//! over the *same-run* xdeflate row, which is machine-independent.
 //!
 //! Run with `cargo run --release -p xfm-bench --bin xfm-codec-bench`.
+//! Pass `--smoke` for the CI gate: reduced pages/rounds, correctness
+//! checks still on, and no `BENCH_codec.json` rewrite.
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use xfm_compress::{Codec, Corpus, Scratch, XDeflate, Xlz};
+use xfm_compress::auto::block_route;
+use xfm_compress::{AutoCodec, Codec, CodecKind, Corpus, Scratch, XDeflate, XDeflateFse, Xlz};
 
 const PAGE: usize = 4096;
-const PAGES_PER_CORPUS: usize = 256;
-const ROUNDS: usize = 5;
 
 /// Seed-implementation throughput (pre scratch reuse, byte-loop match
 /// extension, per-call allocations), measured with this same harness
@@ -30,18 +41,34 @@ const BASELINE: &[(&str, &str, f64, f64)] = &[
     ("xlz", "english-text", 19501.0, 90599.0),
 ];
 
-fn corpus_pages(corpus: Corpus) -> Vec<Vec<u8>> {
-    (0..PAGES_PER_CORPUS)
+/// Benchmark dimensions; `--smoke` shrinks them for the CI gate.
+#[derive(Clone, Copy)]
+struct Dims {
+    pages_per_corpus: usize,
+    rounds: usize,
+}
+
+const FULL: Dims = Dims {
+    pages_per_corpus: 256,
+    rounds: 15,
+};
+const SMOKE: Dims = Dims {
+    pages_per_corpus: 32,
+    rounds: 2,
+};
+
+fn corpus_pages(corpus: Corpus, dims: Dims) -> Vec<Vec<u8>> {
+    (0..dims.pages_per_corpus)
         .map(|i| corpus.generate(0x5EED_0000 + i as u64, PAGE))
         .collect()
 }
 
-/// Best-of-`ROUNDS` pages/sec for `f` applied to every page.
-fn pages_per_sec(pages: usize, mut f: impl FnMut()) -> f64 {
+/// Best-of-`rounds` pages/sec for `f` applied to every page.
+fn pages_per_sec(pages: usize, rounds: usize, mut f: impl FnMut()) -> f64 {
     // Warm-up pass.
     f();
     let mut best = f64::MAX;
-    for _ in 0..ROUNDS {
+    for _ in 0..rounds {
         let start = Instant::now();
         f();
         best = best.min(start.elapsed().as_secs_f64());
@@ -56,10 +83,14 @@ struct Row {
     compress_scratch: f64,
     decompress_fresh: f64,
     decompress_scratch: f64,
+    ratio: f64,
+    /// `(raw, xlz, fse)` route counts for the auto codec, `None` for
+    /// single-route codecs.
+    routes: Option<(usize, usize, usize)>,
 }
 
-fn measure(codec: &dyn Codec, corpus: Corpus) -> Row {
-    let pages = corpus_pages(corpus);
+fn measure(codec: &dyn Codec, corpus: Corpus, dims: Dims) -> Row {
+    let pages = corpus_pages(corpus, dims);
     let compressed: Vec<Vec<u8>> = pages
         .iter()
         .map(|p| {
@@ -69,14 +100,46 @@ fn measure(codec: &dyn Codec, corpus: Corpus) -> Row {
         })
         .collect();
 
-    let compress_fresh = pages_per_sec(pages.len(), || {
+    // Correctness gate before any timing: every block must restore its
+    // page byte-exactly.
+    for (p, c) in pages.iter().zip(&compressed) {
+        let mut restored = Vec::new();
+        codec.decompress(c, &mut restored).unwrap();
+        assert_eq!(
+            &restored,
+            p,
+            "{} corrupted a {} page",
+            codec.name(),
+            corpus.name()
+        );
+    }
+
+    let routes = (codec.kind() == CodecKind::Auto).then(|| {
+        let mut raw = 0;
+        let mut xlz = 0;
+        let mut fse = 0;
+        for c in &compressed {
+            match block_route(c) {
+                Some(CodecKind::Raw) => raw += 1,
+                Some(CodecKind::Xlz) => xlz += 1,
+                Some(CodecKind::XDeflateFse) => fse += 1,
+                other => panic!("auto block with unroutable tag: {other:?}"),
+            }
+        }
+        (raw, xlz, fse)
+    });
+    let in_bytes: usize = pages.iter().map(Vec::len).sum();
+    let out_bytes: usize = compressed.iter().map(Vec::len).sum();
+    let ratio = in_bytes as f64 / out_bytes as f64;
+
+    let compress_fresh = pages_per_sec(pages.len(), dims.rounds, || {
         for p in &pages {
             let mut out = Vec::new();
             codec.compress(std::hint::black_box(p), &mut out).unwrap();
             std::hint::black_box(&out);
         }
     });
-    let decompress_fresh = pages_per_sec(pages.len(), || {
+    let decompress_fresh = pages_per_sec(pages.len(), dims.rounds, || {
         for c in &compressed {
             let mut out = Vec::new();
             codec.decompress(std::hint::black_box(c), &mut out).unwrap();
@@ -86,7 +149,7 @@ fn measure(codec: &dyn Codec, corpus: Corpus) -> Row {
 
     let mut scratch = Scratch::new();
     let mut out = Vec::with_capacity(2 * PAGE);
-    let compress_scratch = pages_per_sec(pages.len(), || {
+    let compress_scratch = pages_per_sec(pages.len(), dims.rounds, || {
         for p in &pages {
             out.clear();
             codec
@@ -95,7 +158,7 @@ fn measure(codec: &dyn Codec, corpus: Corpus) -> Row {
             std::hint::black_box(&out);
         }
     });
-    let decompress_scratch = pages_per_sec(pages.len(), || {
+    let decompress_scratch = pages_per_sec(pages.len(), dims.rounds, || {
         for c in &compressed {
             out.clear();
             codec
@@ -112,6 +175,8 @@ fn measure(codec: &dyn Codec, corpus: Corpus) -> Row {
         compress_scratch,
         decompress_fresh,
         decompress_scratch,
+        ratio,
+        routes,
     }
 }
 
@@ -122,15 +187,24 @@ fn baseline_for(codec: &str, corpus: &str) -> Option<(f64, f64)> {
         .map(|&(_, _, c, d)| (c, d))
 }
 
-fn render_json(rows: &[Row]) -> String {
+/// Same-run xdeflate compress pages/sec for `corpus` (machine-neutral
+/// speedup denominator).
+fn xdeflate_for<'a>(rows: &'a [Row], corpus: &str) -> Option<&'a Row> {
+    rows.iter()
+        .find(|r| r.codec == "xdeflate" && r.corpus == corpus)
+}
+
+fn render_json(rows: &[Row], dims: Dims) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"page_size\": {PAGE},");
-    let _ = writeln!(s, "  \"pages_per_corpus\": {PAGES_PER_CORPUS},");
-    let _ = writeln!(s, "  \"rounds\": {ROUNDS},");
+    let _ = writeln!(s, "  \"pages_per_corpus\": {},", dims.pages_per_corpus);
+    let _ = writeln!(s, "  \"rounds\": {},", dims.rounds);
     s.push_str(
         "  \"baseline_note\": \"seed implementation (per-call state, byte-loop match \
-         extension), same harness and machine as 'current'\",\n",
+         extension), same harness as 'current' but measured on the seed-era machine; \
+         'compress_speedup_vs_xdeflate' compares within this run and is \
+         machine-independent\",\n",
     );
     s.push_str("  \"baseline\": [\n");
     for (i, &(codec, corpus, c, d)) in BASELINE.iter().enumerate() {
@@ -147,19 +221,29 @@ fn render_json(rows: &[Row]) -> String {
         let speedup = baseline_for(r.codec, r.corpus).map_or(String::from("null"), |(c, _)| {
             format!("{:.2}", r.compress_scratch / c)
         });
+        let vs_xdef = xdeflate_for(rows, r.corpus).map_or(String::from("null"), |x| {
+            format!("{:.2}", r.compress_scratch / x.compress_scratch)
+        });
+        let routes = r.routes.map_or(String::from("null"), |(raw, xlz, fse)| {
+            format!("{{\"raw\": {raw}, \"xlz\": {xlz}, \"fse\": {fse}}}")
+        });
         let _ = writeln!(
             s,
             "    {{\"codec\": \"{}\", \"corpus\": \"{}\", \
              \"compress_pages_per_sec\": {:.0}, \"decompress_pages_per_sec\": {:.0}, \
              \"compress_fresh_pages_per_sec\": {:.0}, \"decompress_fresh_pages_per_sec\": {:.0}, \
-             \"compress_speedup_vs_baseline\": {}}}{comma}",
+             \"ratio\": {:.3}, \"codec_routes\": {}, \
+             \"compress_speedup_vs_baseline\": {}, \"compress_speedup_vs_xdeflate\": {}}}{comma}",
             r.codec,
             r.corpus,
             r.compress_scratch,
             r.decompress_scratch,
             r.compress_fresh,
             r.decompress_fresh,
-            speedup
+            r.ratio,
+            routes,
+            speedup,
+            vs_xdef
         );
     }
     s.push_str("  ]\n}\n");
@@ -167,36 +251,66 @@ fn render_json(rows: &[Row]) -> String {
 }
 
 fn main() {
-    let corpora = [Corpus::Json, Corpus::EnglishText];
-    let codecs: Vec<Box<dyn Codec>> = vec![Box::<XDeflate>::default(), Box::<Xlz>::default()];
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let dims = if smoke { SMOKE } else { FULL };
+    let corpora = [
+        Corpus::Json,
+        Corpus::EnglishText,
+        Corpus::RandomBytes,
+        Corpus::ZeroPage,
+        Corpus::StructDump,
+    ];
+    let codecs: Vec<Box<dyn Codec>> = vec![
+        Box::<XDeflate>::default(),
+        Box::<XDeflateFse>::default(),
+        Box::<Xlz>::default(),
+        Box::<AutoCodec>::default(),
+    ];
 
     println!(
-        "{:<12} {:<14} {:>14} {:>14} {:>14} {:>14} {:>9}",
-        "codec", "corpus", "c fresh pg/s", "c scratch", "d fresh pg/s", "d scratch", "speedup"
+        "{:<10} {:<13} {:>12} {:>12} {:>12} {:>12} {:>7} {:>8} {:>16}",
+        "codec",
+        "corpus",
+        "c fresh",
+        "c scratch",
+        "d fresh",
+        "d scratch",
+        "ratio",
+        "vs xdef",
+        "routes r/x/f"
     );
     let mut rows = Vec::new();
     for codec in &codecs {
         for &corpus in &corpora {
-            let row = measure(codec.as_ref(), corpus);
-            let speedup = baseline_for(row.codec, row.corpus)
-                .map_or(String::from("-"), |(c, _)| {
-                    format!("{:.2}x", row.compress_scratch / c)
-                });
-            println!(
-                "{:<12} {:<14} {:>14.0} {:>14.0} {:>14.0} {:>14.0} {:>9}",
-                row.codec,
-                row.corpus,
-                row.compress_fresh,
-                row.compress_scratch,
-                row.decompress_fresh,
-                row.decompress_scratch,
-                speedup
-            );
-            rows.push(row);
+            rows.push(measure(codec.as_ref(), corpus, dims));
         }
     }
+    for row in &rows {
+        let vs_xdef = xdeflate_for(&rows, row.corpus).map_or(String::from("-"), |x| {
+            format!("{:.2}x", row.compress_scratch / x.compress_scratch)
+        });
+        let routes = row.routes.map_or(String::from("-"), |(raw, xlz, fse)| {
+            format!("{raw}/{xlz}/{fse}")
+        });
+        println!(
+            "{:<10} {:<13} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>7.3} {:>8} {:>16}",
+            row.codec,
+            row.corpus,
+            row.compress_fresh,
+            row.compress_scratch,
+            row.decompress_fresh,
+            row.decompress_scratch,
+            row.ratio,
+            vs_xdef,
+            routes
+        );
+    }
 
-    let json = render_json(&rows);
-    std::fs::write("BENCH_codec.json", &json).expect("write BENCH_codec.json");
-    println!("\nwrote BENCH_codec.json");
+    if smoke {
+        println!("\nsmoke mode: round-trips verified on every corpus, BENCH_codec.json untouched");
+    } else {
+        let json = render_json(&rows, dims);
+        std::fs::write("BENCH_codec.json", &json).expect("write BENCH_codec.json");
+        println!("\nwrote BENCH_codec.json");
+    }
 }

@@ -1,0 +1,327 @@
+//! Per-page codec selection: a cheap probe routes each page to raw
+//! storage, [`crate::xlz`], or [`crate::xdef_fse`].
+//!
+//! The probe reads a strided sample of the page and computes a plug-in
+//! estimate of the byte entropy plus the fraction of sampled positions
+//! whose 4-byte gram repeats nearby. Near-random pages (entropy above
+//! [`AutoCodec::RAW_ENTROPY_BITS`] with no repeat structure) skip
+//! compression entirely; rep-heavy/low-entropy pages (long runs,
+//! zero pages) take the byte-oriented `xlz` fast path where an entropy
+//! stage would only add table overhead; everything else takes the
+//! `xdeflate+FSE` ratio path.
+//!
+//! Every block is self-describing: one leading tag byte (version
+//! nibble + route) chosen *at compress time*, so decompression never
+//! re-probes. A misrouted page costs throughput or ratio, never
+//! correctness — each inner codec has its own stored fallback, and the
+//! wrapper additionally rewrites any block that ends up at least as
+//! large as the page to a raw block, bounding expansion to one byte.
+
+use xfm_types::{Error, Result};
+
+use crate::codec::{Codec, CodecKind};
+use crate::scratch::Scratch;
+use crate::xdef_fse::XDeflateFse;
+use crate::xlz::Xlz;
+
+/// Block tag: raw page bytes follow. High nibble is the format version.
+pub const TAG_RAW: u8 = 0x10;
+/// Block tag: an `xlz` stream follows.
+pub const TAG_XLZ: u8 = 0x11;
+/// Block tag: an `xdef-fse` stream follows.
+pub const TAG_FSE: u8 = 0x12;
+
+/// Returns the inner codec kind a compressed `auto` block was routed
+/// to, or `None` if the block is empty or from an unknown version.
+///
+/// This is a pure peek at the tag byte — telemetry and tooling use it
+/// to attribute stored blocks without decompressing them.
+#[must_use]
+pub fn block_route(block: &[u8]) -> Option<CodecKind> {
+    match block.first() {
+        Some(&TAG_RAW) => Some(CodecKind::Raw),
+        Some(&TAG_XLZ) => Some(CodecKind::Xlz),
+        Some(&TAG_FSE) => Some(CodecKind::XDeflateFse),
+        _ => None,
+    }
+}
+
+/// The probe verdict for a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    Raw,
+    Xlz,
+    Fse,
+}
+
+/// The self-describing per-page codec selector.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_compress::{auto::block_route, AutoCodec, Codec, CodecKind};
+///
+/// let codec = AutoCodec::default();
+/// let data = b"far memory far memory far memory far memory".repeat(10);
+/// let mut compressed = Vec::new();
+/// codec.compress(&data, &mut compressed)?;
+/// assert!(compressed.len() < data.len());
+/// assert!(block_route(&compressed).is_some());
+///
+/// let mut restored = Vec::new();
+/// codec.decompress(&compressed, &mut restored)?;
+/// assert_eq!(restored, data);
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AutoCodec {
+    xlz: Xlz,
+    fse: XDeflateFse,
+}
+
+impl AutoCodec {
+    /// Sampled-entropy threshold (bits/byte) above which a page with no
+    /// repeat structure is stored raw. Uniform-random 4 KiB pages probe
+    /// at ≈7.3 bits with the 512-sample plug-in estimator (the
+    /// estimator's small-sample bias keeps even true 8.0-bit pages
+    /// below 7.5); text/JSON pages probe at ≤5.5.
+    pub const RAW_ENTROPY_BITS: f64 = 6.8;
+    /// Sampled-entropy threshold (bits/byte) below which a page is
+    /// rep-heavy enough that the `xlz` fast path compresses it well
+    /// without paying for FSE table builds.
+    pub const XLZ_ENTROPY_BITS: f64 = 1.5;
+    /// Fraction of sampled 4-grams that repeat nearby, above which a
+    /// high-entropy page is still worth an LZ pass.
+    pub const RAW_REPEAT_FRACTION: f64 = 0.25;
+
+    /// Probes a strided sample of `page` and picks a route.
+    fn probe(page: &[u8]) -> Route {
+        if page.len() < 64 {
+            // Too small for the sample to mean anything; the ratio
+            // codec's stored fallback bounds the damage either way.
+            return Route::Fse;
+        }
+        // Entropy over every 8th byte (512 samples on a 4 KiB page).
+        let mut hist = [0u32; 256];
+        let mut samples = 0u32;
+        let mut i = 0;
+        while i < page.len() {
+            hist[page[i] as usize] += 1;
+            samples += 1;
+            i += 8;
+        }
+        let n = f64::from(samples);
+        let mut entropy = 0.0f64;
+        for &c in &hist {
+            if c > 0 {
+                let p = f64::from(c) / n;
+                entropy -= p * p.log2();
+            }
+        }
+        // Repeat structure: fraction of sampled positions whose 4-gram
+        // reappears at a recent sampled position (tiny direct-mapped
+        // table of gram fingerprints).
+        let mut grams = [0u32; 64];
+        let mut repeats = 0u32;
+        let mut probes = 0u32;
+        let mut i = 0;
+        while i + 4 <= page.len() {
+            let g = u32::from_le_bytes([page[i], page[i + 1], page[i + 2], page[i + 3]]);
+            let slot = (g.wrapping_mul(0x9E37_79B1) >> 26) as usize;
+            repeats += u32::from(grams[slot] == g);
+            probes += 1;
+            grams[slot] = g;
+            i += 16;
+        }
+        let repeat_frac = f64::from(repeats) / f64::from(probes.max(1));
+
+        if entropy <= Self::XLZ_ENTROPY_BITS {
+            Route::Xlz
+        } else if entropy >= Self::RAW_ENTROPY_BITS && repeat_frac < Self::RAW_REPEAT_FRACTION {
+            Route::Raw
+        } else {
+            Route::Fse
+        }
+    }
+}
+
+impl Codec for AutoCodec {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn kind(&self) -> CodecKind {
+        CodecKind::Auto
+    }
+
+    fn compress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        self.compress_into(src, dst, &mut Scratch::new())
+    }
+
+    fn decompress(&self, src: &[u8], dst: &mut Vec<u8>) -> Result<usize> {
+        self.decompress_into(src, dst, &mut Scratch::new())
+    }
+
+    fn compress_into(&self, src: &[u8], dst: &mut Vec<u8>, scratch: &mut Scratch) -> Result<usize> {
+        let start = dst.len();
+        match Self::probe(src) {
+            Route::Raw => {
+                dst.push(TAG_RAW);
+                dst.extend_from_slice(src);
+            }
+            Route::Xlz => {
+                dst.push(TAG_XLZ);
+                self.xlz.compress_into(src, dst, scratch)?;
+            }
+            Route::Fse => {
+                dst.push(TAG_FSE);
+                self.fse.compress_into(src, dst, scratch)?;
+            }
+        }
+        // Misclassification guard: whatever the probe said, a block
+        // that did not actually shrink is rewritten as a raw block, so
+        // expansion is capped at the tag byte (and swap-in never pays a
+        // decode for a page that compression did not help).
+        if dst.len() - start > src.len() && dst[start] != TAG_RAW {
+            dst.truncate(start);
+            dst.push(TAG_RAW);
+            dst.extend_from_slice(src);
+        }
+        Ok(dst.len() - start)
+    }
+
+    fn decompress_into(
+        &self,
+        src: &[u8],
+        dst: &mut Vec<u8>,
+        scratch: &mut Scratch,
+    ) -> Result<usize> {
+        let start = dst.len();
+        let (&tag, body) = src
+            .split_first()
+            .ok_or_else(|| Error::Corrupt("empty auto block".into()))?;
+        match tag {
+            TAG_RAW => {
+                dst.extend_from_slice(body);
+            }
+            TAG_XLZ => {
+                self.xlz.decompress_into(body, dst, scratch)?;
+            }
+            TAG_FSE => {
+                self.fse.decompress_into(body, dst, scratch)?;
+            }
+            other => {
+                return Err(Error::Corrupt(format!(
+                    "unknown auto codec tag {other:#04x}"
+                )));
+            }
+        }
+        Ok(dst.len() - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+
+    fn round_trip(data: &[u8]) -> Vec<u8> {
+        let codec = AutoCodec::default();
+        let mut compressed = Vec::new();
+        codec.compress(data, &mut compressed).unwrap();
+        assert!(
+            compressed.len() <= data.len() + 1,
+            "expansion beyond tag byte: {} vs {}",
+            compressed.len(),
+            data.len()
+        );
+        let mut restored = Vec::new();
+        codec.decompress(&compressed, &mut restored).unwrap();
+        assert_eq!(restored, data, "round-trip mismatch");
+        compressed
+    }
+
+    #[test]
+    fn random_pages_route_raw() {
+        for seed in 0..8 {
+            let page = Corpus::RandomBytes.generate(seed, 4096);
+            let block = round_trip(&page);
+            assert_eq!(block_route(&block), Some(CodecKind::Raw), "{seed}");
+            assert_eq!(block.len(), page.len() + 1);
+        }
+    }
+
+    #[test]
+    fn zero_and_constant_pages_route_xlz() {
+        for page in [vec![0u8; 4096], vec![0xAAu8; 4096]] {
+            let block = round_trip(&page);
+            assert_eq!(block_route(&block), Some(CodecKind::Xlz));
+            assert!(block.len() < 128, "near-constant page took {}", block.len());
+        }
+    }
+
+    #[test]
+    fn structured_pages_route_fse() {
+        for corpus in [Corpus::Json, Corpus::EnglishText] {
+            for seed in 0..4 {
+                let page = corpus.generate(seed, 4096);
+                let block = round_trip(&page);
+                assert_eq!(
+                    block_route(&block),
+                    Some(CodecKind::XDeflateFse),
+                    "{corpus:?}/{seed}"
+                );
+                assert!(block.len() < page.len() / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn all_corpora_round_trip_with_bounded_expansion() {
+        for corpus in Corpus::all() {
+            for seed in 0..3u64 {
+                round_trip(&corpus.generate(seed, 4096));
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_round_trip() {
+        for data in [&b""[..], b"a", b"ab", b"abcabcabcabc"] {
+            round_trip(data);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_empty_block_rejected() {
+        let codec = AutoCodec::default();
+        let mut out = Vec::new();
+        assert!(codec.decompress(&[], &mut out).is_err());
+        assert!(codec.decompress(&[0xFF, 1, 2, 3], &mut out).is_err());
+        // Future version nibble must not silently decode.
+        assert!(codec.decompress(&[0x20, 1, 2, 3], &mut out).is_err());
+    }
+
+    #[test]
+    fn block_route_reports_tags() {
+        assert_eq!(block_route(&[TAG_RAW]), Some(CodecKind::Raw));
+        assert_eq!(block_route(&[TAG_XLZ, 9]), Some(CodecKind::Xlz));
+        assert_eq!(block_route(&[TAG_FSE, 9]), Some(CodecKind::XDeflateFse));
+        assert_eq!(block_route(&[]), None);
+        assert_eq!(block_route(&[0x42]), None);
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical() {
+        let codec = AutoCodec::default();
+        let mut scratch = Scratch::new();
+        for corpus in [Corpus::Json, Corpus::RandomBytes, Corpus::ZeroPage] {
+            let page = corpus.generate(11, 4096);
+            let mut fresh = Vec::new();
+            codec.compress(&page, &mut fresh).unwrap();
+            let mut warm = Vec::new();
+            codec.compress_into(&page, &mut warm, &mut scratch).unwrap();
+            assert_eq!(fresh, warm);
+        }
+    }
+}

@@ -13,6 +13,11 @@ pub enum CodecKind {
     XDeflate,
     /// The byte-oriented fast codec (lzo/zstd speed class).
     Xlz,
+    /// The LZ77 + FSE/tANS throughput codec.
+    XDeflateFse,
+    /// Per-page probe routing to raw / xlz / xdeflate+FSE; blocks are
+    /// self-describing via a tag byte.
+    Auto,
     /// Data stored uncompressed (incompressible page).
     Raw,
     /// Page whose every byte is identical: only the fill byte is stored
@@ -76,6 +81,34 @@ pub trait Codec {
     ) -> Result<usize> {
         let _ = scratch;
         self.decompress(src, dst)
+    }
+
+    /// Decompresses a batch of blocks, appending block `i` to `dsts[i]`.
+    ///
+    /// The batch shape lets codecs amortize per-block setup: the FSE
+    /// codec keeps its decode tables when consecutive blocks carry the
+    /// same frequency header (common for pages from one application),
+    /// which is what `swap_in`-driven prefetching feeds on.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first corrupt block, with earlier outputs already
+    /// appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `srcs` and `dsts` lengths differ.
+    fn decompress_batch_into(
+        &self,
+        srcs: &[&[u8]],
+        dsts: &mut [Vec<u8>],
+        scratch: &mut Scratch,
+    ) -> Result<()> {
+        assert_eq!(srcs.len(), dsts.len(), "batch shape mismatch");
+        for (src, dst) in srcs.iter().zip(dsts.iter_mut()) {
+            self.decompress_into(src, dst, scratch)?;
+        }
+        Ok(())
     }
 }
 

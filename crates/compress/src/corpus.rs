@@ -2,10 +2,11 @@
 //!
 //! The paper's Fig. 8 measures compression ratios over 16 corpus files.
 //! Those exact files are not shipped with the artifact, so this module
-//! provides 16 deterministic synthetic generators whose compressibility
+//! provides deterministic synthetic generators whose compressibility
 //! spans the same range — from all-zero pages (hundreds-to-one) through
-//! natural-language text and structured records (2–4x) down to random
-//! bytes (1x). Every generator is seeded and reproducible.
+//! natural-language text, structured records, and binary struct dumps
+//! (2–6x) down to random bytes (1x). Every generator is seeded and
+//! reproducible.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -47,13 +48,18 @@ pub enum Corpus {
     KeyValue,
     /// Slowly-varying 16-bit time-series samples.
     TimeSeries,
+    /// Binary struct dumps: fixed-layout C-style records mixing small
+    /// integers, enum bytes, pointers sharing a heap base, and zero
+    /// padding — the in-memory shape of pointer-rich application heaps.
+    StructDump,
 }
 
 impl Corpus {
-    /// All sixteen corpora, in display order (matches Fig. 8's x-axis
-    /// role: a spread of compressibility classes).
+    /// All corpora, in display order (matches Fig. 8's x-axis role: a
+    /// spread of compressibility classes, plus the binary struct-dump
+    /// class used by the codec-selection study).
     #[must_use]
-    pub fn all() -> [Corpus; 16] {
+    pub fn all() -> [Corpus; 17] {
         [
             Corpus::EnglishText,
             Corpus::Html,
@@ -71,6 +77,7 @@ impl Corpus {
             Corpus::UrlList,
             Corpus::KeyValue,
             Corpus::TimeSeries,
+            Corpus::StructDump,
         ]
     }
 
@@ -94,6 +101,7 @@ impl Corpus {
             Corpus::UrlList => "url-list",
             Corpus::KeyValue => "key-value",
             Corpus::TimeSeries => "time-series",
+            Corpus::StructDump => "struct-dump",
         }
     }
 
@@ -257,6 +265,30 @@ impl Corpus {
                 let next = last.wrapping_add(rng.gen_range(0..8)).wrapping_sub(3);
                 out.extend_from_slice(&next.to_le_bytes());
             }
+            Corpus::StructDump => {
+                // One 48-byte record: { u32 id; u16 kind; u16 flags;
+                // u64 ptr_a; u64 ptr_b; u32 len; u8 state; pad[3];
+                // u64 checksum; pad[8] } — pointers cluster around a
+                // shared heap base, most numeric fields are small, and
+                // padding is zero, like a real allocator dump.
+                const HEAP_BASE: u64 = 0x7F3A_0000_0000;
+                out.extend_from_slice(&rng.gen_range(0..100_000u32).to_le_bytes());
+                out.extend_from_slice(&rng.gen_range(0..12u16).to_le_bytes());
+                out.extend_from_slice(&[0u8, rng.gen_range(0..4u8)]);
+                let ptr_a = HEAP_BASE + u64::from(rng.gen_range(0..1_000_000u32)) * 64;
+                out.extend_from_slice(&ptr_a.to_le_bytes());
+                let ptr_b = if rng.gen_bool(0.3) {
+                    0
+                } else {
+                    HEAP_BASE + u64::from(rng.gen_range(0..1_000_000u32)) * 64
+                };
+                out.extend_from_slice(&ptr_b.to_le_bytes());
+                out.extend_from_slice(&rng.gen_range(0..4096u32).to_le_bytes());
+                out.push(rng.gen_range(0..5));
+                out.extend_from_slice(&[0u8; 3]);
+                out.extend_from_slice(&rng.gen::<u64>().to_le_bytes());
+                out.extend_from_slice(&[0u8; 8]);
+            }
         }
     }
 }
@@ -371,7 +403,7 @@ mod tests {
         let mut names: Vec<_> = Corpus::all().iter().map(|c| c.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 17);
     }
 
     #[test]
@@ -396,5 +428,8 @@ mod tests {
         // DNA approaches the 2-bit entropy bound but not below 1.
         let dna = ratio(Corpus::Dna);
         assert!(dna > 2.0 && dna < 6.0, "dna ratio {dna}");
+        // Struct dumps: zero padding plus shared pointer high bytes.
+        let sd = ratio(Corpus::StructDump);
+        assert!(sd > 1.8 && sd < 8.0, "struct-dump ratio {sd}");
     }
 }

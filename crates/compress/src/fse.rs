@@ -1,0 +1,654 @@
+//! A from-scratch tabled Asymmetric Numeral System (tANS/FSE) entropy
+//! coder — the fast alternative to the Huffman stage in `xdeflate`.
+//!
+//! The coder follows the classic FSE construction: symbol frequencies
+//! are normalized to sum to `1 << LOG`, spread over the state table
+//! with a coprime step, and the encoder walks states *backwards*
+//! through the message while the decoder replays them forwards. Each
+//! symbol costs `LOG - log2(freq)` bits (fractional on average), so a
+//! skewed literal distribution codes tighter than Huffman's whole-bit
+//! codes while the per-symbol work is one table load, one shift, and
+//! one bit push — no tree walk.
+//!
+//! The table size is a const-generic: literals ride a 512-state table
+//! (`LOG = 9`, enough for the 265-symbol alphabet), distances a
+//! 64-state one. Small tables keep the per-block rebuild cost — the
+//! dominant fixed cost on 4 KiB pages — proportional to what the
+//! alphabet actually needs.
+//!
+//! Encoding pushes bits into a [`BackwardBitWriter`], so the backward
+//! symbol walk directly produces a stream the forward [`BitReader`]
+//! decodes in order — no staging buffer, no reversal pass.
+//!
+//! Two interleaved states (even/odd symbol positions) share one table,
+//! giving the decoder two independent dependency chains per stream for
+//! instruction-level parallelism; [`crate::xdef_fse`] wires them up.
+//!
+//! # Examples
+//!
+//! ```
+//! use xfm_compress::fse::{normalize_freqs, FseDecoder, FseEncoder};
+//! use xfm_compress::bitio::{BackwardBitWriter, BitReader};
+//!
+//! const LOG: u32 = 9;
+//! let mut freqs = [0u64; 4];
+//! let msg = [0usize, 1, 0, 2, 0, 0, 3, 1, 0, 0];
+//! for &s in &msg {
+//!     freqs[s] += 1;
+//! }
+//! let mut norm = Vec::new();
+//! normalize_freqs(&freqs, &mut norm, LOG);
+//!
+//! let mut enc = FseEncoder::<LOG>::default();
+//! enc.rebuild(&norm)?;
+//! let mut w = BackwardBitWriter::default();
+//! w.begin(64);
+//! let mut state = FseEncoder::<LOG>::INITIAL_STATE;
+//! for &s in msg.iter().rev() {
+//!     enc.encode(s, &mut state, &mut w);
+//! }
+//! w.push(state - (1 << LOG), LOG); // read back first
+//! let (pad, bytes) = w.finish();
+//!
+//! let mut dec = FseDecoder::<LOG>::default();
+//! dec.rebuild(&norm)?;
+//! let mut r = BitReader::new(bytes);
+//! r.read_bits(pad)?;
+//! let mut state = r.read_bits(LOG)?;
+//! let view = dec.view();
+//! let decoded: Vec<usize> = (0..msg.len())
+//!     .map(|_| view.step(&mut state, &mut r).map(usize::from))
+//!     .collect::<Result<_, _>>()?;
+//! assert_eq!(decoded, msg);
+//! # Ok::<(), xfm_types::Error>(())
+//! ```
+
+use xfm_types::{Error, Result};
+
+use crate::bitio::{BackwardBitWriter, BitReader, BitWriter};
+
+/// Normalizes raw symbol frequencies so they sum to exactly `1 << log`,
+/// with every present symbol keeping a frequency of at least 1
+/// (largest-remainder rounding; drift is settled against the most
+/// frequent symbols, which costs the least precision).
+///
+/// Returns the number of present symbols; zero means every frequency
+/// was zero and `norm` is all zeros.
+///
+/// # Panics
+///
+/// Panics if more than `1 << log` symbols are present (they cannot all
+/// keep a nonzero slot) — pick `log` ≥ log2(alphabet).
+pub fn normalize_freqs(freqs: &[u64], norm: &mut Vec<u16>, log: u32) -> usize {
+    let table_size = 1u64 << log;
+    norm.clear();
+    norm.resize(freqs.len(), 0);
+    let total: u64 = freqs.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let present = freqs.iter().filter(|&&f| f > 0).count();
+    assert!(
+        present as u64 <= table_size,
+        "{present} symbols cannot share {table_size} states"
+    );
+    let mut assigned = 0u64;
+    for (n, &f) in norm.iter_mut().zip(freqs) {
+        if f > 0 {
+            let share = ((u128::from(f) * u128::from(table_size)) / u128::from(total)) as u64;
+            *n = share.clamp(1, table_size - 1) as u16;
+            assigned += u64::from(*n);
+        }
+    }
+    // Settle rounding drift on the largest entries: adding there wastes
+    // the least precision, and subtracting there never hits the floor
+    // of 1 until everything else has.
+    while assigned != table_size {
+        let idx = if assigned < table_size {
+            (0..norm.len()).max_by_key(|&i| norm[i]).unwrap()
+        } else {
+            (0..norm.len())
+                .filter(|&i| norm[i] > 1)
+                .max_by_key(|&i| norm[i])
+                .unwrap()
+        };
+        if assigned < table_size {
+            let room = (table_size - assigned).min(table_size - u64::from(norm[idx]));
+            norm[idx] += room as u16;
+            assigned += room;
+        } else {
+            let cut = (assigned - table_size).min(u64::from(norm[idx]) - 1);
+            norm[idx] -= cut as u16;
+            assigned -= cut;
+        }
+    }
+    present
+}
+
+// Symbols are spread over table positions by walking with a step
+// coprime to the table size (the step is odd, so the walk is a
+// permutation). Occurrence `k` of a symbol is, by convention, its k-th
+// *walk* position — both table builds below use the same numbering, so
+// each build is a single pass over the walk with no intermediate
+// spread array or per-symbol counters.
+#[inline]
+fn spread_step(log: u32) -> usize {
+    let table_size = 1usize << log;
+    (table_size >> 1) + (table_size >> 3) + 3
+}
+
+fn validate_norm(norm: &[u16], log: u32) -> Result<()> {
+    let total: u32 = norm.iter().map(|&f| u32::from(f)).sum();
+    if total != 1 << log {
+        return Err(Error::Corrupt(format!(
+            "FSE table normalizes to {total}, want {}",
+            1u32 << log
+        )));
+    }
+    Ok(())
+}
+
+/// Per-symbol encode metadata plus the state-transition table, over a
+/// `1 << LOG`-state table.
+///
+/// Encoder states live in `TABLE..2*TABLE`; for symbol `s` with
+/// normalized frequency `f`, a state `x` emits
+/// `maxbits - (x < threshold)` low bits of `x` and transitions through
+/// `state_table[base + (x >> nbits)]` (`base` is pre-offset by `-f`).
+/// The three per-symbol fields pack into one `u64`
+/// (`threshold << 32 | (base as u16) << 16 | maxbits`) so the encode
+/// hot loop issues a single metadata load per symbol.
+#[derive(Debug, Clone, Default)]
+pub struct FseEncoder<const LOG: u32> {
+    meta: Vec<u64>,
+    state_table: Vec<u16>,
+}
+
+impl<const LOG: u32> FseEncoder<LOG> {
+    /// The canonical starting state for the backward pass. Any state in
+    /// `TABLE..2*TABLE` works; fixing one keeps output deterministic.
+    pub const INITIAL_STATE: u32 = 1 << LOG;
+
+    /// Rebuilds the tables for a normalized frequency vector (must sum
+    /// to `1 << LOG`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] when the frequencies do not sum to
+    /// `1 << LOG`.
+    pub fn rebuild(&mut self, norm: &[u16]) -> Result<()> {
+        validate_norm(norm, LOG)?;
+        let table_size = 1usize << LOG;
+        let step = spread_step(LOG);
+        let mask = table_size - 1;
+        self.meta.clear();
+        self.state_table.clear();
+        self.state_table.resize(table_size, 0);
+        // Single fused pass: the walk visits symbol `s`'s occurrences
+        // in order, and occurrence `k` serves sub-state `f + k`, whose
+        // transition slot is `base + f + k = cum + k` — consecutive, so
+        // the inner loop is a sequential fill.
+        let mut cum = 0usize;
+        let mut pos = 0usize;
+        for &f in norm {
+            let f = usize::from(f);
+            if f == 0 {
+                self.meta.push(0);
+                continue;
+            }
+            let max_bits = LOG - (31 - (f as u32).leading_zeros());
+            let b = cum as i32 - f as i32;
+            self.meta.push(
+                (u64::from((f as u32) << max_bits) << 32)
+                    | (u64::from(b as u16) << 16)
+                    | u64::from(max_bits),
+            );
+            for slot in &mut self.state_table[cum..cum + f] {
+                *slot = pos as u16;
+                pos = (pos + step) & mask;
+            }
+            cum += f;
+        }
+        debug_assert_eq!(pos, 0, "spread walk is a permutation");
+        Ok(())
+    }
+
+    /// Encodes one symbol (backward pass): pushes the state's low bits
+    /// and advances `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (or indexes out of bounds) if `sym` was absent from the
+    /// normalized frequencies — the caller's frequency count covers
+    /// every symbol it encodes.
+    #[inline]
+    pub fn encode(&self, sym: usize, state: &mut u32, w: &mut BackwardBitWriter) {
+        let (bits, nb) = self.encode_raw(sym, state);
+        w.push(bits, nb);
+    }
+
+    /// Like [`encode`](Self::encode) but returns the `(bits, nbits)`
+    /// pair instead of pushing it, so callers can merge several fields
+    /// into one [`BackwardBitWriter::push`]. The returned bits are in
+    /// decoder read order LSB-first (state-transition bits).
+    #[inline]
+    pub fn encode_raw(&self, sym: usize, state: &mut u32) -> (u32, u32) {
+        let m = self.meta[sym];
+        let nb = (m as u32 & 0xffff) - u32::from(*state < (m >> 32) as u32);
+        let bits = *state & ((1 << nb) - 1);
+        let base = (m >> 16) as u16 as i16 as i32;
+        let idx = (base + (*state >> nb) as i32) as usize;
+        *state = (1 << LOG) + u32::from(self.state_table[idx]);
+        (bits, nb)
+    }
+
+    /// Bits the current `state` would emit for `sym` (the encode cost,
+    /// excluding extra bits), without mutating anything.
+    #[must_use]
+    pub fn cost_bits(&self, sym: usize, state: u32) -> u32 {
+        let m = self.meta[sym];
+        (m as u32 & 0xffff) - u32::from(state < (m >> 32) as u32)
+    }
+}
+
+/// The decode table: one packed entry per state.
+///
+/// Entry layout: `symbol << 16 | nbits << 12 | new_base`. The decoder's
+/// states are table indices in `0..1 << LOG`; stepping reads `nbits`
+/// and jumps to `new_base + bits`, which always lands back in range —
+/// corrupt input can decode garbage symbols but never index out of
+/// bounds.
+#[derive(Debug, Clone, Default)]
+pub struct FseDecoder<const LOG: u32> {
+    table: Vec<u32>,
+}
+
+/// A borrowed view of a built [`FseDecoder`] table used in decode
+/// loops.
+#[derive(Debug, Clone, Copy)]
+pub struct FseView<'a, const LOG: u32> {
+    table: &'a [u32],
+}
+
+impl<const LOG: u32> FseDecoder<LOG> {
+    /// Rebuilds the decode table for a normalized frequency vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] when the frequencies do not sum to
+    /// `1 << LOG`.
+    pub fn rebuild(&mut self, norm: &[u16]) -> Result<()> {
+        validate_norm(norm, LOG)?;
+        let table_size = 1usize << LOG;
+        let step = spread_step(LOG);
+        let mask = table_size - 1;
+        self.table.clear();
+        self.table.resize(table_size, 0);
+        // Same fused walk as the encoder build: occurrence `k` of a
+        // symbol lands at its k-th walk position and represents
+        // sub-state `c = f + k`.
+        let mut pos = 0usize;
+        for (sym, &f) in norm.iter().enumerate() {
+            let f = u32::from(f);
+            for c in f..2 * f {
+                let nb = LOG - (31 - c.leading_zeros());
+                let new_base = (c << nb) - table_size as u32;
+                self.table[pos] = ((sym as u32) << 16) | (nb << 12) | new_base;
+                pos = (pos + step) & mask;
+            }
+        }
+        debug_assert_eq!(pos, 0, "spread walk is a permutation");
+        Ok(())
+    }
+
+    /// A table view for the decode hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has not been built yet.
+    #[must_use]
+    pub fn view(&self) -> FseView<'_, LOG> {
+        assert_eq!(self.table.len(), 1 << LOG, "table built");
+        FseView { table: &self.table }
+    }
+}
+
+impl<const LOG: u32> FseView<'_, LOG> {
+    /// Decodes the symbol at `state` and advances it by reading the
+    /// transition bits. `state` must be below `1 << LOG`; the updated
+    /// state always is.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] when the bitstream ends early.
+    #[inline]
+    pub fn step(&self, state: &mut u32, r: &mut BitReader<'_>) -> Result<u16> {
+        let e = self.table[(*state as usize) & ((1 << LOG) - 1)];
+        let nb = (e >> 12) & 0xf;
+        *state = (e & 0xfff) + r.read_bits(nb)?;
+        Ok((e >> 16) as u16)
+    }
+}
+
+/// Writes a normalized frequency table: per symbol either a `0` bit and
+/// a 4-bit zero-run length (`run - 1`, covering up to 16 absent symbols
+/// at once), or a `1` bit and `freq - 1` in `log` bits.
+pub fn write_norm(w: &mut BitWriter, norm: &[u16], log: u32) {
+    let mut i = 0usize;
+    while i < norm.len() {
+        if norm[i] == 0 {
+            let mut run = 1usize;
+            while i + run < norm.len() && norm[i + run] == 0 && run < 16 {
+                run += 1;
+            }
+            w.write_bits(0, 1);
+            w.write_bits(run as u32 - 1, 4);
+            i += run;
+        } else {
+            w.write_bits(1, 1);
+            w.write_bits(u32::from(norm[i]) - 1, log);
+            i += 1;
+        }
+    }
+}
+
+/// Reads a normalized frequency table of `alphabet` symbols written by
+/// [`write_norm`], validating that it sums to exactly `1 << log`.
+///
+/// # Errors
+///
+/// Returns [`Error::Corrupt`] on truncation, oversubscription, or a
+/// total below `1 << log`.
+pub fn read_norm(
+    r: &mut BitReader<'_>,
+    alphabet: usize,
+    norm: &mut Vec<u16>,
+    log: u32,
+) -> Result<()> {
+    norm.clear();
+    let mut total = 0u32;
+    while norm.len() < alphabet {
+        if r.read_bit()? == 1 {
+            let f = r.read_bits(log)? + 1;
+            total += f;
+            if total > 1 << log {
+                return Err(Error::Corrupt("FSE frequencies oversubscribed".into()));
+            }
+            norm.push(f as u16);
+        } else {
+            let run = r.read_bits(4)? as usize + 1;
+            if norm.len() + run > alphabet {
+                return Err(Error::Corrupt("FSE zero-run overruns alphabet".into()));
+            }
+            norm.extend(std::iter::repeat_n(0u16, run));
+        }
+    }
+    if total != 1 << log {
+        return Err(Error::Corrupt(format!(
+            "FSE frequencies sum to {total}, want {}",
+            1u32 << log
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOG: u32 = 10;
+    const TABLE_SIZE: u32 = 1 << LOG;
+
+    fn norm_of(freqs: &[u64]) -> Vec<u16> {
+        let mut norm = Vec::new();
+        normalize_freqs(freqs, &mut norm, LOG);
+        norm
+    }
+
+    fn round_trip_msg(freqs: &[u64], msg: &[usize]) {
+        let norm = norm_of(freqs);
+        let mut enc = FseEncoder::<LOG>::default();
+        enc.rebuild(&norm).unwrap();
+        let mut bw = BackwardBitWriter::default();
+        bw.begin(4 * msg.len() + 16);
+        let mut state = FseEncoder::<LOG>::INITIAL_STATE;
+        for &s in msg.iter().rev() {
+            enc.encode(s, &mut state, &mut bw);
+        }
+        bw.push(state - TABLE_SIZE, LOG);
+        let (pad, body) = bw.finish();
+        let mut w = BitWriter::new();
+        write_norm(&mut w, &norm, LOG);
+        w.write_bits(pad, 3);
+        w.align_byte();
+        w.write_bytes(body);
+        let bytes = w.finish();
+
+        let mut r = BitReader::new(&bytes);
+        let mut read_back = Vec::new();
+        read_norm(&mut r, freqs.len(), &mut read_back, LOG).unwrap();
+        assert_eq!(read_back, norm, "norm table survives the wire");
+        let skip = r.read_bits(3).unwrap();
+        r.align_byte();
+        r.read_bits(skip).unwrap();
+        let mut dec = FseDecoder::<LOG>::default();
+        dec.rebuild(&read_back).unwrap();
+        let mut state = r.read_bits(LOG).unwrap();
+        let view = dec.view();
+        for &want in msg {
+            assert_eq!(view.step(&mut state, &mut r).unwrap() as usize, want);
+        }
+    }
+
+    #[test]
+    fn normalize_sums_to_table_size() {
+        for freqs in [
+            vec![3u64, 1, 4, 1, 5, 9, 2, 6],
+            vec![1; 200],
+            vec![1_000_000, 1],
+            vec![0, 7, 0, 0, 1],
+        ] {
+            let norm = norm_of(&freqs);
+            let total: u32 = norm.iter().map(|&f| u32::from(f)).sum();
+            assert_eq!(total, TABLE_SIZE);
+            for (n, f) in norm.iter().zip(&freqs) {
+                assert_eq!(*n == 0, *f == 0, "presence preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_works_at_small_logs() {
+        for log in [6u32, 8, 9] {
+            let mut norm = Vec::new();
+            normalize_freqs(&[100, 10, 1, 0, 7], &mut norm, log);
+            let total: u32 = norm.iter().map(|&f| u32::from(f)).sum();
+            assert_eq!(total, 1 << log, "log {log}");
+        }
+    }
+
+    #[test]
+    fn normalize_single_symbol_saturates_table() {
+        let norm = norm_of(&[0, 42, 0]);
+        assert_eq!(norm, vec![0, TABLE_SIZE as u16, 0]);
+    }
+
+    #[test]
+    fn normalize_empty_is_zero() {
+        assert_eq!(normalize_freqs(&[0, 0, 0], &mut Vec::new(), LOG), 0);
+    }
+
+    #[test]
+    fn skewed_distribution_round_trips() {
+        let freqs = [1000u64, 500, 100, 10, 1, 1, 1, 1];
+        let msg: Vec<usize> = (0..8).cycle().take(300).collect();
+        round_trip_msg(&freqs, &msg);
+    }
+
+    #[test]
+    fn single_symbol_alphabet_codes_in_zero_bits() {
+        // f == TABLE_SIZE ⇒ nbits == 0 for every state: pure RLE.
+        let freqs = [0u64, 99, 0];
+        let msg = vec![1usize; 500];
+        let norm = norm_of(&freqs);
+        let mut enc = FseEncoder::<LOG>::default();
+        enc.rebuild(&norm).unwrap();
+        let mut bw = BackwardBitWriter::default();
+        bw.begin(64);
+        let mut state = FseEncoder::<LOG>::INITIAL_STATE;
+        for &s in msg.iter().rev() {
+            enc.encode(s, &mut state, &mut bw);
+        }
+        bw.push(state - TABLE_SIZE, LOG);
+        let (_, body) = bw.finish();
+        assert!(body.len() <= 2, "500 symbols in {} bytes", body.len());
+        round_trip_msg(&freqs, &msg);
+    }
+
+    #[test]
+    fn two_symbol_near_saturation_round_trips() {
+        // One symbol at TABLE_SIZE - 1, the other at the floor of 1.
+        let freqs = [u64::MAX / 2, 1];
+        let norm = norm_of(&freqs);
+        assert_eq!(norm[0], TABLE_SIZE as u16 - 1);
+        assert_eq!(norm[1], 1);
+        let mut msg = vec![0usize; 400];
+        msg[13] = 1;
+        msg[399] = 1;
+        round_trip_msg(&freqs, &msg);
+    }
+
+    #[test]
+    fn full_byte_alphabet_round_trips() {
+        let freqs: Vec<u64> = (0..256).map(|i| (i % 7 + 1) as u64 * 3).collect();
+        let msg: Vec<usize> = (0..256).collect();
+        round_trip_msg(&freqs, &msg);
+    }
+
+    #[test]
+    fn small_table_round_trips() {
+        // The distance alphabet's configuration: 17 symbols, 64 states.
+        let freqs = [40u64, 30, 20, 10, 5, 2, 1, 1, 1, 0, 0, 1, 0, 0, 0, 0, 1];
+        let msg: Vec<usize> = (0..300).map(|i| [0, 1, 2, 3, 4, 5, 6, 16][i % 8]).collect();
+        let mut norm = Vec::new();
+        normalize_freqs(&freqs, &mut norm, 6);
+        let mut enc = FseEncoder::<6>::default();
+        enc.rebuild(&norm).unwrap();
+        let mut bw = BackwardBitWriter::default();
+        bw.begin(4 * msg.len() + 16);
+        let mut state = FseEncoder::<6>::INITIAL_STATE;
+        for &s in msg.iter().rev() {
+            enc.encode(s, &mut state, &mut bw);
+        }
+        bw.push(state - (1 << 6), 6);
+        let (pad, body) = bw.finish();
+        let mut dec = FseDecoder::<6>::default();
+        dec.rebuild(&norm).unwrap();
+        let mut r = BitReader::new(body);
+        r.read_bits(pad).unwrap();
+        let mut state = r.read_bits(6).unwrap();
+        let view = dec.view();
+        for &want in &msg {
+            assert_eq!(view.step(&mut state, &mut r).unwrap() as usize, want);
+        }
+    }
+
+    #[test]
+    fn average_cost_beats_flat_code_on_skew() {
+        // 90/10 split: entropy ≈ 0.47 bits/symbol; Huffman would pay 1.
+        let freqs = [9000u64, 1000];
+        let norm = norm_of(&freqs);
+        let mut enc = FseEncoder::<LOG>::default();
+        enc.rebuild(&norm).unwrap();
+        let msg: Vec<usize> = (0..1000).map(|i| usize::from(i % 10 == 0)).collect();
+        let mut bw = BackwardBitWriter::default();
+        bw.begin(1024);
+        let mut state = FseEncoder::<LOG>::INITIAL_STATE;
+        for &s in msg.iter().rev() {
+            enc.encode(s, &mut state, &mut bw);
+        }
+        let (_, body) = bw.finish();
+        let bits = body.len() * 8;
+        assert!(
+            bits < 700,
+            "1000 symbols at H≈0.47 cost {bits} bits, expected < 700"
+        );
+    }
+
+    #[test]
+    fn corrupt_norm_tables_rejected() {
+        let mut dec = FseDecoder::<LOG>::default();
+        // Does not sum to TABLE_SIZE.
+        assert!(dec.rebuild(&[1, 2, 3]).is_err());
+        let mut enc = FseEncoder::<LOG>::default();
+        assert!(enc.rebuild(&[0; 7]).is_err());
+    }
+
+    #[test]
+    fn read_norm_rejects_oversubscription_and_truncation() {
+        let mut w = BitWriter::new();
+        // Two symbols that each claim the full table.
+        w.write_bits(1, 1);
+        w.write_bits(TABLE_SIZE - 1, LOG);
+        w.write_bits(1, 1);
+        w.write_bits(TABLE_SIZE - 1, LOG);
+        let bytes = w.finish();
+        let mut norm = Vec::new();
+        assert!(read_norm(&mut BitReader::new(&bytes), 2, &mut norm, LOG).is_err());
+        assert!(read_norm(&mut BitReader::new(&[]), 2, &mut norm, LOG).is_err());
+    }
+
+    #[test]
+    fn decoder_state_stays_in_bounds_on_garbage() {
+        // Any bit salad keeps indices valid; only stream exhaustion errors.
+        let norm = norm_of(&[5, 3, 2, 1, 1]);
+        let mut dec = FseDecoder::<LOG>::default();
+        dec.rebuild(&norm).unwrap();
+        let garbage: Vec<u8> = (0..64u32).map(|i| (i * 151 % 251) as u8).collect();
+        let mut r = BitReader::new(&garbage);
+        let mut state = 777u32 % TABLE_SIZE;
+        let view = dec.view();
+        for _ in 0..300 {
+            match view.step(&mut state, &mut r) {
+                Ok(_) => assert!(state < TABLE_SIZE),
+                Err(_) => return,
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_dual_state_round_trips() {
+        // Even positions on state A, odd on state B, one shared table —
+        // the layout xdef-fse uses for its literal stream.
+        let freqs: Vec<u64> = (1..=64).collect();
+        let msg: Vec<usize> = (0..500).map(|i| (i * 17) % 64).collect();
+        let norm = norm_of(&freqs);
+        let mut enc = FseEncoder::<LOG>::default();
+        enc.rebuild(&norm).unwrap();
+        let (mut a, mut b) = (
+            FseEncoder::<LOG>::INITIAL_STATE,
+            FseEncoder::<LOG>::INITIAL_STATE,
+        );
+        let mut bw = BackwardBitWriter::default();
+        bw.begin(4 * msg.len() + 16);
+        for i in (0..msg.len()).rev() {
+            let st = if i % 2 == 0 { &mut a } else { &mut b };
+            enc.encode(msg[i], st, &mut bw);
+        }
+        bw.push(b - TABLE_SIZE, LOG);
+        bw.push(a - TABLE_SIZE, LOG);
+        let (pad, body) = bw.finish();
+
+        let mut dec = FseDecoder::<LOG>::default();
+        dec.rebuild(&norm).unwrap();
+        let mut r = BitReader::new(body);
+        r.read_bits(pad).unwrap();
+        let mut a = r.read_bits(LOG).unwrap();
+        let mut b = r.read_bits(LOG).unwrap();
+        let view = dec.view();
+        for (i, &want) in msg.iter().enumerate() {
+            let st = if i % 2 == 0 { &mut a } else { &mut b };
+            assert_eq!(view.step(st, &mut r).unwrap() as usize, want, "pos {i}");
+        }
+    }
+}

@@ -170,8 +170,14 @@ pub fn code_lengths_into(
 }
 
 /// A canonical Huffman encoder: symbol -> (code, length).
+///
+/// Codes are stored bit-reversed so a symbol is emitted with a single
+/// [`BitWriter::write_bits`] call: writing the reversed code LSB-first
+/// produces exactly the MSB-first bit order of
+/// [`BitWriter::write_code_msb`].
 #[derive(Debug, Clone, Default)]
 pub struct Encoder {
+    /// `(reversed_code, length)` per symbol.
     codes: Vec<(u32, u32)>,
 }
 
@@ -215,7 +221,7 @@ impl Encoder {
             } else {
                 let c = next_code[l as usize];
                 next_code[l as usize] += 1;
-                (c, l)
+                (c.reverse_bits() >> (32 - l), l)
             }
         }));
         Ok(())
@@ -226,10 +232,11 @@ impl Encoder {
     /// # Panics
     ///
     /// Panics if `symbol` has no code (length 0) or is out of range.
+    #[inline]
     pub fn encode(&self, w: &mut BitWriter, symbol: usize) {
-        let (code, len) = self.codes[symbol];
+        let (rev, len) = self.codes[symbol];
         assert!(len > 0, "symbol {symbol} has no code");
-        w.write_code_msb(code, len);
+        w.write_bits(rev, len);
     }
 
     /// Returns the code length for `symbol` (0 if absent).
@@ -239,7 +246,14 @@ impl Encoder {
     }
 }
 
-/// A canonical Huffman decoder (bit-at-a-time, first-code arithmetic).
+/// Width of the [`Decoder`] primary lookup table in bits.
+const PRIMARY_BITS: u32 = 10;
+
+/// A canonical Huffman decoder.
+///
+/// Decoding peeks [`PRIMARY_BITS`] bits and resolves codes up to that
+/// length with one table load; longer (rare) codes fall back to the
+/// bit-at-a-time first-code arithmetic.
 #[derive(Debug, Clone, Default)]
 pub struct Decoder {
     /// `first_code[len]`, `offset[len]` into `symbols`, `count[len]`.
@@ -248,6 +262,9 @@ pub struct Decoder {
     count: Vec<u32>,
     symbols: Vec<u16>,
     max_len: u32,
+    /// Primary table indexed by the next `PRIMARY_BITS` stream bits
+    /// (LSB-first); entries pack `symbol << 4 | code_len`, 0 = miss.
+    primary: Vec<u16>,
 }
 
 impl Decoder {
@@ -299,6 +316,31 @@ impl Decoder {
             }
         }
         self.max_len = max;
+
+        // Primary table: for every code of length ≤ PRIMARY_BITS, fill
+        // all slots whose low `len` bits equal the bit-reversed code
+        // (the stream delivers the code MSB-first, so the first stream
+        // bit lands in bit 0 of the peeked index). Stale entries from a
+        // previous rebuild are cleared so they fall back to the exact
+        // (error-checked) path rather than decode wrongly.
+        self.primary.clear();
+        self.primary.resize(1 << PRIMARY_BITS, 0);
+        if lens.len() <= (u16::MAX >> 4) as usize {
+            for len in 1..=max.min(PRIMARY_BITS) {
+                let code = self.first_code[len as usize];
+                let base = self.offset[len as usize];
+                for rel in 0..self.count[len as usize] {
+                    let sym = self.symbols[(base + rel) as usize];
+                    let rev = (code + rel).reverse_bits() >> (32 - len);
+                    let entry = (sym << 4) | len as u16;
+                    let mut slot = rev;
+                    while (slot as usize) < self.primary.len() {
+                        self.primary[slot as usize] = entry;
+                        slot += 1 << len;
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -308,7 +350,23 @@ impl Decoder {
     ///
     /// Returns [`Error::Corrupt`] if the bits do not form a valid code or
     /// the stream ends early.
+    #[inline]
     pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        // Fast path: one table load resolves codes ≤ PRIMARY_BITS long.
+        // peek_bits pads past end-of-stream with zeros; consume() still
+        // errors if the matched length exceeds the real stream.
+        let idx = r.peek_bits(PRIMARY_BITS) as usize;
+        let entry = self.primary.get(idx).copied().unwrap_or(0);
+        if entry != 0 {
+            r.consume(u32::from(entry & 0xf))?;
+            return Ok(entry >> 4);
+        }
+        self.decode_slow(r)
+    }
+
+    /// Bit-at-a-time fallback for codes longer than [`PRIMARY_BITS`]
+    /// (or invalid bit patterns).
+    fn decode_slow(&self, r: &mut BitReader<'_>) -> Result<u16> {
         let mut code = 0u32;
         for len in 1..=self.max_len as usize {
             code = (code << 1) | r.read_bit()?;

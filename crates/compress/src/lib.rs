@@ -8,14 +8,19 @@
 //! - [`xdeflate`] — an LZ77 + canonical-Huffman block codec in the spirit
 //!   of DEFLATE (the algorithm the paper's NMA implements), tuned for
 //!   page-sized inputs;
+//! - [`xdef_fse`] — the same token model with an FSE/tANS entropy stage
+//!   and the turbo match finder: the throughput profile for the
+//!   compression-bound swap-out path;
 //! - [`xlz`] — a byte-oriented LZ4-style codec standing in for the
-//!   lzo/zstd speed class used by production SFM deployments.
+//!   lzo/zstd speed class used by production SFM deployments;
+//! - [`auto`] — a per-page probe routing each page to raw / `xlz` /
+//!   `xdef-fse` behind a self-describing tag byte.
 //!
-//! Both implement the [`Codec`] trait and are exercised by the SFM stack,
+//! All implement the [`Codec`] trait and are exercised by the SFM stack,
 //! the multi-channel compression-ratio study (paper Fig. 8), and the cost
 //! model (cycles-per-byte table).
 //!
-//! [`corpus`] generates the sixteen deterministic synthetic corpora that
+//! [`corpus`] generates the deterministic synthetic corpora that
 //! substitute for the paper's (unshipped) corpus files, and [`ratio`]
 //! implements page-granular and channel-interleaved compression-ratio
 //! measurement.
@@ -40,24 +45,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auto;
 pub mod bitio;
 pub mod codec;
 pub mod corpus;
+pub mod fse;
 pub mod huffman;
 pub mod lz77;
 pub mod parallel;
 pub mod ratio;
 pub mod scratch;
+pub mod xdef_fse;
 pub mod xdeflate;
 pub mod xlz;
 
+pub use auto::AutoCodec;
 pub use codec::{Codec, CodecKind, CostModel};
 pub use corpus::Corpus;
 pub use parallel::{
     compress_pages, compress_pages_streamed, compress_pages_streamed_traced, compress_pages_traced,
-    map_pages, split_pages,
+    decompress_pages, map_pages, split_pages,
 };
 pub use ratio::{interleaved_ratio, page_ratio, InterleaveReport};
 pub use scratch::Scratch;
+pub use xdef_fse::XDeflateFse;
 pub use xdeflate::XDeflate;
 pub use xlz::Xlz;

@@ -127,24 +127,40 @@ impl Lz77Scratch {
     #[inline]
     fn insert(&mut self, data: &[u8], i: usize, n: usize) {
         if i + MIN_MATCH <= n {
-            let h = MatchFinder::hash(data, i);
-            let e = self.head[h];
-            self.prev[i] = if (e >> 32) as u32 == self.generation {
-                (e & 0xffff_ffff) as u32
-            } else {
-                u32::MAX
-            };
-            self.head[h] = (u64::from(self.generation) << 32) | i as u64;
+            self.insert_hashed(MatchFinder::hash(data, i), i);
         }
+    }
+
+    /// Inserts position `i` with its hash already computed (the hot
+    /// loop hashes once and shares it between lookup and insert). The
+    /// caller guarantees `i + MIN_MATCH <= data.len()`.
+    #[inline]
+    fn insert_hashed(&mut self, h: usize, i: usize) {
+        let e = self.head[h];
+        self.prev[i] = if (e >> 32) as u32 == self.generation {
+            (e & 0xffff_ffff) as u32
+        } else {
+            u32::MAX
+        };
+        self.head[h] = (u64::from(self.generation) << 32) | i as u64;
     }
 }
 
 /// Longest common prefix of `data[cand..]` and `data[i..]`, capped at
-/// `limit`, compared a 64-bit word at a time. Caller guarantees
-/// `cand < i` and `i + limit <= data.len()`.
+/// `limit`, compared a 128-bit word at a time (64/8-bit tails). Caller
+/// guarantees `cand < i` and `i + limit <= data.len()`.
 #[inline]
 fn match_len(data: &[u8], cand: usize, i: usize, limit: usize) -> usize {
     let mut l = 0usize;
+    while l + 16 <= limit {
+        let a = u128::from_le_bytes(data[cand + l..cand + l + 16].try_into().unwrap());
+        let b = u128::from_le_bytes(data[i + l..i + l + 16].try_into().unwrap());
+        let x = a ^ b;
+        if x != 0 {
+            return l + (x.trailing_zeros() / 8) as usize;
+        }
+        l += 16;
+    }
     while l + 8 <= limit {
         let a = u64::from_le_bytes(data[cand + l..cand + l + 8].try_into().unwrap());
         let b = u64::from_le_bytes(data[i + l..i + l + 8].try_into().unwrap());
@@ -179,6 +195,9 @@ pub struct MatchFinder {
     pub good_enough: usize,
     /// Enable one-step lazy matching.
     pub lazy: bool,
+    /// Stride for inserting positions covered by a match into the hash
+    /// chains (1 = every position; 2+ trades a little ratio for speed).
+    pub insert_step: usize,
 }
 
 impl MatchFinder {
@@ -189,6 +208,19 @@ impl MatchFinder {
             max_chain: 8,
             good_enough: 32,
             lazy: false,
+            insert_step: 1,
+        }
+    }
+
+    /// The fastest configuration (minimal chains, sparse insertion) —
+    /// the profile of the FSE-based throughput codec.
+    #[must_use]
+    pub const fn turbo() -> Self {
+        Self {
+            max_chain: 2,
+            good_enough: 8,
+            lazy: false,
+            insert_step: 3,
         }
     }
 
@@ -199,12 +231,13 @@ impl MatchFinder {
             max_chain: 128,
             good_enough: 128,
             lazy: true,
+            insert_step: 1,
         }
     }
 
     fn hash(data: &[u8], i: usize) -> usize {
         let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
-        (v.wrapping_mul(0x9E37_79B1) >> 17) as usize & (HASH_SIZE - 1)
+        (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
     }
 
     /// Tokenizes `data` into literals and back-references. Decoding the
@@ -220,13 +253,24 @@ impl MatchFinder {
     }
 
     fn find(&self, data: &[u8], scratch: &Lz77Scratch, i: usize) -> Option<(usize, usize)> {
-        let n = data.len();
-        if i + MIN_MATCH > n {
+        if i + MIN_MATCH > data.len() {
             return None;
         }
+        self.find_from(data, scratch, i, scratch.chain_head(Self::hash(data, i)))
+    }
+
+    /// The chain walk of [`Self::find`] with the first candidate (the
+    /// hash-head for position `i`) already looked up.
+    fn find_from(
+        &self,
+        data: &[u8],
+        scratch: &Lz77Scratch,
+        i: usize,
+        mut cand: usize,
+    ) -> Option<(usize, usize)> {
+        let n = data.len();
         let mut best_len = MIN_MATCH - 1;
         let mut best_dist = 0usize;
-        let mut cand = scratch.chain_head(Self::hash(data, i));
         let mut chain = self.max_chain;
         let limit = (n - i).min(MAX_MATCH);
         while cand != NO_POS && chain > 0 {
@@ -270,18 +314,22 @@ impl MatchFinder {
 
         scratch.begin(n);
         let mut i = 0usize;
-        while i < n {
-            match self.find(data, scratch, i) {
+        // Hash each position once, sharing it between the chain lookup
+        // and the insert (the two used to hash independently).
+        while i + MIN_MATCH <= n {
+            let h = Self::hash(data, i);
+            let cand = scratch.chain_head(h);
+            let found = self.find_from(data, scratch, i, cand);
+            scratch.insert_hashed(h, i);
+            match found {
                 None => {
                     sink.literal(i, data[i]);
-                    scratch.insert(data, i, n);
                     i += 1;
                 }
                 Some((len, dist)) => {
                     // Lazy: check if deferring one byte yields a longer match.
                     let mut take_len = len;
                     let mut take_dist = dist;
-                    scratch.insert(data, i, n);
                     if self.lazy && i + 1 < n {
                         if let Some((len2, dist2)) = self.find(data, scratch, i + 1) {
                             if len2 > len {
@@ -293,26 +341,71 @@ impl MatchFinder {
                         }
                     }
                     sink.emit_match(take_len as u32, take_dist as u32);
-                    // Insert the positions covered by the match (sparsely,
-                    // every position keeps ratios good on page inputs).
+                    // Insert the positions covered by the match; the
+                    // turbo profile strides to trade ratio for speed.
                     let start = i + 1;
                     let end = (i + take_len).min(n);
-                    for j in start..end {
+                    let mut j = start;
+                    while j < end {
                         scratch.insert(data, j, n);
+                        j += self.insert_step;
                     }
                     i = end;
                 }
             }
         }
+        // Tail too short to match or hash: literals.
+        while i < n {
+            sink.literal(i, data[i]);
+            i += 1;
+        }
     }
 }
 
-const HASH_SIZE: usize = 1 << 15;
+/// log2 of the hash-head table size. 13 bits (8 K entries, 64 KiB of
+/// `u64` tags) keeps the table inside L2 and makes the fresh-scratch
+/// zeroing cost negligible next to a page tokenize, closing most of the
+/// fresh-vs-warm throughput gap.
+const HASH_BITS: u32 = 13;
+const HASH_SIZE: usize = 1 << HASH_BITS;
 
 impl Default for MatchFinder {
     /// Defaults to the thorough configuration (xdeflate's profile).
     fn default() -> Self {
         Self::thorough()
+    }
+}
+
+/// Appends the `len`-byte back-reference at distance `dist` to `dst`
+/// using bulk copies instead of a byte loop.
+///
+/// Non-overlapping copies (`dist >= len`) are a single
+/// `extend_from_within` (memcpy). Overlapping copies exploit that the
+/// output is periodic with period `dist`: once the first `dist` bytes
+/// are appended, the copyable region doubles each iteration, so even a
+/// 258-byte dist-1 RLE run takes O(log len) bulk copies.
+///
+/// # Panics
+///
+/// Panics if `dist` is 0 or greater than `dst.len()` — callers validate
+/// distances before copying.
+#[inline]
+pub(crate) fn copy_match(dst: &mut Vec<u8>, dist: usize, len: usize) {
+    let start = dst.len() - dist;
+    if dist >= len {
+        dst.extend_from_within(start..start + len);
+        return;
+    }
+    if dist == 1 {
+        let b = dst[start];
+        dst.resize(dst.len() + len, b);
+        return;
+    }
+    let mut copied = 0usize;
+    while copied < len {
+        let n = (len - copied).min(dst.len() - start);
+        dst.extend_from_within(start..start + n);
+        copied += n;
     }
 }
 
@@ -324,13 +417,7 @@ pub fn expand(tokens: &[Token]) -> Vec<u8> {
     for t in tokens {
         match *t {
             Token::Literal(b) => out.push(b),
-            Token::Match { len, dist } => {
-                let start = out.len() - dist as usize;
-                for k in 0..len as usize {
-                    let b = out[start + k];
-                    out.push(b);
-                }
-            }
+            Token::Match { len, dist } => copy_match(&mut out, dist as usize, len as usize),
         }
     }
     out
@@ -440,6 +527,26 @@ mod tests {
         MatchFinder::default().tokenize_into(data, &mut scratch, &mut tokens);
         assert_eq!(scratch.generation, 1);
         assert_eq!(expand(&tokens), data);
+    }
+
+    #[test]
+    fn copy_match_agrees_with_byte_loop() {
+        // Every (dist, len) shape: non-overlapping, overlapping with
+        // every period, dist-1 RLE, and len < dist.
+        let seed: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37)).collect();
+        for dist in 1..=seed.len() {
+            for len in [1, 2, 3, 5, 8, 17, 64, 130, 258] {
+                let mut fast = seed.clone();
+                copy_match(&mut fast, dist, len);
+                let mut slow = seed.clone();
+                let start = slow.len() - dist;
+                for k in 0..len {
+                    let b = slow[start + k];
+                    slow.push(b);
+                }
+                assert_eq!(fast, slow, "dist {dist} len {len}");
+            }
+        }
     }
 
     #[test]

@@ -52,11 +52,10 @@ pub struct PageResult {
 /// assert!(results.iter().all(|r| r.compressed.len() < 4096));
 /// # Ok::<(), xfm_types::Error>(())
 /// ```
-pub fn compress_pages<C: Codec + Sync>(
-    codec: &C,
-    pages: &[Bytes],
-    threads: usize,
-) -> Result<Vec<PageResult>> {
+pub fn compress_pages<C>(codec: &C, pages: &[Bytes], threads: usize) -> Result<Vec<PageResult>>
+where
+    C: Codec + Sync + ?Sized,
+{
     compress_pages_inner(codec, pages, threads, None)
 }
 
@@ -69,12 +68,15 @@ pub fn compress_pages<C: Codec + Sync>(
 /// # Errors
 ///
 /// Same conditions as [`compress_pages`].
-pub fn compress_pages_traced<C: Codec + Sync>(
+pub fn compress_pages_traced<C>(
     codec: &C,
     pages: &[Bytes],
     threads: usize,
     registry: &Registry,
-) -> Result<Vec<PageResult>> {
+) -> Result<Vec<PageResult>>
+where
+    C: Codec + Sync + ?Sized,
+{
     compress_pages_inner(codec, pages, threads, Some(registry))
 }
 
@@ -124,12 +126,15 @@ where
     compress_pages_streamed_inner(codec, pages, threads, Some(registry), sink)
 }
 
-fn compress_pages_inner<C: Codec + Sync>(
+fn compress_pages_inner<C>(
     codec: &C,
     pages: &[Bytes],
     threads: usize,
     registry: Option<&Registry>,
-) -> Result<Vec<PageResult>> {
+) -> Result<Vec<PageResult>>
+where
+    C: Codec + Sync + ?Sized,
+{
     let results: Mutex<Vec<Option<PageResult>>> = Mutex::new(vec![None; pages.len()]);
     compress_pages_streamed_inner(codec, pages, threads, registry, |r| {
         let index = r.index;
@@ -209,6 +214,102 @@ where
         return Err(e);
     }
     Ok(())
+}
+
+/// Blocks claimed per batch-decompress work unit: long enough for the
+/// FSE codec's decode-table cache to pay off on runs of same-header
+/// blocks, short enough to keep the tail balanced across workers.
+const DECOMPRESS_CLAIM: usize = 8;
+
+/// Decompresses `blocks` with `threads` workers, returning restored
+/// pages in submission order. Workers claim runs of
+/// [`DECOMPRESS_CLAIM`] blocks and feed each run through
+/// [`Codec::decompress_batch_into`], so per-block setup (FSE decode
+/// tables, hash-chain generations) is amortized exactly as on the
+/// serial swap-in path. Output is identical to a serial run.
+///
+/// This is the prefetch-side counterpart of
+/// [`compress_pages_streamed`]: swap-in readahead hands a batch of
+/// compressed far-memory blocks here and gets pages back.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when `threads` is zero, or the
+/// first corrupt block encountered.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use xfm_compress::parallel::{compress_pages, decompress_pages, split_pages};
+/// use xfm_compress::{Corpus, XDeflateFse};
+///
+/// let codec = XDeflateFse::default();
+/// let buffer = Bytes::from(Corpus::Json.generate(1, 16 * 4096));
+/// let pages = split_pages(&buffer, 4096);
+/// let blocks: Vec<Bytes> = compress_pages(&codec, &pages, 4)?
+///     .into_iter()
+///     .map(|r| Bytes::from(r.compressed))
+///     .collect();
+/// let restored = decompress_pages(&codec, &blocks, 4)?;
+/// assert!(restored.iter().zip(&pages).all(|(r, p)| r == p.as_ref()));
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+pub fn decompress_pages<C>(codec: &C, blocks: &[Bytes], threads: usize) -> Result<Vec<Vec<u8>>>
+where
+    C: Codec + Sync + ?Sized,
+{
+    if threads == 0 {
+        return Err(Error::InvalidConfig("threads must be non-zero".into()));
+    }
+    if blocks.is_empty() {
+        return Ok(Vec::new());
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Vec<u8>>>> = Mutex::new(vec![None; blocks.len()]);
+    let first_error: Mutex<Option<Error>> = Mutex::new(None);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(blocks.len().div_ceil(DECOMPRESS_CLAIM)) {
+            scope.spawn(|_| {
+                let mut scratch = Scratch::new();
+                loop {
+                    let start = next.fetch_add(DECOMPRESS_CLAIM, Ordering::Relaxed);
+                    if start >= blocks.len() {
+                        break;
+                    }
+                    let end = (start + DECOMPRESS_CLAIM).min(blocks.len());
+                    let srcs: Vec<&[u8]> = blocks[start..end].iter().map(Bytes::as_ref).collect();
+                    let mut dsts = vec![Vec::new(); end - start];
+                    match codec.decompress_batch_into(&srcs, &mut dsts, &mut scratch) {
+                        Ok(()) => {
+                            let mut slots = results.lock();
+                            for (slot, page) in slots[start..end].iter_mut().zip(dsts) {
+                                *slot = Some(page);
+                            }
+                        }
+                        Err(e) => {
+                            let mut slot = first_error.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("decompression workers do not panic");
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    Ok(results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every block decompressed"))
+        .collect())
 }
 
 /// Runs an arbitrary per-page transform over a fixed worker pool,
@@ -353,9 +454,48 @@ mod tests {
     }
 
     #[test]
+    fn batch_decompress_matches_serial_for_every_codec() {
+        let pages = pages();
+        let codecs: [&(dyn Codec + Sync); 3] = [
+            &XDeflate::default(),
+            &crate::XDeflateFse::default(),
+            &crate::AutoCodec::default(),
+        ];
+        for codec in codecs {
+            let blocks: Vec<Bytes> = compress_pages(codec, &pages, 4)
+                .unwrap()
+                .into_iter()
+                .map(|r| Bytes::from(r.compressed))
+                .collect();
+            for threads in [1usize, 3, 8] {
+                let restored = decompress_pages(codec, &blocks, threads).unwrap();
+                assert_eq!(restored.len(), pages.len());
+                for (r, p) in restored.iter().zip(&pages) {
+                    assert_eq!(r, p.as_ref(), "{} threads {threads}", codec.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_decompress_surfaces_corruption() {
+        let codec = crate::XDeflateFse::default();
+        let pages = pages();
+        let mut blocks: Vec<Bytes> = compress_pages(&codec, &pages, 4)
+            .unwrap()
+            .into_iter()
+            .map(|r| Bytes::from(r.compressed))
+            .collect();
+        blocks[17] = Bytes::from(vec![0xFF, 0xFE, 0xFD]);
+        assert!(decompress_pages(&codec, &blocks, 4).is_err());
+        assert!(decompress_pages(&codec, &[], 4).unwrap().is_empty());
+    }
+
+    #[test]
     fn zero_threads_rejected() {
         let codec = XDeflate::default();
         assert!(compress_pages(&codec, &pages(), 0).is_err());
+        assert!(decompress_pages(&codec, &pages(), 0).is_err());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::huffman::HuffScratch;
 use crate::lz77::Lz77Scratch;
+use crate::xdef_fse::FseScratch;
 use crate::xdeflate::XdefScratch;
 
 /// Per-thread reusable state for [`crate::Codec::compress_into`] and
@@ -41,6 +42,8 @@ pub struct Scratch {
     pub(crate) xd: XdefScratch,
     /// Package-merge working set for Huffman code-length computation.
     pub(crate) huff: HuffScratch,
+    /// FSE normalized tables, entropy coders, and staging buffers.
+    pub(crate) fse: FseScratch,
 }
 
 impl Scratch {

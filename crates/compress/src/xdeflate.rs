@@ -29,12 +29,12 @@ use crate::lz77::{MatchFinder, TokenSink, MAX_MATCH, MIN_MATCH};
 use crate::scratch::Scratch;
 
 /// Literal/length alphabet size: 256 literals + EOB + 8 length buckets.
-const LIT_SYMS: usize = 256 + 1 + 8;
+pub(crate) const LIT_SYMS: usize = 256 + 1 + 8;
 /// End-of-block symbol.
-const EOB: usize = 256;
+pub(crate) const EOB: usize = 256;
 /// Distance alphabet size: bit_length(dist) for dist in 1..=32768
 /// (bit_length(32768) = 16, so symbols 1..=16 are valid).
-const DIST_SYMS: usize = 17;
+pub(crate) const DIST_SYMS: usize = 17;
 
 /// The xdeflate codec.
 ///
@@ -70,7 +70,7 @@ impl XDeflate {
 }
 
 /// Tag bit marking a packed token as a match.
-const MATCH_BIT: u32 = 1 << 31;
+pub(crate) const MATCH_BIT: u32 = 1 << 31;
 
 /// Reusable xdeflate state: the packed token buffer, symbol statistics,
 /// entropy coders, and the output bitstream writer.
@@ -82,9 +82,9 @@ const MATCH_BIT: u32 = 1 << 31;
 /// happens while tokens stream in — no intermediate `Vec<Token>`.
 #[derive(Debug, Clone)]
 pub struct XdefScratch {
-    tokens: Vec<u32>,
-    lit_freq: [u64; LIT_SYMS],
-    dist_freq: [u64; DIST_SYMS],
+    pub(crate) tokens: Vec<u32>,
+    pub(crate) lit_freq: [u64; LIT_SYMS],
+    pub(crate) dist_freq: [u64; DIST_SYMS],
     lit_lens: Vec<u32>,
     dist_lens: Vec<u32>,
     lit_enc: Encoder,
@@ -112,7 +112,7 @@ impl Default for XdefScratch {
 }
 
 impl XdefScratch {
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.tokens.clear();
         self.lit_freq = [0; LIT_SYMS];
         self.dist_freq = [0; DIST_SYMS];
@@ -133,7 +133,7 @@ impl TokenSink for XdefScratch {
     }
 }
 
-fn length_bucket(len: u32) -> (usize, u32, u32) {
+pub(crate) fn length_bucket(len: u32) -> (usize, u32, u32) {
     // Value coded: len - MIN_MATCH + 1, in 1..=255.
     let v = len - MIN_MATCH as u32 + 1;
     let bits = 32 - v.leading_zeros(); // bit_length >= 1
@@ -142,20 +142,20 @@ fn length_bucket(len: u32) -> (usize, u32, u32) {
     (257 + (bits - 1) as usize, extra_val, extra_bits)
 }
 
-fn length_unbucket(symbol: usize, extra: u32) -> u32 {
+pub(crate) fn length_unbucket(symbol: usize, extra: u32) -> u32 {
     let bits = (symbol - 257) as u32 + 1;
     let v = (1 << (bits - 1)) + extra;
     v + MIN_MATCH as u32 - 1
 }
 
-fn dist_bucket(dist: u32) -> (usize, u32, u32) {
+pub(crate) fn dist_bucket(dist: u32) -> (usize, u32, u32) {
     let bits = 32 - dist.leading_zeros();
     let extra_bits = bits - 1;
     let extra_val = dist - (1 << extra_bits);
     (bits as usize, extra_val, extra_bits)
 }
 
-fn dist_unbucket(symbol: usize, extra: u32) -> u32 {
+pub(crate) fn dist_unbucket(symbol: usize, extra: u32) -> u32 {
     let bits = symbol as u32;
     (1 << (bits - 1)) + extra
 }
@@ -208,7 +208,7 @@ impl Codec for XDeflate {
 
     fn compress_into(&self, src: &[u8], dst: &mut Vec<u8>, scratch: &mut Scratch) -> Result<usize> {
         let start = dst.len();
-        let Scratch { lz, xd, huff } = scratch;
+        let Scratch { lz, xd, huff, .. } = scratch;
         xd.reset();
         // Tokenize straight into the scratch: the sink counts symbol
         // frequencies as tokens stream in.
@@ -326,11 +326,7 @@ impl Codec for XDeflate {
                                 "distance {dist} exceeds output {produced}"
                             )));
                         }
-                        let from = dst.len() - dist;
-                        for k in 0..len as usize {
-                            let b = dst[from + k];
-                            dst.push(b);
-                        }
+                        crate::lz77::copy_match(dst, dist, len as usize);
                     }
                 }
             }

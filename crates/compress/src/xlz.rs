@@ -201,11 +201,7 @@ impl Codec for Xlz {
                     "xlz distance {dist} exceeds output {produced}"
                 )));
             }
-            let from = dst.len() - dist;
-            for k in 0..len as usize {
-                let b = dst[from + k];
-                dst.push(b);
-            }
+            crate::lz77::copy_match(dst, dist, len as usize);
         }
         Ok(dst.len() - start)
     }

@@ -1,0 +1,302 @@
+//! Differential proptests pinning the FSE/tANS stage to a naive
+//! reference coder, plus proofs that per-page codec selection never
+//! loses data.
+//!
+//! The reference coder below shares nothing with `fse.rs` but the
+//! published conventions (spread walk, walk-order occurrence numbering,
+//! encoder states in `TABLE..2*TABLE`): it finds the number of
+//! transition bits by shifting until the sub-state lands in `[f, 2f)`
+//! and looks occurrences up in explicit per-symbol position lists. Any
+//! fused-loop or bit-packing bug in the production tables diverges from
+//! it on the first symbol.
+
+use proptest::prelude::*;
+use xfm_compress::bitio::{BackwardBitWriter, BitReader, BitWriter};
+use xfm_compress::fse::{normalize_freqs, read_norm, write_norm, FseDecoder, FseEncoder};
+use xfm_compress::{AutoCodec, Codec, Scratch, XDeflateFse};
+
+const LOG: u32 = 9;
+const TS: u32 = 1 << LOG;
+
+/// The transparent reference: explicit walk-position bookkeeping, loops
+/// instead of bit tricks.
+struct RefCoder {
+    norm: Vec<u16>,
+    /// Walk position of occurrence `k` of each symbol.
+    occ: Vec<Vec<u32>>,
+    /// `(symbol, occurrence)` stored at each walk position.
+    slots: Vec<(u16, u32)>,
+}
+
+impl RefCoder {
+    fn new(norm: &[u16]) -> Self {
+        let ts = 1usize << LOG;
+        let step = (ts >> 1) + (ts >> 3) + 3;
+        let mut occ = vec![Vec::new(); norm.len()];
+        let mut slots = vec![(0u16, 0u32); ts];
+        let mut pos = 0usize;
+        for (s, &f) in norm.iter().enumerate() {
+            for k in 0..u32::from(f) {
+                occ[s].push(pos as u32);
+                slots[pos] = (s as u16, k);
+                pos = (pos + step) % ts;
+            }
+        }
+        Self {
+            norm: norm.to_vec(),
+            occ,
+            slots,
+        }
+    }
+
+    /// Encodes one symbol from encoder state `x` in `TS..2*TS`,
+    /// returning `(bits, nbits, next_state)`.
+    fn encode(&self, sym: usize, x: u32) -> (u32, u32, u32) {
+        let f = u32::from(self.norm[sym]);
+        assert!(f > 0, "encoding an absent symbol");
+        let mut nb = 0;
+        while (x >> nb) >= 2 * f {
+            nb += 1;
+        }
+        let sub = x >> nb;
+        assert!((f..2 * f).contains(&sub));
+        let bits = x & ((1u32 << nb) - 1);
+        (bits, nb, TS + self.occ[sym][(sub - f) as usize])
+    }
+
+    /// Decodes the symbol at decoder state `state` (a walk position in
+    /// `0..TS`), returning `(symbol, next_state)`.
+    fn decode(&self, state: u32, r: &mut BitReader<'_>) -> (u16, u32) {
+        let (sym, k) = self.slots[state as usize];
+        let f = u32::from(self.norm[sym as usize]);
+        let c = f + k;
+        let nb = LOG - (31 - c.leading_zeros());
+        let bits = r.read_bits(nb).unwrap();
+        (sym, (c << nb) - TS + bits)
+    }
+}
+
+/// Symbol sequences with skewed-to-flat distributions, the shapes the
+/// LZ token stream produces.
+fn arb_symbols() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Flat random bytes.
+        prop::collection::vec(any::<u8>(), 1..3000),
+        // Skewed small alphabet.
+        prop::collection::vec(prop::sample::select(vec![0u8, 1, 1, 1, 2, 7, 255]), 1..3000),
+        // Single symbol (degenerate table: one symbol owns every state).
+        (any::<u8>(), 1usize..2000).prop_map(|(b, n)| vec![b; n]),
+    ]
+}
+
+fn arb_page() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..6000),
+        prop::collection::vec(
+            prop::sample::select(vec![b'{', b'}', b'a', b' ', 0u8]),
+            0..6000
+        ),
+        (any::<u8>(), 0usize..5000).prop_map(|(b, n)| vec![b; n]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The production encoder's per-step output and the decode table's
+    /// per-step transitions both match the reference coder exactly, and
+    /// the stream round-trips through both decoders.
+    #[test]
+    fn fse_matches_reference_coder(data in arb_symbols()) {
+        let mut freqs = [0u64; 256];
+        for &b in &data {
+            freqs[b as usize] += 1;
+        }
+        let mut norm = Vec::new();
+        let present = normalize_freqs(&freqs, &mut norm, LOG);
+        prop_assert!(present >= 1);
+
+        let mut enc = FseEncoder::<LOG>::default();
+        enc.rebuild(&norm).unwrap();
+        let reference = RefCoder::new(&norm);
+
+        // Backward pass, stepping both encoders in lockstep.
+        let mut bw = BackwardBitWriter::default();
+        bw.begin(2 * data.len() + 64);
+        let mut state = FseEncoder::<LOG>::INITIAL_STATE;
+        for &b in data.iter().rev() {
+            let (want_bits, want_nb, want_state) = reference.encode(b as usize, state);
+            let (bits, nb) = enc.encode_raw(b as usize, &mut state);
+            prop_assert_eq!((bits, nb), (want_bits, want_nb), "encode step diverged");
+            prop_assert_eq!(state, want_state, "encode transition diverged");
+            bw.push(bits, nb);
+        }
+        bw.push(state - TS, LOG);
+        let (pad, body) = bw.finish();
+        let body = body.to_vec();
+
+        // Forward pass with the reference decoder.
+        let mut r = BitReader::new(&body);
+        r.read_bits(pad).unwrap();
+        let mut state = r.read_bits(LOG).unwrap();
+        let mut restored = Vec::with_capacity(data.len());
+        for _ in 0..data.len() {
+            let (sym, next) = reference.decode(state, &mut r);
+            restored.push(sym as u8);
+            state = next;
+        }
+        prop_assert_eq!(&restored, &data, "reference decode round trip");
+
+        // And with the production decode table, asserting each
+        // transition agrees with the reference.
+        let mut dec = FseDecoder::<LOG>::default();
+        dec.rebuild(&norm).unwrap();
+        let view = dec.view();
+        let mut r = BitReader::new(&body);
+        let mut rr = BitReader::new(&body);
+        r.read_bits(pad).unwrap();
+        rr.read_bits(pad).unwrap();
+        let mut state = r.read_bits(LOG).unwrap();
+        let mut ref_state = rr.read_bits(LOG).unwrap();
+        restored.clear();
+        for _ in 0..data.len() {
+            let (want_sym, want_next) = reference.decode(ref_state, &mut rr);
+            ref_state = want_next;
+            let sym = view.step(&mut state, &mut r).unwrap();
+            prop_assert_eq!(sym, want_sym, "decode symbol diverged");
+            prop_assert_eq!(state, want_next, "decode transition diverged");
+            restored.push(sym as u8);
+        }
+        prop_assert_eq!(&restored, &data, "production decode round trip");
+    }
+
+    /// Normalization invariants hold for arbitrary frequency vectors,
+    /// including max-frequency saturation: one symbol hoarding nearly
+    /// the whole table is clamped to `TS - 1` so the rest keep a state.
+    #[test]
+    fn normalize_invariants(freqs in prop::collection::vec(0u64..10_000, 1..300),
+                            saturate in any::<bool>()) {
+        let mut freqs = freqs;
+        if saturate {
+            freqs[0] = u64::MAX / 2;
+            if freqs.len() > 1 {
+                freqs[1] = freqs[1].max(1);
+            }
+        }
+        let mut norm = Vec::new();
+        let present = normalize_freqs(&freqs, &mut norm, LOG);
+        prop_assert_eq!(present, freqs.iter().filter(|&&f| f > 0).count());
+        if present == 0 {
+            prop_assert!(norm.iter().all(|&n| n == 0));
+            return Ok(());
+        }
+        let total: u32 = norm.iter().map(|&n| u32::from(n)).sum();
+        prop_assert_eq!(total, TS);
+        for (&f, &n) in freqs.iter().zip(&norm) {
+            prop_assert_eq!(f > 0, n > 0, "presence preserved");
+            prop_assert!(u32::from(n) <= TS - u32::from(present > 1));
+        }
+        // The normalized table must build working coder tables.
+        let mut enc = FseEncoder::<LOG>::default();
+        enc.rebuild(&norm).unwrap();
+        let mut dec = FseDecoder::<LOG>::default();
+        dec.rebuild(&norm).unwrap();
+
+        // And its serialized form round-trips bit-exactly.
+        let mut w = BitWriter::new();
+        write_norm(&mut w, &norm, LOG);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut back = Vec::new();
+        read_norm(&mut r, norm.len(), &mut back, LOG).unwrap();
+        prop_assert_eq!(back, norm);
+    }
+
+    /// The full xdef-fse codec round-trips arbitrary inputs (empty
+    /// input and single-symbol pages included) byte-exactly.
+    #[test]
+    fn xdef_fse_round_trip(data in arb_page()) {
+        let codec = XDeflateFse::default();
+        let mut scratch = Scratch::new();
+        let mut c = Vec::new();
+        codec.compress_into(&data, &mut c, &mut scratch).unwrap();
+        let mut d = Vec::new();
+        codec.decompress_into(&c, &mut d, &mut scratch).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    /// Per-page codec selection never loses data, whatever the probe
+    /// decides — and never expands a page by more than its tag byte.
+    #[test]
+    fn codec_selection_never_loses_data(data in arb_page()) {
+        let codec = AutoCodec::default();
+        let mut scratch = Scratch::new();
+        let mut c = Vec::new();
+        codec.compress_into(&data, &mut c, &mut scratch).unwrap();
+        prop_assert!(c.len() <= data.len() + 1, "expansion beyond tag byte");
+        let mut d = Vec::new();
+        codec.decompress_into(&c, &mut d, &mut scratch).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    /// Corrupting an auto block never panics: it decodes to an error or
+    /// to different bytes, but stays memory-safe and terminates.
+    #[test]
+    fn codec_selection_corruption_never_panics(data in arb_page(), flip in 0usize..64) {
+        let codec = AutoCodec::default();
+        let mut c = Vec::new();
+        codec.compress(&data, &mut c).unwrap();
+        if !c.is_empty() {
+            let i = flip % c.len();
+            c[i] ^= 0x41;
+            let mut d = Vec::new();
+            let _ = codec.decompress(&c, &mut d);
+        }
+    }
+}
+
+/// The fixed edge cases the issue calls out, checked deterministically
+/// on top of the property sweeps.
+#[test]
+fn fse_edge_cases() {
+    // Empty input: no frequencies, normalize reports zero present
+    // symbols, and the codec stores a zero-length stream that restores
+    // to empty.
+    let mut norm = Vec::new();
+    assert_eq!(normalize_freqs(&[0u64; 256], &mut norm, LOG), 0);
+    let codec = XDeflateFse::default();
+    let mut c = Vec::new();
+    codec.compress(&[], &mut c).unwrap();
+    let mut d = Vec::new();
+    codec.decompress(&c, &mut d).unwrap();
+    assert!(d.is_empty());
+
+    // Single-symbol page: the symbol owns every state, so each token
+    // costs zero transition bits.
+    let mut freqs = [0u64; 256];
+    freqs[b'z' as usize] = 4096;
+    assert_eq!(normalize_freqs(&freqs, &mut norm, LOG), 1);
+    assert_eq!(u32::from(norm[b'z' as usize]), TS);
+    let mut enc = FseEncoder::<LOG>::default();
+    enc.rebuild(&norm).unwrap();
+    let mut state = FseEncoder::<LOG>::INITIAL_STATE;
+    let (_, nb) = enc.encode_raw(b'z' as usize, &mut state);
+    assert_eq!(nb, 0, "single-symbol tables emit zero bits per symbol");
+
+    // Max-frequency saturation: a dominant symbol is clamped to TS - 1
+    // and the straggler keeps exactly one state.
+    let mut freqs = [0u64; 256];
+    freqs[0] = u64::MAX / 4;
+    freqs[1] = 1;
+    assert_eq!(normalize_freqs(&freqs, &mut norm, LOG), 2);
+    assert_eq!(u32::from(norm[0]), TS - 1);
+    assert_eq!(norm[1], 1);
+    enc.rebuild(&norm).unwrap();
+    let reference = RefCoder::new(&norm);
+    let mut state = FseEncoder::<LOG>::INITIAL_STATE;
+    for sym in [0usize, 0, 1, 0, 1, 1, 0] {
+        let (want_bits, want_nb, want_state) = reference.encode(sym, state);
+        let (bits, nb) = enc.encode_raw(sym, &mut state);
+        assert_eq!((bits, nb, state), (want_bits, want_nb, want_state));
+    }
+}

@@ -14,7 +14,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use xfm_compress::{Codec, Corpus, Scratch, XDeflate, Xlz};
+use xfm_compress::{AutoCodec, Codec, Corpus, Scratch, XDeflate, XDeflateFse, Xlz};
 
 struct CountingAlloc;
 
@@ -64,20 +64,31 @@ const PAGE: usize = 4096;
 #[test]
 fn steady_state_hot_path_does_not_allocate() {
     let xdef = XDeflate::default();
+    let xdef_fse = XDeflateFse::default();
     let xlz = Xlz::default();
+    let auto = AutoCodec::default();
+    let codecs: [&dyn Codec; 4] = [&xdef, &xdef_fse, &xlz, &auto];
 
     // Warm-up corpus includes a random page: it maximizes the token
     // count (all literals) and the bitstream length, so every internal
-    // buffer reaches its worst-case 4 KiB-page capacity.
+    // buffer reaches its worst-case 4 KiB-page capacity. The runs page
+    // exercises the auto probe's xlz route without the same-filled
+    // short-circuit upstream planes would take.
+    let mut runs = vec![0u8; PAGE];
+    runs[PAGE / 2..].fill(0xFF);
     let warmup: Vec<Vec<u8>> = vec![
         Corpus::RandomBytes.generate(7, PAGE),
         Corpus::Json.generate(1, PAGE),
         Corpus::EnglishText.generate(2, PAGE),
+        runs.clone(),
     ];
-    // Steady-state pages are distinct from the warm-up ones.
-    let steady: Vec<Vec<u8>> = (10..20u64)
+    // Steady-state pages are distinct from the warm-up ones, and cover
+    // all three auto routes (fse, raw, xlz).
+    let mut steady: Vec<Vec<u8>> = (10..18u64)
         .map(|s| Corpus::Json.generate(s, PAGE))
         .collect();
+    steady.push(Corpus::RandomBytes.generate(21, PAGE));
+    steady.push(runs);
 
     let mut scratch = Scratch::new();
     // Output buffers sized for the worst case (stored-block fallback is
@@ -85,7 +96,7 @@ fn steady_state_hot_path_does_not_allocate() {
     let mut compressed = Vec::with_capacity(2 * PAGE);
     let mut restored = Vec::with_capacity(2 * PAGE);
 
-    for codec in [&xdef as &dyn Codec, &xlz as &dyn Codec] {
+    for codec in codecs {
         for page in &warmup {
             compressed.clear();
             codec
@@ -99,9 +110,28 @@ fn steady_state_hot_path_does_not_allocate() {
         }
     }
 
+    // Batch-decompress setup: blocks and slice-of-slices views are
+    // built (and the per-page dsts pre-sized) before the counter arms,
+    // mirroring a swap-in prefetch batch reusing its buffers.
+    let fse_blocks: Vec<Vec<u8>> = steady
+        .iter()
+        .map(|p| {
+            let mut b = Vec::with_capacity(2 * PAGE);
+            xdef_fse.compress_into(p, &mut b, &mut scratch).unwrap();
+            b
+        })
+        .collect();
+    let fse_srcs: Vec<&[u8]> = fse_blocks.iter().map(Vec::as_slice).collect();
+    let mut batch_dsts: Vec<Vec<u8>> = (0..steady.len())
+        .map(|_| Vec::with_capacity(2 * PAGE))
+        .collect();
+    xdef_fse
+        .decompress_batch_into(&fse_srcs, &mut batch_dsts, &mut scratch)
+        .unwrap();
+
     ALLOC_CALLS.store(0, Ordering::SeqCst);
     ARMED.with(|armed| armed.set(true));
-    for codec in [&xdef as &dyn Codec, &xlz as &dyn Codec] {
+    for codec in codecs {
         for page in &steady {
             compressed.clear();
             codec
@@ -113,11 +143,17 @@ fn steady_state_hot_path_does_not_allocate() {
                 .unwrap();
         }
     }
+    for dst in &mut batch_dsts {
+        dst.clear();
+    }
+    xdef_fse
+        .decompress_batch_into(&fse_srcs, &mut batch_dsts, &mut scratch)
+        .unwrap();
     ARMED.with(|armed| armed.set(false));
     let allocs = ALLOC_CALLS.load(Ordering::SeqCst);
 
     // Validate outside the armed window (assert_eq formats on failure).
-    for codec in [&xdef as &dyn Codec, &xlz as &dyn Codec] {
+    for codec in codecs {
         for page in &steady {
             compressed.clear();
             codec
@@ -129,6 +165,9 @@ fn steady_state_hot_path_does_not_allocate() {
                 .unwrap();
             assert_eq!(&restored, page, "{} round trip", codec.name());
         }
+    }
+    for (dst, page) in batch_dsts.iter().zip(&steady) {
+        assert_eq!(dst, page, "batch decompress round trip");
     }
 
     assert_eq!(

@@ -39,7 +39,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use xfm_compress::{CodecKind, CostModel, XDeflate};
+use xfm_compress::{Codec, CodecKind, CostModel, XDeflate};
 use xfm_faults::{DegradeConfig, DegradeController, DegradedMode, FaultInjector, RetryPolicy};
 use xfm_sfm::backend::{BackendStats, ExecutedOn, SfmConfig, SwapOutcome, SwapPlane};
 use xfm_sfm::table::{SfmEntry, SfmTable};
@@ -125,7 +125,7 @@ pub struct XfmBackend {
 struct XfmInner {
     config: XfmBackendConfig,
     drivers: Vec<XfmDriver>,
-    codec: XDeflate,
+    codec: Arc<dyn Codec + Send + Sync>,
     cost: CostModel,
     pool: Zpool,
     table: SfmTable,
@@ -189,7 +189,7 @@ impl XfmBackend {
             config,
             inner: Mutex::new(XfmInner {
                 drivers,
-                codec: XDeflate::default(),
+                codec: Arc::new(XDeflate::default()),
                 cost: CostModel::paper_average(),
                 pool: Zpool::new(config.sfm.region_capacity),
                 table: SfmTable::new(),
@@ -214,6 +214,27 @@ impl XfmBackend {
     #[must_use]
     pub fn new(config: XfmBackendConfig) -> Self {
         Self::try_new(config).expect("valid XFM backend configuration")
+    }
+
+    /// Creates a backend with an explicit per-share codec.
+    ///
+    /// The default ([`XDeflate`]) models the NMA's fixed Deflate core;
+    /// passing [`xfm_compress::AutoCodec`] instead wires per-page codec
+    /// selection through the multi-channel container — each 256 B-striped
+    /// share carries its own self-describing tag byte, so
+    /// [`XfmBackend::swap_out_batch`] and swap-in need no out-of-band
+    /// codec metadata.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`XfmBackend::try_new`].
+    pub fn with_codec(
+        config: XfmBackendConfig,
+        codec: Arc<dyn Codec + Send + Sync>,
+    ) -> Result<Self> {
+        let backend = Self::try_new(config)?;
+        backend.inner.lock().codec = codec;
+        Ok(backend)
     }
 
     /// Attaches a telemetry registry: swap-path counters, latency
@@ -824,7 +845,7 @@ impl XfmInner {
 
         // Functional compression (identical to what the engines compute).
         let csw = self.telemetry.as_ref().map(|_| Stopwatch::start());
-        let packed = pack_page(&self.codec, data, self.config.n_dimms)?;
+        let packed = pack_page(self.codec.as_ref(), data, self.config.n_dimms)?;
         let compress_ns = csw.as_ref().map_or(0, Stopwatch::elapsed_ns);
         self.finish_swap_out(page, data, packed.bytes, compress_ns, now, sw)
     }
@@ -861,7 +882,7 @@ impl XfmInner {
 
         // Parallel phase: multi-channel packing fans out across workers;
         // no backend state is touched, so results are order-independent.
-        let codec = &self.codec;
+        let codec = self.codec.as_ref();
         let n_dimms = self.config.n_dimms;
         let traced = self.telemetry.is_some();
         let mut packed: Vec<Option<(Vec<u8>, u64)>> =
@@ -983,7 +1004,7 @@ impl XfmInner {
         }
 
         let dsw = self.telemetry.as_ref().map(|_| Stopwatch::start());
-        let data = unpack_page(&self.codec, &stored)?;
+        let data = unpack_page(self.codec.as_ref(), &stored)?;
         let decompress_ns = dsw.as_ref().map_or(0, Stopwatch::elapsed_ns);
         if data.len() != PAGE_SIZE {
             return Err(Error::Corrupt(format!(
@@ -1068,6 +1089,43 @@ mod tests {
                 b.swap_out(pn, &page).unwrap();
                 let (restored, _) = b.swap_in(pn, i % 2 == 0).unwrap();
                 assert_eq!(restored, page, "{} n={n}", corpus.name());
+            }
+        }
+    }
+
+    #[test]
+    fn auto_codec_round_trips_through_multichannel_containers() {
+        for n in [1usize, 2, 4] {
+            let b = XfmBackend::with_codec(
+                XfmBackendConfig {
+                    sfm: SfmConfig {
+                        region_capacity: ByteSize::from_mib(8),
+                        ..SfmConfig::default()
+                    },
+                    n_dimms: n,
+                    ..XfmBackendConfig::default()
+                },
+                Arc::new(xfm_compress::AutoCodec::default()),
+            )
+            .unwrap();
+            b.advance_to(Nanos::from_ms(1));
+            // Sequential and batched paths, over corpora spanning all
+            // three probe routes (raw, xlz, fse).
+            let batch: Vec<(PageNumber, Bytes)> = Corpus::all()
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    (
+                        PageNumber::new(i as u64),
+                        Bytes::from(c.generate(i as u64, PAGE_SIZE)),
+                    )
+                })
+                .collect();
+            let results = b.swap_out_batch(&batch, 3).unwrap();
+            assert!(results.iter().all(Result::is_ok), "n={n}");
+            for (page, data) in &batch {
+                let (restored, _) = b.swap_in(*page, false).unwrap();
+                assert_eq!(&restored[..], &data[..], "page {page} n={n}");
             }
         }
     }

@@ -155,7 +155,7 @@ impl Fig8Row {
     }
 }
 
-/// Regenerates Fig. 8 over all sixteen corpora.
+/// Regenerates Fig. 8 over every corpus class.
 ///
 /// # Errors
 ///
@@ -467,7 +467,7 @@ mod tests {
     #[test]
     fn fig8_retention_matches_paper_band() {
         let rows = fig8_ratios(64 * 1024).unwrap();
-        assert_eq!(rows.len(), 16);
+        assert_eq!(rows.len(), Corpus::all().len());
         let (loss2, loss4) = fig8_mean_savings_loss(&rows);
         // Paper §8: 2-/4-DIMM modes lose ~5% / ~14% of savings.
         assert!((0.0..0.20).contains(&loss2), "2-DIMM loss {loss2}");
