@@ -40,11 +40,45 @@ if [[ "${1:-}" == "--determinism" ]]; then
 else
     determinism_check "--smoke"
 fi
+# Observability gate (always on; standalone via `./ci.sh --obs`):
+# 1. lifecycle-trace round trip — xfm-repro exports the audit trail as
+#    Chrome trace_event JSON and xfm-sentinel structurally validates it;
+# 2. flight-recorder smoke — a forced fault storm must leave parseable
+#    post-mortem dumps (validated inside the harness via validate_dump);
+# 3. bench-regression sentinel — the committed BENCH_*.json baselines
+#    must pass their own tolerance bands (schema drift or a tampered
+#    baseline fails CI here, fresh measurements are diffed manually).
+obs_gate() {
+    local obsdir
+    obsdir=$(mktemp -d)
+    cargo run --release -q -p xfm-bench --bin xfm-repro -- \
+        --trace-out "$obsdir/trace.json"
+    cargo run --release -q -p xfm-bench --bin xfm-sentinel -- \
+        validate-trace "$obsdir/trace.json"
+    XFM_FAULT_PLAN="refresh_window_miss:0.9,engine_timeout:0.6,spm_exhaustion:0.6" \
+        cargo run --release -q -p xfm-bench --bin xfm-fault-bench -- \
+        --smoke --dump-dir "$obsdir/dumps" --bench-out "$obsdir/BENCH_faults.json" \
+        > "$obsdir/chaos.log" \
+        || { cat "$obsdir/chaos.log"; echo "obs gate FAILED: chaos run"; exit 1; }
+    grep -q "all parseable" "$obsdir/chaos.log" \
+        || { echo "obs gate FAILED: no validated post-mortem dumps"; exit 1; }
+    cargo run --release -q -p xfm-bench --bin xfm-sentinel -- \
+        check --baseline-dir . --current-dir .
+    rm -rf "$obsdir"
+    echo "observability gate passed (trace round-trip, post-mortems, sentinel)"
+}
+if [[ "${1:-}" == "--obs" ]]; then
+    obs_gate
+    exit 0
+fi
+obs_gate
 # Chaos smoke (opt-in via `./ci.sh --chaos`): the seeded fault-injection
 # harness must survive an all-sites storm with zero lost pages, bounded
-# retries, and telemetry-visible degraded-mode transitions.
+# retries, telemetry-visible degraded-mode transitions, and validated
+# post-mortem dumps from the attached flight recorder.
 if [[ "${1:-}" == "--chaos" ]]; then
-    cargo run --release -p xfm-bench --bin xfm-fault-bench -- --smoke
+    cargo run --release -p xfm-bench --bin xfm-fault-bench -- \
+        --smoke --dump-dir "$(mktemp -d)"
 fi
 # Codec smoke (opt-in via `./ci.sh --codec`): reduced-round codec bench
 # with built-in round-trip identity on every corpus/codec pair, the FSE

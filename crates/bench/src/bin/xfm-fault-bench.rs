@@ -17,14 +17,21 @@
 //!
 //! Run with `cargo run --release -p xfm-bench --bin xfm-fault-bench`;
 //! pass `--smoke` for the seconds-long variant `ci.sh --chaos` uses.
+//! `--bench-out <path>` writes a `BENCH_faults.json` survival record
+//! (seeded, so byte-stable across runs), `--metrics-out <path>` writes
+//! the telemetry snapshot (`.prom`/`.txt` → Prometheus exposition,
+//! else JSON) exactly like `xfm-repro`, and `--dump-dir <dir>` attaches
+//! the flight recorder so every degraded-mode transition and retry
+//! exhaustion leaves a validated post-mortem file.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use xfm_compress::Corpus;
 use xfm_core::backend::{XfmBackend, XfmBackendConfig};
-use xfm_faults::{FaultInjector, FaultPlan, FaultSite, RetryPolicy, SiteSpec};
+use xfm_faults::{DegradedMode, FaultInjector, FaultPlan, FaultSite, RetryPolicy, SiteSpec};
 use xfm_sfm::backend::SfmConfig;
-use xfm_telemetry::Registry;
+use xfm_telemetry::{flight, FlightRecorder, FlightRecorderConfig, Registry};
 use xfm_types::{ByteSize, Error, Nanos, PageNumber, PAGE_SIZE};
 
 /// Any single swap op must land within this many attempts; more means
@@ -56,8 +63,21 @@ fn default_plan(seed: u64) -> FaultPlan {
         )
 }
 
+/// Removes `flag <value>` from `args`, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    assert!(i + 1 < args.len(), "{flag} requires a path argument");
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_out = take_flag(&mut args, "--bench-out").map(PathBuf::from);
+    let metrics_out = take_flag(&mut args, "--metrics-out").map(PathBuf::from);
+    let dump_dir = take_flag(&mut args, "--dump-dir").map(PathBuf::from);
+    let smoke = args.iter().any(|a| a == "--smoke");
     let pages: u64 = if smoke { 64 } else { 512 };
     let rounds = if smoke { 2 } else { 4 };
 
@@ -85,6 +105,16 @@ fn main() {
     backend.attach_faults(Arc::clone(&injector));
     backend.set_retry_policy(RetryPolicy::default());
 
+    let recorder = dump_dir.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).expect("create dump dir");
+        let recorder = Arc::new(FlightRecorder::new(
+            &registry,
+            FlightRecorderConfig::new(dir.clone()),
+        ));
+        backend.attach_flight_recorder(Arc::clone(&recorder));
+        recorder
+    });
+
     println!(
         "chaos plan (seed {}): {}",
         injector.seed(),
@@ -100,6 +130,9 @@ fn main() {
     let mut swap_ins = 0u64;
     let mut store_retries = 0u64;
     let mut corrupt_retries = 0u64;
+    // Virtual nanoseconds spent in any non-Nma mode: measured on the
+    // simulated clock, so it is deterministic for a fixed plan+seed.
+    let mut degraded_dwell_ns = 0u64;
 
     for round in 0..rounds {
         for i in 0..pages {
@@ -121,12 +154,20 @@ fn main() {
                 }
             }
             swap_outs += 1;
-            now += Nanos::from_us(20);
+            let step = Nanos::from_us(20);
+            if backend.degraded_mode() != DegradedMode::Nma {
+                degraded_dwell_ns += step.as_ns();
+            }
+            now += step;
             backend.advance_to(now);
         }
 
         // Let the refresh calendar drain whatever the chaos let through.
-        now += Nanos::from_ms(40);
+        let step = Nanos::from_ms(40);
+        if backend.degraded_mode() != DegradedMode::Nma {
+            degraded_dwell_ns += step.as_ns();
+        }
+        now += step;
         backend.advance_to(now);
 
         let mut lost = 0u64;
@@ -213,4 +254,81 @@ fn main() {
         "\nchaos OK: {} faults injected, every page byte-exact, no deadlock",
         fired
     );
+
+    if let Some(path) = &bench_out {
+        let injected = FaultSite::ALL
+            .iter()
+            .map(|&s| format!("    \"{}\": {}", s.name(), injector.fires(s)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let json = format!(
+            "{{\n  \"pages\": {pages},\n  \"rounds\": {rounds},\n  \"seed\": {},\n  \
+             \"injected\": {{\n{injected}\n  }},\n  \"total_injected\": {fired},\n  \
+             \"store_retries\": {store_retries},\n  \"corrupt_retries\": {corrupt_retries},\n  \
+             \"degrade_transitions\": {},\n  \"degraded_dwell_ns\": {degraded_dwell_ns},\n  \
+             \"final_mode\": \"{}\",\n  \"lost_pages\": 0\n}}\n",
+            injector.seed(),
+            backend.degrade_transitions(),
+            backend.degraded_mode().name(),
+        );
+        std::fs::write(path, json).expect("write bench-out");
+        println!("survival record written to {}", path.display());
+    }
+
+    if let Some(path) = &metrics_out {
+        let prometheus = path.extension().is_some_and(|e| e == "prom" || e == "txt");
+        let rendered = if prometheus {
+            snap.to_prometheus()
+        } else {
+            snap.to_json()
+        };
+        std::fs::write(path, rendered).expect("write metrics snapshot");
+        println!(
+            "telemetry snapshot written to {} ({} counters, {} histograms)",
+            path.display(),
+            snap.counters.len(),
+            snap.histograms.len()
+        );
+    }
+
+    if let Some(dir) = &dump_dir {
+        let recorder = recorder.as_ref().expect("recorder attached with dump dir");
+        let mut dumps: Vec<PathBuf> = std::fs::read_dir(dir)
+            .expect("read dump dir")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("xfm-postmortem-"))
+            })
+            .collect();
+        dumps.sort();
+        assert_eq!(
+            dumps.len() as u64,
+            recorder.dumps(),
+            "dump files on disk must match the recorder's count"
+        );
+        for path in &dumps {
+            let text = std::fs::read_to_string(path).expect("read dump");
+            let summary = flight::validate_dump(&text)
+                .unwrap_or_else(|e| panic!("invalid post-mortem {}: {e}", path.display()));
+            println!(
+                "post-mortem {}: reason={} events={}",
+                path.display(),
+                summary.reason,
+                summary.events
+            );
+        }
+        if backend.degrade_transitions() > 0 {
+            assert!(
+                !dumps.is_empty(),
+                "degraded-mode transitions occurred but no post-mortem was dumped"
+            );
+        }
+        println!(
+            "flight recorder: {} incidents, {} dumps, all parseable",
+            recorder.incidents(),
+            recorder.dumps()
+        );
+    }
 }

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! xfm-repro [--metrics-out <path>] [experiment...]
+//! xfm-repro [--metrics-out <path>] [--trace-out <path>] [experiment...]
 //! ```
 //!
 //! With no arguments, all experiments run. Experiment names: `fig1`,
@@ -16,6 +16,11 @@
 //! Prometheus text exposition when the path ends in `.prom` or `.txt`,
 //! JSON otherwise. When no experiment names accompany the flag, only the
 //! metrics pass runs.
+//!
+//! `--trace-out <path>` additionally exports the page-lifecycle audit
+//! trail captured during that metrics pass as Chrome `trace_event` JSON
+//! (open in Perfetto / `chrome://tracing`). Implies the metrics pass;
+//! validate with `xfm-sentinel validate-trace <path>`.
 
 use xfm_bench::{
     render_energy, render_fig1, render_fig11, render_fig12, render_fig3, render_fig8,
@@ -36,33 +41,55 @@ fn main() {
         metrics_out = Some(args.remove(i + 1));
         args.remove(i);
     }
-    let all = args.is_empty() && metrics_out.is_none();
+    let mut trace_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        if i + 1 >= args.len() {
+            eprintln!("--trace-out requires a path argument");
+            std::process::exit(2);
+        }
+        trace_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let all = args.is_empty() && metrics_out.is_none() && trace_out.is_none();
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
     println!("XFM reproduction — regenerating the paper's tables and figures\n");
 
-    if let Some(path) = &metrics_out {
+    if metrics_out.is_some() || trace_out.is_some() {
         let registry = xfm_telemetry::Registry::new();
         let snapshot = xfm_bench::metrics::collect(&registry).expect("metrics collection");
-        let rendered = if path.ends_with(".prom") || path.ends_with(".txt") {
-            snapshot.to_prometheus()
-        } else {
-            snapshot.to_json()
-        };
-        std::fs::write(path, rendered).expect("write metrics snapshot");
-        let outs = &snapshot.histograms["xfm_swap_out_latency_ns"];
-        let ins = &snapshot.histograms["xfm_swap_in_latency_ns"];
-        println!(
-            "telemetry snapshot written to {path}: {} swap-outs (p50 {} ns, p99 {} ns), \
-             {} swap-ins (p50 {} ns, p99 {} ns), {} spans\n",
-            outs.count,
-            outs.p50,
-            outs.p99,
-            ins.count,
-            ins.p50,
-            ins.p99,
-            snapshot.spans.len()
-        );
+        if let Some(path) = &trace_out {
+            let events = registry.lifecycle().snapshot();
+            let trace = xfm_telemetry::chrome::to_chrome_trace(&events);
+            std::fs::write(path, trace).expect("write chrome trace");
+            println!(
+                "lifecycle trace written to {path}: {} events ({} recorded, {} dropped)\n",
+                events.len(),
+                registry.lifecycle().recorded(),
+                registry.lifecycle().dropped()
+            );
+        }
+        if let Some(path) = &metrics_out {
+            let rendered = if path.ends_with(".prom") || path.ends_with(".txt") {
+                snapshot.to_prometheus()
+            } else {
+                snapshot.to_json()
+            };
+            std::fs::write(path, rendered).expect("write metrics snapshot");
+            let outs = &snapshot.histograms["xfm_swap_out_latency_ns"];
+            let ins = &snapshot.histograms["xfm_swap_in_latency_ns"];
+            println!(
+                "telemetry snapshot written to {path}: {} swap-outs (p50 {} ns, p99 {} ns), \
+                 {} swap-ins (p50 {} ns, p99 {} ns), {} spans\n",
+                outs.count,
+                outs.p50,
+                outs.p99,
+                ins.count,
+                ins.p50,
+                ins.p99,
+                snapshot.spans.len()
+            );
+        }
     }
 
     if want("fig1") {

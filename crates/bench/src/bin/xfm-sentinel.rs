@@ -1,0 +1,165 @@
+//! `xfm-sentinel`: the bench-regression gate.
+//!
+//! Subcommands:
+//!
+//! - `check --baseline-dir <dir> --current-dir <dir> [--throughput-drop F]
+//!   [--ratio-drop F]` — diff every `BENCH_*.json` present in the
+//!   baseline dir against the same file in the current dir using the
+//!   tolerance bands from [`xfm_bench::sentinel`]; exit 1 on any
+//!   failure. `BENCH_faults.json` is optional in the baseline (older
+//!   checkouts); the other three are required.
+//! - `validate-trace <file.json>` — structurally validate a Chrome
+//!   `trace_event` export produced by `xfm-repro --trace-out`.
+//! - `validate-dump <file.json>` — structurally validate a flight
+//!   recorder post-mortem dump.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xfm_bench::sentinel::{self, SentinelReport, Tolerance};
+use xfm_telemetry::{chrome, flight};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: xfm-sentinel check --baseline-dir <dir> --current-dir <dir> \
+         [--throughput-drop F] [--ratio-drop F]\n       \
+         xfm-sentinel validate-trace <file.json>\n       \
+         xfm-sentinel validate-dump <file.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))
+}
+
+fn check(mut args: Vec<String>) -> ExitCode {
+    let Some(baseline_dir) = take_flag(&mut args, "--baseline-dir").map(PathBuf::from) else {
+        return usage();
+    };
+    let Some(current_dir) = take_flag(&mut args, "--current-dir").map(PathBuf::from) else {
+        return usage();
+    };
+    let mut tol = Tolerance::default();
+    if let Some(v) = take_flag(&mut args, "--throughput-drop") {
+        match v.parse() {
+            Ok(f) => tol.throughput_drop = f,
+            Err(_) => return usage(),
+        }
+    }
+    if let Some(v) = take_flag(&mut args, "--ratio-drop") {
+        match v.parse() {
+            Ok(f) => tol.ratio_drop = f,
+            Err(_) => return usage(),
+        }
+    }
+    if !args.is_empty() {
+        return usage();
+    }
+
+    type CheckFn = fn(&str, &str, Tolerance) -> SentinelReport;
+    let suites: [(&str, CheckFn, bool); 4] = [
+        ("BENCH_codec.json", sentinel::check_codec, true),
+        ("BENCH_swap.json", sentinel::check_swap, true),
+        ("BENCH_event.json", sentinel::check_event, true),
+        ("BENCH_faults.json", sentinel::check_faults, false),
+    ];
+
+    let mut reports = Vec::new();
+    for (name, run, required) in suites {
+        let base_path = baseline_dir.join(name);
+        if !base_path.exists() {
+            if required {
+                let mut r = SentinelReport::default();
+                r.errors
+                    .push(format!("baseline {} missing", base_path.display()));
+                reports.push(r);
+            } else {
+                println!("sentinel: {name}: no baseline, skipped");
+            }
+            continue;
+        }
+        let cur_path = current_dir.join(name);
+        let pair = read(&base_path).and_then(|b| read(&cur_path).map(|c| (b, c)));
+        match pair {
+            Ok((base, cur)) => {
+                let r = run(&base, &cur, tol);
+                println!(
+                    "sentinel: {name}: {} checks, {} failures, {} errors",
+                    r.checks.len(),
+                    r.failures().len(),
+                    r.errors.len()
+                );
+                reports.push(r);
+            }
+            Err(e) => {
+                let mut r = SentinelReport::default();
+                r.errors.push(e);
+                reports.push(r);
+            }
+        }
+    }
+
+    let all = sentinel::merge(reports);
+    print!("{}", all.render());
+    if all.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn validate_trace(path: &Path) -> ExitCode {
+    match read(path).and_then(|text| chrome::validate_chrome_trace(&text)) {
+        Ok(events) => {
+            println!("trace OK: {} events ({})", events, path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn validate_dump(path: &Path) -> ExitCode {
+    match read(path).and_then(|text| flight::validate_dump(&text)) {
+        Ok(summary) => {
+            println!(
+                "dump OK: reason={} events={} ({})",
+                summary.reason,
+                summary.events,
+                path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dump INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "check" => check(args),
+        "validate-trace" if args.len() == 1 => validate_trace(Path::new(&args[0])),
+        "validate-dump" if args.len() == 1 => validate_dump(Path::new(&args[0])),
+        _ => usage(),
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod metrics;
 pub mod replay;
+pub mod sentinel;
 
 use xfm_sim::ablation::{
     GranularityRow, PredictorRow, PrefetchSweepRow, RandomBudgetRow, RefreshModeRow,

@@ -1,0 +1,515 @@
+//! The bench-regression sentinel: diffs freshly generated
+//! `BENCH_codec.json` / `BENCH_swap.json` / `BENCH_event.json` /
+//! `BENCH_faults.json` exports against their committed baselines with
+//! tolerance bands, so a perf regression fails CI with a named metric
+//! instead of rotting silently in a JSON nobody re-reads.
+//!
+//! Throughput metrics (`*_pages_per_sec`, `events_per_sec`) may drop by
+//! at most [`Tolerance::throughput_drop`] relative to the baseline
+//! (machines differ; the band absorbs noise while still catching
+//! order-of-magnitude cliffs). Compression ratios may drop by at most
+//! [`Tolerance::ratio_drop`] — ratio is machine-independent, so the band
+//! is tight. Chaos-harness survival fields (`lost_pages`, fired faults)
+//! are structural: no band, they are simply required.
+//!
+//! The comparison is row-keyed, not index-keyed: a baseline row missing
+//! from the current export is itself a failure (coverage must not
+//! silently shrink), while extra current rows are fine (new codecs or
+//! shard counts extend the matrix).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use xfm_telemetry::json::{parse, JsonValue};
+
+/// Allowed relative drops before a metric fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Max relative drop for throughput metrics (0.5 = may halve).
+    pub throughput_drop: f64,
+    /// Max relative drop for compression ratios.
+    pub ratio_drop: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self {
+            throughput_drop: 0.5,
+            ratio_drop: 0.10,
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Which metric, e.g. `codec[auto/json].compress_pages_per_sec`.
+    pub metric: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// The floor `current` had to clear.
+    pub floor: f64,
+    /// Whether the metric cleared its floor.
+    pub pass: bool,
+}
+
+/// The outcome of one sentinel run.
+#[derive(Debug, Clone, Default)]
+pub struct SentinelReport {
+    /// Every compared metric, in comparison order.
+    pub checks: Vec<Check>,
+    /// Structural problems (missing rows, malformed values); any entry
+    /// fails the report.
+    pub errors: Vec<String>,
+}
+
+impl SentinelReport {
+    /// Whether every check passed and no structural error occurred.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty() && self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Failed checks only.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&Check> {
+        self.checks.iter().filter(|c| !c.pass).collect()
+    }
+
+    /// Human-readable summary (one line per failure, plus a tally).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.errors {
+            let _ = writeln!(out, "ERROR: {e}");
+        }
+        for c in self.checks.iter().filter(|c| !c.pass) {
+            let _ = writeln!(
+                out,
+                "FAIL: {} = {:.3} (baseline {:.3}, floor {:.3})",
+                c.metric, c.current, c.baseline, c.floor
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}: {} checks, {} failures, {} errors",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.checks.len(),
+            self.failures().len(),
+            self.errors.len()
+        );
+        out
+    }
+
+    /// Records a floor check: `current >= baseline * (1 - max_drop)`.
+    fn floor_check(&mut self, metric: String, baseline: f64, current: f64, max_drop: f64) {
+        let floor = baseline * (1.0 - max_drop);
+        self.checks.push(Check {
+            metric,
+            baseline,
+            current,
+            floor,
+            pass: current >= floor,
+        });
+    }
+
+    /// Records an exact-equality check (deterministic seeded fields).
+    fn exact_check(&mut self, metric: String, baseline: f64, current: f64) {
+        self.checks.push(Check {
+            metric,
+            baseline,
+            current,
+            floor: baseline,
+            pass: (current - baseline).abs() < f64::EPSILON.max(baseline.abs() * 1e-12),
+        });
+    }
+}
+
+/// Parses a JSON document, mapping parse failures into a one-error
+/// report message.
+fn parse_doc(label: &str, text: &str, report: &mut SentinelReport) -> Option<JsonValue> {
+    match parse(text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            report.errors.push(format!("{label}: {e}"));
+            None
+        }
+    }
+}
+
+fn num(v: &JsonValue, key: &str) -> Option<f64> {
+    v.get(key).and_then(JsonValue::as_f64)
+}
+
+/// Compares a `BENCH_codec.json` export against its baseline.
+///
+/// Every (codec, corpus) row of the baseline's `current` array must
+/// reappear in the fresh export with `compress_pages_per_sec` /
+/// `decompress_pages_per_sec` above the throughput floor and `ratio`
+/// above the ratio floor.
+#[must_use]
+pub fn check_codec(baseline: &str, current: &str, tol: Tolerance) -> SentinelReport {
+    let mut report = SentinelReport::default();
+    let (Some(base), Some(cur)) = (
+        parse_doc("baseline BENCH_codec.json", baseline, &mut report),
+        parse_doc("current BENCH_codec.json", current, &mut report),
+    ) else {
+        return report;
+    };
+    let rows = |doc: &JsonValue| -> BTreeMap<(String, String), BTreeMap<String, f64>> {
+        let mut m = BTreeMap::new();
+        for row in doc
+            .get("current")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+        {
+            let (Some(codec), Some(corpus)) = (
+                row.get("codec").and_then(JsonValue::as_str),
+                row.get("corpus").and_then(JsonValue::as_str),
+            ) else {
+                continue;
+            };
+            let mut vals = BTreeMap::new();
+            for k in [
+                "compress_pages_per_sec",
+                "decompress_pages_per_sec",
+                "ratio",
+            ] {
+                if let Some(v) = num(row, k) {
+                    vals.insert(k.to_string(), v);
+                }
+            }
+            m.insert((codec.to_string(), corpus.to_string()), vals);
+        }
+        m
+    };
+    let base_rows = rows(&base);
+    if base_rows.is_empty() {
+        report
+            .errors
+            .push("baseline BENCH_codec.json has no 'current' rows".into());
+        return report;
+    }
+    let cur_rows = rows(&cur);
+    for ((codec, corpus), bvals) in &base_rows {
+        let Some(cvals) = cur_rows.get(&(codec.clone(), corpus.clone())) else {
+            report.errors.push(format!(
+                "codec row ({codec}, {corpus}) missing from current export"
+            ));
+            continue;
+        };
+        for (k, &bv) in bvals {
+            let Some(&cv) = cvals.get(k) else {
+                report.errors.push(format!(
+                    "codec[{codec}/{corpus}].{k} missing from current export"
+                ));
+                continue;
+            };
+            let drop = if k == "ratio" {
+                tol.ratio_drop
+            } else {
+                tol.throughput_drop
+            };
+            report.floor_check(format!("codec[{codec}/{corpus}].{k}"), bv, cv, drop);
+        }
+    }
+    report
+}
+
+/// Compares a `BENCH_swap.json` export against its baseline: the CPU
+/// baseline throughput, and per-shard-count critical-path throughput
+/// and scaling speedups.
+#[must_use]
+pub fn check_swap(baseline: &str, current: &str, tol: Tolerance) -> SentinelReport {
+    let mut report = SentinelReport::default();
+    let (Some(base), Some(cur)) = (
+        parse_doc("baseline BENCH_swap.json", baseline, &mut report),
+        parse_doc("current BENCH_swap.json", current, &mut report),
+    ) else {
+        return report;
+    };
+    match (
+        num(&base, "baseline_cpu_backend_pages_per_sec"),
+        num(&cur, "baseline_cpu_backend_pages_per_sec"),
+    ) {
+        (Some(b), Some(c)) => report.floor_check(
+            "swap.baseline_cpu_backend_pages_per_sec".into(),
+            b,
+            c,
+            tol.throughput_drop,
+        ),
+        _ => report
+            .errors
+            .push("swap.baseline_cpu_backend_pages_per_sec missing".into()),
+    }
+    let rows = |doc: &JsonValue| -> BTreeMap<u64, (f64, f64)> {
+        let mut m = BTreeMap::new();
+        for row in doc
+            .get("scaling")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+        {
+            if let (Some(shards), Some(pps), Some(speedup)) = (
+                num(row, "shards"),
+                num(row, "pages_per_sec"),
+                num(row, "speedup_vs_1_shard"),
+            ) {
+                m.insert(shards as u64, (pps, speedup));
+            }
+        }
+        m
+    };
+    let base_rows = rows(&base);
+    if base_rows.is_empty() {
+        report
+            .errors
+            .push("baseline BENCH_swap.json has no 'scaling' rows".into());
+        return report;
+    }
+    let cur_rows = rows(&cur);
+    for (shards, (bpps, bspeed)) in &base_rows {
+        let Some((cpps, cspeed)) = cur_rows.get(shards) else {
+            report
+                .errors
+                .push(format!("swap scaling row for {shards} shards missing"));
+            continue;
+        };
+        report.floor_check(
+            format!("swap.scaling[{shards}].pages_per_sec"),
+            *bpps,
+            *cpps,
+            tol.throughput_drop,
+        );
+        report.floor_check(
+            format!("swap.scaling[{shards}].speedup_vs_1_shard"),
+            *bspeed,
+            *cspeed,
+            tol.throughput_drop,
+        );
+    }
+    report
+}
+
+/// Compares a `BENCH_event.json` export against its baseline: the event
+/// throughput floor and the wall-time ceiling the export itself carries.
+#[must_use]
+pub fn check_event(baseline: &str, current: &str, tol: Tolerance) -> SentinelReport {
+    let mut report = SentinelReport::default();
+    let (Some(base), Some(cur)) = (
+        parse_doc("baseline BENCH_event.json", baseline, &mut report),
+        parse_doc("current BENCH_event.json", current, &mut report),
+    ) else {
+        return report;
+    };
+    match (num(&base, "events_per_sec"), num(&cur, "events_per_sec")) {
+        (Some(b), Some(c)) => {
+            report.floor_check("event.events_per_sec".into(), b, c, tol.throughput_drop);
+        }
+        _ => report.errors.push("event.events_per_sec missing".into()),
+    }
+    if let (Some(wall), Some(ceiling)) =
+        (num(&cur, "sim_wall_ms"), num(&cur, "sim_wall_ceiling_ms"))
+    {
+        report.checks.push(Check {
+            metric: "event.sim_wall_ms (ceiling)".into(),
+            baseline: ceiling,
+            current: wall,
+            floor: ceiling,
+            pass: wall <= ceiling,
+        });
+    }
+    report
+}
+
+/// Compares a `BENCH_faults.json` export against its baseline.
+///
+/// The chaos harness is seeded and clocked virtually, so with the same
+/// plan its injection counts are deterministic: configuration and
+/// survival fields must match exactly, and `lost_pages` must be zero in
+/// both (the harness's own invariant, re-checked here so a tampered
+/// export cannot pass).
+#[must_use]
+pub fn check_faults(baseline: &str, current: &str, _tol: Tolerance) -> SentinelReport {
+    let mut report = SentinelReport::default();
+    let (Some(base), Some(cur)) = (
+        parse_doc("baseline BENCH_faults.json", baseline, &mut report),
+        parse_doc("current BENCH_faults.json", current, &mut report),
+    ) else {
+        return report;
+    };
+    for k in [
+        "pages",
+        "rounds",
+        "seed",
+        "total_injected",
+        "store_retries",
+        "corrupt_retries",
+        "degrade_transitions",
+        "lost_pages",
+    ] {
+        match (num(&base, k), num(&cur, k)) {
+            (Some(b), Some(c)) => report.exact_check(format!("faults.{k}"), b, c),
+            _ => report.errors.push(format!("faults.{k} missing")),
+        }
+    }
+    for (label, doc) in [("baseline", &base), ("current", &cur)] {
+        if let Some(l) = num(doc, "lost_pages") {
+            if l != 0.0 {
+                report
+                    .errors
+                    .push(format!("{label} BENCH_faults.json reports {l} lost pages"));
+            }
+        }
+        if num(doc, "total_injected") == Some(0.0) {
+            report
+                .errors
+                .push(format!("{label} BENCH_faults.json injected no faults"));
+        }
+    }
+    report
+}
+
+/// Merges reports (used by the binary to fold per-file results).
+#[must_use]
+pub fn merge(reports: Vec<SentinelReport>) -> SentinelReport {
+    let mut all = SentinelReport::default();
+    for r in reports {
+        all.checks.extend(r.checks);
+        all.errors.extend(r.errors);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_file(name: &str) -> String {
+        let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+    }
+
+    #[test]
+    fn committed_codec_baseline_passes_against_itself() {
+        let text = repo_file("BENCH_codec.json");
+        let r = check_codec(&text, &text, Tolerance::default());
+        assert!(r.passed(), "{}", r.render());
+        assert!(r.checks.len() >= 20, "expected a full codec matrix");
+    }
+
+    #[test]
+    fn committed_swap_and_event_baselines_pass_against_themselves() {
+        let swap = repo_file("BENCH_swap.json");
+        let r = check_swap(&swap, &swap, Tolerance::default());
+        assert!(r.passed(), "{}", r.render());
+        let event = repo_file("BENCH_event.json");
+        let r = check_event(&event, &event, Tolerance::default());
+        assert!(r.passed(), "{}", r.render());
+    }
+
+    #[test]
+    fn synthetic_throughput_regression_fails() {
+        let base = r#"{"current": [
+            {"codec": "xlz", "corpus": "json", "compress_pages_per_sec": 40000,
+             "decompress_pages_per_sec": 280000, "ratio": 2.8}
+        ]}"#;
+        let regressed = r#"{"current": [
+            {"codec": "xlz", "corpus": "json", "compress_pages_per_sec": 4000,
+             "decompress_pages_per_sec": 280000, "ratio": 2.8}
+        ]}"#;
+        let r = check_codec(base, regressed, Tolerance::default());
+        assert!(!r.passed());
+        let fails = r.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].metric, "codec[xlz/json].compress_pages_per_sec");
+        // A 10x drop lands far under the 50% floor.
+        assert!(fails[0].current < fails[0].floor);
+    }
+
+    #[test]
+    fn synthetic_ratio_regression_fails_inside_throughput_band() {
+        // 20% ratio drop: within the 50% throughput band but outside
+        // the 10% ratio band.
+        let base = r#"{"current": [
+            {"codec": "auto", "corpus": "json", "compress_pages_per_sec": 36000,
+             "decompress_pages_per_sec": 56000, "ratio": 3.77}
+        ]}"#;
+        let regressed = r#"{"current": [
+            {"codec": "auto", "corpus": "json", "compress_pages_per_sec": 36000,
+             "decompress_pages_per_sec": 56000, "ratio": 3.0}
+        ]}"#;
+        let r = check_codec(base, regressed, Tolerance::default());
+        assert!(!r.passed());
+        assert_eq!(r.failures()[0].metric, "codec[auto/json].ratio");
+    }
+
+    #[test]
+    fn missing_row_is_a_structural_error() {
+        let base = r#"{"current": [
+            {"codec": "xlz", "corpus": "json", "compress_pages_per_sec": 1.0,
+             "decompress_pages_per_sec": 1.0, "ratio": 1.0},
+            {"codec": "auto", "corpus": "json", "compress_pages_per_sec": 1.0,
+             "decompress_pages_per_sec": 1.0, "ratio": 1.0}
+        ]}"#;
+        let shrunk = r#"{"current": [
+            {"codec": "xlz", "corpus": "json", "compress_pages_per_sec": 1.0,
+             "decompress_pages_per_sec": 1.0, "ratio": 1.0}
+        ]}"#;
+        let r = check_codec(base, shrunk, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.errors[0].contains("(auto, json)"));
+        // Extra current rows are NOT an error (matrix may grow).
+        let r = check_codec(shrunk, base, Tolerance::default());
+        assert!(r.passed(), "{}", r.render());
+    }
+
+    #[test]
+    fn malformed_json_is_reported_not_panicked() {
+        let r = check_swap("{not json", "{}", Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.errors[0].contains("baseline BENCH_swap.json"));
+    }
+
+    #[test]
+    fn event_wall_ceiling_is_enforced() {
+        let base =
+            r#"{"events_per_sec": 1000000, "sim_wall_ms": 50, "sim_wall_ceiling_ms": 30000}"#;
+        let slow =
+            r#"{"events_per_sec": 900000, "sim_wall_ms": 60000, "sim_wall_ceiling_ms": 30000}"#;
+        let r = check_event(base, slow, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r
+            .failures()
+            .iter()
+            .any(|c| c.metric.contains("sim_wall_ms")));
+    }
+
+    #[test]
+    fn faults_fields_must_match_exactly_and_survive() {
+        let base = r#"{"pages": 512, "rounds": 4, "seed": 12648430, "total_injected": 900,
+            "store_retries": 10, "corrupt_retries": 12, "degrade_transitions": 3,
+            "lost_pages": 0}"#;
+        let r = check_faults(base, base, Tolerance::default());
+        assert!(r.passed(), "{}", r.render());
+        let drifted = base.replace("\"corrupt_retries\": 12", "\"corrupt_retries\": 13");
+        let r = check_faults(base, &drifted, Tolerance::default());
+        assert!(!r.passed());
+        let lossy = base.replace("\"lost_pages\": 0", "\"lost_pages\": 2");
+        let r = check_faults(&lossy, &lossy, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.errors.iter().any(|e| e.contains("lost pages")));
+    }
+
+    #[test]
+    fn merge_folds_checks_and_errors() {
+        let a = check_swap("{not json", "{}", Tolerance::default());
+        let text = repo_file("BENCH_event.json");
+        let b = check_event(&text, &text, Tolerance::default());
+        let m = merge(vec![a, b.clone()]);
+        assert!(!m.passed());
+        assert_eq!(m.checks.len(), b.checks.len());
+        assert!(!m.errors.is_empty());
+    }
+}

@@ -25,6 +25,49 @@ pub enum CodecKind {
     SameFilled,
 }
 
+impl CodecKind {
+    /// Stable lowercase name (used in telemetry exposition).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            CodecKind::XDeflate => "xdeflate",
+            CodecKind::Xlz => "xlz",
+            CodecKind::XDeflateFse => "xdef_fse",
+            CodecKind::Auto => "auto",
+            CodecKind::Raw => "raw",
+            CodecKind::SameFilled => "same_filled",
+        }
+    }
+
+    /// Stable wire code (used as the `aux` datum of `codec_route`
+    /// lifecycle events).
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            CodecKind::XDeflate => 0,
+            CodecKind::Xlz => 1,
+            CodecKind::XDeflateFse => 2,
+            CodecKind::Auto => 3,
+            CodecKind::Raw => 4,
+            CodecKind::SameFilled => 5,
+        }
+    }
+
+    /// Inverse of [`CodecKind::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => CodecKind::XDeflate,
+            1 => CodecKind::Xlz,
+            2 => CodecKind::XDeflateFse,
+            3 => CodecKind::Auto,
+            4 => CodecKind::Raw,
+            5 => CodecKind::SameFilled,
+            _ => return None,
+        })
+    }
+}
+
 /// A lossless compressor/decompressor.
 ///
 /// Implementations append to the destination vector and return the number

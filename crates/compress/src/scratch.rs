@@ -53,4 +53,154 @@ impl Scratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Pre-warms this scratch for `codec` by compressing and
+    /// decompressing representative pages through it.
+    ///
+    /// Lazy sizing means the first few real pages through a fresh
+    /// scratch pay every buffer growth and table build — the documented
+    /// ~6–12% fresh-vs-warm gap in `BENCH_codec.json`. Backends call
+    /// this once at construction so the first *real* page already runs
+    /// at steady-state speed. Three synthetic 4 KiB pages cover the
+    /// routes an [`crate::AutoCodec`] can take (text-like → FSE with
+    /// encode *and* decode tables, run-heavy → xlz, high-entropy →
+    /// raw), which also sizes every buffer a single-route codec needs.
+    ///
+    /// Returns the number of pages warmed through the codec (0 if any
+    /// round-trip failed — warming is best-effort and must never sink a
+    /// backend construction).
+    pub fn warm(&mut self, codec: &dyn crate::codec::Codec) -> usize {
+        const PAGE: usize = 4096;
+        // Text-like: moderate entropy with match structure → FSE route.
+        let text: Vec<u8> = b"the quick brown fox jumps over the lazy dog 0123456789 "
+            .iter()
+            .copied()
+            .cycle()
+            .take(PAGE)
+            .collect();
+        // Near-zero page (one run plus a marker byte) → xlz route.
+        let mut runs = vec![0u8; PAGE];
+        runs[PAGE - 1] = 1;
+        // High-entropy: xorshift noise → raw route.
+        let mut noise = Vec::with_capacity(PAGE);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        while noise.len() < PAGE {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            noise.extend_from_slice(&state.to_le_bytes());
+        }
+        noise.truncate(PAGE);
+
+        let mut compressed = Vec::with_capacity(PAGE + 64);
+        let mut restored = Vec::with_capacity(PAGE);
+        let mut warmed = 0usize;
+        for page in [&text, &runs, &noise] {
+            compressed.clear();
+            restored.clear();
+            if codec.compress_into(page, &mut compressed, self).is_err() {
+                return warmed;
+            }
+            if codec
+                .decompress_into(&compressed, &mut restored, self)
+                .is_err()
+                || &restored != page
+            {
+                return warmed;
+            }
+            warmed += 1;
+        }
+        warmed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auto::{block_route, TAG_FSE, TAG_RAW, TAG_XLZ};
+    use crate::codec::{Codec, CodecKind};
+    use crate::{AutoCodec, XDeflate, XDeflateFse, Xlz};
+
+    #[test]
+    fn warm_round_trips_every_codec() {
+        let codecs: [&dyn Codec; 4] = [
+            &AutoCodec::default(),
+            &XDeflate::default(),
+            &XDeflateFse::default(),
+            &Xlz::default(),
+        ];
+        for codec in codecs {
+            let mut scratch = Scratch::new();
+            assert_eq!(scratch.warm(codec), 3, "warm failed for {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn warm_pages_cover_all_auto_routes() {
+        // The three synthetic pages must actually exercise raw, xlz,
+        // and FSE under AutoCodec, or the FSE decode tables stay cold.
+        let codec = AutoCodec::default();
+        let mut scratch = Scratch::new();
+        assert_eq!(scratch.warm(&codec), 3);
+        // Reconstruct the same pages and probe their routes.
+        const PAGE: usize = 4096;
+        let text: Vec<u8> = b"the quick brown fox jumps over the lazy dog 0123456789 "
+            .iter()
+            .copied()
+            .cycle()
+            .take(PAGE)
+            .collect();
+        let mut runs = vec![0u8; PAGE];
+        runs[PAGE - 1] = 1;
+        let mut noise = Vec::with_capacity(PAGE);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        while noise.len() < PAGE {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            noise.extend_from_slice(&state.to_le_bytes());
+        }
+        noise.truncate(PAGE);
+        let mut tags = Vec::new();
+        for page in [&text, &runs, &noise] {
+            let mut out = Vec::new();
+            codec.compress_into(page, &mut out, &mut scratch).unwrap();
+            tags.push(out[0]);
+        }
+        assert!(tags.contains(&TAG_FSE), "no page routed to FSE: {tags:?}");
+        assert!(tags.contains(&TAG_XLZ), "no page routed to xlz: {tags:?}");
+        assert!(tags.contains(&TAG_RAW), "no page routed raw: {tags:?}");
+        assert_eq!(block_route(&[TAG_FSE]), Some(CodecKind::XDeflateFse));
+    }
+
+    #[test]
+    fn warm_scratch_compresses_identically_to_fresh() {
+        // Warming must not perturb subsequent output: the scratch
+        // contract says compress_into output is independent of prior
+        // scratch contents.
+        let codec = AutoCodec::default();
+        let page: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let mut fresh = Scratch::new();
+        let mut warmed = Scratch::new();
+        warmed.warm(&codec);
+        let mut out_fresh = Vec::new();
+        let mut out_warm = Vec::new();
+        codec
+            .compress_into(&page, &mut out_fresh, &mut fresh)
+            .unwrap();
+        codec
+            .compress_into(&page, &mut out_warm, &mut warmed)
+            .unwrap();
+        assert_eq!(out_fresh, out_warm);
+    }
+
+    #[test]
+    fn codec_kind_codes_round_trip() {
+        for code in 0..6u8 {
+            let kind = CodecKind::from_code(code).unwrap();
+            assert_eq!(kind.code(), code);
+            assert!(!kind.name().is_empty());
+        }
+        assert_eq!(CodecKind::from_code(6), None);
+    }
 }

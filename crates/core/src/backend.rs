@@ -40,12 +40,16 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use xfm_compress::{Codec, CodecKind, CostModel, XDeflate};
+use xfm_event::ClockMirror;
 use xfm_faults::{DegradeConfig, DegradeController, DegradedMode, FaultInjector, RetryPolicy};
 use xfm_sfm::backend::{BackendStats, ExecutedOn, SfmConfig, SwapOutcome, SwapPlane};
 use xfm_sfm::table::{SfmEntry, SfmTable};
 use xfm_sfm::zpool::{CompactReport, Zpool, ZpoolStats};
+use xfm_telemetry::lifecycle::NO_SHARD;
 use xfm_telemetry::swap_metrics::Stopwatch;
-use xfm_telemetry::{Cause, Gauge, Registry, SwapMetrics, SwapStage};
+use xfm_telemetry::{
+    Cause, FlightRecorder, Gauge, LifecycleStage, Registry, SwapMetrics, SwapStage,
+};
 use xfm_types::{
     ByteSize, Cycles, Error, Nanos, PageNumber, Result, RowId, SwapError, SwapResult, PAGE_SIZE,
 };
@@ -67,6 +71,10 @@ struct XfmTelemetry {
     rank_windows: Vec<Arc<Gauge>>,
     /// `xfm_degraded_mode`: the [`DegradedMode::level`] encoding.
     degraded_mode: Arc<Gauge>,
+    /// The registry's shared clock mirror: every [`XfmInner::advance_clock`]
+    /// publishes the simulated time so lifecycle events carry virtual
+    /// timestamps consistent with the backend's clock.
+    mirror: ClockMirror,
 }
 
 /// Configuration for the XFM backend.
@@ -146,6 +154,10 @@ struct XfmInner {
     retry: RetryPolicy,
     /// Sticky degraded-mode state machine gating offload attempts.
     degrade: DegradeController,
+    /// Post-mortem flight recorder; `None` until
+    /// [`XfmBackend::attach_flight_recorder`]. Dumps fire on retry
+    /// exhaustion and degraded-mode transitions.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl std::fmt::Debug for XfmBackend {
@@ -200,6 +212,7 @@ impl XfmBackend {
                 faults: None,
                 retry: RetryPolicy::none(),
                 degrade: DegradeController::new(DegradeConfig::default()),
+                flight: None,
                 config,
             }),
         })
@@ -252,12 +265,25 @@ impl XfmBackend {
         let degraded_mode = registry.gauge("xfm_degraded_mode");
         let mut inner = self.inner.lock();
         degraded_mode.set(f64::from(inner.degrade.mode().level()));
+        let mirror = registry.clock_mirror();
+        mirror.publish(inner.now);
         inner.telemetry = Some(XfmTelemetry {
             metrics: SwapMetrics::register(registry),
             rank_util,
             rank_windows,
             degraded_mode,
+            mirror,
         });
+    }
+
+    /// Attaches a post-mortem flight recorder. From then on, a retry
+    /// exhaustion or a degraded-mode transition triggers an automatic
+    /// dump of the trailing lifecycle events (see
+    /// [`xfm_telemetry::FlightRecorder`]); the recorder should wrap the
+    /// same registry passed to [`XfmBackend::attach_telemetry`] so the
+    /// dumped trail is the one this backend writes.
+    pub fn attach_flight_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.inner.lock().flight = Some(recorder);
     }
 
     /// Arms fault-injection hooks across the whole stack: every driver's
@@ -510,8 +536,30 @@ impl SwapPlane for XfmBackend {
 }
 
 impl XfmInner {
+    /// Records a lifecycle event on the attached trail (no-op when
+    /// untraced). The core plane is unsharded, so events carry
+    /// [`NO_SHARD`].
+    fn lifecycle(&self, stage: LifecycleStage, cause: Cause, page: u64, aux: u64, dur_ns: u64) {
+        if let Some(t) = &self.telemetry {
+            t.metrics
+                .lifecycle_event(stage, cause, page, NO_SHARD, aux, dur_ns);
+        }
+    }
+
+    /// Fires a flight-recorder incident (no-op when unattached). The
+    /// detail string is built lazily so an unattached recorder costs
+    /// nothing — not even the formatting allocation.
+    fn incident(&self, reason: &str, detail: impl FnOnce() -> String) {
+        if let Some(f) = &self.flight {
+            f.incident(reason, &detail());
+        }
+    }
+
     fn advance_clock(&mut self, now: Nanos) {
         self.now = self.now.max(now);
+        if let Some(t) = &self.telemetry {
+            t.mirror.publish(self.now);
+        }
         for d in &mut self.drivers {
             for event in d.poll(now) {
                 if let NmaEvent::Fallback {
@@ -548,6 +596,18 @@ impl XfmInner {
                             0,
                             Cause::RefreshWindowMiss,
                         );
+                        let lstage = match kind {
+                            OffloadKind::Compress => LifecycleStage::Compress,
+                            OffloadKind::Decompress => LifecycleStage::Decompress,
+                        };
+                        t.metrics.lifecycle_event(
+                            lstage,
+                            Cause::RefreshWindowMiss,
+                            page.index(),
+                            NO_SHARD,
+                            at.as_ns(),
+                            0,
+                        );
                     }
                 }
             }
@@ -573,12 +633,24 @@ impl XfmInner {
         }
     }
 
-    /// Records a degraded-mode transition: gauge + annotation span.
+    /// Records a degraded-mode transition: gauge + annotation span +
+    /// lifecycle event, then fires a flight-recorder incident so the
+    /// events leading up to the transition are preserved post-mortem.
     fn note_mode_change(&mut self, page: PageNumber, stage: SwapStage, mode: DegradedMode) {
         if let Some(t) = &self.telemetry {
             t.degraded_mode.set(f64::from(mode.level()));
         }
         self.span_cause(stage, page, Cause::Degraded);
+        self.lifecycle(
+            LifecycleStage::ModeChange,
+            Cause::Degraded,
+            page.index(),
+            u64::from(mode.level()),
+            0,
+        );
+        self.incident("degraded-mode-transition", || {
+            format!("mode changed to {mode:?} (level {})", mode.level())
+        });
     }
 
     /// Attempts the compress offload (one share per DIMM), retrying
@@ -603,12 +675,37 @@ impl XfmInner {
             if !SwapError::from(e).retryable || attempt >= self.retry.max_retries {
                 if attempt > 0 {
                     self.span_cause(SwapStage::Compress, page, Cause::RetryExhausted);
+                    self.lifecycle(
+                        LifecycleStage::Retry,
+                        Cause::RetryExhausted,
+                        page.index(),
+                        u64::from(attempt),
+                        0,
+                    );
+                    self.incident("retry-exhausted-compress", || {
+                        format!("page {page} gave up after {attempt} retries")
+                    });
                 }
                 return false;
             }
             attempt += 1;
             self.span_cause(SwapStage::Compress, page, Cause::Retry);
-            let resume = self.now + self.retry.backoff_for(attempt);
+            self.lifecycle(
+                LifecycleStage::Retry,
+                Cause::Retry,
+                page.index(),
+                u64::from(attempt),
+                0,
+            );
+            let backoff = self.retry.backoff_for(attempt);
+            self.lifecycle(
+                LifecycleStage::Backoff,
+                Cause::Retry,
+                page.index(),
+                u64::from(attempt),
+                backoff.as_ns(),
+            );
+            let resume = self.now + backoff;
             self.advance_clock(resume);
         }
     }
@@ -637,12 +734,37 @@ impl XfmInner {
             if !SwapError::from(e).retryable || attempt >= self.retry.max_retries {
                 if attempt > 0 {
                     self.span_cause(SwapStage::Decompress, page, Cause::RetryExhausted);
+                    self.lifecycle(
+                        LifecycleStage::Retry,
+                        Cause::RetryExhausted,
+                        page.index(),
+                        u64::from(attempt),
+                        0,
+                    );
+                    self.incident("retry-exhausted-decompress", || {
+                        format!("page {page} gave up after {attempt} retries")
+                    });
                 }
                 return Ok(false);
             }
             attempt += 1;
             self.span_cause(SwapStage::Decompress, page, Cause::Retry);
-            let resume = self.now + self.retry.backoff_for(attempt);
+            self.lifecycle(
+                LifecycleStage::Retry,
+                Cause::Retry,
+                page.index(),
+                u64::from(attempt),
+                0,
+            );
+            let backoff = self.retry.backoff_for(attempt);
+            self.lifecycle(
+                LifecycleStage::Backoff,
+                Cause::Retry,
+                page.index(),
+                u64::from(attempt),
+                backoff.as_ns(),
+            );
+            let resume = self.now + backoff;
             self.advance_clock(resume);
         }
     }
@@ -685,7 +807,31 @@ impl XfmInner {
                 decompress_ns,
                 cause,
             );
+            t.metrics.lifecycle_event(
+                LifecycleStage::Decompress,
+                cause,
+                page.index(),
+                NO_SHARD,
+                0,
+                decompress_ns,
+            );
         }
+        t.metrics.lifecycle_event(
+            LifecycleStage::Fault,
+            cause,
+            page.index(),
+            NO_SHARD,
+            0,
+            total,
+        );
+        t.metrics.lifecycle_event(
+            LifecycleStage::Fetch,
+            Cause::Ok,
+            page.index(),
+            NO_SHARD,
+            0,
+            fetch_ns,
+        );
     }
 
     fn cpu_swap_out_outcome(&self, stored_len: usize) -> SwapOutcome {
@@ -819,6 +965,30 @@ impl XfmInner {
             t.metrics
                 .swap_out_ns
                 .record(sw.as_ref().map_or(0, Stopwatch::elapsed_ns));
+            t.metrics.lifecycle_event(
+                LifecycleStage::CodecRoute,
+                cause,
+                page.index(),
+                NO_SHARD,
+                u64::from(codec_kind.code()),
+                0,
+            );
+            t.metrics.lifecycle_event(
+                LifecycleStage::Compress,
+                cause,
+                page.index(),
+                NO_SHARD,
+                u64::from(stored_len),
+                compress_ns,
+            );
+            t.metrics.lifecycle_event(
+                LifecycleStage::ZpoolStore,
+                cause,
+                page.index(),
+                NO_SHARD,
+                u64::from(stored_len),
+                store_ns,
+            );
         }
         Ok(outcome)
     }
@@ -953,6 +1123,13 @@ impl XfmInner {
         let got = xfm_faults::checksum(&stored);
         if got != entry.checksum {
             self.span_cause(SwapStage::Fetch, page, Cause::ChecksumMismatch);
+            self.lifecycle(
+                LifecycleStage::Fault,
+                Cause::ChecksumMismatch,
+                page.index(),
+                u64::from(entry.compressed_len),
+                fetch_ns,
+            );
             return Err(Error::ChecksumMismatch {
                 page: page.index(),
                 expected: entry.checksum,

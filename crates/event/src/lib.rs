@@ -122,6 +122,67 @@ impl VirtualClock {
     pub fn advance_by(&mut self, delta: Nanos) {
         self.now = self.now.saturating_add(delta);
     }
+
+    /// Publish the clock's current time to a shared [`ClockMirror`].
+    ///
+    /// [`VirtualClock`] is a plain `Copy` value owned by one driver;
+    /// observers on other threads (telemetry, tracing) read the mirror
+    /// instead. Call this after each advance that observers should see.
+    pub fn publish_to(&self, mirror: &ClockMirror) {
+        mirror.publish(self.now);
+    }
+}
+
+/// A shared, lock-free read-only view of a [`VirtualClock`].
+///
+/// The driver that owns the clock calls [`ClockMirror::publish`] (or
+/// [`VirtualClock::publish_to`]) after advancing; any number of observer
+/// threads read [`ClockMirror::now_ns`] with a single relaxed atomic
+/// load. Like the clock itself, the mirror is monotonic: publishing an
+/// earlier time than already published is a no-op.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_event::{ClockMirror, VirtualClock};
+/// use xfm_types::Nanos;
+///
+/// let mirror = ClockMirror::new();
+/// let mut clock = VirtualClock::new();
+/// clock.advance_to(Nanos::from_us(3));
+/// clock.publish_to(&mirror);
+/// assert_eq!(mirror.now_ns(), 3_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClockMirror {
+    ns: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl ClockMirror {
+    /// A mirror at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish `now` to all observers (monotonic: earlier times are
+    /// ignored).
+    pub fn publish(&self, now: Nanos) {
+        self.ns
+            .fetch_max(now.as_ns(), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The most recently published virtual time, in nanoseconds.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.ns.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The most recently published virtual time.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        Nanos::from_ns(self.now_ns())
+    }
 }
 
 /// A scheduled event popped from an [`EventQueue`].
@@ -400,6 +461,19 @@ mod tests {
         assert_eq!(c.now(), Nanos::from_ns(50));
         c.advance_by(Nanos::from_ns(5));
         assert_eq!(c.now(), Nanos::from_ns(55));
+    }
+
+    #[test]
+    fn clock_mirror_is_monotonic_and_shared() {
+        let m = ClockMirror::new();
+        let m2 = m.clone();
+        m.publish(Nanos::from_ns(40));
+        m.publish(Nanos::from_ns(10)); // ignored: mirror is monotonic
+        assert_eq!(m2.now_ns(), 40);
+        assert_eq!(m2.now(), Nanos::from_ns(40));
+        let c = VirtualClock::starting_at(Nanos::from_ns(90));
+        c.publish_to(&m);
+        assert_eq!(m2.now_ns(), 90);
     }
 
     #[test]

@@ -96,6 +96,11 @@ impl CpuBackend {
     /// Creates a backend with an explicit codec and cost model.
     #[must_use]
     pub fn with_codec(config: SfmConfig, codec: Box<dyn Codec + Send>, cost: CostModel) -> Self {
+        // Pre-warm the scratch so the first real page already runs at
+        // steady-state speed (lazy buffer sizing otherwise costs the
+        // documented fresh-vs-warm gap on the first few pages).
+        let mut scratch = Scratch::new();
+        scratch.warm(&*codec);
         Self {
             config,
             inner: Mutex::new(CpuInner {
@@ -105,7 +110,7 @@ impl CpuBackend {
                 config,
                 codec,
                 cost,
-                scratch: Scratch::new(),
+                scratch,
                 comp_buf: Vec::with_capacity(PAGE_SIZE),
                 telemetry: None,
                 faults: None,

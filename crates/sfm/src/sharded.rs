@@ -39,7 +39,7 @@ use xfm_compress::{
 };
 use xfm_faults::{FaultInjector, FaultSite};
 use xfm_telemetry::swap_metrics::Stopwatch;
-use xfm_telemetry::{Cause, Registry, ShardMetrics, SwapMetrics, SwapStage};
+use xfm_telemetry::{Cause, LifecycleStage, Registry, ShardMetrics, SwapMetrics, SwapStage};
 use xfm_types::{
     ByteSize, Cycles, Error, Nanos, PageNumber, Result, SwapError, SwapResult, PAGE_SIZE,
 };
@@ -143,6 +143,11 @@ pub struct ShardedSfm {
     /// Fault-injection hooks; `None` until [`ShardedSfm::attach_faults`],
     /// and the hot path pays one pointer test while detached.
     faults: Option<Arc<FaultInjector>>,
+    /// Wall time spent pre-warming every shard's scratch at construction.
+    warm_ns: u64,
+    /// Synthetic pages round-tripped while pre-warming (3 per shard when
+    /// warming succeeds).
+    warm_pages: u64,
 }
 
 impl std::fmt::Debug for ShardedSfm {
@@ -187,8 +192,15 @@ impl ShardedSfm {
             "shard count {} must be a nonzero power of two",
             config.shards
         );
+        // Pre-warm every shard's scratch so the first real page through
+        // each shard already runs at steady-state speed (lazy buffer
+        // sizing otherwise costs the documented fresh-vs-warm gap).
+        let warm_sw = Stopwatch::start();
+        let mut warm_pages = 0u64;
         let shards = (0..config.shards)
             .map(|_| {
+                let mut scratch = Scratch::new();
+                warm_pages += scratch.warm(&*codec) as u64;
                 Mutex::new(Shard {
                     // Every pool is created with the full region capacity;
                     // the *global* budget below is what actually limits
@@ -199,12 +211,13 @@ impl ShardedSfm {
                     resident: BTreeMap::new(),
                     far: BTreeSet::new(),
                     stats: BackendStats::default(),
-                    scratch: Scratch::new(),
+                    scratch,
                     comp_buf: Vec::with_capacity(PAGE_SIZE),
                     host_pages: 0,
                 })
             })
             .collect();
+        let warm_ns = warm_sw.elapsed_ns();
         Self {
             shards,
             mask: (config.shards - 1) as u64,
@@ -222,12 +235,26 @@ impl ShardedSfm {
             }),
             telemetry: None,
             faults: None,
+            warm_ns,
+            warm_pages,
         }
     }
 
     /// Attaches the standard swap metrics plus per-shard series
     /// (`xfm_shard_*{shard="i"}` and the `xfm_shard_imbalance` gauge).
+    ///
+    /// The construction-time scratch warm-up is recorded retroactively
+    /// on the lifecycle trail (telemetry attaches after construction),
+    /// with the warmed-page count as the aux datum.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
+        registry.lifecycle().record(
+            LifecycleStage::Warmup,
+            Cause::Ok,
+            0,
+            xfm_telemetry::lifecycle::NO_SHARD,
+            self.warm_pages,
+            self.warm_ns,
+        );
         self.telemetry = Some(Telemetry {
             swap: SwapMetrics::register(registry),
             shards: ShardMetrics::register(registry, self.shards.len()),
@@ -329,6 +356,14 @@ impl ShardedSfm {
                     total,
                     Cause::SameFilled,
                 );
+                t.swap.lifecycle_event(
+                    LifecycleStage::Compress,
+                    Cause::SameFilled,
+                    page.index(),
+                    si as u32,
+                    u64::from(fill),
+                    total,
+                );
                 t.shards.swap_outs[si].inc();
                 t.shards.busy_ns[si].add(total);
                 t.shards.entries[si].set(s.table.len() as f64);
@@ -419,6 +454,14 @@ impl ShardedSfm {
                         fetch_ns,
                         Cause::ChecksumMismatch,
                     );
+                    t.swap.lifecycle_event(
+                        LifecycleStage::Fault,
+                        Cause::ChecksumMismatch,
+                        page.index(),
+                        si as u32,
+                        u64::from(entry.compressed_len),
+                        fetch_ns,
+                    );
                 }
                 return Err(Error::ChecksumMismatch {
                     page: page.index(),
@@ -483,6 +526,22 @@ impl ShardedSfm {
             t.swap.span(SwapStage::Fault, page.index(), 0, total, cause);
             t.swap
                 .span(SwapStage::Fetch, page.index(), 0, fetch_ns, Cause::Ok);
+            t.swap.lifecycle_event(
+                LifecycleStage::Fault,
+                cause,
+                page.index(),
+                si as u32,
+                u64::from(entry.compressed_len),
+                total,
+            );
+            t.swap.lifecycle_event(
+                LifecycleStage::Fetch,
+                Cause::Ok,
+                page.index(),
+                si as u32,
+                u64::from(entry.compressed_len),
+                fetch_ns,
+            );
             if !matches!(cause, Cause::SameFilled | Cause::StoredRaw) {
                 t.swap.decompress_ns.record(decomp_ns);
                 t.swap.span(
@@ -491,6 +550,14 @@ impl ShardedSfm {
                     fetch_ns,
                     decomp_ns,
                     Cause::Ok,
+                );
+                t.swap.lifecycle_event(
+                    LifecycleStage::Decompress,
+                    Cause::Ok,
+                    page.index(),
+                    si as u32,
+                    u64::from(entry.compressed_len),
+                    decomp_ns,
                 );
             }
             t.shards.swap_ins[si].inc();
@@ -639,12 +706,21 @@ impl ShardedSfm {
                 Ok((h, extra)) => (h, extra, bytes.len(), xfm_faults::checksum(bytes)),
                 Err(e) => {
                     if let Some(t) = &self.telemetry {
+                        let ns = ssw.map_or(0, |s| s.elapsed_ns());
                         t.swap.span(
                             SwapStage::ZpoolStore,
                             page.index(),
                             0,
-                            ssw.map_or(0, |s| s.elapsed_ns()),
+                            ns,
                             Cause::RegionFull,
+                        );
+                        t.swap.lifecycle_event(
+                            LifecycleStage::ZpoolStore,
+                            Cause::RegionFull,
+                            page.index(),
+                            si as u32,
+                            bytes.len() as u64,
+                            ns,
                         );
                     }
                     return Err(e);
@@ -691,6 +767,16 @@ impl ShardedSfm {
                 Some(CodecKind::XDeflateFse) => t.swap.codec_route_fse.inc(),
                 _ => {}
             }
+            if let Some(route) = auto_route {
+                t.swap.lifecycle_event(
+                    LifecycleStage::CodecRoute,
+                    Cause::Ok,
+                    page.index(),
+                    si as u32,
+                    u64::from(route.code()),
+                    0,
+                );
+            }
             if compressed.is_none() {
                 // The batched pipeline records compression latency from
                 // inside the worker pool instead.
@@ -698,6 +784,14 @@ impl ShardedSfm {
                 t.swap
                     .span(SwapStage::Compress, page.index(), 0, compress_ns, cause);
             }
+            t.swap.lifecycle_event(
+                LifecycleStage::Compress,
+                cause,
+                page.index(),
+                si as u32,
+                comp_len as u64,
+                compress_ns,
+            );
             t.swap.zpool_store_ns.record(store_ns);
             t.swap.swap_out_ns.record(total);
             t.swap.span(
@@ -706,6 +800,14 @@ impl ShardedSfm {
                 compress_ns,
                 store_ns,
                 Cause::Ok,
+            );
+            t.swap.lifecycle_event(
+                LifecycleStage::ZpoolStore,
+                cause,
+                page.index(),
+                si as u32,
+                stored_len as u64,
+                store_ns,
             );
             t.shards.swap_outs[si].inc();
             t.shards.busy_ns[si].add(total);
@@ -821,7 +923,8 @@ impl ShardedSfm {
         let mut pages = Vec::with_capacity(cold.len());
         for &(last, p) in &cold {
             let pn = PageNumber::new(p);
-            let mut s = self.shards[self.shard_of(pn)].lock();
+            let si = self.shard_of(pn);
+            let mut s = self.shards[si].lock();
             // Re-check: the page may have been touched (or demoted by a
             // racing scanner) since the candidate was collected.
             if s.resident.get(&p) == Some(&last) {
@@ -829,6 +932,16 @@ impl ShardedSfm {
                 s.far.insert(p);
                 self.far_pages_total.fetch_add(1, Ordering::Relaxed);
                 pages.push(pn);
+                if let Some(t) = &self.telemetry {
+                    t.swap.lifecycle_event(
+                        LifecycleStage::ColdScanSelect,
+                        Cause::Ok,
+                        p,
+                        si as u32,
+                        now.saturating_sub(last).as_ns(),
+                        0,
+                    );
+                }
             }
         }
         if let Some(t) = &self.telemetry {
@@ -1087,6 +1200,67 @@ mod tests {
                 assert_eq!(restored, page, "{} shards, {}", shards, corpus.name());
             }
             assert_eq!(sfm.pool_stats().objects, 0);
+        }
+    }
+
+    #[test]
+    fn lifecycle_trail_reconstructs_page_story() {
+        use xfm_compress::AutoCodec;
+
+        let mut sfm = ShardedSfm::with_codec(
+            ShardedSfmConfig {
+                sfm: SfmConfig {
+                    region_capacity: ByteSize::from_mib(4),
+                    ..SfmConfig::default()
+                },
+                scan: ColdScanConfig::default(),
+                shards: 2,
+            },
+            Arc::new(AutoCodec::default()),
+            CostModel::paper_average(),
+        );
+        let registry = Registry::new();
+        sfm.attach_telemetry(&registry);
+
+        // Warm-up is recorded retroactively at attach time: 3 pages per
+        // shard round-tripped through the codec during construction.
+        let warmups: Vec<_> = registry
+            .lifecycle()
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.stage == LifecycleStage::Warmup)
+            .collect();
+        assert_eq!(warmups.len(), 1);
+        assert_eq!(warmups[0].aux, 6, "3 warm pages x 2 shards");
+
+        let page = page_of(Corpus::EnglishText, 11);
+        sfm.swap_out(PageNumber::new(11), &page).unwrap();
+        sfm.touch(PageNumber::new(11), Nanos::ZERO);
+        let cold = sfm.scan(Nanos::from_secs(600));
+        assert_eq!(cold, vec![PageNumber::new(11)]);
+        sfm.swap_in(PageNumber::new(11), false).unwrap();
+
+        let story: Vec<LifecycleStage> = registry
+            .lifecycle()
+            .page_history(11)
+            .into_iter()
+            .map(|e| e.stage)
+            .collect();
+        for stage in [
+            LifecycleStage::CodecRoute,
+            LifecycleStage::Compress,
+            LifecycleStage::ZpoolStore,
+            LifecycleStage::ColdScanSelect,
+            LifecycleStage::Fault,
+            LifecycleStage::Fetch,
+            LifecycleStage::Decompress,
+        ] {
+            assert!(story.contains(&stage), "missing {stage:?} in {story:?}");
+        }
+        // Events for one page all carry that page's owning shard.
+        let si = sfm.shard_of(PageNumber::new(11)) as u32;
+        for e in registry.lifecycle().page_history(11) {
+            assert_eq!(e.shard, si);
         }
     }
 

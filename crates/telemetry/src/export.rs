@@ -31,6 +31,43 @@ pub struct HistogramSnapshot {
     pub p99: u64,
 }
 
+impl HistogramSnapshot {
+    /// Combines two snapshots as if their populations were recorded
+    /// into one histogram. `count` and `sum` saturate at `u64::MAX`
+    /// (matching [`crate::Histogram::merge`]); quantiles are the
+    /// count-weighted worse (larger) of the two — exact aggregation
+    /// needs the bucket vectors, which snapshots deliberately drop, so
+    /// this is the conservative summary used by cross-shard reports.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let count = self.count.saturating_add(other.count);
+        let sum = self.sum.saturating_add(other.sum);
+        let mean = if sum == u64::MAX {
+            // Saturated sum: fall back to a count-weighted mean of means.
+            let (na, nb) = (self.count as f64, other.count as f64);
+            (self.mean * na + other.mean * nb) / (na + nb)
+        } else {
+            sum as f64 / count as f64
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            mean,
+            p50: self.p50.max(other.p50),
+            p90: self.p90.max(other.p90),
+            p99: self.p99.max(other.p99),
+        }
+    }
+}
+
 /// A full capture of a [`crate::Registry`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
@@ -44,9 +81,13 @@ pub struct Snapshot {
     pub spans: Vec<Span>,
     /// Spans evicted from the ring before this snapshot.
     pub spans_dropped: u64,
+    /// Help text by metric family base name (see
+    /// [`crate::Registry::describe`]); families without an entry get a
+    /// placeholder `# HELP` in Prometheus exposition.
+    pub help: BTreeMap<String, String>,
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -156,32 +197,37 @@ impl Snapshot {
     ///
     /// Counters become `counter` samples, gauges `gauge` samples, and
     /// each histogram a `summary` (quantile series plus `_sum` and
-    /// `_count`). Spans are not representable in Prometheus text and are
-    /// omitted (use [`Snapshot::to_json`] for traces).
+    /// `_count`). Every metric family gets a `# HELP` and `# TYPE`
+    /// header (help text from [`Snapshot::help`], with a placeholder
+    /// when none was registered), and label values are escaped per the
+    /// exposition-format spec (backslash, double-quote, newline). Spans
+    /// are not representable in Prometheus text and are omitted (use
+    /// [`Snapshot::to_json`] for traces).
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(4096);
-        // `# TYPE` must appear once per metric family; labeled series of
-        // one family are adjacent in the BTreeMap, so tracking the last
-        // emitted base suffices.
+        // `# HELP`/`# TYPE` must appear once per metric family; labeled
+        // series of one family are adjacent in the BTreeMap, so tracking
+        // the last emitted base suffices.
         let mut typed = "";
         for (k, v) in &self.counters {
             let (base, labels) = split_labels(k);
             if base != typed {
-                out.push_str(&format!("# TYPE {base} counter\n"));
+                self.family_header(&mut out, base, "counter");
                 typed = base;
             }
-            out.push_str(&format!("{base}{labels} {v}\n"));
+            out.push_str(&format!("{base}{} {v}\n", rewrite_labels(labels)));
         }
         let mut typed = "";
         for (k, v) in &self.gauges {
             let (base, labels) = split_labels(k);
             if base != typed {
-                out.push_str(&format!("# TYPE {base} gauge\n"));
+                self.family_header(&mut out, base, "gauge");
                 typed = base;
             }
             out.push_str(&format!(
-                "{base}{labels} {}\n",
+                "{base}{} {}\n",
+                rewrite_labels(labels),
                 if v.is_finite() {
                     format!("{v}")
                 } else {
@@ -192,26 +238,126 @@ impl Snapshot {
         let mut typed = "";
         for (k, h) in &self.histograms {
             let (base, labels) = split_labels(k);
+            let pairs = parse_label_pairs(labels);
             let q = |quantile: &str, value: u64| {
-                let inner = labels.trim_start_matches('{').trim_end_matches('}');
-                if inner.is_empty() {
-                    format!("{base}{{quantile=\"{quantile}\"}} {value}\n")
-                } else {
-                    format!("{base}{{{inner},quantile=\"{quantile}\"}} {value}\n")
-                }
+                let mut with_q = pairs.clone();
+                with_q.push(("quantile".to_string(), quantile.to_string()));
+                format!("{base}{} {value}\n", label_block(&with_q))
             };
             if base != typed {
-                out.push_str(&format!("# TYPE {base} summary\n"));
+                self.family_header(&mut out, base, "summary");
                 typed = base;
             }
             out.push_str(&q("0.5", h.p50));
             out.push_str(&q("0.9", h.p90));
             out.push_str(&q("0.99", h.p99));
-            out.push_str(&format!("{base}_sum{labels} {}\n", h.sum));
-            out.push_str(&format!("{base}_count{labels} {}\n", h.count));
+            out.push_str(&format!("{base}_sum{} {}\n", label_block(&pairs), h.sum));
+            out.push_str(&format!(
+                "{base}_count{} {}\n",
+                label_block(&pairs),
+                h.count
+            ));
         }
         out
     }
+
+    /// Pushes the `# HELP` + `# TYPE` header for one metric family.
+    fn family_header(&self, out: &mut String, base: &str, kind: &str) {
+        let help = self
+            .help
+            .get(base)
+            .map(String::as_str)
+            .unwrap_or("(no help text registered)");
+        // HELP text escaping per spec: backslash and line feed only.
+        let escaped = help.replace('\\', "\\\\").replace('\n', "\\n");
+        out.push_str(&format!("# HELP {base} {escaped}\n# TYPE {base} {kind}\n"));
+    }
+}
+
+/// Escapes a label value per the Prometheus text exposition format
+/// (backslash, double-quote, and line feed).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a `{k="v",...}` label block (as embedded in registry metric
+/// names) into decoded key/value pairs. Values may use `\\`, `\"`, and
+/// `\n` escapes or contain raw newlines; unknown escapes are kept
+/// verbatim. Empty or absent blocks parse to no pairs.
+fn parse_label_pairs(labels: &str) -> Vec<(String, String)> {
+    let inner = labels.trim_start_matches('{').trim_end_matches('}');
+    let mut pairs = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        // Key: up to `=`.
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        let key = key.trim_start_matches(',').trim().to_string();
+        if key.is_empty() {
+            return pairs;
+        }
+        if chars.next() != Some('"') {
+            return pairs; // malformed; keep what we have
+        }
+        // Value: up to the closing unescaped quote, decoding escapes.
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                None => return pairs, // unterminated; drop the partial pair
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    Some(other) => {
+                        value.push('\\');
+                        value.push(other);
+                    }
+                    None => return pairs,
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        pairs.push((key, value));
+        if chars.peek().is_none() {
+            return pairs;
+        }
+    }
+}
+
+/// Renders label pairs as a `{k="v",...}` block with spec-conformant
+/// value escaping; no pairs renders as the empty string.
+fn label_block(pairs: &[(String, String)]) -> String {
+    if pairs.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Re-emits a `{k="v",...}` label block with values re-escaped.
+fn rewrite_labels(labels: &str) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    label_block(&parse_label_pairs(labels))
 }
 
 /// Splits `name{label="v"}` into (`name`, `{label="v"}`); plain names
@@ -309,5 +455,151 @@ mod tests {
         let r = Registry::new();
         r.gauge("g").set(f64::INFINITY);
         assert!(r.snapshot().to_json().contains("\"g\": null"));
+    }
+
+    #[test]
+    fn every_family_gets_help_and_type_lines() {
+        let p = sample().to_prometheus();
+        for fam in [
+            "xfm_swap_outs_total",
+            "xfm_refresh_window_utilization",
+            "xfm_swap_in_latency_ns",
+        ] {
+            assert_eq!(p.matches(&format!("# HELP {fam} ")).count(), 1, "{p}");
+            assert_eq!(p.matches(&format!("# TYPE {fam} ")).count(), 1, "{p}");
+        }
+    }
+
+    #[test]
+    fn registered_help_text_is_emitted_and_escaped() {
+        let r = Registry::new();
+        r.counter("xfm_ops_total").inc();
+        r.describe("xfm_ops_total", "ops with a \\ and\nnewline");
+        let p = r.snapshot().to_prometheus();
+        assert!(
+            p.contains("# HELP xfm_ops_total ops with a \\\\ and\\nnewline"),
+            "{p}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_spec() {
+        // A label value carrying a raw quote-escape, backslash, and
+        // newline must come out spec-escaped, not verbatim.
+        let r = Registry::new();
+        r.counter("c_total{path=\"a\\\\b\nc\"}").add(2);
+        let p = r.snapshot().to_prometheus();
+        assert!(p.contains("c_total{path=\"a\\\\b\\nc\"} 2"), "{p}");
+        // Escapes already present in the name round-trip unchanged.
+        let r2 = Registry::new();
+        r2.gauge("g{msg=\"say \\\"hi\\\"\"}").set(1.0);
+        let p2 = r2.snapshot().to_prometheus();
+        assert!(p2.contains("g{msg=\"say \\\"hi\\\"\"} 1"), "{p2}");
+    }
+
+    #[test]
+    fn label_parse_handles_edge_cases() {
+        assert_eq!(parse_label_pairs(""), vec![]);
+        assert_eq!(parse_label_pairs("{}"), vec![]);
+        assert_eq!(
+            parse_label_pairs("{a=\"1\",b=\"two\"}"),
+            vec![
+                ("a".to_string(), "1".to_string()),
+                ("b".to_string(), "two".to_string())
+            ]
+        );
+        // Value containing a comma and an escaped quote.
+        assert_eq!(
+            parse_label_pairs("{a=\"x,y\",b=\"q\\\"z\"}"),
+            vec![
+                ("a".to_string(), "x,y".to_string()),
+                ("b".to_string(), "q\"z".to_string())
+            ]
+        );
+        // Unterminated value: partial pair dropped, no panic.
+        assert_eq!(parse_label_pairs("{a=\"oops"), vec![]);
+    }
+
+    #[test]
+    fn quantile_series_keep_escaped_labels() {
+        let r = Registry::new();
+        r.histogram("lat{tag=\"a\nb\"}").record(7);
+        let p = r.snapshot().to_prometheus();
+        assert!(p.contains("lat{tag=\"a\\nb\",quantile=\"0.5\"} 7"), "{p}");
+        assert!(p.contains("lat_sum{tag=\"a\\nb\"} 7"), "{p}");
+    }
+
+    #[test]
+    fn histogram_snapshot_merge_combines_populations() {
+        let a = HistogramSnapshot {
+            count: 10,
+            sum: 1000,
+            min: 50,
+            max: 200,
+            mean: 100.0,
+            p50: 90,
+            p90: 150,
+            p99: 190,
+        };
+        let b = HistogramSnapshot {
+            count: 30,
+            sum: 6000,
+            min: 20,
+            max: 900,
+            mean: 200.0,
+            p50: 180,
+            p90: 700,
+            p99: 880,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.count, 40);
+        assert_eq!(m.sum, 7000);
+        assert_eq!(m.min, 20);
+        assert_eq!(m.max, 900);
+        assert!((m.mean - 175.0).abs() < 1e-9);
+        assert_eq!(m.p99, 880);
+        // Identity on empty operands, both directions.
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+        };
+        assert_eq!(empty.merge(&a), a);
+        assert_eq!(a.merge(&empty), a);
+    }
+
+    #[test]
+    fn histogram_snapshot_merge_saturates_at_the_boundary() {
+        let big = HistogramSnapshot {
+            count: u64::MAX - 5,
+            sum: u64::MAX - 5,
+            min: 1,
+            max: 10,
+            mean: 1.0,
+            p50: 1,
+            p90: 1,
+            p99: 1,
+        };
+        let more = HistogramSnapshot {
+            count: 100,
+            sum: 100,
+            min: 2,
+            max: 20,
+            mean: 1.0,
+            p50: 2,
+            p90: 2,
+            p99: 2,
+        };
+        let m = big.merge(&more);
+        assert_eq!(m.count, u64::MAX, "count must saturate, not wrap");
+        assert_eq!(m.sum, u64::MAX, "sum must saturate, not wrap");
+        assert_eq!(m.max, 20);
+        // Mean survives saturation via the weighted-mean fallback.
+        assert!((m.mean - 1.0).abs() < 1e-9, "mean {}", m.mean);
     }
 }

@@ -177,17 +177,20 @@ impl Histogram {
     }
 
     /// Merges `other` into `self` (bucket-wise saturating addition).
+    ///
+    /// Saturating matters at the boundary: long-lived aggregation
+    /// registries merge per-worker histograms repeatedly, and a wrapped
+    /// `count`/`sum` would silently corrupt every derived mean and
+    /// quantile rank. A saturated value pins at `u64::MAX` instead.
     pub fn merge(&self, other: &Histogram) {
         for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
             let v = b.load(Ordering::Relaxed);
             if v > 0 {
-                a.fetch_add(v, Ordering::Relaxed);
+                saturating_fetch_add(a, v);
             }
         }
-        self.count
-            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
-        self.sum
-            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        saturating_fetch_add(&self.count, other.count.load(Ordering::Relaxed));
+        saturating_fetch_add(&self.sum, other.sum.load(Ordering::Relaxed));
         self.min
             .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
         self.max
@@ -213,6 +216,19 @@ impl Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Adds `v` to `cell` with saturation at `u64::MAX` (CAS loop; merge is
+/// cold-path, so contention is irrelevant).
+fn saturating_fetch_add(cell: &AtomicU64, v: u64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(v);
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
     }
 }
 
@@ -332,6 +348,27 @@ mod tests {
             assert_eq!(a.quantile(q), combined.quantile(q), "q{q}");
         }
         assert_eq!(a.snapshot(), combined.snapshot());
+    }
+
+    #[test]
+    fn merge_saturates_count_and_sum_at_the_boundary() {
+        // Drive the atomics to the edge directly: merging must pin at
+        // u64::MAX rather than wrap and corrupt means/ranks.
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(u64::MAX - 3); // sum near the top
+        b.record(u64::MAX - 7);
+        a.merge(&b);
+        assert_eq!(a.sum(), u64::MAX, "sum must saturate");
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), u64::MAX - 3);
+        // Repeated self-merge of a saturated histogram stays pinned.
+        let c = Histogram::new();
+        c.record(u64::MAX);
+        c.merge(&a);
+        c.merge(&a);
+        assert_eq!(c.sum(), u64::MAX);
+        assert_eq!(c.count(), 5);
     }
 
     #[test]

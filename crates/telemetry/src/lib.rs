@@ -20,7 +20,14 @@
 //!   above; registration happens once at attach time, after which every
 //!   recording site holds an `Arc` straight to its atomic;
 //! - [`Snapshot`] — a point-in-time capture with JSON and
-//!   Prometheus-text exposition (`xfm-repro --metrics-out`).
+//!   Prometheus-text exposition (`xfm-repro --metrics-out`);
+//! - the **causal trace plane** ("xfm-trace"): [`LifecycleTrace`] — a
+//!   lock-free, fixed-capacity page-lifecycle audit trail with virtual
+//!   and wall timestamps, queryable per page and exportable as Chrome
+//!   `trace_event` JSON ([`chrome`]); [`FlightRecorder`] — automatic
+//!   post-mortem dumps of the trailing events on retry exhaustion or
+//!   degraded-mode transitions ([`flight`]); and a minimal JSON parser
+//!   ([`json`]) so round-trip validation works offline.
 //!
 //! Telemetry is opt-in per component: backends, schedulers, and
 //! simulators hold an `Option` of their metric bundle, so an
@@ -48,9 +55,13 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod counter;
 pub mod export;
+pub mod flight;
 pub mod hist;
+pub mod json;
+pub mod lifecycle;
 pub mod registry;
 pub mod shard_metrics;
 pub mod swap_metrics;
@@ -58,7 +69,9 @@ pub mod trace;
 
 pub use counter::{Counter, Gauge};
 pub use export::{HistogramSnapshot, Snapshot};
+pub use flight::{FlightRecorder, FlightRecorderConfig};
 pub use hist::Histogram;
+pub use lifecycle::{LifecycleEvent, LifecycleStage, LifecycleTrace};
 pub use registry::Registry;
 pub use shard_metrics::ShardMetrics;
 pub use swap_metrics::SwapMetrics;

@@ -1,0 +1,557 @@
+//! The page-lifecycle audit trail: a lock-free causal event ring.
+//!
+//! Where [`crate::trace::SpanTrace`] keeps coarse swap-path spans behind
+//! a mutex, the lifecycle trail records each page's *full causal chain*
+//! — cold-scan select → codec route → shard route → compress →
+//! zpool-store → fault → retry/backoff → fetch → decompress — with both
+//! virtual (simulated) and wall timestamps, and does so without any
+//! lock: recording is a cursor `fetch_add` plus a handful of atomic
+//! stores into a pre-sized slot, so the instrumented swap hot path stays
+//! allocation-free and wait-free in the common case.
+//!
+//! Each slot is a miniature seqlock built entirely from `AtomicU64`
+//! (the crate keeps `unsafe` out): a writer claims a global cursor
+//! ticket, derives its slot and wrap generation, bumps the slot version
+//! to odd, stores the payload words, and bumps the version to even.
+//! Readers ([`LifecycleTrace::snapshot`], [`LifecycleTrace::page_history`])
+//! skip odd versions and re-validate the version after reading, so a
+//! torn slot is dropped rather than surfaced.
+//!
+//! The trail is the substrate for the Chrome `trace_event` export
+//! ([`crate::chrome`]) and the degradation flight recorder
+//! ([`crate::flight`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use xfm_event::ClockMirror;
+
+use crate::trace::Cause;
+
+/// A stage in a page's lifecycle through the SFM.
+///
+/// Superset of [`crate::trace::SwapStage`]: lifecycle events also track
+/// routing decisions, retry/backoff loops, scratch warm-up, and
+/// degraded-mode transitions, which the span ring folds into causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LifecycleStage {
+    /// Cold-page scan selected this page for demotion.
+    ColdScanSelect,
+    /// The per-page codec probe picked a route (aux = codec wire code).
+    CodecRoute,
+    /// The page was routed to a shard (aux = shard id).
+    ShardRoute,
+    /// Page compression (CPU codec or NMA engine).
+    Compress,
+    /// Compressed bytes stored into the zpool.
+    ZpoolStore,
+    /// Demand fault on a far-memory page.
+    Fault,
+    /// A transient failure triggered a retry (aux = attempt number).
+    Retry,
+    /// A retry backoff wait (dur = simulated backoff).
+    Backoff,
+    /// Compressed bytes fetched from the zpool.
+    Fetch,
+    /// Page decompression back to 4 KiB.
+    Decompress,
+    /// Codec scratch / FSE-table pre-warm at backend construction.
+    Warmup,
+    /// The degraded-mode state machine changed level (aux = new level).
+    ModeChange,
+}
+
+impl LifecycleStage {
+    /// Stable lowercase name (used in exposition and Chrome export).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            LifecycleStage::ColdScanSelect => "cold_scan_select",
+            LifecycleStage::CodecRoute => "codec_route",
+            LifecycleStage::ShardRoute => "shard_route",
+            LifecycleStage::Compress => "compress",
+            LifecycleStage::ZpoolStore => "zpool_store",
+            LifecycleStage::Fault => "fault",
+            LifecycleStage::Retry => "retry",
+            LifecycleStage::Backoff => "backoff",
+            LifecycleStage::Fetch => "fetch",
+            LifecycleStage::Decompress => "decompress",
+            LifecycleStage::Warmup => "warmup",
+            LifecycleStage::ModeChange => "mode_change",
+        }
+    }
+
+    /// Stable wire code (packed into the slot's meta word).
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            LifecycleStage::ColdScanSelect => 0,
+            LifecycleStage::CodecRoute => 1,
+            LifecycleStage::ShardRoute => 2,
+            LifecycleStage::Compress => 3,
+            LifecycleStage::ZpoolStore => 4,
+            LifecycleStage::Fault => 5,
+            LifecycleStage::Retry => 6,
+            LifecycleStage::Backoff => 7,
+            LifecycleStage::Fetch => 8,
+            LifecycleStage::Decompress => 9,
+            LifecycleStage::Warmup => 10,
+            LifecycleStage::ModeChange => 11,
+        }
+    }
+
+    /// Inverse of [`LifecycleStage::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => LifecycleStage::ColdScanSelect,
+            1 => LifecycleStage::CodecRoute,
+            2 => LifecycleStage::ShardRoute,
+            3 => LifecycleStage::Compress,
+            4 => LifecycleStage::ZpoolStore,
+            5 => LifecycleStage::Fault,
+            6 => LifecycleStage::Retry,
+            7 => LifecycleStage::Backoff,
+            8 => LifecycleStage::Fetch,
+            9 => LifecycleStage::Decompress,
+            10 => LifecycleStage::Warmup,
+            11 => LifecycleStage::ModeChange,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleEvent {
+    /// Global record sequence number (survives ring wrap).
+    pub seq: u64,
+    /// Page number the event concerns (0 when not page-scoped).
+    pub page: u64,
+    /// Which lifecycle stage.
+    pub stage: LifecycleStage,
+    /// Outcome / cause tag.
+    pub cause: Cause,
+    /// Shard that handled the page (`u32::MAX` when not sharded).
+    pub shard: u32,
+    /// Stage-specific auxiliary datum (codec route code, attempt
+    /// number, degraded level — see [`LifecycleStage`] docs).
+    pub aux: u64,
+    /// Virtual (simulated) time at record, ns (0 when no clock is
+    /// published).
+    pub virt_ns: u64,
+    /// Wall time at record, ns since the trail's construction.
+    pub wall_ns: u64,
+    /// Stage duration, wall ns (0 for instantaneous marks).
+    pub dur_ns: u64,
+}
+
+/// Shard value for events that are not shard-scoped.
+pub const NO_SHARD: u32 = u32::MAX;
+
+/// Default lifecycle-trail capacity (events; rounded to a power of two).
+pub const DEFAULT_LIFECYCLE_CAPACITY: usize = 4096;
+
+#[derive(Debug)]
+struct Slot {
+    /// Seqlock version: `2 * generation` = stable, odd = write in
+    /// progress. Writers for wrap generation `g` wait for `2 * g`.
+    version: AtomicU64,
+    seq: AtomicU64,
+    page: AtomicU64,
+    /// `stage << 48 | cause << 40 | shard` (shard in the low 32 bits).
+    meta: AtomicU64,
+    aux: AtomicU64,
+    virt_ns: AtomicU64,
+    wall_ns: AtomicU64,
+    dur_ns: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            page: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            aux: AtomicU64::new(0),
+            virt_ns: AtomicU64::new(0),
+            wall_ns: AtomicU64::new(0),
+            dur_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+fn pack_meta(stage: LifecycleStage, cause: Cause, shard: u32) -> u64 {
+    (u64::from(stage.code()) << 48) | (u64::from(cause.code()) << 40) | u64::from(shard)
+}
+
+fn unpack_meta(meta: u64) -> Option<(LifecycleStage, Cause, u32)> {
+    let stage = LifecycleStage::from_code(((meta >> 48) & 0xff) as u8)?;
+    let cause = Cause::from_code(((meta >> 40) & 0xff) as u8)?;
+    #[allow(clippy::cast_possible_truncation)]
+    let shard = meta as u32;
+    Some((stage, cause, shard))
+}
+
+/// The lock-free, fixed-capacity page-lifecycle audit trail.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_telemetry::lifecycle::{LifecycleStage, LifecycleTrace, NO_SHARD};
+/// use xfm_telemetry::Cause;
+///
+/// let trail = LifecycleTrace::with_capacity(64);
+/// trail.record(LifecycleStage::Compress, Cause::Ok, 7, 0, 0, 1_800);
+/// trail.record(LifecycleStage::ZpoolStore, Cause::Ok, 7, 0, 0, 300);
+/// trail.record(LifecycleStage::Fault, Cause::Ok, 9, NO_SHARD, 0, 0);
+/// let history = trail.page_history(7);
+/// assert_eq!(history.len(), 2);
+/// assert_eq!(history[0].stage, LifecycleStage::Compress);
+/// assert_eq!(trail.recorded(), 3);
+/// ```
+#[derive(Debug)]
+pub struct LifecycleTrace {
+    slots: Vec<Slot>,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: u64,
+    /// `log2(capacity)` — shifts a cursor ticket to its wrap generation.
+    shift: u32,
+    cursor: AtomicU64,
+    enabled: AtomicBool,
+    clock: ClockMirror,
+    epoch: Instant,
+}
+
+impl LifecycleTrace {
+    /// A trail with the default capacity and a private clock mirror.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_LIFECYCLE_CAPACITY)
+    }
+
+    /// A trail retaining the most recent `capacity` events (rounded up
+    /// to a power of two, minimum 2) with a private clock mirror.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_clock(capacity, ClockMirror::new())
+    }
+
+    /// A trail whose virtual timestamps read from `clock`.
+    #[must_use]
+    pub fn with_clock(capacity: usize, clock: ClockMirror) -> Self {
+        let capacity = capacity.max(2).next_power_of_two();
+        let mut slots = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            slots.push(Slot::empty());
+        }
+        Self {
+            slots,
+            mask: capacity as u64 - 1,
+            shift: capacity.trailing_zeros(),
+            cursor: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+            clock,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Retained-event capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The clock mirror virtual timestamps are read from. Simulation
+    /// drivers publish to this after advancing their [`xfm_event::VirtualClock`].
+    #[must_use]
+    pub fn clock(&self) -> &ClockMirror {
+        &self.clock
+    }
+
+    /// Enables or disables recording (reads stay available).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Events recorded so far (including evicted ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted by ring wrap-around.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Records one lifecycle event. Lock-free and allocation-free: a
+    /// cursor `fetch_add` plus eight atomic stores. The virtual
+    /// timestamp reads the attached [`ClockMirror`]; the wall timestamp
+    /// is nanoseconds since the trail's construction.
+    pub fn record(
+        &self,
+        stage: LifecycleStage,
+        cause: Cause,
+        page: u64,
+        shard: u32,
+        aux: u64,
+        dur_ns: u64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = (ticket & self.mask) as usize;
+        let generation = ticket >> self.shift;
+        let slot = &self.slots[idx];
+        let stable = generation.wrapping_mul(2);
+        // Wait for the previous wrap generation's writer to finish. In
+        // practice this never spins: a collision needs `capacity` other
+        // records to land inside one ~30 ns slot write.
+        while slot.version.load(Ordering::Acquire) != stable {
+            std::hint::spin_loop();
+        }
+        slot.version.store(stable + 1, Ordering::SeqCst);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        slot.seq.store(ticket, Ordering::Relaxed);
+        slot.page.store(page, Ordering::Relaxed);
+        slot.meta
+            .store(pack_meta(stage, cause, shard), Ordering::Relaxed);
+        slot.aux.store(aux, Ordering::Relaxed);
+        slot.virt_ns.store(self.clock.now_ns(), Ordering::Relaxed);
+        slot.wall_ns.store(
+            u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        slot.dur_ns.store(dur_ns, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        slot.version.store(stable + 2, Ordering::SeqCst);
+    }
+
+    /// Seqlock read of one slot; `None` when empty or torn.
+    fn read_slot(&self, idx: usize) -> Option<LifecycleEvent> {
+        let slot = &self.slots[idx];
+        for _ in 0..4 {
+            let v1 = slot.version.load(Ordering::SeqCst);
+            if v1 == 0 || v1 % 2 == 1 {
+                if v1 == 0 {
+                    return None; // never written
+                }
+                std::hint::spin_loop();
+                continue; // write in progress; retry
+            }
+            std::sync::atomic::fence(Ordering::SeqCst);
+            let seq = slot.seq.load(Ordering::Relaxed);
+            let page = slot.page.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let aux = slot.aux.load(Ordering::Relaxed);
+            let virt_ns = slot.virt_ns.load(Ordering::Relaxed);
+            let wall_ns = slot.wall_ns.load(Ordering::Relaxed);
+            let dur_ns = slot.dur_ns.load(Ordering::Relaxed);
+            std::sync::atomic::fence(Ordering::SeqCst);
+            let v2 = slot.version.load(Ordering::SeqCst);
+            if v1 != v2 {
+                continue; // torn: overwritten while reading
+            }
+            let (stage, cause, shard) = unpack_meta(meta)?;
+            return Some(LifecycleEvent {
+                seq,
+                page,
+                stage,
+                cause,
+                shard,
+                aux,
+                virt_ns,
+                wall_ns,
+                dur_ns,
+            });
+        }
+        None
+    }
+
+    /// Copies out the retained events, oldest first (by sequence
+    /// number). Slots mid-write are skipped, so a snapshot taken under
+    /// concurrent recording is consistent but possibly one event short
+    /// per active writer.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<LifecycleEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for idx in 0..self.slots.len() {
+            if let Some(ev) = self.read_slot(idx) {
+                out.push(ev);
+            }
+        }
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+
+    /// The retained causal chain for one page, oldest first.
+    #[must_use]
+    pub fn page_history(&self, page: u64) -> Vec<LifecycleEvent> {
+        let mut out: Vec<LifecycleEvent> = self
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.page == page)
+            .collect();
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+
+    /// The most recent `n` retained events, oldest first.
+    #[must_use]
+    pub fn tail(&self, n: usize) -> Vec<LifecycleEvent> {
+        let mut all = self.snapshot();
+        let skip = all.len().saturating_sub(n);
+        all.drain(..skip);
+        all
+    }
+}
+
+impl Default for LifecycleTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_and_reads_back_in_order() {
+        let t = LifecycleTrace::with_capacity(16);
+        t.record(LifecycleStage::ColdScanSelect, Cause::Ok, 1, 0, 0, 0);
+        t.record(LifecycleStage::Compress, Cause::Ok, 1, 0, 0, 900);
+        t.record(LifecycleStage::ZpoolStore, Cause::StoredRaw, 1, 0, 0, 120);
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].stage, LifecycleStage::ColdScanSelect);
+        assert_eq!(evs[2].cause, Cause::StoredRaw);
+        assert!(evs.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(evs.windows(2).all(|w| w[0].wall_ns <= w[1].wall_ns));
+    }
+
+    #[test]
+    fn wraps_and_keeps_newest() {
+        let t = LifecycleTrace::with_capacity(4);
+        for i in 0..11u64 {
+            t.record(LifecycleStage::Fetch, Cause::Ok, i, 0, 0, 0);
+        }
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(
+            evs.iter().map(|e| e.page).collect::<Vec<_>>(),
+            [7, 8, 9, 10]
+        );
+        assert_eq!(t.recorded(), 11);
+        assert_eq!(t.dropped(), 7);
+    }
+
+    #[test]
+    fn page_history_filters_and_orders() {
+        let t = LifecycleTrace::with_capacity(32);
+        for i in 0..4u64 {
+            t.record(LifecycleStage::Compress, Cause::Ok, i % 2, 0, 0, 0);
+            t.record(LifecycleStage::ZpoolStore, Cause::Ok, i % 2, 0, 0, 0);
+        }
+        let h = t.page_history(1);
+        assert_eq!(h.len(), 4);
+        assert!(h.iter().all(|e| e.page == 1));
+        assert!(h.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn virtual_timestamps_follow_the_clock_mirror() {
+        use xfm_types::Nanos;
+        let t = LifecycleTrace::with_capacity(8);
+        t.record(LifecycleStage::Fault, Cause::Ok, 5, 0, 0, 0);
+        t.clock().publish(Nanos::from_us(7));
+        t.record(LifecycleStage::Fetch, Cause::Ok, 5, 0, 0, 0);
+        let h = t.page_history(5);
+        assert_eq!(h[0].virt_ns, 0);
+        assert_eq!(h[1].virt_ns, 7_000);
+    }
+
+    #[test]
+    fn disabled_trail_records_nothing() {
+        let t = LifecycleTrace::with_capacity(8);
+        t.set_enabled(false);
+        t.record(LifecycleStage::Fault, Cause::Ok, 1, 0, 0, 0);
+        assert_eq!(t.recorded(), 0);
+        assert!(t.snapshot().is_empty());
+        t.set_enabled(true);
+        t.record(LifecycleStage::Fault, Cause::Ok, 1, 0, 0, 0);
+        assert_eq!(t.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn tail_returns_most_recent() {
+        let t = LifecycleTrace::with_capacity(16);
+        for i in 0..10u64 {
+            t.record(LifecycleStage::Compress, Cause::Ok, i, 0, 0, 0);
+        }
+        let tail = t.tail(3);
+        assert_eq!(tail.iter().map(|e| e.page).collect::<Vec<_>>(), [7, 8, 9]);
+    }
+
+    #[test]
+    fn meta_packing_round_trips() {
+        for stage_code in 0..12u8 {
+            let stage = LifecycleStage::from_code(stage_code).unwrap();
+            assert_eq!(stage.code(), stage_code);
+            for cause_code in 0..16u8 {
+                let cause = Cause::from_code(cause_code).unwrap();
+                let meta = pack_meta(stage, cause, 0xdead_beef);
+                assert_eq!(unpack_meta(meta), Some((stage, cause, 0xdead_beef)));
+            }
+        }
+        assert_eq!(LifecycleStage::from_code(12), None);
+    }
+
+    #[test]
+    fn concurrent_writers_wrap_without_corruption() {
+        // The seqlock ring under 8 concurrent writers: every decoded
+        // event must be internally consistent (valid stage/cause, page
+        // matching its writer-encoded seq), and accounting must hold.
+        const WRITERS: u64 = 8;
+        const PER_WRITER: u64 = 4_000;
+        let t = Arc::new(LifecycleTrace::with_capacity(64));
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        let page = w * PER_WRITER + i;
+                        // aux mirrors page so torn payloads are detectable.
+                        t.record(LifecycleStage::Compress, Cause::Ok, page, 0, page, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.recorded(), WRITERS * PER_WRITER);
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), t.capacity());
+        let mut seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), evs.len(), "duplicate seq => torn slot");
+        for e in &evs {
+            assert_eq!(e.aux, e.page, "payload words from different writers");
+            assert!(e.seq < WRITERS * PER_WRITER);
+        }
+    }
+}

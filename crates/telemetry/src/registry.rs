@@ -4,10 +4,12 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use xfm_event::ClockMirror;
 
 use crate::counter::{Counter, Gauge};
 use crate::export::Snapshot;
 use crate::hist::Histogram;
+use crate::lifecycle::LifecycleTrace;
 use crate::trace::SpanTrace;
 
 /// A registry of named counters, gauges, histograms, and one span trace.
@@ -43,19 +45,30 @@ struct Inner {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    help: Mutex<BTreeMap<String, String>>,
     trace: SpanTrace,
+    clock: ClockMirror,
+    lifecycle: LifecycleTrace,
 }
 
 impl Registry {
-    /// Creates an empty registry with a default-capacity span trace.
+    /// Creates an empty registry with a default-capacity span trace and
+    /// lifecycle trail.
     #[must_use]
     pub fn new() -> Self {
+        let clock = ClockMirror::new();
         Self {
             inner: Arc::new(Inner {
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
+                help: Mutex::new(BTreeMap::new()),
                 trace: SpanTrace::new(),
+                clock: clock.clone(),
+                lifecycle: LifecycleTrace::with_clock(
+                    crate::lifecycle::DEFAULT_LIFECYCLE_CAPACITY,
+                    clock,
+                ),
             }),
         }
     }
@@ -102,6 +115,30 @@ impl Registry {
         &self.inner.trace
     }
 
+    /// The page-lifecycle audit trail (see [`crate::lifecycle`]).
+    #[must_use]
+    pub fn lifecycle(&self) -> &LifecycleTrace {
+        &self.inner.lifecycle
+    }
+
+    /// The shared virtual-clock mirror. Simulation drivers publish
+    /// their [`xfm_event::VirtualClock`] here so lifecycle events carry
+    /// virtual timestamps alongside wall time.
+    #[must_use]
+    pub fn clock_mirror(&self) -> ClockMirror {
+        self.inner.clock.clone()
+    }
+
+    /// Registers help text for the metric family `base` (the name
+    /// without any `{label="v"}` suffix), emitted as `# HELP` in
+    /// Prometheus exposition. Re-describing overwrites.
+    pub fn describe(&self, base: &str, help: &str) {
+        self.inner
+            .help
+            .lock()
+            .insert(base.to_string(), help.to_string());
+    }
+
     /// Whether two handles refer to the same registry.
     #[must_use]
     pub fn same_registry(&self, other: &Registry) -> bool {
@@ -135,6 +172,7 @@ impl Registry {
                 .collect(),
             spans: self.inner.trace.snapshot(),
             spans_dropped: self.inner.trace.dropped(),
+            help: self.inner.help.lock().clone(),
         }
     }
 }
@@ -180,6 +218,32 @@ mod tests {
         let s = r.snapshot();
         assert_eq!(s.spans.len(), 1);
         assert_eq!(s.spans_dropped, 0);
+    }
+
+    #[test]
+    fn lifecycle_trail_shares_the_registry_clock() {
+        use crate::lifecycle::LifecycleStage;
+        use crate::trace::Cause;
+        use xfm_types::Nanos;
+        let r = Registry::new();
+        r.clock_mirror().publish(Nanos::from_us(5));
+        r.lifecycle()
+            .record(LifecycleStage::Fault, Cause::Ok, 3, 0, 0, 0);
+        let h = r.lifecycle().page_history(3);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].virt_ns, 5_000);
+    }
+
+    #[test]
+    fn describe_feeds_snapshot_help() {
+        let r = Registry::new();
+        r.counter("xfm_ops_total").inc();
+        r.describe("xfm_ops_total", "Operations processed.");
+        let s = r.snapshot();
+        assert_eq!(s.help["xfm_ops_total"], "Operations processed.");
+        assert!(s
+            .to_prometheus()
+            .contains("# HELP xfm_ops_total Operations processed."));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use crate::counter::Counter;
 use crate::hist::Histogram;
+use crate::lifecycle::{LifecycleStage, LifecycleTrace};
 use crate::registry::Registry;
 use crate::trace::{Cause, SpanTrace, SwapStage};
 
@@ -75,6 +76,7 @@ impl SwapMetrics {
     /// `registry`.
     #[must_use]
     pub fn register(registry: &Registry) -> Self {
+        describe_standard_families(registry);
         Self {
             swap_outs: registry.counter("xfm_swap_outs_total"),
             swap_ins: registry.counter("xfm_swap_ins_total"),
@@ -108,6 +110,98 @@ impl SwapMetrics {
         self.registry
             .trace()
             .record(stage, page, start_ns, dur_ns, cause);
+    }
+
+    /// The page-lifecycle audit trail of the shared registry.
+    #[must_use]
+    pub fn lifecycle(&self) -> &LifecycleTrace {
+        self.registry.lifecycle()
+    }
+
+    /// Records a lifecycle event on the shared audit trail (lock-free,
+    /// allocation-free; see [`LifecycleTrace::record`]).
+    pub fn lifecycle_event(
+        &self,
+        stage: LifecycleStage,
+        cause: Cause,
+        page: u64,
+        shard: u32,
+        aux: u64,
+        dur_ns: u64,
+    ) {
+        self.registry
+            .lifecycle()
+            .record(stage, cause, page, shard, aux, dur_ns);
+    }
+}
+
+/// Registers `# HELP` text for the standard swap-path metric families.
+fn describe_standard_families(registry: &Registry) {
+    for (name, help) in [
+        ("xfm_swap_outs_total", "Completed swap-outs."),
+        ("xfm_swap_ins_total", "Completed swap-ins."),
+        (
+            "xfm_nma_executions_total",
+            "Operations executed on the NMA over the refresh side channel.",
+        ),
+        (
+            "xfm_cpu_executions_total",
+            "Operations that ran on (or fell back to) the CPU.",
+        ),
+        (
+            "xfm_refresh_window_misses_total",
+            "Offloads redone by the CPU after missing their refresh windows.",
+        ),
+        (
+            "xfm_stored_raw_total",
+            "Pages stored raw (did not compress under the threshold).",
+        ),
+        (
+            "xfm_same_filled_total",
+            "Same-filled pages short-circuited before the codec.",
+        ),
+        (
+            "xfm_codec_route_raw_total",
+            "Pages the per-page codec probe routed to raw storage.",
+        ),
+        (
+            "xfm_codec_route_xlz_total",
+            "Pages the per-page codec probe routed to the xlz codec.",
+        ),
+        (
+            "xfm_codec_route_fse_total",
+            "Pages the per-page codec probe routed to the xdef-fse codec.",
+        ),
+        (
+            "xfm_swap_out_latency_ns",
+            "End-to-end swap-out latency (wall clock, ns).",
+        ),
+        (
+            "xfm_swap_in_latency_ns",
+            "End-to-end swap-in latency (wall clock, ns).",
+        ),
+        (
+            "xfm_compress_latency_ns",
+            "Compression latency (wall clock, ns).",
+        ),
+        (
+            "xfm_decompress_latency_ns",
+            "Decompression latency (wall clock, ns).",
+        ),
+        (
+            "xfm_zpool_store_latency_ns",
+            "Zpool store (alloc + copy) latency (wall clock, ns).",
+        ),
+        (
+            "xfm_zpool_load_latency_ns",
+            "Zpool load (lookup + copy out) latency (wall clock, ns).",
+        ),
+        (
+            "xfm_dram_access_latency_ns",
+            "Modeled DRAM access latency (simulated ns).",
+        ),
+    ] {
+        registry.describe(name, help);
     }
 }
 

@@ -43,6 +43,33 @@ impl SwapStage {
             SwapStage::Decompress => "decompress",
         }
     }
+
+    /// Stable wire code (used by the packed lifecycle-event encoding).
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            SwapStage::ColdScan => 0,
+            SwapStage::Compress => 1,
+            SwapStage::ZpoolStore => 2,
+            SwapStage::Fault => 3,
+            SwapStage::Fetch => 4,
+            SwapStage::Decompress => 5,
+        }
+    }
+
+    /// Inverse of [`SwapStage::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => SwapStage::ColdScan,
+            1 => SwapStage::Compress,
+            2 => SwapStage::ZpoolStore,
+            3 => SwapStage::Fault,
+            4 => SwapStage::Fetch,
+            5 => SwapStage::Decompress,
+            _ => return None,
+        })
+    }
 }
 
 /// Why a span ended the way it did.
@@ -106,6 +133,53 @@ impl Cause {
             Cause::RetryExhausted => "retry_exhausted",
             Cause::Degraded => "degraded",
         }
+    }
+
+    /// Stable wire code (used by the packed lifecycle-event encoding).
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            Cause::Ok => 0,
+            Cause::NmaOffload => 1,
+            Cause::CpuFallback => 2,
+            Cause::RefreshWindowMiss => 3,
+            Cause::SpmExhausted => 4,
+            Cause::QueueFull => 5,
+            Cause::RegionFull => 6,
+            Cause::StoredRaw => 7,
+            Cause::SameFilled => 8,
+            Cause::DeadlineSpill => 9,
+            Cause::SubarrayConflict => 10,
+            Cause::FaultInjected => 11,
+            Cause::ChecksumMismatch => 12,
+            Cause::Retry => 13,
+            Cause::RetryExhausted => 14,
+            Cause::Degraded => 15,
+        }
+    }
+
+    /// Inverse of [`Cause::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Cause::Ok,
+            1 => Cause::NmaOffload,
+            2 => Cause::CpuFallback,
+            3 => Cause::RefreshWindowMiss,
+            4 => Cause::SpmExhausted,
+            5 => Cause::QueueFull,
+            6 => Cause::RegionFull,
+            7 => Cause::StoredRaw,
+            8 => Cause::SameFilled,
+            9 => Cause::DeadlineSpill,
+            10 => Cause::SubarrayConflict,
+            11 => Cause::FaultInjected,
+            12 => Cause::ChecksumMismatch,
+            13 => Cause::Retry,
+            14 => Cause::RetryExhausted,
+            15 => Cause::Degraded,
+            _ => return None,
+        })
     }
 }
 
@@ -325,5 +399,59 @@ mod tests {
     fn stage_and_cause_names_are_stable() {
         assert_eq!(SwapStage::ZpoolStore.name(), "zpool_store");
         assert_eq!(Cause::RefreshWindowMiss.name(), "refresh_window_miss");
+    }
+
+    #[test]
+    fn stage_and_cause_codes_round_trip() {
+        for code in 0..6u8 {
+            let stage = SwapStage::from_code(code).unwrap();
+            assert_eq!(stage.code(), code);
+        }
+        assert_eq!(SwapStage::from_code(6), None);
+        for code in 0..16u8 {
+            let cause = Cause::from_code(code).unwrap();
+            assert_eq!(cause.code(), code);
+        }
+        assert_eq!(Cause::from_code(16), None);
+    }
+
+    #[test]
+    fn concurrent_writers_wrap_without_loss_or_duplication() {
+        // Satellite coverage: the span ring under concurrent writers must
+        // (a) never lose the accounting identity recorded == retained +
+        // dropped, (b) retain exactly `capacity` spans once wrapped, and
+        // (c) retain a window of *distinct, recent* sequence numbers.
+        use std::sync::Arc;
+        const WRITERS: u64 = 8;
+        const PER_WRITER: u64 = 5_000;
+        const CAPACITY: usize = 64;
+        let t = Arc::new(SpanTrace::with_capacity(CAPACITY));
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        t.record(SwapStage::Compress, w * PER_WRITER + i, i, 1, Cause::Ok);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = WRITERS * PER_WRITER;
+        assert_eq!(t.recorded(), total);
+        let spans = t.snapshot();
+        assert_eq!(spans.len(), CAPACITY);
+        assert_eq!(t.dropped(), total - CAPACITY as u64);
+        // All retained seqs are distinct...
+        let mut seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), CAPACITY);
+        // ...and every one is valid (< total). Mutex ordering means the
+        // ring holds the last CAPACITY *lock acquisitions*, which can
+        // interleave with seq assignment, so we only bound loosely.
+        assert!(seqs.iter().all(|&s| s < total));
     }
 }
