@@ -90,3 +90,13 @@ if [[ "${1:-}" == "--codec" ]]; then
     cargo test --release -q -p xfm-compress --test fse_differential
     cargo test --release -q -p xfm-compress --test zero_alloc
 fi
+# Prefetch smoke (opt-in via `./ci.sh --prefetch`): reduced-size learned
+# prefetch bench (on/off latency pairs on all four traces plus the
+# autotuner epoch loop, self-validating its JSON), the differential
+# proptest proving prefetching never changes observable contents, and
+# the counting-allocator gate over the staging-cache hit path.
+if [[ "${1:-}" == "--prefetch" ]]; then
+    cargo run --release -p xfm-bench --bin xfm-prefetch-bench -- --smoke
+    cargo test --release -q -p xfm-sfm --test prefetch_diff
+    cargo test --release -q -p xfm-sfm --test prefetch_zero_alloc
+fi

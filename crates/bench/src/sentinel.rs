@@ -1,8 +1,9 @@
 //! The bench-regression sentinel: diffs freshly generated
 //! `BENCH_codec.json` / `BENCH_swap.json` / `BENCH_event.json` /
-//! `BENCH_faults.json` exports against their committed baselines with
-//! tolerance bands, so a perf regression fails CI with a named metric
-//! instead of rotting silently in a JSON nobody re-reads.
+//! `BENCH_faults.json` / `BENCH_prefetch.json` exports against their
+//! committed baselines with tolerance bands, so a perf regression fails
+//! CI with a named metric instead of rotting silently in a JSON nobody
+//! re-reads.
 //!
 //! Throughput metrics (`*_pages_per_sec`, `events_per_sec`) may drop by
 //! at most [`Tolerance::throughput_drop`] relative to the baseline
@@ -371,6 +372,110 @@ pub fn check_faults(baseline: &str, current: &str, _tol: Tolerance) -> SentinelR
     report
 }
 
+/// Acceptance floors for the prefetch pipeline: p99 demand-fault
+/// latency must drop by at least this fraction on the predictable
+/// traces…
+const PREFETCH_MIN_P99_REDUCTION: f64 = 0.30;
+/// …at at least this speculation precision…
+const PREFETCH_MIN_PRECISION: f64 = 0.60;
+/// …and the autotuner must land within this factor of the best fixed
+/// knob setting.
+const PREFETCH_MAX_TUNE_RATIO: f64 = 1.10;
+
+/// Compares a `BENCH_prefetch.json` export against its baseline.
+///
+/// The predictable traces (`scan`, `stride`, `zipf-objects`) carry
+/// *absolute* acceptance floors — ≥30% p99 reduction at ≥60% precision
+/// — rather than baseline-relative bands, because the claim the file
+/// exists to defend is absolute. The adversarial `pointer-chase` row
+/// must be present (coverage must not shrink) but has no latency floor:
+/// its job is to show the engine declining to speculate. The autotuner
+/// ratio is a ceiling: within 10% of the best fixed arm.
+#[must_use]
+pub fn check_prefetch(baseline: &str, current: &str, _tol: Tolerance) -> SentinelReport {
+    let mut report = SentinelReport::default();
+    let (Some(base), Some(cur)) = (
+        parse_doc("baseline BENCH_prefetch.json", baseline, &mut report),
+        parse_doc("current BENCH_prefetch.json", current, &mut report),
+    ) else {
+        return report;
+    };
+    let rows = |doc: &JsonValue| -> BTreeMap<String, BTreeMap<String, f64>> {
+        let mut m = BTreeMap::new();
+        for row in doc
+            .get("traces")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+        {
+            let Some(name) = row.get("name").and_then(JsonValue::as_str) else {
+                continue;
+            };
+            let mut vals = BTreeMap::new();
+            for k in ["p99_reduction", "precision", "hit_rate"] {
+                if let Some(v) = num(row, k) {
+                    vals.insert(k.to_string(), v);
+                }
+            }
+            m.insert(name.to_string(), vals);
+        }
+        m
+    };
+    let base_rows = rows(&base);
+    if base_rows.is_empty() {
+        report
+            .errors
+            .push("baseline BENCH_prefetch.json has no 'traces' rows".into());
+        return report;
+    }
+    let cur_rows = rows(&cur);
+    for name in base_rows.keys() {
+        let Some(cvals) = cur_rows.get(name) else {
+            report.errors.push(format!(
+                "prefetch trace row '{name}' missing from current export"
+            ));
+            continue;
+        };
+        if !["scan", "stride", "zipf-objects"].contains(&name.as_str()) {
+            continue;
+        }
+        for (k, floor) in [
+            ("p99_reduction", PREFETCH_MIN_P99_REDUCTION),
+            ("precision", PREFETCH_MIN_PRECISION),
+        ] {
+            let Some(&cv) = cvals.get(k) else {
+                report
+                    .errors
+                    .push(format!("prefetch[{name}].{k} missing from current export"));
+                continue;
+            };
+            report.checks.push(Check {
+                metric: format!("prefetch[{name}].{k}"),
+                baseline: base_rows[name].get(k).copied().unwrap_or(floor),
+                current: cv,
+                floor,
+                pass: cv >= floor,
+            });
+        }
+    }
+    match cur
+        .get("autotune")
+        .map(|t| num(t, "ratio_vs_best_fixed"))
+        .unwrap_or(None)
+    {
+        Some(ratio) => report.checks.push(Check {
+            metric: "prefetch.autotune.ratio_vs_best_fixed (ceiling)".into(),
+            baseline: PREFETCH_MAX_TUNE_RATIO,
+            current: ratio,
+            floor: PREFETCH_MAX_TUNE_RATIO,
+            pass: ratio <= PREFETCH_MAX_TUNE_RATIO,
+        }),
+        None => report
+            .errors
+            .push("prefetch.autotune.ratio_vs_best_fixed missing".into()),
+    }
+    report
+}
+
 /// Merges reports (used by the binary to fold per-file results).
 #[must_use]
 pub fn merge(reports: Vec<SentinelReport>) -> SentinelReport {
@@ -500,6 +605,51 @@ mod tests {
         let r = check_faults(&lossy, &lossy, Tolerance::default());
         assert!(!r.passed());
         assert!(r.errors.iter().any(|e| e.contains("lost pages")));
+    }
+
+    #[test]
+    fn committed_prefetch_baseline_passes_against_itself() {
+        let text = repo_file("BENCH_prefetch.json");
+        let r = check_prefetch(&text, &text, Tolerance::default());
+        assert!(r.passed(), "{}", r.render());
+        // Three gated traces x two floors, plus the autotune ceiling.
+        assert_eq!(r.checks.len(), 7);
+    }
+
+    #[test]
+    fn prefetch_acceptance_floors_are_absolute() {
+        let good = r#"{"traces": [
+            {"name": "scan", "p99_reduction": 0.95, "precision": 0.99, "hit_rate": 0.99},
+            {"name": "stride", "p99_reduction": 0.90, "precision": 0.98, "hit_rate": 0.99},
+            {"name": "zipf-objects", "p99_reduction": 0.80, "precision": 0.97, "hit_rate": 0.99},
+            {"name": "pointer-chase", "p99_reduction": 0.01, "precision": 0.1, "hit_rate": 0.0}
+        ], "autotune": {"ratio_vs_best_fixed": 1.02}}"#;
+        let r = check_prefetch(good, good, Tolerance::default());
+        assert!(r.passed(), "{}", r.render());
+        // The adversarial trace has no floor — its terrible numbers
+        // must not fail the gate…
+        assert!(!r.checks.iter().any(|c| c.metric.contains("pointer-chase")));
+        // …but dropping the row entirely is a coverage error.
+        let shrunk = good.replace(
+            r#"{"name": "pointer-chase", "p99_reduction": 0.01, "precision": 0.1, "hit_rate": 0.0}"#,
+            r#"{"name": "pointer-chase2", "p99_reduction": 0.01, "precision": 0.1, "hit_rate": 0.0}"#,
+        );
+        let r = check_prefetch(good, &shrunk, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.errors.iter().any(|e| e.contains("pointer-chase")));
+        // A p99 reduction under 30% fails even if it matches baseline.
+        let weak = good.replace(
+            r#""name": "stride", "p99_reduction": 0.90"#,
+            r#""name": "stride", "p99_reduction": 0.20"#,
+        );
+        let r = check_prefetch(&weak, &weak, Tolerance::default());
+        assert!(!r.passed());
+        assert_eq!(r.failures()[0].metric, "prefetch[stride].p99_reduction");
+        // A diverged autotuner fails the ceiling.
+        let wandering = good.replace("1.02", "1.35");
+        let r = check_prefetch(good, &wandering, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.failures()[0].metric.contains("autotune"));
     }
 
     #[test]

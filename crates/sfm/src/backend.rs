@@ -195,6 +195,27 @@ pub trait SwapPlane: Send + Sync {
             .collect())
     }
 
+    /// Swaps in a batch of pages into the caller's reusable buffers,
+    /// returning per-page results in submission order (`pages[i]` lands
+    /// in `outs[i]`). The speculative prefetch engine issues its
+    /// claim batches through this entry point. The default runs pages
+    /// sequentially through [`SwapPlane::swap_in_into`] with
+    /// `do_offload = true` (a batch is speculation, not a stalled
+    /// demand fault); the sharded plane overrides it to decode each
+    /// shard's pages through the codec's batched entry point under a
+    /// single lock acquisition.
+    fn swap_in_batch_into(
+        &self,
+        pages: &[PageNumber],
+        outs: &mut [Vec<u8>],
+    ) -> Vec<SwapResult<SwapOutcome>> {
+        pages
+            .iter()
+            .zip(outs.iter_mut())
+            .map(|(page, out)| self.swap_in_into(*page, true, out))
+            .collect()
+    }
+
     /// Whether `page` currently lives in the SFM.
     fn contains(&self, page: PageNumber) -> bool;
 

@@ -20,7 +20,17 @@
 //! - [`sharded`] — the sharded concurrent swap data plane: the table,
 //!   age table, and zpool striped into N lock-independent shards behind
 //!   a `&self` front, with a batched swap-out pipeline feeding the
-//!   `compress_pages` worker pool;
+//!   `compress_pages` worker pool and a batched swap-in entry point
+//!   decoding per shard through the codec's batch path;
+//! - [`predictor`] — far-memory access predictors behind the
+//!   [`Predictor`] trait: stride heuristic, online-logistic learned
+//!   model, and a confidence-gated hybrid;
+//! - [`prefetch`] — the [`PrefetchEngine`]: batched speculative
+//!   swap-ins landed in a bounded staging cache the fault path consults
+//!   before decompressing (hit = memcpy);
+//! - [`autotune`] — a UCB bandit over control-plane knob settings,
+//!   scored from live telemetry and frozen while the degrade ladder is
+//!   active;
 //! - [`trace`] — an AIFM-like synthetic swap-trace generator with
 //!   Zipfian object popularity.
 //!
@@ -44,19 +54,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod backend;
 pub mod controller;
 pub mod cpu_backend;
 pub mod predictor;
+pub mod prefetch;
 pub mod sharded;
 pub mod table;
 pub mod trace;
 pub mod zpool;
 
+pub use autotune::{AutoTuneConfig, AutoTuner, CodecBias, Knobs};
 pub use backend::{BackendStats, ExecutedOn, SfmConfig, SwapOutcome, SwapPlane};
 pub use controller::{ColdScanConfig, PromotionStats, SfmController};
 pub use cpu_backend::CpuBackend;
-pub use predictor::{PredictorStats, StridePredictor};
+pub use predictor::{
+    HybridPredictor, LearnedPredictor, Predictor, PredictorStats, StridePredictor,
+};
+pub use prefetch::{PredictorKind, PrefetchConfig, PrefetchEngine, PumpReport};
 pub use sharded::{ShardedSfm, ShardedSfmConfig};
 pub use table::{SfmEntry, SfmTable};
 pub use trace::{SwapEvent, SwapKind, TraceConfig, TraceGenerator};

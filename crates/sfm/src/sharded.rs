@@ -567,6 +567,349 @@ impl ShardedSfm {
         Ok(outcome)
     }
 
+    /// Batched swap-in with per-shard claim batching: `pages[i]` lands
+    /// in `outs[i]` (cleared first), per-page results in submission
+    /// order. Pages are grouped by owning shard so each shard's lock is
+    /// taken exactly once, and every real-codec block in a shard is
+    /// decoded through [`Codec::decompress_batch_into`] — same-header
+    /// blocks share decode tables, which is what makes speculative
+    /// prefetch batches cheaper than N sequential faults. Per-page
+    /// observable behavior (outcome, stats, stored bytes, error
+    /// conditions) matches calling [`ShardedSfm::swap_in_into`]
+    /// sequentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pages.len() != outs.len()`.
+    pub fn swap_in_batch_into(
+        &self,
+        pages: &[PageNumber],
+        outs: &mut [Vec<u8>],
+    ) -> Vec<Result<SwapOutcome>> {
+        assert_eq!(
+            pages.len(),
+            outs.len(),
+            "swap_in_batch_into needs one output buffer per page"
+        );
+        let mut results: Vec<Option<Result<SwapOutcome>>> =
+            (0..pages.len()).map(|_| None).collect();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, p) in pages.iter().enumerate() {
+            by_shard[self.shard_of(*p)].push(i);
+        }
+        for (si, idxs) in by_shard.iter().enumerate() {
+            if !idxs.is_empty() {
+                self.swap_in_shard_batch(si, idxs, pages, outs, &mut results);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every page resolved"))
+            .collect()
+    }
+
+    /// One shard's slice of a batched swap-in, under a single lock
+    /// acquisition. Inline kinds (same-filled, raw) resolve immediately;
+    /// real-codec blocks are verified first, then decoded together.
+    fn swap_in_shard_batch(
+        &self,
+        si: usize,
+        idxs: &[usize],
+        pages: &[PageNumber],
+        outs: &mut [Vec<u8>],
+        results: &mut [Option<Result<SwapOutcome>>],
+    ) {
+        let mut guard = self.shards[si].lock();
+        let s = &mut *guard;
+        // (batch index, entry, fetch_ns) for deferred real-codec blocks.
+        let mut blocks: Vec<(usize, SfmEntry, u64)> = Vec::new();
+        // Pages already claimed by an earlier duplicate in this batch:
+        // the sequential plane would find their entry gone.
+        let mut claimed: BTreeSet<u64> = BTreeSet::new();
+        for &i in idxs {
+            let page = pages[i];
+            let psw = self.telemetry.as_ref().map(|_| Stopwatch::start());
+            let entry = match s.table.get(page) {
+                Some(e) if !claimed.contains(&page.index()) => *e,
+                _ => {
+                    results[i] = Some(Err(Error::EntryNotFound { page: page.index() }));
+                    continue;
+                }
+            };
+            // Fetch + verify, mirroring the sequential path (including
+            // injected in-transit flips): on mismatch the entry stays
+            // intact and the error is retryable.
+            let (got, fetch_ns) = {
+                let Shard { pool, .. } = &mut *s;
+                match pool.get(entry.handle) {
+                    Ok(compressed) => {
+                        let got = match self
+                            .faults
+                            .as_deref()
+                            .and_then(|f| f.fire_value(FaultSite::BitCorruption))
+                        {
+                            Some(v) => {
+                                let mut fetched = compressed.to_vec();
+                                let bit = (v % (fetched.len() as u64 * 8)) as usize;
+                                fetched[bit / 8] ^= 1 << (bit % 8);
+                                xfm_faults::checksum(&fetched)
+                            }
+                            None => xfm_faults::checksum(compressed),
+                        };
+                        (got, psw.map_or(0, |s| s.elapsed_ns()))
+                    }
+                    Err(e) => {
+                        results[i] = Some(Err(e));
+                        continue;
+                    }
+                }
+            };
+            if got != entry.checksum {
+                if let Some(t) = &self.telemetry {
+                    t.swap.span(
+                        SwapStage::Fetch,
+                        page.index(),
+                        0,
+                        fetch_ns,
+                        Cause::ChecksumMismatch,
+                    );
+                    t.swap.lifecycle_event(
+                        LifecycleStage::Fault,
+                        Cause::ChecksumMismatch,
+                        page.index(),
+                        si as u32,
+                        u64::from(entry.compressed_len),
+                        fetch_ns,
+                    );
+                }
+                results[i] = Some(Err(Error::ChecksumMismatch {
+                    page: page.index(),
+                    expected: entry.checksum,
+                    got,
+                }));
+                continue;
+            }
+            claimed.insert(page.index());
+            match entry.codec {
+                CodecKind::SameFilled => {
+                    {
+                        let Shard { pool, .. } = &mut *s;
+                        let fill = pool.get(entry.handle).expect("verified above")[0];
+                        let out = &mut outs[i];
+                        out.clear();
+                        out.resize(PAGE_SIZE, fill);
+                    }
+                    let op_ns = psw.map_or(0, |s| s.elapsed_ns());
+                    results[i] = Some(self.finish_batch_page(
+                        si,
+                        s,
+                        page,
+                        entry,
+                        Cycles::new(PAGE_SIZE as u64),
+                        fetch_ns,
+                        0,
+                        op_ns,
+                    ));
+                }
+                CodecKind::Raw => {
+                    {
+                        let Shard { pool, .. } = &mut *s;
+                        let compressed = pool.get(entry.handle).expect("verified above");
+                        let out = &mut outs[i];
+                        out.clear();
+                        out.extend_from_slice(compressed);
+                    }
+                    let op_ns = psw.map_or(0, |s| s.elapsed_ns());
+                    results[i] = Some(self.finish_batch_page(
+                        si,
+                        s,
+                        page,
+                        entry,
+                        Cycles::ZERO,
+                        fetch_ns,
+                        0,
+                        op_ns,
+                    ));
+                }
+                _ => blocks.push((i, entry, fetch_ns)),
+            }
+        }
+        if blocks.is_empty() {
+            return;
+        }
+
+        // Batched decode: every destination buffer is taken out of
+        // `outs` so the pool can lend all source slices simultaneously.
+        let dsw = self.telemetry.as_ref().map(|_| Stopwatch::start());
+        let mut dsts: Vec<Vec<u8>> = blocks
+            .iter()
+            .map(|&(i, _, _)| {
+                let mut d = std::mem::take(&mut outs[i]);
+                d.clear();
+                d
+            })
+            .collect();
+        let mut decode_res: Vec<Result<()>> = Vec::with_capacity(blocks.len());
+        {
+            let Shard { pool, scratch, .. } = &mut *s;
+            let srcs: Vec<&[u8]> = blocks
+                .iter()
+                .map(|(_, e, _)| pool.get(e.handle).expect("verified above"))
+                .collect();
+            match self.codec.decompress_batch_into(&srcs, &mut dsts, scratch) {
+                Ok(()) => {
+                    for (k, d) in dsts.iter().enumerate() {
+                        decode_res.push(if d.len() == PAGE_SIZE {
+                            Ok(())
+                        } else {
+                            Err(Error::Corrupt(format!(
+                                "page {} decompressed to {} bytes",
+                                pages[blocks[k].0],
+                                d.len()
+                            )))
+                        });
+                    }
+                }
+                Err(_) => {
+                    // The batch entry point aborts on the first corrupt
+                    // block; re-decode individually so every page gets
+                    // its own verdict, exactly as the sequential path
+                    // would have produced.
+                    for (k, (bi, e, _)) in blocks.iter().enumerate() {
+                        let src = pool.get(e.handle).expect("verified above");
+                        let d = &mut dsts[k];
+                        d.clear();
+                        let r = match self.codec.decompress_into(src, d, scratch) {
+                            Ok(_) if d.len() != PAGE_SIZE => Err(Error::Corrupt(format!(
+                                "page {} decompressed to {} bytes",
+                                pages[*bi],
+                                d.len()
+                            ))),
+                            Ok(_) => Ok(()),
+                            Err(err) => Err(err),
+                        };
+                        decode_res.push(r);
+                    }
+                }
+            }
+        }
+        let decomp_ns_each = dsw.map_or(0, |s| s.elapsed_ns()) / blocks.len() as u64;
+        for (k, &(i, entry, fetch_ns)) in blocks.iter().enumerate() {
+            outs[i] = std::mem::take(&mut dsts[k]);
+            match std::mem::replace(&mut decode_res[k], Ok(())) {
+                Ok(()) => {
+                    results[i] = Some(self.finish_batch_page(
+                        si,
+                        s,
+                        pages[i],
+                        entry,
+                        self.cost.decompress_cycles(PAGE_SIZE as u64),
+                        fetch_ns,
+                        decomp_ns_each,
+                        fetch_ns + decomp_ns_each,
+                    ));
+                }
+                Err(e) => {
+                    // Corrupt stored data consumes the entry, matching
+                    // the sequential path.
+                    let _ = s.table.remove(pages[i]);
+                    let _ = s.pool.free(entry.handle);
+                    {
+                        let Shard {
+                            pool, host_pages, ..
+                        } = s;
+                        self.sync_host_pages(pool, host_pages);
+                    }
+                    results[i] = Some(Err(e));
+                }
+            }
+        }
+    }
+
+    /// Accounting tail shared by every page a batched swap-in resolves:
+    /// removes the entry, frees the slot, and mirrors the sequential
+    /// path's stats and telemetry.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_batch_page(
+        &self,
+        si: usize,
+        s: &mut Shard,
+        page: PageNumber,
+        entry: SfmEntry,
+        cycles: Cycles,
+        fetch_ns: u64,
+        decomp_ns: u64,
+        op_ns: u64,
+    ) -> Result<SwapOutcome> {
+        s.table.remove(page)?;
+        s.pool.free(entry.handle)?;
+        {
+            let Shard {
+                pool, host_pages, ..
+            } = s;
+            self.sync_host_pages(pool, host_pages);
+        }
+        let outcome = SwapOutcome {
+            executed_on: ExecutedOn::Cpu,
+            compressed_len: entry.compressed_len,
+            cpu_cycles: cycles,
+            ddr_bytes: ByteSize::from_bytes(u64::from(entry.compressed_len) + PAGE_SIZE as u64),
+        };
+        s.stats.record(&outcome, false);
+        if let Some(t) = &self.telemetry {
+            let cause = match entry.codec {
+                CodecKind::SameFilled => Cause::SameFilled,
+                CodecKind::Raw => Cause::StoredRaw,
+                _ => Cause::Ok,
+            };
+            t.swap.swap_ins.inc();
+            t.swap.cpu_executions.inc();
+            t.swap.zpool_load_ns.record(fetch_ns);
+            t.swap.swap_in_ns.record(op_ns);
+            t.swap.span(SwapStage::Fault, page.index(), 0, op_ns, cause);
+            t.swap
+                .span(SwapStage::Fetch, page.index(), 0, fetch_ns, Cause::Ok);
+            t.swap.lifecycle_event(
+                LifecycleStage::Fault,
+                cause,
+                page.index(),
+                si as u32,
+                u64::from(entry.compressed_len),
+                op_ns,
+            );
+            t.swap.lifecycle_event(
+                LifecycleStage::Fetch,
+                Cause::Ok,
+                page.index(),
+                si as u32,
+                u64::from(entry.compressed_len),
+                fetch_ns,
+            );
+            if !matches!(cause, Cause::SameFilled | Cause::StoredRaw) {
+                t.swap.decompress_ns.record(decomp_ns);
+                t.swap.span(
+                    SwapStage::Decompress,
+                    page.index(),
+                    fetch_ns,
+                    decomp_ns,
+                    Cause::Ok,
+                );
+                t.swap.lifecycle_event(
+                    LifecycleStage::Decompress,
+                    Cause::Ok,
+                    page.index(),
+                    si as u32,
+                    u64::from(entry.compressed_len),
+                    decomp_ns,
+                );
+            }
+            t.shards.swap_ins[si].inc();
+            t.shards.busy_ns[si].add(op_ns);
+            t.shards.entries[si].set(s.table.len() as f64);
+        }
+        Ok(outcome)
+    }
+
     /// Whether `page` currently lives in the SFM.
     #[must_use]
     pub fn contains(&self, page: PageNumber) -> bool {
@@ -1136,6 +1479,17 @@ impl SwapPlane for ShardedSfm {
                     .collect()
             })
             .map_err(SwapError::from)
+    }
+
+    fn swap_in_batch_into(
+        &self,
+        pages: &[PageNumber],
+        outs: &mut [Vec<u8>],
+    ) -> Vec<SwapResult<SwapOutcome>> {
+        ShardedSfm::swap_in_batch_into(self, pages, outs)
+            .into_iter()
+            .map(|r| r.map_err(SwapError::from))
+            .collect()
     }
 
     fn contains(&self, page: PageNumber) -> bool {

@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use xfm_compress::{interleaved_ratio, Corpus, XDeflate};
 use xfm_dram::timing::DramTimings;
-use xfm_sfm::StridePredictor;
+use xfm_sfm::{HybridPredictor, Predictor, StridePredictor};
 use xfm_types::{ByteSize, Nanos, PageNumber, PAGE_SIZE};
 
 use crate::fallback::{simulate, FallbackConfig};
@@ -221,47 +221,102 @@ pub struct PredictorRow {
     pub precision: f64,
 }
 
+/// The characteristic fault streams the predictor studies share.
+fn fault_patterns(faults: usize, seed: u64) -> Vec<(String, Vec<u64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        ("sequential-scan".to_string(), (0..faults as u64).collect()),
+        (
+            "strided-matrix".to_string(),
+            (0..faults as u64).map(|k| k * 7 % (1 << 20)).collect(),
+        ),
+        (
+            "zipf-web".to_string(),
+            (0..faults)
+                .map(|_| {
+                    // Zipf-flavored: popular pages recur, tail is random.
+                    if rng.gen_bool(0.6) {
+                        rng.gen_range(0..64)
+                    } else {
+                        rng.gen_range(0..1_000_000)
+                    }
+                })
+                .collect(),
+        ),
+        (
+            "uniform-random".to_string(),
+            (0..faults).map(|_| rng.gen_range(0..1_000_000)).collect(),
+        ),
+    ]
+}
+
 /// Runs the stride predictor over characteristic fault streams: the
 /// accuracies feed the prefetch-accuracy sweep with *achievable* values.
 #[must_use]
 pub fn predictor_study(faults: usize, seed: u64) -> Vec<PredictorRow> {
-    let mut rows = Vec::new();
-    let mut run = |name: &str, pages: Vec<u64>| {
-        let mut p = StridePredictor::new(4);
-        for page in pages {
-            p.observe(PageNumber::new(page));
-        }
-        rows.push(PredictorRow {
-            pattern: name.to_string(),
-            accuracy: p.stats().accuracy(),
-            precision: p.stats().precision(),
-        });
-    };
+    fault_patterns(faults, seed)
+        .into_iter()
+        .map(|(pattern, pages)| {
+            let mut p = StridePredictor::new(4);
+            for page in pages {
+                p.observe(PageNumber::new(page));
+            }
+            PredictorRow {
+                pattern,
+                accuracy: p.stats().accuracy(),
+                precision: p.stats().precision(),
+            }
+        })
+        .collect()
+}
 
-    run("sequential-scan", (0..faults as u64).collect());
-    run(
-        "strided-matrix",
-        (0..faults as u64).map(|k| k * 7 % (1 << 20)).collect(),
-    );
-    let mut rng = StdRng::seed_from_u64(seed);
-    run(
-        "zipf-web",
-        (0..faults)
-            .map(|_| {
-                // Zipf-flavored: popular pages recur, tail is random.
-                if rng.gen_bool(0.6) {
-                    rng.gen_range(0..64)
-                } else {
-                    rng.gen_range(0..1_000_000)
+/// One Fig. 12 point driven by a *measured* predictor instead of the
+/// assumed `prefetch_accuracy` constant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredPrefetchRow {
+    /// Fault-pattern name.
+    pub pattern: String,
+    /// Accuracy the hybrid predictor achieved on the stream.
+    pub measured_accuracy: f64,
+    /// CPU-fallback fraction when the simulation runs at that accuracy.
+    pub fallback_fraction: f64,
+}
+
+/// Closes the predictor-to-simulation loop: runs the hybrid predictor
+/// over each characteristic fault stream, then simulates the Fig. 12
+/// reference point with [`FallbackConfig::with_measured_accuracy`]
+/// instead of the hand-set constant. The constant-accuracy path
+/// ([`prefetch_accuracy_sweep`]) stays untouched as the explicit
+/// override that the bit-identical replay gate pins.
+#[must_use]
+pub fn measured_prefetch_study(
+    duration: Nanos,
+    faults: usize,
+    seed: u64,
+) -> Vec<MeasuredPrefetchRow> {
+    fault_patterns(faults, seed)
+        .into_iter()
+        .map(|(pattern, pages)| {
+            let mut p = HybridPredictor::new(4, seed);
+            for page in pages {
+                p.observe(PageNumber::new(page));
+            }
+            let stats = p.stats();
+            let report = simulate(
+                &FallbackConfig {
+                    spm_capacity: ByteSize::from_mib(8),
+                    duration,
+                    ..FallbackConfig::default()
                 }
-            })
-            .collect(),
-    );
-    run(
-        "uniform-random",
-        (0..faults).map(|_| rng.gen_range(0..1_000_000)).collect(),
-    );
-    rows
+                .with_measured_accuracy(&stats),
+            );
+            MeasuredPrefetchRow {
+                pattern,
+                measured_accuracy: stats.accuracy(),
+                fallback_fraction: report.fallback_fraction(),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -323,5 +378,25 @@ mod tests {
         assert!(get("sequential-scan").accuracy > 0.9);
         assert!(get("uniform-random").accuracy < 0.1);
         assert!(get("zipf-web").accuracy <= get("strided-matrix").accuracy + 1.0);
+    }
+
+    #[test]
+    fn measured_accuracy_drives_the_simulation() {
+        let rows = measured_prefetch_study(Nanos::from_ms(30), 3000, 5);
+        assert_eq!(rows.len(), 4);
+        let get = |name: &str| rows.iter().find(|r| r.pattern == name).unwrap();
+        let seq = get("sequential-scan");
+        let rnd = get("uniform-random");
+        // A predictable stream measures high, an unpredictable one low,
+        // and the fallback fraction tracks the measured accuracy the
+        // same way the constant-accuracy sweep does.
+        assert!(seq.measured_accuracy > 0.9, "{}", seq.measured_accuracy);
+        assert!(rnd.measured_accuracy < 0.1, "{}", rnd.measured_accuracy);
+        assert!(
+            seq.fallback_fraction <= rnd.fallback_fraction,
+            "measured accuracy did not reduce fallbacks: {} vs {}",
+            seq.fallback_fraction,
+            rnd.fallback_fraction
+        );
     }
 }

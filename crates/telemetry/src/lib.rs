@@ -62,6 +62,7 @@ pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod lifecycle;
+pub mod prefetch_metrics;
 pub mod registry;
 pub mod shard_metrics;
 pub mod swap_metrics;
@@ -72,6 +73,7 @@ pub use export::{HistogramSnapshot, Snapshot};
 pub use flight::{FlightRecorder, FlightRecorderConfig};
 pub use hist::Histogram;
 pub use lifecycle::{LifecycleEvent, LifecycleStage, LifecycleTrace};
+pub use prefetch_metrics::PrefetchMetrics;
 pub use registry::Registry;
 pub use shard_metrics::ShardMetrics;
 pub use swap_metrics::SwapMetrics;

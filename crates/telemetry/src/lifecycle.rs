@@ -59,6 +59,11 @@ pub enum LifecycleStage {
     Warmup,
     /// The degraded-mode state machine changed level (aux = new level).
     ModeChange,
+    /// A speculative swap-in was issued for this page (aux = batch size).
+    PrefetchIssue,
+    /// A demand fault was served from the prefetch staging cache
+    /// (aux = staged-page age in pump rounds).
+    PrefetchHit,
 }
 
 impl LifecycleStage {
@@ -78,6 +83,8 @@ impl LifecycleStage {
             LifecycleStage::Decompress => "decompress",
             LifecycleStage::Warmup => "warmup",
             LifecycleStage::ModeChange => "mode_change",
+            LifecycleStage::PrefetchIssue => "prefetch_issue",
+            LifecycleStage::PrefetchHit => "prefetch_hit",
         }
     }
 
@@ -97,6 +104,8 @@ impl LifecycleStage {
             LifecycleStage::Decompress => 9,
             LifecycleStage::Warmup => 10,
             LifecycleStage::ModeChange => 11,
+            LifecycleStage::PrefetchIssue => 12,
+            LifecycleStage::PrefetchHit => 13,
         }
     }
 
@@ -116,6 +125,8 @@ impl LifecycleStage {
             9 => LifecycleStage::Decompress,
             10 => LifecycleStage::Warmup,
             11 => LifecycleStage::ModeChange,
+            12 => LifecycleStage::PrefetchIssue,
+            13 => LifecycleStage::PrefetchHit,
             _ => return None,
         })
     }
@@ -507,7 +518,7 @@ mod tests {
 
     #[test]
     fn meta_packing_round_trips() {
-        for stage_code in 0..12u8 {
+        for stage_code in 0..14u8 {
             let stage = LifecycleStage::from_code(stage_code).unwrap();
             assert_eq!(stage.code(), stage_code);
             for cause_code in 0..16u8 {
@@ -516,7 +527,7 @@ mod tests {
                 assert_eq!(unpack_meta(meta), Some((stage, cause, 0xdead_beef)));
             }
         }
-        assert_eq!(LifecycleStage::from_code(12), None);
+        assert_eq!(LifecycleStage::from_code(14), None);
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! The prefetch-plane metric bundle.
+//!
+//! The prefetch engine (`xfm-sfm`) and its autotuner report through
+//! these series; like [`crate::swap_metrics::SwapMetrics`], every handle
+//! is pre-registered at attach time so steady-state recording is a
+//! relaxed atomic with no registry lookups and no allocation — the
+//! staging-cache *hit* path carries the same zero-allocation proof as
+//! the swap path itself.
+
+use std::sync::Arc;
+
+use crate::counter::{Counter, Gauge};
+use crate::registry::Registry;
+
+/// Pre-registered handles for every prefetch-plane metric.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_telemetry::{PrefetchMetrics, Registry};
+///
+/// let registry = Registry::new();
+/// let m = PrefetchMetrics::register(&registry);
+/// m.issued.inc();
+/// m.hits.inc();
+/// m.update_precision();
+/// assert_eq!(registry.counter("xfm_prefetch_issued_total").get(), 1);
+/// assert!((registry.gauge("xfm_prefetch_precision").get() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefetchMetrics {
+    /// Speculative swap-ins issued (pages staged).
+    pub issued: Arc<Counter>,
+    /// Demand faults served from the staging cache (memcpy, no codec).
+    pub hits: Arc<Counter>,
+    /// Predictions dropped by the precision gate or staging back-pressure.
+    pub throttled: Arc<Counter>,
+    /// Stale staged pages written back into the compressed pool.
+    pub writebacks: Arc<Counter>,
+    /// Pages currently held in the staging cache.
+    pub staged_pages: Arc<Gauge>,
+    /// Rolling `hits / issued` precision (updated by
+    /// [`PrefetchMetrics::update_precision`]).
+    pub precision: Arc<Gauge>,
+    /// Measured predictor accuracy (fraction of faults predicted).
+    pub accuracy: Arc<Gauge>,
+    /// Autotuner arm currently applied (index into its knob grid).
+    pub autotune_arm: Arc<Gauge>,
+}
+
+impl PrefetchMetrics {
+    /// Registers (or re-binds to) the prefetch metric family on
+    /// `registry`.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Self {
+        for (name, help) in [
+            (
+                "xfm_prefetch_issued_total",
+                "Speculative swap-ins issued (pages staged).",
+            ),
+            (
+                "xfm_prefetch_hits_total",
+                "Demand faults served from the prefetch staging cache.",
+            ),
+            (
+                "xfm_prefetch_throttled_total",
+                "Predictions dropped by the precision gate or staging back-pressure.",
+            ),
+            (
+                "xfm_prefetch_writebacks_total",
+                "Stale staged pages written back into the compressed pool.",
+            ),
+            (
+                "xfm_prefetch_staging_pages",
+                "Pages currently held in the prefetch staging cache.",
+            ),
+            (
+                "xfm_prefetch_precision",
+                "Rolling prefetch precision (staging hits / pages issued).",
+            ),
+            (
+                "xfm_prefetch_accuracy",
+                "Measured predictor accuracy (fraction of faults predicted).",
+            ),
+            (
+                "xfm_prefetch_autotune_arm",
+                "Autotuner arm currently applied (knob-grid index).",
+            ),
+        ] {
+            registry.describe(name, help);
+        }
+        Self {
+            issued: registry.counter("xfm_prefetch_issued_total"),
+            hits: registry.counter("xfm_prefetch_hits_total"),
+            throttled: registry.counter("xfm_prefetch_throttled_total"),
+            writebacks: registry.counter("xfm_prefetch_writebacks_total"),
+            staged_pages: registry.gauge("xfm_prefetch_staging_pages"),
+            precision: registry.gauge("xfm_prefetch_precision"),
+            accuracy: registry.gauge("xfm_prefetch_accuracy"),
+            autotune_arm: registry.gauge("xfm_prefetch_autotune_arm"),
+        }
+    }
+
+    /// Republishes the precision gauge from the issued/hit counters.
+    /// Zero issued pages reads as zero precision.
+    pub fn update_precision(&self) {
+        let issued = self.issued.get();
+        let hits = self.hits.get();
+        let p = if issued == 0 {
+            0.0
+        } else {
+            hits as f64 / issued as f64
+        };
+        self.precision.set(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_binds_prefetch_names() {
+        let r = Registry::new();
+        let m = PrefetchMetrics::register(&r);
+        m.issued.add(4);
+        m.hits.add(3);
+        m.throttled.inc();
+        m.staged_pages.set(2.0);
+        m.update_precision();
+        let s = r.snapshot();
+        assert_eq!(s.counters["xfm_prefetch_issued_total"], 4);
+        assert_eq!(s.counters["xfm_prefetch_hits_total"], 3);
+        assert_eq!(s.counters["xfm_prefetch_throttled_total"], 1);
+        assert!((s.gauges["xfm_prefetch_staging_pages"] - 2.0).abs() < 1e-12);
+        assert!((s.gauges["xfm_prefetch_precision"] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn re_registration_shares_handles() {
+        let r = Registry::new();
+        let a = PrefetchMetrics::register(&r);
+        let b = PrefetchMetrics::register(&r);
+        a.hits.add(2);
+        b.hits.add(3);
+        assert_eq!(r.counter("xfm_prefetch_hits_total").get(), 5);
+    }
+
+    #[test]
+    fn zero_issued_precision_is_zero() {
+        let r = Registry::new();
+        let m = PrefetchMetrics::register(&r);
+        m.update_precision();
+        assert_eq!(r.gauge("xfm_prefetch_precision").get(), 0.0);
+    }
+}
