@@ -79,6 +79,11 @@ obs_gate
 if [[ "${1:-}" == "--chaos" ]]; then
     cargo run --release -p xfm-bench --bin xfm-fault-bench -- \
         --smoke --dump-dir "$(mktemp -d)"
+    # Replica-kill scenario: writes under an injected replica-drop storm,
+    # anti-entropy scrub, then a full replica kill — the survivor must
+    # serve every page byte-exact (nonzero exit on any lost page).
+    cargo run --release -p xfm-bench --bin xfm-tier-bench -- \
+        --replica-kill --smoke
 fi
 # Codec smoke (opt-in via `./ci.sh --codec`): reduced-round codec bench
 # with built-in round-trip identity on every corpus/codec pair, the FSE
@@ -99,4 +104,15 @@ if [[ "${1:-}" == "--prefetch" ]]; then
     cargo run --release -p xfm-bench --bin xfm-prefetch-bench -- --smoke
     cargo test --release -q -p xfm-sfm --test prefetch_diff
     cargo test --release -q -p xfm-sfm --test prefetch_zero_alloc
+fi
+# Tier smoke (opt-in via `./ci.sh --tier`): reduced-size tiered-plane
+# bench (demotion cascade, per-tier fault latencies, degraded-replica
+# read-back, self-validating its JSON), the differential proptest
+# proving a single-tier composition is observably identical to the bare
+# plane, and the replica-loss proptest proving zero lost pages with any
+# single replica down after anti-entropy.
+if [[ "${1:-}" == "--tier" ]]; then
+    cargo run --release -p xfm-bench --bin xfm-tier-bench -- --smoke
+    cargo test --release -q -p xfm-sfm --test tier_diff
+    cargo test --release -q -p xfm-sfm --test tier_replica
 fi

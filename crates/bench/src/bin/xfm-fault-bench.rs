@@ -30,9 +30,9 @@ use std::sync::Arc;
 use xfm_compress::Corpus;
 use xfm_core::backend::{XfmBackend, XfmBackendConfig};
 use xfm_faults::{DegradedMode, FaultInjector, FaultPlan, FaultSite, RetryPolicy, SiteSpec};
-use xfm_sfm::backend::SfmConfig;
+use xfm_sfm::backend::{SfmConfig, SwapPlane};
 use xfm_telemetry::{flight, FlightRecorder, FlightRecorderConfig, Registry};
-use xfm_types::{ByteSize, Error, Nanos, PageNumber, PAGE_SIZE};
+use xfm_types::{ByteSize, Nanos, PageNumber, PAGE_SIZE};
 
 /// Any single swap op must land within this many attempts; more means
 /// the fault plan and retry logic have livelocked.
@@ -94,26 +94,29 @@ fn main() {
     injector.attach_telemetry(&registry);
     let injector = Arc::new(injector);
 
-    let mut backend = XfmBackend::new(XfmBackendConfig {
-        sfm: SfmConfig {
-            region_capacity: ByteSize::from_mib(16),
-            ..SfmConfig::default()
-        },
-        ..XfmBackendConfig::default()
-    });
-    backend.attach_telemetry(&registry);
-    backend.attach_faults(Arc::clone(&injector));
-    backend.set_retry_policy(RetryPolicy::default());
-
     let recorder = dump_dir.as_ref().map(|dir| {
         std::fs::create_dir_all(dir).expect("create dump dir");
-        let recorder = Arc::new(FlightRecorder::new(
+        Arc::new(FlightRecorder::new(
             &registry,
             FlightRecorderConfig::new(dir.clone()),
-        ));
-        backend.attach_flight_recorder(Arc::clone(&recorder));
-        recorder
+        ))
     });
+
+    let mut builder = XfmBackend::builder()
+        .config(XfmBackendConfig {
+            sfm: SfmConfig {
+                region_capacity: ByteSize::from_mib(16),
+                ..SfmConfig::default()
+            },
+            ..XfmBackendConfig::default()
+        })
+        .telemetry(&registry)
+        .faults(Arc::clone(&injector))
+        .retry_policy(RetryPolicy::default());
+    if let Some(recorder) = &recorder {
+        builder = builder.flight_recorder(Arc::clone(recorder));
+    }
+    let backend = builder.build().expect("valid chaos backend configuration");
 
     println!(
         "chaos plan (seed {}): {}",
@@ -145,11 +148,11 @@ fn main() {
                     attempts <= MAX_ATTEMPTS,
                     "swap_out of page {i} livelocked after {MAX_ATTEMPTS} attempts"
                 );
-                match backend.swap_out(page, &data) {
+                match SwapPlane::swap_out(&backend, page, &data) {
                     Ok(_) => break,
-                    // An injected store failure surfaces as a full
-                    // region; the entry was never recorded, so retry.
-                    Err(Error::SfmRegionFull) => store_retries += 1,
+                    // An injected store failure surfaces as a capacity
+                    // verdict; the entry was never recorded, so retry.
+                    Err(e) if e.is_capacity() => store_retries += 1,
                     Err(e) => panic!("unexpected swap_out error: {e}"),
                 }
             }
@@ -181,11 +184,11 @@ fn main() {
                     attempts <= MAX_ATTEMPTS,
                     "swap_in of page {i} livelocked after {MAX_ATTEMPTS} attempts"
                 );
-                match backend.swap_in(page, i % 2 == 0) {
+                match SwapPlane::swap_in(&backend, page, i % 2 == 0) {
                     Ok((data, _)) => break data,
                     // Checksum caught an injected flip before the entry
                     // was consumed: the stored copy is intact, retry.
-                    Err(Error::ChecksumMismatch { .. }) => corrupt_retries += 1,
+                    Err(e) if e.is_corruption() && e.is_retryable() => corrupt_retries += 1,
                     Err(e) => panic!("unexpected swap_in error: {e}"),
                 }
             };

@@ -6,9 +6,9 @@
 //!   [--ratio-drop F]` — diff every `BENCH_*.json` present in the
 //!   baseline dir against the same file in the current dir using the
 //!   tolerance bands from [`xfm_bench::sentinel`]; exit 1 on any
-//!   failure. `BENCH_faults.json` and `BENCH_prefetch.json` are
-//!   optional in the baseline (older checkouts); the other three are
-//!   required.
+//!   failure. `BENCH_faults.json`, `BENCH_prefetch.json`, and
+//!   `BENCH_tier.json` are optional in the baseline (older checkouts);
+//!   the other three are required.
 //! - `validate-trace <file.json>` — structurally validate a Chrome
 //!   `trace_event` export produced by `xfm-repro --trace-out`.
 //! - `validate-dump <file.json>` — structurally validate a flight
@@ -69,12 +69,13 @@ fn check(mut args: Vec<String>) -> ExitCode {
     }
 
     type CheckFn = fn(&str, &str, Tolerance) -> SentinelReport;
-    let suites: [(&str, CheckFn, bool); 5] = [
+    let suites: [(&str, CheckFn, bool); 6] = [
         ("BENCH_codec.json", sentinel::check_codec, true),
         ("BENCH_swap.json", sentinel::check_swap, true),
         ("BENCH_event.json", sentinel::check_event, true),
         ("BENCH_faults.json", sentinel::check_faults, false),
         ("BENCH_prefetch.json", sentinel::check_prefetch, false),
+        ("BENCH_tier.json", sentinel::check_tier, false),
     ];
 
     let mut reports = Vec::new();

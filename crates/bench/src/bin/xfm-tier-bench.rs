@@ -1,0 +1,451 @@
+//! Tiered-swap-plane benchmark, emitting machine-readable
+//! `BENCH_tier.json`: per-tier fault-latency distributions,
+//! demotion/promotion rates, and degraded-replica throughput.
+//!
+//! The harness composes the three-tier hierarchy the tier plane was
+//! built for — compressed local zpool → modeled SSD → replicated
+//! remote pair, all on one shared virtual clock — then:
+//!
+//! 1. **fill**: demotes `pages` cold pages through the budgeted
+//!    hierarchy, cascading the coldest down to SSD and remote;
+//! 2. **fault**: faults every page back in, timing the wall-clock
+//!    fault path per originating tier and collecting the *virtual*
+//!    (modeled, machine-independent) media latencies per device;
+//! 3. **degraded**: writes a replicated working set, scrubs, kills one
+//!    replica, and measures read-back throughput plus the zero-loss
+//!    invariant on the survivor.
+//!
+//! Wall-clock rows are machine-dependent and band-checked by the
+//! sentinel; virtual latencies and all demotion/promotion/replica
+//! counters are deterministic for a fixed seed and exact-checked.
+//!
+//! Run with `cargo run --release -p xfm-bench --bin xfm-tier-bench`;
+//! pass `--smoke` for the seconds-long self-validating variant
+//! (`ci.sh --tier`), `--replica-kill` for the chaos scenario alone
+//! under an injected replica-drop storm (`ci.sh --chaos`).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use xfm_compress::Corpus;
+use xfm_event::ClockMirror;
+use xfm_faults::{FaultInjector, FaultPlan, FaultSite, SiteSpec};
+use xfm_sfm::{
+    MediaModel, ModeledPlane, ReplicatedPlane, SfmConfig, ShardedSfm, ShardedSfmConfig, SwapPlane,
+    TierSpec, TierStats, TieredPlane,
+};
+use xfm_types::{ByteSize, PageNumber, PlacementClass, PlaneId, PAGE_SIZE};
+
+const SEED: u64 = 0x7137_D00D;
+
+/// Workload shape; `smoke` shrinks it to a CI-friendly size.
+#[derive(Clone, Copy)]
+struct Workload {
+    /// Pages demoted through the hierarchy.
+    pages: u64,
+    /// Tier-0 (compressed local) resident budget.
+    local_budget: u64,
+    /// Tier-1 (modeled SSD) resident budget.
+    ssd_budget: u64,
+    /// Pages in the degraded-replica working set.
+    replica_pages: u64,
+}
+
+const FULL: Workload = Workload {
+    pages: 768,
+    local_budget: 128,
+    ssd_budget: 256,
+    replica_pages: 384,
+};
+const SMOKE: Workload = Workload {
+    pages: 96,
+    local_budget: 16,
+    ssd_budget: 32,
+    replica_pages: 48,
+};
+
+/// Compressible page contents (heap-page shapes) so the local tier
+/// stores real compressed objects.
+fn page_contents(page: u64) -> Vec<u8> {
+    match page % 3 {
+        0 => Corpus::Json.generate(page ^ SEED, PAGE_SIZE),
+        1 => Corpus::KeyValue.generate(page ^ SEED, PAGE_SIZE),
+        _ => Corpus::LogLines.generate(page ^ SEED, PAGE_SIZE),
+    }
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The composed hierarchy plus handles to the modeled devices.
+struct Hierarchy {
+    tiered: TieredPlane,
+    ssd: Arc<ModeledPlane>,
+    remote: Arc<ReplicatedPlane>,
+}
+
+fn build_hierarchy(wl: Workload) -> Hierarchy {
+    let clock = ClockMirror::new();
+    let local = Arc::new(ShardedSfm::new(ShardedSfmConfig {
+        sfm: SfmConfig {
+            region_capacity: ByteSize::from_mib(16),
+            ..SfmConfig::default()
+        },
+        ..ShardedSfmConfig::default()
+    }));
+    let ssd = Arc::new(ModeledPlane::new(
+        "ssd",
+        MediaModel::ssd(),
+        0,
+        clock.clone(),
+    ));
+    let remote = Arc::new(ReplicatedPlane::new(
+        "remote",
+        MediaModel::remote(),
+        0,
+        clock.clone(),
+    ));
+    let tiered = TieredPlane::new(vec![
+        TierSpec::new(local, PlaneId::new(0), PlacementClass::CompressedLocal)
+            .with_capacity_pages(wl.local_budget),
+        TierSpec::new(ssd.clone(), PlaneId::new(1), PlacementClass::Ssd)
+            .with_capacity_pages(wl.ssd_budget),
+        TierSpec::new(remote.clone(), PlaneId::new(2), PlacementClass::Remote),
+    ])
+    .expect("valid hierarchy");
+    Hierarchy {
+        tiered,
+        ssd,
+        remote,
+    }
+}
+
+/// Per-tier fault measurements: wall-clock latencies grouped by the
+/// tier the page resided on when the fault hit.
+struct TierRow {
+    stats: TierStats,
+    faults: u64,
+    fault_p50_ns: u64,
+    fault_p99_ns: u64,
+}
+
+struct TierRun {
+    rows: Vec<TierRow>,
+    swap_outs: u64,
+    demotions: u64,
+    faults: u64,
+    promotions: u64,
+    /// Virtual (modeled) media latencies, exact-checkable.
+    ssd_read_p50_ns: u64,
+    ssd_read_p99_ns: u64,
+    ssd_write_p50_ns: u64,
+    ssd_write_p99_ns: u64,
+    remote_read_p50_ns: u64,
+    remote_write_p50_ns: u64,
+}
+
+fn run_tiers(wl: Workload) -> TierRun {
+    let h = build_hierarchy(wl);
+
+    // Phase 1: fill. Budget pressure cascades cold pages down.
+    for p in 0..wl.pages {
+        h.tiered
+            .swap_out(PageNumber::new(p), &page_contents(p))
+            .expect("demote");
+    }
+    let fill_stats = h.tiered.tier_stats();
+
+    // Phase 2: fault every page back, attributing the wall latency to
+    // the tier that held the page.
+    let mut per_tier: Vec<Vec<u64>> = vec![Vec::new(); fill_stats.len()];
+    let mut buf = Vec::with_capacity(PAGE_SIZE);
+    for p in 0..wl.pages {
+        let pn = PageNumber::new(p);
+        let tier = h
+            .tiered
+            .placement_of(pn)
+            .map_or(0, |pl| pl.plane.as_u32() as usize);
+        let start = Instant::now();
+        h.tiered.swap_in_into(pn, true, &mut buf).expect("fault");
+        let ns = start.elapsed().as_nanos() as u64;
+        assert_eq!(buf, page_contents(p), "page {p} corrupted in the hierarchy");
+        per_tier[tier].push(ns);
+    }
+    let final_stats = h.tiered.tier_stats();
+
+    let rows: Vec<TierRow> = final_stats
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut lat = per_tier[i].clone();
+            lat.sort_unstable();
+            TierRow {
+                stats: TierStats {
+                    // Resident counts are meaningful after the fill,
+                    // before the consuming faults drained the tiers.
+                    resident_pages: fill_stats[i].resident_pages,
+                    ..s.clone()
+                },
+                faults: lat.len() as u64,
+                fault_p50_ns: quantile(&lat, 0.50),
+                fault_p99_ns: quantile(&lat, 0.99),
+            }
+        })
+        .collect();
+
+    let demotions: u64 = rows.iter().map(|r| r.stats.demoted_in).sum();
+    let promotions: u64 = rows.iter().map(|r| r.stats.promoted).sum();
+    TierRun {
+        rows,
+        swap_outs: wl.pages,
+        demotions,
+        faults: wl.pages,
+        promotions,
+        ssd_read_p50_ns: h.ssd.read_latency().quantile(0.50),
+        ssd_read_p99_ns: h.ssd.read_latency().quantile(0.99),
+        ssd_write_p50_ns: h.ssd.write_latency().quantile(0.50),
+        ssd_write_p99_ns: h.ssd.write_latency().quantile(0.99),
+        remote_read_p50_ns: h.remote.replica(0).read_latency().quantile(0.50),
+        remote_write_p50_ns: h.remote.replica(0).write_latency().quantile(0.50),
+    }
+}
+
+struct ReplicaRun {
+    pages: u64,
+    degraded_reads: u64,
+    repairs: u64,
+    dropped_writes: u64,
+    lost_pages: u64,
+    degraded_pages_per_sec: f64,
+}
+
+/// Phase 3: write a replicated working set, scrub, kill one replica,
+/// read everything back off the survivor under the clock.
+fn run_degraded(wl: Workload, storm: bool) -> ReplicaRun {
+    let mut plane = ReplicatedPlane::new("remote", MediaModel::remote(), 0, ClockMirror::new());
+    if storm {
+        let plan = FaultPlan::new(SEED).with_site(
+            FaultSite::ReplicaLoss,
+            SiteSpec::with_probability(0.3).max_fires(wl.replica_pages / 4),
+        );
+        plane.attach_faults(Arc::new(FaultInjector::new(&plan)));
+    }
+    for p in 0..wl.replica_pages {
+        plane
+            .swap_out(PageNumber::new(p), &page_contents(p))
+            .expect("replicated write");
+    }
+    // Anti-entropy restores two-copy redundancy before the kill.
+    plane.scrub();
+    plane.kill(0);
+
+    let mut lost = 0u64;
+    let mut buf = Vec::with_capacity(PAGE_SIZE);
+    let start = Instant::now();
+    for p in 0..wl.replica_pages {
+        match plane.swap_in_into(PageNumber::new(p), true, &mut buf) {
+            Ok(_) if buf == page_contents(p) => {}
+            _ => lost += 1,
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(lost, 0, "replica kill lost {lost} pages");
+    ReplicaRun {
+        pages: wl.replica_pages,
+        degraded_reads: plane.degraded_reads(),
+        repairs: plane.repairs(),
+        dropped_writes: plane.dropped_writes(),
+        lost_pages: lost,
+        degraded_pages_per_sec: wl.replica_pages as f64 / secs.max(1e-9),
+    }
+}
+
+fn render_json(wl: Workload, run: &TierRun, rep: &ReplicaRun) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"page_size\": {PAGE_SIZE},");
+    let _ = writeln!(s, "  \"pages\": {},", wl.pages);
+    let _ = writeln!(s, "  \"seed\": {SEED},");
+    s.push_str(
+        "  \"methodology\": \"Pages demote through compressed-local -> modeled-SSD -> \
+         replicated-remote under per-tier budgets, then fault back in. fault_p50/p99_ns are \
+         wall-clock per originating tier (band-checked; the modeled media charge virtual time, \
+         so wall rows mostly show the decompress/memcpy cost). The 'virtual' section carries \
+         the deterministic modeled media latencies (exact-checked). The 'replica' section \
+         writes a replicated set, scrubs, kills replica 0, and reads everything off the \
+         survivor; lost_pages must be 0.\",\n",
+    );
+    s.push_str("  \"tiers\": [\n");
+    for (i, r) in run.rows.iter().enumerate() {
+        let comma = if i + 1 < run.rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"id\": {}, \"class\": \"{}\", \"resident_after_fill\": {}, \
+             \"budget_pages\": {}, \"demoted_in\": {}, \"demoted_out\": {}, \"promoted\": {}, \
+             \"faults\": {}, \"fault_p50_ns\": {}, \"fault_p99_ns\": {}}}{comma}",
+            r.stats.id.as_u32(),
+            r.stats.class.name(),
+            r.stats.resident_pages,
+            r.stats.capacity_pages,
+            r.stats.demoted_in,
+            r.stats.demoted_out,
+            r.stats.promoted,
+            r.faults,
+            r.fault_p50_ns,
+            r.fault_p99_ns,
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"virtual\": {{\"ssd_read_p50_ns\": {}, \"ssd_read_p99_ns\": {}, \
+         \"ssd_write_p50_ns\": {}, \"ssd_write_p99_ns\": {}, \"remote_read_p50_ns\": {}, \
+         \"remote_write_p50_ns\": {}}},",
+        run.ssd_read_p50_ns,
+        run.ssd_read_p99_ns,
+        run.ssd_write_p50_ns,
+        run.ssd_write_p99_ns,
+        run.remote_read_p50_ns,
+        run.remote_write_p50_ns,
+    );
+    let _ = writeln!(
+        s,
+        "  \"rates\": {{\"swap_outs\": {}, \"demotions\": {}, \"demotion_rate\": {:.4}, \
+         \"faults\": {}, \"promotions\": {}, \"promotion_rate\": {:.4}}},",
+        run.swap_outs,
+        run.demotions,
+        run.demotions as f64 / run.swap_outs.max(1) as f64,
+        run.faults,
+        run.promotions,
+        run.promotions as f64 / run.faults.max(1) as f64,
+    );
+    let _ = writeln!(
+        s,
+        "  \"replica\": {{\"pages\": {}, \"degraded_reads\": {}, \"repairs\": {}, \
+         \"dropped_writes\": {}, \"lost_pages\": {}, \"degraded_pages_per_sec\": {:.0}}}",
+        rep.pages,
+        rep.degraded_reads,
+        rep.repairs,
+        rep.dropped_writes,
+        rep.lost_pages,
+        rep.degraded_pages_per_sec,
+    );
+    s.push_str("}\n");
+    s
+}
+
+/// Minimal structural validation of the emitted report (smoke mode).
+fn validate_json(json: &str) -> Result<(), String> {
+    let mut depth = 0i64;
+    for c in json.chars() {
+        match c {
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        if depth < 0 {
+            return Err("unbalanced braces".into());
+        }
+    }
+    if depth != 0 {
+        return Err("unbalanced braces".into());
+    }
+    for key in [
+        "\"tiers\"",
+        "\"compressed_local\"",
+        "\"ssd\"",
+        "\"remote\"",
+        "\"virtual\"",
+        "\"rates\"",
+        "\"replica\"",
+        "\"lost_pages\": 0",
+    ] {
+        if !json.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let replica_kill = args.iter().any(|a| a == "--replica-kill");
+    let wl = if smoke { SMOKE } else { FULL };
+
+    if replica_kill {
+        // Chaos scenario alone: an injected replica-drop storm, then a
+        // replica kill — zero loss or the process exits nonzero.
+        let rep = run_degraded(wl, true);
+        println!(
+            "replica-kill OK: {} pages survived replica loss ({} degraded reads, \
+             {} dropped writes repaired by scrub, 0 lost)",
+            rep.pages, rep.degraded_reads, rep.dropped_writes,
+        );
+        return;
+    }
+
+    let run = run_tiers(wl);
+    println!(
+        "{:<18} {:>9} {:>8} {:>8} {:>8} {:>9} {:>12} {:>12}",
+        "tier", "resident", "budget", "dem.in", "dem.out", "faults", "p50 ns", "p99 ns",
+    );
+    for r in &run.rows {
+        println!(
+            "{:<18} {:>9} {:>8} {:>8} {:>8} {:>9} {:>12} {:>12}",
+            format!("{} [{}]", r.stats.id, r.stats.class.name()),
+            r.stats.resident_pages,
+            r.stats.capacity_pages,
+            r.stats.demoted_in,
+            r.stats.demoted_out,
+            r.faults,
+            r.fault_p50_ns,
+            r.fault_p99_ns,
+        );
+    }
+    println!(
+        "demotions: {} ({:.2}/swap-out), promotions: {} ({:.2}/fault)",
+        run.demotions,
+        run.demotions as f64 / run.swap_outs.max(1) as f64,
+        run.promotions,
+        run.promotions as f64 / run.faults.max(1) as f64,
+    );
+    println!(
+        "virtual media: ssd read p50 {} ns / p99 {} ns, write p50 {} ns; \
+         remote read p50 {} ns, write p50 {} ns",
+        run.ssd_read_p50_ns,
+        run.ssd_read_p99_ns,
+        run.ssd_write_p50_ns,
+        run.remote_read_p50_ns,
+        run.remote_write_p50_ns,
+    );
+
+    let rep = run_degraded(wl, false);
+    println!(
+        "degraded replica: {} pages off one survivor at {:.0} pages/s \
+         ({} degraded reads, 0 lost)",
+        rep.pages, rep.degraded_pages_per_sec, rep.degraded_reads,
+    );
+
+    let json = render_json(wl, &run, &rep);
+    if smoke {
+        let path = std::env::temp_dir().join("BENCH_tier.smoke.json");
+        std::fs::write(&path, &json).expect("write smoke report");
+        let read_back = std::fs::read_to_string(&path).expect("read smoke report");
+        if let Err(e) = validate_json(&read_back) {
+            eprintln!("smoke validation failed: {e}");
+            std::process::exit(1);
+        }
+        println!("smoke OK: {}", path.display());
+    } else {
+        validate_json(&json).expect("report must be structurally valid");
+        std::fs::write("BENCH_tier.json", &json).expect("write BENCH_tier.json");
+        println!("wrote BENCH_tier.json");
+    }
+}

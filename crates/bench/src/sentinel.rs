@@ -1,6 +1,7 @@
 //! The bench-regression sentinel: diffs freshly generated
 //! `BENCH_codec.json` / `BENCH_swap.json` / `BENCH_event.json` /
-//! `BENCH_faults.json` / `BENCH_prefetch.json` exports against their
+//! `BENCH_faults.json` / `BENCH_prefetch.json` / `BENCH_tier.json`
+//! exports against their
 //! committed baselines with tolerance bands, so a perf regression fails
 //! CI with a named metric instead of rotting silently in a JSON nobody
 //! re-reads.
@@ -476,6 +477,176 @@ pub fn check_prefetch(baseline: &str, current: &str, _tol: Tolerance) -> Sentine
     report
 }
 
+/// Wall-clock fault latencies may rise by at most this factor before
+/// the tier gate fails: the modeled media charge *virtual* time, so the
+/// wall rows measure decompress/memcpy cost, which is machine-dependent
+/// and noisy at the nanosecond scale — the band only catches
+/// order-of-magnitude cliffs (an accidental sleep or sync in the fault
+/// path).
+const TIER_MAX_LATENCY_RISE: f64 = 4.0;
+
+/// Compares a `BENCH_tier.json` export against its baseline.
+///
+/// The tier harness is seeded and virtually clocked, so demotion and
+/// promotion counts, per-tier residency after the fill, and the modeled
+/// (`virtual.*`) media latencies are deterministic: they must match
+/// exactly. Wall-clock per-tier fault latencies carry a generous
+/// ceiling ([`TIER_MAX_LATENCY_RISE`]); degraded-replica read-back
+/// throughput is floor-banded like any other throughput metric. The
+/// replica section's `lost_pages` must be zero in both documents, and a
+/// degraded read count of zero means the fail-over path was never
+/// exercised — both are structural errors, not banded checks.
+#[must_use]
+pub fn check_tier(baseline: &str, current: &str, tol: Tolerance) -> SentinelReport {
+    let mut report = SentinelReport::default();
+    let (Some(base), Some(cur)) = (
+        parse_doc("baseline BENCH_tier.json", baseline, &mut report),
+        parse_doc("current BENCH_tier.json", current, &mut report),
+    ) else {
+        return report;
+    };
+    for k in ["pages", "seed"] {
+        match (num(&base, k), num(&cur, k)) {
+            (Some(b), Some(c)) => report.exact_check(format!("tier.{k}"), b, c),
+            _ => report.errors.push(format!("tier.{k} missing")),
+        }
+    }
+    let rows = |doc: &JsonValue| -> BTreeMap<String, BTreeMap<String, f64>> {
+        let mut m = BTreeMap::new();
+        for row in doc
+            .get("tiers")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+        {
+            let Some(class) = row.get("class").and_then(JsonValue::as_str) else {
+                continue;
+            };
+            let mut vals = BTreeMap::new();
+            for k in [
+                "resident_after_fill",
+                "budget_pages",
+                "demoted_in",
+                "demoted_out",
+                "promoted",
+                "faults",
+                "fault_p50_ns",
+                "fault_p99_ns",
+            ] {
+                if let Some(v) = num(row, k) {
+                    vals.insert(k.to_string(), v);
+                }
+            }
+            m.insert(class.to_string(), vals);
+        }
+        m
+    };
+    let base_rows = rows(&base);
+    if base_rows.is_empty() {
+        report
+            .errors
+            .push("baseline BENCH_tier.json has no 'tiers' rows".into());
+        return report;
+    }
+    let cur_rows = rows(&cur);
+    for (class, bvals) in &base_rows {
+        let Some(cvals) = cur_rows.get(class) else {
+            report
+                .errors
+                .push(format!("tier row '{class}' missing from current export"));
+            continue;
+        };
+        for (k, &bv) in bvals {
+            let Some(&cv) = cvals.get(k) else {
+                report
+                    .errors
+                    .push(format!("tier[{class}].{k} missing from current export"));
+                continue;
+            };
+            if k.starts_with("fault_p") {
+                // Wall-clock: ceiling only.
+                let ceiling = bv * TIER_MAX_LATENCY_RISE;
+                report.checks.push(Check {
+                    metric: format!("tier[{class}].{k} (ceiling)"),
+                    baseline: bv,
+                    current: cv,
+                    floor: ceiling,
+                    pass: cv <= ceiling,
+                });
+            } else {
+                report.exact_check(format!("tier[{class}].{k}"), bv, cv);
+            }
+        }
+    }
+    for (section, keys) in [
+        (
+            "rates",
+            &["swap_outs", "demotions", "faults", "promotions"][..],
+        ),
+        (
+            "virtual",
+            &[
+                "ssd_read_p50_ns",
+                "ssd_read_p99_ns",
+                "ssd_write_p50_ns",
+                "ssd_write_p99_ns",
+                "remote_read_p50_ns",
+                "remote_write_p50_ns",
+            ][..],
+        ),
+    ] {
+        for k in keys {
+            match (
+                base.get(section).and_then(|s| num(s, k)),
+                cur.get(section).and_then(|s| num(s, k)),
+            ) {
+                (Some(b), Some(c)) => report.exact_check(format!("tier.{section}.{k}"), b, c),
+                _ => report.errors.push(format!("tier.{section}.{k} missing")),
+            }
+        }
+    }
+    match (
+        base.get("replica")
+            .and_then(|r| num(r, "degraded_pages_per_sec")),
+        cur.get("replica")
+            .and_then(|r| num(r, "degraded_pages_per_sec")),
+    ) {
+        (Some(b), Some(c)) => report.floor_check(
+            "tier.replica.degraded_pages_per_sec".into(),
+            b,
+            c,
+            tol.throughput_drop,
+        ),
+        _ => report
+            .errors
+            .push("tier.replica.degraded_pages_per_sec missing".into()),
+    }
+    for (label, doc) in [("baseline", &base), ("current", &cur)] {
+        let Some(rep) = doc.get("replica") else {
+            report
+                .errors
+                .push(format!("{label} BENCH_tier.json has no 'replica' section"));
+            continue;
+        };
+        if let Some(l) = num(rep, "lost_pages") {
+            if l != 0.0 {
+                report
+                    .errors
+                    .push(format!("{label} BENCH_tier.json reports {l} lost pages"));
+            }
+        } else {
+            report
+                .errors
+                .push(format!("{label} tier.replica.lost_pages missing"));
+        }
+        if num(rep, "degraded_reads") == Some(0.0) {
+            report.errors.push(format!(
+                "{label} BENCH_tier.json never exercised the degraded read path"
+            ));
+        }
+    }
+    report
+}
+
 /// Merges reports (used by the binary to fold per-file results).
 #[must_use]
 pub fn merge(reports: Vec<SentinelReport>) -> SentinelReport {
@@ -650,6 +821,67 @@ mod tests {
         let r = check_prefetch(good, &wandering, Tolerance::default());
         assert!(!r.passed());
         assert!(r.failures()[0].metric.contains("autotune"));
+    }
+
+    #[test]
+    fn committed_tier_baseline_passes_against_itself() {
+        let text = repo_file("BENCH_tier.json");
+        let r = check_tier(&text, &text, Tolerance::default());
+        assert!(r.passed(), "{}", r.render());
+        // Three tier rows x eight fields, pages + seed, four rates, six
+        // virtual latencies, one replica throughput floor.
+        assert_eq!(r.checks.len(), 3 * 8 + 2 + 4 + 6 + 1);
+    }
+
+    #[test]
+    fn tier_deterministic_fields_must_match_exactly() {
+        let base = repo_file("BENCH_tier.json");
+        let drifted = base.replace("\"demoted_in\": 640", "\"demoted_in\": 639");
+        let r = check_tier(&base, &drifted, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.failures().iter().any(|c| c.metric.contains("demoted_in")));
+        // Virtual media latencies are deterministic too: any drift fails.
+        let drifted = base.replace("\"ssd_read_p50_ns\": 20480", "\"ssd_read_p50_ns\": 20481");
+        let r = check_tier(&base, &drifted, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.failures()[0].metric.contains("ssd_read_p50_ns"));
+    }
+
+    #[test]
+    fn tier_wall_latency_band_absorbs_noise_but_not_cliffs() {
+        let base = repo_file("BENCH_tier.json");
+        // Doubling a wall latency stays inside the 4x ceiling…
+        let parsed = parse(&base).unwrap();
+        let tiers = parsed.get("tiers").and_then(JsonValue::as_array).unwrap();
+        let p50 = num(&tiers[0], "fault_p50_ns").unwrap();
+        let noisy = base.replace(
+            &format!("\"fault_p50_ns\": {p50}"),
+            &format!("\"fault_p50_ns\": {}", p50 * 2.0),
+        );
+        let r = check_tier(&base, &noisy, Tolerance::default());
+        assert!(r.passed(), "{}", r.render());
+        // …but a 10x cliff fails the gate.
+        let cliff = base.replace(
+            &format!("\"fault_p50_ns\": {p50}"),
+            &format!("\"fault_p50_ns\": {}", p50 * 10.0),
+        );
+        let r = check_tier(&base, &cliff, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.failures()[0].metric.contains("fault_p50_ns"));
+    }
+
+    #[test]
+    fn tier_replica_invariants_are_structural() {
+        let base = repo_file("BENCH_tier.json");
+        let lossy = base.replace("\"lost_pages\": 0", "\"lost_pages\": 3");
+        let r = check_tier(&lossy, &lossy, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.errors.iter().any(|e| e.contains("lost pages")));
+        // A missing tier row shrinks coverage: structural error.
+        let shrunk = base.replace("\"class\": \"ssd\"", "\"class\": \"tape\"");
+        let r = check_tier(&base, &shrunk, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.errors.iter().any(|e| e.contains("'ssd'")));
     }
 
     #[test]

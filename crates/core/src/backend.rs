@@ -172,7 +172,141 @@ impl std::fmt::Debug for XfmBackend {
     }
 }
 
+/// Fluent constructor for [`XfmBackend`], unifying what used to take a
+/// `try_new` call plus a chain of `attach_*`/`set_*` mutators.
+///
+/// Obtained from [`XfmBackend::builder`]; every knob is optional and the
+/// defaults match a bare `XfmBackend::new(config)`. [`PlaneBuilder::build`]
+/// validates the configuration once and hands back a fully wired backend.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_core::backend::XfmBackend;
+/// use xfm_faults::RetryPolicy;
+/// use xfm_telemetry::Registry;
+///
+/// let registry = Registry::new();
+/// let backend = XfmBackend::builder()
+///     .telemetry(&registry)
+///     .retry_policy(RetryPolicy::default())
+///     .build()?;
+/// assert_eq!(backend.table_len(), 0);
+/// # Ok::<(), xfm_types::Error>(())
+/// ```
+#[derive(Default)]
+#[must_use = "call .build() to construct the backend"]
+pub struct PlaneBuilder {
+    config: XfmBackendConfig,
+    codec: Option<Arc<dyn Codec + Send + Sync>>,
+    registry: Option<Registry>,
+    faults: Option<Arc<FaultInjector>>,
+    retry: Option<RetryPolicy>,
+    degrade: Option<DegradeConfig>,
+    flight: Option<Arc<FlightRecorder>>,
+}
+
+impl std::fmt::Debug for PlaneBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlaneBuilder")
+            .field("config", &self.config)
+            .field("has_codec", &self.codec.is_some())
+            .field("has_telemetry", &self.registry.is_some())
+            .field("has_faults", &self.faults.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PlaneBuilder {
+    /// Replaces the backend configuration (defaults to
+    /// [`XfmBackendConfig::default`]).
+    pub fn config(mut self, config: XfmBackendConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Uses an explicit per-share codec instead of the default
+    /// [`XDeflate`] (see the former `XfmBackend::with_codec`).
+    pub fn codec(mut self, codec: Arc<dyn Codec + Send + Sync>) -> Self {
+        self.codec = Some(codec);
+        self
+    }
+
+    /// Wires the swap-path metric bundle, per-DIMM refresh-window
+    /// gauges, and the shared clock mirror into `registry` (see
+    /// [`XfmBackend::attach_telemetry`]).
+    pub fn telemetry(mut self, registry: &Registry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Arms fault-injection hooks across every driver and the host-side
+    /// store/fetch paths (see [`XfmBackend::attach_faults`]).
+    pub fn faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Sets the bounded retry policy for transient NMA rejects (see
+    /// [`XfmBackend::set_retry_policy`]).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Configures the sticky degraded-mode state machine (see
+    /// [`XfmBackend::set_degrade_config`]).
+    pub fn degrade_config(mut self, config: DegradeConfig) -> Self {
+        self.degrade = Some(config);
+        self
+    }
+
+    /// Attaches a post-mortem flight recorder (see
+    /// [`XfmBackend::attach_flight_recorder`]).
+    pub fn flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(recorder);
+        self
+    }
+
+    /// Validates the configuration and constructs the wired backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `n_dimms` is not 1, 2, or 4
+    /// (the paper's configurations), or when `xfm_paramset` rejects the
+    /// per-DIMM region slice (e.g. a zero-sized region).
+    pub fn build(self) -> Result<XfmBackend> {
+        let mut backend = XfmBackend::construct(self.config)?;
+        if let Some(codec) = self.codec {
+            backend.inner.lock().codec = codec;
+        }
+        if let Some(registry) = &self.registry {
+            backend.attach_telemetry(registry);
+        }
+        if let Some(faults) = self.faults {
+            backend.attach_faults(faults);
+        }
+        if let Some(policy) = self.retry {
+            backend.set_retry_policy(policy);
+        }
+        if let Some(config) = self.degrade {
+            backend.set_degrade_config(config);
+        }
+        if let Some(recorder) = self.flight {
+            backend.attach_flight_recorder(recorder);
+        }
+        Ok(backend)
+    }
+}
+
 impl XfmBackend {
+    /// Starts a [`PlaneBuilder`] with the default configuration: the
+    /// one-stop replacement for `try_new`/`with_codec` plus the
+    /// `attach_*`/`set_*` mutator chain.
+    pub fn builder() -> PlaneBuilder {
+        PlaneBuilder::default()
+    }
+
     /// Creates a backend with `n_dimms` accelerators, propagating
     /// configuration failures instead of panicking.
     ///
@@ -181,7 +315,17 @@ impl XfmBackend {
     /// Returns [`Error::InvalidConfig`] when `n_dimms` is not 1, 2, or 4
     /// (the paper's configurations), or when `xfm_paramset` rejects the
     /// per-DIMM region slice (e.g. a zero-sized region).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `XfmBackend::builder().config(c).build()`"
+    )]
     pub fn try_new(config: XfmBackendConfig) -> Result<Self> {
+        Self::construct(config)
+    }
+
+    /// Shared constructor body behind [`XfmBackend::builder`] and the
+    /// deprecated `try_new`/`with_codec` entry points.
+    fn construct(config: XfmBackendConfig) -> Result<Self> {
         if ![1, 2, 4].contains(&config.n_dimms) {
             return Err(Error::InvalidConfig(format!(
                 "multi-channel mode supports 1, 2, or 4 DIMMs, got {}",
@@ -219,14 +363,14 @@ impl XfmBackend {
     }
 
     /// Creates a backend with `n_dimms` accelerators: the panicking
-    /// convenience over [`XfmBackend::try_new`].
+    /// convenience over [`XfmBackend::builder`].
     ///
     /// # Panics
     ///
-    /// Panics on any configuration [`XfmBackend::try_new`] rejects.
+    /// Panics on any configuration [`PlaneBuilder::build`] rejects.
     #[must_use]
     pub fn new(config: XfmBackendConfig) -> Self {
-        Self::try_new(config).expect("valid XFM backend configuration")
+        Self::construct(config).expect("valid XFM backend configuration")
     }
 
     /// Creates a backend with an explicit per-share codec.
@@ -240,14 +384,16 @@ impl XfmBackend {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`XfmBackend::try_new`].
+    /// Same conditions as [`PlaneBuilder::build`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `XfmBackend::builder().config(c).codec(codec).build()`"
+    )]
     pub fn with_codec(
         config: XfmBackendConfig,
         codec: Arc<dyn Codec + Send + Sync>,
     ) -> Result<Self> {
-        let backend = Self::try_new(config)?;
-        backend.inner.lock().codec = codec;
-        Ok(backend)
+        Self::builder().config(config).codec(codec).build()
     }
 
     /// Attaches a telemetry registry: swap-path counters, latency
@@ -1273,18 +1419,18 @@ mod tests {
     #[test]
     fn auto_codec_round_trips_through_multichannel_containers() {
         for n in [1usize, 2, 4] {
-            let b = XfmBackend::with_codec(
-                XfmBackendConfig {
+            let b = XfmBackend::builder()
+                .config(XfmBackendConfig {
                     sfm: SfmConfig {
                         region_capacity: ByteSize::from_mib(8),
                         ..SfmConfig::default()
                     },
                     n_dimms: n,
                     ..XfmBackendConfig::default()
-                },
-                Arc::new(xfm_compress::AutoCodec::default()),
-            )
-            .unwrap();
+                })
+                .codec(Arc::new(xfm_compress::AutoCodec::default()))
+                .build()
+                .unwrap();
             b.advance_to(Nanos::from_ms(1));
             // Sequential and batched paths, over corpora spanning all
             // three probe routes (raw, xlz, fse).
@@ -1442,25 +1588,70 @@ mod tests {
     }
 
     #[test]
-    fn try_new_rejects_bad_configs_without_panicking() {
+    fn builder_rejects_bad_configs_without_panicking() {
         assert!(matches!(
-            XfmBackend::try_new(XfmBackendConfig {
-                n_dimms: 3,
-                ..XfmBackendConfig::default()
-            }),
+            XfmBackend::builder()
+                .config(XfmBackendConfig {
+                    n_dimms: 3,
+                    ..XfmBackendConfig::default()
+                })
+                .build(),
             Err(Error::InvalidConfig(_))
         ));
         assert!(matches!(
-            XfmBackend::try_new(XfmBackendConfig {
-                sfm: SfmConfig {
-                    region_capacity: ByteSize::ZERO,
-                    ..SfmConfig::default()
-                },
-                ..XfmBackendConfig::default()
-            }),
+            XfmBackend::builder()
+                .config(XfmBackendConfig {
+                    sfm: SfmConfig {
+                        region_capacity: ByteSize::ZERO,
+                        ..SfmConfig::default()
+                    },
+                    ..XfmBackendConfig::default()
+                })
+                .build(),
             Err(Error::InvalidConfig(_))
         ));
+        assert!(XfmBackend::builder().build().is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_delegate() {
+        // The old entry points stay behaviorally identical until removal.
         assert!(XfmBackend::try_new(XfmBackendConfig::default()).is_ok());
+        let b = XfmBackend::with_codec(
+            XfmBackendConfig::default(),
+            Arc::new(xfm_compress::AutoCodec::default()),
+        )
+        .unwrap();
+        assert_eq!(b.table_len(), 0);
+    }
+
+    #[test]
+    fn builder_wires_every_knob() {
+        let registry = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new(
+            &registry,
+            xfm_telemetry::flight::FlightRecorderConfig::new(std::env::temp_dir().join("xfm-pb")),
+        ));
+        let plan = xfm_faults::FaultPlan::new(7);
+        let backend = XfmBackend::builder()
+            .config(XfmBackendConfig::default())
+            .codec(Arc::new(xfm_compress::AutoCodec::default()))
+            .telemetry(&registry)
+            .faults(Arc::new(FaultInjector::new(&plan)))
+            .retry_policy(RetryPolicy::default())
+            .degrade_config(DegradeConfig::default())
+            .flight_recorder(recorder)
+            .build()
+            .unwrap();
+        backend.advance_to(Nanos::from_ms(1));
+        let page = b"builder-wired page payload. ".repeat(160)[..PAGE_SIZE].to_vec();
+        backend.swap_out(PageNumber::new(9), &page).unwrap();
+        let (restored, _) = backend.swap_in(PageNumber::new(9), false).unwrap();
+        assert_eq!(restored, page);
+        // Telemetry actually attached: the swap-path counters moved.
+        let snap = registry.snapshot();
+        assert!(snap.counters.values().any(|&v| v > 0));
     }
 
     #[test]

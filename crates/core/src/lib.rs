@@ -60,7 +60,7 @@ pub mod sched;
 pub mod spm;
 pub mod system;
 
-pub use backend::{XfmBackend, XfmBackendConfig};
+pub use backend::{PlaneBuilder, XfmBackend, XfmBackendConfig};
 pub use driver::XfmDriver;
 pub use engine::EngineModel;
 pub use nma::{NearMemoryAccelerator, NmaConfig, NmaStats};

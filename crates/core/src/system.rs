@@ -76,10 +76,10 @@ impl XfmSystem {
     /// # Errors
     ///
     /// Returns [`xfm_types::Error::InvalidConfig`] on any configuration
-    /// [`XfmBackend::try_new`] rejects.
+    /// [`crate::backend::PlaneBuilder::build`] rejects.
     pub fn try_new(config: XfmConfig) -> Result<Self> {
         Ok(Self {
-            backend: XfmBackend::try_new(config.backend)?,
+            backend: XfmBackend::builder().config(config.backend).build()?,
             controller: SfmController::new(config.scan),
             telemetry: None,
         })

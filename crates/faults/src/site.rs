@@ -26,17 +26,21 @@ pub enum FaultSite {
     BitCorruption,
     /// The zpool rejects a store as if the region were full.
     ZpoolStoreFailure,
+    /// A replicated write silently fails to reach one remote replica,
+    /// modeling a dropped fabric packet or a crashed replica node.
+    ReplicaLoss,
 }
 
 impl FaultSite {
     /// Every site, in declaration order.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::NmaEngineTimeout,
         FaultSite::SpmExhaustion,
         FaultSite::RefreshWindowMiss,
         FaultSite::QueueFull,
         FaultSite::BitCorruption,
         FaultSite::ZpoolStoreFailure,
+        FaultSite::ReplicaLoss,
     ];
 
     /// Stable lowercase name, used in plans, metrics, and exposition.
@@ -49,6 +53,7 @@ impl FaultSite {
             FaultSite::QueueFull => "queue_full",
             FaultSite::BitCorruption => "bit_corruption",
             FaultSite::ZpoolStoreFailure => "zpool_store_failure",
+            FaultSite::ReplicaLoss => "replica_loss",
         }
     }
 

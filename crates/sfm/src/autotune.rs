@@ -33,6 +33,31 @@ pub enum CodecBias {
     Ratio,
 }
 
+/// Demotion-aggressiveness bias an arm can express (consumed by
+/// [`TieredPlane::set_tier_bias`](crate::tier::TieredPlane::set_tier_bias)
+/// as a scale on every tier's resident-page budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierBias {
+    /// Inflate budgets 25%: keep pages on hot tiers longer.
+    LocalFirst,
+    /// Budgets as configured.
+    Balanced,
+    /// Shrink budgets 25%: demote eagerly, keep hot tiers headroomed.
+    DemoteEager,
+}
+
+impl TierBias {
+    /// The budget scale factor this bias applies.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        match self {
+            TierBias::LocalFirst => 1.25,
+            TierBias::Balanced => 1.0,
+            TierBias::DemoteEager => 0.75,
+        }
+    }
+}
+
 /// One discrete setting of every tunable control-plane knob.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Knobs {
@@ -47,6 +72,8 @@ pub struct Knobs {
     pub promotion_target: u64,
     /// Codec routing bias.
     pub codec_bias: CodecBias,
+    /// Tier demotion bias.
+    pub tier_bias: TierBias,
 }
 
 impl Default for Knobs {
@@ -57,6 +84,7 @@ impl Default for Knobs {
             scan_batch: 256,
             promotion_target: 1000,
             codec_bias: CodecBias::Balanced,
+            tier_bias: TierBias::Balanced,
         }
     }
 }
@@ -155,6 +183,12 @@ impl AutoTuner {
                     } else {
                         CodecBias::Balanced
                     },
+                    // Deep prefetch wants hot-tier headroom to stage into.
+                    tier_bias: if depth >= 16 {
+                        TierBias::DemoteEager
+                    } else {
+                        TierBias::Balanced
+                    },
                 });
             }
         }
@@ -164,6 +198,15 @@ impl AutoTuner {
             scan_batch: 256,
             promotion_target: 1000,
             codec_bias: CodecBias::Speed,
+            tier_bias: TierBias::Balanced,
+        });
+        arms.push(Knobs {
+            prefetch_depth: 8,
+            confidence_threshold: 0.6,
+            scan_batch: 256,
+            promotion_target: 1000,
+            codec_bias: CodecBias::Balanced,
+            tier_bias: TierBias::LocalFirst,
         });
         arms
     }

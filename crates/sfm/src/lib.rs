@@ -31,6 +31,14 @@
 //! - [`autotune`] — a UCB bandit over control-plane knob settings,
 //!   scored from live telemetry and frozen while the degrade ladder is
 //!   active;
+//! - [`modeled`] — latency/bandwidth-modeled SSD and remote-node swap
+//!   planes on the `xfm-event` virtual clock, plus write-both/read-any
+//!   replication with checksum-verified repair;
+//! - [`tier`] — the [`TieredPlane`]: multiple [`SwapPlane`]s composed
+//!   into a demotion hierarchy with per-tier capacity budgets,
+//!   placement verdicts, and fault-driven promotion;
+//! - [`far`] — the [`FarMemory<T>`](FarMemory) smart-pointer client
+//!   API: deref faults pages in through any plane, drop writes back;
 //! - [`trace`] — an AIFM-like synthetic swap-trace generator with
 //!   Zipfian object popularity.
 //!
@@ -58,22 +66,28 @@ pub mod autotune;
 pub mod backend;
 pub mod controller;
 pub mod cpu_backend;
+pub mod far;
+pub mod modeled;
 pub mod predictor;
 pub mod prefetch;
 pub mod sharded;
 pub mod table;
+pub mod tier;
 pub mod trace;
 pub mod zpool;
 
-pub use autotune::{AutoTuneConfig, AutoTuner, CodecBias, Knobs};
+pub use autotune::{AutoTuneConfig, AutoTuner, CodecBias, Knobs, TierBias};
 pub use backend::{BackendStats, ExecutedOn, SfmConfig, SwapOutcome, SwapPlane};
 pub use controller::{ColdScanConfig, PromotionStats, SfmController};
 pub use cpu_backend::CpuBackend;
+pub use far::{FarGuard, FarGuardMut, FarMemory, FarObject};
+pub use modeled::{MediaModel, ModeledPlane, ReplicatedPlane};
 pub use predictor::{
     HybridPredictor, LearnedPredictor, Predictor, PredictorStats, StridePredictor,
 };
 pub use prefetch::{PredictorKind, PrefetchConfig, PrefetchEngine, PumpReport};
 pub use sharded::{ShardedSfm, ShardedSfmConfig};
 pub use table::{SfmEntry, SfmTable};
+pub use tier::{Placement, TierSpec, TierStats, TieredPlane};
 pub use trace::{SwapEvent, SwapKind, TraceConfig, TraceGenerator};
 pub use zpool::{CompactReport, Handle, Zpool, ZpoolStats};

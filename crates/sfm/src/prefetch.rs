@@ -43,7 +43,7 @@ use std::sync::Arc;
 
 use xfm_telemetry::lifecycle::NO_SHARD;
 use xfm_telemetry::{Cause, LifecycleStage, PrefetchMetrics, Registry};
-use xfm_types::{Error, PageNumber, Result, SwapError, SwapResult};
+use xfm_types::{Error, PageNumber, SwapError, SwapResult};
 
 use crate::backend::{BackendStats, SwapOutcome, SwapPlane};
 use crate::predictor::{
@@ -158,7 +158,12 @@ pub struct PumpReport {
 }
 
 /// The prefetch front: same [`SwapPlane`] surface as the wrapped
-/// [`ShardedSfm`], plus speculation.
+/// plane, plus speculation.
+///
+/// Generic over the wrapped plane (default [`ShardedSfm`], the
+/// classic configuration): staging works identically over a
+/// [`TieredPlane`](crate::tier::TieredPlane), where the batched
+/// speculative swap-ins fan out per owning tier.
 ///
 /// # Examples
 ///
@@ -176,8 +181,8 @@ pub struct PumpReport {
 /// assert_eq!(out, page);
 /// # Ok::<(), xfm_types::Error>(())
 /// ```
-pub struct PrefetchEngine {
-    inner: Arc<ShardedSfm>,
+pub struct PrefetchEngine<P: SwapPlane = ShardedSfm> {
+    inner: Arc<P>,
     config: PrefetchConfig,
     state: parking_lot::Mutex<PrefetchState>,
     /// Speculation toggle; off = transparent pass-through (the bench's
@@ -187,7 +192,7 @@ pub struct PrefetchEngine {
     registry: Option<Registry>,
 }
 
-impl std::fmt::Debug for PrefetchEngine {
+impl<P: SwapPlane> std::fmt::Debug for PrefetchEngine<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PrefetchEngine")
             .field("staged", &self.staged_pages())
@@ -207,10 +212,10 @@ fn build_predictor(config: &PrefetchConfig) -> Box<dyn Predictor> {
     p
 }
 
-impl PrefetchEngine {
+impl<P: SwapPlane> PrefetchEngine<P> {
     /// Wraps `inner` with speculation configured by `config`.
     #[must_use]
-    pub fn new(inner: Arc<ShardedSfm>, config: PrefetchConfig) -> Self {
+    pub fn new(inner: Arc<P>, config: PrefetchConfig) -> Self {
         let predictor = build_predictor(&config);
         Self {
             inner,
@@ -243,9 +248,9 @@ impl PrefetchEngine {
         self.registry = Some(registry.clone());
     }
 
-    /// The wrapped sharded plane.
+    /// The wrapped plane.
     #[must_use]
-    pub fn inner(&self) -> &Arc<ShardedSfm> {
+    pub fn inner(&self) -> &Arc<P> {
         &self.inner
     }
 
@@ -319,10 +324,10 @@ impl PrefetchEngine {
     ///
     /// [`Error::EntryExists`] when the page is staged (it is in the SFM,
     /// just pre-decompressed), plus the wrapped plane's conditions.
-    pub fn swap_out(&self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+    pub fn swap_out(&self, page: PageNumber, data: &[u8]) -> SwapResult<SwapOutcome> {
         let st = self.state.lock();
         if st.staging.contains_key(&page.index()) {
-            return Err(Error::EntryExists { page: page.index() });
+            return Err(SwapError::from(Error::EntryExists { page: page.index() }));
         }
         self.inner.swap_out(page, data)
     }
@@ -333,13 +338,14 @@ impl PrefetchEngine {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`ShardedSfm::swap_in_into`].
+    /// Same conditions as the wrapped plane's
+    /// [`SwapPlane::swap_in_into`].
     pub fn swap_in_into(
         &self,
         page: PageNumber,
         do_offload: bool,
         out: &mut Vec<u8>,
-    ) -> Result<SwapOutcome> {
+    ) -> SwapResult<SwapOutcome> {
         let mut st = self.state.lock();
         if let Some(staged) = st.staging.remove(&page.index()) {
             out.clear();
@@ -387,7 +393,11 @@ impl PrefetchEngine {
     /// # Errors
     ///
     /// Same conditions as [`PrefetchEngine::swap_in_into`].
-    pub fn swap_in(&self, page: PageNumber, do_offload: bool) -> Result<(Vec<u8>, SwapOutcome)> {
+    pub fn swap_in(
+        &self,
+        page: PageNumber,
+        do_offload: bool,
+    ) -> SwapResult<(Vec<u8>, SwapOutcome)> {
         let mut out = Vec::new();
         let outcome = self.swap_in_into(page, do_offload, &mut out)?;
         Ok((out, outcome))
@@ -510,6 +520,7 @@ impl PrefetchEngine {
                     Ok(_) => {
                         st.writebacks_total += 1;
                         report.written_back += 1;
+                        let age = round.saturating_sub(staged.staged_round);
                         let mut buf = staged.data;
                         buf.clear();
                         if st.free.len() < self.config.staging_capacity {
@@ -517,6 +528,19 @@ impl PrefetchEngine {
                         }
                         if let Some(m) = &self.metrics {
                             m.writebacks.inc();
+                        }
+                        // A stale write-back is a demotion (speculation
+                        // going back to far memory), not a store: give
+                        // Chrome-trace export its own stage.
+                        if let Some(r) = &self.registry {
+                            r.lifecycle().record(
+                                LifecycleStage::Demote,
+                                Cause::Ok,
+                                p,
+                                NO_SHARD,
+                                age,
+                                0,
+                            );
                         }
                     }
                     Err(_) => {
@@ -549,7 +573,7 @@ impl PrefetchEngine {
     ///
     /// Propagates the first write-back failure; the failing page stays
     /// staged.
-    pub fn flush_staging(&self) -> Result<usize> {
+    pub fn flush_staging(&self) -> SwapResult<usize> {
         let mut st = self.state.lock();
         let pages: Vec<u64> = st.staging.keys().copied().collect();
         let mut flushed = 0usize;
@@ -585,9 +609,9 @@ impl PrefetchEngine {
     }
 }
 
-impl SwapPlane for PrefetchEngine {
+impl<P: SwapPlane> SwapPlane for PrefetchEngine<P> {
     fn swap_out(&self, page: PageNumber, data: &[u8]) -> SwapResult<SwapOutcome> {
-        PrefetchEngine::swap_out(self, page, data).map_err(SwapError::from)
+        PrefetchEngine::swap_out(self, page, data)
     }
 
     fn swap_in_into(
@@ -596,7 +620,7 @@ impl SwapPlane for PrefetchEngine {
         do_offload: bool,
         out: &mut Vec<u8>,
     ) -> SwapResult<SwapOutcome> {
-        PrefetchEngine::swap_in_into(self, page, do_offload, out).map_err(SwapError::from)
+        PrefetchEngine::swap_in_into(self, page, do_offload, out)
     }
 
     fn swap_in_batch_into(
@@ -608,9 +632,7 @@ impl SwapPlane for PrefetchEngine {
         pages
             .iter()
             .zip(outs.iter_mut())
-            .map(|(page, out)| {
-                PrefetchEngine::swap_in_into(self, *page, true, out).map_err(SwapError::from)
-            })
+            .map(|(page, out)| PrefetchEngine::swap_in_into(self, *page, true, out))
             .collect()
     }
 
@@ -619,7 +641,7 @@ impl SwapPlane for PrefetchEngine {
     }
 
     fn compact(&self) -> CompactReport {
-        self.inner.compact_all()
+        self.inner.compact()
     }
 
     fn stats(&self) -> BackendStats {
@@ -757,10 +779,8 @@ mod tests {
         assert!(!staged.is_empty());
         let p = staged[0];
         assert!(e.contains(PageNumber::new(p)));
-        assert!(matches!(
-            e.swap_out(PageNumber::new(p), &page_of(p)),
-            Err(Error::EntryExists { .. })
-        ));
+        let err = e.swap_out(PageNumber::new(p), &page_of(p)).unwrap_err();
+        assert!(matches!(err.cause(), Error::EntryExists { .. }));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use xfm_sfm::{
     PredictorKind, PrefetchConfig, PrefetchEngine, SfmConfig, ShardedSfm, ShardedSfmConfig,
     SwapOutcome,
 };
-use xfm_types::{ByteSize, PageNumber, Result as XfmResult, PAGE_SIZE};
+use xfm_types::{ByteSize, Error, PageNumber, Result as XfmResult, PAGE_SIZE};
 
 /// Distinct pages the ops draw from (small enough to force collisions
 /// and give the predictor real streams to chew on).
@@ -95,12 +95,14 @@ proptest! {
             match op {
                 Op::SwapOut(p, k) => {
                     let data = content(p, k);
-                    let a = engine.swap_out(PageNumber::new(p), &data);
+                    // Collapse the engine's `SwapError` to its cause so the
+                    // two sides debug-format identically.
+                    let a = engine.swap_out(PageNumber::new(p), &data).map_err(Error::from);
                     let b = reference.swap_out(PageNumber::new(p), &data);
                     prop_assert_eq!(fmt(&a), fmt(&b), "swap_out page {}", p);
                 }
                 Op::SwapIn(p) => {
-                    let a = engine.swap_in(PageNumber::new(p), false);
+                    let a = engine.swap_in(PageNumber::new(p), false).map_err(Error::from);
                     let b = reference.swap_in(PageNumber::new(p), false);
                     match (a, b) {
                         (Ok((da, oa)), Ok((db, ob))) => {

@@ -1,0 +1,118 @@
+//! Replica-loss property test: a [`ReplicatedPlane`] never loses a
+//! page while at least one replica survives.
+//!
+//! For any write set, any single replica killed at any point (before
+//! or after writes), and any bounded storm of injected replica-drop
+//! faults, every stored page must read back byte-exact, repairs must
+//! restore two-copy redundancy, and a full-tier composition must keep
+//! serving faults through the degraded remote tier.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use xfm_event::ClockMirror;
+use xfm_faults::{FaultInjector, FaultPlan, FaultSite, SiteSpec};
+use xfm_sfm::{MediaModel, ReplicatedPlane, SwapPlane};
+use xfm_types::{PageNumber, PAGE_SIZE};
+
+/// Deterministic per-page contents.
+fn content(page: u64, salt: u64) -> Vec<u8> {
+    xfm_compress::Corpus::Json.generate(page.wrapping_mul(2654435761) ^ salt, PAGE_SIZE)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Write under a bounded replica-drop storm, run anti-entropy,
+    /// then kill either replica: every page reads back byte-exact off
+    /// the survivor — the "zero lost pages" guarantee.
+    #[test]
+    fn replica_loss_round_trip(
+        raw_pages in prop::collection::vec(0u64..64, 1..32),
+        kill_idx in 0usize..2,
+        drop_raw in 0u8..154,
+        seed in any::<u64>(),
+    ) {
+        let drop_prob = f64::from(drop_raw) / 255.0;
+        let plan = FaultPlan::new(seed).with_site(
+            FaultSite::ReplicaLoss,
+            SiteSpec::with_probability(drop_prob).max_fires(8),
+        );
+        let mut plane = ReplicatedPlane::new(
+            "remote",
+            MediaModel::remote(),
+            0,
+            ClockMirror::new(),
+        );
+        plane.attach_faults(Arc::new(FaultInjector::new(&plan)));
+
+        let pages: Vec<u64> = {
+            let mut v = raw_pages;
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for &p in &pages {
+            // Dropped secondary writes are tolerated: at least one
+            // replica always has the page.
+            plane.swap_out(PageNumber::new(p), &content(p, seed)).unwrap();
+        }
+        // Anti-entropy restores two-copy redundancy...
+        plane.scrub();
+        // ...so losing either replica afterwards loses nothing.
+        plane.kill(kill_idx);
+
+        let mut out = Vec::new();
+        for &p in &pages {
+            plane
+                .swap_in_into(PageNumber::new(p), true, &mut out)
+                .unwrap_or_else(|e| panic!("page {p} lost with one replica down: {e}"));
+            prop_assert_eq!(&out, &content(p, seed), "page {} corrupted", p);
+        }
+
+        // The consuming reads drained the survivor completely.
+        prop_assert!(plane.replica(1 - kill_idx).is_empty());
+    }
+
+    /// With both replicas up but writes randomly dropped on one side,
+    /// scrub restores full two-copy redundancy.
+    #[test]
+    fn scrub_restores_redundancy(
+        raw_pages in prop::collection::vec(0u64..64, 1..32),
+        drop_raw in 26u8..230,
+        seed in any::<u64>(),
+    ) {
+        let drop_prob = f64::from(drop_raw) / 255.0;
+        let plan = FaultPlan::new(seed).with_site(
+            FaultSite::ReplicaLoss,
+            SiteSpec::with_probability(drop_prob).max_fires(16),
+        );
+        let mut plane = ReplicatedPlane::new(
+            "remote",
+            MediaModel::remote(),
+            0,
+            ClockMirror::new(),
+        );
+        plane.attach_faults(Arc::new(FaultInjector::new(&plan)));
+
+        let pages: Vec<u64> = {
+            let mut v = raw_pages;
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for &p in &pages {
+            plane.swap_out(PageNumber::new(p), &content(p, seed)).unwrap();
+        }
+        let dropped = plane.dropped_writes();
+        let repaired = plane.scrub();
+        prop_assert_eq!(repaired, dropped, "scrub must repair every dropped write");
+        prop_assert_eq!(plane.replica(0).len(), plane.replica(1).len());
+        // And the data plane still serves everything byte-exact.
+        let mut out = Vec::new();
+        for &p in &pages {
+            plane.swap_in_into(PageNumber::new(p), true, &mut out).unwrap();
+            prop_assert_eq!(&out, &content(p, seed), "page {} corrupted", p);
+        }
+    }
+}

@@ -64,6 +64,14 @@ pub enum LifecycleStage {
     /// A demand fault was served from the prefetch staging cache
     /// (aux = staged-page age in pump rounds).
     PrefetchHit,
+    /// A page moved down a tier — stale prefetch write-back or
+    /// capacity-driven eviction to a colder plane
+    /// (aux = `plane_id << 8 | placement_class_code` for tier moves,
+    /// staged-page age for prefetch write-backs).
+    Demote,
+    /// A demand fault pulled a page up from a colder tier
+    /// (aux = `plane_id << 8 | placement_class_code` of the source).
+    PromoteTier,
 }
 
 impl LifecycleStage {
@@ -85,6 +93,8 @@ impl LifecycleStage {
             LifecycleStage::ModeChange => "mode_change",
             LifecycleStage::PrefetchIssue => "prefetch_issue",
             LifecycleStage::PrefetchHit => "prefetch_hit",
+            LifecycleStage::Demote => "demote",
+            LifecycleStage::PromoteTier => "promote_tier",
         }
     }
 
@@ -106,6 +116,8 @@ impl LifecycleStage {
             LifecycleStage::ModeChange => 11,
             LifecycleStage::PrefetchIssue => 12,
             LifecycleStage::PrefetchHit => 13,
+            LifecycleStage::Demote => 14,
+            LifecycleStage::PromoteTier => 15,
         }
     }
 
@@ -127,6 +139,8 @@ impl LifecycleStage {
             11 => LifecycleStage::ModeChange,
             12 => LifecycleStage::PrefetchIssue,
             13 => LifecycleStage::PrefetchHit,
+            14 => LifecycleStage::Demote,
+            15 => LifecycleStage::PromoteTier,
             _ => return None,
         })
     }
@@ -518,7 +532,7 @@ mod tests {
 
     #[test]
     fn meta_packing_round_trips() {
-        for stage_code in 0..14u8 {
+        for stage_code in 0..16u8 {
             let stage = LifecycleStage::from_code(stage_code).unwrap();
             assert_eq!(stage.code(), stage_code);
             for cause_code in 0..16u8 {
@@ -527,7 +541,7 @@ mod tests {
                 assert_eq!(unpack_meta(meta), Some((stage, cause, 0xdead_beef)));
             }
         }
-        assert_eq!(LifecycleStage::from_code(14), None);
+        assert_eq!(LifecycleStage::from_code(16), None);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! crate in the workspace: physical/virtual addresses and page numbers
 //! ([`addr`]), byte capacities ([`capacity`]), simulated time and bandwidth
 //! ([`time`]), DRAM coordinates ([`dram`]), the shared error type
-//! ([`error`]), and the structured swap-path error ([`swap_error`])
-//! distinguishing transient from permanent failures.
+//! ([`error`]), the structured swap-path error ([`swap_error`])
+//! distinguishing transient from permanent failures, and tier/plane
+//! identity for the multi-backend swap fabric ([`plane`]).
 //!
 //! All types are plain-old-data newtypes ([C-NEWTYPE]): they are `Copy`,
 //! ordered, hashable, serializable, and cost nothing at runtime while
@@ -37,6 +38,7 @@ pub mod addr;
 pub mod capacity;
 pub mod dram;
 pub mod error;
+pub mod plane;
 pub mod swap_error;
 pub mod time;
 
@@ -44,5 +46,6 @@ pub use addr::{PageNumber, PhysAddr, VirtAddr, PAGE_SIZE};
 pub use capacity::ByteSize;
 pub use dram::{BankId, ChannelId, ColId, DimmId, DramCoord, RankId, RowId, SubarrayId};
 pub use error::{Error, Result};
+pub use plane::{PlacementClass, PlaneId};
 pub use swap_error::{SwapError, SwapResult, SwapSite};
 pub use time::{Bandwidth, Cycles, Hertz, Nanos};

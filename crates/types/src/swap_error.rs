@@ -12,6 +12,7 @@
 use core::fmt;
 
 use crate::error::Error;
+use crate::plane::PlaneId;
 
 /// Convenience alias for swap-path results.
 pub type SwapResult<T> = core::result::Result<T, SwapError>;
@@ -38,6 +39,10 @@ pub enum SwapSite {
     Codec,
     /// Stored-block checksum verification at load time.
     Checksum,
+    /// The modeled storage/network media of an SSD or remote plane.
+    Media,
+    /// The replication layer spanning two remote planes.
+    Replica,
     /// Anywhere not covered above.
     Other,
 }
@@ -56,6 +61,8 @@ impl SwapSite {
             SwapSite::EntryTable => "entry_table",
             SwapSite::Codec => "codec",
             SwapSite::Checksum => "checksum",
+            SwapSite::Media => "media",
+            SwapSite::Replica => "replica",
             SwapSite::Other => "other",
         }
     }
@@ -89,6 +96,9 @@ pub struct SwapError {
     pub cause: Error,
     /// Whether re-submitting the same operation may succeed.
     pub retryable: bool,
+    /// The tier/plane the failure originated on, when the failing layer
+    /// is part of a tiered composition (`None` for standalone planes).
+    pub plane: Option<PlaneId>,
 }
 
 impl SwapError {
@@ -101,6 +111,7 @@ impl SwapError {
             site,
             cause,
             retryable,
+            plane: None,
         }
     }
 
@@ -109,6 +120,74 @@ impl SwapError {
     pub fn with_retryable(mut self, retryable: bool) -> Self {
         self.retryable = retryable;
         self
+    }
+
+    /// Annotates the error with the tier/plane it originated on.
+    #[must_use]
+    pub fn with_plane(mut self, plane: PlaneId) -> Self {
+        self.plane = Some(plane);
+        self
+    }
+
+    /// Where the failure originated.
+    ///
+    /// Prefer this accessor over the public field in `match` guards:
+    /// `SwapError` is `#[non_exhaustive]`, so accessors keep callers
+    /// compiling as the struct grows.
+    #[must_use]
+    pub fn site(&self) -> SwapSite {
+        self.site
+    }
+
+    /// The underlying error.
+    #[must_use]
+    pub fn cause(&self) -> &Error {
+        &self.cause
+    }
+
+    /// Whether re-submitting the same operation *to the same plane* may
+    /// succeed.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        self.retryable
+    }
+
+    /// The tier/plane the failure originated on, if known.
+    #[must_use]
+    pub fn plane(&self) -> Option<PlaneId> {
+        self.plane
+    }
+
+    /// Whether the failed operation could plausibly succeed if re-issued
+    /// against a *different* tier.
+    ///
+    /// This is the placement-spill predicate: capacity pressure
+    /// (`SfmRegionFull`, `SpmFull`), queue rejection (`QueueFull`), and
+    /// a dead device are all local to the plane that reported them —
+    /// another tier may well accept the page. Logical failures
+    /// (`EntryExists`, `EntryNotFound`, corrupt payloads, bad config)
+    /// would fail identically everywhere.
+    #[must_use]
+    pub fn is_retryable_on_other_tier(&self) -> bool {
+        matches!(
+            self.cause,
+            Error::SfmRegionFull | Error::SpmFull { .. } | Error::QueueFull | Error::Device(_)
+        )
+    }
+
+    /// Whether the failure is capacity exhaustion on the reporting plane.
+    #[must_use]
+    pub fn is_capacity(&self) -> bool {
+        matches!(self.cause, Error::SfmRegionFull | Error::SpmFull { .. })
+    }
+
+    /// Whether the failure is data corruption (stored or in transit).
+    #[must_use]
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self.cause,
+            Error::ChecksumMismatch { .. } | Error::Corrupt(_)
+        )
     }
 }
 
@@ -124,7 +203,11 @@ impl fmt::Display for SwapError {
             } else {
                 "permanent"
             }
-        )
+        )?;
+        if let Some(plane) = self.plane {
+            write!(f, " on {plane}")?;
+        }
+        Ok(())
     }
 }
 
@@ -244,5 +327,59 @@ mod tests {
     fn swap_error_is_send_sync_static() {
         fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
         assert_bounds::<SwapError>();
+    }
+
+    #[test]
+    fn plane_annotation_threads_through() {
+        let e = SwapError::from(Error::SfmRegionFull).with_plane(PlaneId::new(2));
+        assert_eq!(e.plane(), Some(PlaneId::new(2)));
+        assert!(e.to_string().contains("plane2"), "{e}");
+        // Un-annotated errors stay silent about planes.
+        assert_eq!(SwapError::from(Error::QueueFull).plane(), None);
+    }
+
+    #[test]
+    fn cross_tier_retry_verdicts() {
+        // Capacity and device pressure are local to one plane.
+        for cause in [
+            Error::SfmRegionFull,
+            Error::SpmFull {
+                requested: 4096,
+                available: 0,
+            },
+            Error::QueueFull,
+            Error::Device("dead".into()),
+        ] {
+            assert!(
+                SwapError::from(cause.clone()).is_retryable_on_other_tier(),
+                "{cause}"
+            );
+        }
+        // Logical failures would fail identically on any tier.
+        for cause in [
+            Error::EntryExists { page: 1 },
+            Error::EntryNotFound { page: 1 },
+            Error::Corrupt("x".into()),
+            Error::InvalidConfig("x".into()),
+        ] {
+            assert!(
+                !SwapError::from(cause.clone()).is_retryable_on_other_tier(),
+                "{cause}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_and_corruption_classifiers() {
+        assert!(SwapError::from(Error::SfmRegionFull).is_capacity());
+        assert!(!SwapError::from(Error::QueueFull).is_capacity());
+        assert!(SwapError::from(Error::ChecksumMismatch {
+            page: 1,
+            expected: 2,
+            got: 3,
+        })
+        .is_corruption());
+        assert!(SwapError::from(Error::Corrupt("len".into())).is_corruption());
+        assert!(!SwapError::from(Error::SfmRegionFull).is_corruption());
     }
 }

@@ -15,8 +15,9 @@
 //! | [`types`] | Newtypes: addresses, capacities, time, DRAM coordinates |
 //! | [`dram`] | DDR4/DDR5 timing model, refresh calendar, address mapping, memory controller |
 //! | [`compress`] | From-scratch `xdeflate` (LZ77+Huffman) and `xlz` (LZ4-class) codecs, 16 corpora |
+//! | [`event`] | Discrete-event core: virtual clock, calendar queue, shared clock mirror |
 //! | [`faults`] | Seeded fault plans and injector, XXH64 checksums, retry policy, degraded-mode state machine |
-//! | [`sfm`] | zsmalloc-style zpool, entry table, cold-page controller, `SwapPlane` trait, CPU baseline backend |
+//! | [`sfm`] | zsmalloc-style zpool, entry table, cold-page controller, `SwapPlane` trait, CPU baseline backend, tiered planes, `FarMemory<T>` |
 //! | [`core`] | **The paper's contribution**: SPM, MMIO regs, refresh-window scheduler, NMA, driver, XFM backend, multi-channel mode |
 //! | [`cost`] | The §3 DFM-vs-SFM cost & carbon model (EQ1–EQ5) |
 //! | [`sim`] | Co-run interference + fallback sensitivity engines; per-figure harnesses |
@@ -53,6 +54,7 @@ pub use xfm_compress as compress;
 pub use xfm_core as core;
 pub use xfm_cost as cost;
 pub use xfm_dram as dram;
+pub use xfm_event as event;
 pub use xfm_faults as faults;
 pub use xfm_sfm as sfm;
 pub use xfm_sim as sim;
