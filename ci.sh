@@ -105,6 +105,17 @@ if [[ "${1:-}" == "--prefetch" ]]; then
     cargo test --release -q -p xfm-sfm --test prefetch_diff
     cargo test --release -q -p xfm-sfm --test prefetch_zero_alloc
 fi
+# Serve smoke (opt-in via `./ci.sh --serve`): reduced-size multi-tenant
+# serving bench (Zipfian mix + scans + bursts over three tenants on one
+# shared plane, self-validating its JSON: zero lost pages, zero errors,
+# balanced cross-layer accounting), the single-tenant differential
+# proptest plus the racing per-tenant accounting proptest, and the
+# counting-allocator gate over the context-carrying swap hot path.
+if [[ "${1:-}" == "--serve" ]]; then
+    cargo run --release -p xfm-bench --bin xfm-serve-bench -- --smoke
+    cargo test --release -q -p xfm-serve --test serve_diff
+    cargo test --release -q -p xfm-sfm --test ctx_zero_alloc
+fi
 # Tier smoke (opt-in via `./ci.sh --tier`): reduced-size tiered-plane
 # bench (demotion cascade, per-tier fault latencies, degraded-replica
 # read-back, self-validating its JSON), the differential proptest

@@ -69,13 +69,14 @@ fn check(mut args: Vec<String>) -> ExitCode {
     }
 
     type CheckFn = fn(&str, &str, Tolerance) -> SentinelReport;
-    let suites: [(&str, CheckFn, bool); 6] = [
+    let suites: [(&str, CheckFn, bool); 7] = [
         ("BENCH_codec.json", sentinel::check_codec, true),
         ("BENCH_swap.json", sentinel::check_swap, true),
         ("BENCH_event.json", sentinel::check_event, true),
         ("BENCH_faults.json", sentinel::check_faults, false),
         ("BENCH_prefetch.json", sentinel::check_prefetch, false),
         ("BENCH_tier.json", sentinel::check_tier, false),
+        ("BENCH_serve.json", sentinel::check_serve, false),
     ];
 
     let mut reports = Vec::new();

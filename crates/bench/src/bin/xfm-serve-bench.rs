@@ -1,0 +1,325 @@
+//! Multi-tenant serving benchmark, emitting machine-readable
+//! `BENCH_serve.json`: per-tenant fault-latency percentiles, admission
+//! sheds, and the cross-layer accounting balance.
+//!
+//! The harness provisions three tenants over one sharded compressed
+//! plane — two guaranteed, one best-effort noisy neighbor — and drives
+//! them with the [`xfm_serve::loadgen`] mixed workload: Zipfian point
+//! ops, periodic sequential scans, and hot-set bursts from the
+//! best-effort tenant, across worker threads sharing a global op
+//! ticket counter.
+//!
+//! Three invariants gate the run (nonzero exit on violation):
+//!
+//! 1. **zero lost pages** — the final sweep re-reads every key the
+//!    service claims to hold, byte-comparing against the deterministic
+//!    value pattern;
+//! 2. **zero worker errors** — no plane or service call may fail;
+//! 3. **accounting balance** — every tenant's service ledger must equal
+//!    the plane's own per-tenant usage, and the sum must equal the
+//!    pool's stored bytes.
+//!
+//! Wall-clock latency rows are machine-dependent and band-checked by
+//! the sentinel; op counts, sheds, and the balance flags are exact.
+//!
+//! Run with `cargo run --release -p xfm-bench --bin xfm-serve-bench`;
+//! pass `--smoke` for the seconds-long self-validating variant
+//! (`ci.sh --serve`).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use xfm_serve::{
+    run_load, BurstSpec, FarKvService, LoadConfig, LoadReport, ServiceClass, TenantSpec,
+    WorkloadMix,
+};
+use xfm_sfm::{SfmConfig, ShardedSfm, ShardedSfmConfig};
+use xfm_types::{ByteSize, TenantId, PAGE_SIZE};
+
+const SEED: u64 = 0x5E1C_E5E5;
+
+/// Workload shape; `smoke` shrinks it to a CI-friendly size.
+#[derive(Clone, Copy)]
+struct Workload {
+    /// Op tickets issued across all workers.
+    total_ops: u64,
+    /// Worker threads.
+    workers: usize,
+    /// Keyspace per tenant.
+    keys_per_tenant: u64,
+    /// Hot-cache quota per tenant, pages.
+    resident_pages: u64,
+    /// Compressed far-memory quota per guaranteed tenant.
+    compressed_quota: ByteSize,
+    /// Compressed quota for the best-effort tenant, sized below its
+    /// working set so admission sheds show up in the report.
+    be_compressed_quota: ByteSize,
+    /// Shared compressed region capacity.
+    region: ByteSize,
+    /// Plane shards.
+    shards: usize,
+}
+
+const FULL: Workload = Workload {
+    total_ops: 1_000_000,
+    workers: 4,
+    keys_per_tenant: 8_192,
+    resident_pages: 2_048,
+    compressed_quota: ByteSize::from_mib(24),
+    be_compressed_quota: ByteSize::from_mib(4),
+    region: ByteSize::from_mib(128),
+    shards: 8,
+};
+const SMOKE: Workload = Workload {
+    total_ops: 20_000,
+    workers: 4,
+    keys_per_tenant: 512,
+    resident_pages: 64,
+    compressed_quota: ByteSize::from_mib(4),
+    be_compressed_quota: ByteSize::from_kib(256),
+    region: ByteSize::from_mib(32),
+    shards: 4,
+};
+
+fn specs(wl: Workload) -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new(
+            TenantId::new(1),
+            ByteSize::from_pages(wl.resident_pages),
+            wl.compressed_quota,
+        ),
+        TenantSpec::new(
+            TenantId::new(2),
+            ByteSize::from_pages(wl.resident_pages),
+            wl.compressed_quota,
+        ),
+        // The noisy neighbor: best-effort class, half the hot cache, a
+        // compressed quota below its working set, and (in the workload)
+        // a burst phase hammering a tiny hot set.
+        TenantSpec::new(
+            TenantId::new(3),
+            ByteSize::from_pages(wl.resident_pages / 2),
+            wl.be_compressed_quota,
+        )
+        .with_class(ServiceClass::BestEffort),
+    ]
+}
+
+fn run(wl: Workload) -> (FarKvService, Vec<TenantSpec>, LoadReport) {
+    let plane = Arc::new(ShardedSfm::new(ShardedSfmConfig {
+        sfm: SfmConfig {
+            region_capacity: wl.region,
+            ..SfmConfig::default()
+        },
+        shards: wl.shards,
+        ..ShardedSfmConfig::default()
+    }));
+    let specs = specs(wl);
+    let service = FarKvService::new(plane, specs.clone());
+    let report = run_load(
+        &service,
+        &specs,
+        &LoadConfig {
+            workers: wl.workers,
+            total_ops: wl.total_ops,
+            keys_per_tenant: wl.keys_per_tenant,
+            seed: SEED,
+            mix: WorkloadMix {
+                write_fraction: 0.3,
+                zipf_s: 0.99,
+                scan_every: 512,
+                scan_len: 64,
+                burst: Some(BurstSpec {
+                    tenant: TenantId::new(3),
+                    period: 1_024,
+                    len: 128,
+                    hot_keys: 64,
+                }),
+            },
+        },
+    );
+    (service, specs, report)
+}
+
+fn render_json(wl: Workload, mode: &str, service: &FarKvService, report: &LoadReport) -> String {
+    let acct = service.accounting();
+    let pool = report
+        .per_tenant
+        .iter()
+        .map(|t| t.compressed_bytes)
+        .sum::<u64>();
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"xfm-serve-bench-v1\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"page_size\": {PAGE_SIZE},");
+    let _ = writeln!(s, "  \"seed\": {SEED},");
+    let _ = writeln!(s, "  \"workers\": {},", wl.workers);
+    let _ = writeln!(s, "  \"zipf_s\": 0.99,");
+    let _ = writeln!(s, "  \"keys_per_tenant\": {},", wl.keys_per_tenant);
+    let _ = writeln!(s, "  \"total_ops\": {},", report.total_ops);
+    let _ = writeln!(s, "  \"elapsed_ms\": {},", report.elapsed_ns / 1_000_000);
+    let _ = writeln!(s, "  \"ops_per_sec\": {:.0},", report.ops_per_sec);
+    s.push_str(
+        "  \"methodology\": \"Three tenants (two guaranteed, one best-effort noisy neighbor) \
+         share one sharded compressed plane through the FarKvService front-end: Zipfian point \
+         ops + periodic scans + hot-set bursts across worker threads. fault_p50/p99_ns are \
+         exact wall-clock demand-fault percentiles per tenant (band-checked); op counts, \
+         sheds, lost_pages, and the accounting balance are exact. balance requires every \
+         tenant's service ledger to equal the plane's per-tenant usage and the sum to equal \
+         the pool's stored bytes.\",\n",
+    );
+    s.push_str("  \"tenants\": [\n");
+    for (i, t) in report.per_tenant.iter().enumerate() {
+        let comma = if i + 1 < report.per_tenant.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"tenant\": {}, \"class\": \"{}\", \"puts\": {}, \"gets\": {}, \
+             \"hits\": {}, \"faults\": {}, \"sheds\": {}, \"demotions\": {}, \
+             \"fault_p50_ns\": {}, \"fault_p99_ns\": {}, \"fault_mean_ns\": {}, \
+             \"compressed_bytes\": {}}}{comma}",
+            t.tenant.as_u16(),
+            t.class.name(),
+            t.puts,
+            t.gets,
+            t.hits,
+            t.faults,
+            t.sheds,
+            t.demotions,
+            t.fault_p50_ns,
+            t.fault_p99_ns,
+            t.fault_mean_ns,
+            t.compressed_bytes,
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"accounting\": {{\"ledger_total_bytes\": {}, \"plane_total_bytes\": {}, \
+         \"tenant_ledger_sum_bytes\": {pool}, \"balanced\": {}}},",
+        acct.ledger_total, acct.plane_total, acct.balanced,
+    );
+    let _ = writeln!(
+        s,
+        "  \"integrity\": {{\"checked\": {}, \"lost_pages\": {}, \"errors\": {}}},",
+        report.integrity_checked, report.lost_pages, report.errors,
+    );
+    let _ = writeln!(
+        s,
+        "  \"degraded_mode\": \"{}\"",
+        service.degraded_mode().name()
+    );
+    s.push_str("}\n");
+    s
+}
+
+fn validate_json(json: &str) -> Result<(), String> {
+    let mut depth = 0i64;
+    for c in json.chars() {
+        match c {
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        if depth < 0 {
+            return Err("unbalanced braces".into());
+        }
+    }
+    if depth != 0 {
+        return Err("unbalanced braces".into());
+    }
+    for key in [
+        "\"tenants\"",
+        "\"guaranteed\"",
+        "\"best_effort\"",
+        "\"accounting\"",
+        "\"balanced\": true",
+        "\"lost_pages\": 0",
+        "\"errors\": 0",
+    ] {
+        if !json.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let wl = if smoke { SMOKE } else { FULL };
+    let mode = if smoke { "smoke" } else { "full" };
+
+    let (service, _specs, report) = run(wl);
+
+    println!(
+        "{:<8} {:<12} {:>9} {:>9} {:>9} {:>9} {:>7} {:>12} {:>12}",
+        "tenant", "class", "puts", "gets", "hits", "faults", "sheds", "p50 ns", "p99 ns",
+    );
+    for t in &report.per_tenant {
+        println!(
+            "{:<8} {:<12} {:>9} {:>9} {:>9} {:>9} {:>7} {:>12} {:>12}",
+            t.tenant.to_string(),
+            t.class.name(),
+            t.puts,
+            t.gets,
+            t.hits,
+            t.faults,
+            t.sheds,
+            t.fault_p50_ns,
+            t.fault_p99_ns,
+        );
+    }
+    let acct = service.accounting();
+    println!(
+        "{} service ops in {} ms ({:.0} ops/s); integrity: {} checked, {} lost, {} errors",
+        report.total_ops,
+        report.elapsed_ns / 1_000_000,
+        report.ops_per_sec,
+        report.integrity_checked,
+        report.lost_pages,
+        report.errors,
+    );
+    println!(
+        "accounting: ledger {} B == plane {} B, balanced: {}; pool stored {} B",
+        acct.ledger_total,
+        acct.plane_total,
+        acct.balanced,
+        service
+            .plane()
+            .tenant_usage()
+            .iter()
+            .map(|(_, b)| b)
+            .sum::<u64>(),
+    );
+
+    if report.lost_pages != 0 || report.errors != 0 {
+        eprintln!(
+            "serve bench FAILED: {} lost pages, {} errors",
+            report.lost_pages, report.errors
+        );
+        std::process::exit(1);
+    }
+    if !acct.balanced {
+        eprintln!("serve bench FAILED: accounting imbalance {acct:?}");
+        std::process::exit(1);
+    }
+
+    let json = render_json(wl, mode, &service, &report);
+    if let Err(e) = validate_json(&json) {
+        eprintln!("serve bench FAILED: invalid JSON: {e}");
+        std::process::exit(1);
+    }
+    if smoke {
+        let path = std::env::temp_dir().join("BENCH_serve_smoke.json");
+        std::fs::write(&path, &json).expect("write smoke JSON");
+        println!("smoke OK: self-validated JSON at {}", path.display());
+    } else {
+        std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+        println!("wrote BENCH_serve.json");
+    }
+}

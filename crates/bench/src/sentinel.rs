@@ -647,6 +647,173 @@ pub fn check_tier(baseline: &str, current: &str, tol: Tolerance) -> SentinelRepo
     report
 }
 
+/// Wall-clock per-tenant fault latencies in the serve gate may rise by
+/// at most this factor: the serving path is dominated by decompression
+/// plus cache bookkeeping under thread contention, which is noisy, so
+/// like the tier band it only catches order-of-magnitude cliffs.
+const SERVE_MAX_LATENCY_RISE: f64 = 4.0;
+
+/// Compares a `BENCH_serve.json` export against its baseline.
+///
+/// The serve harness is wall-clock driven and multi-threaded, so
+/// per-tenant op counts are not deterministic; the gate therefore
+/// checks *invariants* and *bands* rather than exact replay:
+///
+/// - structural, on both documents: `lost_pages == 0`, `errors == 0`,
+///   `accounting.balanced == true` — a lost page or a ledger/plane
+///   disagreement fails regardless of tolerance;
+/// - structural, on the current document: every baseline tenant row is
+///   present with the same class, `guaranteed` tenants shed nothing,
+///   and at least one `best_effort` row reports admission sheds (the
+///   quota machinery must be demonstrably exercised);
+/// - banded: per-tenant `fault_p50_ns`/`fault_p99_ns` carry the
+///   [`SERVE_MAX_LATENCY_RISE`] ceiling, and `total_ops` is
+///   floor-banded by the shared throughput tolerance.
+#[must_use]
+pub fn check_serve(baseline: &str, current: &str, tol: Tolerance) -> SentinelReport {
+    let mut report = SentinelReport::default();
+    let (Some(base), Some(cur)) = (
+        parse_doc("baseline BENCH_serve.json", baseline, &mut report),
+        parse_doc("current BENCH_serve.json", current, &mut report),
+    ) else {
+        return report;
+    };
+    for k in ["workers", "keys_per_tenant", "seed", "page_size"] {
+        match (num(&base, k), num(&cur, k)) {
+            (Some(b), Some(c)) => report.exact_check(format!("serve.{k}"), b, c),
+            _ => report.errors.push(format!("serve.{k} missing")),
+        }
+    }
+    match (num(&base, "total_ops"), num(&cur, "total_ops")) {
+        (Some(b), Some(c)) => {
+            report.floor_check("serve.total_ops".into(), b, c, tol.throughput_drop);
+        }
+        _ => report.errors.push("serve.total_ops missing".into()),
+    }
+    let rows = |doc: &JsonValue| -> BTreeMap<String, (String, BTreeMap<String, f64>)> {
+        let mut m = BTreeMap::new();
+        for row in doc
+            .get("tenants")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+        {
+            let (Some(id), Some(class)) = (
+                num(row, "tenant"),
+                row.get("class").and_then(JsonValue::as_str),
+            ) else {
+                continue;
+            };
+            let mut vals = BTreeMap::new();
+            for k in [
+                "puts",
+                "gets",
+                "faults",
+                "sheds",
+                "fault_p50_ns",
+                "fault_p99_ns",
+            ] {
+                if let Some(v) = num(row, k) {
+                    vals.insert(k.to_string(), v);
+                }
+            }
+            m.insert(format!("{id}"), (class.to_string(), vals));
+        }
+        m
+    };
+    let base_rows = rows(&base);
+    if base_rows.is_empty() {
+        report
+            .errors
+            .push("baseline BENCH_serve.json has no 'tenants' rows".into());
+        return report;
+    }
+    let cur_rows = rows(&cur);
+    let mut best_effort_sheds = 0.0f64;
+    for (id, (bclass, bvals)) in &base_rows {
+        let Some((cclass, cvals)) = cur_rows.get(id) else {
+            report
+                .errors
+                .push(format!("serve tenant {id} missing from current export"));
+            continue;
+        };
+        if bclass != cclass {
+            report.errors.push(format!(
+                "serve tenant {id} changed class: {bclass} -> {cclass}"
+            ));
+        }
+        for k in ["fault_p50_ns", "fault_p99_ns"] {
+            match (bvals.get(k), cvals.get(k)) {
+                (Some(&bv), Some(&cv)) => {
+                    let ceiling = bv * SERVE_MAX_LATENCY_RISE;
+                    report.checks.push(Check {
+                        metric: format!("serve[tenant{id}/{cclass}].{k} (ceiling)"),
+                        baseline: bv,
+                        current: cv,
+                        floor: ceiling,
+                        pass: cv <= ceiling,
+                    });
+                }
+                _ => report.errors.push(format!("serve[tenant{id}].{k} missing")),
+            }
+        }
+        let sheds = cvals.get("sheds").copied();
+        match (cclass.as_str(), sheds) {
+            ("guaranteed", Some(s)) if s != 0.0 => report.errors.push(format!(
+                "serve tenant {id} is guaranteed but shed {s} writes"
+            )),
+            ("best_effort", Some(s)) => best_effort_sheds += s,
+            (_, None) => report
+                .errors
+                .push(format!("serve[tenant{id}].sheds missing")),
+            _ => {}
+        }
+        if cvals.get("faults").copied() == Some(0.0) {
+            report.errors.push(format!(
+                "serve tenant {id} never exercised the demand-fault path"
+            ));
+        }
+    }
+    if base_rows.values().any(|(c, _)| c == "best_effort") && best_effort_sheds == 0.0 {
+        report
+            .errors
+            .push("serve: no best-effort admission sheds; quota machinery not exercised".into());
+    }
+    for (label, doc) in [("baseline", &base), ("current", &cur)] {
+        match doc.get("accounting").and_then(|a| a.get("balanced")) {
+            Some(JsonValue::Bool(true)) => {}
+            Some(_) => report.errors.push(format!(
+                "{label} BENCH_serve.json reports an accounting imbalance"
+            )),
+            None => report
+                .errors
+                .push(format!("{label} serve.accounting.balanced missing")),
+        }
+        let Some(integ) = doc.get("integrity") else {
+            report.errors.push(format!(
+                "{label} BENCH_serve.json has no 'integrity' section"
+            ));
+            continue;
+        };
+        for k in ["lost_pages", "errors"] {
+            match num(integ, k) {
+                Some(0.0) => {}
+                Some(v) => report
+                    .errors
+                    .push(format!("{label} BENCH_serve.json reports {v} {k}")),
+                None => report
+                    .errors
+                    .push(format!("{label} serve.integrity.{k} missing")),
+            }
+        }
+        if num(integ, "checked") == Some(0.0) {
+            report.errors.push(format!(
+                "{label} BENCH_serve.json verified zero keys in the integrity sweep"
+            ));
+        }
+    }
+    report
+}
+
 /// Merges reports (used by the binary to fold per-file results).
 #[must_use]
 pub fn merge(reports: Vec<SentinelReport>) -> SentinelReport {
@@ -831,6 +998,42 @@ mod tests {
         // Three tier rows x eight fields, pages + seed, four rates, six
         // virtual latencies, one replica throughput floor.
         assert_eq!(r.checks.len(), 3 * 8 + 2 + 4 + 6 + 1);
+    }
+
+    #[test]
+    fn committed_serve_baseline_passes_against_itself() {
+        let text = repo_file("BENCH_serve.json");
+        let r = check_serve(&text, &text, Tolerance::default());
+        assert!(r.passed(), "{}", r.render());
+        // Four config fields, the total_ops floor, and three tenant
+        // rows x two latency ceilings.
+        assert_eq!(r.checks.len(), 4 + 1 + 3 * 2);
+    }
+
+    #[test]
+    fn serve_invariants_are_structural() {
+        let good = repo_file("BENCH_serve.json");
+        // A lost page must fail regardless of tolerance bands.
+        let lost = good.replace("\"lost_pages\": 0", "\"lost_pages\": 3");
+        let r = check_serve(&good, &lost, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.errors.iter().any(|e| e.contains("lost_pages")), "{r:?}");
+        // So must an accounting imbalance...
+        let imbalanced = good.replace("\"balanced\": true", "\"balanced\": false");
+        let r = check_serve(&good, &imbalanced, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.errors.iter().any(|e| e.contains("imbalance")), "{r:?}");
+        // ...and a guaranteed tenant shedding writes.
+        let shed = good.replace(
+            "\"class\": \"guaranteed\", \"puts\": 87012, \"gets\": 255646, \
+             \"hits\": 170988, \"faults\": 52367, \"sheds\": 0",
+            "\"class\": \"guaranteed\", \"puts\": 87012, \"gets\": 255646, \
+             \"hits\": 170988, \"faults\": 52367, \"sheds\": 9",
+        );
+        assert_ne!(shed, good, "replacement must hit the tenant 1 row");
+        let r = check_serve(&good, &shed, Tolerance::default());
+        assert!(!r.passed());
+        assert!(r.errors.iter().any(|e| e.contains("guaranteed")), "{r:?}");
     }
 
     #[test]

@@ -48,10 +48,11 @@ use xfm_sfm::zpool::{CompactReport, Zpool, ZpoolStats};
 use xfm_telemetry::lifecycle::NO_SHARD;
 use xfm_telemetry::swap_metrics::Stopwatch;
 use xfm_telemetry::{
-    Cause, FlightRecorder, Gauge, LifecycleStage, Registry, SwapMetrics, SwapStage,
+    Cause, FlightRecorder, Gauge, LifecycleStage, Registry, SwapMetrics, SwapStage, TenantMetrics,
 };
 use xfm_types::{
-    ByteSize, Cycles, Error, Nanos, PageNumber, Result, RowId, SwapError, SwapResult, PAGE_SIZE,
+    ByteSize, Cycles, Error, Nanos, OpContext, PageNumber, Result, RowId, SwapError, SwapResult,
+    TenantId, PAGE_SIZE,
 };
 
 use crate::driver::XfmDriver;
@@ -65,6 +66,8 @@ use crate::regs::OffloadKind;
 /// atomic.
 struct XfmTelemetry {
     metrics: SwapMetrics,
+    /// Lazily-registered per-tenant series (`xfm_tenant_*_total{tenant="N"}`).
+    tenants: TenantMetrics,
     /// `xfm_refresh_window_utilization{rank="i"}`, one per DIMM.
     rank_util: Vec<Arc<Gauge>>,
     /// `xfm_refresh_windows_processed{rank="i"}`, one per DIMM.
@@ -173,7 +176,7 @@ impl std::fmt::Debug for XfmBackend {
 }
 
 /// Fluent constructor for [`XfmBackend`], unifying what used to take a
-/// `try_new` call plus a chain of `attach_*`/`set_*` mutators.
+/// constructor call plus a chain of `attach_*`/`set_*` mutators.
 ///
 /// Obtained from [`XfmBackend::builder`]; every knob is optional and the
 /// defaults match a bare `XfmBackend::new(config)`. [`PlaneBuilder::build`]
@@ -226,7 +229,10 @@ impl PlaneBuilder {
     }
 
     /// Uses an explicit per-share codec instead of the default
-    /// [`XDeflate`] (see the former `XfmBackend::with_codec`).
+    /// [`XDeflate`]. Passing [`xfm_compress::AutoCodec`] wires per-page
+    /// codec selection through the multi-channel container — each
+    /// 256 B-striped share carries its own self-describing tag byte, so
+    /// batch swap-out and swap-in need no out-of-band codec metadata.
     pub fn codec(mut self, codec: Arc<dyn Codec + Send + Sync>) -> Self {
         self.codec = Some(codec);
         self
@@ -301,30 +307,16 @@ impl PlaneBuilder {
 
 impl XfmBackend {
     /// Starts a [`PlaneBuilder`] with the default configuration: the
-    /// one-stop replacement for `try_new`/`with_codec` plus the
-    /// `attach_*`/`set_*` mutator chain.
+    /// one-stop constructor for a fully wired backend (codec, telemetry,
+    /// faults, retry, degrade, flight recorder).
     pub fn builder() -> PlaneBuilder {
         PlaneBuilder::default()
     }
 
-    /// Creates a backend with `n_dimms` accelerators, propagating
-    /// configuration failures instead of panicking.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::InvalidConfig`] when `n_dimms` is not 1, 2, or 4
-    /// (the paper's configurations), or when `xfm_paramset` rejects the
-    /// per-DIMM region slice (e.g. a zero-sized region).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `XfmBackend::builder().config(c).build()`"
-    )]
-    pub fn try_new(config: XfmBackendConfig) -> Result<Self> {
-        Self::construct(config)
-    }
-
-    /// Shared constructor body behind [`XfmBackend::builder`] and the
-    /// deprecated `try_new`/`with_codec` entry points.
+    /// Shared constructor body behind [`XfmBackend::builder`] and
+    /// [`XfmBackend::new`]: rejects any `n_dimms` other than 1, 2, or 4
+    /// (the paper's configurations) and any region slice `xfm_paramset`
+    /// refuses (e.g. zero-sized).
     fn construct(config: XfmBackendConfig) -> Result<Self> {
         if ![1, 2, 4].contains(&config.n_dimms) {
             return Err(Error::InvalidConfig(format!(
@@ -373,29 +365,6 @@ impl XfmBackend {
         Self::construct(config).expect("valid XFM backend configuration")
     }
 
-    /// Creates a backend with an explicit per-share codec.
-    ///
-    /// The default ([`XDeflate`]) models the NMA's fixed Deflate core;
-    /// passing [`xfm_compress::AutoCodec`] instead wires per-page codec
-    /// selection through the multi-channel container — each 256 B-striped
-    /// share carries its own self-describing tag byte, so
-    /// [`XfmBackend::swap_out_batch`] and swap-in need no out-of-band
-    /// codec metadata.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`PlaneBuilder::build`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `XfmBackend::builder().config(c).codec(codec).build()`"
-    )]
-    pub fn with_codec(
-        config: XfmBackendConfig,
-        codec: Arc<dyn Codec + Send + Sync>,
-    ) -> Result<Self> {
-        Self::builder().config(config).codec(codec).build()
-    }
-
     /// Attaches a telemetry registry: swap-path counters, latency
     /// histograms, span tracing, per-DIMM refresh-window utilization
     /// gauges (`xfm_refresh_window_utilization{rank="i"}`), and the
@@ -415,6 +384,7 @@ impl XfmBackend {
         mirror.publish(inner.now);
         inner.telemetry = Some(XfmTelemetry {
             metrics: SwapMetrics::register(registry),
+            tenants: TenantMetrics::register(registry),
             rank_util,
             rank_windows,
             degraded_mode,
@@ -548,7 +518,25 @@ impl XfmBackend {
     ///   after compaction;
     /// - [`Error::InvalidConfig`] if `data` is not 4 KiB.
     pub fn swap_out(&self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
-        self.inner.lock().swap_out(page, data)
+        self.inner.lock().swap_out(TenantId::SYSTEM, page, data)
+    }
+
+    /// Like [`XfmBackend::swap_out`], but bills the stored bytes to
+    /// `tenant`: the entry records the owner, per-tenant series are
+    /// bumped, and the later swap-in is attributed back to the same
+    /// account. The context-free surface is this with
+    /// [`TenantId::SYSTEM`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`XfmBackend::swap_out`].
+    pub fn swap_out_for(
+        &self,
+        tenant: TenantId,
+        page: PageNumber,
+        data: &[u8],
+    ) -> Result<SwapOutcome> {
+        self.inner.lock().swap_out(tenant, page, data)
     }
 
     /// Decompresses `page` back out of the SFM, removing its entry.
@@ -603,7 +591,32 @@ impl XfmBackend {
         batch: &[(PageNumber, Bytes)],
         threads: usize,
     ) -> Result<Vec<Result<SwapOutcome>>> {
-        self.inner.lock().swap_out_batch(batch, threads)
+        self.inner
+            .lock()
+            .swap_out_batch(TenantId::SYSTEM, batch, threads)
+    }
+
+    /// Tenant-attributed form of [`XfmBackend::swap_out_batch`]: every
+    /// page in the batch is billed to `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`XfmBackend::swap_out_batch`].
+    pub fn swap_out_batch_for(
+        &self,
+        tenant: TenantId,
+        batch: &[(PageNumber, Bytes)],
+        threads: usize,
+    ) -> Result<Vec<Result<SwapOutcome>>> {
+        self.inner.lock().swap_out_batch(tenant, batch, threads)
+    }
+
+    /// Compressed bytes currently resident per tenant, derived from the
+    /// live entry table (exact by construction: the sum over tenants
+    /// equals the pool's stored bytes).
+    #[must_use]
+    pub fn tenant_usage(&self) -> Vec<(TenantId, u64)> {
+        self.inner.lock().table.tenant_bytes()
     }
 
     /// Whether `page` currently lives in the SFM.
@@ -678,6 +691,39 @@ impl SwapPlane for XfmBackend {
 
     fn pool_stats(&self) -> ZpoolStats {
         XfmBackend::pool_stats(self)
+    }
+
+    fn swap_out_ctx(
+        &self,
+        ctx: &OpContext,
+        page: PageNumber,
+        data: &[u8],
+    ) -> SwapResult<SwapOutcome> {
+        XfmBackend::swap_out_for(self, ctx.tenant, page, data).map_err(SwapError::from)
+    }
+
+    fn swap_out_batch_ctx(
+        &self,
+        ctx: &OpContext,
+        batch: &[(PageNumber, Bytes)],
+        threads: usize,
+    ) -> SwapResult<Vec<SwapResult<SwapOutcome>>> {
+        XfmBackend::swap_out_batch_for(self, ctx.tenant, batch, threads)
+            .map(|results| {
+                results
+                    .into_iter()
+                    .map(|r| r.map_err(SwapError::from))
+                    .collect()
+            })
+            .map_err(SwapError::from)
+    }
+
+    fn tenant_usage(&self) -> Vec<(TenantId, u64)> {
+        XfmBackend::tenant_usage(self)
+    }
+
+    fn tenant_of(&self, page: PageNumber) -> Option<TenantId> {
+        self.inner.lock().table.get(page).map(|e| e.tenant)
     }
 }
 
@@ -917,8 +963,10 @@ impl XfmInner {
 
     /// Swap-in telemetry: fault + fetch + decompress spans, latency
     /// histograms, and execution counters. No-op when unattached.
+    #[allow(clippy::too_many_arguments)]
     fn record_swap_in(
         &self,
+        tenant: TenantId,
         page: PageNumber,
         now: Nanos,
         sw: &Option<Stopwatch>,
@@ -929,6 +977,9 @@ impl XfmInner {
         let Some(t) = &self.telemetry else { return };
         let total = sw.as_ref().map_or(0, Stopwatch::elapsed_ns);
         t.metrics.swap_ins.inc();
+        let ts = t.tenants.series(tenant);
+        ts.swap_ins.inc();
+        ts.fault_ns.record(total);
         match cause {
             Cause::NmaOffload => t.metrics.nma_executions.inc(),
             _ => t.metrics.cpu_executions.inc(),
@@ -953,26 +1004,29 @@ impl XfmInner {
                 decompress_ns,
                 cause,
             );
-            t.metrics.lifecycle_event(
+            t.metrics.lifecycle_event_for(
                 LifecycleStage::Decompress,
                 cause,
+                tenant,
                 page.index(),
                 NO_SHARD,
                 0,
                 decompress_ns,
             );
         }
-        t.metrics.lifecycle_event(
+        t.metrics.lifecycle_event_for(
             LifecycleStage::Fault,
             cause,
+            tenant,
             page.index(),
             NO_SHARD,
             0,
             total,
         );
-        t.metrics.lifecycle_event(
+        t.metrics.lifecycle_event_for(
             LifecycleStage::Fetch,
             Cause::Ok,
+            tenant,
             page.index(),
             NO_SHARD,
             0,
@@ -993,12 +1047,13 @@ impl XfmInner {
     /// with no offload (there is nothing for the NMA to do).
     fn store_same_filled(
         &mut self,
+        tenant: TenantId,
         page: PageNumber,
         fill: u8,
         now: Nanos,
         sw: Option<Stopwatch>,
     ) -> Result<SwapOutcome> {
-        let stored_len = self.store(page, vec![fill], CodecKind::SameFilled)?;
+        let stored_len = self.store(tenant, page, vec![fill], CodecKind::SameFilled)?;
         let outcome = SwapOutcome {
             executed_on: ExecutedOn::Cpu,
             compressed_len: stored_len,
@@ -1019,6 +1074,9 @@ impl XfmInner {
                 dur,
                 Cause::SameFilled,
             );
+            let ts = t.tenants.series(tenant);
+            ts.swap_outs.inc();
+            ts.bytes_stored.add(u64::from(stored_len));
         }
         Ok(outcome)
     }
@@ -1031,8 +1089,10 @@ impl XfmInner {
     /// synchronous [`XfmBackend::swap_out`] and the batched pipeline, so
     /// both evolve driver state, pool packing, and statistics
     /// identically.
+    #[allow(clippy::too_many_arguments)]
     fn finish_swap_out(
         &mut self,
+        tenant: TenantId,
         page: PageNumber,
         data: &[u8],
         packed: Vec<u8>,
@@ -1062,7 +1122,7 @@ impl XfmInner {
         }
 
         let ssw = self.telemetry.as_ref().map(|_| Stopwatch::start());
-        let stored_len = self.store(page, bytes, codec_kind)?;
+        let stored_len = self.store(tenant, page, bytes, codec_kind)?;
         let store_ns = ssw.as_ref().map_or(0, Stopwatch::elapsed_ns);
         let outcome = if offloaded {
             SwapOutcome {
@@ -1111,35 +1171,41 @@ impl XfmInner {
             t.metrics
                 .swap_out_ns
                 .record(sw.as_ref().map_or(0, Stopwatch::elapsed_ns));
-            t.metrics.lifecycle_event(
+            t.metrics.lifecycle_event_for(
                 LifecycleStage::CodecRoute,
                 cause,
+                tenant,
                 page.index(),
                 NO_SHARD,
                 u64::from(codec_kind.code()),
                 0,
             );
-            t.metrics.lifecycle_event(
+            t.metrics.lifecycle_event_for(
                 LifecycleStage::Compress,
                 cause,
+                tenant,
                 page.index(),
                 NO_SHARD,
                 u64::from(stored_len),
                 compress_ns,
             );
-            t.metrics.lifecycle_event(
+            t.metrics.lifecycle_event_for(
                 LifecycleStage::ZpoolStore,
                 cause,
+                tenant,
                 page.index(),
                 NO_SHARD,
                 u64::from(stored_len),
                 store_ns,
             );
+            let ts = t.tenants.series(tenant);
+            ts.swap_outs.inc();
+            ts.bytes_stored.add(u64::from(stored_len));
         }
         Ok(outcome)
     }
 
-    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+    fn swap_out(&mut self, tenant: TenantId, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
         if data.len() != PAGE_SIZE {
             return Err(Error::InvalidConfig(format!(
                 "swap_out requires a 4 KiB page, got {} bytes",
@@ -1156,18 +1222,19 @@ impl XfmInner {
         // zswap's same-filled check runs on the host before any offload:
         // there is nothing for the NMA to do for a one-byte page.
         if let Some(fill) = xfm_sfm::cpu_backend::same_filled(data) {
-            return self.store_same_filled(page, fill, now, sw);
+            return self.store_same_filled(tenant, page, fill, now, sw);
         }
 
         // Functional compression (identical to what the engines compute).
         let csw = self.telemetry.as_ref().map(|_| Stopwatch::start());
         let packed = pack_page(self.codec.as_ref(), data, self.config.n_dimms)?;
         let compress_ns = csw.as_ref().map_or(0, Stopwatch::elapsed_ns);
-        self.finish_swap_out(page, data, packed.bytes, compress_ns, now, sw)
+        self.finish_swap_out(tenant, page, data, packed.bytes, compress_ns, now, sw)
     }
 
     fn swap_out_batch(
         &mut self,
+        tenant: TenantId,
         batch: &[(PageNumber, Bytes)],
         threads: usize,
     ) -> Result<Vec<Result<SwapOutcome>>> {
@@ -1223,14 +1290,14 @@ impl XfmInner {
                     let now = self.now;
                     self.advance_clock(now);
                     let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
-                    self.store_same_filled(*page, fill, now, sw)
+                    self.store_same_filled(tenant, *page, fill, now, sw)
                 }
                 Prep::Packed(i) => {
                     let now = self.now;
                     self.advance_clock(now);
                     let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
                     let (bytes, compress_ns) = packed[i].take().expect("each pack consumed once");
-                    self.finish_swap_out(*page, data, bytes, compress_ns, now, sw)
+                    self.finish_swap_out(tenant, *page, data, bytes, compress_ns, now, sw)
                 }
             };
             results.push(r);
@@ -1284,6 +1351,14 @@ impl XfmInner {
         }
         self.table.remove(page)?;
         self.pool.free(entry.handle)?;
+        // The entry is consumed from here on: credit the owner's account
+        // now so a Corrupt fall-through below cannot leak reserved bytes.
+        if let Some(t) = &self.telemetry {
+            t.tenants
+                .series(entry.tenant)
+                .bytes_freed
+                .add(u64::from(entry.compressed_len));
+        }
 
         out.clear();
         if entry.codec == CodecKind::SameFilled {
@@ -1295,7 +1370,7 @@ impl XfmInner {
                 ddr_bytes: ByteSize::from_bytes(1 + PAGE_SIZE as u64),
             };
             self.stats.record(&outcome, false);
-            self.record_swap_in(page, now, &sw, fetch_ns, 0, Cause::SameFilled);
+            self.record_swap_in(entry.tenant, page, now, &sw, fetch_ns, 0, Cause::SameFilled);
             return Ok(outcome);
         }
         if entry.codec == CodecKind::Raw {
@@ -1307,7 +1382,7 @@ impl XfmInner {
                 ddr_bytes: ByteSize::from_bytes(2 * PAGE_SIZE as u64),
             };
             self.stats.record(&outcome, false);
-            self.record_swap_in(page, now, &sw, fetch_ns, 0, Cause::StoredRaw);
+            self.record_swap_in(entry.tenant, page, now, &sw, fetch_ns, 0, Cause::StoredRaw);
             return Ok(outcome);
         }
 
@@ -1357,11 +1432,17 @@ impl XfmInner {
         } else {
             Cause::CpuFallback
         };
-        self.record_swap_in(page, now, &sw, fetch_ns, decompress_ns, cause);
+        self.record_swap_in(entry.tenant, page, now, &sw, fetch_ns, decompress_ns, cause);
         Ok(outcome)
     }
 
-    fn store(&mut self, page: PageNumber, bytes: Vec<u8>, codec: CodecKind) -> Result<u32> {
+    fn store(
+        &mut self,
+        tenant: TenantId,
+        page: PageNumber,
+        bytes: Vec<u8>,
+        codec: CodecKind,
+    ) -> Result<u32> {
         let len = bytes.len() as u32;
         let handle = match self.pool.alloc_faulted(&bytes, self.faults.as_deref()) {
             Ok(h) => h,
@@ -1378,6 +1459,7 @@ impl XfmInner {
                 compressed_len: len,
                 codec,
                 checksum: xfm_faults::checksum(&bytes),
+                tenant,
             },
         )?;
         Ok(len)
@@ -1611,19 +1693,6 @@ mod tests {
             Err(Error::InvalidConfig(_))
         ));
         assert!(XfmBackend::builder().build().is_ok());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_delegate() {
-        // The old entry points stay behaviorally identical until removal.
-        assert!(XfmBackend::try_new(XfmBackendConfig::default()).is_ok());
-        let b = XfmBackend::with_codec(
-            XfmBackendConfig::default(),
-            Arc::new(xfm_compress::AutoCodec::default()),
-        )
-        .unwrap();
-        assert_eq!(b.table_len(), 0);
     }
 
     #[test]

@@ -1,0 +1,453 @@
+//! Multi-threaded workload driver for [`FarKvService`].
+//!
+//! Mirrors the access patterns the paper's serving discussion cares
+//! about: a Zipfian mixed read/write stream (hot-set skew), periodic
+//! sequential scans (cache-hostile), and optional bursts where one
+//! tenant hammers a small hot set (noisy neighbor). Workers share a
+//! global op ticket counter, so the total op count is exact regardless
+//! of per-thread scheduling.
+//!
+//! Fault latencies are collected as raw samples per tenant and reduced
+//! to exact percentiles at the end (no histogram bucketing error), and
+//! a final single-threaded sweep re-reads every key the service claims
+//! to hold, byte-comparing against the deterministic value pattern —
+//! `lost_pages` counts keys that failed to come back intact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rand::{Rng, RngCore, SeedableRng, Xoshiro256};
+use xfm_types::{TenantId, PAGE_SIZE};
+
+use crate::service::{FarKvService, PutResult, ServiceClass, TenantSpec};
+
+/// Shape of the generated stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadMix {
+    /// Fraction of ops that are writes.
+    pub write_fraction: f64,
+    /// Zipfian skew exponent for key popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Every this many tickets, the worker runs a sequential scan
+    /// instead of one point op (0 disables scans).
+    pub scan_every: u64,
+    /// Keys read per scan.
+    pub scan_len: u64,
+    /// Optional noisy-neighbor burst phase.
+    pub burst: Option<BurstSpec>,
+}
+
+impl Default for WorkloadMix {
+    fn default() -> Self {
+        Self {
+            write_fraction: 0.3,
+            zipf_s: 0.99,
+            scan_every: 0,
+            scan_len: 0,
+            burst: None,
+        }
+    }
+}
+
+/// A window where one tenant concentrates on a tiny hot set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstSpec {
+    /// The bursting tenant.
+    pub tenant: TenantId,
+    /// Tickets between burst windows.
+    pub period: u64,
+    /// Tickets inside each window.
+    pub len: u64,
+    /// Size of the hammered hot set.
+    pub hot_keys: u64,
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Op tickets to issue (scans consume one ticket but perform
+    /// `scan_len` reads, so service-level ops can exceed this).
+    pub total_ops: u64,
+    /// Keyspace size per tenant.
+    pub keys_per_tenant: u64,
+    /// Seed for the per-worker generators and the value pattern.
+    pub seed: u64,
+    /// Stream shape.
+    pub mix: WorkloadMix,
+}
+
+/// Per-tenant results, service counters merged with exact latency
+/// percentiles from the raw samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantLoadReport {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Its service class.
+    pub class: ServiceClass,
+    /// Admitted writes.
+    pub puts: u64,
+    /// Reads issued.
+    pub gets: u64,
+    /// Reads served hot.
+    pub hits: u64,
+    /// Reads served by a demand fault.
+    pub faults: u64,
+    /// Writes shed by admission control.
+    pub sheds: u64,
+    /// Pages demoted to the plane.
+    pub demotions: u64,
+    /// Median demand-fault latency (wall ns, exact).
+    pub fault_p50_ns: u64,
+    /// 99th-percentile demand-fault latency (wall ns, exact).
+    pub fault_p99_ns: u64,
+    /// Mean demand-fault latency (wall ns).
+    pub fault_mean_ns: u64,
+    /// Compressed bytes billed at the end of the run.
+    pub compressed_bytes: u64,
+}
+
+/// Whole-run results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Service-level ops actually performed (≥ tickets issued).
+    pub total_ops: u64,
+    /// Wall time for the driven phase (excludes the integrity sweep).
+    pub elapsed_ns: u64,
+    /// Service ops per wall second.
+    pub ops_per_sec: f64,
+    /// Per-tenant results, sorted by tenant id.
+    pub per_tenant: Vec<TenantLoadReport>,
+    /// Keys the service claimed to hold that failed to read back
+    /// byte-identical in the final sweep. Must be zero.
+    pub lost_pages: u64,
+    /// Keys verified by the final sweep.
+    pub integrity_checked: u64,
+    /// Plane/service errors observed by workers. Must be zero.
+    pub errors: u64,
+}
+
+/// Deterministic page-sized value for `(tenant, key)`: alternating
+/// 16-byte blocks of a structured tag and seeded pseudo-random bytes,
+/// so pages compress roughly 2:1 — like real serving payloads, and far
+/// from the same-filled shortcut — while staying verifiable without
+/// tracking overwrite versions.
+#[must_use]
+pub fn value_page(tenant: TenantId, key: u64, seed: u64) -> Vec<u8> {
+    let mut tag = [0u8; 16];
+    tag[..2].copy_from_slice(&tenant.as_u16().to_le_bytes());
+    tag[2..10].copy_from_slice(&key.to_le_bytes());
+    tag[10..16].copy_from_slice(&seed.to_le_bytes()[..6]);
+    let mut rng = Xoshiro256::seed_from_u64(
+        seed ^ key.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ u64::from(tenant.as_u16()) << 56,
+    );
+    let mut page = Vec::with_capacity(PAGE_SIZE);
+    while page.len() < PAGE_SIZE {
+        page.extend_from_slice(&tag);
+        page.extend_from_slice(&rng.next_u64().to_le_bytes());
+        page.extend_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    page.truncate(PAGE_SIZE);
+    page
+}
+
+/// Precomputed Zipfian CDF over `n` ranks with exponent `s`.
+fn zipf_cdf(n: u64, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n as usize);
+    let mut acc = 0.0f64;
+    for rank in 1..=n {
+        acc += 1.0 / (rank as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+fn zipf_sample(cdf: &[f64], rng: &mut Xoshiro256) -> u64 {
+    let u: f64 = rng.gen();
+    cdf.partition_point(|&c| c < u) as u64
+}
+
+/// Exact quantile of a sorted sample set (0 when empty).
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-worker tallies, merged after the run.
+#[derive(Default)]
+struct WorkerTally {
+    /// Fault latencies per tenant index (parallel to the spec slice).
+    fault_ns: Vec<Vec<u64>>,
+    service_ops: u64,
+    errors: u64,
+}
+
+/// Drives `service` with the configured mixed workload, then sweeps
+/// every stored key for integrity.
+///
+/// # Panics
+///
+/// Panics when `cfg.workers == 0`, `specs` is empty, or a burst names a
+/// tenant outside `specs`.
+#[must_use]
+pub fn run_load(service: &FarKvService, specs: &[TenantSpec], cfg: &LoadConfig) -> LoadReport {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(!specs.is_empty(), "need at least one tenant");
+    let burst_idx = cfg.mix.burst.map(|b| {
+        specs
+            .iter()
+            .position(|s| s.tenant == b.tenant)
+            .expect("burst tenant must be provisioned")
+    });
+    let cdf = zipf_cdf(cfg.keys_per_tenant, cfg.mix.zipf_s);
+    let issued = AtomicU64::new(0);
+    let started = Instant::now();
+
+    let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.workers)
+            .map(|w| {
+                let cdf = &cdf;
+                let issued = &issued;
+                scope.spawn(move || {
+                    worker_loop(service, specs, cfg, burst_idx, cdf, issued, w as u64)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+
+    // Merge per-worker tallies.
+    let mut fault_ns: Vec<Vec<u64>> = vec![Vec::new(); specs.len()];
+    let mut service_ops = 0u64;
+    let mut errors = 0u64;
+    for t in tallies {
+        for (merged, mine) in fault_ns.iter_mut().zip(t.fault_ns) {
+            merged.extend(mine);
+        }
+        service_ops += t.service_ops;
+        errors += t.errors;
+    }
+    for v in &mut fault_ns {
+        v.sort_unstable();
+    }
+
+    // Integrity sweep: every key the service claims to hold must read
+    // back byte-identical to the deterministic pattern.
+    let mut lost_pages = 0u64;
+    let mut integrity_checked = 0u64;
+    let mut out = Vec::with_capacity(PAGE_SIZE);
+    for spec in specs {
+        for key in service.keys(spec.tenant) {
+            integrity_checked += 1;
+            match service.get(spec.tenant, key, &mut out) {
+                Ok(Some(_)) if out == value_page(spec.tenant, key, cfg.seed) => {}
+                _ => lost_pages += 1,
+            }
+        }
+    }
+
+    let per_tenant = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let snap = service.snapshot(spec.tenant).expect("provisioned tenant");
+            let lat = &fault_ns[i];
+            let mean = if lat.is_empty() {
+                0
+            } else {
+                lat.iter().sum::<u64>() / lat.len() as u64
+            };
+            TenantLoadReport {
+                tenant: spec.tenant,
+                class: spec.class,
+                puts: snap.puts,
+                gets: snap.gets,
+                hits: snap.hits,
+                faults: snap.faults,
+                sheds: snap.sheds,
+                demotions: snap.demotions,
+                fault_p50_ns: quantile(lat, 0.50),
+                fault_p99_ns: quantile(lat, 0.99),
+                fault_mean_ns: mean,
+                compressed_bytes: snap.compressed_bytes,
+            }
+        })
+        .collect();
+
+    LoadReport {
+        total_ops: service_ops,
+        elapsed_ns,
+        ops_per_sec: if elapsed_ns == 0 {
+            0.0
+        } else {
+            service_ops as f64 / (elapsed_ns as f64 / 1e9)
+        },
+        per_tenant,
+        lost_pages,
+        integrity_checked,
+        errors,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    service: &FarKvService,
+    specs: &[TenantSpec],
+    cfg: &LoadConfig,
+    burst_idx: Option<usize>,
+    cdf: &[f64],
+    issued: &AtomicU64,
+    worker: u64,
+) -> WorkerTally {
+    let mut rng =
+        Xoshiro256::seed_from_u64(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(worker));
+    let mut tally = WorkerTally {
+        fault_ns: vec![Vec::new(); specs.len()],
+        ..WorkerTally::default()
+    };
+    let mut out = Vec::with_capacity(PAGE_SIZE);
+
+    loop {
+        let ticket = issued.fetch_add(1, Ordering::Relaxed);
+        if ticket >= cfg.total_ops {
+            break;
+        }
+
+        // Scan phase: one ticket buys a sequential read burst.
+        if cfg.mix.scan_every > 0 && ticket.is_multiple_of(cfg.mix.scan_every) {
+            let ti = rng.gen_range(0..specs.len());
+            let start = rng.gen_range(0..cfg.keys_per_tenant);
+            for j in 0..cfg.mix.scan_len {
+                let key = (start + j) % cfg.keys_per_tenant;
+                tally.service_ops += 1;
+                match service.get(specs[ti].tenant, key, &mut out) {
+                    Ok(Some(g)) => {
+                        if let Some(ns) = g.fault_ns {
+                            tally.fault_ns[ti].push(ns);
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(_) => tally.errors += 1,
+                }
+            }
+            continue;
+        }
+
+        // Burst phase: the noisy neighbor hammers its hot set.
+        let (ti, key) = match (burst_idx, cfg.mix.burst) {
+            (Some(bi), Some(b)) if b.period > 0 && ticket % b.period < b.len => {
+                (bi, rng.gen_range(0..b.hot_keys.min(cfg.keys_per_tenant)))
+            }
+            _ => (rng.gen_range(0..specs.len()), zipf_sample(cdf, &mut rng)),
+        };
+        let tenant = specs[ti].tenant;
+        tally.service_ops += 1;
+
+        if rng.gen_bool(cfg.mix.write_fraction) {
+            match service.put(tenant, key, &value_page(tenant, key, cfg.seed)) {
+                Ok(PutResult::Stored { .. } | PutResult::Shed(_)) => {}
+                Err(_) => tally.errors += 1,
+            }
+        } else {
+            match service.get(tenant, key, &mut out) {
+                Ok(Some(g)) => {
+                    if let Some(ns) = g.fault_ns {
+                        tally.fault_ns[ti].push(ns);
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => tally.errors += 1,
+            }
+        }
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xfm_sfm::{SfmConfig, ShardedSfm, ShardedSfmConfig};
+    use xfm_types::ByteSize;
+
+    #[test]
+    fn zipf_cdf_is_normalized_and_skewed() {
+        let cdf = zipf_cdf(100, 0.99);
+        assert_eq!(cdf.len(), 100);
+        assert!((cdf[99] - 1.0).abs() < 1e-9);
+        // Rank 1 alone should carry far more than uniform mass.
+        assert!(cdf[0] > 0.1);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_samples() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&v, 0.0), 1);
+        assert_eq!(quantile(&v, 0.50), 51);
+        assert_eq!(quantile(&v, 0.99), 99);
+        assert_eq!(quantile(&v, 1.0), 100);
+        assert_eq!(quantile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn small_multi_threaded_run_loses_nothing() {
+        let plane = Arc::new(ShardedSfm::new(ShardedSfmConfig {
+            sfm: SfmConfig {
+                region_capacity: ByteSize::from_mib(16),
+                ..SfmConfig::default()
+            },
+            ..ShardedSfmConfig::default()
+        }));
+        let specs = vec![
+            TenantSpec::new(
+                TenantId::new(1),
+                ByteSize::from_pages(32),
+                ByteSize::from_mib(4),
+            ),
+            TenantSpec::new(
+                TenantId::new(2),
+                ByteSize::from_pages(32),
+                ByteSize::from_mib(4),
+            ),
+        ];
+        let service = FarKvService::new(plane, specs.clone());
+        let report = run_load(
+            &service,
+            &specs,
+            &LoadConfig {
+                workers: 4,
+                total_ops: 4_000,
+                keys_per_tenant: 256,
+                seed: 7,
+                mix: WorkloadMix {
+                    scan_every: 64,
+                    scan_len: 16,
+                    burst: Some(BurstSpec {
+                        tenant: TenantId::new(2),
+                        period: 100,
+                        len: 10,
+                        hot_keys: 8,
+                    }),
+                    ..WorkloadMix::default()
+                },
+            },
+        );
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.lost_pages, 0);
+        assert!(report.total_ops >= 4_000);
+        assert!(report.integrity_checked > 0);
+        assert!(service.accounting().balanced);
+    }
+}

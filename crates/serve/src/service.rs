@@ -1,0 +1,826 @@
+//! Tenant-aware key-value front-end over any [`SwapPlane`].
+//!
+//! Each tenant gets a bounded hot cache (resident quota), a compressed
+//! far-memory budget (compressed quota), and an admission verdict per
+//! write. The service owns no compression machinery: demotions and
+//! faults go through the plane's context-carrying operations, so the
+//! plane bills the right tenant and the service ledger mirrors the
+//! plane's own accounting byte-for-byte.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use xfm_faults::{DegradeConfig, DegradeController, DegradedMode};
+use xfm_sfm::SwapPlane;
+use xfm_telemetry::{Histogram, Registry, TenantMetrics};
+use xfm_types::{
+    ByteSize, Error, OpContext, PageNumber, PlacementClass, SwapError, SwapResult, SwapSite,
+    TenantId, PAGE_SIZE,
+};
+
+/// Key bits inside a tenant's page namespace: page numbers are
+/// `tenant << KEY_BITS | key`, so tenants can never collide on a page.
+pub const KEY_BITS: u32 = 48;
+
+/// What the operator promised a tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceClass {
+    /// Latency-sensitive: never shed by degraded-mode admission.
+    Guaranteed,
+    /// Throughput-oriented: writes are shed while the plane is in
+    /// `CpuOnly` degradation, protecting guaranteed tenants' CPU.
+    BestEffort,
+}
+
+impl ServiceClass {
+    /// Stable lowercase name (used in exposition and JSON).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceClass::Guaranteed => "guaranteed",
+            ServiceClass::BestEffort => "best_effort",
+        }
+    }
+}
+
+/// Per-tenant quotas and service class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// The tenant this spec provisions.
+    pub tenant: TenantId,
+    /// Admission treatment under degradation.
+    pub class: ServiceClass,
+    /// Hot-cache budget: resident (uncompressed) bytes.
+    pub resident_quota: ByteSize,
+    /// Far-memory budget: compressed bytes in the plane.
+    pub compressed_quota: ByteSize,
+    /// Placement hint carried in this tenant's [`OpContext`]s.
+    pub placement: PlacementClass,
+}
+
+impl TenantSpec {
+    /// A guaranteed-class spec with the given quotas and the default
+    /// (hottest) placement hint.
+    #[must_use]
+    pub fn new(tenant: TenantId, resident_quota: ByteSize, compressed_quota: ByteSize) -> Self {
+        Self {
+            tenant,
+            class: ServiceClass::Guaranteed,
+            resident_quota,
+            compressed_quota,
+            placement: PlacementClass::CompressedLocal,
+        }
+    }
+
+    /// Returns `self` with the service class replaced.
+    #[must_use]
+    pub fn with_class(mut self, class: ServiceClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Returns `self` with the placement hint replaced.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementClass) -> Self {
+        self.placement = placement;
+        self
+    }
+}
+
+/// Why admission control refused a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Both quotas exhausted: the hot cache is full and the compressed
+    /// budget has no room to demote into.
+    QuotaExhausted,
+    /// Best-effort write refused while the plane is in `CpuOnly`
+    /// degradation.
+    Degraded,
+}
+
+impl ShedReason {
+    /// Stable lowercase name (used in exposition and JSON).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QuotaExhausted => "quota_exhausted",
+            ShedReason::Degraded => "degraded",
+        }
+    }
+}
+
+/// Outcome of an admitted or shed write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutResult {
+    /// The value is stored (hot); `demotions` pages were evicted to the
+    /// plane to make room.
+    Stored {
+        /// Pages demoted to far memory during this write.
+        demotions: u32,
+    },
+    /// Admission control refused the write; the store is unchanged.
+    Shed(ShedReason),
+}
+
+/// Where a read was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GetSource {
+    /// The hot cache (no plane involvement).
+    Hot,
+    /// A demand fault: decompressed out of the plane.
+    Fault,
+}
+
+/// Outcome of a successful read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetOutcome {
+    /// Where the value came from.
+    pub source: GetSource,
+    /// Wall-clock fault latency, when `source` is [`GetSource::Fault`].
+    pub fault_ns: Option<u64>,
+}
+
+/// Point-in-time view of one tenant's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// The tenant observed.
+    pub tenant: TenantId,
+    /// Its service class.
+    pub class: ServiceClass,
+    /// Admitted writes.
+    pub puts: u64,
+    /// Reads (hits + faults + misses).
+    pub gets: u64,
+    /// Reads served from the hot cache.
+    pub hits: u64,
+    /// Reads served by a demand fault.
+    pub faults: u64,
+    /// Writes refused by admission control.
+    pub sheds: u64,
+    /// Pages demoted to the plane.
+    pub demotions: u64,
+    /// Demotions refused by the plane or the compressed quota while the
+    /// hot cache was over budget (the page stayed resident).
+    pub overflows: u64,
+    /// Hot-cache bytes currently resident.
+    pub resident_bytes: u64,
+    /// Compressed bytes currently billed in the plane (service ledger).
+    pub compressed_bytes: u64,
+    /// Median demand-fault latency (wall ns; 0 before the first fault).
+    pub fault_p50_ns: u64,
+    /// Tail demand-fault latency (wall ns; 0 before the first fault).
+    pub fault_p99_ns: u64,
+}
+
+/// Per-tenant ledger line of an [`AccountingReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantBalance {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Compressed bytes per the service ledger (outcome deltas).
+    pub ledger_bytes: u64,
+    /// Compressed bytes per the plane's own accounting.
+    pub plane_bytes: u64,
+}
+
+/// Cross-layer accounting reconciliation.
+///
+/// `balanced` iff every tenant's service ledger equals the plane's
+/// usage entry *and* the ledger total equals the plane total — i.e. no
+/// byte was double-counted, leaked, or attributed to the wrong tenant
+/// anywhere between the front-end and the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccountingReport {
+    /// One line per tenant known to either layer.
+    pub per_tenant: Vec<TenantBalance>,
+    /// Sum of the service ledgers.
+    pub ledger_total: u64,
+    /// Sum of the plane's per-tenant usage.
+    pub plane_total: u64,
+    /// Whether the two layers agree exactly.
+    pub balanced: bool,
+}
+
+/// One tenant's serving state: hot cache, far set, ledger, counters.
+struct TenantState {
+    spec: TenantSpec,
+    /// Hot values: key → (page, recency stamp).
+    hot: BTreeMap<u64, (Vec<u8>, u64)>,
+    /// Recency index: stamp → key (oldest first).
+    lru: BTreeMap<u64, u64>,
+    next_stamp: u64,
+    /// Keys currently demoted to the plane.
+    far: BTreeSet<u64>,
+    resident_bytes: u64,
+    /// Compressed bytes billed to this tenant, mirrored from outcomes.
+    compressed_bytes: u64,
+    puts: u64,
+    gets: u64,
+    hits: u64,
+    faults: u64,
+    sheds: u64,
+    demotions: u64,
+    overflows: u64,
+    fault_ns: Histogram,
+    /// Scratch buffer for discarding stale far copies on overwrite.
+    scratch: Vec<u8>,
+}
+
+impl TenantState {
+    fn new(spec: TenantSpec) -> Self {
+        Self {
+            spec,
+            hot: BTreeMap::new(),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+            far: BTreeSet::new(),
+            resident_bytes: 0,
+            compressed_bytes: 0,
+            puts: 0,
+            gets: 0,
+            hits: 0,
+            faults: 0,
+            sheds: 0,
+            demotions: 0,
+            overflows: 0,
+            fault_ns: Histogram::new(),
+            scratch: Vec::with_capacity(PAGE_SIZE),
+        }
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some((_, stamp)) = self.hot.get_mut(&key) {
+            self.lru.remove(stamp);
+            *stamp = self.next_stamp;
+            self.lru.insert(self.next_stamp, key);
+            self.next_stamp += 1;
+        }
+    }
+
+    fn insert_hot(&mut self, key: u64, page: Vec<u8>) {
+        if let Some((_, old)) = self.hot.remove(&key) {
+            self.lru.remove(&old);
+            self.resident_bytes -= PAGE_SIZE as u64;
+        }
+        self.lru.insert(self.next_stamp, key);
+        self.hot.insert(key, (page, self.next_stamp));
+        self.next_stamp += 1;
+        self.resident_bytes += PAGE_SIZE as u64;
+    }
+}
+
+/// Multi-tenant key-value service over a shared swap plane.
+///
+/// The tenant set is fixed at construction: each tenant's state sits
+/// behind its own mutex, so operations for different tenants contend
+/// only inside the (itself sharded) plane. One
+/// [`DegradeController`] watches demotion outcomes across all tenants
+/// and drives class-aware admission.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use xfm_serve::{FarKvService, TenantSpec};
+/// use xfm_sfm::{ShardedSfm, ShardedSfmConfig};
+/// use xfm_types::{ByteSize, TenantId, PAGE_SIZE};
+///
+/// let plane = Arc::new(ShardedSfm::new(ShardedSfmConfig::default()));
+/// let svc = FarKvService::new(
+///     plane,
+///     vec![TenantSpec::new(
+///         TenantId::new(1),
+///         ByteSize::from_pages(2), // hot cache: two pages
+///         ByteSize::from_mib(1),
+///     )],
+/// );
+/// let t = TenantId::new(1);
+/// let page = vec![7u8; PAGE_SIZE];
+/// for key in 0..4 {
+///     svc.put(t, key, &page)?;
+/// }
+/// // Two of the four values were demoted to far memory...
+/// assert_eq!(svc.snapshot(t).unwrap().demotions, 2);
+/// // ...and every value still reads back intact.
+/// let mut out = Vec::new();
+/// for key in 0..4 {
+///     assert!(svc.get(t, key, &mut out)?.is_some());
+///     assert_eq!(out, page);
+/// }
+/// assert!(svc.accounting().balanced);
+/// # Ok::<(), xfm_types::SwapError>(())
+/// ```
+pub struct FarKvService {
+    plane: Arc<dyn SwapPlane>,
+    tenants: BTreeMap<u16, Mutex<TenantState>>,
+    degrade: Mutex<DegradeController>,
+    metrics: Option<TenantMetrics>,
+}
+
+impl std::fmt::Debug for FarKvService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FarKvService")
+            .field("tenants", &self.tenants.len())
+            .field("has_telemetry", &self.metrics.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FarKvService {
+    /// Builds a service over `plane` for a fixed tenant set, with the
+    /// default degraded-mode thresholds.
+    #[must_use]
+    pub fn new(plane: Arc<dyn SwapPlane>, specs: Vec<TenantSpec>) -> Self {
+        Self::with_degrade(plane, specs, DegradeConfig::default())
+    }
+
+    /// Builds a service with explicit degraded-mode tuning.
+    #[must_use]
+    pub fn with_degrade(
+        plane: Arc<dyn SwapPlane>,
+        specs: Vec<TenantSpec>,
+        degrade: DegradeConfig,
+    ) -> Self {
+        let tenants = specs
+            .into_iter()
+            .map(|s| (s.tenant.as_u16(), Mutex::new(TenantState::new(s))))
+            .collect();
+        Self {
+            plane,
+            tenants,
+            degrade: Mutex::new(DegradeController::new(degrade)),
+            metrics: None,
+        }
+    }
+
+    /// Registers per-tenant shed counters on `registry`. The plane's
+    /// own telemetry (swap counts, bytes, fault histograms) attaches on
+    /// the plane; the service only adds what the plane cannot see —
+    /// operations shed before reaching it.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.metrics = Some(TenantMetrics::register(registry));
+    }
+
+    /// The shared plane this service fronts.
+    #[must_use]
+    pub fn plane(&self) -> &Arc<dyn SwapPlane> {
+        &self.plane
+    }
+
+    /// Current degraded-mode verdict of the admission controller.
+    #[must_use]
+    pub fn degraded_mode(&self) -> DegradedMode {
+        self.degrade.lock().mode()
+    }
+
+    /// The plane page number backing `(tenant, key)`.
+    fn page_of(tenant: TenantId, key: u64) -> PageNumber {
+        PageNumber::new((u64::from(tenant.as_u16()) << KEY_BITS) | key)
+    }
+
+    fn state(&self, tenant: TenantId) -> SwapResult<&Mutex<TenantState>> {
+        self.tenants.get(&tenant.as_u16()).ok_or_else(|| {
+            SwapError::new(
+                SwapSite::HostSubmit,
+                Error::InvalidConfig(format!("unknown {tenant}")),
+            )
+        })
+    }
+
+    /// Re-derives a tenant's ledger from the plane's accounting after
+    /// an entry-consuming failure (e.g. `Corrupt`), where no outcome
+    /// reports how many bytes the plane credited back.
+    fn resync_ledger(&self, st: &mut TenantState) {
+        st.compressed_bytes = self
+            .plane
+            .tenant_usage()
+            .into_iter()
+            .find(|(t, _)| *t == st.spec.tenant)
+            .map_or(0, |(_, b)| b);
+    }
+
+    /// Demotes LRU victims until the hot cache fits its quota. Stops
+    /// (leaving the cache over budget and counting an overflow) when
+    /// the compressed quota is exhausted or the plane refuses — values
+    /// are never dropped.
+    fn enforce_resident_quota(&self, st: &mut TenantState) {
+        let ctx = OpContext::for_tenant(st.spec.tenant).with_class(st.spec.placement);
+        while st.resident_bytes > st.spec.resident_quota.as_bytes() {
+            if st.compressed_bytes >= st.spec.compressed_quota.as_bytes() {
+                st.overflows += 1;
+                return;
+            }
+            let Some((&stamp, &victim)) = st.lru.iter().next() else {
+                return;
+            };
+            let page = Self::page_of(st.spec.tenant, victim);
+            let data = &st.hot.get(&victim).expect("lru tracks hot keys").0;
+            match self.plane.swap_out_ctx(&ctx, page, data) {
+                Ok(outcome) => {
+                    // The controller watches demotion *health*, not NMA
+                    // usage: a CPU-only plane is healthy, an NMA plane
+                    // reports its offload failures as retryable errors.
+                    self.degrade.lock().record_offload(true);
+                    st.lru.remove(&stamp);
+                    st.hot.remove(&victim);
+                    st.resident_bytes -= PAGE_SIZE as u64;
+                    st.compressed_bytes += u64::from(outcome.compressed_len);
+                    st.far.insert(victim);
+                    st.demotions += 1;
+                }
+                Err(e) => {
+                    // Region full or transient reject: keep the victim
+                    // resident rather than lose it; admission will shed
+                    // incoming writes while we stay over budget.
+                    if e.retryable {
+                        self.degrade.lock().record_offload(false);
+                    }
+                    st.overflows += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Stores one page-sized value under `(tenant, key)`.
+    ///
+    /// Admission may shed the write ([`PutResult::Shed`]): best-effort
+    /// tenants are refused while the plane is in `CpuOnly` degradation,
+    /// and any tenant is refused when both its quotas are exhausted.
+    /// Overwrites of demoted values first discard the stale far copy so
+    /// the ledger never double-bills a key.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::InvalidConfig`] (via [`SwapError`]) for an unknown
+    ///   tenant, a value not exactly 4 KiB, or a key outside
+    ///   [`KEY_BITS`];
+    /// - any plane error from discarding a stale far copy.
+    pub fn put(&self, tenant: TenantId, key: u64, value: &[u8]) -> SwapResult<PutResult> {
+        if value.len() != PAGE_SIZE {
+            return Err(SwapError::new(
+                SwapSite::HostSubmit,
+                Error::InvalidConfig(format!("value must be {PAGE_SIZE} bytes")),
+            ));
+        }
+        if key >> KEY_BITS != 0 {
+            return Err(SwapError::new(
+                SwapSite::HostSubmit,
+                Error::InvalidConfig(format!("key {key} exceeds {KEY_BITS} bits")),
+            ));
+        }
+        let mut st = self.state(tenant)?.lock();
+
+        // Admission: degraded-mode shedding for best-effort tenants.
+        if st.spec.class == ServiceClass::BestEffort
+            && self.degrade.lock().mode() == DegradedMode::CpuOnly
+        {
+            st.sheds += 1;
+            self.count_shed(tenant);
+            return Ok(PutResult::Shed(ShedReason::Degraded));
+        }
+        // Admission: a *new* key needs a hot slot now or a compressed
+        // slot soon; with both quotas exhausted there is nowhere to
+        // put it. Overwrites are always admitted (no net growth).
+        let is_known = st.hot.contains_key(&key) || st.far.contains(&key);
+        if !is_known
+            && st.resident_bytes + PAGE_SIZE as u64 > st.spec.resident_quota.as_bytes()
+            && st.compressed_bytes >= st.spec.compressed_quota.as_bytes()
+        {
+            st.sheds += 1;
+            self.count_shed(tenant);
+            return Ok(PutResult::Shed(ShedReason::QuotaExhausted));
+        }
+
+        // Overwrite of a demoted value: consume the stale far copy so
+        // its bytes are credited back before the new version lands.
+        if st.far.contains(&key) {
+            let ctx = OpContext::for_tenant(tenant).with_class(st.spec.placement);
+            let page = Self::page_of(tenant, key);
+            let mut scratch = std::mem::take(&mut st.scratch);
+            let r = self.plane.swap_in_into_ctx(&ctx, page, true, &mut scratch);
+            st.scratch = scratch;
+            st.far.remove(&key);
+            match r {
+                Ok(outcome) => {
+                    st.compressed_bytes = st
+                        .compressed_bytes
+                        .saturating_sub(u64::from(outcome.compressed_len));
+                }
+                Err(e) => {
+                    self.resync_ledger(&mut st);
+                    return Err(e);
+                }
+            }
+        }
+
+        st.insert_hot(key, value.to_vec());
+        st.puts += 1;
+        let demotions_before = st.demotions;
+        self.enforce_resident_quota(&mut st);
+        Ok(PutResult::Stored {
+            demotions: (st.demotions - demotions_before) as u32,
+        })
+    }
+
+    /// Reads the value under `(tenant, key)` into `out` (cleared
+    /// first). Returns `None` when the key was never stored (or its
+    /// write was shed).
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::InvalidConfig`] (via [`SwapError`]) for an unknown
+    ///   tenant;
+    /// - any plane error while faulting a demoted value back in (the
+    ///   ledger is re-synced from the plane on entry-consuming
+    ///   failures).
+    pub fn get(
+        &self,
+        tenant: TenantId,
+        key: u64,
+        out: &mut Vec<u8>,
+    ) -> SwapResult<Option<GetOutcome>> {
+        let mut st = self.state(tenant)?.lock();
+        st.gets += 1;
+
+        if let Some((page, _)) = st.hot.get(&key) {
+            out.clear();
+            out.extend_from_slice(page);
+            st.hits += 1;
+            st.touch(key);
+            return Ok(Some(GetOutcome {
+                source: GetSource::Hot,
+                fault_ns: None,
+            }));
+        }
+        if !st.far.contains(&key) {
+            return Ok(None);
+        }
+
+        // Demand fault: the caller is stalled, so the CPU path is
+        // preferred (`do_offload = false`), exactly like a page fault.
+        let ctx = OpContext::for_tenant(tenant).with_class(st.spec.placement);
+        let page = Self::page_of(tenant, key);
+        let started = Instant::now();
+        match self.plane.swap_in_into_ctx(&ctx, page, false, out) {
+            Ok(outcome) => {
+                let elapsed = started.elapsed().as_nanos() as u64;
+                self.degrade.lock().record_cpu_op();
+                st.far.remove(&key);
+                st.compressed_bytes = st
+                    .compressed_bytes
+                    .saturating_sub(u64::from(outcome.compressed_len));
+                st.faults += 1;
+                st.fault_ns.record(elapsed);
+                st.insert_hot(key, out.clone());
+                self.enforce_resident_quota(&mut st);
+                Ok(Some(GetOutcome {
+                    source: GetSource::Fault,
+                    fault_ns: Some(elapsed),
+                }))
+            }
+            Err(e) => {
+                if !e.retryable {
+                    // The entry may have been consumed; re-derive the
+                    // ledger from the plane instead of guessing.
+                    st.far.remove(&key);
+                    self.resync_ledger(&mut st);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Every key currently stored for `tenant` (hot and demoted),
+    /// sorted. Empty for unknown tenants.
+    #[must_use]
+    pub fn keys(&self, tenant: TenantId) -> Vec<u64> {
+        self.tenants
+            .get(&tenant.as_u16())
+            .map_or_else(Vec::new, |m| {
+                let st = m.lock();
+                let mut keys: Vec<u64> = st.hot.keys().copied().collect();
+                keys.extend(st.far.iter().copied());
+                keys.sort_unstable();
+                keys
+            })
+    }
+
+    /// Point-in-time counters for one tenant.
+    #[must_use]
+    pub fn snapshot(&self, tenant: TenantId) -> Option<TenantSnapshot> {
+        self.tenants.get(&tenant.as_u16()).map(|m| {
+            let st = m.lock();
+            TenantSnapshot {
+                tenant: st.spec.tenant,
+                class: st.spec.class,
+                puts: st.puts,
+                gets: st.gets,
+                hits: st.hits,
+                faults: st.faults,
+                sheds: st.sheds,
+                demotions: st.demotions,
+                overflows: st.overflows,
+                resident_bytes: st.resident_bytes,
+                compressed_bytes: st.compressed_bytes,
+                fault_p50_ns: st.fault_ns.quantile(0.50),
+                fault_p99_ns: st.fault_ns.quantile(0.99),
+            }
+        })
+    }
+
+    /// Snapshots for every provisioned tenant, sorted by tenant id.
+    #[must_use]
+    pub fn snapshots(&self) -> Vec<TenantSnapshot> {
+        self.tenants
+            .values()
+            .map(|m| {
+                let st = m.lock();
+                TenantSnapshot {
+                    tenant: st.spec.tenant,
+                    class: st.spec.class,
+                    puts: st.puts,
+                    gets: st.gets,
+                    hits: st.hits,
+                    faults: st.faults,
+                    sheds: st.sheds,
+                    demotions: st.demotions,
+                    overflows: st.overflows,
+                    resident_bytes: st.resident_bytes,
+                    compressed_bytes: st.compressed_bytes,
+                    fault_p50_ns: st.fault_ns.quantile(0.50),
+                    fault_p99_ns: st.fault_ns.quantile(0.99),
+                }
+            })
+            .collect()
+    }
+
+    /// Reconciles the service ledgers against the plane's accounting.
+    #[must_use]
+    pub fn accounting(&self) -> AccountingReport {
+        let plane: BTreeMap<TenantId, u64> = self.plane.tenant_usage().into_iter().collect();
+        let mut per_tenant = Vec::new();
+        let mut ledger_total = 0u64;
+        for m in self.tenants.values() {
+            let st = m.lock();
+            ledger_total += st.compressed_bytes;
+            per_tenant.push(TenantBalance {
+                tenant: st.spec.tenant,
+                ledger_bytes: st.compressed_bytes,
+                plane_bytes: plane.get(&st.spec.tenant).copied().unwrap_or(0),
+            });
+        }
+        // Plane-side tenants the service does not provision (e.g. the
+        // system tenant) show up with a zero ledger.
+        for (&t, &b) in &plane {
+            if b > 0 && !self.tenants.contains_key(&t.as_u16()) {
+                per_tenant.push(TenantBalance {
+                    tenant: t,
+                    ledger_bytes: 0,
+                    plane_bytes: b,
+                });
+            }
+        }
+        per_tenant.sort_by_key(|b| b.tenant);
+        let plane_total: u64 = plane.values().sum();
+        let balanced = ledger_total == plane_total
+            && per_tenant.iter().all(|b| b.ledger_bytes == b.plane_bytes);
+        AccountingReport {
+            per_tenant,
+            ledger_total,
+            plane_total,
+            balanced,
+        }
+    }
+
+    fn count_shed(&self, tenant: TenantId) {
+        if let Some(m) = &self.metrics {
+            m.series(tenant).sheds.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfm_sfm::{SfmConfig, ShardedSfm, ShardedSfmConfig};
+
+    fn plane() -> Arc<ShardedSfm> {
+        Arc::new(ShardedSfm::new(ShardedSfmConfig {
+            sfm: SfmConfig {
+                region_capacity: ByteSize::from_mib(8),
+                ..SfmConfig::default()
+            },
+            ..ShardedSfmConfig::default()
+        }))
+    }
+
+    fn spec(id: u16, resident_pages: u64, compressed: ByteSize) -> TenantSpec {
+        TenantSpec::new(
+            TenantId::new(id),
+            ByteSize::from_pages(resident_pages),
+            compressed,
+        )
+    }
+
+    fn page(tag: u8) -> Vec<u8> {
+        // Compressible but not same-filled.
+        let mut p: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 97) as u8).collect();
+        p[0] = tag;
+        p
+    }
+
+    #[test]
+    fn put_get_round_trip_through_far_memory() {
+        let svc = FarKvService::new(plane(), vec![spec(1, 2, ByteSize::from_mib(4))]);
+        let t = TenantId::new(1);
+        for k in 0..6u64 {
+            let r = svc.put(t, k, &page(k as u8)).unwrap();
+            assert!(matches!(r, PutResult::Stored { .. }));
+        }
+        let snap = svc.snapshot(t).unwrap();
+        assert_eq!(snap.puts, 6);
+        assert_eq!(snap.demotions, 4);
+        assert_eq!(snap.resident_bytes, 2 * PAGE_SIZE as u64);
+        let mut out = Vec::new();
+        for k in 0..6u64 {
+            let got = svc.get(t, k, &mut out).unwrap().unwrap();
+            assert_eq!(out, page(k as u8), "key {k}");
+            let _ = got;
+        }
+        assert_eq!(svc.snapshot(t).unwrap().gets, 6);
+        assert!(svc.accounting().balanced);
+    }
+
+    #[test]
+    fn overwrite_of_demoted_value_does_not_double_bill() {
+        let svc = FarKvService::new(plane(), vec![spec(1, 1, ByteSize::from_mib(4))]);
+        let t = TenantId::new(1);
+        svc.put(t, 0, &page(1)).unwrap();
+        svc.put(t, 1, &page(2)).unwrap(); // demotes key 0
+        assert_eq!(svc.snapshot(t).unwrap().demotions, 1);
+        svc.put(t, 0, &page(3)).unwrap(); // overwrite: stale far copy discarded
+        let mut out = Vec::new();
+        assert!(svc.get(t, 0, &mut out).unwrap().is_some());
+        assert_eq!(out, page(3));
+        assert!(svc.accounting().balanced);
+    }
+
+    #[test]
+    fn quota_exhaustion_sheds_new_keys_only() {
+        // One resident page, zero compressed budget: the second key has
+        // nowhere to go.
+        let svc = FarKvService::new(plane(), vec![spec(1, 1, ByteSize::ZERO)]);
+        let t = TenantId::new(1);
+        assert!(matches!(
+            svc.put(t, 0, &page(1)).unwrap(),
+            PutResult::Stored { .. }
+        ));
+        assert_eq!(
+            svc.put(t, 1, &page(2)).unwrap(),
+            PutResult::Shed(ShedReason::QuotaExhausted)
+        );
+        // Overwriting the existing key is still admitted.
+        assert!(matches!(
+            svc.put(t, 0, &page(3)).unwrap(),
+            PutResult::Stored { .. }
+        ));
+        assert_eq!(svc.snapshot(t).unwrap().sheds, 1);
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let svc = FarKvService::new(
+            plane(),
+            vec![
+                spec(1, 1, ByteSize::from_mib(2)),
+                spec(2, 1, ByteSize::from_mib(2)),
+            ],
+        );
+        let (a, b) = (TenantId::new(1), TenantId::new(2));
+        svc.put(a, 7, &page(1)).unwrap();
+        svc.put(b, 7, &page(2)).unwrap(); // same key, different namespace
+        svc.put(a, 8, &page(3)).unwrap(); // demotes a/7
+        let mut out = Vec::new();
+        assert!(svc.get(b, 7, &mut out).unwrap().is_some());
+        assert_eq!(out, page(2));
+        assert!(svc.get(a, 7, &mut out).unwrap().is_some());
+        assert_eq!(out, page(1));
+        assert!(svc.get(b, 8, &mut out).unwrap().is_none());
+        let acct = svc.accounting();
+        assert!(acct.balanced, "{acct:?}");
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let svc = FarKvService::new(plane(), vec![spec(1, 1, ByteSize::from_mib(1))]);
+        let t = TenantId::new(1);
+        assert!(svc.put(t, 0, &[0u8; 17]).is_err());
+        assert!(svc.put(t, 1u64 << KEY_BITS, &page(0)).is_err());
+        assert!(svc.put(TenantId::new(9), 0, &page(0)).is_err());
+        let mut out = Vec::new();
+        assert!(svc.get(TenantId::new(9), 0, &mut out).is_err());
+    }
+}

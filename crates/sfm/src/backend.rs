@@ -13,7 +13,7 @@
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
-use xfm_types::{ByteSize, Cycles, PageNumber, SwapResult, PAGE_SIZE};
+use xfm_types::{ByteSize, Cycles, OpContext, PageNumber, SwapResult, TenantId, PAGE_SIZE};
 
 /// Where a swap operation actually executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -214,6 +214,80 @@ pub trait SwapPlane: Send + Sync {
             .zip(outs.iter_mut())
             .map(|(page, out)| self.swap_in_into(*page, true, out))
             .collect()
+    }
+
+    /// Context-carrying form of [`SwapPlane::swap_out`]: the page is
+    /// billed to `ctx.tenant` and `ctx.class` hints the placement tier.
+    ///
+    /// The default ignores the context and delegates, so every plane
+    /// keeps compiling; tenant-aware planes override this with the real
+    /// body and route the context-free form through
+    /// [`OpContext::SYSTEM`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SwapPlane::swap_out`].
+    fn swap_out_ctx(
+        &self,
+        ctx: &OpContext,
+        page: PageNumber,
+        data: &[u8],
+    ) -> SwapResult<SwapOutcome> {
+        let _ = ctx;
+        self.swap_out(page, data)
+    }
+
+    /// Context-carrying form of [`SwapPlane::swap_in_into`]: the freed
+    /// compressed bytes are credited back to the owning tenant's
+    /// account (the *entry's* owner, which tenant-aware planes recorded
+    /// at swap-out — `ctx.tenant` identifies the caller for telemetry).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SwapPlane::swap_in_into`].
+    fn swap_in_into_ctx(
+        &self,
+        ctx: &OpContext,
+        page: PageNumber,
+        do_offload: bool,
+        out: &mut Vec<u8>,
+    ) -> SwapResult<SwapOutcome> {
+        let _ = ctx;
+        self.swap_in_into(page, do_offload, out)
+    }
+
+    /// Context-carrying form of [`SwapPlane::swap_out_batch`]: every
+    /// page in the batch is billed to `ctx.tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SwapPlane::swap_out_batch`].
+    fn swap_out_batch_ctx(
+        &self,
+        ctx: &OpContext,
+        batch: &[(PageNumber, Bytes)],
+        threads: usize,
+    ) -> SwapResult<Vec<SwapResult<SwapOutcome>>> {
+        let _ = ctx;
+        self.swap_out_batch(batch, threads)
+    }
+
+    /// Per-tenant compressed-byte usage, one entry per tenant that has
+    /// ever stored a page (including [`TenantId::SYSTEM`]), sorted by
+    /// tenant id. Planes without tenant accounting return an empty
+    /// vector. On accounting-exact planes the byte sum equals the
+    /// pool's stored bytes.
+    fn tenant_usage(&self) -> Vec<(TenantId, u64)> {
+        Vec::new()
+    }
+
+    /// The tenant whose account owns `page`'s resident entry, if this
+    /// plane tracks ownership. Speculative machinery (the prefetch
+    /// engine) uses this to attribute work it issues on a tenant's
+    /// behalf.
+    fn tenant_of(&self, page: PageNumber) -> Option<TenantId> {
+        let _ = page;
+        None
     }
 
     /// Whether `page` currently lives in the SFM.

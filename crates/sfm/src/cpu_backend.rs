@@ -20,7 +20,10 @@ use xfm_compress::{Codec, CodecKind, CostModel, Scratch, XDeflate};
 use xfm_faults::{FaultInjector, FaultSite};
 use xfm_telemetry::swap_metrics::Stopwatch;
 use xfm_telemetry::{Cause, Registry, SwapMetrics, SwapStage};
-use xfm_types::{ByteSize, Cycles, Error, PageNumber, Result, SwapError, SwapResult, PAGE_SIZE};
+use xfm_types::{
+    ByteSize, Cycles, Error, OpContext, PageNumber, Result, SwapError, SwapResult, TenantId,
+    PAGE_SIZE,
+};
 
 use crate::backend::{BackendStats, ExecutedOn, SfmConfig, SwapOutcome, SwapPlane};
 use crate::table::{SfmEntry, SfmTable};
@@ -154,7 +157,23 @@ impl CpuBackend {
     ///   after compaction;
     /// - [`Error::InvalidConfig`] if `data` is not 4 KiB.
     pub fn swap_out(&self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
-        self.inner.lock().swap_out(page, data)
+        self.inner.lock().swap_out(TenantId::SYSTEM, page, data)
+    }
+
+    /// Tenant-attributed form of [`CpuBackend::swap_out`]: the stored
+    /// compressed bytes are billed to `tenant` until the entry is
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CpuBackend::swap_out`].
+    pub fn swap_out_for(
+        &self,
+        tenant: TenantId,
+        page: PageNumber,
+        data: &[u8],
+    ) -> Result<SwapOutcome> {
+        self.inner.lock().swap_out(tenant, page, data)
     }
 
     /// Decompresses `page` back out of the SFM, removing its entry.
@@ -231,6 +250,23 @@ impl SwapPlane for CpuBackend {
         CpuBackend::swap_in_into(self, page, do_offload, out).map_err(SwapError::from)
     }
 
+    fn swap_out_ctx(
+        &self,
+        ctx: &OpContext,
+        page: PageNumber,
+        data: &[u8],
+    ) -> SwapResult<SwapOutcome> {
+        CpuBackend::swap_out_for(self, ctx.tenant, page, data).map_err(SwapError::from)
+    }
+
+    fn tenant_usage(&self) -> Vec<(TenantId, u64)> {
+        self.inner.lock().table.tenant_bytes()
+    }
+
+    fn tenant_of(&self, page: PageNumber) -> Option<TenantId> {
+        self.inner.lock().table.get(page).map(|e| e.tenant)
+    }
+
     fn contains(&self, page: PageNumber) -> bool {
         CpuBackend::contains(self, page)
     }
@@ -256,7 +292,7 @@ pub fn same_filled(data: &[u8]) -> Option<u8> {
 }
 
 impl CpuInner {
-    fn swap_out(&mut self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+    fn swap_out(&mut self, tenant: TenantId, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
         if data.len() != PAGE_SIZE {
             return Err(Error::InvalidConfig(format!(
                 "swap_out requires a 4 KiB page, got {} bytes",
@@ -279,6 +315,7 @@ impl CpuInner {
                     compressed_len: 1,
                     codec: CodecKind::SameFilled,
                     checksum: xfm_faults::checksum(&[fill]),
+                    tenant,
                 },
             )?;
             let outcome = SwapOutcome {
@@ -359,6 +396,7 @@ impl CpuInner {
                 compressed_len: bytes.len() as u32,
                 codec: codec_kind,
                 checksum: xfm_faults::checksum(bytes),
+                tenant,
             },
         )?;
 
@@ -683,6 +721,32 @@ mod tests {
         let err = plane.swap_in(PageNumber::new(11), false).unwrap_err();
         assert_eq!(err.site, xfm_types::SwapSite::EntryTable);
         assert!(!err.retryable);
+    }
+
+    #[test]
+    fn tenant_attribution_round_trips() {
+        let b = backend();
+        let plane: &dyn SwapPlane = &b;
+        let ctx = OpContext::for_tenant(TenantId::new(4));
+        let page = page_of(Corpus::Json, 6);
+        let out = plane.swap_out_ctx(&ctx, PageNumber::new(1), &page).unwrap();
+        assert_eq!(plane.tenant_of(PageNumber::new(1)), Some(TenantId::new(4)));
+        assert_eq!(
+            plane.tenant_usage(),
+            vec![(TenantId::new(4), u64::from(out.compressed_len))]
+        );
+        // Context-free ops bill the system tenant.
+        plane
+            .swap_out(PageNumber::new(2), &page_of(Corpus::Csv, 7))
+            .unwrap();
+        assert_eq!(plane.tenant_of(PageNumber::new(2)), Some(TenantId::SYSTEM));
+        // Consuming the entry returns the bytes to the owner's account.
+        let mut buf = Vec::new();
+        plane
+            .swap_in_into_ctx(&ctx, PageNumber::new(1), false, &mut buf)
+            .unwrap();
+        assert_eq!(plane.tenant_usage().len(), 1);
+        assert_eq!(plane.tenant_usage()[0].0, TenantId::SYSTEM);
     }
 
     #[test]

@@ -27,7 +27,8 @@ use xfm_event::ClockMirror;
 use xfm_faults::{checksum, FaultInjector, FaultSite};
 use xfm_telemetry::{Histogram, Registry};
 use xfm_types::{
-    ByteSize, Cycles, Error, Nanos, PageNumber, SwapError, SwapResult, SwapSite, PAGE_SIZE,
+    ByteSize, Cycles, Error, Nanos, OpContext, PageNumber, SwapError, SwapResult, SwapSite,
+    TenantId, PAGE_SIZE,
 };
 
 use crate::backend::{BackendStats, ExecutedOn, SwapOutcome, SwapPlane};
@@ -108,6 +109,11 @@ pub struct ModeledPlane {
     write_hist: Arc<Histogram>,
     faults: Option<Arc<FaultInjector>>,
     corrupted_reads: AtomicU64,
+    /// page index -> billed tenant, maintained at the [`SwapPlane`]
+    /// surface only (the replication layer goes through the private
+    /// `store`/`load_into` and keeps its own replica-count-independent
+    /// ledger instead).
+    owners: Mutex<BTreeMap<u64, TenantId>>,
 }
 
 impl ModeledPlane {
@@ -126,6 +132,7 @@ impl ModeledPlane {
             write_hist: Arc::new(Histogram::new()),
             faults: None,
             corrupted_reads: AtomicU64::new(0),
+            owners: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -309,7 +316,17 @@ impl ModeledPlane {
 
 impl SwapPlane for ModeledPlane {
     fn swap_out(&self, page: PageNumber, data: &[u8]) -> SwapResult<SwapOutcome> {
+        self.swap_out_ctx(&OpContext::SYSTEM, page, data)
+    }
+
+    fn swap_out_ctx(
+        &self,
+        ctx: &OpContext,
+        page: PageNumber,
+        data: &[u8],
+    ) -> SwapResult<SwapOutcome> {
         self.store(page, data)?;
+        self.owners.lock().insert(page.index(), ctx.tenant);
         let outcome = self.outcome();
         self.state.lock().stats.record(&outcome, true);
         Ok(outcome)
@@ -323,6 +340,7 @@ impl SwapPlane for ModeledPlane {
     ) -> SwapResult<SwapOutcome> {
         self.load_into(page, out)?;
         self.remove(page);
+        self.owners.lock().remove(&page.index());
         let outcome = self.outcome();
         self.state.lock().stats.record(&outcome, false);
         Ok(outcome)
@@ -351,6 +369,21 @@ impl SwapPlane for ModeledPlane {
             objects: pages,
         }
     }
+
+    fn tenant_usage(&self) -> Vec<(TenantId, u64)> {
+        let mut merged: BTreeMap<u16, u64> = BTreeMap::new();
+        for tenant in self.owners.lock().values() {
+            *merged.entry(tenant.as_u16()).or_default() += PAGE_SIZE as u64;
+        }
+        merged
+            .into_iter()
+            .map(|(t, b)| (TenantId::new(t), b))
+            .collect()
+    }
+
+    fn tenant_of(&self, page: PageNumber) -> Option<TenantId> {
+        self.owners.lock().get(&page.index()).copied()
+    }
 }
 
 /// Write-both / read-any replication across two remote planes.
@@ -371,6 +404,10 @@ pub struct ReplicatedPlane {
     dropped_writes: AtomicU64,
     degraded_reads: AtomicU64,
     repairs: AtomicU64,
+    /// page index -> billed tenant. One entry per logical page, so
+    /// usage is independent of how many replicas currently hold a copy
+    /// (dropped writes and repairs never change a tenant's bill).
+    owners: Mutex<BTreeMap<u64, TenantId>>,
 }
 
 impl ReplicatedPlane {
@@ -388,6 +425,7 @@ impl ReplicatedPlane {
             dropped_writes: AtomicU64::new(0),
             degraded_reads: AtomicU64::new(0),
             repairs: AtomicU64::new(0),
+            owners: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -490,6 +528,15 @@ impl ReplicatedPlane {
 
 impl SwapPlane for ReplicatedPlane {
     fn swap_out(&self, page: PageNumber, data: &[u8]) -> SwapResult<SwapOutcome> {
+        self.swap_out_ctx(&OpContext::SYSTEM, page, data)
+    }
+
+    fn swap_out_ctx(
+        &self,
+        ctx: &OpContext,
+        page: PageNumber,
+        data: &[u8],
+    ) -> SwapResult<SwapOutcome> {
         if self.contains(page) {
             return Err(SwapError::new(
                 SwapSite::Replica,
@@ -525,6 +572,7 @@ impl SwapPlane for ReplicatedPlane {
             return Err(SwapError::new(SwapSite::Replica, e.cause().clone())
                 .with_retryable(e.is_retryable()));
         }
+        self.owners.lock().insert(page.index(), ctx.tenant);
         let outcome = self.outcome();
         self.stats.lock().record(&outcome, true);
         Ok(outcome)
@@ -579,6 +627,7 @@ impl SwapPlane for ReplicatedPlane {
         for replica in &self.replicas {
             replica.remove(page);
         }
+        self.owners.lock().remove(&page.index());
         let outcome = self.outcome();
         self.stats.lock().record(&outcome, false);
         Ok(outcome)
@@ -604,6 +653,21 @@ impl SwapPlane for ReplicatedPlane {
             .map(|r| r.pool_stats())
             .max_by_key(|s| s.objects)
             .unwrap_or_default()
+    }
+
+    fn tenant_usage(&self) -> Vec<(TenantId, u64)> {
+        let mut merged: BTreeMap<u16, u64> = BTreeMap::new();
+        for tenant in self.owners.lock().values() {
+            *merged.entry(tenant.as_u16()).or_default() += PAGE_SIZE as u64;
+        }
+        merged
+            .into_iter()
+            .map(|(t, b)| (TenantId::new(t), b))
+            .collect()
+    }
+
+    fn tenant_of(&self, page: PageNumber) -> Option<TenantId> {
+        self.owners.lock().get(&page.index()).copied()
     }
 }
 

@@ -43,7 +43,7 @@ use std::sync::Arc;
 
 use xfm_telemetry::lifecycle::NO_SHARD;
 use xfm_telemetry::{Cause, LifecycleStage, PrefetchMetrics, Registry};
-use xfm_types::{Error, PageNumber, SwapError, SwapResult};
+use xfm_types::{Error, OpContext, PageNumber, SwapError, SwapResult, TenantId};
 
 use crate::backend::{BackendStats, SwapOutcome, SwapPlane};
 use crate::predictor::{
@@ -123,6 +123,11 @@ struct StagedPage {
     data: Vec<u8>,
     outcome: SwapOutcome,
     staged_round: u64,
+    /// The account the page was billed to before the speculative
+    /// swap-in consumed its entry — a stale write-back re-stores it
+    /// under the same identity, so speculation never shifts bytes
+    /// between tenants.
+    tenant: TenantId,
 }
 
 /// Everything behind the engine's single mutex. Lock ordering: this
@@ -325,11 +330,26 @@ impl<P: SwapPlane> PrefetchEngine<P> {
     /// [`Error::EntryExists`] when the page is staged (it is in the SFM,
     /// just pre-decompressed), plus the wrapped plane's conditions.
     pub fn swap_out(&self, page: PageNumber, data: &[u8]) -> SwapResult<SwapOutcome> {
+        self.swap_out_with(&OpContext::SYSTEM, page, data)
+    }
+
+    /// Context-carrying form of [`PrefetchEngine::swap_out`]: the
+    /// wrapped plane bills `ctx.tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PrefetchEngine::swap_out`].
+    pub fn swap_out_with(
+        &self,
+        ctx: &OpContext,
+        page: PageNumber,
+        data: &[u8],
+    ) -> SwapResult<SwapOutcome> {
         let st = self.state.lock();
         if st.staging.contains_key(&page.index()) {
             return Err(SwapError::from(Error::EntryExists { page: page.index() }));
         }
-        self.inner.swap_out(page, data)
+        self.inner.swap_out_ctx(ctx, page, data)
     }
 
     /// Fault path: consults the staging cache before the wrapped
@@ -364,9 +384,10 @@ impl<P: SwapPlane> PrefetchEngine<P> {
                 m.staged_pages.set(st.staging.len() as f64);
             }
             if let Some(r) = &self.registry {
-                r.lifecycle().record(
+                r.lifecycle().record_for(
                     LifecycleStage::PrefetchHit,
                     Cause::Ok,
+                    staged.tenant,
                     page.index(),
                     NO_SHARD,
                     age,
@@ -456,12 +477,19 @@ impl<P: SwapPlane> PrefetchEngine<P> {
         st.throttled_total += report.throttled as u64;
 
         if !batch.is_empty() {
+            // Capture each page's owner before the batched swap-in
+            // consumes its entry: afterwards the plane no longer knows.
+            let owners: Vec<TenantId> = batch
+                .iter()
+                .map(|p| self.inner.tenant_of(*p).unwrap_or(TenantId::SYSTEM))
+                .collect();
             let mut outs: Vec<Vec<u8>> = batch
                 .iter()
                 .map(|_| st.free.pop().unwrap_or_default())
                 .collect();
             let results = self.inner.swap_in_batch_into(&batch, &mut outs);
-            for ((page, result), data) in batch.iter().zip(results).zip(outs) {
+            for (((page, result), data), tenant) in batch.iter().zip(results).zip(outs).zip(owners)
+            {
                 match result {
                     Ok(outcome) => {
                         st.staging.insert(
@@ -470,6 +498,7 @@ impl<P: SwapPlane> PrefetchEngine<P> {
                                 data,
                                 outcome,
                                 staged_round: round,
+                                tenant,
                             },
                         );
                         st.issued_total += 1;
@@ -479,9 +508,10 @@ impl<P: SwapPlane> PrefetchEngine<P> {
                             m.issued.inc();
                         }
                         if let Some(r) = &self.registry {
-                            r.lifecycle().record(
+                            r.lifecycle().record_for(
                                 LifecycleStage::PrefetchIssue,
                                 Cause::Ok,
+                                tenant,
                                 page.index(),
                                 NO_SHARD,
                                 batch.len() as u64,
@@ -516,7 +546,11 @@ impl<P: SwapPlane> PrefetchEngine<P> {
                 .collect();
             for p in stale {
                 let staged = st.staging.remove(&p).expect("collected above");
-                match self.inner.swap_out(PageNumber::new(p), &staged.data) {
+                let ctx = OpContext::for_tenant(staged.tenant);
+                match self
+                    .inner
+                    .swap_out_ctx(&ctx, PageNumber::new(p), &staged.data)
+                {
                     Ok(_) => {
                         st.writebacks_total += 1;
                         report.written_back += 1;
@@ -533,9 +567,10 @@ impl<P: SwapPlane> PrefetchEngine<P> {
                         // going back to far memory), not a store: give
                         // Chrome-trace export its own stage.
                         if let Some(r) = &self.registry {
-                            r.lifecycle().record(
+                            r.lifecycle().record_for(
                                 LifecycleStage::Demote,
                                 Cause::Ok,
+                                staged.tenant,
                                 p,
                                 NO_SHARD,
                                 age,
@@ -579,7 +614,11 @@ impl<P: SwapPlane> PrefetchEngine<P> {
         let mut flushed = 0usize;
         for p in pages {
             let staged = st.staging.remove(&p).expect("key collected above");
-            match self.inner.swap_out(PageNumber::new(p), &staged.data) {
+            let ctx = OpContext::for_tenant(staged.tenant);
+            match self
+                .inner
+                .swap_out_ctx(&ctx, PageNumber::new(p), &staged.data)
+            {
                 Ok(_) => {
                     flushed += 1;
                     st.writebacks_total += 1;
@@ -612,6 +651,15 @@ impl<P: SwapPlane> PrefetchEngine<P> {
 impl<P: SwapPlane> SwapPlane for PrefetchEngine<P> {
     fn swap_out(&self, page: PageNumber, data: &[u8]) -> SwapResult<SwapOutcome> {
         PrefetchEngine::swap_out(self, page, data)
+    }
+
+    fn swap_out_ctx(
+        &self,
+        ctx: &OpContext,
+        page: PageNumber,
+        data: &[u8],
+    ) -> SwapResult<SwapOutcome> {
+        PrefetchEngine::swap_out_with(self, ctx, page, data)
     }
 
     fn swap_in_into(
@@ -650,6 +698,20 @@ impl<P: SwapPlane> SwapPlane for PrefetchEngine<P> {
 
     fn pool_stats(&self) -> ZpoolStats {
         self.inner.pool_stats()
+    }
+
+    fn tenant_usage(&self) -> Vec<(TenantId, u64)> {
+        // Staged pages sit decompressed in DRAM: their compressed pool
+        // bytes were already credited back by the speculative swap-in,
+        // so the wrapped plane's view is the authoritative one.
+        self.inner.tenant_usage()
+    }
+
+    fn tenant_of(&self, page: PageNumber) -> Option<TenantId> {
+        if let Some(sp) = self.state.lock().staging.get(&page.index()) {
+            return Some(sp.tenant);
+        }
+        self.inner.tenant_of(page)
     }
 }
 

@@ -39,9 +39,12 @@ use xfm_compress::{
 };
 use xfm_faults::{FaultInjector, FaultSite};
 use xfm_telemetry::swap_metrics::Stopwatch;
-use xfm_telemetry::{Cause, LifecycleStage, Registry, ShardMetrics, SwapMetrics, SwapStage};
+use xfm_telemetry::{
+    Cause, LifecycleStage, Registry, ShardMetrics, SwapMetrics, SwapStage, TenantMetrics,
+};
 use xfm_types::{
-    ByteSize, Cycles, Error, Nanos, PageNumber, Result, SwapError, SwapResult, PAGE_SIZE,
+    ByteSize, Cycles, Error, Nanos, OpContext, PageNumber, Result, SwapError, SwapResult, TenantId,
+    PAGE_SIZE,
 };
 
 use crate::backend::{BackendStats, ExecutedOn, SfmConfig, SwapOutcome, SwapPlane};
@@ -101,6 +104,7 @@ struct MinuteState {
 struct Telemetry {
     swap: SwapMetrics,
     shards: ShardMetrics,
+    tenants: TenantMetrics,
     registry: Registry,
 }
 
@@ -258,6 +262,7 @@ impl ShardedSfm {
         self.telemetry = Some(Telemetry {
             swap: SwapMetrics::register(registry),
             shards: ShardMetrics::register(registry, self.shards.len()),
+            tenants: TenantMetrics::register(registry),
             registry: registry.clone(),
         });
     }
@@ -301,6 +306,23 @@ impl ShardedSfm {
     ///
     /// Same conditions as [`SfmBackend::swap_out`].
     pub fn swap_out(&self, page: PageNumber, data: &[u8]) -> Result<SwapOutcome> {
+        self.swap_out_for(TenantId::SYSTEM, page, data)
+    }
+
+    /// Tenant-attributed form of [`ShardedSfm::swap_out`]: the stored
+    /// compressed bytes are billed to `tenant` (recorded on the entry)
+    /// until the entry is consumed by a swap-in, and telemetry carries
+    /// the tenant on its lifecycle events and per-tenant counters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardedSfm::swap_out`].
+    pub fn swap_out_for(
+        &self,
+        tenant: TenantId,
+        page: PageNumber,
+        data: &[u8],
+    ) -> Result<SwapOutcome> {
         if data.len() != PAGE_SIZE {
             return Err(Error::InvalidConfig(format!(
                 "swap_out requires a 4 KiB page, got {} bytes",
@@ -333,6 +355,7 @@ impl ShardedSfm {
                     compressed_len: 1,
                     codec: CodecKind::SameFilled,
                     checksum: xfm_faults::checksum(&[fill]),
+                    tenant,
                 },
             )?;
             let outcome = SwapOutcome {
@@ -356,14 +379,18 @@ impl ShardedSfm {
                     total,
                     Cause::SameFilled,
                 );
-                t.swap.lifecycle_event(
+                t.swap.lifecycle_event_for(
                     LifecycleStage::Compress,
                     Cause::SameFilled,
+                    tenant,
                     page.index(),
                     si as u32,
                     u64::from(fill),
                     total,
                 );
+                let ts = t.tenants.series(tenant);
+                ts.swap_outs.inc();
+                ts.bytes_stored.add(1);
                 t.shards.swap_outs[si].inc();
                 t.shards.busy_ns[si].add(total);
                 t.shards.entries[si].set(s.table.len() as f64);
@@ -380,7 +407,7 @@ impl ShardedSfm {
             self.codec.compress_into(data, comp_buf, scratch)?;
         }
         let compress_ns = csw.map_or(0, |s| s.elapsed_ns());
-        self.store_page(si, s, page, data, None, sw, compress_ns)
+        self.store_page(si, s, tenant, page, data, None, sw, compress_ns)
     }
 
     /// Decompresses `page` back out of its shard, removing the entry.
@@ -454,9 +481,10 @@ impl ShardedSfm {
                         fetch_ns,
                         Cause::ChecksumMismatch,
                     );
-                    t.swap.lifecycle_event(
+                    t.swap.lifecycle_event_for(
                         LifecycleStage::Fault,
                         Cause::ChecksumMismatch,
+                        entry.tenant,
                         page.index(),
                         si as u32,
                         u64::from(entry.compressed_len),
@@ -502,6 +530,15 @@ impl ShardedSfm {
             } = s;
             self.sync_host_pages(pool, host_pages);
         }
+        // The entry is consumed from here on — even when decoding
+        // failed — so the owner's compressed bytes are credited back
+        // unconditionally: no leak on the Corrupt fall-through.
+        if let Some(t) = &self.telemetry {
+            t.tenants
+                .series(entry.tenant)
+                .bytes_freed
+                .add(u64::from(entry.compressed_len));
+        }
         let cycles = decoded?;
 
         let outcome = SwapOutcome {
@@ -526,17 +563,19 @@ impl ShardedSfm {
             t.swap.span(SwapStage::Fault, page.index(), 0, total, cause);
             t.swap
                 .span(SwapStage::Fetch, page.index(), 0, fetch_ns, Cause::Ok);
-            t.swap.lifecycle_event(
+            t.swap.lifecycle_event_for(
                 LifecycleStage::Fault,
                 cause,
+                entry.tenant,
                 page.index(),
                 si as u32,
                 u64::from(entry.compressed_len),
                 total,
             );
-            t.swap.lifecycle_event(
+            t.swap.lifecycle_event_for(
                 LifecycleStage::Fetch,
                 Cause::Ok,
+                entry.tenant,
                 page.index(),
                 si as u32,
                 u64::from(entry.compressed_len),
@@ -551,15 +590,19 @@ impl ShardedSfm {
                     decomp_ns,
                     Cause::Ok,
                 );
-                t.swap.lifecycle_event(
+                t.swap.lifecycle_event_for(
                     LifecycleStage::Decompress,
                     Cause::Ok,
+                    entry.tenant,
                     page.index(),
                     si as u32,
                     u64::from(entry.compressed_len),
                     decomp_ns,
                 );
             }
+            let ts = t.tenants.series(entry.tenant);
+            ts.swap_ins.inc();
+            ts.fault_ns.record(total);
             t.shards.swap_ins[si].inc();
             t.shards.busy_ns[si].add(total);
             t.shards.entries[si].set(s.table.len() as f64);
@@ -673,9 +716,10 @@ impl ShardedSfm {
                         fetch_ns,
                         Cause::ChecksumMismatch,
                     );
-                    t.swap.lifecycle_event(
+                    t.swap.lifecycle_event_for(
                         LifecycleStage::Fault,
                         Cause::ChecksumMismatch,
+                        entry.tenant,
                         page.index(),
                         si as u32,
                         u64::from(entry.compressed_len),
@@ -811,7 +855,9 @@ impl ShardedSfm {
                 }
                 Err(e) => {
                     // Corrupt stored data consumes the entry, matching
-                    // the sequential path.
+                    // the sequential path — the owner's bytes are
+                    // credited back here too, so the error fall-through
+                    // cannot leak accounting.
                     let _ = s.table.remove(pages[i]);
                     let _ = s.pool.free(entry.handle);
                     {
@@ -819,6 +865,12 @@ impl ShardedSfm {
                             pool, host_pages, ..
                         } = s;
                         self.sync_host_pages(pool, host_pages);
+                    }
+                    if let Some(t) = &self.telemetry {
+                        t.tenants
+                            .series(entry.tenant)
+                            .bytes_freed
+                            .add(u64::from(entry.compressed_len));
                     }
                     results[i] = Some(Err(e));
                 }
@@ -869,17 +921,19 @@ impl ShardedSfm {
             t.swap.span(SwapStage::Fault, page.index(), 0, op_ns, cause);
             t.swap
                 .span(SwapStage::Fetch, page.index(), 0, fetch_ns, Cause::Ok);
-            t.swap.lifecycle_event(
+            t.swap.lifecycle_event_for(
                 LifecycleStage::Fault,
                 cause,
+                entry.tenant,
                 page.index(),
                 si as u32,
                 u64::from(entry.compressed_len),
                 op_ns,
             );
-            t.swap.lifecycle_event(
+            t.swap.lifecycle_event_for(
                 LifecycleStage::Fetch,
                 Cause::Ok,
+                entry.tenant,
                 page.index(),
                 si as u32,
                 u64::from(entry.compressed_len),
@@ -894,15 +948,20 @@ impl ShardedSfm {
                     decomp_ns,
                     Cause::Ok,
                 );
-                t.swap.lifecycle_event(
+                t.swap.lifecycle_event_for(
                     LifecycleStage::Decompress,
                     Cause::Ok,
+                    entry.tenant,
                     page.index(),
                     si as u32,
                     u64::from(entry.compressed_len),
                     decomp_ns,
                 );
             }
+            let ts = t.tenants.series(entry.tenant);
+            ts.swap_ins.inc();
+            ts.fault_ns.record(op_ns);
+            ts.bytes_freed.add(u64::from(entry.compressed_len));
             t.shards.swap_ins[si].inc();
             t.shards.busy_ns[si].add(op_ns);
             t.shards.entries[si].set(s.table.len() as f64);
@@ -937,6 +996,21 @@ impl ShardedSfm {
         batch: &[(PageNumber, Bytes)],
         threads: usize,
     ) -> Result<Vec<Result<SwapOutcome>>> {
+        self.swap_out_batch_for(TenantId::SYSTEM, batch, threads)
+    }
+
+    /// Tenant-attributed form of [`ShardedSfm::swap_out_batch`]: every
+    /// page in the batch is billed to `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardedSfm::swap_out_batch`].
+    pub fn swap_out_batch_for(
+        &self,
+        tenant: TenantId,
+        batch: &[(PageNumber, Bytes)],
+        threads: usize,
+    ) -> Result<Vec<Result<SwapOutcome>>> {
         let results: Mutex<Vec<Option<Result<SwapOutcome>>>> =
             Mutex::new((0..batch.len()).map(|_| None).collect());
         let mut compress_idx: Vec<usize> = Vec::new();
@@ -947,11 +1021,11 @@ impl ShardedSfm {
         let mut claimed: BTreeSet<u64> = BTreeSet::new();
         for (i, (page, data)) in batch.iter().enumerate() {
             if data.len() != PAGE_SIZE {
-                results.lock()[i] = Some(self.swap_out(*page, data));
+                results.lock()[i] = Some(self.swap_out_for(tenant, *page, data));
             } else if self.contains(*page) || claimed.contains(&page.index()) {
                 results.lock()[i] = Some(Err(Error::EntryExists { page: page.index() }));
             } else if same_filled(data).is_some() {
-                let res = self.swap_out(*page, data);
+                let res = self.swap_out_for(tenant, *page, data);
                 if res.is_ok() {
                     claimed.insert(page.index());
                 }
@@ -966,7 +1040,7 @@ impl ShardedSfm {
             let sink = |r: PageResult| {
                 let bi = compress_idx[r.index];
                 let (page, data) = &batch[bi];
-                let res = self.store_compressed(*page, data, &r.compressed);
+                let res = self.store_compressed(tenant, *page, data, &r.compressed);
                 results.lock()[bi] = Some(res);
             };
             let codec = &*self.codec;
@@ -988,6 +1062,7 @@ impl ShardedSfm {
     /// shard's lock only, with the compression already done.
     fn store_compressed(
         &self,
+        tenant: TenantId,
         page: PageNumber,
         data: &[u8],
         compressed: &[u8],
@@ -999,7 +1074,7 @@ impl ShardedSfm {
             return Err(Error::EntryExists { page: page.index() });
         }
         let sw = self.telemetry.as_ref().map(|_| Stopwatch::start());
-        self.store_page(si, s, page, data, Some(compressed), sw, 0)
+        self.store_page(si, s, tenant, page, data, Some(compressed), sw, 0)
     }
 
     /// Common post-compression store path. `compressed` is
@@ -1010,6 +1085,7 @@ impl ShardedSfm {
         &self,
         si: usize,
         s: &mut Shard,
+        tenant: TenantId,
         page: PageNumber,
         data: &[u8],
         compressed: Option<&[u8]>,
@@ -1057,9 +1133,10 @@ impl ShardedSfm {
                             ns,
                             Cause::RegionFull,
                         );
-                        t.swap.lifecycle_event(
+                        t.swap.lifecycle_event_for(
                             LifecycleStage::ZpoolStore,
                             Cause::RegionFull,
+                            tenant,
                             page.index(),
                             si as u32,
                             bytes.len() as u64,
@@ -1083,6 +1160,7 @@ impl ShardedSfm {
                 compressed_len: stored_len as u32,
                 codec: codec_kind,
                 checksum,
+                tenant,
             },
         )?;
 
@@ -1111,9 +1189,10 @@ impl ShardedSfm {
                 _ => {}
             }
             if let Some(route) = auto_route {
-                t.swap.lifecycle_event(
+                t.swap.lifecycle_event_for(
                     LifecycleStage::CodecRoute,
                     Cause::Ok,
+                    tenant,
                     page.index(),
                     si as u32,
                     u64::from(route.code()),
@@ -1127,9 +1206,10 @@ impl ShardedSfm {
                 t.swap
                     .span(SwapStage::Compress, page.index(), 0, compress_ns, cause);
             }
-            t.swap.lifecycle_event(
+            t.swap.lifecycle_event_for(
                 LifecycleStage::Compress,
                 cause,
+                tenant,
                 page.index(),
                 si as u32,
                 comp_len as u64,
@@ -1144,14 +1224,18 @@ impl ShardedSfm {
                 store_ns,
                 Cause::Ok,
             );
-            t.swap.lifecycle_event(
+            t.swap.lifecycle_event_for(
                 LifecycleStage::ZpoolStore,
                 cause,
+                tenant,
                 page.index(),
                 si as u32,
                 stored_len as u64,
                 store_ns,
             );
+            let ts = t.tenants.series(tenant);
+            ts.swap_outs.inc();
+            ts.bytes_stored.add(stored_len as u64);
             t.shards.swap_outs[si].inc();
             t.shards.busy_ns[si].add(total);
             t.shards.entries[si].set(s.table.len() as f64);
@@ -1417,6 +1501,22 @@ impl ShardedSfm {
         total
     }
 
+    /// Per-tenant compressed-byte usage merged across shards, sorted by
+    /// tenant id. Derived from the resident entries (each billed to the
+    /// tenant recorded at swap-out), so the accounting can neither leak
+    /// nor double-count and the byte sum always equals
+    /// `pool_stats().stored_bytes`.
+    #[must_use]
+    pub fn tenant_usage(&self) -> Vec<(TenantId, u64)> {
+        let mut per: BTreeMap<TenantId, u64> = BTreeMap::new();
+        for shard in &self.shards {
+            for (t, b) in shard.lock().table.tenant_bytes() {
+                *per.entry(t).or_insert(0) += b;
+            }
+        }
+        per.into_iter().collect()
+    }
+
     /// Live compressed entries per shard (for imbalance inspection).
     #[must_use]
     pub fn shard_entries(&self) -> Vec<u64> {
@@ -1490,6 +1590,43 @@ impl SwapPlane for ShardedSfm {
             .into_iter()
             .map(|r| r.map_err(SwapError::from))
             .collect()
+    }
+
+    fn swap_out_ctx(
+        &self,
+        ctx: &OpContext,
+        page: PageNumber,
+        data: &[u8],
+    ) -> SwapResult<SwapOutcome> {
+        ShardedSfm::swap_out_for(self, ctx.tenant, page, data).map_err(SwapError::from)
+    }
+
+    fn swap_out_batch_ctx(
+        &self,
+        ctx: &OpContext,
+        batch: &[(PageNumber, Bytes)],
+        threads: usize,
+    ) -> SwapResult<Vec<SwapResult<SwapOutcome>>> {
+        ShardedSfm::swap_out_batch_for(self, ctx.tenant, batch, threads)
+            .map(|results| {
+                results
+                    .into_iter()
+                    .map(|r| r.map_err(SwapError::from))
+                    .collect()
+            })
+            .map_err(SwapError::from)
+    }
+
+    fn tenant_usage(&self) -> Vec<(TenantId, u64)> {
+        ShardedSfm::tenant_usage(self)
+    }
+
+    fn tenant_of(&self, page: PageNumber) -> Option<TenantId> {
+        self.shards[self.shard_of(page)]
+            .lock()
+            .table
+            .get(page)
+            .map(|e| e.tenant)
     }
 
     fn contains(&self, page: PageNumber) -> bool {

@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
-use xfm_types::{ByteSize, Error, PageNumber, Result};
+use xfm_types::{ByteSize, Error, PageNumber, Result, TenantId};
 
 use xfm_compress::CodecKind;
 
@@ -27,6 +27,10 @@ pub struct SfmEntry {
     /// verified at swap-in so in-transit corruption surfaces as a
     /// retryable [`Error::ChecksumMismatch`] instead of a garbage page.
     pub checksum: u64,
+    /// Tenant whose account holds this entry's compressed bytes: the
+    /// accounting is debited back to this owner when the entry is
+    /// consumed, regardless of who issues the swap-in.
+    pub tenant: TenantId,
 }
 
 /// Ordered page-number → entry map.
@@ -36,7 +40,7 @@ pub struct SfmEntry {
 /// ```
 /// use xfm_sfm::{SfmTable, SfmEntry, Zpool};
 /// use xfm_compress::CodecKind;
-/// use xfm_types::{ByteSize, PageNumber};
+/// use xfm_types::{ByteSize, PageNumber, TenantId};
 ///
 /// let mut pool = Zpool::new(ByteSize::from_mib(1));
 /// let handle = pool.alloc(&[0u8; 100])?;
@@ -46,6 +50,7 @@ pub struct SfmEntry {
 ///     compressed_len: 100,
 ///     codec: CodecKind::Xlz,
 ///     checksum: xfm_faults::checksum(&[0u8; 100]),
+///     tenant: TenantId::SYSTEM,
 /// })?;
 /// assert!(table.get(PageNumber::new(3)).is_some());
 /// # Ok::<(), xfm_types::Error>(())
@@ -133,6 +138,19 @@ impl SfmTable {
     pub fn iter(&self) -> impl Iterator<Item = (PageNumber, &SfmEntry)> {
         self.entries.iter().map(|(&p, e)| (PageNumber::new(p), e))
     }
+
+    /// Sum of compressed lengths grouped by owning tenant, sorted by
+    /// tenant id. Derived from the resident entries, so it can neither
+    /// leak nor double-count: an entry either exists (billed to its
+    /// owner) or it does not.
+    #[must_use]
+    pub fn tenant_bytes(&self) -> Vec<(TenantId, u64)> {
+        let mut per: BTreeMap<TenantId, u64> = BTreeMap::new();
+        for e in self.entries.values() {
+            *per.entry(e.tenant).or_insert(0) += u64::from(e.compressed_len);
+        }
+        per.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +167,7 @@ mod tests {
             compressed_len: len,
             codec: CodecKind::XDeflate,
             checksum: xfm_faults::checksum(&data),
+            tenant: TenantId::SYSTEM,
         }
     }
 
@@ -190,6 +209,22 @@ mod tests {
         assert_eq!(t.compressed_bytes().as_bytes(), 1500);
         assert_eq!(t.represented_bytes().as_bytes(), 8192);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn tenant_bytes_groups_by_owner() {
+        let mut t = SfmTable::new();
+        for (p, tenant, len) in [(1u64, 1u16, 100u32), (2, 2, 50), (3, 1, 25)] {
+            let mut e = entry(len);
+            e.tenant = TenantId::new(tenant);
+            t.insert(PageNumber::new(p), e).unwrap();
+        }
+        assert_eq!(
+            t.tenant_bytes(),
+            vec![(TenantId::new(1), 125), (TenantId::new(2), 50)]
+        );
+        t.remove(PageNumber::new(2)).unwrap();
+        assert_eq!(t.tenant_bytes(), vec![(TenantId::new(1), 125)]);
     }
 
     #[test]

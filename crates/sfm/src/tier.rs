@@ -33,7 +33,8 @@ use parking_lot::Mutex;
 use xfm_telemetry::lifecycle::NO_SHARD;
 use xfm_telemetry::{Cause, LifecycleStage, Registry};
 use xfm_types::{
-    ByteSize, Cycles, Error, PageNumber, PlacementClass, PlaneId, SwapResult, PAGE_SIZE,
+    ByteSize, Cycles, Error, OpContext, PageNumber, PlacementClass, PlaneId, SwapResult, TenantId,
+    PAGE_SIZE,
 };
 
 use crate::autotune::TierBias;
@@ -109,6 +110,10 @@ pub struct TierStats {
 struct PageLoc {
     tier: usize,
     seq: u64,
+    /// The account billed for the page — demotions and promotions
+    /// re-issue inner-plane ops under this identity, so a page keeps
+    /// its owner no matter how many tiers it crosses.
+    tenant: TenantId,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -125,24 +130,25 @@ struct Directory {
     /// Per-tier LRU: sequence -> page index (oldest first).
     lru: Vec<BTreeMap<u64, u64>>,
     /// Pages stranded in DRAM when no tier would hold them (never
-    /// lost: the fault path serves them by memcpy).
-    parked: BTreeMap<u64, Vec<u8>>,
+    /// lost: the fault path serves them by memcpy). Each parked page
+    /// keeps its owning tenant so a later re-store stays attributed.
+    parked: BTreeMap<u64, (Vec<u8>, TenantId)>,
     counts: Vec<TierCounts>,
     next_seq: u64,
 }
 
 impl Directory {
-    fn insert(&mut self, page: u64, tier: usize) {
+    fn insert(&mut self, page: u64, tier: usize, tenant: TenantId) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.owner.insert(page, PageLoc { tier, seq });
+        self.owner.insert(page, PageLoc { tier, seq, tenant });
         self.lru[tier].insert(seq, page);
     }
 
-    fn remove(&mut self, page: u64) -> Option<usize> {
+    fn remove(&mut self, page: u64) -> Option<PageLoc> {
         let loc = self.owner.remove(&page)?;
         self.lru[loc.tier].remove(&loc.seq);
-        Some(loc.tier)
+        Some(loc)
     }
 }
 
@@ -257,11 +263,11 @@ impl TieredPlane {
         (u64::from(spec.id.as_u32()) << 8) | u64::from(spec.class.code())
     }
 
-    fn record(&self, stage: LifecycleStage, cause: Cause, page: u64, aux: u64) {
+    fn record(&self, stage: LifecycleStage, cause: Cause, tenant: TenantId, page: u64, aux: u64) {
         if let Some(registry) = self.registry.lock().as_ref() {
             registry
                 .lifecycle()
-                .record(stage, cause, page, NO_SHARD, aux, 0);
+                .record_for(stage, cause, tenant, page, NO_SHARD, aux, 0);
         }
     }
 
@@ -275,11 +281,17 @@ impl TieredPlane {
         }
     }
 
-    /// Stores `data` on the hottest tier that accepts it.
-    fn place(&self, page: PageNumber, data: &[u8]) -> SwapResult<(usize, SwapOutcome)> {
+    /// Stores `data` on the hottest tier that accepts it, carrying the
+    /// caller's context down to the accepting plane.
+    fn place(
+        &self,
+        ctx: &OpContext,
+        page: PageNumber,
+        data: &[u8],
+    ) -> SwapResult<(usize, SwapOutcome)> {
         let mut last = None;
         for (k, tier) in self.tiers.iter().enumerate() {
-            match tier.plane.swap_out(page, data) {
+            match tier.plane.swap_out_ctx(ctx, page, data) {
                 Ok(outcome) => return Ok((k, outcome)),
                 Err(e) if e.is_retryable_on_other_tier() && k + 1 < self.tiers.len() => {
                     last = Some(e.with_plane(tier.id));
@@ -307,28 +319,29 @@ impl TieredPlane {
                     if dir.lru[k].len() as u64 > effective {
                         let (&seq, &pg) = dir.lru[k].iter().next().expect("tier is over budget");
                         dir.lru[k].remove(&seq);
-                        dir.owner.remove(&pg);
-                        found = Some((k, pg));
+                        let loc = dir.owner.remove(&pg).expect("owner tracks every LRU page");
+                        found = Some((k, pg, loc.tenant));
                         break;
                     }
                 }
                 found
             };
-            let Some((k, pg)) = victim else { break };
+            let Some((k, pg, tenant)) = victim else { break };
             let page = PageNumber::new(pg);
+            let ctx = OpContext::for_tenant(tenant);
             if self.tiers[k]
                 .plane
-                .swap_in_into(page, true, &mut buf)
+                .swap_in_into_ctx(&ctx, page, true, &mut buf)
                 .is_err()
             {
                 // Could not read the victim out (transient fault);
                 // re-list it as freshest and stop this pass.
-                self.dir.lock().insert(pg, k);
+                self.dir.lock().insert(pg, k, tenant);
                 break;
             }
             let mut placed = None;
             for (j, tier) in self.tiers.iter().enumerate().skip(k + 1) {
-                if tier.plane.swap_out(page, &buf).is_ok() {
+                if tier.plane.swap_out_ctx(&ctx, page, &buf).is_ok() {
                     placed = Some(j);
                     break;
                 }
@@ -337,13 +350,14 @@ impl TieredPlane {
                 Some(j) => {
                     {
                         let mut dir = self.dir.lock();
-                        dir.insert(pg, j);
+                        dir.insert(pg, j, tenant);
                         dir.counts[k].demoted_out += 1;
                         dir.counts[j].demoted_in += 1;
                     }
                     self.record(
                         LifecycleStage::Demote,
                         Cause::Ok,
+                        tenant,
                         pg,
                         Self::tier_aux(&self.tiers[j]),
                     );
@@ -352,10 +366,10 @@ impl TieredPlane {
                     // No colder tier accepts. Put it back where it was
                     // (its slot just freed); park in DRAM as the
                     // no-page-lost backstop if even that fails.
-                    if self.tiers[k].plane.swap_out(page, &buf).is_ok() {
-                        self.dir.lock().insert(pg, k);
+                    if self.tiers[k].plane.swap_out_ctx(&ctx, page, &buf).is_ok() {
+                        self.dir.lock().insert(pg, k, tenant);
                     } else {
-                        self.dir.lock().parked.insert(pg, buf.clone());
+                        self.dir.lock().parked.insert(pg, (buf.clone(), tenant));
                     }
                     break;
                 }
@@ -364,8 +378,16 @@ impl TieredPlane {
     }
 }
 
-impl SwapPlane for TieredPlane {
-    fn swap_out(&self, page: PageNumber, data: &[u8]) -> SwapResult<SwapOutcome> {
+impl TieredPlane {
+    /// The shared swap-out body: `ctx.tenant` is recorded in the
+    /// directory and travels with the page through every later
+    /// demotion or promotion.
+    fn swap_out_with(
+        &self,
+        ctx: &OpContext,
+        page: PageNumber,
+        data: &[u8],
+    ) -> SwapResult<SwapOutcome> {
         // Duplicate stores route to the owning tier so it reports
         // `EntryExists` itself (identical telemetry to a bare plane).
         let owner_tier = {
@@ -381,22 +403,38 @@ impl SwapPlane for TieredPlane {
         if let Some(j) = owner_tier {
             return self.tiers[j]
                 .plane
-                .swap_out(page, data)
+                .swap_out_ctx(ctx, page, data)
                 .map_err(|e| e.with_plane(self.tiers[j].id));
         }
-        let (k, outcome) = self.place(page, data)?;
-        self.dir.lock().insert(page.index(), k);
+        let (k, outcome) = self.place(ctx, page, data)?;
+        self.dir.lock().insert(page.index(), k, ctx.tenant);
         if k > 0 {
             // A spill placement is a demotion relative to the hot tier.
             self.record(
                 LifecycleStage::Demote,
                 Cause::RegionFull,
+                ctx.tenant,
                 page.index(),
                 Self::tier_aux(&self.tiers[k]),
             );
         }
         self.rebalance();
         Ok(outcome)
+    }
+}
+
+impl SwapPlane for TieredPlane {
+    fn swap_out(&self, page: PageNumber, data: &[u8]) -> SwapResult<SwapOutcome> {
+        self.swap_out_with(&OpContext::SYSTEM, page, data)
+    }
+
+    fn swap_out_ctx(
+        &self,
+        ctx: &OpContext,
+        page: PageNumber,
+        data: &[u8],
+    ) -> SwapResult<SwapOutcome> {
+        self.swap_out_with(ctx, page, data)
     }
 
     fn swap_in_into(
@@ -407,15 +445,17 @@ impl SwapPlane for TieredPlane {
     ) -> SwapResult<SwapOutcome> {
         {
             let mut dir = self.dir.lock();
-            if let Some(data) = dir.parked.remove(&page.index()) {
+            if let Some((data, _)) = dir.parked.remove(&page.index()) {
                 out.clear();
                 out.extend_from_slice(&data);
                 return Ok(Self::memcpy_outcome());
             }
         }
-        let k = {
+        let (k, tenant) = {
             let dir = self.dir.lock();
-            dir.owner.get(&page.index()).map_or(0, |loc| loc.tier)
+            dir.owner
+                .get(&page.index())
+                .map_or((0, TenantId::SYSTEM), |loc| (loc.tier, loc.tenant))
         };
         match self.tiers[k].plane.swap_in_into(page, do_offload, out) {
             Ok(outcome) => {
@@ -425,6 +465,7 @@ impl SwapPlane for TieredPlane {
                     self.record(
                         LifecycleStage::PromoteTier,
                         Cause::Ok,
+                        tenant,
                         page.index(),
                         Self::tier_aux(&self.tiers[k]),
                     );
@@ -446,17 +487,26 @@ impl SwapPlane for TieredPlane {
         batch: &[(PageNumber, Bytes)],
         threads: usize,
     ) -> SwapResult<Vec<SwapResult<SwapOutcome>>> {
+        self.swap_out_batch_ctx(&OpContext::SYSTEM, batch, threads)
+    }
+
+    fn swap_out_batch_ctx(
+        &self,
+        ctx: &OpContext,
+        batch: &[(PageNumber, Bytes)],
+        threads: usize,
+    ) -> SwapResult<Vec<SwapResult<SwapOutcome>>> {
         if self.tiers.len() == 1 {
             // Single tier: delegate wholesale so the inner plane's
             // batched pipeline (and its telemetry) runs unchanged.
             let results = self.tiers[0]
                 .plane
-                .swap_out_batch(batch, threads)
+                .swap_out_batch_ctx(ctx, batch, threads)
                 .map_err(|e| e.with_plane(self.tiers[0].id))?;
             let mut dir = self.dir.lock();
             for ((page, _), result) in batch.iter().zip(&results) {
                 if result.is_ok() {
-                    dir.insert(page.index(), 0);
+                    dir.insert(page.index(), 0, ctx.tenant);
                 }
             }
             return Ok(results);
@@ -465,7 +515,7 @@ impl SwapPlane for TieredPlane {
         // different tier, then trigger cascading demotion).
         Ok(batch
             .iter()
-            .map(|(page, data)| self.swap_out(*page, data))
+            .map(|(page, data)| self.swap_out_with(ctx, *page, data))
             .collect())
     }
 
@@ -493,7 +543,7 @@ impl SwapPlane for TieredPlane {
             pages.iter().map(|_| None).collect();
         for i in parked_idx {
             let mut dir = self.dir.lock();
-            let data = dir.parked.remove(&pages[i].index()).expect("indexed above");
+            let (data, _) = dir.parked.remove(&pages[i].index()).expect("indexed above");
             outs[i].clear();
             outs[i].extend_from_slice(&data);
             results[i] = Some(Ok(Self::memcpy_outcome()));
@@ -514,17 +564,19 @@ impl SwapPlane for TieredPlane {
                 outs[i] = out;
                 match result {
                     Ok(outcome) => {
-                        {
+                        let removed = {
                             let mut dir = self.dir.lock();
-                            dir.remove(pages[i].index());
+                            let removed = dir.remove(pages[i].index());
                             if k > 0 {
                                 dir.counts[k].promoted += 1;
                             }
-                        }
+                            removed
+                        };
                         if k > 0 {
                             self.record(
                                 LifecycleStage::PromoteTier,
                                 Cause::Ok,
+                                removed.map_or(TenantId::SYSTEM, |loc| loc.tenant),
                                 pages[i].index(),
                                 Self::tier_aux(&self.tiers[k]),
                             );
@@ -590,6 +642,27 @@ impl SwapPlane for TieredPlane {
             total.objects += s.objects;
         }
         total
+    }
+
+    fn tenant_usage(&self) -> Vec<(TenantId, u64)> {
+        let mut merged: BTreeMap<u16, u64> = BTreeMap::new();
+        for tier in &self.tiers {
+            for (tenant, bytes) in tier.plane.tenant_usage() {
+                *merged.entry(tenant.as_u16()).or_default() += bytes;
+            }
+        }
+        merged
+            .into_iter()
+            .map(|(t, b)| (TenantId::new(t), b))
+            .collect()
+    }
+
+    fn tenant_of(&self, page: PageNumber) -> Option<TenantId> {
+        let dir = self.dir.lock();
+        if let Some((_, tenant)) = dir.parked.get(&page.index()) {
+            return Some(*tenant);
+        }
+        dir.owner.get(&page.index()).map(|loc| loc.tenant)
     }
 }
 

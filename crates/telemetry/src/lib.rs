@@ -66,6 +66,7 @@ pub mod prefetch_metrics;
 pub mod registry;
 pub mod shard_metrics;
 pub mod swap_metrics;
+pub mod tenant_metrics;
 pub mod trace;
 
 pub use counter::{Counter, Gauge};
@@ -77,4 +78,5 @@ pub use prefetch_metrics::PrefetchMetrics;
 pub use registry::Registry;
 pub use shard_metrics::ShardMetrics;
 pub use swap_metrics::SwapMetrics;
+pub use tenant_metrics::{TenantMetrics, TenantSeries};
 pub use trace::{Cause, Span, SpanTrace, SwapStage};

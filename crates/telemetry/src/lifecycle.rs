@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use xfm_event::ClockMirror;
+use xfm_types::TenantId;
 
 use crate::trace::Cause;
 
@@ -159,6 +160,10 @@ pub struct LifecycleEvent {
     pub cause: Cause,
     /// Shard that handled the page (`u32::MAX` when not sharded).
     pub shard: u32,
+    /// Tenant the operation was billed to ([`TenantId::SYSTEM`] for
+    /// internal and legacy context-free traffic). Decoded from the
+    /// 8-bit wire code, so tenant ids above 255 alias to 255 here.
+    pub tenant: TenantId,
     /// Stage-specific auxiliary datum (codec route code, attempt
     /// number, degraded level — see [`LifecycleStage`] docs).
     pub aux: u64,
@@ -184,7 +189,8 @@ struct Slot {
     version: AtomicU64,
     seq: AtomicU64,
     page: AtomicU64,
-    /// `stage << 48 | cause << 40 | shard` (shard in the low 32 bits).
+    /// `stage << 48 | cause << 40 | tenant << 32 | shard` (shard in
+    /// the low 32 bits, 8-bit tenant wire code above it).
     meta: AtomicU64,
     aux: AtomicU64,
     virt_ns: AtomicU64,
@@ -207,16 +213,20 @@ impl Slot {
     }
 }
 
-fn pack_meta(stage: LifecycleStage, cause: Cause, shard: u32) -> u64 {
-    (u64::from(stage.code()) << 48) | (u64::from(cause.code()) << 40) | u64::from(shard)
+fn pack_meta(stage: LifecycleStage, cause: Cause, tenant: TenantId, shard: u32) -> u64 {
+    (u64::from(stage.code()) << 48)
+        | (u64::from(cause.code()) << 40)
+        | (u64::from(tenant.code()) << 32)
+        | u64::from(shard)
 }
 
-fn unpack_meta(meta: u64) -> Option<(LifecycleStage, Cause, u32)> {
+fn unpack_meta(meta: u64) -> Option<(LifecycleStage, Cause, TenantId, u32)> {
     let stage = LifecycleStage::from_code(((meta >> 48) & 0xff) as u8)?;
     let cause = Cause::from_code(((meta >> 40) & 0xff) as u8)?;
+    let tenant = TenantId::from_code(((meta >> 32) & 0xff) as u8);
     #[allow(clippy::cast_possible_truncation)]
     let shard = meta as u32;
-    Some((stage, cause, shard))
+    Some((stage, cause, tenant, shard))
 }
 
 /// The lock-free, fixed-capacity page-lifecycle audit trail.
@@ -318,14 +328,32 @@ impl LifecycleTrace {
         self.recorded().saturating_sub(self.slots.len() as u64)
     }
 
-    /// Records one lifecycle event. Lock-free and allocation-free: a
-    /// cursor `fetch_add` plus eight atomic stores. The virtual
-    /// timestamp reads the attached [`ClockMirror`]; the wall timestamp
-    /// is nanoseconds since the trail's construction.
+    /// Records one lifecycle event attributed to the system tenant.
+    /// Lock-free and allocation-free: a cursor `fetch_add` plus eight
+    /// atomic stores. The virtual timestamp reads the attached
+    /// [`ClockMirror`]; the wall timestamp is nanoseconds since the
+    /// trail's construction.
     pub fn record(
         &self,
         stage: LifecycleStage,
         cause: Cause,
+        page: u64,
+        shard: u32,
+        aux: u64,
+        dur_ns: u64,
+    ) {
+        self.record_for(stage, cause, TenantId::SYSTEM, page, shard, aux, dur_ns);
+    }
+
+    /// Records one lifecycle event billed to `tenant`. Same cost as
+    /// [`LifecycleTrace::record`]: the tenant's 8-bit wire code packs
+    /// into the slot's meta word, so attribution adds zero stores.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_for(
+        &self,
+        stage: LifecycleStage,
+        cause: Cause,
+        tenant: TenantId,
         page: u64,
         shard: u32,
         aux: u64,
@@ -351,7 +379,7 @@ impl LifecycleTrace {
         slot.seq.store(ticket, Ordering::Relaxed);
         slot.page.store(page, Ordering::Relaxed);
         slot.meta
-            .store(pack_meta(stage, cause, shard), Ordering::Relaxed);
+            .store(pack_meta(stage, cause, tenant, shard), Ordering::Relaxed);
         slot.aux.store(aux, Ordering::Relaxed);
         slot.virt_ns.store(self.clock.now_ns(), Ordering::Relaxed);
         slot.wall_ns.store(
@@ -388,13 +416,14 @@ impl LifecycleTrace {
             if v1 != v2 {
                 continue; // torn: overwritten while reading
             }
-            let (stage, cause, shard) = unpack_meta(meta)?;
+            let (stage, cause, tenant, shard) = unpack_meta(meta)?;
             return Some(LifecycleEvent {
                 seq,
                 page,
                 stage,
                 cause,
                 shard,
+                tenant,
                 aux,
                 virt_ns,
                 wall_ns,
@@ -537,11 +566,31 @@ mod tests {
             assert_eq!(stage.code(), stage_code);
             for cause_code in 0..16u8 {
                 let cause = Cause::from_code(cause_code).unwrap();
-                let meta = pack_meta(stage, cause, 0xdead_beef);
-                assert_eq!(unpack_meta(meta), Some((stage, cause, 0xdead_beef)));
+                for tenant in [TenantId::SYSTEM, TenantId::new(3), TenantId::new(255)] {
+                    let meta = pack_meta(stage, cause, tenant, 0xdead_beef);
+                    assert_eq!(unpack_meta(meta), Some((stage, cause, tenant, 0xdead_beef)));
+                }
             }
         }
         assert_eq!(LifecycleStage::from_code(16), None);
+    }
+
+    #[test]
+    fn events_carry_their_tenant() {
+        let t = LifecycleTrace::with_capacity(8);
+        t.record(LifecycleStage::Compress, Cause::Ok, 1, 0, 0, 0);
+        t.record_for(
+            LifecycleStage::Fault,
+            Cause::Ok,
+            TenantId::new(9),
+            1,
+            0,
+            0,
+            0,
+        );
+        let h = t.page_history(1);
+        assert_eq!(h[0].tenant, TenantId::SYSTEM);
+        assert_eq!(h[1].tenant, TenantId::new(9));
     }
 
     #[test]

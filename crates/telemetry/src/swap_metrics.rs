@@ -133,6 +133,25 @@ impl SwapMetrics {
             .lifecycle()
             .record(stage, cause, page, shard, aux, dur_ns);
     }
+
+    /// Tenant-attributed form of [`SwapMetrics::lifecycle_event`]: same
+    /// cost, with `tenant`'s wire code packed into the event's meta
+    /// word (see [`LifecycleTrace::record_for`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn lifecycle_event_for(
+        &self,
+        stage: LifecycleStage,
+        cause: Cause,
+        tenant: xfm_types::TenantId,
+        page: u64,
+        shard: u32,
+        aux: u64,
+        dur_ns: u64,
+    ) {
+        self.registry
+            .lifecycle()
+            .record_for(stage, cause, tenant, page, shard, aux, dur_ns);
+    }
 }
 
 /// Registers `# HELP` text for the standard swap-path metric families.

@@ -1,0 +1,155 @@
+//! Per-tenant metric series for the multi-tenant swap fabric.
+//!
+//! A shared far-memory pool serves many workloads, and the serving
+//! question ("who is consuming the pool, and are they inside their
+//! SLO?") requires series keyed by tenant, not just by shard. Unlike
+//! [`crate::ShardMetrics`], whose population is fixed at attach time,
+//! tenants appear dynamically: series are registered lazily on each
+//! tenant's first operation and cached behind a small mutex-protected
+//! map, so steady state is one short lock, one `BTreeMap` lookup, and
+//! relaxed atomics — no allocation after a tenant's first touch (the
+//! zero-allocation gate covers exactly this path).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use xfm_types::TenantId;
+
+use crate::counter::Counter;
+use crate::hist::Histogram;
+use crate::registry::Registry;
+
+/// Pre-registered handles for one tenant's series.
+#[derive(Debug)]
+pub struct TenantSeries {
+    /// Completed swap-outs billed to this tenant.
+    pub swap_outs: Arc<Counter>,
+    /// Completed swap-ins (faults) on this tenant's pages.
+    pub swap_ins: Arc<Counter>,
+    /// Compressed bytes stored on this tenant's account (cumulative).
+    pub bytes_stored: Arc<Counter>,
+    /// Compressed bytes credited back when entries were consumed.
+    pub bytes_freed: Arc<Counter>,
+    /// Demand-fault latency for this tenant's pages (wall ns).
+    pub fault_ns: Arc<Histogram>,
+    /// Operations shed by admission control before reaching the plane.
+    pub sheds: Arc<Counter>,
+}
+
+/// Lazily-registered per-tenant series, keyed by tenant id.
+///
+/// # Examples
+///
+/// ```
+/// use xfm_telemetry::{Registry, TenantMetrics};
+/// use xfm_types::TenantId;
+///
+/// let registry = Registry::new();
+/// let m = TenantMetrics::register(&registry);
+/// m.series(TenantId::new(3)).swap_outs.inc();
+/// assert_eq!(
+///     registry.counter("xfm_tenant_swap_outs_total{tenant=\"3\"}").get(),
+///     1
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct TenantMetrics {
+    registry: Registry,
+    series: Arc<Mutex<BTreeMap<u16, Arc<TenantSeries>>>>,
+}
+
+impl TenantMetrics {
+    /// Binds a lazily-populated per-tenant bundle to `registry`.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            registry: registry.clone(),
+            series: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// The series for `tenant`, registering them on first touch.
+    ///
+    /// Steady state (tenant already seen) is lock + lookup + refcount
+    /// bump: no allocation, so it is safe on the swap hot path.
+    #[must_use]
+    pub fn series(&self, tenant: TenantId) -> Arc<TenantSeries> {
+        let mut map = self.series.lock();
+        if let Some(s) = map.get(&tenant.as_u16()) {
+            return Arc::clone(s);
+        }
+        let id = tenant.as_u16();
+        let name = |family: &str| format!("{family}{{tenant=\"{id}\"}}");
+        let s = Arc::new(TenantSeries {
+            swap_outs: self.registry.counter(&name("xfm_tenant_swap_outs_total")),
+            swap_ins: self.registry.counter(&name("xfm_tenant_swap_ins_total")),
+            bytes_stored: self
+                .registry
+                .counter(&name("xfm_tenant_bytes_stored_total")),
+            bytes_freed: self.registry.counter(&name("xfm_tenant_bytes_freed_total")),
+            fault_ns: self
+                .registry
+                .histogram(&name("xfm_tenant_fault_latency_ns")),
+            sheds: self.registry.counter(&name("xfm_tenant_shed_total")),
+        });
+        map.insert(id, Arc::clone(&s));
+        s
+    }
+
+    /// Tenants that have registered series so far, in id order.
+    #[must_use]
+    pub fn tenants(&self) -> Vec<TenantId> {
+        self.series
+            .lock()
+            .keys()
+            .map(|&k| TenantId::new(k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_registers_labeled_series() {
+        let r = Registry::new();
+        let m = TenantMetrics::register(&r);
+        m.series(TenantId::new(1)).swap_ins.add(4);
+        m.series(TenantId::new(2)).bytes_stored.add(100);
+        m.series(TenantId::new(2)).bytes_freed.add(40);
+        let s = r.snapshot();
+        assert_eq!(s.counters["xfm_tenant_swap_ins_total{tenant=\"1\"}"], 4);
+        assert_eq!(
+            s.counters["xfm_tenant_bytes_stored_total{tenant=\"2\"}"],
+            100
+        );
+        assert_eq!(s.counters["xfm_tenant_bytes_freed_total{tenant=\"2\"}"], 40);
+        assert_eq!(m.tenants(), vec![TenantId::new(1), TenantId::new(2)]);
+    }
+
+    #[test]
+    fn repeat_touch_shares_handles() {
+        let r = Registry::new();
+        let m = TenantMetrics::register(&r);
+        let a = m.series(TenantId::new(7));
+        let b = m.series(TenantId::new(7));
+        a.swap_outs.add(2);
+        b.swap_outs.add(3);
+        assert_eq!(a.swap_outs.get(), 5);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn clones_share_the_series_map() {
+        let r = Registry::new();
+        let m = TenantMetrics::register(&r);
+        let m2 = m.clone();
+        m.series(TenantId::new(5)).sheds.inc();
+        assert!(Arc::ptr_eq(
+            &m.series(TenantId::new(5)),
+            &m2.series(TenantId::new(5))
+        ));
+    }
+}

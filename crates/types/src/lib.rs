@@ -5,8 +5,10 @@
 //! ([`addr`]), byte capacities ([`capacity`]), simulated time and bandwidth
 //! ([`time`]), DRAM coordinates ([`dram`]), the shared error type
 //! ([`error`]), the structured swap-path error ([`swap_error`])
-//! distinguishing transient from permanent failures, and tier/plane
-//! identity for the multi-backend swap fabric ([`plane`]).
+//! distinguishing transient from permanent failures, tier/plane
+//! identity for the multi-backend swap fabric ([`plane`]), and tenant
+//! identity plus per-operation context for multi-tenant serving
+//! ([`tenant`]).
 //!
 //! All types are plain-old-data newtypes ([C-NEWTYPE]): they are `Copy`,
 //! ordered, hashable, serializable, and cost nothing at runtime while
@@ -40,6 +42,7 @@ pub mod dram;
 pub mod error;
 pub mod plane;
 pub mod swap_error;
+pub mod tenant;
 pub mod time;
 
 pub use addr::{PageNumber, PhysAddr, VirtAddr, PAGE_SIZE};
@@ -48,4 +51,5 @@ pub use dram::{BankId, ChannelId, ColId, DimmId, DramCoord, RankId, RowId, Subar
 pub use error::{Error, Result};
 pub use plane::{PlacementClass, PlaneId};
 pub use swap_error::{SwapError, SwapResult, SwapSite};
+pub use tenant::{OpContext, TenantId};
 pub use time::{Bandwidth, Cycles, Hertz, Nanos};

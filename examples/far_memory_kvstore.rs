@@ -1,17 +1,22 @@
-//! A key-value store that transparently spills cold values to an
-//! XFM-backed far memory — the application-integrated usage pattern of
-//! AIFM, which the paper builds on.
+//! A multi-tenant key-value store that transparently spills cold values
+//! to an XFM-backed far memory — the application-integrated usage
+//! pattern of AIFM, which the paper builds on.
 //!
-//! The store keeps hot values in a bounded local cache; on pressure, the
-//! coldest values are compressed into the SFM region by the near-memory
-//! accelerator. Reads of spilled values fault them back in.
+//! The service plane ([`xfm::serve::FarKvService`]) keeps each tenant's
+//! hot values in a bounded resident cache; on pressure, the coldest
+//! values are compressed into the SFM region by the near-memory
+//! accelerator, billed to the demoting tenant. Reads of spilled values
+//! fault them back in. Quotas and admission control keep one tenant's
+//! pressure from becoming another tenant's eviction.
 //!
 //! Run with: `cargo run --example far_memory_kvstore`
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use xfm::core::{XfmConfig, XfmSystem};
-use xfm::types::{ByteSize, Nanos, PageNumber, Result, PAGE_SIZE};
+use xfm::core::backend::{XfmBackend, XfmBackendConfig};
+use xfm::serve::{FarKvService, PutResult, ServiceClass, TenantSpec};
+use xfm::telemetry::Registry;
+use xfm::types::{ByteSize, Nanos, Result, TenantId, PAGE_SIZE};
 
 /// A value padded into one 4 KiB page (real stores pack many objects per
 /// page; one-value-per-page keeps the example readable).
@@ -28,118 +33,98 @@ fn decode(page: &[u8]) -> String {
     String::from_utf8_lossy(&page[2..2 + len]).into_owned()
 }
 
-struct FarMemoryKv {
-    sys: XfmSystem,
-    /// Hot values, resident in "local memory".
-    local: BTreeMap<u64, Vec<u8>>,
-    /// Keys currently spilled to far memory.
-    far: std::collections::BTreeSet<u64>,
-    local_budget: usize,
-    clock: Nanos,
-    faults: u64,
-    spills: u64,
-}
-
-impl FarMemoryKv {
-    fn new(local_budget_pages: usize) -> Self {
-        Self {
-            sys: XfmSystem::new(XfmConfig::default()),
-            local: BTreeMap::new(),
-            far: std::collections::BTreeSet::new(),
-            local_budget: local_budget_pages,
-            clock: Nanos::from_ms(1),
-            faults: 0,
-            spills: 0,
-        }
-    }
-
-    fn tick(&mut self, dt: Nanos) {
-        self.clock += dt;
-        self.sys.advance_to(self.clock);
-    }
-
-    fn put(&mut self, key: u64, value: &str) -> Result<()> {
-        self.tick(Nanos::from_us(10));
-        if self.far.remove(&key) {
-            // Overwrite of a spilled value: drop the stale far copy.
-            self.sys.backend().swap_in(PageNumber::new(key), false)?;
-        }
-        self.local.insert(key, encode(value));
-        self.enforce_budget()
-    }
-
-    fn get(&mut self, key: u64) -> Result<Option<String>> {
-        self.tick(Nanos::from_us(10));
-        if let Some(page) = self.local.get(&key) {
-            return Ok(Some(decode(page)));
-        }
-        if self.far.contains(&key) {
-            // Far-memory fault: demand swap-in on the CPU path.
-            self.faults += 1;
-            let (page, _) = self.sys.backend().swap_in(PageNumber::new(key), false)?;
-            let value = decode(&page);
-            self.far.remove(&key);
-            self.local.insert(key, page);
-            self.enforce_budget()?;
-            return Ok(Some(value));
-        }
-        Ok(None)
-    }
-
-    fn enforce_budget(&mut self) -> Result<()> {
-        // Evict the smallest-key (coldest, in this toy LRU-by-key) value
-        // until the hot set fits.
-        while self.local.len() > self.local_budget {
-            let (&victim, _) = self.local.iter().next().expect("non-empty");
-            let page = self.local.remove(&victim).expect("present");
-            self.sys
-                .backend()
-                .swap_out(PageNumber::new(victim), &page)?;
-            self.far.insert(victim);
-            self.spills += 1;
-        }
-        Ok(())
-    }
+fn value_for(tenant: u16, key: u64) -> String {
+    format!(
+        "user-profile:{tenant}/{key} {{ name: \"user{key}\", plan: \"pro\", \
+         bio: \"{}\" }}",
+        "far memory enthusiast. ".repeat(20)
+    )
 }
 
 fn main() -> Result<()> {
-    let mut kv = FarMemoryKv::new(64);
-
-    println!("== filling the store with 256 values (local budget: 64 pages) ==");
-    for key in 0..256u64 {
-        kv.put(
-            key,
-            &format!(
-                "user-profile:{key} {{ name: \"user{key}\", plan: \"pro\", \
-                 bio: \"{}\" }}",
-                "far memory enthusiast. ".repeat(20)
-            ),
-        )?;
-    }
-    println!(
-        "local: {} values, far: {} values, spills: {}",
-        kv.local.len(),
-        kv.far.len(),
-        kv.spills
+    // One compressed plane behind the whole service, fully wired through
+    // the builder (the old `try_new`/`with_codec` constructors are gone).
+    let registry = Registry::new();
+    let backend = Arc::new(
+        XfmBackend::builder()
+            .config(XfmBackendConfig::default())
+            .telemetry(&registry)
+            .build()?,
     );
 
-    println!("\n== reading the whole keyspace back ==");
-    for key in 0..256u64 {
-        let value = kv.get(key)?.expect("value present");
-        assert!(value.contains(&format!("user{key}")));
-    }
-    println!(
-        "all 256 values intact; far-memory faults served: {}",
-        kv.faults
+    // Two tenants share it: a guaranteed one with a 64-page hot cache,
+    // and a best-effort one squeezed into half that.
+    let alpha = TenantId::new(1);
+    let beta = TenantId::new(2);
+    let service = FarKvService::new(
+        backend.clone(),
+        vec![
+            TenantSpec::new(alpha, ByteSize::from_pages(64), ByteSize::from_mib(8)),
+            TenantSpec::new(beta, ByteSize::from_pages(32), ByteSize::from_mib(8))
+                .with_class(ServiceClass::BestEffort),
+        ],
     );
+
+    println!("== filling both tenants with 256 values each ==");
+    let mut clock = Nanos::from_ms(1);
+    for key in 0..256u64 {
+        for tenant in [alpha, beta] {
+            // Advance the backend clock so refresh windows open and the
+            // NMA drains the offload pipeline between writes.
+            clock += Nanos::from_us(10);
+            backend.advance_to(clock);
+            let page = encode(&value_for(tenant.as_u16(), key));
+            let stored = service.put(tenant, key, &page)?;
+            assert!(matches!(stored, PutResult::Stored { .. }));
+        }
+    }
+    for s in service.snapshots() {
+        println!(
+            "{} ({}): {} resident, {} demoted, {} compressed",
+            s.tenant,
+            s.class.name(),
+            ByteSize::from_bytes(s.resident_bytes),
+            s.demotions,
+            ByteSize::from_bytes(s.compressed_bytes),
+        );
+    }
+
+    println!("\n== reading both keyspaces back ==");
+    let mut out = Vec::new();
+    for key in 0..256u64 {
+        for tenant in [alpha, beta] {
+            clock += Nanos::from_us(10);
+            backend.advance_to(clock);
+            service.get(tenant, key, &mut out)?.expect("value present");
+            assert_eq!(decode(&out), value_for(tenant.as_u16(), key));
+        }
+    }
+    for s in service.snapshots() {
+        println!(
+            "{} ({}): {} hits, {} demand faults (p50 {} ns, p99 {} ns)",
+            s.tenant,
+            s.class.name(),
+            s.hits,
+            s.faults,
+            s.fault_p50_ns,
+            s.fault_p99_ns,
+        );
+    }
 
     // Let the refresh windows drain the offload pipeline (flexible
     // accesses may wait up to one retention interval, 32 ms).
-    kv.tick(Nanos::from_ms(70));
+    clock += Nanos::from_ms(70);
+    backend.advance_to(clock);
 
-    let pool = kv.sys.backend().pool_stats();
-    let stats = kv.sys.backend().stats();
     println!("\n== far-memory economics ==");
+    let acct = service.accounting();
+    println!(
+        "accounting: service ledgers {} B == plane usage {} B, balanced: {}",
+        acct.ledger_total, acct.plane_total, acct.balanced
+    );
+    assert!(acct.balanced);
+    let pool = backend.pool_stats();
+    let stats = backend.stats();
     println!(
         "compressed pool: {} across {} host pages (for {} of raw data)",
         pool.stored_bytes,
@@ -150,7 +135,7 @@ fn main() -> Result<()> {
         "swap-outs: {} ({} on the NMA), swap-ins: {}, DDR traffic: {}",
         stats.swap_outs, stats.nma_executions, stats.swap_ins, stats.ddr_bytes
     );
-    let nma = kv.sys.nma_stats();
+    let nma = backend.nma_stats();
     println!(
         "refresh side channel carried {} in {} conditional + {} random accesses",
         nma.sched.side_channel_bytes, nma.sched.conditional, nma.sched.random

@@ -22,6 +22,7 @@
 //! | [`cost`] | The §3 DFM-vs-SFM cost & carbon model (EQ1–EQ5) |
 //! | [`sim`] | Co-run interference + fallback sensitivity engines; per-figure harnesses |
 //! | [`telemetry`] | Unified counters, latency histograms, swap-path span tracing, JSON/Prometheus exposition |
+//! | [`serve`] | Multi-tenant KV service plane: quotas, admission control, Zipfian load generator |
 //!
 //! # Quickstart
 //!
@@ -56,6 +57,7 @@ pub use xfm_cost as cost;
 pub use xfm_dram as dram;
 pub use xfm_event as event;
 pub use xfm_faults as faults;
+pub use xfm_serve as serve;
 pub use xfm_sfm as sfm;
 pub use xfm_sim as sim;
 pub use xfm_telemetry as telemetry;
